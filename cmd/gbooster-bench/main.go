@@ -1,0 +1,92 @@
+// Command gbooster-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gbooster-bench [experiment ...]
+//
+// Experiments: tab1 fig1 fig5 fig6 fig7 tab3 traffic forecast cloud
+// overhead quality ablations multiuser all (default: all). Results print as the same rows
+// and series the paper reports; EXPERIMENTS.md records the paper-vs-
+// measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gbooster/gbooster/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "random seed for all experiments")
+	flag.Parse()
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	if err := run(names, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "gbooster-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(names []string, seed uint64) error {
+	want := make(map[string]bool)
+	for _, n := range names {
+		want[n] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	show := func(name string, fn func() (string, error)) error {
+		if !all && !want[name] {
+			return nil
+		}
+		out, err := fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(out)
+		ran++
+		return nil
+	}
+
+	steps := []struct {
+		name string
+		fn   func() (string, error)
+	}{
+		{"tab1", func() (string, error) { return experiments.TableI(), nil }},
+		{"fig1", func() (string, error) { _, s, err := experiments.Fig1(); return s, err }},
+		{"fig5", func() (string, error) {
+			_, s1, err := experiments.Fig5("nexus5", seed)
+			if err != nil {
+				return "", err
+			}
+			_, s2, err := experiments.Fig5("lgg5", seed)
+			if err != nil {
+				return "", err
+			}
+			return s1 + "\n" + s2, nil
+		}},
+		{"fig6", func() (string, error) { _, s, err := experiments.Fig6(seed); return s, err }},
+		{"fig7", func() (string, error) { _, s, err := experiments.Fig7(seed); return s, err }},
+		{"tab3", func() (string, error) { _, s, err := experiments.TableIII(seed); return s, err }},
+		{"traffic", func() (string, error) { _, s, err := experiments.Traffic("G1", 40, seed); return s, err }},
+		{"forecast", func() (string, error) { _, s, err := experiments.Forecast(seed); return s, err }},
+		{"cloud", func() (string, error) { _, s, err := experiments.CloudComparison(seed); return s, err }},
+		{"overhead", func() (string, error) { _, s, err := experiments.Overhead(seed); return s, err }},
+		{"quality", func() (string, error) { _, s, err := experiments.EncoderQuality(seed); return s, err }},
+		{"ablations", func() (string, error) { _, s, err := experiments.Ablations(seed); return s, err }},
+		{"multiuser", func() (string, error) { _, s, err := experiments.MultiUser(seed); return s, err }},
+	}
+	for _, s := range steps {
+		if err := show(s.name, s.fn); err != nil {
+			return err
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment(s) %v; try: tab1 fig1 fig5 fig6 fig7 tab3 traffic forecast cloud overhead quality ablations multiuser all", names)
+	}
+	return nil
+}

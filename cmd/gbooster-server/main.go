@@ -1,0 +1,35 @@
+// Command gbooster-server runs a GBooster service device over UDP: it
+// accepts one client, replays its intercepted OpenGL ES command stream
+// on the software GPU, and streams turbo-encoded frames back — the
+// §IV-C server side on a real socket.
+//
+// Usage:
+//
+//	gbooster-server [-addr :4870] [-width 600] [-height 480]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gbooster/gbooster"
+)
+
+func main() {
+	addr := flag.String("addr", ":4870", "UDP address to listen on")
+	width := flag.Int("width", 600, "stream width")
+	height := flag.Int("height", 480, "stream height")
+	flag.Parse()
+
+	srv, err := gbooster.NewStreamServer(*width, *height)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gbooster-server:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gbooster-server: serving %dx%d on %s (waiting for a client)\n", *width, *height, *addr)
+	if err := srv.ServeUDP(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "gbooster-server:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: simulate one gameplay session locally and offloaded, and
+// print the paper's headline comparison — the two calls every user of
+// the library starts with.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/gbooster/gbooster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	opts := gbooster.Options{
+		Workload: "G1", // GTA San Andreas, the paper's heaviest game
+		Phone:    "nexus5",
+		Duration: 15 * time.Minute,
+		Seed:     1,
+	}
+	local, err := gbooster.SimulateLocal(opts)
+	if err != nil {
+		return err
+	}
+	opts.Services = []string{"shield"} // one Nvidia Shield nearby
+	offload, err := gbooster.SimulateOffload(opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("GBooster quickstart: GTA San Andreas on a Nexus 5, 15 minutes")
+	fmt.Printf("%-22s %12s %12s\n", "", "local", "offloaded")
+	fmt.Printf("%-22s %12.1f %12.1f\n", "median FPS", local.MedianFPS, offload.MedianFPS)
+	fmt.Printf("%-22s %11.0f%% %11.0f%%\n", "FPS stability", local.FPSStability*100, offload.FPSStability*100)
+	fmt.Printf("%-22s %12v %12v\n", "response time",
+		local.AvgResponse.Round(time.Millisecond), offload.AvgResponse.Round(time.Millisecond))
+	fmt.Printf("%-22s %11.1fW %11.1fW\n", "average power", local.AvgPowerW, offload.AvgPowerW)
+	fmt.Printf("\nFPS boost: +%.0f%%   energy saving: %.0f%%\n",
+		(offload.MedianFPS/local.MedianFPS-1)*100,
+		(1-offload.EnergyJoules/local.EnergyJoules)*100)
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package gbooster is a reproduction of "GBooster: Towards Acceleration
+// of GPU-Intensive Mobile Applications" (Wen et al., ICDCS 2017): a
+// system that transparently offloads a mobile application's OpenGL ES
+// rendering to nearby multimedia devices, switching between Bluetooth
+// and WiFi with an ARMAX traffic forecaster and aggregating multiple
+// service devices.
+//
+// The package offers two entry points:
+//
+//   - The simulation API (SimulateLocal / SimulateOffload) runs
+//     calibrated gameplay sessions in virtual time on the paper's
+//     device and workload catalog, producing the §VII metrics (median
+//     FPS, FPS stability, response time, energy).
+//
+//   - The streaming API (StreamServer / Player) runs the real data
+//     plane — linker-hooked interception, wire serialization, command
+//     caching, LZ4, reliable UDP, software-GPU rendering, turbo frame
+//     coding — over actual sockets or in-memory links.
+package gbooster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/device"
+	"github.com/gbooster/gbooster/internal/ifswitch"
+	"github.com/gbooster/gbooster/internal/pipeline"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// API errors.
+var (
+	ErrUnknownWorkload = errors.New("gbooster: unknown workload")
+	ErrUnknownDevice   = errors.New("gbooster: unknown device")
+	ErrBadOptions      = errors.New("gbooster: invalid options")
+)
+
+// WorkloadInfo describes one catalog application (Table II / III).
+type WorkloadInfo struct {
+	ID            string
+	Name          string
+	Genre         string
+	PackageSizeGB float64
+}
+
+// Workloads lists the evaluation applications: games G1–G6 and
+// non-gaming apps A1–A3.
+func Workloads() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, p := range workload.Games() {
+		out = append(out, WorkloadInfo{ID: p.ID, Name: p.Name, Genre: p.Genre.String(), PackageSizeGB: p.PackageSizeGB})
+	}
+	for _, p := range workload.Apps() {
+		out = append(out, WorkloadInfo{ID: p.ID, Name: p.Name, Genre: p.Genre.String()})
+	}
+	return out
+}
+
+// Phones lists the user-device catalog names.
+func Phones() []string { return []string{"nexus5", "lgg4", "lgg5"} }
+
+// ServiceDevices lists the service-device catalog names.
+func ServiceDevices() []string { return []string{"shield", "minix", "m4600", "optiplex"} }
+
+// Options configures a simulated session.
+type Options struct {
+	// Workload is a catalog ID (G1..G6, A1..A3).
+	Workload string
+	// Phone is the user device ("nexus5", "lgg4", "lgg5").
+	Phone string
+	// Services are service-device names; at least one for offloading.
+	Services []string
+	// Duration of the session (default 15 minutes, the paper's
+	// protocol; energy experiments use shorter cooled sessions).
+	Duration time.Duration
+	// Seed fixes all randomness.
+	Seed uint64
+	// DisableSwitching keeps WiFi always on (the Fig. 6(b) ablation).
+	DisableSwitching bool
+	// BlockingSwapBuffer disables the §VI-A rewrite, limiting the
+	// pipeline to one request in flight.
+	BlockingSwapBuffer bool
+}
+
+// Result carries one session's user-experience and energy metrics.
+type Result struct {
+	// MedianFPS is the median of per-second frame rates.
+	MedianFPS float64
+	// FPSStability is the fraction of the session within ±20% of the
+	// median FPS.
+	FPSStability float64
+	// AvgResponse is the Eq. 5 response time.
+	AvgResponse time.Duration
+	// EnergyJoules is total user-device energy; AvgPowerW the mean
+	// draw.
+	EnergyJoules float64
+	AvgPowerW    float64
+	// CPUUtil is the reported whole-app CPU usage (§VII-G).
+	CPUUtil float64
+	// WiFiOnFraction is the share of the session with WiFi powered
+	// (offload only).
+	WiFiOnFraction float64
+}
+
+func (o Options) pipelineConfig() (pipeline.Config, error) {
+	if o.Workload == "" {
+		return pipeline.Config{}, fmt.Errorf("%w: no workload", ErrBadOptions)
+	}
+	prof, err := workload.ByID(o.Workload)
+	if err != nil {
+		return pipeline.Config{}, fmt.Errorf("%w: %q", ErrUnknownWorkload, o.Workload)
+	}
+	phone := o.Phone
+	if phone == "" {
+		phone = "nexus5"
+	}
+	user, err := device.UserDeviceByName(phone)
+	if err != nil {
+		return pipeline.Config{}, fmt.Errorf("%w: %q", ErrUnknownDevice, phone)
+	}
+	cfg := pipeline.Config{
+		Profile:  prof,
+		User:     user,
+		Duration: o.Duration,
+		Seed:     o.Seed,
+	}
+	if o.DisableSwitching {
+		cfg.Switching = ifswitch.PolicyAlwaysWiFi
+	}
+	if o.BlockingSwapBuffer {
+		cfg.InFlight = 1
+	}
+	for _, name := range o.Services {
+		svc, err := device.ServiceDeviceByName(name)
+		if err != nil {
+			return pipeline.Config{}, fmt.Errorf("%w: %q", ErrUnknownDevice, name)
+		}
+		cfg.Services = append(cfg.Services, svc)
+	}
+	return cfg, nil
+}
+
+func toResult(r pipeline.Result, d time.Duration) Result {
+	if d <= 0 {
+		d = 15 * time.Minute
+	}
+	return Result{
+		MedianFPS:      r.MedianFPS,
+		FPSStability:   r.Stability,
+		AvgResponse:    r.AvgResponse,
+		EnergyJoules:   r.Energy.TotalJoules(),
+		AvgPowerW:      r.Energy.AveragePowerW(d),
+		CPUUtil:        r.AvgCPUUtil,
+		WiFiOnFraction: r.WiFiOnFraction,
+	}
+}
+
+// SimulateLocal runs the workload entirely on the phone.
+func SimulateLocal(o Options) (Result, error) {
+	cfg, err := o.pipelineConfig()
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := pipeline.RunLocal(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("gbooster: %w", err)
+	}
+	return toResult(res, o.Duration), nil
+}
+
+// SimulateOffload runs the workload with GPU tasks offloaded to the
+// configured service devices.
+func SimulateOffload(o Options) (Result, error) {
+	cfg, err := o.pipelineConfig()
+	if err != nil {
+		return Result{}, err
+	}
+	if len(cfg.Services) == 0 {
+		return Result{}, fmt.Errorf("%w: offload needs at least one service device", ErrBadOptions)
+	}
+	res, err := pipeline.RunOffload(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("gbooster: %w", err)
+	}
+	return toResult(res, o.Duration), nil
+}

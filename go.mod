@@ -1,0 +1,3 @@
+module github.com/gbooster/gbooster
+
+go 1.22

@@ -1,0 +1,73 @@
+// Package cloud models the cloud remote-rendering baseline GBooster is
+// compared against in §VII-F (OnLive-style): games run in a distant
+// data center, frames come back as a video stream over an Internet
+// connection. Two structural properties produce the paper's numbers —
+// the platform's video encoder caps the stream at 30 FPS, and the WAN
+// round trip puts the response time near 150 ms, roughly five times
+// GBooster's.
+package cloud
+
+import (
+	"time"
+
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// Platform describes a cloud gaming service.
+type Platform struct {
+	Name string
+	// BandwidthMbps is the user's Internet downlink.
+	BandwidthMbps float64
+	// RTT is the WAN round trip to the data center.
+	RTT time.Duration
+	// EncoderFPSCap is the service-side video pipeline's frame cap.
+	EncoderFPSCap float64
+	// StreamW, StreamH is the video resolution.
+	StreamW, StreamH int
+	// BitsPerPixel is the compressed video rate (H.264-class).
+	BitsPerPixel float64
+	// EncodeLatency and DecodeLatency are the codec's per-frame delays.
+	EncodeLatency, DecodeLatency time.Duration
+}
+
+// OnLive returns the platform as measured in the paper's comparison: a
+// 10 Mbps connection streaming 1280×720 at a 30 FPS encoder cap with
+// ~150 ms response time.
+func OnLive() Platform {
+	return Platform{
+		Name:          "OnLive",
+		BandwidthMbps: 10,
+		RTT:           80 * time.Millisecond,
+		EncoderFPSCap: 30,
+		StreamW:       1280, StreamH: 720,
+		BitsPerPixel:  0.33, // ≈0.3 Mb per 720p frame → ~9 Mbps at 30 FPS
+		EncodeLatency: 18 * time.Millisecond,
+		DecodeLatency: 12 * time.Millisecond,
+	}
+}
+
+// Result is the platform's predicted user experience for one game.
+type Result struct {
+	FPS      float64
+	Response time.Duration
+}
+
+// Evaluate returns the FPS and response time the platform delivers for
+// a game. The cloud server's GPU is assumed ample (the paper's cloud
+// rig always sustains the encoder cap); the binding constraints are the
+// encoder cap, downlink bandwidth, and WAN latency.
+func (p Platform) Evaluate(_ workload.Profile) Result {
+	frameBits := float64(p.StreamW*p.StreamH) * p.BitsPerPixel
+	bwFPS := p.BandwidthMbps * 1e6 / frameBits
+	fps := p.EncoderFPSCap
+	if bwFPS < fps {
+		fps = bwFPS
+	}
+	frameTx := time.Duration(frameBits / (p.BandwidthMbps * 1e6) * float64(time.Second))
+	// Response: input upstream + render (on average half a frame
+	// period, since the server pipeline is already in flight) + encode
+	// + frame transmission + downstream + decode.
+	halfPeriod := time.Duration(float64(time.Second) / fps / 2)
+	resp := p.RTT + halfPeriod + p.EncodeLatency + frameTx + p.DecodeLatency
+	return Result{FPS: fps, Response: resp}
+}

@@ -1,0 +1,45 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+func TestOnLiveMatchesPaperMeasurements(t *testing.T) {
+	p := OnLive()
+	g1, err := workload.ByID("G1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Evaluate(g1)
+	// §VII-F: "stream games at ... 30 FPS and average response time of
+	// approximately 150 ms".
+	if r.FPS != 30 {
+		t.Fatalf("FPS = %v, want capped at 30", r.FPS)
+	}
+	if r.Response < 120*time.Millisecond || r.Response > 190*time.Millisecond {
+		t.Fatalf("response = %v, want ~150ms", r.Response)
+	}
+}
+
+func TestBandwidthLimitBindsBelowCap(t *testing.T) {
+	p := OnLive()
+	p.BandwidthMbps = 3 // starved downlink
+	r := p.Evaluate(workload.Profile{})
+	if r.FPS >= 30 {
+		t.Fatalf("FPS = %v, want below encoder cap on a 3 Mbps link", r.FPS)
+	}
+}
+
+func TestResponseDominatedByWAN(t *testing.T) {
+	p := OnLive()
+	near := p
+	near.RTT = 5 * time.Millisecond
+	wan := p.Evaluate(workload.Profile{}).Response
+	lan := near.Evaluate(workload.Profile{}).Response
+	if wan-lan < 60*time.Millisecond {
+		t.Fatalf("WAN RTT contributes %v, want ~75ms", wan-lan)
+	}
+}

@@ -1,0 +1,266 @@
+// Package cmdcache implements the LRU command cache GBooster uses to
+// eliminate uplink redundancy (paper §V-A): consecutive frames repeat
+// most of their graphics commands, so the user device and the service
+// device each keep a mirrored LRU cache of recent serialized command
+// records, and the sender ships an 8-byte reference instead of the full
+// record whenever the record is cached.
+//
+// Determinism is the core invariant: the receiver reconstructs the
+// sender's cache purely from the wire stream (full records insert,
+// references touch), so the two caches evict identically and a
+// reference always resolves. Hash collisions are handled on the sender:
+// a colliding record is sent in full, replacing the cache entry on both
+// sides.
+package cmdcache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Wire flags.
+const (
+	flagFull = 0x00
+	flagRef  = 0x01
+)
+
+// Errors.
+var (
+	ErrBadWire     = errors.New("cmdcache: malformed wire data")
+	ErrUnknownRef  = errors.New("cmdcache: reference to uncached record")
+	ErrRecordLimit = errors.New("cmdcache: record exceeds limit")
+)
+
+// MaxRecordBytes bounds one record on the wire.
+const MaxRecordBytes = 64 << 20
+
+// DefaultCapacity is the default cache budget per side. The paper
+// measured ~47.8 MB total extra memory on the user device; the command
+// cache is the dominant share of it.
+const DefaultCapacity = 32 << 20
+
+// entry is one cached record.
+type entry struct {
+	key   uint64
+	bytes []byte
+}
+
+// Cache is one side's LRU of serialized command records, bounded by
+// total byte size.
+type Cache struct {
+	capacity int
+	size     int
+	order    *list.List // front = most recently used
+	byKey    map[uint64]*list.Element
+
+	// Stats accumulate cache effectiveness for the traffic experiments.
+	Stats Stats
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       int
+	Misses     int
+	Collisions int
+	Evictions  int
+	// RawBytes is the total size of records offered to the encoder;
+	// WireBytes is what actually went on the wire. Their ratio is the
+	// redundancy-elimination factor of §V-A.
+	RawBytes  int64
+	WireBytes int64
+}
+
+// New returns a cache bounded to capacity bytes of stored records. A
+// non-positive capacity falls back to DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[uint64]*list.Element),
+	}
+}
+
+// MemoryBytes reports the bytes of record data currently cached (the
+// quantity behind the paper's §VII-G memory-overhead measurement).
+func (c *Cache) MemoryBytes() int { return c.size }
+
+// Len reports the number of cached records.
+func (c *Cache) Len() int { return c.order.Len() }
+
+// hashRecord fingerprints a record.
+func hashRecord(rec []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(rec)
+	return h.Sum64()
+}
+
+// EncodeRecord appends the wire form of rec to dst: a reference when
+// the identical record is cached, the full record otherwise. It
+// returns the extended slice and whether it was a cache hit.
+func (c *Cache) EncodeRecord(dst, rec []byte) ([]byte, bool, error) {
+	if len(rec) > MaxRecordBytes {
+		return dst, false, fmt.Errorf("%w: %d bytes", ErrRecordLimit, len(rec))
+	}
+	c.Stats.RawBytes += int64(len(rec))
+	key := hashRecord(rec)
+	if el, ok := c.byKey[key]; ok {
+		ent, valid := el.Value.(*entry)
+		if !valid {
+			return dst, false, fmt.Errorf("cmdcache: corrupt LRU element %T", el.Value)
+		}
+		if bytesEqual(ent.bytes, rec) {
+			c.order.MoveToFront(el)
+			dst = append(dst, flagRef)
+			dst = binary.LittleEndian.AppendUint64(dst, key)
+			c.Stats.Hits++
+			c.Stats.WireBytes += 9
+			return dst, true, nil
+		}
+		// Hash collision: replace the entry on both sides by sending
+		// the record in full.
+		c.Stats.Collisions++
+		c.removeElement(el)
+	}
+	c.insert(key, rec)
+	dst = append(dst, flagFull)
+	dst = binary.AppendUvarint(dst, uint64(len(rec)))
+	dst = append(dst, rec...)
+	c.Stats.Misses++
+	c.Stats.WireBytes += int64(1 + uvarintLen(uint64(len(rec))) + len(rec))
+	return dst, false, nil
+}
+
+// DecodeRecord parses one wire item from src, returning the record and
+// the number of bytes consumed. The receiver cache mutates exactly as
+// the sender's did, preserving the mirror invariant.
+func (c *Cache) DecodeRecord(src []byte) ([]byte, int, error) {
+	if len(src) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty", ErrBadWire)
+	}
+	switch src[0] {
+	case flagRef:
+		if len(src) < 9 {
+			return nil, 0, fmt.Errorf("%w: short reference", ErrBadWire)
+		}
+		key := binary.LittleEndian.Uint64(src[1:9])
+		el, ok := c.byKey[key]
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: key %x", ErrUnknownRef, key)
+		}
+		ent, valid := el.Value.(*entry)
+		if !valid {
+			return nil, 0, fmt.Errorf("cmdcache: corrupt LRU element %T", el.Value)
+		}
+		c.order.MoveToFront(el)
+		c.Stats.Hits++
+		return ent.bytes, 9, nil
+	case flagFull:
+		n, used := binary.Uvarint(src[1:])
+		if used <= 0 {
+			return nil, 0, fmt.Errorf("%w: record length", ErrBadWire)
+		}
+		if n > MaxRecordBytes {
+			return nil, 0, fmt.Errorf("%w: %d bytes", ErrRecordLimit, n)
+		}
+		start := 1 + used
+		if uint64(len(src)-start) < n {
+			return nil, 0, fmt.Errorf("%w: record truncated", ErrBadWire)
+		}
+		rec := src[start : start+int(n)]
+		key := hashRecord(rec)
+		if el, ok := c.byKey[key]; ok {
+			// Mirror the sender's collision replacement.
+			c.removeElement(el)
+		}
+		c.insert(key, rec)
+		c.Stats.Misses++
+		return rec, start + int(n), nil
+	default:
+		return nil, 0, fmt.Errorf("%w: flag %#x", ErrBadWire, src[0])
+	}
+}
+
+// insert adds a copied record at the front, evicting from the back
+// until within capacity. Records larger than the whole capacity are
+// intentionally still inserted then immediately evicted down to one
+// entry, keeping sender/receiver behaviour identical without a special
+// case on the wire.
+func (c *Cache) insert(key uint64, rec []byte) {
+	ent := &entry{key: key, bytes: append([]byte(nil), rec...)}
+	el := c.order.PushFront(ent)
+	c.byKey[key] = el
+	c.size += len(ent.bytes)
+	for c.size > c.capacity && c.order.Len() > 1 {
+		back := c.order.Back()
+		if back == nil || back == el {
+			break
+		}
+		c.removeElement(back)
+		c.Stats.Evictions++
+	}
+}
+
+func (c *Cache) removeElement(el *list.Element) {
+	ent, ok := el.Value.(*entry)
+	if !ok {
+		return
+	}
+	c.order.Remove(el)
+	delete(c.byKey, ent.key)
+	c.size -= len(ent.bytes)
+}
+
+// EncodeAll encodes a batch of records.
+func (c *Cache) EncodeAll(dst []byte, recs [][]byte) ([]byte, int, error) {
+	hits := 0
+	for i, rec := range recs {
+		var hit bool
+		var err error
+		dst, hit, err = c.EncodeRecord(dst, rec)
+		if err != nil {
+			return dst, hits, fmt.Errorf("record %d: %w", i, err)
+		}
+		if hit {
+			hits++
+		}
+	}
+	return dst, hits, nil
+}
+
+// DecodeAll decodes a whole wire buffer back into records.
+func (c *Cache) DecodeAll(src []byte) ([][]byte, error) {
+	var recs [][]byte
+	for len(src) > 0 {
+		rec, n, err := c.DecodeRecord(src)
+		if err != nil {
+			return recs, fmt.Errorf("item %d: %w", len(recs), err)
+		}
+		// Copy: refs alias cache storage that later inserts may evict.
+		recs = append(recs, append([]byte(nil), rec...))
+		src = src[n:]
+	}
+	return recs, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}

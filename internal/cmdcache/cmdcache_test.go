@@ -1,0 +1,318 @@
+package cmdcache
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+func TestFirstSendIsMissSecondIsHit(t *testing.T) {
+	snd, rcv := New(0), New(0)
+	rec := []byte("glDrawElements:stream-bytes")
+
+	wire, hit, err := snd.EncodeRecord(nil, rec)
+	if err != nil || hit {
+		t.Fatalf("first encode hit=%v err=%v", hit, err)
+	}
+	got, n, err := rcv.DecodeRecord(wire)
+	if err != nil || n != len(wire) || !bytes.Equal(got, rec) {
+		t.Fatalf("decode full: %q %d %v", got, n, err)
+	}
+
+	wire2, hit, err := snd.EncodeRecord(nil, rec)
+	if err != nil || !hit {
+		t.Fatalf("second encode hit=%v err=%v", hit, err)
+	}
+	if len(wire2) != 9 {
+		t.Fatalf("reference wire = %d bytes, want 9", len(wire2))
+	}
+	got, _, err = rcv.DecodeRecord(wire2)
+	if err != nil || !bytes.Equal(got, rec) {
+		t.Fatalf("decode ref: %q %v", got, err)
+	}
+	if snd.Stats.Hits != 1 || snd.Stats.Misses != 1 {
+		t.Fatalf("sender stats %+v", snd.Stats)
+	}
+}
+
+func TestRedundantStreamCompressesHeavily(t *testing.T) {
+	snd := New(0)
+	frame := [][]byte{
+		[]byte("glUseProgram(1)"),
+		[]byte("glBindTexture(0x0DE1, 3)"),
+		[]byte("glUniformMatrix4fv(...)"),
+		[]byte("glDrawElements(TRIANGLES, 36)"),
+	}
+	var raw, wireTotal int64
+	for f := 0; f < 100; f++ {
+		for _, rec := range frame {
+			wire, _, err := snd.EncodeRecord(nil, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw += int64(len(rec))
+			wireTotal += int64(len(wire))
+		}
+	}
+	if ratio := float64(wireTotal) / float64(raw); ratio > 0.5 {
+		t.Fatalf("redundant stream wire ratio = %.2f, want < 0.5", ratio)
+	}
+	if snd.Stats.Hits != 4*99 {
+		t.Fatalf("hits = %d, want %d", snd.Stats.Hits, 4*99)
+	}
+}
+
+func TestMirrorInvariantUnderEviction(t *testing.T) {
+	// Tiny caches force constant eviction; the receiver must stay in
+	// lockstep so every reference resolves.
+	snd, rcv := New(64), New(64)
+	rng := sim.NewRNG(7)
+	pool := make([][]byte, 8)
+	for i := range pool {
+		pool[i] = []byte{byte(i), byte(i), byte(i), byte(i), byte(i), byte(i), byte(i), byte(i), byte(i), byte(i)}
+	}
+	for step := 0; step < 2000; step++ {
+		rec := pool[rng.Intn(len(pool))]
+		wire, _, err := snd.EncodeRecord(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := rcv.DecodeRecord(wire)
+		if err != nil {
+			t.Fatalf("step %d: %v (mirror broke)", step, err)
+		}
+		if n != len(wire) || !bytes.Equal(got, rec) {
+			t.Fatalf("step %d: decoded %q want %q", step, got, rec)
+		}
+	}
+	if snd.Stats.Evictions == 0 {
+		t.Fatal("test did not exercise eviction")
+	}
+	if snd.Len() != rcv.Len() || snd.MemoryBytes() != rcv.MemoryBytes() {
+		t.Fatalf("caches diverged: snd %d/%dB rcv %d/%dB",
+			snd.Len(), snd.MemoryBytes(), rcv.Len(), rcv.MemoryBytes())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Capacity for two 10-byte records.
+	snd := New(20)
+	a, b, c := bytes.Repeat([]byte("a"), 10), bytes.Repeat([]byte("b"), 10), bytes.Repeat([]byte("c"), 10)
+	for _, r := range [][]byte{a, b} {
+		if _, _, err := snd.EncodeRecord(nil, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is least recently used.
+	if _, hit, _ := snd.EncodeRecord(nil, a); !hit {
+		t.Fatal("expected hit on a")
+	}
+	// Insert c: must evict b, keep a.
+	if _, _, err := snd.EncodeRecord(nil, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := snd.EncodeRecord(nil, a); !hit {
+		t.Fatal("a was wrongly evicted")
+	}
+	if _, hit, _ := snd.EncodeRecord(nil, b); hit {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestOversizedRecordStillRoundTrips(t *testing.T) {
+	snd, rcv := New(16), New(16)
+	big := bytes.Repeat([]byte("x"), 100)
+	wire, hit, err := snd.EncodeRecord(nil, big)
+	if err != nil || hit {
+		t.Fatalf("oversized encode hit=%v err=%v", hit, err)
+	}
+	got, _, err := rcv.DecodeRecord(wire)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("oversized decode: %v", err)
+	}
+	// Oversized record may stay as the single resident entry, but the
+	// caches agree.
+	if snd.Len() != rcv.Len() {
+		t.Fatalf("len diverged %d vs %d", snd.Len(), rcv.Len())
+	}
+}
+
+func TestRecordLimit(t *testing.T) {
+	snd := New(0)
+	huge := make([]byte, MaxRecordBytes+1)
+	if _, _, err := snd.EncodeRecord(nil, huge); !errors.Is(err, ErrRecordLimit) {
+		t.Fatalf("limit error = %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	rcv := New(0)
+	if _, _, err := rcv.DecodeRecord(nil); !errors.Is(err, ErrBadWire) {
+		t.Fatalf("empty error = %v", err)
+	}
+	if _, _, err := rcv.DecodeRecord([]byte{0x07}); !errors.Is(err, ErrBadWire) {
+		t.Fatalf("bad flag error = %v", err)
+	}
+	if _, _, err := rcv.DecodeRecord([]byte{flagRef, 1, 2}); !errors.Is(err, ErrBadWire) {
+		t.Fatalf("short ref error = %v", err)
+	}
+	if _, _, err := rcv.DecodeRecord([]byte{flagRef, 1, 2, 3, 4, 5, 6, 7, 8}); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("unknown ref error = %v", err)
+	}
+	if _, _, err := rcv.DecodeRecord([]byte{flagFull, 10, 'a'}); !errors.Is(err, ErrBadWire) {
+		t.Fatalf("truncated full error = %v", err)
+	}
+}
+
+func TestEncodeAllDecodeAll(t *testing.T) {
+	snd, rcv := New(0), New(0)
+	recs := [][]byte{
+		[]byte("one"), []byte("two"), []byte("one"), []byte("three"), []byte("two"),
+	}
+	wire, hits, err := snd.EncodeAll(nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	got, err := rcv.DecodeAll(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records", len(got))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestDecodedRecordsSurviveLaterEviction(t *testing.T) {
+	// DecodeAll results must not alias storage that later inserts evict.
+	snd, rcv := New(32), New(32)
+	recs := [][]byte{
+		bytes.Repeat([]byte("a"), 20),
+		bytes.Repeat([]byte("b"), 20),
+		bytes.Repeat([]byte("c"), 20),
+	}
+	wire, _, err := snd.EncodeAll(nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rcv.DecodeAll(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("record %d corrupted by eviction", i)
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	c := New(1000)
+	if _, _, err := c.EncodeRecord(nil, bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if c.MemoryBytes() != 100 || c.Len() != 1 {
+		t.Fatalf("memory = %d len = %d", c.MemoryBytes(), c.Len())
+	}
+}
+
+func TestWireBytesStatMatchesOutput(t *testing.T) {
+	snd := New(0)
+	var total int64
+	for _, rec := range [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("aaaa")} {
+		wire, _, err := snd.EncodeRecord(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(len(wire))
+	}
+	if snd.Stats.WireBytes != total {
+		t.Fatalf("WireBytes = %d, actual %d", snd.Stats.WireBytes, total)
+	}
+}
+
+func TestMirrorProperty(t *testing.T) {
+	// Property: for any record sequence drawn from a small alphabet,
+	// a fresh receiver reproduces the exact records, and both caches
+	// finish with identical shape.
+	check := func(seed uint64, steps uint16, capRaw uint16) bool {
+		capacity := int(capRaw%200) + 20
+		snd, rcv := New(capacity), New(capacity)
+		rng := sim.NewRNG(seed)
+		for i := 0; i < int(steps%400)+1; i++ {
+			n := rng.Intn(30) + 1
+			rec := make([]byte, n)
+			fill := byte(rng.Intn(5))
+			for k := range rec {
+				rec[k] = fill
+			}
+			wire, _, err := snd.EncodeRecord(nil, rec)
+			if err != nil {
+				return false
+			}
+			got, used, err := rcv.DecodeRecord(wire)
+			if err != nil || used != len(wire) || !bytes.Equal(got, rec) {
+				return false
+			}
+		}
+		return snd.Len() == rcv.Len() && snd.MemoryBytes() == rcv.MemoryBytes()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeRecordHit(b *testing.B) {
+	c := New(0)
+	rec := bytes.Repeat([]byte("glDrawElements-args"), 4)
+	if _, _, err := c.EncodeRecord(nil, rec); err != nil {
+		b.Fatal(err)
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rec)))
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, _, err = c.EncodeRecord(buf[:0], rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRecordRef(b *testing.B) {
+	snd, rcv := New(0), New(0)
+	rec := bytes.Repeat([]byte("glDrawElements-args"), 4)
+	if _, _, err := snd.EncodeRecord(nil, rec); err != nil {
+		b.Fatal(err)
+	}
+	wire, _, err := snd.EncodeRecord(nil, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prime the receiver with the full record once.
+	full, _, err := New(0).EncodeRecord(nil, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := rcv.DecodeRecord(full); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rec)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rcv.DecodeRecord(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

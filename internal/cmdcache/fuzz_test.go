@@ -1,0 +1,18 @@
+package cmdcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeRecordNeverPanicsOnArbitraryBytes(t *testing.T) {
+	check := func(data []byte) bool {
+		c := New(1024)
+		_, _, _ = c.DecodeRecord(data)
+		_, _ = c.DecodeAll(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/cmdcache"
+	"github.com/gbooster/gbooster/internal/dispatch"
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/glwire"
+	"github.com/gbooster/gbooster/internal/hook"
+	"github.com/gbooster/gbooster/internal/lz4"
+	"github.com/gbooster/gbooster/internal/rudp"
+	"github.com/gbooster/gbooster/internal/turbo"
+)
+
+// ClientConfig parameterizes the user-device runtime.
+type ClientConfig struct {
+	// Width, Height is the streaming resolution.
+	Width, Height int
+	// Quality is the turbo codec quality (must match the servers).
+	Quality int
+	// Arrays resolves deferred client vertex arrays (§IV-B); pass the
+	// application's registry.
+	Arrays glwire.ClientArrays
+	// CacheBytes bounds each per-server command cache.
+	CacheBytes int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Quality <= 0 {
+		c.Quality = turbo.DefaultQuality
+	}
+	return c
+}
+
+// Frame is one displayed frame.
+type Frame struct {
+	Seq    uint64
+	Pixels []byte // RGBA copy, Width*Height*4
+}
+
+// ClientStats counts client-side work.
+type ClientStats struct {
+	FramesSent      int64
+	FramesDisplayed int64
+	RawBytes        int64 // serialized records before cache+LZ4
+	WireBytes       int64 // bytes actually sent
+	StateBytes      int64 // replication traffic to non-assigned servers
+	CacheHits       int64
+}
+
+// inflightReq tracks an outstanding rendering request for Eq. 4 queue
+// accounting.
+type inflightReq struct {
+	svc      *service
+	workload float64
+}
+
+// service is one connected service device.
+type service struct {
+	name  string
+	conn  *rudp.Conn
+	cache *cmdcache.Cache
+	dec   *turbo.Decoder
+	dev   *dispatch.Device
+}
+
+// Client is the wrapper-side runtime installed behind the hooked GL
+// symbols. Its CommandSink intercepts every GL call; frames flush on
+// eglSwapBuffers, which returns immediately (the §VI-A non-blocking
+// rewrite).
+type Client struct {
+	cfg ClientConfig
+
+	mu        sync.Mutex
+	enc       *glwire.Encoder
+	services  []*service
+	sched     *dispatch.Scheduler
+	seq       uint64
+	frameRecs [][]byte
+	inflight  map[uint64]inflightReq
+	reorder   *dispatch.Reorder[Frame]
+	stats     ClientStats
+	sinkErr   error
+
+	frames chan Frame
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed sync.Once
+}
+
+// NewClient builds a client runtime; attach servers with AddService
+// before generating frames.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("%w: resolution %dx%d", ErrBadMessage, cfg.Width, cfg.Height)
+	}
+	return &Client{
+		cfg:      cfg,
+		enc:      glwire.NewEncoder(cfg.Arrays),
+		inflight: make(map[uint64]inflightReq),
+		reorder:  dispatch.NewReorder[Frame](0, 256),
+		frames:   make(chan Frame, 64),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// AddService attaches a connected service device. capability is Eq. 4's
+// c^j in records/second (relative values are what matter); rtt its l^j.
+func (c *Client) AddService(name string, conn *rudp.Conn, capability float64, rtt time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dev, err := dispatch.NewDevice(name, capability, rtt)
+	if err != nil {
+		return fmt.Errorf("core: add service: %w", err)
+	}
+	svc := &service{
+		name:  name,
+		conn:  conn,
+		cache: cmdcache.New(c.cfg.CacheBytes),
+		dec:   turbo.NewDecoder(c.cfg.Width, c.cfg.Height, c.cfg.Quality),
+		dev:   dev,
+	}
+	c.services = append(c.services, svc)
+	devs := make([]*dispatch.Device, 0, len(c.services))
+	for _, s := range c.services {
+		devs = append(devs, s.dev)
+	}
+	c.sched, err = dispatch.NewScheduler(devs...)
+	if err != nil {
+		return fmt.Errorf("core: scheduler: %w", err)
+	}
+	c.wg.Add(1)
+	go c.recvLoop(svc)
+	return nil
+}
+
+// Sink returns the CommandSink to install behind the hooked GL symbols.
+func (c *Client) Sink() hook.CommandSink {
+	return func(cmd gles.Command) { c.consume(cmd) }
+}
+
+// Install registers and preloads the GBooster wrapper library in the
+// process's linker — the complete §IV-A hook installation.
+func (c *Client) Install(ln *hook.Linker, soname string) error {
+	_, err := hook.InstallWrapper(ln, soname, c.Sink())
+	return err
+}
+
+// Err surfaces the first asynchronous error the sink path hit (the GL
+// ABI has no error return, matching the real wrapper's constraint).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sinkErr
+}
+
+// Stats snapshots client counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// consume intercepts one GL command.
+func (c *Client) consume(cmd gles.Command) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sinkErr != nil {
+		return
+	}
+	buf, err := c.enc.Encode(nil, cmd)
+	if err != nil {
+		c.sinkErr = fmt.Errorf("core: serialize %v: %w", cmd.Op, err)
+		return
+	}
+	if len(buf) > 0 {
+		recs, err := glwire.SplitRecords(buf)
+		if err != nil {
+			c.sinkErr = fmt.Errorf("core: split: %w", err)
+			return
+		}
+		for _, rec := range recs {
+			c.frameRecs = append(c.frameRecs, append([]byte(nil), rec...))
+			c.stats.RawBytes += int64(len(rec))
+		}
+	}
+	if cmd.IsFrameBoundary() {
+		if err := c.flushFrameLocked(); err != nil {
+			c.sinkErr = err
+		}
+	}
+}
+
+// flushFrameLocked ships the accumulated frame: the full batch to the
+// Eq. 4-chosen server, state-mutating records to every other server.
+func (c *Client) flushFrameLocked() error {
+	recs := c.frameRecs
+	c.frameRecs = nil
+	if len(c.services) == 0 {
+		return fmt.Errorf("%w: no service devices attached", ErrClosed)
+	}
+	assigned, _, err := c.sched.Assign(float64(len(recs)))
+	if err != nil {
+		return fmt.Errorf("core: assign: %w", err)
+	}
+	var target *service
+	for _, s := range c.services {
+		if s.dev == assigned {
+			target = s
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("core: assigned device %q has no service", assigned.ID)
+	}
+
+	seq := c.seq
+	c.seq++
+	c.inflight[seq] = inflightReq{svc: target, workload: float64(len(recs))}
+
+	// Full batch to the assigned server, through its mirrored cache.
+	wire, hits, err := target.cache.EncodeAll(nil, recs)
+	if err != nil {
+		return fmt.Errorf("core: cache encode: %w", err)
+	}
+	c.stats.CacheHits += int64(hits)
+	batch := encodeMsg(MsgFrameBatch, seq, lz4.Compress(nil, wire))
+	if err := target.conn.Send(batch); err != nil {
+		return fmt.Errorf("core: send batch: %w", err)
+	}
+	c.stats.WireBytes += int64(len(batch))
+	c.stats.FramesSent++
+
+	// State replication to the others (the real system multicasts; one
+	// logical transmission per non-assigned server here).
+	var stateRecs [][]byte
+	for _, rec := range recs {
+		op, err := glwire.PeekOp(rec)
+		if err != nil {
+			return fmt.Errorf("core: peek: %w", err)
+		}
+		if (gles.Command{Op: op}).MutatesState() {
+			stateRecs = append(stateRecs, rec)
+		}
+	}
+	for _, s := range c.services {
+		if s == target || len(stateRecs) == 0 {
+			continue
+		}
+		wire, _, err := s.cache.EncodeAll(nil, stateRecs)
+		if err != nil {
+			return fmt.Errorf("core: state encode: %w", err)
+		}
+		msg := encodeMsg(MsgStateUpdate, 0, lz4.Compress(nil, wire))
+		if err := s.conn.Send(msg); err != nil {
+			return fmt.Errorf("core: send state: %w", err)
+		}
+		c.stats.WireBytes += int64(len(msg))
+		c.stats.StateBytes += int64(len(msg))
+	}
+	return nil
+}
+
+// recvLoop decodes encoded frames from one server and feeds the reorder
+// buffer.
+func (c *Client) recvLoop(svc *service) {
+	defer c.wg.Done()
+	for {
+		msg, err := svc.conn.Recv(0)
+		if err != nil {
+			return // closed
+		}
+		msgType, seq, payload, err := decodeMsg(msg)
+		if err != nil || msgType != MsgEncodedFrame {
+			continue
+		}
+		pixels, err := svc.dec.Decode(payload)
+		if err != nil {
+			c.mu.Lock()
+			if c.sinkErr == nil {
+				c.sinkErr = fmt.Errorf("core: frame decode: %w", err)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		frame := Frame{Seq: seq, Pixels: append([]byte(nil), pixels...)}
+		c.mu.Lock()
+		if req, ok := c.inflight[seq]; ok {
+			c.sched.Complete(req.svc.dev, req.workload)
+			delete(c.inflight, seq)
+		}
+		released, err := c.reorder.Push(seq, frame)
+		if err != nil && c.sinkErr == nil {
+			c.sinkErr = fmt.Errorf("core: reorder: %w", err)
+		}
+		c.stats.FramesDisplayed += int64(len(released))
+		// Deliver while still holding the lock: two receive loops that
+		// release consecutive batches must not interleave their channel
+		// sends, or frames display out of order. The frames channel is
+		// only ever read (never locked) by consumers, so holding mu
+		// across the send cannot deadlock.
+		for _, f := range released {
+			select {
+			case c.frames <- f:
+			case <-c.done:
+				c.mu.Unlock()
+				return
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// NextFrame returns the next in-order displayed frame, waiting up to
+// timeout.
+func (c *Client) NextFrame(timeout time.Duration) (Frame, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case f, ok := <-c.frames:
+		if !ok {
+			return Frame{}, ErrClosed
+		}
+		return f, nil
+	case <-timer:
+		return Frame{}, rudp.ErrTimeout
+	case <-c.done:
+		return Frame{}, ErrClosed
+	}
+}
+
+// Close shuts down the client and its connections.
+func (c *Client) Close() error {
+	var err error
+	c.closed.Do(func() {
+		close(c.done)
+		c.mu.Lock()
+		svcs := append([]*service(nil), c.services...)
+		c.mu.Unlock()
+		for _, s := range svcs {
+			if cerr := s.conn.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		c.wg.Wait()
+	})
+	return err
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServerHandleNeverPanicsOnArbitraryBytes(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Width: 16, Height: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(data []byte) bool {
+		_, _ = srv.Handle(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Valid framing around garbage payloads.
+	checkFramed := func(seq uint64, payload []byte) bool {
+		_, _ = srv.Handle(encodeMsg(MsgFrameBatch, seq, payload))
+		_, _ = srv.Handle(encodeMsg(MsgStateUpdate, seq, payload))
+		return true
+	}
+	if err := quick.Check(checkFramed, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

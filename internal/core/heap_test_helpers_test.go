@@ -1,0 +1,13 @@
+package core
+
+import "container/heap"
+
+func heapPush(q *requestQueue, r *multiRequest) { heap.Push(q, r) }
+
+func heapPop(q *requestQueue) *multiRequest {
+	popped, ok := heap.Pop(q).(*multiRequest)
+	if !ok {
+		panic("core: heapPop type")
+	}
+	return popped
+}

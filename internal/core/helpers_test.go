@@ -1,0 +1,27 @@
+package core
+
+import (
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/glwire"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// frameEncoder round-trips commands through the wire codec, resolving
+// deferred vertex pointers against a game's array table — the same
+// transformation the client applies before shipping.
+type frameEncoder struct {
+	enc *glwire.Encoder
+	dec glwire.Decoder
+}
+
+func newFrameEncoder(g *workload.Game) *frameEncoder {
+	return &frameEncoder{enc: glwire.NewEncoder(g.Arrays())}
+}
+
+func (f *frameEncoder) encodeAll(cmds []gles.Command) ([]gles.Command, error) {
+	buf, err := f.enc.EncodeAll(nil, cmds)
+	if err != nil {
+		return nil, err
+	}
+	return f.dec.DecodeAll(buf)
+}

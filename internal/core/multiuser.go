@@ -1,0 +1,316 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file implements the paper's §VIII "Towards Multiple Users"
+// extension: one service device serving several user devices at once.
+// The baseline design the paper describes queues incoming rendering
+// requests and submits them to the GPU first-come-first-served; the
+// paper then observes FCFS is "problematic for time-critical
+// applications" — a fast-paced shooter queued behind a chess game waits
+// needlessly — and proposes priority scheduling. Both policies are
+// implemented here, so the FCFS-vs-priority comparison the paper leaves
+// as future work is an experiment in this repository.
+
+// SchedPolicy selects how a shared service device orders requests.
+type SchedPolicy int
+
+// Policies.
+const (
+	// SchedFCFS is the paper's §VIII baseline: strict arrival order.
+	SchedFCFS SchedPolicy = iota + 1
+	// SchedPriority serves higher-priority clients first (arrival order
+	// within a class) — the paper's proposed improvement for
+	// time-critical applications.
+	SchedPriority
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedFCFS:
+		return "fcfs"
+	case SchedPriority:
+		return "priority"
+	default:
+		return fmt.Sprintf("SchedPolicy(%d)", int(p))
+	}
+}
+
+// Multi-user errors.
+var (
+	ErrUnknownClient = errors.New("core: unknown client")
+	ErrServerClosed  = errors.New("core: multi-user server closed")
+)
+
+// multiRequest is one queued rendering request.
+type multiRequest struct {
+	clientID string
+	priority int // higher first under SchedPriority
+	arrival  uint64
+	msg      []byte
+	reply    chan multiReply
+	index    int
+}
+
+type multiReply struct {
+	data []byte
+	err  error
+}
+
+// requestQueue orders requests by the active policy.
+type requestQueue struct {
+	policy SchedPolicy
+	items  []*multiRequest
+}
+
+func (q *requestQueue) Len() int { return len(q.items) }
+
+func (q *requestQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if q.policy == SchedPriority && a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.arrival < b.arrival
+}
+
+func (q *requestQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *requestQueue) Push(x any) {
+	req, ok := x.(*multiRequest)
+	if !ok {
+		panic("core: requestQueue.Push given non-request")
+	}
+	req.index = len(q.items)
+	q.items = append(q.items, req)
+}
+
+func (q *requestQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	req := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return req
+}
+
+// MultiServer shares one service device's GPU among several clients.
+// Each client gets its own GL context, command cache, and frame encoder
+// (contexts are per-application state), but requests funnel through one
+// execution queue — the GPU executes rendering requests
+// non-preemptively (§VI-A), one at a time.
+type MultiServer struct {
+	cfg    ServerConfig
+	policy SchedPolicy
+
+	mu       sync.Mutex
+	sessions map[string]*multiSession
+	queue    requestQueue
+	arrival  uint64
+	notEmpty *sync.Cond
+	closed   bool
+
+	wg sync.WaitGroup
+
+	stats MultiStats
+}
+
+type multiSession struct {
+	server   *Server
+	priority int
+}
+
+// MultiStats counts shared-device behaviour.
+type MultiStats struct {
+	Requests    int64
+	PerClient   map[string]int64
+	MaxQueueLen int
+}
+
+// NewMultiServer builds a shared service device with the given
+// scheduling policy and starts its single GPU worker.
+func NewMultiServer(cfg ServerConfig, policy SchedPolicy) (*MultiServer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("%w: resolution %dx%d", ErrBadMessage, cfg.Width, cfg.Height)
+	}
+	if policy != SchedFCFS && policy != SchedPriority {
+		policy = SchedFCFS
+	}
+	m := &MultiServer{
+		cfg:      cfg,
+		policy:   policy,
+		sessions: make(map[string]*multiSession),
+		queue:    requestQueue{policy: policy},
+		stats:    MultiStats{PerClient: make(map[string]int64)},
+	}
+	m.notEmpty = sync.NewCond(&m.mu)
+	m.wg.Add(1)
+	go m.worker()
+	return m, nil
+}
+
+// AddClient registers a client with a scheduling priority (higher is
+// more time-critical; only SchedPriority uses it).
+func (m *MultiServer) AddClient(id string, priority int) error {
+	srv, err := NewServer(m.cfg)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrServerClosed
+	}
+	if _, dup := m.sessions[id]; dup {
+		return fmt.Errorf("core: client %q already registered", id)
+	}
+	m.sessions[id] = &multiSession{server: srv, priority: priority}
+	return nil
+}
+
+// Submit enqueues one client message and blocks until the GPU worker
+// has executed it, returning the reply (nil for state updates).
+func (m *MultiServer) Submit(clientID string, msg []byte) ([]byte, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	sess, ok := m.sessions[clientID]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	req := &multiRequest{
+		clientID: clientID,
+		priority: sess.priority,
+		arrival:  m.arrival,
+		msg:      msg,
+		reply:    make(chan multiReply, 1),
+	}
+	m.arrival++
+	heap.Push(&m.queue, req)
+	if m.queue.Len() > m.stats.MaxQueueLen {
+		m.stats.MaxQueueLen = m.queue.Len()
+	}
+	m.notEmpty.Signal()
+	m.mu.Unlock()
+
+	r := <-req.reply
+	return r.data, r.err
+}
+
+// worker is the single GPU execution loop: requests run one at a time,
+// non-preemptively, in policy order.
+func (m *MultiServer) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for m.queue.Len() == 0 && !m.closed {
+			m.notEmpty.Wait()
+		}
+		if m.closed && m.queue.Len() == 0 {
+			m.mu.Unlock()
+			return
+		}
+		popped, ok := heap.Pop(&m.queue).(*multiRequest)
+		if !ok {
+			m.mu.Unlock()
+			continue
+		}
+		sess := m.sessions[popped.clientID]
+		m.stats.Requests++
+		m.stats.PerClient[popped.clientID]++
+		m.mu.Unlock()
+
+		data, err := sess.server.Handle(popped.msg)
+		popped.reply <- multiReply{data: data, err: err}
+	}
+}
+
+// Stats snapshots the shared-device counters.
+func (m *MultiServer) Stats() MultiStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MultiStats{
+		Requests:    m.stats.Requests,
+		MaxQueueLen: m.stats.MaxQueueLen,
+		PerClient:   make(map[string]int64, len(m.stats.PerClient)),
+	}
+	for k, v := range m.stats.PerClient {
+		out.PerClient[k] = v
+	}
+	return out
+}
+
+// SessionSnapshot exposes one client's GL-state fingerprint.
+func (m *MultiServer) SessionSnapshot(clientID string) (any, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sess, ok := m.sessions[clientID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	return sess.server.Snapshot(), nil
+}
+
+// Close drains the queue and stops the worker. Pending requests still
+// execute; new Submits fail.
+func (m *MultiServer) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.notEmpty.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// SubmitAsync enqueues a message without waiting for execution; the
+// returned channel delivers the reply. Load generators in the
+// multi-user experiments use it to keep the queue saturated.
+func (m *MultiServer) SubmitAsync(clientID string, msg []byte) (<-chan error, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	sess, ok := m.sessions[clientID]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	req := &multiRequest{
+		clientID: clientID,
+		priority: sess.priority,
+		arrival:  m.arrival,
+		msg:      msg,
+		reply:    make(chan multiReply, 1),
+	}
+	m.arrival++
+	heap.Push(&m.queue, req)
+	if m.queue.Len() > m.stats.MaxQueueLen {
+		m.stats.MaxQueueLen = m.queue.Len()
+	}
+	m.notEmpty.Signal()
+	m.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		r := <-req.reply
+		done <- r.err
+	}()
+	return done, nil
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/cmdcache"
+	"github.com/gbooster/gbooster/internal/glwire"
+	"github.com/gbooster/gbooster/internal/lz4"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// buildBatch serializes one game frame into a MsgFrameBatch for a
+// client of a MultiServer. Each client needs its own encoder/cache
+// mirror, so the helper owns them.
+type batchBuilder struct {
+	game  *workload.Game
+	enc   *glwire.Encoder
+	cache *clientCache
+	seq   uint64
+}
+
+// clientCache mirrors the server-side cache for one session.
+type clientCache struct {
+	c *cmdcache.Cache
+}
+
+func newMirrorCache() *cmdcache.Cache { return cmdcache.New(0) }
+
+func newBatchBuilder(t *testing.T, id string, seed uint64) *batchBuilder {
+	t.Helper()
+	prof, err := workload.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	game := workload.NewGame(prof, seed)
+	return &batchBuilder{
+		game:  game,
+		enc:   glwire.NewEncoder(game.Arrays()),
+		cache: &clientCache{c: newMirrorCache()},
+	}
+}
+
+func (b *batchBuilder) next(t *testing.T) []byte {
+	t.Helper()
+	buf, err := b.enc.EncodeAll(nil, b.game.NextFrame().Commands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := glwire.SplitRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, _, err := b.cache.c.EncodeAll(nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := encodeMsg(MsgFrameBatch, b.seq, lz4.Compress(nil, wire))
+	b.seq++
+	return msg
+}
+
+func TestSchedPolicyString(t *testing.T) {
+	if SchedFCFS.String() != "fcfs" || SchedPriority.String() != "priority" ||
+		SchedPolicy(9).String() == "" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestMultiServerValidation(t *testing.T) {
+	if _, err := NewMultiServer(ServerConfig{}, SchedFCFS); err == nil {
+		t.Fatal("zero-size multi server accepted")
+	}
+	m, err := NewMultiServer(ServerConfig{Width: 32, Height: 32}, SchedFCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.AddClient("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddClient("a", 0); err == nil {
+		t.Fatal("duplicate client accepted")
+	}
+	if _, err := m.Submit("ghost", encodeMsg(MsgStateUpdate, 0, nil)); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("unknown client error = %v", err)
+	}
+	if _, err := m.SessionSnapshot("ghost"); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("unknown snapshot error = %v", err)
+	}
+}
+
+func TestMultiServerIsolatesClientState(t *testing.T) {
+	// Two clients with different games share the device; their GL
+	// contexts must not bleed into each other.
+	m, err := NewMultiServer(ServerConfig{Width: 64, Height: 48}, SchedFCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, id := range []string{"shooter", "puzzle"} {
+		if err := m.AddClient(id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shooter := newBatchBuilder(t, "G1", 1)
+	puzzle := newBatchBuilder(t, "G5", 2)
+	for i := 0; i < 4; i++ {
+		if _, err := m.Submit("shooter", shooter.next(t)); err != nil {
+			t.Fatalf("shooter frame %d: %v", i, err)
+		}
+		if _, err := m.Submit("puzzle", puzzle.next(t)); err != nil {
+			t.Fatalf("puzzle frame %d: %v", i, err)
+		}
+	}
+	a, err := m.SessionSnapshot("shooter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SessionSnapshot("puzzle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different games produced identical context fingerprints; state bleeding?")
+	}
+	st := m.Stats()
+	if st.Requests != 8 || st.PerClient["shooter"] != 4 || st.PerClient["puzzle"] != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMultiServerFramesStillDecode(t *testing.T) {
+	m, err := NewMultiServer(ServerConfig{Width: 64, Height: 48}, SchedPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.AddClient("c", 5); err != nil {
+		t.Fatal(err)
+	}
+	b := newBatchBuilder(t, "G6", 3)
+	reply, err := m.Submit("c", b.next(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, seq, payload, err := decodeMsg(reply)
+	if err != nil || typ != MsgEncodedFrame || seq != 0 || len(payload) == 0 {
+		t.Fatalf("reply: type=%d seq=%d len=%d err=%v", typ, seq, len(payload), err)
+	}
+}
+
+func TestPrioritySchedulingJumpsQueue(t *testing.T) {
+	// Flood the queue with low-priority requests, then submit one
+	// high-priority request: under SchedPriority it must execute before
+	// (almost all of) the backlog; under SchedFCFS it waits for
+	// everything that arrived first.
+	run := func(policy SchedPolicy) (queuedBefore int64, err error) {
+		m, err := NewMultiServer(ServerConfig{Width: 64, Height: 48}, policy)
+		if err != nil {
+			return 0, err
+		}
+		defer m.Close()
+		if err := m.AddClient("chess", 0); err != nil {
+			return 0, err
+		}
+		if err := m.AddClient("shooter", 10); err != nil {
+			return 0, err
+		}
+		chess := newBatchBuilder(t, "G4", 4)
+		shooter := newBatchBuilder(t, "G2", 5)
+
+		// Pre-build the backlog so enqueueing is instantaneous and a
+		// real queue forms ahead of the shooter's request. The backlog
+		// is large (tens of milliseconds of GPU work) so scheduler
+		// noise cannot drain it before the shooter submits.
+		const backlog = 150
+		msgs := make([][]byte, 0, backlog)
+		for i := 0; i < backlog; i++ {
+			msgs = append(msgs, chess.next(t))
+		}
+		shooterMsg := shooter.next(t) // built ahead: submission must be instant
+		var done []<-chan error
+		for _, msg := range msgs {
+			ch, err := m.SubmitAsync("chess", msg)
+			if err != nil {
+				return 0, err
+			}
+			done = append(done, ch)
+		}
+		// One time-critical request lands behind the backlog.
+		if _, err := m.Submit("shooter", shooterMsg); err != nil {
+			return 0, err
+		}
+		served := m.Stats().PerClient["chess"]
+		for _, ch := range done {
+			if err := <-ch; err != nil {
+				return 0, err
+			}
+		}
+		return served, nil
+	}
+	fcfsServed, err := run(SchedFCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prioServed, err := run(SchedPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FCFS: the entire backlog executes before the shooter's request.
+	if fcfsServed < 140 {
+		t.Fatalf("FCFS served only %d chess requests before the shooter", fcfsServed)
+	}
+	// Priority: the shooter overtakes most of the queue.
+	if prioServed > fcfsServed/2 {
+		t.Fatalf("priority scheduling served %d chess requests before the shooter (fcfs: %d)",
+			prioServed, fcfsServed)
+	}
+}
+
+func TestRequestQueueOrderingDeterministic(t *testing.T) {
+	// The scheduling property itself, without worker timing: a
+	// high-priority request entering behind a low-priority backlog pops
+	// first under SchedPriority and last under SchedFCFS; ties keep
+	// arrival order.
+	build := func(policy SchedPolicy) *requestQueue {
+		q := &requestQueue{policy: policy}
+		for i := 0; i < 5; i++ {
+			pushRequest(q, &multiRequest{clientID: "low", priority: 0, arrival: uint64(i)})
+		}
+		pushRequest(q, &multiRequest{clientID: "high", priority: 10, arrival: 5})
+		return q
+	}
+	q := build(SchedPriority)
+	first := popRequest(q)
+	if first.clientID != "high" {
+		t.Fatalf("priority queue popped %q first", first.clientID)
+	}
+	var lastArrival uint64
+	for q.Len() > 0 {
+		r := popRequest(q)
+		if r.arrival < lastArrival {
+			t.Fatal("same-priority requests out of arrival order")
+		}
+		lastArrival = r.arrival
+	}
+	q = build(SchedFCFS)
+	for i := 0; i < 5; i++ {
+		if r := popRequest(q); r.clientID != "low" {
+			t.Fatalf("FCFS popped %q at position %d", r.clientID, i)
+		}
+	}
+	if r := popRequest(q); r.clientID != "high" {
+		t.Fatalf("FCFS popped %q last", r.clientID)
+	}
+}
+
+func TestMultiServerCloseRejectsNewWork(t *testing.T) {
+	m, err := NewMultiServer(ServerConfig{Width: 16, Height: 16}, SchedFCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddClient("c", 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close() // idempotent
+	if _, err := m.Submit("c", encodeMsg(MsgStateUpdate, 0, nil)); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("submit after close error = %v", err)
+	}
+	if err := m.AddClient("d", 0); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("add after close error = %v", err)
+	}
+}
+
+func TestMultiServerConcurrentClients(t *testing.T) {
+	// Hammer the shared device from several goroutines; everything must
+	// complete without data races (run with -race) and produce replies.
+	m, err := NewMultiServer(ServerConfig{Width: 48, Height: 32}, SchedPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const clients = 4
+	builders := make([]*batchBuilder, clients)
+	ids := []string{"a", "b", "c", "d"}
+	games := []string{"G1", "G3", "G5", "A1"}
+	for i := 0; i < clients; i++ {
+		if err := m.AddClient(ids[i], i); err != nil {
+			t.Fatal(err)
+		}
+		builders[i] = newBatchBuilder(t, games[i], uint64(10+i))
+	}
+	// Pre-build batches on the main goroutine (builders are not
+	// thread-safe), then submit concurrently.
+	const rounds = 6
+	batches := make([][][]byte, clients)
+	for i := range builders {
+		for r := 0; r < rounds; r++ {
+			batches[i] = append(batches[i], builders[i].next(t))
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := m.Submit(ids[i], batches[i][r]); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Requests != clients*rounds {
+		t.Fatalf("requests = %d, want %d", st.Requests, clients*rounds)
+	}
+}
+
+// heap helpers for the deterministic queue test.
+func pushRequest(q *requestQueue, r *multiRequest) {
+	r.reply = make(chan multiReply, 1)
+	heapPush(q, r)
+}
+
+func popRequest(q *requestQueue) *multiRequest { return heapPop(q) }

@@ -1,0 +1,63 @@
+// Package core is the GBooster runtime: the client wrapper that
+// intercepts an application's GLES calls and ships them out, and the
+// service-device server that replays them on a GPU and streams encoded
+// frames back. It composes every substrate the paper describes —
+// dynamic-linker hooking (hook), wire serialization with deferred
+// vertex pointers (glwire), the mirrored LRU command cache (cmdcache),
+// LZ4 stream compression (lz4), reliable UDP (rudp), the turbo frame
+// codec (turbo), Eq. 4 multi-device dispatch with state replication and
+// sequence-number reordering (dispatch), and the software GPU (gles).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Message types on the reliable channel.
+const (
+	// MsgFrameBatch carries one rendering request: the LZ4-compressed,
+	// cache-filtered command records of a frame, plus its sequence
+	// number. The receiving server executes it and replies.
+	MsgFrameBatch = 1
+	// MsgEncodedFrame is the server's reply: the turbo packet of the
+	// rendered frame, echoing the request's sequence number.
+	MsgEncodedFrame = 2
+	// MsgStateUpdate replicates state-mutating commands to servers that
+	// were NOT assigned the frame (§VI-B consistency). No reply.
+	MsgStateUpdate = 3
+)
+
+// Protocol errors.
+var (
+	ErrBadMessage = errors.New("core: malformed message")
+	ErrClosed     = errors.New("core: closed")
+)
+
+// FrameBatchMsg frames a rendering-request message for external
+// drivers (experiments) that speak the protocol directly.
+func FrameBatchMsg(seq uint64, payload []byte) []byte {
+	return encodeMsg(MsgFrameBatch, seq, payload)
+}
+
+// encodeMsg frames a message: type byte, uvarint seq, payload.
+func encodeMsg(msgType byte, seq uint64, payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+10)
+	out = append(out, msgType)
+	out = binary.AppendUvarint(out, seq)
+	return append(out, payload...)
+}
+
+// decodeMsg splits a framed message.
+func decodeMsg(msg []byte) (msgType byte, seq uint64, payload []byte, err error) {
+	if len(msg) < 2 {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrBadMessage, len(msg))
+	}
+	msgType = msg[0]
+	seq, n := binary.Uvarint(msg[1:])
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: bad seq", ErrBadMessage)
+	}
+	return msgType, seq, msg[1+n:], nil
+}

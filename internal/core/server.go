@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/cmdcache"
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/glwire"
+	"github.com/gbooster/gbooster/internal/lz4"
+	"github.com/gbooster/gbooster/internal/rudp"
+	"github.com/gbooster/gbooster/internal/turbo"
+)
+
+// ServerConfig parameterizes a service-device endpoint.
+type ServerConfig struct {
+	// Width, Height is the streaming resolution (must match the
+	// client).
+	Width, Height int
+	// Quality is the turbo codec quality (default turbo.DefaultQuality).
+	Quality int
+	// CacheBytes bounds the mirrored command cache (default
+	// cmdcache.DefaultCapacity).
+	CacheBytes int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Quality <= 0 {
+		c.Quality = turbo.DefaultQuality
+	}
+	return c
+}
+
+// ServerStats counts server work.
+type ServerStats struct {
+	FramesRendered  int64
+	StateUpdates    int64
+	BytesIn         int64
+	BytesOut        int64
+	FragmentsShaded int64
+	ExecErrors      int64
+}
+
+// Server is one service device: it replays command streams on its GPU
+// and returns turbo-encoded frames (§IV-C). A server handles one client
+// connection; the paper's multi-user mode runs one Server per client in
+// FCFS order.
+type Server struct {
+	cfg   ServerConfig
+	gpu   *gles.GPU
+	enc   *turbo.Encoder
+	cache *cmdcache.Cache
+	dec   glwire.Decoder
+
+	mu    sync.Mutex
+	stats ServerStats
+}
+
+// NewServer builds a server with a fresh GPU context.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("%w: resolution %dx%d", ErrBadMessage, cfg.Width, cfg.Height)
+	}
+	return &Server{
+		cfg:   cfg,
+		gpu:   gles.NewGPU(cfg.Width, cfg.Height),
+		enc:   turbo.NewEncoder(cfg.Width, cfg.Height, cfg.Quality),
+		cache: cmdcache.New(cfg.CacheBytes),
+	}, nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.FragmentsShaded = s.gpu.FragmentsShaded
+	return s.stats
+}
+
+// Serve processes messages from conn until it closes. It replies to
+// frame batches with encoded frames on the same connection.
+func (s *Server) Serve(conn *rudp.Conn) error {
+	for {
+		msg, err := conn.Recv(0)
+		if err != nil {
+			if err == rudp.ErrClosed {
+				return nil
+			}
+			return fmt.Errorf("core: server recv: %w", err)
+		}
+		reply, err := s.Handle(msg)
+		if err != nil {
+			return err
+		}
+		if reply != nil {
+			if err := conn.Send(reply); err != nil {
+				return fmt.Errorf("core: server send: %w", err)
+			}
+		}
+	}
+}
+
+// Handle processes one message and returns the reply to send (nil for
+// state updates). Exposed so simulations can drive a server without a
+// transport.
+func (s *Server) Handle(msg []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.BytesIn += int64(len(msg))
+	msgType, seq, payload, err := decodeMsg(msg)
+	if err != nil {
+		return nil, err
+	}
+	switch msgType {
+	case MsgFrameBatch:
+		frame, err := s.executeBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		if frame == nil {
+			return nil, nil // batch without a SwapBuffers boundary
+		}
+		pkt, err := s.enc.Encode(frame, false)
+		if err != nil {
+			return nil, fmt.Errorf("core: encode frame: %w", err)
+		}
+		s.stats.FramesRendered++
+		reply := encodeMsg(MsgEncodedFrame, seq, pkt)
+		s.stats.BytesOut += int64(len(reply))
+		return reply, nil
+	case MsgStateUpdate:
+		if _, err := s.executeBatch(payload); err != nil {
+			return nil, err
+		}
+		s.stats.StateUpdates++
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrBadMessage, msgType)
+	}
+}
+
+// executeBatch decompresses, cache-decodes, deserializes, and executes
+// one batch. It returns the framebuffer when the batch ended a frame.
+func (s *Server) executeBatch(payload []byte) ([]byte, error) {
+	raw, err := lz4.Decompress(nil, payload, lz4.MaxBlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: lz4: %w", err)
+	}
+	recs, err := s.cache.DecodeAll(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: cache: %w", err)
+	}
+	frameDone := false
+	for _, rec := range recs {
+		cmd, _, err := s.dec.Decode(rec)
+		if err != nil {
+			return nil, fmt.Errorf("core: wire: %w", err)
+		}
+		res, err := s.gpu.Execute(cmd)
+		if err != nil {
+			// Driver-style diagnostics: record and continue, like a
+			// real GPU raising GL errors without dying.
+			s.stats.ExecErrors++
+		}
+		if res.FrameDone {
+			frameDone = true
+		}
+	}
+	if !frameDone {
+		return nil, nil
+	}
+	return s.gpu.FB.Pix, nil
+}
+
+// Snapshot exposes the server's GL context fingerprint for the §VI-B
+// consistency checks.
+func (s *Server) Snapshot() gles.StateSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gpu.Ctx.Snapshot()
+}
+
+// ServeWithTimeout is Serve with an idle timeout, for tests that must
+// terminate even if the peer forgets to close.
+func (s *Server) ServeWithTimeout(conn *rudp.Conn, idle time.Duration) error {
+	for {
+		msg, err := conn.Recv(idle)
+		if err != nil {
+			if err == rudp.ErrClosed || err == rudp.ErrTimeout {
+				return nil
+			}
+			return fmt.Errorf("core: server recv: %w", err)
+		}
+		reply, err := s.Handle(msg)
+		if err != nil {
+			return err
+		}
+		if reply != nil {
+			if err := conn.Send(reply); err != nil {
+				return fmt.Errorf("core: server send: %w", err)
+			}
+		}
+	}
+}

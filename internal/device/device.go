@@ -1,0 +1,243 @@
+// Package device catalogs the hardware the paper evaluates on
+// (Table I, §VII-A): user smartphones (Nexus 5, LG G4, LG G5) and
+// service devices (Nvidia Shield console, Minix Neo U1 TV box, Dell
+// M4600 laptop, Dell Optiplex 9010 + GTX 750 Ti desktops). Each entry
+// carries the capability numbers the paper's analysis turns on: GPU
+// fillrate, CPU capability, frame-encoder throughput, cooling, display
+// power, and radio inventory.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/netsim"
+	"github.com/gbooster/gbooster/internal/thermal"
+)
+
+// Catalog errors.
+var ErrUnknownDevice = errors.New("device: unknown device")
+
+// GPUSpec describes a GPU's rendering capability.
+type GPUSpec struct {
+	// FillrateGPps is the peak fillrate in gigapixels/second — the
+	// capability metric Table I uses.
+	FillrateGPps float64
+	// Thermal configures the DVFS governor; actively cooled devices
+	// never throttle.
+	Thermal thermal.Config
+}
+
+// CPUSpec describes a CPU's capability for the offload pipeline's
+// CPU-side stages (game logic, serialization, compression, decode).
+type CPUSpec struct {
+	GHz   float64
+	Cores int
+}
+
+// EffectiveGHz is the aggregate capability a well-threaded pipeline can
+// draw on (diminishing returns beyond 4 cores).
+func (c CPUSpec) EffectiveGHz() float64 {
+	cores := float64(c.Cores)
+	if cores > 4 {
+		cores = 4 + (cores-4)*0.25
+	}
+	return c.GHz * cores
+}
+
+// UserDevice is a phone running the game.
+type UserDevice struct {
+	Name string
+	Year int
+	GPU  GPUSpec
+	CPU  CPUSpec
+	// ScreenW, ScreenH is the render resolution GBooster streams at
+	// (the paper's low-quality setting is 600×480; we keep per-device
+	// values near the panel aspect).
+	ScreenW, ScreenH int
+	// DisplayPowerW is panel+backlight power at the 50% brightness the
+	// power experiments use.
+	DisplayPowerW float64
+	// CPUActivePowerW is CPU package power at full effective load;
+	// CPUIdlePowerW at rest.
+	CPUActivePowerW, CPUIdlePowerW float64
+	// WiFi and Bluetooth are the radio specs for the switching layer.
+	WiFi, Bluetooth netsim.RadioSpec
+}
+
+// ServiceDevice is an offload destination.
+type ServiceDevice struct {
+	Name string
+	GPU  GPUSpec
+	CPU  CPUSpec
+	// EncoderMPps is the turbo-codec throughput in megapixels/second on
+	// this device's CPU (the paper: ~1 MP/s for x264 on ARM, up to
+	// 90 MP/s for turbo on PCs; weaker ARM boxes run turbo slower).
+	EncoderMPps float64
+	// RTT is the LAN round-trip to the user device.
+	RTT time.Duration
+}
+
+// Capability implements Eq. 4's c^j: requests are dispatched by
+// workload/capability + queue + latency. It folds render fillrate and
+// encoder throughput into a single fragments/second figure by assuming
+// the calibrated fragments-per-output-pixel ratio of the workloads.
+func (s ServiceDevice) Capability(fragmentsPerPixel float64) float64 {
+	renderFPS := s.GPU.FillrateGPps * 1e9 // fragments/sec
+	encodeFPS := s.EncoderMPps * 1e6 * fragmentsPerPixel
+	// Stages are serial per request: combined rate is the harmonic
+	// composition.
+	if renderFPS <= 0 || encodeFPS <= 0 {
+		return 0
+	}
+	return 1 / (1/renderFPS + 1/encodeFPS)
+}
+
+// Nexus5 returns the 2013 phone (the paper's old-generation device).
+// Its Adreno 330 matches the Galaxy S5 row of Table I (3.6 GP/s).
+func Nexus5() UserDevice {
+	return UserDevice{
+		Name: "LG Nexus 5", Year: 2013,
+		GPU:             GPUSpec{FillrateGPps: 3.6, Thermal: thermal.PhoneGPU()},
+		CPU:             CPUSpec{GHz: 2.26, Cores: 4},
+		ScreenW:         600,
+		ScreenH:         480,
+		DisplayPowerW:   0.4,
+		CPUActivePowerW: 0.9, CPUIdlePowerW: 0.15,
+		WiFi: netsim.WiFi80211n(), Bluetooth: netsim.BluetoothHS(),
+	}
+}
+
+// LGG4 returns the 2015 phone (used for the Fig. 1 thermal trace).
+func LGG4() UserDevice {
+	return UserDevice{
+		Name: "LG G4", Year: 2015,
+		GPU:             GPUSpec{FillrateGPps: 4.8, Thermal: thermal.PhoneGPU()},
+		CPU:             CPUSpec{GHz: 1.8, Cores: 6},
+		ScreenW:         600,
+		ScreenH:         480,
+		DisplayPowerW:   0.42,
+		CPUActivePowerW: 0.95, CPUIdlePowerW: 0.15,
+		WiFi: netsim.WiFi80211n(), Bluetooth: netsim.BluetoothHS(),
+	}
+}
+
+// LGG5 returns the 2016 phone (the paper's new-generation device,
+// Table I: 6.7 GP/s).
+func LGG5() UserDevice {
+	return UserDevice{
+		Name: "LG G5", Year: 2016,
+		GPU:             GPUSpec{FillrateGPps: 6.7, Thermal: thermal.PhoneGPU()},
+		CPU:             CPUSpec{GHz: 2.15, Cores: 4},
+		ScreenW:         600,
+		ScreenH:         480,
+		DisplayPowerW:   0.42,
+		CPUActivePowerW: 1.0, CPUIdlePowerW: 0.15,
+		WiFi: netsim.WiFi80211n(), Bluetooth: netsim.BluetoothHS(),
+	}
+}
+
+// NvidiaShield returns the game console used as the primary service
+// device (§VII-A; 16 GP/s fillrate per the paper's §II).
+func NvidiaShield() ServiceDevice {
+	return ServiceDevice{
+		Name:        "Nvidia Shield",
+		GPU:         GPUSpec{FillrateGPps: 16, Thermal: thermal.CooledGPU()},
+		CPU:         CPUSpec{GHz: 2.0, Cores: 4},
+		EncoderMPps: 14, // turbo on an ARM console CPU
+		RTT:         3 * time.Millisecond,
+	}
+}
+
+// MinixNeoU1 returns the smart-TV box.
+func MinixNeoU1() ServiceDevice {
+	return ServiceDevice{
+		Name:        "Minix Neo U1",
+		GPU:         GPUSpec{FillrateGPps: 5.2, Thermal: thermal.CooledGPU()},
+		CPU:         CPUSpec{GHz: 1.5, Cores: 4},
+		EncoderMPps: 11,
+		RTT:         3 * time.Millisecond,
+	}
+}
+
+// DellM4600 returns the laptop service device.
+func DellM4600() ServiceDevice {
+	return ServiceDevice{
+		Name:        "Dell M4600",
+		GPU:         GPUSpec{FillrateGPps: 10.4, Thermal: thermal.CooledGPU()},
+		CPU:         CPUSpec{GHz: 2.4, Cores: 4},
+		EncoderMPps: 55,
+		RTT:         3 * time.Millisecond,
+	}
+}
+
+// OptiplexGTX750 returns a desktop with the GTX 750 Ti used for the
+// multi-device experiments (§VII-D).
+func OptiplexGTX750() ServiceDevice {
+	return ServiceDevice{
+		Name:        "Dell Optiplex 9010 + GTX 750 Ti",
+		GPU:         GPUSpec{FillrateGPps: 16.3, Thermal: thermal.CooledGPU()},
+		CPU:         CPUSpec{GHz: 3.2, Cores: 4},
+		EncoderMPps: 90, // the paper's peak turbo figure on PC
+		RTT:         3 * time.Millisecond,
+	}
+}
+
+// UserDeviceByName resolves a catalog phone.
+func UserDeviceByName(name string) (UserDevice, error) {
+	switch name {
+	case "nexus5", "Nexus 5", "LG Nexus 5":
+		return Nexus5(), nil
+	case "lgg4", "LG G4":
+		return LGG4(), nil
+	case "lgg5", "LG G5":
+		return LGG5(), nil
+	default:
+		return UserDevice{}, fmt.Errorf("%w: %q", ErrUnknownDevice, name)
+	}
+}
+
+// ServiceDeviceByName resolves a catalog service device.
+func ServiceDeviceByName(name string) (ServiceDevice, error) {
+	switch name {
+	case "shield", "Nvidia Shield":
+		return NvidiaShield(), nil
+	case "minix", "Minix Neo U1":
+		return MinixNeoU1(), nil
+	case "m4600", "Dell M4600":
+		return DellM4600(), nil
+	case "optiplex", "Dell Optiplex 9010 + GTX 750 Ti":
+		return OptiplexGTX750(), nil
+	default:
+		return ServiceDevice{}, fmt.Errorf("%w: %q", ErrUnknownDevice, name)
+	}
+}
+
+// TableIRow is one column of the paper's Table I (game requirement vs
+// phone capability per year).
+type TableIRow struct {
+	Year        int
+	ReqCPUGHz   float64
+	ReqCPUCores int
+	ReqGPUGPps  float64
+	DeviceName  string
+	DevCPUGHz   float64
+	DevCPUCores int
+	DevGPUGPps  float64
+}
+
+// TableI reproduces the paper's Table I verbatim: game recommended
+// requirements against the mainstream phone of the same year. The GPU
+// rows match exactly — the paper's point is that GPUs, not CPUs, are
+// the binding constraint.
+func TableI() []TableIRow {
+	return []TableIRow{
+		{Year: 2014, ReqCPUGHz: 1.5, ReqCPUCores: 1, ReqGPUGPps: 3.6,
+			DeviceName: "Samsung Galaxy S5", DevCPUGHz: 2.5, DevCPUCores: 4, DevGPUGPps: 3.6},
+		{Year: 2015, ReqCPUGHz: 1.0, ReqCPUCores: 1, ReqGPUGPps: 4.8,
+			DeviceName: "LG G4", DevCPUGHz: 1.8, DevCPUCores: 6, DevGPUGPps: 4.8},
+		{Year: 2016, ReqCPUGHz: 1.2, ReqCPUCores: 2, ReqGPUGPps: 6.7,
+			DeviceName: "LG G5", DevCPUGHz: 2.15, DevCPUCores: 4, DevGPUGPps: 6.7},
+	}
+}

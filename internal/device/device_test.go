@@ -1,0 +1,120 @@
+package device
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCatalogGPURatiosMatchPaper(t *testing.T) {
+	n5, g5 := Nexus5(), LGG5()
+	// The paper: LG G5 runs action games at roughly 2x the Nexus 5
+	// frame rate, reflecting its fillrate advantage.
+	ratio := g5.GPU.FillrateGPps / n5.GPU.FillrateGPps
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("G5/N5 fillrate ratio = %.2f, want ~1.9", ratio)
+	}
+	shield := NvidiaShield()
+	if shield.GPU.FillrateGPps != 16 {
+		t.Fatalf("Shield fillrate = %v, paper says 16 GP/s", shield.GPU.FillrateGPps)
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 3 {
+		t.Fatalf("Table I has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's point: GPU requirement equals device capability
+		// (GPUs are saturated) while CPU capability exceeds requirement.
+		if r.ReqGPUGPps != r.DevGPUGPps {
+			t.Errorf("%d: GPU req %.1f != capability %.1f", r.Year, r.ReqGPUGPps, r.DevGPUGPps)
+		}
+		if r.DevCPUGHz*float64(r.DevCPUCores) <= r.ReqCPUGHz*float64(r.ReqCPUCores) {
+			t.Errorf("%d: CPU capability should exceed requirement", r.Year)
+		}
+	}
+	if rows[0].Year != 2014 || rows[1].Year != 2015 || rows[2].Year != 2016 {
+		t.Fatal("Table I years wrong")
+	}
+}
+
+func TestServiceDevicesAreCooled(t *testing.T) {
+	for _, s := range []ServiceDevice{NvidiaShield(), MinixNeoU1(), DellM4600(), OptiplexGTX750()} {
+		if s.GPU.Thermal.CoolPerSec <= Nexus5().GPU.Thermal.CoolPerSec {
+			t.Errorf("%s is not actively cooled", s.Name)
+		}
+		if s.RTT <= 0 {
+			t.Errorf("%s has no LAN RTT", s.Name)
+		}
+	}
+}
+
+func TestCapabilityComposition(t *testing.T) {
+	s := NvidiaShield()
+	c := s.Capability(1.5)
+	if c <= 0 {
+		t.Fatalf("capability = %v", c)
+	}
+	// Combined rate is below each stage's individual rate.
+	if c >= s.GPU.FillrateGPps*1e9 || c >= s.EncoderMPps*1e6*1.5 {
+		t.Fatalf("capability %v not harmonically composed", c)
+	}
+	// A faster encoder strictly increases capability.
+	fast := s
+	fast.EncoderMPps *= 2
+	if fast.Capability(1.5) <= c {
+		t.Fatal("capability not monotone in encoder speed")
+	}
+	var zero ServiceDevice
+	if zero.Capability(1) != 0 {
+		t.Fatal("zero device capability should be 0")
+	}
+}
+
+func TestEffectiveGHzDiminishingReturns(t *testing.T) {
+	quad := CPUSpec{GHz: 2, Cores: 4}
+	octa := CPUSpec{GHz: 2, Cores: 8}
+	if octa.EffectiveGHz() <= quad.EffectiveGHz() {
+		t.Fatal("more cores should help some")
+	}
+	if octa.EffectiveGHz() >= 2*quad.EffectiveGHz() {
+		t.Fatal("8 cores should not double 4-core effective capability")
+	}
+}
+
+func TestDeviceLookup(t *testing.T) {
+	for _, name := range []string{"nexus5", "lgg4", "lgg5"} {
+		if _, err := UserDeviceByName(name); err != nil {
+			t.Errorf("UserDeviceByName(%q): %v", name, err)
+		}
+	}
+	if _, err := UserDeviceByName("iphone"); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("unknown user device error = %v", err)
+	}
+	for _, name := range []string{"shield", "minix", "m4600", "optiplex"} {
+		if _, err := ServiceDeviceByName(name); err != nil {
+			t.Errorf("ServiceDeviceByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ServiceDeviceByName("ps5"); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("unknown service device error = %v", err)
+	}
+}
+
+func TestEncoderSpeedsFollowPaperShape(t *testing.T) {
+	// Turbo hits ~90 MP/s on PCs; ARM boxes are slower but still far
+	// beyond the ~1 MP/s x264 figure, or real-time encoding would be
+	// impossible (§V-A).
+	if OptiplexGTX750().EncoderMPps != 90 {
+		t.Fatal("desktop turbo speed should be the paper's 90 MP/s")
+	}
+	for _, s := range []ServiceDevice{NvidiaShield(), MinixNeoU1()} {
+		if s.EncoderMPps < 7 {
+			t.Errorf("%s encoder %v MP/s cannot sustain real time", s.Name, s.EncoderMPps)
+		}
+		if s.EncoderMPps > 60 {
+			t.Errorf("%s encoder %v MP/s is PC-class on an ARM box", s.Name, s.EncoderMPps)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package dispatch implements GBooster's multi-device request
+// assignment (paper §VI-C). Each rendering request of workload r is
+// sent to the service device j minimizing
+//
+//	(w_j + r)/c_j + l_j                                   (Eq. 4)
+//
+// where w_j is the workload already queued on j, c_j its computation
+// capability, and l_j its round-trip latency to the user device.
+// Because this rule does not guarantee completion order, results are
+// re-sequenced by a reorder buffer before display.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors.
+var (
+	ErrNoDevices  = errors.New("dispatch: no service devices")
+	ErrBadRequest = errors.New("dispatch: invalid request")
+	ErrDuplicate  = errors.New("dispatch: duplicate sequence number")
+)
+
+// Device is one dispatch target with Eq. 4's parameters.
+type Device struct {
+	ID string
+	// Capability is c^j in workload units per second.
+	Capability float64
+	// RTT is l^j.
+	RTT time.Duration
+
+	queued float64 // w^j: outstanding workload
+}
+
+// NewDevice validates and builds a device.
+func NewDevice(id string, capability float64, rtt time.Duration) (*Device, error) {
+	if capability <= 0 {
+		return nil, fmt.Errorf("%w: capability %v", ErrBadRequest, capability)
+	}
+	if rtt < 0 {
+		return nil, fmt.Errorf("%w: rtt %v", ErrBadRequest, rtt)
+	}
+	return &Device{ID: id, Capability: capability, RTT: rtt}, nil
+}
+
+// Queued returns the outstanding workload w^j.
+func (d *Device) Queued() float64 { return d.queued }
+
+// cost evaluates Eq. 4 for a request of workload r.
+func (d *Device) cost(r float64) time.Duration {
+	sec := (d.queued + r) / d.Capability
+	return time.Duration(sec*float64(time.Second)) + d.RTT
+}
+
+// Scheduler assigns requests to devices. Not safe for concurrent use;
+// the session loop owns it.
+type Scheduler struct {
+	devices []*Device
+
+	// Stats accumulate assignment behaviour.
+	Stats Stats
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Assigned  int
+	PerDevice map[string]int
+	TotalWork float64
+}
+
+// NewScheduler builds a scheduler over the devices.
+func NewScheduler(devices ...*Device) (*Scheduler, error) {
+	if len(devices) == 0 {
+		return nil, ErrNoDevices
+	}
+	return &Scheduler{
+		devices: append([]*Device(nil), devices...),
+		Stats:   Stats{PerDevice: make(map[string]int)},
+	}, nil
+}
+
+// Devices returns the scheduler's devices (shared, not copied — the
+// scheduler owns their queue state).
+func (s *Scheduler) Devices() []*Device { return s.devices }
+
+// Assign picks the Eq. 4-minimal device for a request of workload r,
+// enqueues the work on it, and returns the device along with the
+// estimated completion latency.
+func (s *Scheduler) Assign(r float64) (*Device, time.Duration, error) {
+	if r < 0 {
+		return nil, 0, fmt.Errorf("%w: workload %v", ErrBadRequest, r)
+	}
+	var best *Device
+	var bestCost time.Duration
+	for _, d := range s.devices {
+		c := d.cost(r)
+		if best == nil || c < bestCost {
+			best, bestCost = d, c
+		}
+	}
+	best.queued += r
+	s.Stats.Assigned++
+	s.Stats.PerDevice[best.ID]++
+	s.Stats.TotalWork += r
+	return best, bestCost, nil
+}
+
+// Complete releases workload r from device d's queue when its result
+// has been produced.
+func (s *Scheduler) Complete(d *Device, r float64) {
+	if d == nil || r < 0 {
+		return
+	}
+	d.queued -= r
+	if d.queued < 0 {
+		d.queued = 0
+	}
+}
+
+// Reorder releases out-of-order results in sequence-number order
+// (§VI-C: "our system keeps track of the sequence numbers of the
+// requests, such that we can display their results in a proper
+// order"). The zero value is NOT ready; use NewReorder.
+type Reorder[T any] struct {
+	next    uint64
+	pending map[uint64]T
+	// MaxPending bounds buffered out-of-order results.
+	maxPending int
+}
+
+// NewReorder returns a buffer expecting sequence numbers from first,
+// holding at most maxPending out-of-order entries (<=0 means 1024).
+func NewReorder[T any](first uint64, maxPending int) *Reorder[T] {
+	if maxPending <= 0 {
+		maxPending = 1024
+	}
+	return &Reorder[T]{next: first, pending: make(map[uint64]T), maxPending: maxPending}
+}
+
+// Next returns the sequence number the buffer is waiting for.
+func (r *Reorder[T]) Next() uint64 { return r.next }
+
+// Pending returns the number of buffered out-of-order results.
+func (r *Reorder[T]) Pending() int { return len(r.pending) }
+
+// Push inserts a result and returns every result now releasable in
+// order (possibly none).
+func (r *Reorder[T]) Push(seq uint64, v T) ([]T, error) {
+	if seq < r.next {
+		return nil, fmt.Errorf("%w: seq %d already released", ErrDuplicate, seq)
+	}
+	if _, dup := r.pending[seq]; dup {
+		return nil, fmt.Errorf("%w: seq %d buffered twice", ErrDuplicate, seq)
+	}
+	if len(r.pending) >= r.maxPending {
+		return nil, fmt.Errorf("dispatch: reorder buffer full (%d pending, next=%d)", len(r.pending), r.next)
+	}
+	r.pending[seq] = v
+	var out []T
+	for {
+		v, ok := r.pending[r.next]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.next)
+		out = append(out, v)
+		r.next++
+	}
+	return out, nil
+}

@@ -1,0 +1,286 @@
+package dispatch
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustDevice(t *testing.T, id string, cap float64, rtt time.Duration) *Device {
+	t.Helper()
+	d, err := NewDevice(id, cap, rtt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice("x", 0, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("zero capability error = %v", err)
+	}
+	if _, err := NewDevice("x", 1, -time.Second); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("negative rtt error = %v", err)
+	}
+}
+
+func TestNewSchedulerEmpty(t *testing.T) {
+	if _, err := NewScheduler(); !errors.Is(err, ErrNoDevices) {
+		t.Fatalf("empty scheduler error = %v", err)
+	}
+}
+
+func TestAssignPicksIdleFasterDevice(t *testing.T) {
+	fast := mustDevice(t, "fast", 100, time.Millisecond)
+	slow := mustDevice(t, "slow", 10, time.Millisecond)
+	s, err := NewScheduler(fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, est, err := s.Assign(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != fast {
+		t.Fatalf("assigned to %s, want fast", d.ID)
+	}
+	// Eq. 4: 50/100 s + 1 ms.
+	want := 500*time.Millisecond + time.Millisecond
+	if est != want {
+		t.Fatalf("estimate = %v, want %v", est, want)
+	}
+}
+
+func TestAssignAccountsQueueing(t *testing.T) {
+	a := mustDevice(t, "a", 100, 0)
+	b := mustDevice(t, "b", 100, 0)
+	s, err := NewScheduler(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal devices: work alternates because queues grow.
+	d1, _, _ := s.Assign(10)
+	d2, _, _ := s.Assign(10)
+	if d1 == d2 {
+		t.Fatalf("both requests landed on %s despite queueing", d1.ID)
+	}
+}
+
+func TestAssignRespectsLatency(t *testing.T) {
+	near := mustDevice(t, "near", 100, time.Millisecond)
+	far := mustDevice(t, "far", 100, 500*time.Millisecond)
+	s, err := NewScheduler(near, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small requests: latency dominates; everything goes near until the
+	// queue penalty outweighs 499 ms.
+	for i := 0; i < 5; i++ {
+		d, _, _ := s.Assign(1)
+		if d != near {
+			t.Fatalf("request %d went to far too early", i)
+		}
+	}
+	// Huge backlog eventually justifies the far device.
+	sent := false
+	for i := 0; i < 200; i++ {
+		d, _, _ := s.Assign(30)
+		if d == far {
+			sent = true
+			break
+		}
+	}
+	if !sent {
+		t.Fatal("far device never used despite backlog")
+	}
+}
+
+func TestCompleteReleasesWork(t *testing.T) {
+	a := mustDevice(t, "a", 100, 0)
+	s, err := NewScheduler(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Assign(40); err != nil {
+		t.Fatal(err)
+	}
+	if a.Queued() != 40 {
+		t.Fatalf("queued = %v", a.Queued())
+	}
+	s.Complete(a, 40)
+	if a.Queued() != 0 {
+		t.Fatalf("queued after complete = %v", a.Queued())
+	}
+	// Over-completion clamps at zero; nil device is a no-op.
+	s.Complete(a, 100)
+	s.Complete(nil, 10)
+	if a.Queued() != 0 {
+		t.Fatalf("queued clamped = %v", a.Queued())
+	}
+}
+
+func TestAssignNegativeWorkload(t *testing.T) {
+	s, err := NewScheduler(mustDevice(t, "a", 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Assign(-1); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("negative workload error = %v", err)
+	}
+}
+
+func TestSchedulerStats(t *testing.T) {
+	a := mustDevice(t, "a", 100, 0)
+	b := mustDevice(t, "b", 50, 0)
+	s, err := NewScheduler(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		d, _, _ := s.Assign(10)
+		s.Complete(d, 10)
+	}
+	if s.Stats.Assigned != 30 || s.Stats.TotalWork != 300 {
+		t.Fatalf("stats %+v", s.Stats)
+	}
+	// With completion after every assign, the faster device always
+	// wins ties via lower service time.
+	if s.Stats.PerDevice["a"] != 30 {
+		t.Fatalf("per-device: %v", s.Stats.PerDevice)
+	}
+}
+
+func TestHeterogeneousThroughputShares(t *testing.T) {
+	// In steady state with queues draining at service rate, a device
+	// twice as capable should take roughly twice the requests.
+	a := mustDevice(t, "2x", 200, 0)
+	b := mustDevice(t, "1x", 100, 0)
+	s, err := NewScheduler(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate time steps: each step assigns one request and drains
+	// each queue by capability·dt.
+	const dt = 0.01
+	for i := 0; i < 3000; i++ {
+		if _, _, err := s.Assign(3); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range s.Devices() {
+			drain := d.Capability * dt
+			if drain > d.Queued() {
+				drain = d.Queued()
+			}
+			s.Complete(d, drain)
+		}
+	}
+	ratio := float64(s.Stats.PerDevice["2x"]) / float64(s.Stats.PerDevice["1x"])
+	if ratio < 1.5 || ratio > 2.8 {
+		t.Fatalf("assignment ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestReorderInOrder(t *testing.T) {
+	r := NewReorder[string](0, 0)
+	out, err := r.Push(0, "a")
+	if err != nil || len(out) != 1 || out[0] != "a" {
+		t.Fatalf("push 0: %v %v", out, err)
+	}
+	out, err = r.Push(1, "b")
+	if err != nil || len(out) != 1 || out[0] != "b" {
+		t.Fatalf("push 1: %v %v", out, err)
+	}
+}
+
+func TestReorderOutOfOrder(t *testing.T) {
+	r := NewReorder[int](0, 0)
+	out, err := r.Push(2, 2)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("push 2: %v %v", out, err)
+	}
+	out, err = r.Push(1, 1)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("push 1: %v %v", out, err)
+	}
+	if r.Pending() != 2 || r.Next() != 0 {
+		t.Fatalf("pending=%d next=%d", r.Pending(), r.Next())
+	}
+	out, err = r.Push(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != 0 || out[1] != 1 || out[2] != 2 {
+		t.Fatalf("release order = %v", out)
+	}
+	if r.Pending() != 0 || r.Next() != 3 {
+		t.Fatalf("state after drain: pending=%d next=%d", r.Pending(), r.Next())
+	}
+}
+
+func TestReorderDuplicates(t *testing.T) {
+	r := NewReorder[int](0, 0)
+	if _, err := r.Push(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Push(0, 0); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("released-dup error = %v", err)
+	}
+	if _, err := r.Push(5, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Push(5, 5); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("buffered-dup error = %v", err)
+	}
+}
+
+func TestReorderCapacity(t *testing.T) {
+	r := NewReorder[int](0, 2)
+	if _, err := r.Push(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Push(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Push(3, 3); err == nil {
+		t.Fatal("over-capacity push accepted")
+	}
+}
+
+func TestReorderPropertyAnyPermutationReleasesInOrder(t *testing.T) {
+	check := func(permSeed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		order := make([]uint64, n)
+		for i := range order {
+			order[i] = uint64(i)
+		}
+		// Fisher-Yates with a simple LCG.
+		state := permSeed | 1
+		for i := n - 1; i > 0; i-- {
+			state = state*6364136223846793005 + 1442695040888963407
+			j := int(state % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		r := NewReorder[uint64](0, n+1)
+		var released []uint64
+		for _, seq := range order {
+			out, err := r.Push(seq, seq)
+			if err != nil {
+				return false
+			}
+			released = append(released, out...)
+		}
+		if len(released) != n {
+			return false
+		}
+		for i, v := range released {
+			if v != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package energy accounts component-level power on the user device —
+// GPU, CPU, display, WiFi, Bluetooth — over a simulated gameplay
+// session, supporting the paper's normalized-energy experiments
+// (Fig. 6, Table III). The component numbers come from the paper
+// itself: ~3 W for a loaded mobile GPU (≈5× the CPU, §II), ~2 W WiFi at
+// full rate, <0.1 W Bluetooth (§V-B).
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Component names used by the session accounting. Free-form names are
+// allowed; these are the conventional ones.
+const (
+	ComponentGPU       = "gpu"
+	ComponentCPU       = "cpu"
+	ComponentDisplay   = "display"
+	ComponentWiFi      = "wifi"
+	ComponentBluetooth = "bluetooth"
+	ComponentCodec     = "codec" // extra CPU burned by compress/decode
+)
+
+// Account accumulates energy per component. The zero value is unusable;
+// use NewAccount.
+type Account struct {
+	joules map[string]float64
+}
+
+// NewAccount returns an empty account.
+func NewAccount() *Account {
+	return &Account{joules: make(map[string]float64)}
+}
+
+// AddEnergy records joules directly.
+func (a *Account) AddEnergy(component string, joules float64) {
+	if joules < 0 {
+		joules = 0
+	}
+	a.joules[component] += joules
+}
+
+// AddPower records watts sustained for a duration.
+func (a *Account) AddPower(component string, watts float64, d time.Duration) {
+	if watts < 0 || d <= 0 {
+		return
+	}
+	a.joules[component] += watts * d.Seconds()
+}
+
+// Component returns the energy recorded for one component.
+func (a *Account) Component(name string) float64 { return a.joules[name] }
+
+// TotalJoules sums every component.
+func (a *Account) TotalJoules() float64 {
+	var total float64
+	for _, j := range a.joules {
+		total += j
+	}
+	return total
+}
+
+// AveragePowerW converts the total to average watts over a session.
+func (a *Account) AveragePowerW(session time.Duration) float64 {
+	if session <= 0 {
+		return 0
+	}
+	return a.TotalJoules() / session.Seconds()
+}
+
+// Breakdown returns component->joules sorted by name for stable output.
+func (a *Account) Breakdown() []ComponentEnergy {
+	out := make([]ComponentEnergy, 0, len(a.joules))
+	for name, j := range a.joules {
+		out = append(out, ComponentEnergy{Name: name, Joules: j})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ComponentEnergy is one breakdown row.
+type ComponentEnergy struct {
+	Name   string
+	Joules float64
+}
+
+// String renders the account for experiment logs.
+func (a *Account) String() string {
+	var b strings.Builder
+	for i, c := range a.Breakdown() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.1fJ", c.Name, c.Joules)
+	}
+	return b.String()
+}
+
+// NormalizedTo returns this account's total relative to a baseline
+// total (the paper normalizes every energy result to local execution).
+// A baseline of zero returns 0.
+func (a *Account) NormalizedTo(baseline *Account) float64 {
+	if baseline == nil {
+		return 0
+	}
+	base := baseline.TotalJoules()
+	if base == 0 {
+		return 0
+	}
+	return a.TotalJoules() / base
+}
+
+// CPUPower interpolates package power between idle and active for a
+// utilization in [0,1] — the standard linear CPU power model.
+func CPUPower(idleW, activeW, utilization float64) float64 {
+	switch {
+	case utilization < 0:
+		utilization = 0
+	case utilization > 1:
+		utilization = 1
+	}
+	return idleW + (activeW-idleW)*utilization
+}

@@ -1,0 +1,82 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAccountAccumulation(t *testing.T) {
+	a := NewAccount()
+	a.AddPower(ComponentGPU, 3, 10*time.Second)
+	a.AddEnergy(ComponentCPU, 5)
+	a.AddEnergy(ComponentCPU, 2)
+	if got := a.Component(ComponentGPU); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("gpu energy = %v", got)
+	}
+	if got := a.Component(ComponentCPU); got != 7 {
+		t.Fatalf("cpu energy = %v", got)
+	}
+	if got := a.TotalJoules(); math.Abs(got-37) > 1e-9 {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestAccountIgnoresInvalid(t *testing.T) {
+	a := NewAccount()
+	a.AddEnergy("x", -5)
+	a.AddPower("x", -1, time.Second)
+	a.AddPower("x", 1, -time.Second)
+	if a.TotalJoules() != 0 {
+		t.Fatalf("invalid additions accumulated %v J", a.TotalJoules())
+	}
+}
+
+func TestAveragePower(t *testing.T) {
+	a := NewAccount()
+	a.AddEnergy("x", 120)
+	if got := a.AveragePowerW(time.Minute); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("avg power = %v W", got)
+	}
+	if a.AveragePowerW(0) != 0 {
+		t.Fatal("zero session should give 0")
+	}
+}
+
+func TestBreakdownSortedAndString(t *testing.T) {
+	a := NewAccount()
+	a.AddEnergy("wifi", 1)
+	a.AddEnergy("cpu", 2)
+	a.AddEnergy("gpu", 3)
+	b := a.Breakdown()
+	if len(b) != 3 || b[0].Name != "cpu" || b[1].Name != "gpu" || b[2].Name != "wifi" {
+		t.Fatalf("breakdown = %v", b)
+	}
+	s := a.String()
+	if !strings.Contains(s, "gpu=3.0J") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestNormalizedTo(t *testing.T) {
+	local := NewAccount()
+	local.AddEnergy(ComponentGPU, 100)
+	offload := NewAccount()
+	offload.AddEnergy(ComponentCPU, 30)
+	if got := offload.NormalizedTo(local); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("normalized = %v", got)
+	}
+	if offload.NormalizedTo(nil) != 0 || offload.NormalizedTo(NewAccount()) != 0 {
+		t.Fatal("degenerate baselines should give 0")
+	}
+}
+
+func TestCPUPowerModel(t *testing.T) {
+	if got := CPUPower(0.25, 2.25, 0.5); math.Abs(got-1.25) > 1e-9 {
+		t.Fatalf("half-load power = %v", got)
+	}
+	if CPUPower(0.25, 2.25, -1) != 0.25 || CPUPower(0.25, 2.25, 9) != 2.25 {
+		t.Fatal("utilization clamping wrong")
+	}
+}

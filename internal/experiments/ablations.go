@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/cmdcache"
+	"github.com/gbooster/gbooster/internal/core"
+	"github.com/gbooster/gbooster/internal/device"
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/glwire"
+	"github.com/gbooster/gbooster/internal/ifswitch"
+	"github.com/gbooster/gbooster/internal/lz4"
+	"github.com/gbooster/gbooster/internal/pipeline"
+	"github.com/gbooster/gbooster/internal/turbo"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// AblationResult collects the design-choice ablations DESIGN.md calls
+// out: each row isolates one mechanism the paper introduces and
+// measures the system with it removed or varied.
+type AblationResult struct {
+	// Uplink bytes per frame with each optimization stage toggled.
+	UplinkNone    float64
+	UplinkLZ4Only float64
+	UplinkLRUOnly float64
+	UplinkBoth    float64
+
+	// Turbo quality sweep: bytes/frame and PSNR at three qualities.
+	QualitySweep []QualityPoint
+
+	// Switching-policy sweep for G1: offload energy and overload
+	// windows per policy.
+	Policies []PolicyPoint
+
+	// In-flight buffer sweep (B = 1..4) for 3 service devices.
+	InFlight []InFlightPoint
+}
+
+// QualityPoint is one turbo-quality sample.
+type QualityPoint struct {
+	Quality  int
+	BytesPer float64
+	PSNR     float64
+}
+
+// PolicyPoint is one switching-policy sample.
+type PolicyPoint struct {
+	Policy    string
+	EnergyJ   float64
+	Overloads int
+}
+
+// InFlightPoint is one buffer-depth sample.
+type InFlightPoint struct {
+	B         int
+	MedianFPS float64
+}
+
+// Ablations runs every ablation and renders the summary.
+func Ablations(seed uint64) (AblationResult, string, error) {
+	var res AblationResult
+
+	// --- Uplink pipeline stages (real data plane) ---
+	prof, err := workload.ByID("G1")
+	if err != nil {
+		return res, "", err
+	}
+	const frames = 25
+	type variant struct {
+		useLRU, useLZ4 bool
+		total          int64
+	}
+	variants := []*variant{
+		{false, false, 0},
+		{false, true, 0},
+		{true, false, 0},
+		{true, true, 0},
+	}
+	for _, v := range variants {
+		game := workload.NewGame(prof, seed)
+		enc := glwire.NewEncoder(game.Arrays())
+		cache := cmdcache.New(0)
+		for f := 0; f < frames; f++ {
+			buf, err := enc.EncodeAll(nil, game.NextFrame().Commands)
+			if err != nil {
+				return res, "", err
+			}
+			out := buf
+			if v.useLRU {
+				recs, err := glwire.SplitRecords(buf)
+				if err != nil {
+					return res, "", err
+				}
+				out, _, err = cache.EncodeAll(nil, recs)
+				if err != nil {
+					return res, "", err
+				}
+			}
+			if v.useLZ4 {
+				out = lz4.Compress(nil, out)
+			}
+			v.total += int64(len(out))
+		}
+	}
+	res.UplinkNone = float64(variants[0].total) / frames
+	res.UplinkLZ4Only = float64(variants[1].total) / frames
+	res.UplinkLRUOnly = float64(variants[2].total) / frames
+	res.UplinkBoth = float64(variants[3].total) / frames
+
+	// --- Turbo quality sweep (real frames) ---
+	for _, q := range []int{30, 60, 90} {
+		game := workload.NewGame(prof, seed)
+		wenc := glwire.NewEncoder(game.Arrays())
+		gpu := gles.NewGPU(workload.StreamW, workload.StreamH)
+		tEnc := turbo.NewEncoder(workload.StreamW, workload.StreamH, q)
+		tDec := turbo.NewDecoder(workload.StreamW, workload.StreamH, q)
+		var dec glwire.Decoder
+		var bytesTotal int64
+		var worstPSNR = 1e18
+		for f := 0; f < 10; f++ {
+			buf, err := wenc.EncodeAll(nil, game.NextFrame().Commands)
+			if err != nil {
+				return res, "", err
+			}
+			cmds, err := dec.DecodeAll(buf)
+			if err != nil {
+				return res, "", err
+			}
+			if _, err := gpu.ExecuteAll(cmds); err != nil {
+				return res, "", err
+			}
+			pkt, err := tEnc.Encode(gpu.FB.Pix, false)
+			if err != nil {
+				return res, "", err
+			}
+			bytesTotal += int64(len(pkt))
+			got, err := tDec.Decode(pkt)
+			if err != nil {
+				return res, "", err
+			}
+			if p := turbo.PSNR(gpu.FB.Pix, got); p < worstPSNR {
+				worstPSNR = p
+			}
+		}
+		res.QualitySweep = append(res.QualitySweep, QualityPoint{
+			Quality: q, BytesPer: float64(bytesTotal) / 10, PSNR: worstPSNR,
+		})
+	}
+
+	// --- Switching-policy sweep ---
+	for _, pol := range []ifswitch.Policy{ifswitch.PolicyPredictive, ifswitch.PolicyReactive, ifswitch.PolicyAlwaysWiFi} {
+		cfg := pipeline.Config{
+			Profile:   prof,
+			User:      device.Nexus5(),
+			Services:  []device.ServiceDevice{device.NvidiaShield()},
+			Duration:  3 * time.Minute,
+			Seed:      seed,
+			Switching: pol,
+		}
+		r, err := pipeline.RunOffload(cfg)
+		if err != nil {
+			return res, "", err
+		}
+		res.Policies = append(res.Policies, PolicyPoint{
+			Policy: pol.String(), EnergyJ: r.Energy.TotalJoules(), Overloads: r.Overloads,
+		})
+	}
+
+	// --- In-flight buffer depth ---
+	for b := 1; b <= 4; b++ {
+		cfg := pipeline.Config{
+			Profile: prof,
+			User:    device.Nexus5(),
+			Services: []device.ServiceDevice{
+				device.NvidiaShield(), device.OptiplexGTX750(), device.OptiplexGTX750(),
+			},
+			Duration: 3 * time.Minute,
+			Seed:     seed,
+			InFlight: b,
+		}
+		r, err := pipeline.RunOffload(cfg)
+		if err != nil {
+			return res, "", err
+		}
+		res.InFlight = append(res.InFlight, InFlightPoint{B: b, MedianFPS: r.MedianFPS})
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Ablations: each of GBooster's mechanisms, removed or varied\n")
+	fmt.Fprintf(&sb, "  uplink KB/frame: none %.1f | LZ4 only %.1f | LRU only %.1f | LRU+LZ4 %.1f\n",
+		res.UplinkNone/1024, res.UplinkLZ4Only/1024, res.UplinkLRUOnly/1024, res.UplinkBoth/1024)
+	sb.WriteString("  turbo quality sweep (bytes/frame, worst PSNR):\n")
+	for _, q := range res.QualitySweep {
+		fmt.Fprintf(&sb, "    q=%-3d %8.1f KB  %6.1f dB\n", q.Quality, q.BytesPer/1024, q.PSNR)
+	}
+	sb.WriteString("  switching policy (G1, 3 min): energy / overload windows:\n")
+	for _, p := range res.Policies {
+		fmt.Fprintf(&sb, "    %-11s %8.0f J  %4d overloads\n", p.Policy, p.EnergyJ, p.Overloads)
+	}
+	sb.WriteString("  in-flight request buffer B (3 devices):\n")
+	for _, p := range res.InFlight {
+		fmt.Fprintf(&sb, "    B=%d  %6.1f FPS\n", p.B, p.MedianFPS)
+	}
+	return res, sb.String(), nil
+}
+
+// MultiUserResult is the §VIII future-work study: FCFS vs priority
+// scheduling on a shared service device.
+type MultiUserResult struct {
+	// ChessServedBeforeShooter counts backlogged low-priority requests
+	// the GPU executed before one time-critical request, per policy.
+	FCFSServedFirst     int64
+	PriorityServedFirst int64
+}
+
+// MultiUser measures how many queued chess-game requests execute ahead
+// of a fast-paced shooter's request under each scheduling policy.
+func MultiUser(seed uint64) (MultiUserResult, string, error) {
+	run := func(policy core.SchedPolicy) (int64, error) {
+		m, err := core.NewMultiServer(core.ServerConfig{Width: 96, Height: 64}, policy)
+		if err != nil {
+			return 0, err
+		}
+		defer m.Close()
+		if err := m.AddClient("chess", 0); err != nil {
+			return 0, err
+		}
+		if err := m.AddClient("shooter", 10); err != nil {
+			return 0, err
+		}
+		chessMsgs, err := buildBatches("G4", seed, 120)
+		if err != nil {
+			return 0, err
+		}
+		shooterMsgs, err := buildBatches("G2", seed+1, 1)
+		if err != nil {
+			return 0, err
+		}
+		var done []<-chan error
+		for _, msg := range chessMsgs {
+			ch, err := m.SubmitAsync("chess", msg)
+			if err != nil {
+				return 0, err
+			}
+			done = append(done, ch)
+		}
+		if _, err := m.Submit("shooter", shooterMsgs[0]); err != nil {
+			return 0, err
+		}
+		served := m.Stats().PerClient["chess"]
+		for _, ch := range done {
+			if err := <-ch; err != nil {
+				return 0, err
+			}
+		}
+		return served, nil
+	}
+	fcfs, err := run(core.SchedFCFS)
+	if err != nil {
+		return MultiUserResult{}, "", err
+	}
+	prio, err := run(core.SchedPriority)
+	if err != nil {
+		return MultiUserResult{}, "", err
+	}
+	res := MultiUserResult{FCFSServedFirst: fcfs, PriorityServedFirst: prio}
+	var b strings.Builder
+	b.WriteString("Multiple users on one service device (§VIII future work, implemented)\n")
+	fmt.Fprintf(&b, "  chess requests executed before the shooter's: FCFS %d, priority %d\n", fcfs, prio)
+	b.WriteString("  Priority scheduling lets the time-critical game overtake the backlog.\n")
+	return res, b.String(), nil
+}
+
+// buildBatches serializes n frames of a workload into frame-batch
+// messages through a fresh client-side cache.
+func buildBatches(id string, seed uint64, n int) ([][]byte, error) {
+	prof, err := workload.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	game := workload.NewGame(prof, seed)
+	enc := glwire.NewEncoder(game.Arrays())
+	cache := cmdcache.New(0)
+	msgs := make([][]byte, 0, n)
+	for f := 0; f < n; f++ {
+		buf, err := enc.EncodeAll(nil, game.NextFrame().Commands)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := glwire.SplitRecords(buf)
+		if err != nil {
+			return nil, err
+		}
+		wire, _, err := cache.EncodeAll(nil, recs)
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, core.FrameBatchMsg(uint64(f), lz4.Compress(nil, wire)))
+	}
+	return msgs, nil
+}

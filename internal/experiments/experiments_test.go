@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableIRendering(t *testing.T) {
+	out := TableI()
+	for _, want := range []string{"2014", "2015", "2016", "3.6 GP/s", "6.7 GP/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestFig1TraceShape(t *testing.T) {
+	trace, out, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 || out == "" {
+		t.Fatal("empty Fig 1 output")
+	}
+	// Shape: starts at 600 MHz, holds for minutes, then drops hard.
+	if trace[0].MHz != 600 {
+		t.Fatalf("initial freq = %v", trace[0].MHz)
+	}
+	minutes10 := 10 * 60 / 5 // index at 10 min with 5 s sampling
+	held := 0
+	for _, p := range trace[:minutes10] {
+		if p.MHz == 600 {
+			held++
+		}
+	}
+	if float64(held)/float64(minutes10) < 0.9 {
+		t.Fatalf("top frequency held only %d/%d of the first 10 min", held, minutes10)
+	}
+	var minF float64 = 1e9
+	for _, p := range trace {
+		if p.MHz < minF {
+			minF = p.MHz
+		}
+	}
+	if minF > 305 {
+		t.Fatalf("min frequency %v; no drastic drop", minF)
+	}
+}
+
+func TestFig5ShapeNexus5(t *testing.T) {
+	rows, out, err := Fig5("nexus5", DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || out == "" {
+		t.Fatalf("Fig5 rows = %d", len(rows))
+	}
+	byID := map[string]GameRow{}
+	for _, r := range rows {
+		byID[r.ID] = r
+		if r.OffloadFPS < r.LocalFPS-1 {
+			t.Errorf("%s offload FPS %.1f below local %.1f", r.ID, r.OffloadFPS, r.LocalFPS)
+		}
+		if r.OffloadStab < r.LocalStab {
+			t.Errorf("%s stability fell %.2f -> %.2f", r.ID, r.LocalStab, r.OffloadStab)
+		}
+		if r.OffloadResp > 50*time.Millisecond {
+			t.Errorf("%s offload response %v; human-imperceptible bound broken", r.ID, r.OffloadResp)
+		}
+	}
+	// Action games gain the most, puzzle the least (paper's pattern).
+	actionGain := byID["G1"].OffloadFPS / byID["G1"].LocalFPS
+	puzzleGain := byID["G5"].OffloadFPS / byID["G5"].LocalFPS
+	if actionGain < puzzleGain+0.3 {
+		t.Fatalf("action gain %.2f not well above puzzle gain %.2f", actionGain, puzzleGain)
+	}
+	// Action game FPS anchors.
+	if g1 := byID["G1"]; g1.LocalFPS < 21 || g1.LocalFPS > 25 || g1.OffloadFPS < 34 || g1.OffloadFPS > 43 {
+		t.Errorf("G1 anchors off: %.1f -> %.1f (paper 23 -> 37)", g1.LocalFPS, g1.OffloadFPS)
+	}
+}
+
+func TestFig5LGG5BarelyBenefits(t *testing.T) {
+	rows, _, err := Fig5("lgg5", DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]GameRow{}
+	for _, r := range rows {
+		byID[r.ID] = r
+	}
+	g1 := byID["G1"]
+	if g1.OffloadFPS > g1.LocalFPS*1.1 {
+		t.Fatalf("LG G5 G1 gained %.1f -> %.1f; paper says barely benefits", g1.LocalFPS, g1.OffloadFPS)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows, out, err := Fig6(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 || out == "" { // 6 games × 2 phones
+		t.Fatalf("Fig6 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NormSwitching >= 1 {
+			t.Errorf("%s/%s no energy saving: %.2f", r.Phone, r.ID, r.NormSwitching)
+		}
+		if r.NormAlwaysWiFi <= r.NormSwitching {
+			t.Errorf("%s/%s switching did not help: %.2f vs %.2f",
+				r.Phone, r.ID, r.NormSwitching, r.NormAlwaysWiFi)
+		}
+	}
+	// Action games save more than puzzle games on the Nexus 5.
+	var g2, g6 EnergyRow
+	for _, r := range rows {
+		if r.Phone == "nexus5" && r.ID == "G2" {
+			g2 = r
+		}
+		if r.Phone == "nexus5" && r.ID == "G6" {
+			g6 = r
+		}
+	}
+	if g2.NormSwitching >= g6.NormSwitching {
+		t.Fatalf("G2 norm %.2f >= G6 norm %.2f; genre ordering inverted", g2.NormSwitching, g6.NormSwitching)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rows, out, err := Fig7(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || out == "" {
+		t.Fatalf("Fig7 rows = %d", len(rows))
+	}
+	if rows[0].Devices != 0 || rows[0].MedianFPS > 26 {
+		t.Fatalf("baseline row wrong: %+v", rows[0])
+	}
+	if rows[1].MedianFPS < rows[0].MedianFPS*1.4 {
+		t.Fatalf("one device FPS %.1f: no offload boost", rows[1].MedianFPS)
+	}
+	if rows[3].MedianFPS < rows[1].MedianFPS*1.15 {
+		t.Fatalf("three devices %.1f vs one %.1f: no distributed gain", rows[3].MedianFPS, rows[1].MedianFPS)
+	}
+	if rows[5].MedianFPS > rows[3].MedianFPS*1.05 {
+		t.Fatalf("five devices %.1f vs three %.1f: plateau missing", rows[5].MedianFPS, rows[3].MedianFPS)
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	rows, out, err := TableIII(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || out == "" {
+		t.Fatalf("Table III rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if boost := r.OffloadFPS - r.LocalFPS; boost > 0.5 {
+			t.Errorf("%s FPS boost %.1f, paper says 0", r.ID, boost)
+		}
+		norm := r.OffloadEnergyJ / r.LocalEnergyJ
+		if norm < 0.8 || norm >= 1 {
+			t.Errorf("%s normalized energy %.2f, paper ~0.92-0.94", r.ID, norm)
+		}
+	}
+}
+
+func TestTrafficMeasurement(t *testing.T) {
+	res, out, err := Traffic("G1", 25, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("no rendering")
+	}
+	// Every optimization stage must shrink the uplink.
+	if !(res.UplinkAfterLRU < res.UplinkRaw && res.UplinkAfterLZ4 < res.UplinkAfterLRU) {
+		t.Fatalf("uplink pipeline not monotone: %.0f -> %.0f -> %.0f",
+			res.UplinkRaw, res.UplinkAfterLRU, res.UplinkAfterLZ4)
+	}
+	if res.CacheHitRate < 0.5 {
+		t.Fatalf("cache hit rate %.2f too low for coherent frames", res.CacheHitRate)
+	}
+	// Turbo compresses real frames several-fold and far outruns the
+	// video-encoder stand-in.
+	if res.TurboRatio > 0.35 {
+		t.Fatalf("turbo ratio %.2f; little compression", res.TurboRatio)
+	}
+	if res.TurboMPps < res.VideoMPps*5 {
+		t.Fatalf("turbo %.1f MP/s vs video %.2f MP/s: speed gap too small", res.TurboMPps, res.VideoMPps)
+	}
+}
+
+func TestForecastMatchesPaperShape(t *testing.T) {
+	res, out, err := Forecast(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("no rendering")
+	}
+	// ARMAX roughly halves the FN rate (paper: 35.1% -> 17%).
+	if res.ARMAX.FNRate() >= res.ARMA.FNRate()*0.7 {
+		t.Fatalf("ARMAX FN %.1f%% not well below ARMA %.1f%%",
+			res.ARMAX.FNRate()*100, res.ARMA.FNRate()*100)
+	}
+	if res.ARMA.FNRate() < 0.2 || res.ARMA.FNRate() > 0.55 {
+		t.Fatalf("ARMA FN %.1f%%, want near the paper's 35%%", res.ARMA.FNRate()*100)
+	}
+	if res.ARMAX.FNRate() < 0.08 || res.ARMAX.FNRate() > 0.3 {
+		t.Fatalf("ARMAX FN %.1f%%, want near the paper's 17%%", res.ARMAX.FNRate()*100)
+	}
+	// AIC selects the paper's attribute pair {touch, textures}.
+	best := res.Ranking[0]
+	if len(best.ExoAttrs) != 2 || best.ExoAttrs[0] != 0 || best.ExoAttrs[1] != 2 {
+		t.Fatalf("AIC best subset = %v (%s), paper selects attributes 1 and 3", best.ExoAttrs, best.Name)
+	}
+}
+
+func TestCloudComparisonShape(t *testing.T) {
+	rows, out, err := CloudComparison(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || out == "" {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CloudFPS > 30 {
+			t.Errorf("%s cloud FPS %.1f above the encoder cap", r.ID, r.CloudFPS)
+		}
+		if r.GBoosterFPS <= r.CloudFPS {
+			t.Errorf("%s GBooster FPS %.1f <= cloud %.1f", r.ID, r.GBoosterFPS, r.CloudFPS)
+		}
+		// Paper: cloud response ~5x GBooster's.
+		if r.CloudResp < r.GBoosterResp*3 {
+			t.Errorf("%s cloud response %v not far above GBooster %v", r.ID, r.CloudResp, r.GBoosterResp)
+		}
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	res, out, err := Overhead(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("no rendering")
+	}
+	if res.MemoryMB <= 0 || res.MemoryMB > pipeline48() {
+		t.Fatalf("memory %.1f MB out of range", res.MemoryMB)
+	}
+	if res.OffloadCPU <= res.LocalCPU || res.OffloadCPU > 0.95 {
+		t.Fatalf("CPU %.2f -> %.2f: overhead shape wrong", res.LocalCPU, res.OffloadCPU)
+	}
+}
+
+// pipeline48 avoids importing pipeline solely for one constant in the
+// bound check.
+func pipeline48() float64 { return 48 }
+
+func TestEncoderQuality(t *testing.T) {
+	psnr, out, err := EncoderQuality(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" || psnr < 28 {
+		t.Fatalf("worst-frame PSNR %.1f dB too low", psnr)
+	}
+}

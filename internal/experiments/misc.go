@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/cloud"
+	"github.com/gbooster/gbooster/internal/cmdcache"
+	"github.com/gbooster/gbooster/internal/device"
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/glwire"
+	"github.com/gbooster/gbooster/internal/ifswitch"
+	"github.com/gbooster/gbooster/internal/pipeline"
+	"github.com/gbooster/gbooster/internal/turbo"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// CloudRow compares GBooster against the cloud baseline for one game.
+type CloudRow struct {
+	ID           string
+	GBoosterFPS  float64
+	GBoosterResp time.Duration
+	CloudFPS     float64
+	CloudResp    time.Duration
+}
+
+// CloudComparison reproduces §VII-F: GBooster vs an OnLive-style cloud
+// platform.
+func CloudComparison(seed uint64) ([]CloudRow, string, error) {
+	platform := cloud.OnLive()
+	services := []device.ServiceDevice{device.NvidiaShield()}
+	var rows []CloudRow
+	for _, id := range []string{"G1", "G2"} {
+		pair, err := runPair(id, "nexus5", services, 5, seed, ifswitch.PolicyPredictive)
+		if err != nil {
+			return nil, "", err
+		}
+		prof, err := workload.ByID(id)
+		if err != nil {
+			return nil, "", err
+		}
+		c := platform.Evaluate(prof)
+		rows = append(rows, CloudRow{
+			ID:           id,
+			GBoosterFPS:  pair.OffloadFPS,
+			GBoosterResp: pair.OffloadResp,
+			CloudFPS:     c.FPS,
+			CloudResp:    c.Response,
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Comparison with cloud-based solution (§VII-F, OnLive model @10 Mbps Internet)\n")
+	fmt.Fprintf(&b, "  %-4s %14s %14s %12s %12s\n", "Game", "GBooster FPS", "GBooster resp", "cloud FPS", "cloud resp")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-4s %14.1f %14v %12.0f %12v\n",
+			r.ID, r.GBoosterFPS, r.GBoosterResp.Round(time.Millisecond),
+			r.CloudFPS, r.CloudResp.Round(time.Millisecond))
+	}
+	b.WriteString("The cloud path is capped at 30 FPS by its encoder and ~5x slower to respond.\n")
+	return rows, b.String(), nil
+}
+
+// OverheadResult is the §VII-G system-overhead measurement.
+type OverheadResult struct {
+	// MemoryMB is the measured wrapper-side memory: command cache
+	// residency plus codec state, from the real data structures.
+	MemoryMB float64
+	// LocalCPU and OffloadCPU are the reported app CPU usages.
+	LocalCPU, OffloadCPU float64
+}
+
+// Overhead measures wrapper memory on the real data plane and CPU
+// overhead from the session model.
+func Overhead(seed uint64) (OverheadResult, string, error) {
+	// Memory: drive the heaviest game's real stream through the
+	// wrapper-side structures and account their residency.
+	prof, err := workload.ByID("G1")
+	if err != nil {
+		return OverheadResult{}, "", err
+	}
+	game := workload.NewGame(prof, seed)
+	enc := glwire.NewEncoder(game.Arrays())
+	cache := cmdcache.New(0)
+	gpu := gles.NewGPU(workload.StreamW, workload.StreamH)
+	var dec glwire.Decoder
+	for f := 0; f < 60; f++ {
+		buf, err := enc.EncodeAll(nil, game.NextFrame().Commands)
+		if err != nil {
+			return OverheadResult{}, "", err
+		}
+		recs, err := glwire.SplitRecords(buf)
+		if err != nil {
+			return OverheadResult{}, "", err
+		}
+		if _, _, err := cache.EncodeAll(nil, recs); err != nil {
+			return OverheadResult{}, "", err
+		}
+		cmds, err := dec.DecodeAll(buf)
+		if err != nil {
+			return OverheadResult{}, "", err
+		}
+		if _, err := gpu.ExecuteAll(cmds); err != nil {
+			return OverheadResult{}, "", err
+		}
+	}
+	// Wrapper residency: command cache + turbo decoder reference frame
+	// + one in-flight frame batch + reorder slack. The paper's measured
+	// figure (47.8 MB) reflects a commercial game's much larger texture
+	// working set flowing through the cache; we report both.
+	codecBytes := workload.StreamW * workload.StreamH * 4 * 2 // decoder frame + staging
+	measuredMB := (float64(cache.MemoryBytes()) + float64(codecBytes)) / (1 << 20)
+
+	// CPU: §VII-G compares G1 local vs offloaded usage.
+	cfg := pipeline.Config{
+		Profile:  prof,
+		User:     device.Nexus5(),
+		Duration: 5 * time.Minute,
+		Seed:     seed,
+	}
+	local, err := pipeline.RunLocal(cfg)
+	if err != nil {
+		return OverheadResult{}, "", err
+	}
+	cfg.Services = []device.ServiceDevice{device.NvidiaShield()}
+	off, err := pipeline.RunOffload(cfg)
+	if err != nil {
+		return OverheadResult{}, "", err
+	}
+	res := OverheadResult{
+		MemoryMB:   measuredMB,
+		LocalCPU:   local.AvgCPUUtil,
+		OffloadCPU: off.AvgCPUUtil,
+	}
+	var b strings.Builder
+	b.WriteString("System overhead (§VII-G)\n")
+	fmt.Fprintf(&b, "  wrapper memory (synthetic stream): %6.1f MB resident (paper, commercial game: %.1f MB)\n",
+		res.MemoryMB, pipeline.WrapperMemoryMB)
+	fmt.Fprintf(&b, "  G1 CPU usage: local %.0f%% -> offloaded %.0f%% (paper: 68%% -> 79%%)\n",
+		res.LocalCPU*100, res.OffloadCPU*100)
+	b.WriteString("  The CPU stays underutilized; the wrapper's overhead does not bottleneck the system.\n")
+	return res, b.String(), nil
+}
+
+// EncoderQuality reports turbo-codec fidelity on real rendered frames —
+// a supporting measurement for §V-A (the paper cites 25:1 at acceptable
+// quality).
+func EncoderQuality(seed uint64) (float64, string, error) {
+	prof, err := workload.ByID("G1")
+	if err != nil {
+		return 0, "", err
+	}
+	game := workload.NewGame(prof, seed)
+	enc := glwire.NewEncoder(game.Arrays())
+	gpu := gles.NewGPU(workload.StreamW, workload.StreamH)
+	tEnc := turbo.NewEncoder(workload.StreamW, workload.StreamH, turbo.DefaultQuality)
+	tDec := turbo.NewDecoder(workload.StreamW, workload.StreamH, turbo.DefaultQuality)
+	var dec glwire.Decoder
+	var worst float64 = 1e9
+	for f := 0; f < 10; f++ {
+		buf, err := enc.EncodeAll(nil, game.NextFrame().Commands)
+		if err != nil {
+			return 0, "", err
+		}
+		cmds, err := dec.DecodeAll(buf)
+		if err != nil {
+			return 0, "", err
+		}
+		if _, err := gpu.ExecuteAll(cmds); err != nil {
+			return 0, "", err
+		}
+		pkt, err := tEnc.Encode(gpu.FB.Pix, false)
+		if err != nil {
+			return 0, "", err
+		}
+		got, err := tDec.Decode(pkt)
+		if err != nil {
+			return 0, "", err
+		}
+		if p := turbo.PSNR(gpu.FB.Pix, got); p < worst {
+			worst = p
+		}
+	}
+	msg := fmt.Sprintf("Turbo codec fidelity: worst-frame PSNR %.1f dB over 10 real frames\n", worst)
+	return worst, msg, nil
+}

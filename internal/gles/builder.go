@@ -1,0 +1,240 @@
+package gles
+
+// This file provides typed constructors for every supported command.
+// Workload generators and tests build streams through these instead of
+// hand-assembling Command structs, which keeps argument layouts in one
+// place (they must match Context.apply and the wire codec).
+
+// CmdClearColor sets the clear color.
+func CmdClearColor(r, g, b, a float32) Command {
+	return Command{Op: OpClearColor, Floats: []float32{r, g, b, a}}
+}
+
+// CmdClear clears the buffers selected by mask.
+func CmdClear(mask int32) Command {
+	return Command{Op: OpClear, Ints: []int32{mask}}
+}
+
+// CmdViewport sets the viewport rectangle.
+func CmdViewport(x, y, w, h int32) Command {
+	return Command{Op: OpViewport, Ints: []int32{x, y, w, h}}
+}
+
+// CmdEnable enables a capability.
+func CmdEnable(cap int32) Command { return Command{Op: OpEnable, Ints: []int32{cap}} }
+
+// CmdDisable disables a capability.
+func CmdDisable(cap int32) Command { return Command{Op: OpDisable, Ints: []int32{cap}} }
+
+// CmdBlendFunc sets the blend factors.
+func CmdBlendFunc(src, dst int32) Command {
+	return Command{Op: OpBlendFunc, Ints: []int32{src, dst}}
+}
+
+// CmdDepthFunc sets the depth comparison.
+func CmdDepthFunc(fn int32) Command { return Command{Op: OpDepthFunc, Ints: []int32{fn}} }
+
+// CmdGenTexture creates texture object id.
+func CmdGenTexture(id int32) Command { return Command{Op: OpGenTexture, Ints: []int32{id}} }
+
+// CmdDeleteTexture deletes texture object id.
+func CmdDeleteTexture(id int32) Command { return Command{Op: OpDeleteTexture, Ints: []int32{id}} }
+
+// CmdActiveTexture selects the active texture unit (TextureUnit0 + n).
+func CmdActiveTexture(unit int32) Command {
+	return Command{Op: OpActiveTexture, Ints: []int32{unit}}
+}
+
+// CmdBindTexture binds a texture to the active unit.
+func CmdBindTexture(target, id int32) Command {
+	return Command{Op: OpBindTexture, Ints: []int32{target, id}}
+}
+
+// CmdTexImage2D uploads RGBA texel data for the bound texture.
+func CmdTexImage2D(target, level, w, h int32, pixels []byte) Command {
+	return Command{
+		Op:      OpTexImage2D,
+		Ints:    []int32{target, level, w, h, TexFormatRGBA},
+		Data:    pixels,
+		DataLen: int32(len(pixels)),
+	}
+}
+
+// CmdTexParameteri sets a texture parameter.
+func CmdTexParameteri(target, pname, val int32) Command {
+	return Command{Op: OpTexParameteri, Ints: []int32{target, pname, val}}
+}
+
+// CmdGenBuffer creates buffer object id.
+func CmdGenBuffer(id int32) Command { return Command{Op: OpGenBuffer, Ints: []int32{id}} }
+
+// CmdDeleteBuffer deletes buffer object id.
+func CmdDeleteBuffer(id int32) Command { return Command{Op: OpDeleteBuffer, Ints: []int32{id}} }
+
+// CmdBindBuffer binds a buffer to a target.
+func CmdBindBuffer(target, id int32) Command {
+	return Command{Op: OpBindBuffer, Ints: []int32{target, id}}
+}
+
+// CmdBufferData uploads data into the buffer bound to target.
+func CmdBufferData(target int32, data []byte, usage int32) Command {
+	return Command{
+		Op:      OpBufferData,
+		Ints:    []int32{target, usage},
+		Data:    data,
+		DataLen: int32(len(data)),
+	}
+}
+
+// CmdBufferSubData updates a range of the buffer bound to target.
+func CmdBufferSubData(target, offset int32, data []byte) Command {
+	return Command{
+		Op:      OpBufferSubData,
+		Ints:    []int32{target, offset},
+		Data:    data,
+		DataLen: int32(len(data)),
+	}
+}
+
+// CmdCreateShader creates a shader object of the given type.
+func CmdCreateShader(shaderType, id int32) Command {
+	return Command{Op: OpCreateShader, Ints: []int32{shaderType, id}}
+}
+
+// CmdShaderSource attaches GLSL source text to a shader.
+func CmdShaderSource(id int32, src string) Command {
+	return Command{
+		Op:      OpShaderSource,
+		Ints:    []int32{id},
+		Data:    []byte(src),
+		DataLen: int32(len(src)),
+	}
+}
+
+// CmdCompileShader compiles a shader.
+func CmdCompileShader(id int32) Command { return Command{Op: OpCompileShader, Ints: []int32{id}} }
+
+// CmdDeleteShader deletes a shader object.
+func CmdDeleteShader(id int32) Command { return Command{Op: OpDeleteShader, Ints: []int32{id}} }
+
+// CmdCreateProgram creates a program object.
+func CmdCreateProgram(id int32) Command { return Command{Op: OpCreateProgram, Ints: []int32{id}} }
+
+// CmdAttachShader attaches a shader to a program.
+func CmdAttachShader(prog, shader int32) Command {
+	return Command{Op: OpAttachShader, Ints: []int32{prog, shader}}
+}
+
+// CmdLinkProgram links a program.
+func CmdLinkProgram(id int32) Command { return Command{Op: OpLinkProgram, Ints: []int32{id}} }
+
+// CmdUseProgram makes a program current.
+func CmdUseProgram(id int32) Command { return Command{Op: OpUseProgram, Ints: []int32{id}} }
+
+// CmdDeleteProgram deletes a program object.
+func CmdDeleteProgram(id int32) Command { return Command{Op: OpDeleteProgram, Ints: []int32{id}} }
+
+// CmdUniform1i sets an integer (sampler) uniform.
+func CmdUniform1i(loc, v int32) Command {
+	return Command{Op: OpUniform1i, Ints: []int32{loc, v}}
+}
+
+// CmdUniform1f sets a scalar uniform.
+func CmdUniform1f(loc int32, v float32) Command {
+	return Command{Op: OpUniform1f, Ints: []int32{loc}, Floats: []float32{v}}
+}
+
+// CmdUniform2f sets a vec2 uniform.
+func CmdUniform2f(loc int32, x, y float32) Command {
+	return Command{Op: OpUniform2f, Ints: []int32{loc}, Floats: []float32{x, y}}
+}
+
+// CmdUniform4f sets a vec4 uniform.
+func CmdUniform4f(loc int32, x, y, z, w float32) Command {
+	return Command{Op: OpUniform4f, Ints: []int32{loc}, Floats: []float32{x, y, z, w}}
+}
+
+// CmdUniformMatrix4fv sets a 4×4 matrix uniform (column-major).
+func CmdUniformMatrix4fv(loc int32, m [16]float32) Command {
+	return Command{Op: OpUniformMatrix4fv, Ints: []int32{loc}, Floats: m[:]}
+}
+
+// CmdVertexAttribPointerVBO points an attribute at the given VBO.
+func CmdVertexAttribPointerVBO(index, size, stride, offset, buffer int32) Command {
+	return Command{
+		Op:   OpVertexAttribPointer,
+		Ints: []int32{index, size, AttribTypeFloat, 0, stride, offset, buffer},
+	}
+}
+
+// CmdVertexAttribPointerClient points an attribute at a client-side
+// array whose extent is NOT yet known — the §IV-B case. ptrID names the
+// client array so a later draw call can resolve how many bytes to ship;
+// resolve is the callback the interception layer uses to read the array
+// once the extent is known.
+func CmdVertexAttribPointerClient(index, size, stride int32, ptrID uint64) Command {
+	return Command{
+		Op:        OpVertexAttribPointer,
+		Ints:      []int32{index, size, AttribTypeFloat, 0, stride, 0, 0},
+		DataLen:   NoDataLen,
+		ClientPtr: ptrID,
+	}
+}
+
+// CmdVertexAttribPointerResolved is a client-array attrib pointer whose
+// data extent is already resolved (used server-side after deferral).
+func CmdVertexAttribPointerResolved(index, size, stride int32, data []byte) Command {
+	return Command{
+		Op:      OpVertexAttribPointer,
+		Ints:    []int32{index, size, AttribTypeFloat, 0, stride, 0, 0},
+		Data:    data,
+		DataLen: int32(len(data)),
+	}
+}
+
+// CmdEnableVertexAttribArray enables an attribute array.
+func CmdEnableVertexAttribArray(index int32) Command {
+	return Command{Op: OpEnableVertexAttribArray, Ints: []int32{index}}
+}
+
+// CmdDisableVertexAttribArray disables an attribute array.
+func CmdDisableVertexAttribArray(index int32) Command {
+	return Command{Op: OpDisableVertexAttribArray, Ints: []int32{index}}
+}
+
+// CmdDrawArrays draws count vertices starting at first.
+func CmdDrawArrays(mode, first, count int32) Command {
+	return Command{Op: OpDrawArrays, Ints: []int32{mode, first, count}}
+}
+
+// CmdDrawElementsClient draws with client-memory uint16 indices.
+func CmdDrawElementsClient(mode int32, indices []uint16) Command {
+	data := U16ToBytes(indices)
+	return Command{
+		Op:      OpDrawElements,
+		Ints:    []int32{mode, int32(len(indices)), IndexTypeUshort, 0},
+		Data:    data,
+		DataLen: int32(len(data)),
+	}
+}
+
+// CmdDrawElementsVBO draws with indices taken from the bound
+// element-array buffer at a byte offset.
+func CmdDrawElementsVBO(mode, count, offset int32) Command {
+	return Command{Op: OpDrawElements, Ints: []int32{mode, count, IndexTypeUshort, offset}}
+}
+
+// CmdFlush flushes the pipeline.
+func CmdFlush() Command { return Command{Op: OpFlush} }
+
+// CmdFinish blocks until the pipeline drains.
+func CmdFinish() Command { return Command{Op: OpFinish} }
+
+// CmdSwapBuffers marks the end of a frame.
+func CmdSwapBuffers() Command { return Command{Op: OpSwapBuffers} }
+
+// CmdScissor sets the scissor rectangle (effective when CapScissorTest
+// is enabled).
+func CmdScissor(x, y, w, h int32) Command {
+	return Command{Op: OpScissor, Ints: []int32{x, y, w, h}}
+}

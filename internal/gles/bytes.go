@@ -1,0 +1,60 @@
+package gles
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// f32FromBytes decodes a little-endian float32. Callers guarantee at
+// least four readable bytes.
+func f32FromBytes(b []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}
+
+// f32ToBytes appends the little-endian encoding of v to dst.
+func f32ToBytes(dst []byte, v float32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+	return append(dst, buf[:]...)
+}
+
+// FloatsToBytes packs float32 values into a little-endian byte slice —
+// the layout client vertex arrays use.
+func FloatsToBytes(vals []float32) []byte {
+	out := make([]byte, 0, len(vals)*4)
+	for _, v := range vals {
+		out = f32ToBytes(out, v)
+	}
+	return out
+}
+
+// BytesToFloats unpacks a little-endian byte slice into float32 values.
+// Trailing bytes that do not form a full float are ignored.
+func BytesToFloats(b []byte) []float32 {
+	n := len(b) / 4
+	out := make([]float32, n)
+	for i := 0; i < n; i++ {
+		out[i] = f32FromBytes(b[i*4:])
+	}
+	return out
+}
+
+// U16ToBytes packs uint16 index values little-endian, the layout of
+// GLES unsigned-short element arrays.
+func U16ToBytes(vals []uint16) []byte {
+	out := make([]byte, len(vals)*2)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint16(out[i*2:], v)
+	}
+	return out
+}
+
+// BytesToU16 unpacks little-endian uint16 values.
+func BytesToU16(b []byte) []uint16 {
+	n := len(b) / 2
+	out := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		out[i] = binary.LittleEndian.Uint16(b[i*2:])
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+// Package gles models the OpenGL ES 2.0 client/server interface that
+// GBooster intercepts and offloads. It provides:
+//
+//   - a compact command representation (Command) covering the GLES 2.0
+//     subset exercised by the workload generators,
+//   - a stateful server-side Context (the "OpenGL context" of §VI-B),
+//   - a software rasterizer GPU that genuinely executes draw calls into
+//     an RGBA framebuffer, and
+//   - a per-command workload cost model used for GPU-time accounting
+//     (after TimeGraph-style offline profiling, paper §VI-C).
+//
+// The real system hooks the closed-source Android GLES driver; this
+// package is the substituted, fully observable equivalent. Shaders are
+// "compiled" by declaration scanning, and the rasterizer implements a
+// fixed vertex/fragment pipeline (MVP transform, vertex color, single
+// texture) that matches the conventions used by the workload package.
+package gles
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Op identifies one GLES (or EGL) entry point.
+type Op uint16
+
+// Supported operations. The set covers every call emitted by the
+// workload generators plus the calls §IV of the paper discusses by name
+// (glVertexAttribPointer, glDrawElements, eglSwapBuffers).
+const (
+	OpClearColor Op = iota + 1
+	OpClear
+	OpViewport
+	OpEnable
+	OpDisable
+	OpBlendFunc
+	OpDepthFunc
+	OpGenTexture
+	OpDeleteTexture
+	OpActiveTexture
+	OpBindTexture
+	OpTexImage2D
+	OpTexParameteri
+	OpGenBuffer
+	OpDeleteBuffer
+	OpBindBuffer
+	OpBufferData
+	OpBufferSubData
+	OpCreateShader
+	OpShaderSource
+	OpCompileShader
+	OpDeleteShader
+	OpCreateProgram
+	OpAttachShader
+	OpLinkProgram
+	OpUseProgram
+	OpDeleteProgram
+	OpUniform1i
+	OpUniform1f
+	OpUniform2f
+	OpUniform4f
+	OpUniformMatrix4fv
+	OpVertexAttribPointer
+	OpEnableVertexAttribArray
+	OpDisableVertexAttribArray
+	OpDrawArrays
+	OpDrawElements
+	OpFlush
+	OpFinish
+	OpSwapBuffers // EGL: frame boundary; paper rewrites its behaviour (§IV-C, §VI-A)
+	OpScissor
+
+	opSentinel // keep last
+)
+
+var _opNames = map[Op]string{
+	OpClearColor:               "glClearColor",
+	OpClear:                    "glClear",
+	OpViewport:                 "glViewport",
+	OpEnable:                   "glEnable",
+	OpDisable:                  "glDisable",
+	OpBlendFunc:                "glBlendFunc",
+	OpDepthFunc:                "glDepthFunc",
+	OpGenTexture:               "glGenTextures",
+	OpDeleteTexture:            "glDeleteTextures",
+	OpActiveTexture:            "glActiveTexture",
+	OpBindTexture:              "glBindTexture",
+	OpTexImage2D:               "glTexImage2D",
+	OpTexParameteri:            "glTexParameteri",
+	OpGenBuffer:                "glGenBuffers",
+	OpDeleteBuffer:             "glDeleteBuffers",
+	OpBindBuffer:               "glBindBuffer",
+	OpBufferData:               "glBufferData",
+	OpBufferSubData:            "glBufferSubData",
+	OpCreateShader:             "glCreateShader",
+	OpShaderSource:             "glShaderSource",
+	OpCompileShader:            "glCompileShader",
+	OpDeleteShader:             "glDeleteShader",
+	OpCreateProgram:            "glCreateProgram",
+	OpAttachShader:             "glAttachShader",
+	OpLinkProgram:              "glLinkProgram",
+	OpUseProgram:               "glUseProgram",
+	OpDeleteProgram:            "glDeleteProgram",
+	OpUniform1i:                "glUniform1i",
+	OpUniform1f:                "glUniform1f",
+	OpUniform2f:                "glUniform2f",
+	OpUniform4f:                "glUniform4f",
+	OpUniformMatrix4fv:         "glUniformMatrix4fv",
+	OpVertexAttribPointer:      "glVertexAttribPointer",
+	OpEnableVertexAttribArray:  "glEnableVertexAttribArray",
+	OpDisableVertexAttribArray: "glDisableVertexAttribArray",
+	OpDrawArrays:               "glDrawArrays",
+	OpDrawElements:             "glDrawElements",
+	OpFlush:                    "glFlush",
+	OpFinish:                   "glFinish",
+	OpSwapBuffers:              "eglSwapBuffers",
+	OpScissor:                  "glScissor",
+}
+
+// String returns the GL entry-point name for the op.
+func (o Op) String() string {
+	if s, ok := _opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint16(o))
+}
+
+// Valid reports whether o names a known operation.
+func (o Op) Valid() bool { return o > 0 && o < opSentinel }
+
+// NumOps returns the number of defined operations; useful for
+// table-driven code that must cover the whole command set.
+func NumOps() int { return int(opSentinel) - 1 }
+
+// AllOps returns every defined operation in declaration order. The hook
+// layer uses it to populate library symbol tables covering the full
+// command set.
+func AllOps() []Op {
+	out := make([]Op, 0, NumOps())
+	for op := Op(1); op < opSentinel; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
+// Enable/Disable capabilities and enum values. Values mirror the real
+// GLES constants where it costs nothing, so traces read naturally.
+const (
+	CapBlend       = 0x0BE2
+	CapDepthTest   = 0x0B71
+	CapScissorTest = 0x0C11
+	CapCullFace    = 0x0B44
+)
+
+// Clear bits.
+const (
+	ClearColorBit = 0x00004000
+	ClearDepthBit = 0x00000100
+)
+
+// Texture and buffer targets.
+const (
+	TexTarget2D         = 0x0DE1
+	BufTargetArray      = 0x8892
+	BufTargetElemArray  = 0x8893
+	ShaderTypeVertex    = 0x8B31
+	ShaderTypeFragment  = 0x8B30
+	TexFormatRGBA       = 0x1908
+	TexFormatRGB        = 0x1907
+	AttribTypeFloat     = 0x1406
+	IndexTypeUshort     = 0x1403
+	DrawModeTriangles   = 0x0004
+	DrawModeTriStrip    = 0x0005
+	BlendSrcAlpha       = 0x0302
+	BlendOneMinusSrcA   = 0x0303
+	UsageStaticDraw     = 0x88E4
+	UsageDynamicDraw    = 0x88E8
+	TexMinFilter        = 0x2801
+	TexMagFilter        = 0x2800
+	FilterNearest       = 0x2600
+	FilterLinear        = 0x2601
+	DepthFuncLess       = 0x0201
+	DepthFuncLessEqual  = 0x0203
+	TextureUnit0        = 0x84C0
+	MaxVertexAttribs    = 16
+	MaxTextureUnits     = 8
+	UniformLocationSize = 1024
+)
+
+// NoDataLen marks a Command whose Data length was unknown at intercept
+// time. This happens exactly for client-array glVertexAttribPointer: the
+// pointer's extent is only revealed by a later draw call (§IV-B). The
+// wire encoder defers such commands until the length is resolved.
+const NoDataLen = -1
+
+// Command is one intercepted GLES call. Parameters are split by type:
+// Ints carries integer/enum/boolean arguments in call order, Floats
+// carries float arguments in call order, and Data carries the payload a
+// pointer argument refers to (texel data, buffer data, index data,
+// client vertex arrays, shader source bytes).
+type Command struct {
+	Op Op
+	// Ints holds the integer arguments (ids, enums, sizes, offsets).
+	Ints []int32
+	// Floats holds the float arguments (colors, uniform values,
+	// matrices in column-major order).
+	Floats []float32
+	// Data is the resolved pointer payload, if any.
+	Data []byte
+	// DataLen is len(Data) once known, or NoDataLen when the payload
+	// extent is still unresolved (deferred glVertexAttribPointer).
+	DataLen int32
+	// ClientPtr identifies the client-side array a deferred command's
+	// pointer refers to, so a later draw call can resolve its extent.
+	// Zero when the command has no deferred payload.
+	ClientPtr uint64
+}
+
+// Clone returns a deep copy of the command. Commands cross goroutine
+// and cache boundaries, so boundaries copy per the style guide.
+func (c Command) Clone() Command {
+	out := Command{Op: c.Op, DataLen: c.DataLen, ClientPtr: c.ClientPtr}
+	if len(c.Ints) > 0 {
+		out.Ints = append([]int32(nil), c.Ints...)
+	}
+	if len(c.Floats) > 0 {
+		out.Floats = append([]float32(nil), c.Floats...)
+	}
+	if len(c.Data) > 0 {
+		out.Data = append([]byte(nil), c.Data...)
+	}
+	return out
+}
+
+// Int returns Ints[i], or 0 when the argument list is shorter. Malformed
+// commands degrade to no-ops rather than panicking the server.
+func (c Command) Int(i int) int32 {
+	if i < 0 || i >= len(c.Ints) {
+		return 0
+	}
+	return c.Ints[i]
+}
+
+// Float returns Floats[i], or 0 when the argument list is shorter.
+func (c Command) Float(i int) float32 {
+	if i < 0 || i >= len(c.Floats) {
+		return 0
+	}
+	return c.Floats[i]
+}
+
+// String renders the command for traces and test failures.
+func (c Command) String() string {
+	return fmt.Sprintf("%s(ints=%v floats=%d data=%dB)", c.Op, c.Ints, len(c.Floats), len(c.Data))
+}
+
+// MutatesState reports whether the command alters durable OpenGL
+// context state (textures, buffers, programs, uniforms, attrib
+// bindings, global toggles). §VI-B replicates exactly these commands to
+// every service device to keep contexts consistent; draws and frame
+// boundaries are not replicated.
+func (c Command) MutatesState() bool {
+	switch c.Op {
+	case OpDrawArrays, OpDrawElements, OpClear, OpSwapBuffers, OpFlush, OpFinish:
+		return false
+	default:
+		return true
+	}
+}
+
+// IsDraw reports whether the command triggers rasterization work.
+func (c Command) IsDraw() bool {
+	return c.Op == OpDrawArrays || c.Op == OpDrawElements || c.Op == OpClear
+}
+
+// IsFrameBoundary reports whether the command ends a rendering request
+// (a frame) — the paper's unit of dispatch in §VI.
+func (c Command) IsFrameBoundary() bool { return c.Op == OpSwapBuffers }
+
+// UniformLocation derives the uniform/attribute location for a name.
+//
+// In real GLES the application asks the driver (glGetUniformLocation),
+// which would force a synchronous round trip in an offloading system.
+// GBooster's substituted driver makes locations a pure function of the
+// name so client and every service device agree without communication;
+// this stands in for the paper's implicit handling of value-returning
+// calls. Locations fall in [0, UniformLocationSize).
+func UniformLocation(name string) int32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return int32(h.Sum32() % UniformLocationSize)
+}
+
+// Well-known attribute and uniform locations for the fixed pipeline the
+// rasterizer implements. Workloads bind positions/colors/texcoords to
+// these names; the rasterizer recognizes the derived locations.
+var (
+	LocPosition = UniformLocation("aPosition")
+	LocColor    = UniformLocation("aColor")
+	LocTexCoord = UniformLocation("aTexCoord")
+	LocMVP      = UniformLocation("uMVP")
+	LocTint     = UniformLocation("uTint")
+	LocSampler  = UniformLocation("uTexture")
+)

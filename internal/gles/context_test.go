@@ -1,0 +1,481 @@
+package gles
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{OpClearColor, "glClearColor"},
+		{OpVertexAttribPointer, "glVertexAttribPointer"},
+		{OpSwapBuffers, "eglSwapBuffers"},
+		{Op(999), "Op(999)"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("Op(%d).String() = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestEveryOpHasName(t *testing.T) {
+	for op := Op(1); op < opSentinel; op++ {
+		if !op.Valid() {
+			t.Errorf("op %d in range but not Valid()", op)
+		}
+		if _, ok := _opNames[op]; !ok {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	if Op(0).Valid() || opSentinel.Valid() {
+		t.Error("zero or sentinel op reported Valid()")
+	}
+	if NumOps() != int(opSentinel)-1 {
+		t.Errorf("NumOps() = %d, want %d", NumOps(), int(opSentinel)-1)
+	}
+}
+
+func TestCommandClone(t *testing.T) {
+	orig := Command{
+		Op:        OpTexImage2D,
+		Ints:      []int32{1, 2, 3},
+		Floats:    []float32{1.5},
+		Data:      []byte{9, 8},
+		DataLen:   2,
+		ClientPtr: 77,
+	}
+	cp := orig.Clone()
+	cp.Ints[0] = 100
+	cp.Data[0] = 100
+	cp.Floats[0] = 100
+	if orig.Ints[0] != 1 || orig.Data[0] != 9 || orig.Floats[0] != 1.5 {
+		t.Fatal("Clone shares backing arrays with original")
+	}
+	if cp.ClientPtr != 77 || cp.DataLen != 2 {
+		t.Fatal("Clone lost scalar fields")
+	}
+}
+
+func TestCommandAccessorsOutOfRange(t *testing.T) {
+	c := Command{Op: OpClear, Ints: []int32{5}}
+	if c.Int(0) != 5 || c.Int(1) != 0 || c.Int(-1) != 0 {
+		t.Fatal("Int accessor out-of-range handling wrong")
+	}
+	if c.Float(0) != 0 {
+		t.Fatal("Float accessor out-of-range handling wrong")
+	}
+}
+
+func TestMutatesStateClassification(t *testing.T) {
+	mutating := []Command{
+		CmdClearColor(0, 0, 0, 1), CmdViewport(0, 0, 1, 1), CmdEnable(CapBlend),
+		CmdGenTexture(1), CmdBindTexture(TexTarget2D, 0), CmdUseProgram(0),
+		CmdUniform4f(1, 0, 0, 0, 0), CmdVertexAttribPointerResolved(1, 2, 0, nil),
+		CmdBufferData(BufTargetArray, nil, UsageStaticDraw),
+	}
+	for _, c := range mutating {
+		if !c.MutatesState() {
+			t.Errorf("%v should be state-mutating", c.Op)
+		}
+	}
+	nonMutating := []Command{
+		CmdClear(ClearColorBit), CmdDrawArrays(DrawModeTriangles, 0, 3),
+		CmdDrawElementsVBO(DrawModeTriangles, 3, 0), CmdSwapBuffers(),
+		CmdFlush(), CmdFinish(),
+	}
+	for _, c := range nonMutating {
+		if c.MutatesState() {
+			t.Errorf("%v should not be state-mutating", c.Op)
+		}
+	}
+}
+
+func TestFrameBoundaryAndDrawClassification(t *testing.T) {
+	if !CmdSwapBuffers().IsFrameBoundary() {
+		t.Error("SwapBuffers not a frame boundary")
+	}
+	if CmdFlush().IsFrameBoundary() {
+		t.Error("Flush wrongly a frame boundary")
+	}
+	if !CmdDrawArrays(DrawModeTriangles, 0, 3).IsDraw() || !CmdClear(ClearColorBit).IsDraw() {
+		t.Error("draw classification wrong")
+	}
+	if CmdUseProgram(1).IsDraw() {
+		t.Error("UseProgram wrongly classified as draw")
+	}
+}
+
+func TestUniformLocationStableAndBounded(t *testing.T) {
+	a, b := UniformLocation("uMVP"), UniformLocation("uMVP")
+	if a != b {
+		t.Fatal("UniformLocation not deterministic")
+	}
+	for _, name := range []string{"", "a", "uLongUniformName", "aPosition"} {
+		loc := UniformLocation(name)
+		if loc < 0 || loc >= UniformLocationSize {
+			t.Errorf("UniformLocation(%q) = %d out of range", name, loc)
+		}
+	}
+}
+
+func TestContextClearColorAndViewport(t *testing.T) {
+	ctx := NewContext()
+	if err := ctx.Apply(CmdClearColor(0.1, 0.2, 0.3, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.ClearR != 0.1 || ctx.ClearG != 0.2 || ctx.ClearB != 0.3 || ctx.ClearA != 0.4 {
+		t.Fatal("clear color not stored")
+	}
+	if err := ctx.Apply(CmdViewport(5, 6, 640, 480)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.ViewportX != 5 || ctx.ViewportY != 6 || ctx.ViewportW != 640 || ctx.ViewportH != 480 {
+		t.Fatal("viewport not stored")
+	}
+	if err := ctx.Apply(CmdViewport(0, 0, -1, 10)); !errors.Is(err, ErrBadArguments) {
+		t.Fatalf("negative viewport error = %v, want ErrBadArguments", err)
+	}
+}
+
+func TestContextEnableDisable(t *testing.T) {
+	ctx := NewContext()
+	mustApply(t, ctx, CmdEnable(CapBlend))
+	if !ctx.Caps[CapBlend] {
+		t.Fatal("Enable did not set capability")
+	}
+	mustApply(t, ctx, CmdDisable(CapBlend))
+	if ctx.Caps[CapBlend] {
+		t.Fatal("Disable did not clear capability")
+	}
+}
+
+func TestContextTextureLifecycle(t *testing.T) {
+	ctx := NewContext()
+	mustApply(t, ctx, CmdGenTexture(7))
+	mustApply(t, ctx, CmdBindTexture(TexTarget2D, 7))
+	pix := make([]byte, 2*2*4)
+	for i := range pix {
+		pix[i] = byte(i)
+	}
+	mustApply(t, ctx, CmdTexImage2D(TexTarget2D, 0, 2, 2, pix))
+	tex := ctx.Textures[7]
+	if tex.Width != 2 || tex.Height != 2 || len(tex.Pixels) != 16 {
+		t.Fatalf("texture not uploaded: %+v", tex)
+	}
+	if ctx.Stats.TexelsLoaded != 4 {
+		t.Fatalf("TexelsLoaded = %d, want 4", ctx.Stats.TexelsLoaded)
+	}
+	// Upload owns its copy: mutating source must not change the texture.
+	pix[0] = 200
+	if tex.Pixels[0] == 200 {
+		t.Fatal("TexImage2D aliases caller data")
+	}
+	mustApply(t, ctx, CmdDeleteTexture(7))
+	if _, ok := ctx.Textures[7]; ok {
+		t.Fatal("DeleteTexture left the texture")
+	}
+}
+
+func TestContextTextureErrors(t *testing.T) {
+	ctx := NewContext()
+	if err := ctx.Apply(CmdGenTexture(0)); !errors.Is(err, ErrBadArguments) {
+		t.Fatalf("GenTexture(0) error = %v", err)
+	}
+	if err := ctx.Apply(CmdBindTexture(TexTarget2D, 42)); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("Bind of unknown texture error = %v", err)
+	}
+	if err := ctx.Apply(CmdTexImage2D(TexTarget2D, 0, 2, 2, nil)); err == nil {
+		t.Fatal("TexImage2D with no bound texture succeeded")
+	}
+	mustApply(t, ctx, CmdGenTexture(1))
+	mustApply(t, ctx, CmdBindTexture(TexTarget2D, 1))
+	if err := ctx.Apply(CmdTexImage2D(TexTarget2D, 0, 4, 4, make([]byte, 3))); !errors.Is(err, ErrBadArguments) {
+		t.Fatalf("short texel data error = %v", err)
+	}
+	if ctx.Stats.Errors == 0 {
+		t.Fatal("error counter not incremented")
+	}
+}
+
+func TestContextActiveTextureUnits(t *testing.T) {
+	ctx := NewContext()
+	mustApply(t, ctx, CmdGenTexture(1))
+	mustApply(t, ctx, CmdGenTexture(2))
+	mustApply(t, ctx, CmdActiveTexture(TextureUnit0+1))
+	mustApply(t, ctx, CmdBindTexture(TexTarget2D, 2))
+	mustApply(t, ctx, CmdActiveTexture(TextureUnit0))
+	mustApply(t, ctx, CmdBindTexture(TexTarget2D, 1))
+	if ctx.BoundTexture[0] != 1 || ctx.BoundTexture[1] != 2 {
+		t.Fatalf("texture unit bindings = %v", ctx.BoundTexture[:2])
+	}
+	if err := ctx.Apply(CmdActiveTexture(TextureUnit0 + MaxTextureUnits)); !errors.Is(err, ErrBadArguments) {
+		t.Fatalf("out-of-range texture unit error = %v", err)
+	}
+}
+
+func TestContextBufferLifecycle(t *testing.T) {
+	ctx := NewContext()
+	mustApply(t, ctx, CmdGenBuffer(3))
+	mustApply(t, ctx, CmdBindBuffer(BufTargetArray, 3))
+	mustApply(t, ctx, CmdBufferData(BufTargetArray, []byte{1, 2, 3, 4}, UsageStaticDraw))
+	if got := ctx.Buffers[3].Data; len(got) != 4 || got[0] != 1 {
+		t.Fatalf("buffer data = %v", got)
+	}
+	mustApply(t, ctx, CmdBufferSubData(BufTargetArray, 2, []byte{9, 9}))
+	if got := ctx.Buffers[3].Data; got[2] != 9 || got[3] != 9 || got[0] != 1 {
+		t.Fatalf("subdata result = %v", got)
+	}
+	if err := ctx.Apply(CmdBufferSubData(BufTargetArray, 3, []byte{1, 2})); !errors.Is(err, ErrBadArguments) {
+		t.Fatalf("overflowing subdata error = %v", err)
+	}
+	mustApply(t, ctx, CmdDeleteBuffer(3))
+	if _, ok := ctx.Buffers[3]; ok {
+		t.Fatal("DeleteBuffer left the buffer")
+	}
+}
+
+func TestContextBufferErrors(t *testing.T) {
+	ctx := NewContext()
+	if err := ctx.Apply(CmdBindBuffer(BufTargetArray, 9)); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("bind unknown buffer error = %v", err)
+	}
+	if err := ctx.Apply(CmdBufferData(BufTargetArray, []byte{1}, UsageStaticDraw)); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("BufferData with nothing bound error = %v", err)
+	}
+	if err := ctx.Apply(CmdBindBuffer(0x1234, 0)); !errors.Is(err, ErrBadArguments) {
+		t.Fatalf("bad buffer target error = %v", err)
+	}
+}
+
+func TestContextShaderProgramLifecycle(t *testing.T) {
+	ctx := NewContext()
+	mustApply(t, ctx, CmdCreateShader(ShaderTypeVertex, 1))
+	mustApply(t, ctx, CmdShaderSource(1, "attribute vec2 aPosition;"))
+	mustApply(t, ctx, CmdCompileShader(1))
+	mustApply(t, ctx, CmdCreateShader(ShaderTypeFragment, 2))
+	mustApply(t, ctx, CmdShaderSource(2, "void main(){}"))
+	mustApply(t, ctx, CmdCompileShader(2))
+	mustApply(t, ctx, CmdCreateProgram(5))
+	mustApply(t, ctx, CmdAttachShader(5, 1))
+	mustApply(t, ctx, CmdAttachShader(5, 2))
+	mustApply(t, ctx, CmdLinkProgram(5))
+	mustApply(t, ctx, CmdUseProgram(5))
+	if ctx.CurrentProgram != 5 {
+		t.Fatalf("CurrentProgram = %d, want 5", ctx.CurrentProgram)
+	}
+	p := ctx.Programs[5]
+	if !p.Linked || len(p.Shaders) != 2 {
+		t.Fatalf("program state: %+v", p)
+	}
+	if sh := ctx.Shaders[1]; !sh.Compiled || sh.Source == "" {
+		t.Fatalf("shader state: %+v", sh)
+	}
+	mustApply(t, ctx, CmdUseProgram(0))
+	if ctx.CurrentProgram != 0 {
+		t.Fatal("UseProgram(0) did not unbind")
+	}
+}
+
+func TestContextShaderProgramErrors(t *testing.T) {
+	ctx := NewContext()
+	if err := ctx.Apply(CmdShaderSource(9, "x")); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("ShaderSource unknown error = %v", err)
+	}
+	if err := ctx.Apply(CmdCompileShader(9)); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("CompileShader unknown error = %v", err)
+	}
+	if err := ctx.Apply(CmdAttachShader(9, 9)); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("AttachShader unknown error = %v", err)
+	}
+	if err := ctx.Apply(CmdUseProgram(9)); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("UseProgram unknown error = %v", err)
+	}
+	if err := ctx.Apply(Command{Op: Op(200)}); !errors.Is(err, ErrUnknownOp) {
+		t.Fatalf("unknown op error = %v", err)
+	}
+}
+
+func TestContextUniforms(t *testing.T) {
+	ctx := NewContext()
+	mustApply(t, ctx, CmdUniform4f(LocTint, 1, 0.5, 0.25, 1))
+	if got := ctx.Uniforms[LocTint]; len(got) != 4 || got[1] != 0.5 {
+		t.Fatalf("uniform4f = %v", got)
+	}
+	mustApply(t, ctx, CmdUniform1i(LocSampler, 3))
+	if ctx.UniformInts[LocSampler] != 3 {
+		t.Fatal("uniform1i not stored")
+	}
+	var m [16]float32
+	for i := range m {
+		m[i] = float32(i)
+	}
+	mustApply(t, ctx, CmdUniformMatrix4fv(LocMVP, m))
+	if got := ctx.Uniforms[LocMVP]; len(got) != 16 || got[15] != 15 {
+		t.Fatalf("matrix uniform = %v", got)
+	}
+}
+
+func TestContextVertexAttribPointerClientArrayNeedsResolvedLen(t *testing.T) {
+	ctx := NewContext()
+	err := ctx.Apply(CmdVertexAttribPointerClient(LocPosition, 2, 0, 1))
+	if !errors.Is(err, ErrBadArguments) {
+		t.Fatalf("unresolved client attrib applied server-side, err = %v", err)
+	}
+	data := FloatsToBytes([]float32{0, 0, 1, 0, 0, 1})
+	mustApply(t, ctx, CmdVertexAttribPointerResolved(LocPosition, 2, 0, data))
+	b := ctx.Attribs[LocPosition]
+	if b.Size != 2 || len(b.ClientData) != len(data) {
+		t.Fatalf("attrib binding = %+v", b)
+	}
+}
+
+func TestContextVertexAttribPointerVBO(t *testing.T) {
+	ctx := NewContext()
+	mustApply(t, ctx, CmdGenBuffer(1))
+	mustApply(t, ctx, CmdBindBuffer(BufTargetArray, 1))
+	mustApply(t, ctx, CmdBufferData(BufTargetArray, FloatsToBytes([]float32{1, 2, 3, 4}), UsageStaticDraw))
+	mustApply(t, ctx, CmdVertexAttribPointerVBO(LocPosition, 2, 0, 0, 1))
+	if err := ctx.Apply(CmdVertexAttribPointerVBO(LocPosition, 2, 0, 0, 99)); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("attrib to unknown VBO error = %v", err)
+	}
+	if err := ctx.Apply(CmdVertexAttribPointerVBO(LocPosition, 5, 0, 0, 1)); !errors.Is(err, ErrBadArguments) {
+		t.Fatalf("attrib size 5 error = %v", err)
+	}
+}
+
+func TestAttribFloatsFromVBOAndClient(t *testing.T) {
+	ctx := NewContext()
+	vals := []float32{1, 2, 3, 4, 5, 6}
+	// Client array path.
+	mustApply(t, ctx, CmdVertexAttribPointerResolved(LocPosition, 2, 0, FloatsToBytes(vals)))
+	got, err := ctx.AttribFloats(ctx.Attribs[LocPosition], 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("client attrib floats = %v", got)
+		}
+	}
+	// VBO path with offset.
+	mustApply(t, ctx, CmdGenBuffer(1))
+	mustApply(t, ctx, CmdBindBuffer(BufTargetArray, 1))
+	mustApply(t, ctx, CmdBufferData(BufTargetArray, FloatsToBytes(append([]float32{99}, vals...)), UsageStaticDraw))
+	mustApply(t, ctx, CmdVertexAttribPointerVBO(LocPosition, 2, 0, 4, 1))
+	got, err = ctx.AttribFloats(ctx.Attribs[LocPosition], 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[3] != 6 {
+		t.Fatalf("VBO attrib floats = %v", got)
+	}
+	// Out of range.
+	if _, err := ctx.AttribFloats(ctx.Attribs[LocPosition], 0, 100); !errors.Is(err, ErrOutOfRangeDraw) {
+		t.Fatalf("out-of-range attrib error = %v", err)
+	}
+	if _, err := ctx.AttribFloats(nil, 0, 1); !errors.Is(err, ErrBadArguments) {
+		t.Fatalf("nil binding error = %v", err)
+	}
+}
+
+func TestAttribFloatsStride(t *testing.T) {
+	ctx := NewContext()
+	// Interleaved x,y,u,v per vertex; stride 16, positions at offset 0.
+	inter := []float32{0, 0, 9, 9, 1, 0, 9, 9, 0, 1, 9, 9}
+	mustApply(t, ctx, CmdVertexAttribPointerResolved(LocPosition, 2, 16, FloatsToBytes(inter)))
+	got, err := ctx.AttribFloats(ctx.Attribs[LocPosition], 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 0, 1, 0, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("strided floats = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDrawValidation(t *testing.T) {
+	ctx := NewContext()
+	if err := ctx.Apply(CmdDrawArrays(DrawModeTriangles, 0, 3)); !errors.Is(err, ErrNoProgram) {
+		t.Fatalf("draw without program error = %v", err)
+	}
+	mustApply(t, ctx, CmdCreateProgram(1))
+	mustApply(t, ctx, CmdUseProgram(1))
+	if err := ctx.Apply(CmdDrawArrays(DrawModeTriangles, 0, 3)); !errors.Is(err, ErrMissingAttrib) {
+		t.Fatalf("draw without position error = %v", err)
+	}
+	if ctx.Stats.Draws != 2 {
+		t.Fatalf("Stats.Draws = %d, want 2", ctx.Stats.Draws)
+	}
+}
+
+func TestStateReplicationConsistency(t *testing.T) {
+	// The §VI-B invariant: two contexts that apply the same
+	// state-mutating stream have identical snapshots.
+	stream := []Command{
+		CmdClearColor(0, 0, 0, 1),
+		CmdGenTexture(1),
+		CmdBindTexture(TexTarget2D, 1),
+		CmdTexImage2D(TexTarget2D, 0, 2, 2, make([]byte, 16)),
+		CmdGenBuffer(1),
+		CmdBindBuffer(BufTargetArray, 1),
+		CmdBufferData(BufTargetArray, make([]byte, 64), UsageStaticDraw),
+		CmdCreateProgram(1),
+		CmdUseProgram(1),
+		CmdUniform4f(LocTint, 1, 1, 1, 1),
+		CmdVertexAttribPointerVBO(LocPosition, 2, 0, 0, 1),
+		CmdEnableVertexAttribArray(LocPosition),
+	}
+	a, b := NewContext(), NewContext()
+	for _, cmd := range stream {
+		if cmd.MutatesState() {
+			mustApply(t, a, cmd)
+			mustApply(t, b, cmd)
+		}
+	}
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatalf("replicated contexts diverged:\n a=%+v\n b=%+v", a.Snapshot(), b.Snapshot())
+	}
+}
+
+func TestTextureSample(t *testing.T) {
+	tex := &Texture{Width: 2, Height: 2, Pixels: []byte{
+		255, 0, 0, 255 /**/, 0, 255, 0, 255,
+		0, 0, 255, 255 /**/, 255, 255, 255, 255,
+	}}
+	r, g, b, _ := tex.Sample(0.1, 0.1)
+	if r != 255 || g != 0 || b != 0 {
+		t.Fatalf("Sample(0.1,0.1) = %d,%d,%d, want red", r, g, b)
+	}
+	r, g, b, _ = tex.Sample(0.9, 0.9)
+	if r != 255 || g != 255 || b != 255 {
+		t.Fatalf("Sample(0.9,0.9) = %d,%d,%d, want white", r, g, b)
+	}
+	// Repeat wrapping: u=1.1 is the same as u=0.1.
+	r, _, _, _ = tex.Sample(1.1, 0.1)
+	if r != 255 {
+		t.Fatalf("wrapped sample red channel = %d", r)
+	}
+	// Negative wraps too.
+	_, g, _, _ = tex.Sample(-0.4, 0.1) // wraps to 0.6 -> green texel
+	if g != 255 {
+		t.Fatalf("negative-wrap sample green = %d", g)
+	}
+	// Nil and empty textures sample opaque white.
+	var nilTex *Texture
+	if r, g, b, a := nilTex.Sample(0, 0); r != 255 || g != 255 || b != 255 || a != 255 {
+		t.Fatal("nil texture does not sample white")
+	}
+}
+
+func mustApply(t *testing.T, ctx *Context, cmd Command) {
+	t.Helper()
+	if err := ctx.Apply(cmd); err != nil {
+		t.Fatalf("apply %v: %v", cmd, err)
+	}
+}

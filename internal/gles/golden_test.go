@@ -1,0 +1,66 @@
+package gles
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestRasterizerGoldenHash locks the rasterizer's exact output for a
+// fixed scene. Multi-device consistency (§VI-B) relies on every replica
+// producing byte-identical framebuffers from the same stream, so any
+// change to rasterization rules must be deliberate: update the hash
+// only when the change is intended, since it invalidates cross-device
+// determinism with older builds.
+func TestRasterizerGoldenHash(t *testing.T) {
+	gpu := NewGPU(64, 64)
+	var m [16]float32
+	m[0], m[5], m[10], m[15] = 1, 1, 1, 1
+	m[12] = 0.25 // translate right
+	tex := make([]byte, 8*8*4)
+	for i := range tex {
+		tex[i] = byte(i * 7)
+	}
+	stream := []Command{
+		CmdViewport(0, 0, 64, 64),
+		CmdClearColor(0.05, 0.1, 0.15, 1),
+		CmdClear(ClearColorBit | ClearDepthBit),
+		CmdCreateProgram(1),
+		CmdUseProgram(1),
+		CmdEnable(CapBlend),
+		CmdBlendFunc(BlendSrcAlpha, BlendOneMinusSrcA),
+		CmdGenTexture(1),
+		CmdBindTexture(TexTarget2D, 1),
+		CmdTexImage2D(TexTarget2D, 0, 8, 8, tex),
+		CmdUniform1i(LocSampler, 0),
+		CmdUniformMatrix4fv(LocMVP, m),
+		CmdUniform4f(LocTint, 0.9, 0.8, 1, 0.7),
+		CmdVertexAttribPointerResolved(LocPosition, 2, 0,
+			FloatsToBytes([]float32{-0.8, -0.8, 0.6, -0.5, -0.1, 0.7})),
+		CmdEnableVertexAttribArray(LocPosition),
+		CmdVertexAttribPointerResolved(LocTexCoord, 2, 0,
+			FloatsToBytes([]float32{0, 0, 1, 0, 0.5, 1})),
+		CmdEnableVertexAttribArray(LocTexCoord),
+		CmdDrawArrays(DrawModeTriangles, 0, 3),
+		CmdSwapBuffers(),
+	}
+	if _, err := gpu.ExecuteAll(stream); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(gpu.FB.Pix)
+	got := hex.EncodeToString(sum[:8])
+	const want = "028d340408b8f8eb"
+	if got != want {
+		t.Fatalf("framebuffer hash = %s, want %s — rasterization rules changed", got, want)
+	}
+	// Regardless of pinning, the same stream must re-produce the same
+	// bytes within a build.
+	gpu2 := NewGPU(64, 64)
+	if _, err := gpu2.ExecuteAll(stream); err != nil {
+		t.Fatal(err)
+	}
+	sum2 := sha256.Sum256(gpu2.FB.Pix)
+	if sum != sum2 {
+		t.Fatal("identical streams produced different framebuffers")
+	}
+}

@@ -1,0 +1,16 @@
+package gles
+
+import "testing"
+
+func TestWellKnownLocationsDistinct(t *testing.T) {
+	locs := map[int32]string{}
+	for name, loc := range map[string]int32{
+		"aPosition": LocPosition, "aColor": LocColor, "aTexCoord": LocTexCoord,
+		"uMVP": LocMVP, "uTint": LocTint, "uTexture": LocSampler,
+	} {
+		if prev, dup := locs[loc]; dup {
+			t.Fatalf("location collision: %q and %q both map to %d", prev, name, loc)
+		}
+		locs[loc] = name
+	}
+}

@@ -1,0 +1,156 @@
+package glwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/gbooster/gbooster/internal/gles"
+)
+
+// Decoder parses length-delimited command records produced by Encoder.
+// The zero value is ready to use.
+type Decoder struct {
+	// Stats accumulate decoded volume.
+	Stats DecoderStats
+}
+
+// DecoderStats counts decoder activity.
+type DecoderStats struct {
+	Records int
+	Bytes   int64
+}
+
+// Decode parses one record from buf, returning the command and the
+// number of bytes consumed.
+func (d *Decoder) Decode(buf []byte) (gles.Command, int, error) {
+	bodyLen, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return gles.Command{}, 0, ErrShortRecord
+	}
+	if bodyLen > MaxRecordSize {
+		return gles.Command{}, 0, fmt.Errorf("%w: body %d", ErrRecordTooBig, bodyLen)
+	}
+	if uint64(len(buf)-n) < bodyLen {
+		return gles.Command{}, 0, fmt.Errorf("%w: need %d body bytes, have %d", ErrShortRecord, bodyLen, len(buf)-n)
+	}
+	body := buf[n : n+int(bodyLen)]
+	cmd, err := parseBody(body)
+	if err != nil {
+		return gles.Command{}, 0, err
+	}
+	total := n + int(bodyLen)
+	d.Stats.Records++
+	d.Stats.Bytes += int64(total)
+	return cmd, total, nil
+}
+
+// DecodeAll parses every record in buf. It fails on trailing garbage.
+func (d *Decoder) DecodeAll(buf []byte) ([]gles.Command, error) {
+	var cmds []gles.Command
+	for len(buf) > 0 {
+		cmd, n, err := d.Decode(buf)
+		if err != nil {
+			return cmds, fmt.Errorf("record %d: %w", len(cmds), err)
+		}
+		cmds = append(cmds, cmd)
+		buf = buf[n:]
+	}
+	return cmds, nil
+}
+
+func parseBody(body []byte) (gles.Command, error) {
+	var cmd gles.Command
+	if len(body) < 2 {
+		return cmd, ErrShortRecord
+	}
+	cmd.Op = gles.Op(binary.LittleEndian.Uint16(body))
+	if !cmd.Op.Valid() {
+		return cmd, fmt.Errorf("%w: op %d", ErrBadRecord, uint16(cmd.Op))
+	}
+	p := body[2:]
+
+	nInts, n := binary.Uvarint(p)
+	if n <= 0 || nInts > uint64(len(p)) {
+		return cmd, fmt.Errorf("%w: int count", ErrBadRecord)
+	}
+	p = p[n:]
+	if nInts > 0 {
+		cmd.Ints = make([]int32, nInts)
+		for i := range cmd.Ints {
+			v, n := binary.Varint(p)
+			if n <= 0 {
+				return cmd, fmt.Errorf("%w: int %d", ErrShortRecord, i)
+			}
+			if v < math.MinInt32 || v > math.MaxInt32 {
+				return cmd, fmt.Errorf("%w: int %d overflows int32", ErrBadRecord, v)
+			}
+			cmd.Ints[i] = int32(v)
+			p = p[n:]
+		}
+	}
+
+	nFloats, n := binary.Uvarint(p)
+	if n <= 0 || nFloats > uint64(MaxRecordSize/4) || nFloats*4 > uint64(len(p)-n) {
+		return cmd, fmt.Errorf("%w: float count", ErrBadRecord)
+	}
+	p = p[n:]
+	if nFloats > 0 {
+		cmd.Floats = make([]float32, nFloats)
+		for i := range cmd.Floats {
+			cmd.Floats[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*4:]))
+		}
+		p = p[nFloats*4:]
+	}
+
+	dataLen, n := binary.Uvarint(p)
+	if n <= 0 || dataLen > uint64(len(p)-n) {
+		return cmd, fmt.Errorf("%w: data length", ErrBadRecord)
+	}
+	p = p[n:]
+	if dataLen > 0 {
+		cmd.Data = append([]byte(nil), p[:dataLen]...)
+	}
+	cmd.DataLen = int32(dataLen)
+	if rest := p[dataLen:]; len(rest) != 0 {
+		return cmd, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(rest))
+	}
+	return cmd, nil
+}
+
+// PeekOp reads a record's operation without parsing its body — the
+// state-replication path classifies records this way.
+func PeekOp(record []byte) (gles.Op, error) {
+	bodyLen, n := binary.Uvarint(record)
+	if n <= 0 || bodyLen < 2 || uint64(len(record)-n) < bodyLen {
+		return 0, ErrShortRecord
+	}
+	op := gles.Op(binary.LittleEndian.Uint16(record[n:]))
+	if !op.Valid() {
+		return 0, fmt.Errorf("%w: op %d", ErrBadRecord, uint16(op))
+	}
+	return op, nil
+}
+
+// SplitRecords slices buf into individual encoded records without
+// parsing their bodies. The redundancy-elimination layer (cmdcache)
+// operates on these raw records.
+func SplitRecords(buf []byte) ([][]byte, error) {
+	var recs [][]byte
+	for off := 0; off < len(buf); {
+		bodyLen, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return nil, ErrShortRecord
+		}
+		if bodyLen > MaxRecordSize {
+			return nil, fmt.Errorf("%w: body %d", ErrRecordTooBig, bodyLen)
+		}
+		end := off + n + int(bodyLen)
+		if end > len(buf) {
+			return nil, fmt.Errorf("%w: record at %d overruns buffer", ErrShortRecord, off)
+		}
+		recs = append(recs, buf[off:end])
+		off = end
+	}
+	return recs, nil
+}

@@ -1,0 +1,23 @@
+package glwire
+
+import "github.com/gbooster/gbooster/internal/gles"
+
+// validCommands is a representative stream for corruption tests.
+func validCommands() []gles.Command {
+	var m [16]float32
+	for i := range m {
+		m[i] = float32(i)
+	}
+	return []gles.Command{
+		gles.CmdClearColor(0.1, 0.2, 0.3, 1),
+		gles.CmdViewport(0, 0, 640, 480),
+		gles.CmdGenTexture(1),
+		gles.CmdBindTexture(gles.TexTarget2D, 1),
+		gles.CmdTexImage2D(gles.TexTarget2D, 0, 4, 4, make([]byte, 64)),
+		gles.CmdUniformMatrix4fv(gles.LocMVP, m),
+		gles.CmdVertexAttribPointerResolved(gles.LocPosition, 2, 0, gles.FloatsToBytes([]float32{0, 0, 1, 0, 0, 1})),
+		gles.CmdEnableVertexAttribArray(gles.LocPosition),
+		gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 3),
+		gles.CmdSwapBuffers(),
+	}
+}

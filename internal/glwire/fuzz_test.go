@@ -1,0 +1,55 @@
+package glwire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+func TestDecodeNeverPanicsOnArbitraryBytes(t *testing.T) {
+	check := func(data []byte) bool {
+		var dec Decoder
+		// Errors are fine; panics are not (the deferred recover would
+		// surface as a quick.Check failure via re-panic).
+		_, _, _ = dec.Decode(data)
+		_, _ = dec.DecodeAll(data)
+		_, _ = SplitRecords(data)
+		_, _ = PeekOp(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnCorruptedValidRecords(t *testing.T) {
+	// Take valid encodings and flip bytes: decoders must error or
+	// succeed, never panic, and never over-read.
+	rng := sim.NewRNG(31)
+	enc := NewEncoder(nil)
+	base, err := enc.EncodeAll(nil, validCommands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		buf := append([]byte(nil), base...)
+		for flips := 0; flips < 1+rng.Intn(4); flips++ {
+			buf[rng.Intn(len(buf))] ^= byte(1 << rng.Intn(8))
+		}
+		var dec Decoder
+		_, _ = dec.DecodeAll(buf)
+	}
+}
+
+func TestDecodeNeverPanicsOnTruncations(t *testing.T) {
+	enc := NewEncoder(nil)
+	base, err := enc.EncodeAll(nil, validCommands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(base); cut++ {
+		var dec Decoder
+		_, _ = dec.DecodeAll(base[:cut])
+	}
+}

@@ -1,0 +1,117 @@
+package glwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/gbooster/gbooster/internal/gles"
+)
+
+// Trace files capture an intercepted command stream for offline replay
+// (the apitrace/glretrace workflow, applied to GBooster's wire format).
+// Layout: a 8-byte magic header, then per frame a uvarint byte length
+// followed by that frame's concatenated records.
+
+var _traceMagic = [8]byte{'G', 'B', 'T', 'R', 'A', 'C', 'E', 1}
+
+// Trace errors.
+var (
+	ErrBadTrace = errors.New("glwire: malformed trace")
+)
+
+// MaxTraceFrame bounds one frame's encoded size.
+const MaxTraceFrame = 256 << 20
+
+// TraceWriter streams frames of commands to a writer.
+type TraceWriter struct {
+	w      *bufio.Writer
+	enc    *Encoder
+	frames int
+	bytes  int64
+}
+
+// NewTraceWriter writes the header and returns a writer whose deferred
+// client arrays resolve through arrays (may be nil).
+func NewTraceWriter(w io.Writer, arrays ClientArrays) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(_traceMagic[:]); err != nil {
+		return nil, fmt.Errorf("glwire: trace header: %w", err)
+	}
+	return &TraceWriter{w: bw, enc: NewEncoder(arrays)}, nil
+}
+
+// WriteFrame serializes and appends one frame of commands.
+func (t *TraceWriter) WriteFrame(cmds []gles.Command) error {
+	buf, err := t.enc.EncodeAll(nil, cmds)
+	if err != nil {
+		return fmt.Errorf("glwire: trace frame %d: %w", t.frames, err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(buf)))
+	if _, err := t.w.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("glwire: trace write: %w", err)
+	}
+	if _, err := t.w.Write(buf); err != nil {
+		return fmt.Errorf("glwire: trace write: %w", err)
+	}
+	t.frames++
+	t.bytes += int64(n + len(buf))
+	return nil
+}
+
+// Flush drains buffered output. Call before closing the underlying
+// file.
+func (t *TraceWriter) Flush() error { return t.w.Flush() }
+
+// Stats reports frames and payload bytes written (header excluded).
+func (t *TraceWriter) Stats() (frames int, bytes int64) { return t.frames, t.bytes }
+
+// TraceReader iterates the frames of a trace.
+type TraceReader struct {
+	r      *bufio.Reader
+	dec    Decoder
+	frames int
+}
+
+// NewTraceReader validates the header and returns a reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadTrace, err)
+	}
+	if magic != _traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// NextFrame returns the next frame's commands, or io.EOF at the end.
+func (t *TraceReader) NextFrame() ([]gles.Command, error) {
+	frameLen, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: frame %d length: %v", ErrBadTrace, t.frames, err)
+	}
+	if frameLen > MaxTraceFrame {
+		return nil, fmt.Errorf("%w: frame %d is %d bytes", ErrBadTrace, t.frames, frameLen)
+	}
+	buf := make([]byte, frameLen)
+	if _, err := io.ReadFull(t.r, buf); err != nil {
+		return nil, fmt.Errorf("%w: frame %d body: %v", ErrBadTrace, t.frames, err)
+	}
+	cmds, err := t.dec.DecodeAll(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w: frame %d: %v", ErrBadTrace, t.frames, err)
+	}
+	t.frames++
+	return cmds, nil
+}
+
+// Frames reports how many frames have been read so far.
+func (t *TraceReader) Frames() int { return t.frames }

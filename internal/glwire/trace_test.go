@@ -1,0 +1,150 @@
+package glwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/gles"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]gles.Command{
+		{gles.CmdClearColor(1, 0, 0, 1), gles.CmdClear(gles.ClearColorBit), gles.CmdSwapBuffers()},
+		{gles.CmdUseProgram(0), gles.CmdSwapBuffers()},
+		validCommands(),
+	}
+	for _, f := range frames {
+		if err := tw.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, bytesOut := tw.Stats()
+	if n != 3 || bytesOut == 0 {
+		t.Fatalf("writer stats %d/%d", n, bytesOut)
+	}
+
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range frames {
+		got, err := tr.NextFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		// The writer resolves deferred pointers, so counts can differ
+		// only when frames carried deferred commands (validCommands has
+		// none outstanding).
+		if len(got) != len(want) {
+			t.Fatalf("frame %d: %d commands, want %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k].Op != want[k].Op {
+				t.Fatalf("frame %d cmd %d op %v, want %v", i, k, got[k].Op, want[k].Op)
+			}
+		}
+	}
+	if _, err := tr.NextFrame(); err != io.EOF {
+		t.Fatalf("after last frame err = %v, want EOF", err)
+	}
+	if tr.Frames() != 3 {
+		t.Fatalf("reader frames = %d", tr.Frames())
+	}
+}
+
+func TestTraceReplayOnGPU(t *testing.T) {
+	// A recorded trace must replay to the same framebuffer as direct
+	// execution.
+	drawable := append([]gles.Command{
+		gles.CmdCreateProgram(1),
+		gles.CmdUseProgram(1),
+	}, validCommands()...)
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.WriteFrame(drawable); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	direct := gles.NewGPU(32, 32)
+	enc := NewEncoder(nil)
+	var dec Decoder
+	raw, err := enc.EncodeAll(nil, drawable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds, err := dec.DecodeAll(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := direct.ExecuteAll(cmds); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := gles.NewGPU(32, 32)
+	for {
+		frame, err := tr.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := replayed.ExecuteAll(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range direct.FB.Pix {
+		if direct.FB.Pix[i] != replayed.FB.Pix[i] {
+			t.Fatalf("replayed framebuffer differs at byte %d", i)
+		}
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("empty trace error = %v", err)
+	}
+	if _, err := NewTraceReader(bytes.NewReader([]byte("NOTATRACE"))); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad magic error = %v", err)
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.WriteFrame(validCommands()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	tr, err := NewTraceReader(bytes.NewReader(full[:len(full)-4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.NextFrame(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("truncated frame error = %v", err)
+	}
+}

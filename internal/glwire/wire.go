@@ -1,0 +1,266 @@
+// Package glwire serializes GLES command streams for network
+// transmission (paper §IV-B). It handles the one command whose payload
+// size is unknown at intercept time — glVertexAttribPointer with a
+// client-side array — by deferring its transmission until a subsequent
+// draw call reveals how many vertices the pointer must cover. The
+// deferred command is flushed immediately before the draw, which the
+// paper observed preserves rendering results.
+package glwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/gbooster/gbooster/internal/gles"
+)
+
+// Codec errors.
+var (
+	ErrShortRecord  = errors.New("glwire: truncated record")
+	ErrBadRecord    = errors.New("glwire: malformed record")
+	ErrNoResolver   = errors.New("glwire: deferred client array with no resolver")
+	ErrUnknownArray = errors.New("glwire: unknown client array")
+	ErrRecordTooBig = errors.New("glwire: record exceeds size limit")
+)
+
+// MaxRecordSize bounds a single encoded command. It comfortably holds
+// the largest real payloads (full-screen texture uploads) while letting
+// the decoder reject corrupt length prefixes before allocating.
+const MaxRecordSize = 64 << 20
+
+// ClientArrays resolves deferred client-side vertex arrays. The hook
+// layer registers each array the application hands to
+// glVertexAttribPointer; the encoder reads the needed prefix when a
+// draw call resolves the extent.
+type ClientArrays interface {
+	// ClientArray returns the backing bytes of the array identified by
+	// ptrID. The encoder never retains the returned slice.
+	ClientArray(ptrID uint64) ([]byte, bool)
+}
+
+// ClientArrayTable is the standard ClientArrays implementation: a
+// registry the wrapper library fills at intercept time.
+type ClientArrayTable struct {
+	arrays map[uint64][]byte
+	nextID uint64
+}
+
+// NewClientArrayTable returns an empty registry.
+func NewClientArrayTable() *ClientArrayTable {
+	return &ClientArrayTable{arrays: make(map[uint64][]byte)}
+}
+
+// Register stores data and returns the id to carry in the deferred
+// command. The table references (not copies) data, matching how a real
+// GL client array stays owned by the application until draw time.
+func (t *ClientArrayTable) Register(data []byte) uint64 {
+	t.nextID++
+	t.arrays[t.nextID] = data
+	return t.nextID
+}
+
+// Update replaces the bytes for an existing id.
+func (t *ClientArrayTable) Update(id uint64, data []byte) { t.arrays[id] = data }
+
+// ClientArray implements ClientArrays.
+func (t *ClientArrayTable) ClientArray(id uint64) ([]byte, bool) {
+	d, ok := t.arrays[id]
+	return d, ok
+}
+
+// pendingAttrib is a deferred glVertexAttribPointer awaiting its extent.
+type pendingAttrib struct {
+	cmd gles.Command // original command (DataLen == NoDataLen)
+}
+
+// Encoder serializes commands into length-delimited records. It owns
+// the deferral state: at most one pending pointer per attribute index
+// (a later re-point replaces the earlier one, exactly like GL state).
+type Encoder struct {
+	arrays  ClientArrays
+	pending map[int32]pendingAttrib
+	order   []int32 // attribute indices in first-deferral order
+
+	// Stats accumulate encoded volume for the traffic experiments.
+	Stats EncoderStats
+}
+
+// EncoderStats counts encoder activity.
+type EncoderStats struct {
+	Commands      int
+	Records       int
+	Bytes         int64
+	DeferredSent  int
+	DeferredBytes int64
+}
+
+// NewEncoder returns an encoder resolving deferred arrays through
+// arrays (may be nil when the stream contains no client-array
+// pointers).
+func NewEncoder(arrays ClientArrays) *Encoder {
+	return &Encoder{arrays: arrays, pending: make(map[int32]pendingAttrib)}
+}
+
+// Encode appends the wire records for cmd to dst and returns the
+// extended slice. A deferred glVertexAttribPointer produces no bytes
+// until a draw call arrives; the draw then emits the resolved pointer
+// records first, followed by the draw itself (§IV-B reordering).
+func (e *Encoder) Encode(dst []byte, cmd gles.Command) ([]byte, error) {
+	e.Stats.Commands++
+	if cmd.Op == gles.OpVertexAttribPointer && cmd.DataLen == gles.NoDataLen {
+		idx := cmd.Int(0)
+		if _, exists := e.pending[idx]; !exists {
+			e.order = append(e.order, idx)
+		}
+		e.pending[idx] = pendingAttrib{cmd: cmd.Clone()}
+		return dst, nil
+	}
+	vertexDraw := cmd.Op == gles.OpDrawArrays || cmd.Op == gles.OpDrawElements
+	if vertexDraw && len(e.pending) > 0 {
+		var err error
+		dst, err = e.flushPending(dst, cmd)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return e.appendRecord(dst, cmd)
+}
+
+// EncodeAll encodes a whole frame of commands.
+func (e *Encoder) EncodeAll(dst []byte, cmds []gles.Command) ([]byte, error) {
+	var err error
+	for _, cmd := range cmds {
+		if dst, err = e.Encode(dst, cmd); err != nil {
+			return dst, fmt.Errorf("encode %v: %w", cmd.Op, err)
+		}
+	}
+	return dst, nil
+}
+
+// PendingDeferred reports how many attribute pointers are still waiting
+// for a draw call to reveal their extent.
+func (e *Encoder) PendingDeferred() int { return len(e.pending) }
+
+// flushPending resolves every deferred pointer against the incoming
+// draw and emits them in first-deferral order, before the draw.
+func (e *Encoder) flushPending(dst []byte, draw gles.Command) ([]byte, error) {
+	needed, boundKnown := vertexExtent(draw)
+	for _, idx := range e.order {
+		p, ok := e.pending[idx]
+		if !ok {
+			continue
+		}
+		resolved, err := e.resolve(p.cmd, needed, boundKnown)
+		if err != nil {
+			return dst, fmt.Errorf("attrib %d: %w", idx, err)
+		}
+		if dst, err = e.appendRecord(dst, resolved); err != nil {
+			return dst, err
+		}
+		e.Stats.DeferredSent++
+		e.Stats.DeferredBytes += int64(len(resolved.Data))
+	}
+	e.pending = make(map[int32]pendingAttrib)
+	e.order = e.order[:0]
+	return dst, nil
+}
+
+// resolve turns a deferred pointer into a fully materialized command
+// carrying exactly the bytes the draw needs.
+func (e *Encoder) resolve(cmd gles.Command, vertices int, boundKnown bool) (gles.Command, error) {
+	if e.arrays == nil {
+		return cmd, ErrNoResolver
+	}
+	src, ok := e.arrays.ClientArray(cmd.ClientPtr)
+	if !ok {
+		return cmd, fmt.Errorf("%w: id %d", ErrUnknownArray, cmd.ClientPtr)
+	}
+	n := len(src)
+	if boundKnown {
+		size, stride := int(cmd.Int(1)), int(cmd.Int(4))
+		vertexBytes := size * 4
+		if stride == 0 {
+			stride = vertexBytes
+		}
+		if vertices > 0 {
+			if want := (vertices-1)*stride + vertexBytes; want < n {
+				n = want
+			}
+		} else {
+			n = 0
+		}
+	}
+	out := cmd.Clone()
+	out.Data = append([]byte(nil), src[:n]...)
+	out.DataLen = int32(n)
+	out.ClientPtr = 0
+	return out, nil
+}
+
+// vertexExtent computes how many vertices a draw call touches from its
+// arguments alone. DrawElements sourcing indices from a bound VBO gives
+// no client-side bound; the encoder then ships the whole array
+// (boundKnown = false).
+func vertexExtent(draw gles.Command) (vertices int, boundKnown bool) {
+	switch draw.Op {
+	case gles.OpDrawArrays:
+		return int(draw.Int(1)) + int(draw.Int(2)), true
+	case gles.OpDrawElements:
+		if len(draw.Data) == 0 {
+			return 0, false // indices live in a VBO on the server
+		}
+		maxIdx := -1
+		for _, ix := range gles.BytesToU16(draw.Data) {
+			if int(ix) > maxIdx {
+				maxIdx = int(ix)
+			}
+		}
+		return maxIdx + 1, true
+	default: // OpClear and friends touch no vertex data
+		return 0, true
+	}
+}
+
+// Record layout:
+//
+//	uvarint totalLen   (bytes after this prefix)
+//	uint16  op
+//	uvarint nInts,  then nInts zig-zag varints
+//	uvarint nFloats, then nFloats little-endian float32
+//	uvarint dataLen, then dataLen payload bytes
+func (e *Encoder) appendRecord(dst []byte, cmd gles.Command) ([]byte, error) {
+	if cmd.DataLen == gles.NoDataLen {
+		return dst, fmt.Errorf("%w: op %v unresolved at serialization", ErrBadRecord, cmd.Op)
+	}
+	body := appendBody(nil, cmd)
+	if len(body) > MaxRecordSize {
+		return dst, fmt.Errorf("%w: %d bytes", ErrRecordTooBig, len(body))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	dst = append(dst, body...)
+	e.Stats.Records++
+	e.Stats.Bytes += int64(len(body)) + uvarintLen(uint64(len(body)))
+	return dst, nil
+}
+
+func appendBody(dst []byte, cmd gles.Command) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(cmd.Op))
+	dst = binary.AppendUvarint(dst, uint64(len(cmd.Ints)))
+	for _, v := range cmd.Ints {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cmd.Floats)))
+	for _, v := range cmd.Floats {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cmd.Data)))
+	dst = append(dst, cmd.Data...)
+	return dst
+}
+
+func uvarintLen(v uint64) int64 {
+	var buf [binary.MaxVarintLen64]byte
+	return int64(binary.PutUvarint(buf[:], v))
+}

@@ -1,0 +1,514 @@
+package glwire
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/gbooster/gbooster/internal/gles"
+)
+
+func roundTrip(t *testing.T, cmds []gles.Command) []gles.Command {
+	t.Helper()
+	enc := NewEncoder(nil)
+	buf, err := enc.EncodeAll(nil, cmds)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var dec Decoder
+	out, err := dec.DecodeAll(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func commandsEqual(a, b gles.Command) bool {
+	if a.Op != b.Op || len(a.Ints) != len(b.Ints) || len(a.Floats) != len(b.Floats) || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Ints {
+		if a.Ints[i] != b.Ints[i] {
+			return false
+		}
+	}
+	for i := range a.Floats {
+		if math.Float32bits(a.Floats[i]) != math.Float32bits(b.Floats[i]) {
+			return false
+		}
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripBasicCommands(t *testing.T) {
+	cmds := []gles.Command{
+		gles.CmdClearColor(0.25, 0.5, 0.75, 1),
+		gles.CmdClear(gles.ClearColorBit | gles.ClearDepthBit),
+		gles.CmdViewport(0, 0, 640, 480),
+		gles.CmdEnable(gles.CapBlend),
+		gles.CmdBlendFunc(gles.BlendSrcAlpha, gles.BlendOneMinusSrcA),
+		gles.CmdGenTexture(3),
+		gles.CmdBindTexture(gles.TexTarget2D, 3),
+		gles.CmdTexImage2D(gles.TexTarget2D, 0, 2, 2, make([]byte, 16)),
+		gles.CmdUseProgram(1),
+		gles.CmdUniform4f(gles.LocTint, -1, 0, 0.5, 1),
+		gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 6),
+		gles.CmdSwapBuffers(),
+	}
+	out := roundTrip(t, cmds)
+	if len(out) != len(cmds) {
+		t.Fatalf("decoded %d commands, want %d", len(out), len(cmds))
+	}
+	for i := range cmds {
+		if !commandsEqual(cmds[i], out[i]) {
+			t.Errorf("command %d mismatch: sent %v, got %v", i, cmds[i], out[i])
+		}
+	}
+}
+
+func TestRoundTripMatrixUniform(t *testing.T) {
+	var m [16]float32
+	for i := range m {
+		m[i] = float32(i) * 0.5
+	}
+	out := roundTrip(t, []gles.Command{gles.CmdUniformMatrix4fv(gles.LocMVP, m)})
+	if len(out[0].Floats) != 16 || out[0].Floats[15] != 7.5 {
+		t.Fatalf("matrix floats = %v", out[0].Floats)
+	}
+}
+
+func TestRoundTripNegativeInts(t *testing.T) {
+	cmd := gles.Command{Op: gles.OpViewport, Ints: []int32{-5, -10, 100, 200}}
+	out := roundTrip(t, []gles.Command{cmd})
+	if !commandsEqual(cmd, out[0]) {
+		t.Fatalf("negative ints mangled: %v", out[0].Ints)
+	}
+}
+
+func TestDeferredAttribPointerFlushedByDrawArrays(t *testing.T) {
+	arrays := NewClientArrayTable()
+	// 6 vertices of vec2 but the app's array is larger (100 floats).
+	big := make([]float32, 100)
+	for i := range big {
+		big[i] = float32(i)
+	}
+	id := arrays.Register(gles.FloatsToBytes(big))
+
+	enc := NewEncoder(arrays)
+	buf, err := enc.Encode(nil, gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 0 {
+		t.Fatalf("deferred pointer emitted %d bytes before draw", len(buf))
+	}
+	if enc.PendingDeferred() != 1 {
+		t.Fatalf("PendingDeferred = %d, want 1", enc.PendingDeferred())
+	}
+	buf, err = enc.Encode(buf, gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.PendingDeferred() != 0 {
+		t.Fatal("pending pointer not flushed by draw")
+	}
+
+	var dec Decoder
+	out, err := dec.DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d records, want pointer+draw", len(out))
+	}
+	if out[0].Op != gles.OpVertexAttribPointer || out[1].Op != gles.OpDrawArrays {
+		t.Fatalf("record order = %v, %v; pointer must precede draw", out[0].Op, out[1].Op)
+	}
+	// Exactly 6 vec2 vertices = 48 bytes, not the whole 400-byte array.
+	if len(out[0].Data) != 48 {
+		t.Fatalf("resolved pointer carried %d bytes, want 48", len(out[0].Data))
+	}
+	got := gles.BytesToFloats(out[0].Data)
+	for i := 0; i < 12; i++ {
+		if got[i] != float32(i) {
+			t.Fatalf("resolved data prefix = %v", got[:12])
+		}
+	}
+}
+
+func TestDeferredAttribPointerExtentFromDrawElements(t *testing.T) {
+	arrays := NewClientArrayTable()
+	vals := make([]float32, 64)
+	id := arrays.Register(gles.FloatsToBytes(vals))
+	enc := NewEncoder(arrays)
+	buf, err := enc.EncodeAll(nil, []gles.Command{
+		gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, id),
+		gles.CmdDrawElementsClient(gles.DrawModeTriangles, []uint16{0, 1, 5}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decoder
+	out, err := dec.DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max index 5 -> 6 vertices -> 48 bytes of vec2 floats.
+	if len(out[0].Data) != 48 {
+		t.Fatalf("extent from indices = %d bytes, want 48", len(out[0].Data))
+	}
+}
+
+func TestDeferredAttribPointerWholeArrayWhenUnbounded(t *testing.T) {
+	// DrawElements with VBO-resident indices reveals no bound: the
+	// encoder must ship the entire registered array.
+	arrays := NewClientArrayTable()
+	id := arrays.Register(make([]byte, 200))
+	enc := NewEncoder(arrays)
+	buf, err := enc.EncodeAll(nil, []gles.Command{
+		gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, id),
+		gles.CmdDrawElementsVBO(gles.DrawModeTriangles, 3, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decoder
+	out, err := dec.DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0].Data) != 200 {
+		t.Fatalf("unbounded resolve = %d bytes, want full 200", len(out[0].Data))
+	}
+}
+
+func TestDeferredAttribPointerStride(t *testing.T) {
+	arrays := NewClientArrayTable()
+	// Interleaved 4-float vertices (16-byte stride), position = 2 floats.
+	id := arrays.Register(gles.FloatsToBytes(make([]float32, 40)))
+	enc := NewEncoder(arrays)
+	buf, err := enc.EncodeAll(nil, []gles.Command{
+		gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 16, id),
+		gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decoder
+	out, err := dec.DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices 0..2 with stride 16: last vertex needs bytes [32,40).
+	if len(out[0].Data) != 40 {
+		t.Fatalf("strided resolve = %d bytes, want 40", len(out[0].Data))
+	}
+}
+
+func TestDeferredPointerReplacedBeforeDraw(t *testing.T) {
+	arrays := NewClientArrayTable()
+	first := arrays.Register(gles.FloatsToBytes([]float32{1, 1, 1, 1, 1, 1}))
+	second := arrays.Register(gles.FloatsToBytes([]float32{2, 2, 2, 2, 2, 2}))
+	enc := NewEncoder(arrays)
+	buf, err := enc.EncodeAll(nil, []gles.Command{
+		gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, first),
+		gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, second),
+		gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decoder
+	out, err := dec.DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d records, want 2 (replaced pointer + draw)", len(out))
+	}
+	if got := gles.BytesToFloats(out[0].Data); got[0] != 2 {
+		t.Fatalf("draw used stale pointer data %v", got)
+	}
+}
+
+func TestDeferredPointerClearDoesNotFlush(t *testing.T) {
+	// glClear between the pointer and the draw must not resolve the
+	// pointer with a zero extent.
+	arrays := NewClientArrayTable()
+	id := arrays.Register(gles.FloatsToBytes(make([]float32, 6)))
+	enc := NewEncoder(arrays)
+	buf, err := enc.EncodeAll(nil, []gles.Command{
+		gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, id),
+		gles.CmdClear(gles.ClearColorBit),
+		gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decoder
+	out, err := dec.DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("decoded %d records, want clear+pointer+draw", len(out))
+	}
+	if out[0].Op != gles.OpClear || out[1].Op != gles.OpVertexAttribPointer {
+		t.Fatalf("order = %v,%v,%v", out[0].Op, out[1].Op, out[2].Op)
+	}
+	if len(out[1].Data) != 24 {
+		t.Fatalf("pointer resolved to %d bytes, want 24", len(out[1].Data))
+	}
+}
+
+func TestDeferredErrors(t *testing.T) {
+	// No resolver registered.
+	enc := NewEncoder(nil)
+	_, err := enc.EncodeAll(nil, []gles.Command{
+		gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, 1),
+		gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 3),
+	})
+	if !errors.Is(err, ErrNoResolver) {
+		t.Fatalf("missing resolver error = %v", err)
+	}
+	// Unknown array id.
+	enc = NewEncoder(NewClientArrayTable())
+	_, err = enc.EncodeAll(nil, []gles.Command{
+		gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, 42),
+		gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 3),
+	})
+	if !errors.Is(err, ErrUnknownArray) {
+		t.Fatalf("unknown array error = %v", err)
+	}
+	// Encoding a still-unresolved command directly is rejected.
+	raw := gles.Command{Op: gles.OpVertexAttribPointer, DataLen: gles.NoDataLen}
+	if _, err := NewEncoder(nil).appendRecord(nil, raw); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("unresolved appendRecord error = %v", err)
+	}
+}
+
+func TestClientArrayTableUpdate(t *testing.T) {
+	tab := NewClientArrayTable()
+	id := tab.Register([]byte{1})
+	tab.Update(id, []byte{2, 3})
+	got, ok := tab.ClientArray(id)
+	if !ok || len(got) != 2 || got[0] != 2 {
+		t.Fatalf("updated array = %v, %v", got, ok)
+	}
+	if _, ok := tab.ClientArray(999); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var dec Decoder
+	if _, _, err := dec.Decode(nil); !errors.Is(err, ErrShortRecord) {
+		t.Fatalf("empty decode error = %v", err)
+	}
+	// Truncated body.
+	enc := NewEncoder(nil)
+	buf, err := enc.Encode(nil, gles.CmdViewport(0, 0, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dec.Decode(buf[:len(buf)-1]); !errors.Is(err, ErrShortRecord) {
+		t.Fatalf("truncated decode error = %v", err)
+	}
+	// Invalid op.
+	bad := append([]byte{4}, 0xFF, 0xFF, 0, 0)
+	if _, _, err := dec.Decode(bad); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("bad-op decode error = %v", err)
+	}
+	// Oversized length prefix.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+	if _, _, err := dec.Decode(huge); !errors.Is(err, ErrRecordTooBig) {
+		t.Fatalf("oversized decode error = %v", err)
+	}
+}
+
+func TestDecodeAllTrailingGarbage(t *testing.T) {
+	enc := NewEncoder(nil)
+	buf, err := enc.Encode(nil, gles.CmdFlush())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 0xFF)
+	var dec Decoder
+	if _, err := dec.DecodeAll(buf); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestSplitRecords(t *testing.T) {
+	enc := NewEncoder(nil)
+	cmds := []gles.Command{
+		gles.CmdClear(gles.ClearColorBit),
+		gles.CmdUseProgram(1),
+		gles.CmdSwapBuffers(),
+	}
+	buf, err := enc.EncodeAll(nil, cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := SplitRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("split %d records, want 3", len(recs))
+	}
+	total := 0
+	var dec Decoder
+	for i, rec := range recs {
+		cmd, n, err := dec.Decode(rec)
+		if err != nil || n != len(rec) {
+			t.Fatalf("record %d re-decode: n=%d err=%v", i, n, err)
+		}
+		if cmd.Op != cmds[i].Op {
+			t.Fatalf("record %d op = %v, want %v", i, cmd.Op, cmds[i].Op)
+		}
+		total += len(rec)
+	}
+	if total != len(buf) {
+		t.Fatalf("records cover %d bytes of %d", total, len(buf))
+	}
+	if _, err := SplitRecords([]byte{0x05, 0x01}); err == nil {
+		t.Fatal("overrunning record accepted")
+	}
+}
+
+func TestEncoderStats(t *testing.T) {
+	arrays := NewClientArrayTable()
+	id := arrays.Register(gles.FloatsToBytes(make([]float32, 6)))
+	enc := NewEncoder(arrays)
+	buf, err := enc.EncodeAll(nil, []gles.Command{
+		gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, id),
+		gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 3),
+		gles.CmdSwapBuffers(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Stats.Commands != 3 {
+		t.Fatalf("Stats.Commands = %d", enc.Stats.Commands)
+	}
+	if enc.Stats.Records != 3 {
+		t.Fatalf("Stats.Records = %d", enc.Stats.Records)
+	}
+	if enc.Stats.DeferredSent != 1 || enc.Stats.DeferredBytes != 24 {
+		t.Fatalf("deferred stats = %d/%d", enc.Stats.DeferredSent, enc.Stats.DeferredBytes)
+	}
+	if enc.Stats.Bytes != int64(len(buf)) {
+		t.Fatalf("Stats.Bytes = %d, buffer = %d", enc.Stats.Bytes, len(buf))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: any command with arbitrary int/float/data payloads
+	// survives a round trip bit-exactly.
+	check := func(ints []int32, floats []float32, data []byte) bool {
+		cmd := gles.Command{
+			Op:      gles.OpTexImage2D,
+			Ints:    ints,
+			Floats:  floats,
+			Data:    data,
+			DataLen: int32(len(data)),
+		}
+		enc := NewEncoder(nil)
+		buf, err := enc.Encode(nil, cmd)
+		if err != nil {
+			return false
+		}
+		var dec Decoder
+		out, n, err := dec.Decode(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return commandsEqual(cmd, out)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsInt64Overflow(t *testing.T) {
+	// Hand-craft a record whose varint int does not fit in int32.
+	var body []byte
+	body = append(body, byte(gles.OpClear), 0) // op, little-endian
+	body = append(body, 1)                     // one int
+	// varint for 2^40
+	var tmp [10]byte
+	n := putVarint(tmp[:], 1<<40)
+	body = append(body, tmp[:n]...)
+	body = append(body, 0, 0) // no floats, no data
+	rec := append([]byte{byte(len(body))}, body...)
+	var dec Decoder
+	if _, _, err := dec.Decode(rec); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("int32-overflow decode error = %v", err)
+	}
+}
+
+// putVarint is a tiny local copy so the test does not depend on
+// encoding/binary's function value.
+func putVarint(buf []byte, v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	i := 0
+	for uv >= 0x80 {
+		buf[i] = byte(uv) | 0x80
+		uv >>= 7
+		i++
+	}
+	buf[i] = byte(uv)
+	return i + 1
+}
+
+func TestReflectDeepEqualGuard(t *testing.T) {
+	// Documents that commandsEqual matches reflect.DeepEqual for
+	// fully-populated commands (guards the hand-rolled comparison).
+	a := gles.CmdViewport(1, 2, 3, 4)
+	b := gles.CmdViewport(1, 2, 3, 4)
+	if !commandsEqual(a, b) || !reflect.DeepEqual(a, b) {
+		t.Fatal("comparison helpers disagree")
+	}
+}
+
+func BenchmarkEncodeFrame(b *testing.B) {
+	cmds := validCommands()
+	enc := NewEncoder(nil)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = enc.EncodeAll(buf[:0], cmds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecodeFrame(b *testing.B) {
+	enc := NewEncoder(nil)
+	buf, err := enc.EncodeAll(nil, validCommands())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var dec Decoder
+		if _, err := dec.DecodeAll(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

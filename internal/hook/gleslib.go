@@ -1,0 +1,65 @@
+package hook
+
+import (
+	"github.com/gbooster/gbooster/internal/gles"
+)
+
+// CommandSink receives the commands a GL library's entry points are
+// called with. The genuine library's sink feeds the local GPU; the
+// GBooster wrapper's sink serializes and forwards to service devices.
+type CommandSink func(gles.Command)
+
+// NewGLESLibrary builds a Library whose symbol table covers every GL
+// entry point in the command set, each implemented by handing the
+// marshalled call to sink. It also defines eglGetProcAddress returning
+// those same functions, so the library serves the paper's resolution
+// cases 1 and 2 by construction.
+func NewGLESLibrary(name string, sink CommandSink) *Library {
+	lib := NewLibrary(name)
+	fns := make(map[string]GLFunc, gles.NumOps())
+	for _, op := range gles.AllOps() {
+		op := op
+		fn := GLFunc(func(cmd gles.Command) {
+			cmd.Op = op // the symbol called determines the operation
+			sink(cmd)
+		})
+		fns[op.String()] = fn
+		lib.Define(op.String(), fn)
+	}
+	lib.Define(SymGetProcAddress, ProcAddressFunc(func(sym string) GLFunc {
+		return fns[sym] // nil for unknown names, like the real call
+	}))
+	return lib
+}
+
+// InstallGenuineGL registers the "system" GLES/EGL library pair backed
+// by the local GPU, as a stock Android process image would have. It
+// returns the library so tests can inspect it.
+func InstallGenuineGL(ln *Linker, gpu *gles.GPU, onErr func(error)) (*Library, error) {
+	lib := NewGLESLibrary(LibGLES, func(cmd gles.Command) {
+		if _, err := gpu.Execute(cmd); err != nil && onErr != nil {
+			onErr(err)
+		}
+	})
+	lib.Provide(LibEGL)
+	if err := ln.Register(lib); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+// InstallWrapper registers a wrapper library built around sink, claims
+// the GL sonames so rewritten dlopen calls land on it, and preloads it
+// — the complete §IV-A hook installation in one call. The wrapper's
+// soname is distinct from the genuine library's so both can coexist.
+func InstallWrapper(ln *Linker, soname string, sink CommandSink) (*Library, error) {
+	lib := NewGLESLibrary(soname, sink)
+	lib.Provide(LibGLES, LibEGL)
+	if err := ln.Register(lib); err != nil {
+		return nil, err
+	}
+	if err := ln.Preload(soname); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}

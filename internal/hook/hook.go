@@ -1,0 +1,285 @@
+// Package hook simulates the dynamic-linker machinery GBooster uses to
+// intercept OpenGL ES calls (paper §IV-A). The real system sets
+// LD_PRELOAD so Android's linker resolves GL symbols against a wrapper
+// library, and additionally rewrites eglGetProcAddress, dlopen, and
+// dlsym so the two dynamic resolution paths land in the wrapper too.
+//
+// This package reproduces that mechanism: a Linker owns Libraries and a
+// preload list; applications resolve symbols through one of the three
+// paths the paper enumerates (direct link, eglGetProcAddress,
+// dlopen/dlsym), and installing a preloaded wrapper library diverts all
+// three without the application changing.
+package hook
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/gbooster/gbooster/internal/gles"
+)
+
+// Linker errors.
+var (
+	ErrDuplicateLibrary = errors.New("hook: library already registered")
+	ErrUnknownLibrary   = errors.New("hook: unknown library")
+	ErrUnknownSymbol    = errors.New("hook: undefined symbol")
+	ErrNilFunction      = errors.New("hook: nil function for symbol")
+	ErrBadLinkMode      = errors.New("hook: invalid link mode")
+)
+
+// GLFunc is the uniform ABI of every GL entry point in the simulated
+// linker: the call's arguments arrive pre-marshalled as a Command. The
+// symbol name selects which GL function the value implements.
+type GLFunc func(gles.Command)
+
+// ProcAddressFunc is the ABI of eglGetProcAddress: it resolves a GL
+// entry-point name at runtime. A nil result models the NULL pointer the
+// real call returns for unknown names.
+type ProcAddressFunc func(name string) GLFunc
+
+// Well-known library and symbol names.
+const (
+	LibGLES           = "libGLESv2.so"
+	LibEGL            = "libEGL.so"
+	SymGetProcAddress = "eglGetProcAddress"
+)
+
+// Library is a loadable shared object: a named bag of symbols, plus the
+// list of library names it claims to provide when it is preloaded
+// (GBooster's wrapper claims libGLESv2.so and libEGL.so so that
+// rewritten dlopen calls resolve to it).
+type Library struct {
+	name     string
+	provides map[string]bool
+	symbols  map[string]any
+}
+
+// NewLibrary creates an empty library. A library always provides
+// itself.
+func NewLibrary(name string) *Library {
+	return &Library{
+		name:     name,
+		provides: map[string]bool{name: true},
+		symbols:  make(map[string]any),
+	}
+}
+
+// Name returns the library's soname.
+func (l *Library) Name() string { return l.name }
+
+// Provide declares that, when preloaded, this library satisfies dlopen
+// requests for the given sonames — the paper's dlopen rewrite.
+func (l *Library) Provide(sonames ...string) {
+	for _, s := range sonames {
+		l.provides[s] = true
+	}
+}
+
+// Define registers a symbol. fn may be a GLFunc, a ProcAddressFunc, or
+// any other function type; resolution is untyped like a real linker and
+// callers assert the ABI they expect.
+func (l *Library) Define(symbol string, fn any) {
+	if fn == nil {
+		panic(fmt.Sprintf("hook: Define(%q) with nil function", symbol))
+	}
+	l.symbols[symbol] = fn
+}
+
+// Lookup returns the symbol's value.
+func (l *Library) Lookup(symbol string) (any, bool) {
+	v, ok := l.symbols[symbol]
+	return v, ok
+}
+
+// Symbols returns the sorted symbol names, for diagnostics.
+func (l *Library) Symbols() []string {
+	out := make([]string, 0, len(l.symbols))
+	for s := range l.symbols {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Linker models the Android dynamic linker for one process: registered
+// libraries plus the LD_PRELOAD list. Preloaded libraries shadow every
+// later resolution, which is the entire hooking mechanism.
+type Linker struct {
+	libs    map[string]*Library
+	preload []*Library
+}
+
+// NewLinker returns a linker with no libraries loaded.
+func NewLinker() *Linker {
+	return &Linker{libs: make(map[string]*Library)}
+}
+
+// Register adds a library to the process image.
+func (ln *Linker) Register(lib *Library) error {
+	if _, ok := ln.libs[lib.name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateLibrary, lib.name)
+	}
+	ln.libs[lib.name] = lib
+	return nil
+}
+
+// Preload appends a registered library to the LD_PRELOAD list. Symbols
+// from preloaded libraries win over every normally-loaded library, in
+// preload order.
+func (ln *Linker) Preload(name string) error {
+	lib, ok := ln.libs[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownLibrary, name)
+	}
+	ln.preload = append(ln.preload, lib)
+	return nil
+}
+
+// ClearPreload empties the LD_PRELOAD list (used by tests and by the
+// runtime when offloading is disabled mid-session).
+func (ln *Linker) ClearPreload() { ln.preload = nil }
+
+// Resolve performs load-time symbol resolution: preloaded libraries
+// first (in order), then every other registered library in sorted name
+// order for determinism. This is the paper's case 1 — an application
+// directly linked against libGLESv2.
+func (ln *Linker) Resolve(symbol string) (any, error) {
+	for _, lib := range ln.preload {
+		if v, ok := lib.Lookup(symbol); ok {
+			return v, nil
+		}
+	}
+	names := make([]string, 0, len(ln.libs))
+	for n := range ln.libs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if ln.isPreloaded(ln.libs[n]) {
+			continue
+		}
+		if v, ok := ln.libs[n].Lookup(symbol); ok {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrUnknownSymbol, symbol)
+}
+
+// Dlopen models the (rewritten) dlopen: a preloaded library that
+// provides the requested soname is returned in preference to the
+// genuine library — the paper's case 3 rewrite.
+func (ln *Linker) Dlopen(soname string) (*Library, error) {
+	for _, lib := range ln.preload {
+		if lib.provides[soname] {
+			return lib, nil
+		}
+	}
+	if lib, ok := ln.libs[soname]; ok {
+		return lib, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrUnknownLibrary, soname)
+}
+
+// Dlsym models dlsym against a handle returned by Dlopen.
+func (ln *Linker) Dlsym(lib *Library, symbol string) (any, error) {
+	if lib == nil {
+		return nil, fmt.Errorf("%w: nil handle", ErrUnknownLibrary)
+	}
+	v, ok := lib.Lookup(symbol)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s in %s", ErrUnknownSymbol, symbol, lib.name)
+	}
+	return v, nil
+}
+
+func (ln *Linker) isPreloaded(lib *Library) bool {
+	for _, p := range ln.preload {
+		if p == lib {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkMode selects which of the paper's three GL-resolution paths an
+// application uses (§IV-A).
+type LinkMode int
+
+// The three resolution paths.
+const (
+	// LinkDirect models an application linked against libGLESv2 at
+	// build time: symbols resolve at load time.
+	LinkDirect LinkMode = iota + 1
+	// LinkProcAddress models an application that calls
+	// eglGetProcAddress for each entry point.
+	LinkProcAddress
+	// LinkDlopen models an application that dlopen()s the GL library
+	// and dlsym()s each entry point.
+	LinkDlopen
+)
+
+// String names the mode for experiment output.
+func (m LinkMode) String() string {
+	switch m {
+	case LinkDirect:
+		return "direct"
+	case LinkProcAddress:
+		return "eglGetProcAddress"
+	case LinkDlopen:
+		return "dlopen/dlsym"
+	default:
+		return fmt.Sprintf("LinkMode(%d)", int(m))
+	}
+}
+
+// ResolveGL resolves a GL entry point the way an application in the
+// given mode would. Whatever the mode, a preloaded wrapper library
+// receives the call — that is the property GBooster depends on.
+func ResolveGL(ln *Linker, mode LinkMode, symbol string) (GLFunc, error) {
+	switch mode {
+	case LinkDirect:
+		v, err := ln.Resolve(symbol)
+		if err != nil {
+			return nil, err
+		}
+		return asGLFunc(symbol, v)
+	case LinkProcAddress:
+		v, err := ln.Resolve(SymGetProcAddress)
+		if err != nil {
+			return nil, err
+		}
+		gpa, ok := v.(ProcAddressFunc)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s has wrong ABI", ErrBadLinkMode, SymGetProcAddress)
+		}
+		fn := gpa(symbol)
+		if fn == nil {
+			return nil, fmt.Errorf("%w: %s via %s", ErrUnknownSymbol, symbol, SymGetProcAddress)
+		}
+		return fn, nil
+	case LinkDlopen:
+		lib, err := ln.Dlopen(LibGLES)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ln.Dlsym(lib, symbol)
+		if err != nil {
+			return nil, err
+		}
+		return asGLFunc(symbol, v)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadLinkMode, int(mode))
+	}
+}
+
+func asGLFunc(symbol string, v any) (GLFunc, error) {
+	fn, ok := v.(GLFunc)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s has wrong ABI %T", ErrBadLinkMode, symbol, v)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNilFunction, symbol)
+	}
+	return fn, nil
+}

@@ -1,0 +1,298 @@
+package hook
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/gles"
+)
+
+func TestLibraryDefineLookup(t *testing.T) {
+	lib := NewLibrary("libfoo.so")
+	lib.Define("f", GLFunc(func(gles.Command) {}))
+	if _, ok := lib.Lookup("f"); !ok {
+		t.Fatal("defined symbol not found")
+	}
+	if _, ok := lib.Lookup("g"); ok {
+		t.Fatal("undefined symbol found")
+	}
+	if lib.Name() != "libfoo.so" {
+		t.Fatalf("Name() = %q", lib.Name())
+	}
+	syms := lib.Symbols()
+	if len(syms) != 1 || syms[0] != "f" {
+		t.Fatalf("Symbols() = %v", syms)
+	}
+}
+
+func TestLibraryDefineNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Define(nil) did not panic")
+		}
+	}()
+	NewLibrary("x").Define("f", nil)
+}
+
+func TestLinkerRegisterDuplicate(t *testing.T) {
+	ln := NewLinker()
+	if err := ln.Register(NewLibrary("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Register(NewLibrary("a")); !errors.Is(err, ErrDuplicateLibrary) {
+		t.Fatalf("duplicate register error = %v", err)
+	}
+}
+
+func TestLinkerPreloadUnknown(t *testing.T) {
+	ln := NewLinker()
+	if err := ln.Preload("missing.so"); !errors.Is(err, ErrUnknownLibrary) {
+		t.Fatalf("preload unknown error = %v", err)
+	}
+}
+
+func TestResolvePreloadShadowsGenuine(t *testing.T) {
+	ln := NewLinker()
+	genuine, wrapper := NewLibrary("libGLESv2.so"), NewLibrary("libwrap.so")
+	var hit string
+	genuine.Define("glClear", GLFunc(func(gles.Command) { hit = "genuine" }))
+	wrapper.Define("glClear", GLFunc(func(gles.Command) { hit = "wrapper" }))
+	for _, lib := range []*Library{genuine, wrapper} {
+		if err := ln.Register(lib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Before preload: sorted-name resolution finds the genuine library.
+	v, err := ln.Resolve("glClear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.(GLFunc)(gles.Command{})
+	if hit != "genuine" {
+		t.Fatalf("pre-preload resolution hit %q", hit)
+	}
+	// After preload: the wrapper shadows.
+	if err := ln.Preload("libwrap.so"); err != nil {
+		t.Fatal(err)
+	}
+	v, err = ln.Resolve("glClear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.(GLFunc)(gles.Command{})
+	if hit != "wrapper" {
+		t.Fatalf("post-preload resolution hit %q", hit)
+	}
+	// ClearPreload restores genuine resolution.
+	ln.ClearPreload()
+	v, _ = ln.Resolve("glClear")
+	v.(GLFunc)(gles.Command{})
+	if hit != "genuine" {
+		t.Fatalf("after ClearPreload resolution hit %q", hit)
+	}
+}
+
+func TestResolveUnknownSymbol(t *testing.T) {
+	ln := NewLinker()
+	if _, err := ln.Resolve("nope"); !errors.Is(err, ErrUnknownSymbol) {
+		t.Fatalf("unknown symbol error = %v", err)
+	}
+}
+
+func TestDlopenPrefersProvidingPreload(t *testing.T) {
+	ln := NewLinker()
+	genuine := NewLibrary(LibGLES)
+	wrapper := NewLibrary("libwrap.so")
+	wrapper.Provide(LibGLES)
+	if err := ln.Register(genuine); err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Register(wrapper); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := ln.Dlopen(LibGLES)
+	if err != nil || lib != genuine {
+		t.Fatalf("pre-preload Dlopen = %v, %v; want genuine", lib, err)
+	}
+	if err := ln.Preload("libwrap.so"); err != nil {
+		t.Fatal(err)
+	}
+	lib, err = ln.Dlopen(LibGLES)
+	if err != nil || lib != wrapper {
+		t.Fatalf("post-preload Dlopen = %v, %v; want wrapper", lib, err)
+	}
+	if _, err := ln.Dlopen("libmissing.so"); !errors.Is(err, ErrUnknownLibrary) {
+		t.Fatalf("Dlopen missing error = %v", err)
+	}
+}
+
+func TestDlsym(t *testing.T) {
+	ln := NewLinker()
+	lib := NewLibrary("a")
+	lib.Define("f", GLFunc(func(gles.Command) {}))
+	if err := ln.Register(lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ln.Dlsym(lib, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ln.Dlsym(lib, "g"); !errors.Is(err, ErrUnknownSymbol) {
+		t.Fatalf("Dlsym unknown error = %v", err)
+	}
+	if _, err := ln.Dlsym(nil, "f"); !errors.Is(err, ErrUnknownLibrary) {
+		t.Fatalf("Dlsym nil handle error = %v", err)
+	}
+}
+
+func TestLinkModeString(t *testing.T) {
+	if LinkDirect.String() != "direct" || LinkProcAddress.String() != "eglGetProcAddress" ||
+		LinkDlopen.String() != "dlopen/dlsym" {
+		t.Fatal("LinkMode names wrong")
+	}
+	if LinkMode(9).String() == "" {
+		t.Fatal("unknown mode has empty name")
+	}
+}
+
+// setupHookedProcess builds a process image with a genuine GL library
+// feeding a local GPU and a GBooster wrapper intercepting into captured.
+func setupHookedProcess(t *testing.T) (*Linker, *gles.GPU, *[]gles.Command) {
+	t.Helper()
+	ln := NewLinker()
+	gpu := gles.NewGPU(8, 8)
+	if _, err := InstallGenuineGL(ln, gpu, nil); err != nil {
+		t.Fatal(err)
+	}
+	var captured []gles.Command
+	if _, err := InstallWrapper(ln, "libgbooster.so", func(cmd gles.Command) {
+		captured = append(captured, cmd)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ln, gpu, &captured
+}
+
+func TestAllThreeLinkModesHitWrapper(t *testing.T) {
+	for _, mode := range []LinkMode{LinkDirect, LinkProcAddress, LinkDlopen} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ln, gpu, captured := setupHookedProcess(t)
+			fn, err := ResolveGL(ln, mode, "glClearColor")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn(gles.CmdClearColor(1, 0, 0, 1))
+			if len(*captured) != 1 || (*captured)[0].Op != gles.OpClearColor {
+				t.Fatalf("wrapper captured %v", *captured)
+			}
+			// The genuine GPU never saw the call: interception is total.
+			if gpu.Ctx.Stats.Commands != 0 {
+				t.Fatalf("genuine library executed %d commands", gpu.Ctx.Stats.Commands)
+			}
+		})
+	}
+}
+
+func TestWithoutPreloadAllModesHitGenuine(t *testing.T) {
+	for _, mode := range []LinkMode{LinkDirect, LinkProcAddress, LinkDlopen} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ln := NewLinker()
+			gpu := gles.NewGPU(8, 8)
+			if _, err := InstallGenuineGL(ln, gpu, nil); err != nil {
+				t.Fatal(err)
+			}
+			fn, err := ResolveGL(ln, mode, "glClearColor")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn(gles.CmdClearColor(0, 1, 0, 1))
+			if gpu.Ctx.ClearG != 1 {
+				t.Fatal("genuine library did not execute the call")
+			}
+		})
+	}
+}
+
+func TestResolveGLErrors(t *testing.T) {
+	ln := NewLinker()
+	if _, err := ResolveGL(ln, LinkDirect, "glClear"); !errors.Is(err, ErrUnknownSymbol) {
+		t.Fatalf("empty linker direct error = %v", err)
+	}
+	if _, err := ResolveGL(ln, LinkProcAddress, "glClear"); !errors.Is(err, ErrUnknownSymbol) {
+		t.Fatalf("empty linker gpa error = %v", err)
+	}
+	if _, err := ResolveGL(ln, LinkDlopen, "glClear"); !errors.Is(err, ErrUnknownLibrary) {
+		t.Fatalf("empty linker dlopen error = %v", err)
+	}
+	if _, err := ResolveGL(ln, LinkMode(0), "glClear"); !errors.Is(err, ErrBadLinkMode) {
+		t.Fatalf("bad mode error = %v", err)
+	}
+	// Wrong ABI behind a symbol.
+	lib := NewLibrary(LibGLES)
+	lib.Define("glClear", 42)
+	lib.Define(SymGetProcAddress, 42)
+	if err := ln.Register(lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResolveGL(ln, LinkDirect, "glClear"); !errors.Is(err, ErrBadLinkMode) {
+		t.Fatalf("wrong ABI error = %v", err)
+	}
+	if _, err := ResolveGL(ln, LinkProcAddress, "glClear"); !errors.Is(err, ErrBadLinkMode) {
+		t.Fatalf("wrong gpa ABI error = %v", err)
+	}
+}
+
+func TestProcAddressUnknownNameReturnsError(t *testing.T) {
+	ln, _, _ := setupHookedProcess(t)
+	if _, err := ResolveGL(ln, LinkProcAddress, "glNotARealCall"); !errors.Is(err, ErrUnknownSymbol) {
+		t.Fatalf("unknown proc name error = %v", err)
+	}
+}
+
+func TestGLESLibraryCoversEveryOp(t *testing.T) {
+	lib := NewGLESLibrary(LibGLES, func(gles.Command) {})
+	for _, op := range gles.AllOps() {
+		if _, ok := lib.Lookup(op.String()); !ok {
+			t.Errorf("library missing symbol %s", op)
+		}
+	}
+	// +1 for eglGetProcAddress.
+	if got := len(lib.Symbols()); got != gles.NumOps()+1 {
+		t.Fatalf("library has %d symbols, want %d", got, gles.NumOps()+1)
+	}
+}
+
+func TestGLESLibrarySymbolStampsOp(t *testing.T) {
+	var got gles.Command
+	lib := NewGLESLibrary(LibGLES, func(cmd gles.Command) { got = cmd })
+	v, _ := lib.Lookup("glDrawArrays")
+	// Call through the symbol with a command that has the wrong Op set;
+	// the symbol identity must win.
+	v.(GLFunc)(gles.Command{Op: gles.OpClear, Ints: []int32{4, 0, 6}})
+	if got.Op != gles.OpDrawArrays {
+		t.Fatalf("symbol stamped op %v, want glDrawArrays", got.Op)
+	}
+}
+
+func TestGenuineGLExecutesAndReportsErrors(t *testing.T) {
+	ln := NewLinker()
+	gpu := gles.NewGPU(4, 4)
+	var errs []error
+	if _, err := InstallGenuineGL(ln, gpu, func(err error) { errs = append(errs, err) }); err != nil {
+		t.Fatal(err)
+	}
+	fn, err := ResolveGL(ln, LinkDirect, "glUseProgram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(gles.CmdUseProgram(42)) // unknown program -> driver error
+	if len(errs) != 1 {
+		t.Fatalf("driver errors = %v", errs)
+	}
+}
+
+func TestInstallWrapperTwiceFails(t *testing.T) {
+	ln, _, _ := setupHookedProcess(t)
+	if _, err := InstallWrapper(ln, "libgbooster.so", func(gles.Command) {}); !errors.Is(err, ErrDuplicateLibrary) {
+		t.Fatalf("double install error = %v", err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package ifswitch implements GBooster's energy-saving interface
+// switching (paper §V-B): traffic is routed over low-power Bluetooth
+// whenever it fits, and the high-power WiFi interface is woken *ahead*
+// of predicted demand spikes using an online ARMAX traffic forecast, so
+// the 100–500 ms WiFi wake-up latency never stalls the frame stream.
+//
+// A demand spike the forecaster missed (a false negative) is visible
+// here as an overload: traffic that exceeds Bluetooth throughput while
+// WiFi is still waking queues up and suffers latency. A false positive
+// merely wakes WiFi for nothing and costs idle energy. This asymmetry
+// is why the controller biases toward waking early (threshold margin
+// below 1).
+package ifswitch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/netsim"
+	"github.com/gbooster/gbooster/internal/sim"
+	"github.com/gbooster/gbooster/internal/timeseries"
+)
+
+// Controller errors.
+var errNilRadio = errors.New("ifswitch: nil radio")
+
+// Policy selects how the controller routes traffic.
+type Policy int
+
+// Policies.
+const (
+	// PolicyPredictive is the paper's mechanism: ARMAX-forecast demand,
+	// Bluetooth by default, WiFi woken ahead of spikes.
+	PolicyPredictive Policy = iota + 1
+	// PolicyAlwaysWiFi disables the optimization (Fig. 6(b) ablation):
+	// WiFi stays on and carries everything.
+	PolicyAlwaysWiFi
+	// PolicyReactive switches without forecasting: WiFi wakes only when
+	// current demand already exceeds Bluetooth (suffers wake latency).
+	PolicyReactive
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyPredictive:
+		return "predictive"
+	case PolicyAlwaysWiFi:
+		return "always-wifi"
+	case PolicyReactive:
+		return "reactive"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	Policy Policy
+	// HorizonWindows is how many meter windows ahead to forecast; with
+	// the default 100 ms window, 5 gives the paper's 500 ms horizon.
+	HorizonWindows int
+	// ThresholdMargin scales the Bluetooth capacity used as the switch
+	// threshold; < 1 wakes WiFi before Bluetooth is actually full.
+	ThresholdMargin float64
+	// HysteresisWindows is how many consecutive below-threshold windows
+	// must pass before WiFi is put back to sleep.
+	HysteresisWindows int
+	// ExoDim is the dimension of the exogenous features fed to Tick (0
+	// for plain ARMA).
+	ExoDim int
+}
+
+// DefaultConfig returns the paper-faithful configuration: 500 ms
+// forecast horizon, ARMAX with the two AIC-selected attributes
+// (touchstroke frequency and texture count).
+func DefaultConfig() Config {
+	return Config{
+		Policy:            PolicyPredictive,
+		HorizonWindows:    5,
+		ThresholdMargin:   0.78,
+		HysteresisWindows: 20,
+		ExoDim:            2,
+	}
+}
+
+// Stats accumulates controller behaviour.
+type Stats struct {
+	Ticks          int
+	WakeUps        int
+	Sleeps         int
+	OverloadEvents int // windows where demand exceeded the usable path
+	BTWindows      int // windows routed over Bluetooth
+	WiFiWindows    int // windows routed over WiFi
+}
+
+// Controller routes traffic between a Bluetooth and a WiFi radio.
+type Controller struct {
+	cfg   Config
+	clock *sim.Clock
+	wifi  *netsim.Radio
+	bt    *netsim.Radio
+	meter *netsim.Meter
+	model *timeseries.Model
+
+	btCapacityMbps float64
+	belowCount     int
+
+	// Stats accumulate for the energy experiments.
+	Stats Stats
+}
+
+// New builds a controller over the two radios. meter must be the meter
+// the transport reports its traffic into.
+func New(clock *sim.Clock, cfg Config, wifi, bt *netsim.Radio, meter *netsim.Meter) (*Controller, error) {
+	if wifi == nil || bt == nil {
+		return nil, errNilRadio
+	}
+	if cfg.HorizonWindows < 1 {
+		cfg.HorizonWindows = 1
+	}
+	if cfg.ThresholdMargin <= 0 || cfg.ThresholdMargin > 1 {
+		cfg.ThresholdMargin = 0.8
+	}
+	if cfg.HysteresisWindows < 1 {
+		cfg.HysteresisWindows = 1
+	}
+	var model *timeseries.Model
+	var err error
+	if cfg.ExoDim > 0 {
+		model, err = timeseries.NewARMAX(3, 2, 2, cfg.ExoDim)
+	} else {
+		model, err = timeseries.NewARMA(3, 2)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ifswitch: build model: %w", err)
+	}
+	c := &Controller{
+		cfg:            cfg,
+		clock:          clock,
+		wifi:           wifi,
+		bt:             bt,
+		meter:          meter,
+		model:          model,
+		btCapacityMbps: bt.Spec.BitsPerSecond / 1e6,
+	}
+	if cfg.Policy == PolicyAlwaysWiFi {
+		wifi.Wake()
+	}
+	return c, nil
+}
+
+// threshold is the Mbps level above which Bluetooth is insufficient.
+func (c *Controller) threshold() float64 {
+	return c.btCapacityMbps * c.cfg.ThresholdMargin
+}
+
+// Tick advances the controller by one meter window: it feeds the just-
+// closed window's demand (in Mbps) and the exogenous features observed
+// during it into the model, forecasts, and wakes or sleeps WiFi.
+func (c *Controller) Tick(demandMbps float64, exo []float64) error {
+	c.Stats.Ticks++
+	if err := c.model.Observe(demandMbps, exo); err != nil {
+		return fmt.Errorf("ifswitch: observe: %w", err)
+	}
+	switch c.cfg.Policy {
+	case PolicyAlwaysWiFi:
+		c.wifi.Wake()
+		return nil
+	case PolicyReactive:
+		if demandMbps > c.threshold() {
+			c.wakeWiFi()
+			c.belowCount = 0
+		} else {
+			c.noteBelow()
+		}
+		return nil
+	default: // PolicyPredictive
+	}
+	forecast := c.model.Forecast(c.cfg.HorizonWindows)
+	if forecast > c.threshold() || demandMbps > c.threshold() {
+		c.wakeWiFi()
+		c.belowCount = 0
+	} else {
+		c.noteBelow()
+	}
+	return nil
+}
+
+func (c *Controller) wakeWiFi() {
+	if c.wifi.State() != netsim.StateOn && c.wifi.State() != netsim.StateWaking {
+		c.Stats.WakeUps++
+	}
+	c.wifi.Wake()
+}
+
+func (c *Controller) noteBelow() {
+	c.belowCount++
+	if c.belowCount >= c.cfg.HysteresisWindows && c.wifi.State() == netsim.StateOn {
+		c.wifi.Sleep()
+		c.Stats.Sleeps++
+		c.belowCount = 0
+	}
+}
+
+// RouteOutcome describes how one window of traffic was carried.
+type RouteOutcome struct {
+	Radio *netsim.Radio
+	// Overloaded reports that demand exceeded the selected radio's
+	// capacity (a realized false negative: WiFi wasn't ready in time).
+	Overloaded bool
+	// QueueDelay is the extra latency the overload imposes on frames in
+	// that window.
+	QueueDelay time.Duration
+}
+
+// Route selects the radio for a window of traffic at demandMbps and
+// accounts overloads. Bluetooth is preferred whenever it suffices or
+// when WiFi is not ready.
+func (c *Controller) Route(demandMbps float64) RouteOutcome {
+	needWiFi := demandMbps > c.threshold()
+	wifiReady := c.wifi.Ready()
+	if c.cfg.Policy == PolicyAlwaysWiFi {
+		needWiFi = true
+		wifiReady = c.wifi.Ready()
+	}
+	switch {
+	case needWiFi && wifiReady:
+		c.Stats.WiFiWindows++
+		return RouteOutcome{Radio: c.wifi}
+	case !needWiFi:
+		c.Stats.BTWindows++
+		return RouteOutcome{Radio: c.bt}
+	default:
+		// Demand exceeds Bluetooth but WiFi is not usable: traffic
+		// queues behind the slow interface. The queueing delay is the
+		// excess volume divided by Bluetooth's rate.
+		c.Stats.OverloadEvents++
+		c.Stats.BTWindows++
+		excess := demandMbps - c.btCapacityMbps
+		if excess < 0 {
+			excess = 0
+		}
+		delay := time.Duration(excess / c.btCapacityMbps * float64(c.meter.Window()))
+		return RouteOutcome{Radio: c.bt, Overloaded: true, QueueDelay: delay}
+	}
+}
+
+// ActiveRadios reports which radios are currently powered (for energy
+// accounting assertions in tests).
+func (c *Controller) ActiveRadios() (wifiOn, btOn bool) {
+	return c.wifi.State() != netsim.StateOff, c.bt.State() != netsim.StateOff
+}

@@ -1,0 +1,275 @@
+package ifswitch
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/netsim"
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// rig wires a controller to fresh radios on one clock.
+type rig struct {
+	clock *sim.Clock
+	wifi  *netsim.Radio
+	bt    *netsim.Radio
+	meter *netsim.Meter
+	ctl   *Controller
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	clock := &sim.Clock{}
+	wifi := netsim.NewRadio(clock, netsim.WiFi80211n(), netsim.StateOff)
+	bt := netsim.NewRadio(clock, netsim.BluetoothHS(), netsim.StateOn)
+	meter := netsim.NewMeter(clock, 100*time.Millisecond)
+	ctl, err := New(clock, cfg, wifi, bt, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{clock: clock, wifi: wifi, bt: bt, meter: meter, ctl: ctl}
+}
+
+// drive feeds a demand trace (Mbps per 100 ms window) with a burst
+// signal as the exogenous input (touch bursts lead traffic by `lead`
+// windows).
+func drive(t *testing.T, r *rig, demand []float64, exo [][]float64) {
+	t.Helper()
+	for i, d := range demand {
+		var x []float64
+		if exo != nil {
+			x = exo[i]
+		}
+		if err := r.ctl.Tick(d, x); err != nil {
+			t.Fatal(err)
+		}
+		r.ctl.Route(d)
+		r.clock.Advance(100 * time.Millisecond)
+	}
+}
+
+// burstDemand builds a demand trace of quiet Mbps with spikes of
+// spikeMbps lasting spikeLen windows, and an exogenous signal that
+// leads each spike by `lead` windows.
+func burstDemand(seed uint64, n int, quiet, spike float64, spikeLen, period, lead int) (demand []float64, exo [][]float64) {
+	rng := sim.NewRNG(seed)
+	demand = make([]float64, n)
+	exo = make([][]float64, n)
+	for i := range demand {
+		demand[i] = quiet + rng.Norm(0, 0.3)
+		exo[i] = []float64{0, 0}
+	}
+	for start := period; start+spikeLen < n; start += period {
+		for k := 0; k < spikeLen; k++ {
+			demand[start+k] = spike + rng.Norm(0, 0.5)
+		}
+		// Touch bursts begin `lead` windows before the traffic follows
+		// and persist through the spike (players keep interacting).
+		for k := start - lead; k < start+spikeLen; k++ {
+			if k >= 0 {
+				exo[k] = []float64{10, 5} // touch burst + texture surge
+			}
+		}
+	}
+	return demand, exo
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyPredictive.String() != "predictive" || PolicyAlwaysWiFi.String() != "always-wifi" ||
+		PolicyReactive.String() != "reactive" || Policy(9).String() == "" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	clock := &sim.Clock{}
+	if _, err := New(clock, DefaultConfig(), nil, nil, nil); err == nil {
+		t.Fatal("nil radios accepted")
+	}
+	// Degenerate config values are normalized, not rejected.
+	r := newRig(t, Config{Policy: PolicyPredictive, HorizonWindows: -1, ThresholdMargin: 7, HysteresisWindows: 0, ExoDim: 0})
+	if r.ctl.cfg.HorizonWindows != 1 || r.ctl.cfg.ThresholdMargin != 0.8 || r.ctl.cfg.HysteresisWindows != 1 {
+		t.Fatalf("config not normalized: %+v", r.ctl.cfg)
+	}
+}
+
+func TestAlwaysWiFiKeepsWiFiOn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyAlwaysWiFi
+	r := newRig(t, cfg)
+	demand, exo := burstDemand(1, 200, 5, 60, 5, 40, 3)
+	drive(t, r, demand, exo)
+	wifiOn, _ := r.ctl.ActiveRadios()
+	if !wifiOn {
+		t.Fatal("always-wifi policy slept WiFi")
+	}
+	// The initial wake costs at most one window on Bluetooth; after
+	// that everything rides WiFi.
+	if r.ctl.Stats.BTWindows > 1 {
+		t.Fatalf("always-wifi routed %d windows over BT", r.ctl.Stats.BTWindows)
+	}
+}
+
+func TestLowTrafficStaysOnBluetooth(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	demand := make([]float64, 300)
+	exo := make([][]float64, 300)
+	for i := range demand {
+		demand[i] = 3 // well under BT capacity
+		exo[i] = []float64{0, 0}
+	}
+	drive(t, r, demand, exo)
+	if r.ctl.Stats.WiFiWindows != 0 {
+		t.Fatalf("low traffic used WiFi for %d windows", r.ctl.Stats.WiFiWindows)
+	}
+	if r.ctl.Stats.OverloadEvents != 0 {
+		t.Fatalf("low traffic overloaded %d times", r.ctl.Stats.OverloadEvents)
+	}
+	wifiOn, btOn := r.ctl.ActiveRadios()
+	if wifiOn || !btOn {
+		t.Fatalf("radios: wifi=%v bt=%v, want bt only", wifiOn, btOn)
+	}
+}
+
+func TestSustainedHighTrafficMovesToWiFi(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	demand := make([]float64, 200)
+	exo := make([][]float64, 200)
+	for i := range demand {
+		demand[i] = 50 // far beyond BT
+		exo[i] = []float64{0, 0}
+	}
+	drive(t, r, demand, exo)
+	if r.ctl.Stats.WiFiWindows == 0 {
+		t.Fatal("sustained high traffic never used WiFi")
+	}
+	// Early windows overload while WiFi wakes; after that it's clean.
+	if r.ctl.Stats.OverloadEvents > 5 {
+		t.Fatalf("overloads = %d, want only the initial wake window(s)", r.ctl.Stats.OverloadEvents)
+	}
+}
+
+func TestPredictiveWakesWiFiBeforeSpike(t *testing.T) {
+	// Spikes are led by the exogenous burst signal; after the model has
+	// seen some examples, predictive switching should overload far less
+	// than reactive switching.
+	overloads := func(policy Policy) int {
+		cfg := DefaultConfig()
+		cfg.Policy = policy
+		r := newRig(t, cfg)
+		demand, exo := burstDemand(7, 1200, 4, 40, 6, 30, 3)
+		drive(t, r, demand, exo)
+		return r.ctl.Stats.OverloadEvents
+	}
+	pred := overloads(PolicyPredictive)
+	react := overloads(PolicyReactive)
+	if pred >= react {
+		t.Fatalf("predictive overloads %d >= reactive %d", pred, react)
+	}
+}
+
+func TestHysteresisSleepsWiFiAfterQuietPeriod(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	// One big spike, then a long quiet tail.
+	demand := make([]float64, 400)
+	exo := make([][]float64, 400)
+	for i := range demand {
+		demand[i] = 3
+		exo[i] = []float64{0, 0}
+		if i >= 50 && i < 60 {
+			demand[i] = 50
+		}
+		if i == 47 {
+			exo[i] = []float64{10, 5}
+		}
+	}
+	drive(t, r, demand, exo)
+	wifiOn, _ := r.ctl.ActiveRadios()
+	if wifiOn {
+		t.Fatal("WiFi still on after long quiet period")
+	}
+	if r.ctl.Stats.Sleeps == 0 {
+		t.Fatal("controller never slept WiFi")
+	}
+}
+
+func TestRouteOverloadComputesQueueDelay(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	// WiFi off, demand double BT capacity: one window of traffic takes
+	// two windows to drain -> delay of one window.
+	out := r.ctl.Route(36)
+	if !out.Overloaded {
+		t.Fatal("overload not flagged")
+	}
+	if out.Radio != r.bt {
+		t.Fatal("overloaded traffic should fall back to BT")
+	}
+	if out.QueueDelay <= 0 {
+		t.Fatalf("queue delay = %v", out.QueueDelay)
+	}
+}
+
+func TestEnergyPredictiveBeatsAlwaysWiFi(t *testing.T) {
+	// The Fig. 6(b) claim: with switching enabled, radio energy drops
+	// substantially for workloads that mostly fit Bluetooth.
+	run := func(policy Policy) float64 {
+		cfg := DefaultConfig()
+		cfg.Policy = policy
+		r := newRig(t, cfg)
+		demand, exo := burstDemand(3, 2000, 4, 40, 6, 100, 3)
+		drive(t, r, demand, exo)
+		return r.wifi.EnergyJoules() + r.bt.EnergyJoules()
+	}
+	pred := run(PolicyPredictive)
+	always := run(PolicyAlwaysWiFi)
+	if pred >= always*0.7 {
+		t.Fatalf("predictive energy %.1f J not well below always-wifi %.1f J", pred, always)
+	}
+}
+
+func TestTickPropagatesModelErrors(t *testing.T) {
+	r := newRig(t, DefaultConfig()) // ExoDim 2
+	if err := r.ctl.Tick(5, []float64{1}); err == nil {
+		t.Fatal("wrong exo dimension accepted")
+	}
+}
+
+func TestAlwaysWiFiOverloadsWhileWaking(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyAlwaysWiFi
+	r := newRig(t, cfg)
+	// Immediately route heavy traffic: WiFi is still waking, so the
+	// window overloads onto Bluetooth.
+	out := r.ctl.Route(50)
+	if !out.Overloaded || out.Radio != r.bt {
+		t.Fatalf("waking-wifi route = %+v", out)
+	}
+	r.clock.Advance(200 * time.Millisecond)
+	out = r.ctl.Route(50)
+	if out.Overloaded || out.Radio != r.wifi {
+		t.Fatalf("awake-wifi route = %+v", out)
+	}
+}
+
+func TestReactivePolicySleepsToo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyReactive
+	r := newRig(t, cfg)
+	demand := make([]float64, 300)
+	exo := make([][]float64, 300)
+	for i := range demand {
+		demand[i] = 2
+		exo[i] = []float64{0, 0}
+		if i >= 20 && i < 40 {
+			demand[i] = 40
+		}
+	}
+	drive(t, r, demand, exo)
+	wifiOn, _ := r.ctl.ActiveRadios()
+	if wifiOn {
+		t.Fatal("reactive policy left WiFi on after long quiet period")
+	}
+	if r.ctl.Stats.WakeUps == 0 {
+		t.Fatal("reactive policy never woke WiFi for the spike")
+	}
+}

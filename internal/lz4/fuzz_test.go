@@ -1,0 +1,28 @@
+package lz4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecompressNeverPanicsOnArbitraryBytes(t *testing.T) {
+	check := func(data []byte) bool {
+		_, _ = Decompress(nil, data, 1<<20)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressBoundedByMaxSize(t *testing.T) {
+	// Even a crafted bomb (tiny input expanding hugely) must respect
+	// the caller's cap rather than allocate unboundedly.
+	bomb := Compress(nil, make([]byte, 8<<20))
+	if len(bomb) > 64<<10 {
+		t.Fatalf("zero bomb unexpectedly large: %d", len(bomb))
+	}
+	if _, err := Decompress(nil, bomb, 1<<10); err == nil {
+		t.Fatal("bomb expansion exceeded cap without error")
+	}
+}

@@ -1,0 +1,228 @@
+// Package lz4 implements the LZ4 block format (compression and
+// decompression) with no external dependencies. GBooster compresses the
+// serialized graphics-command stream with LZ4 because it is light
+// enough to run per frame on a phone CPU while removing most of the
+// redundancy the LRU command cache leaves behind (paper §V-A reports a
+// ~70% ratio at negligible CPU cost).
+//
+// The implementation follows the public block specification: a stream
+// of sequences, each a token (literal-length nibble, match-length
+// nibble), extended lengths, literal bytes, a two-byte little-endian
+// match offset, and the match-length extension. The final sequence is
+// literals-only.
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Decompression errors.
+var (
+	ErrCorrupt  = errors.New("lz4: corrupt block")
+	ErrTooLarge = errors.New("lz4: decompressed size exceeds limit")
+)
+
+const (
+	minMatch     = 4  // LZ4 minimum match length
+	lastLiterals = 5  // spec: final 5 bytes must be literals
+	mfLimit      = 12 // spec: no match may start within 12 bytes of end
+	hashLog      = 14
+	hashShift    = 32 - hashLog
+	maxOffset    = 65535
+)
+
+// MaxBlockSize bounds a decompressed block; callers that know their
+// frame sizes can rely on the explicit max argument instead.
+const MaxBlockSize = 64 << 20
+
+// CompressBound returns the worst-case compressed size for n input
+// bytes (incompressible data expands by the literal-length extensions).
+func CompressBound(n int) int {
+	return n + n/255 + 16
+}
+
+// Compress appends the LZ4 block encoding of src to dst and returns the
+// extended slice. Empty input encodes to an empty block.
+func Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < mfLimit {
+		return appendLiterals(dst, src, true)
+	}
+
+	var table [1 << hashLog]int32 // position+1 of last occurrence of each hash
+	anchor := 0
+	pos := 0
+	limit := len(src) - mfLimit
+
+	for pos <= limit {
+		h := hash4(binary.LittleEndian.Uint32(src[pos:]))
+		cand := int(table[h]) - 1
+		table[h] = int32(pos + 1)
+		if cand < 0 || pos-cand > maxOffset ||
+			binary.LittleEndian.Uint32(src[cand:]) != binary.LittleEndian.Uint32(src[pos:]) {
+			pos++
+			continue
+		}
+		// Extend the match forward, but never into the last-literals
+		// tail the spec reserves.
+		matchLen := minMatch
+		maxLen := len(src) - lastLiterals - pos
+		for matchLen < maxLen && src[cand+matchLen] == src[pos+matchLen] {
+			matchLen++
+		}
+		if matchLen < minMatch {
+			pos++
+			continue
+		}
+		dst = appendSequence(dst, src[anchor:pos], pos-cand, matchLen)
+		pos += matchLen
+		anchor = pos
+	}
+	if anchor < len(src) {
+		dst = appendLiterals(dst, src[anchor:], true)
+	}
+	return dst
+}
+
+// appendSequence writes one token + literals + offset + match-length
+// extension.
+func appendSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	mlCode := matchLen - minMatch
+	token := byte(0)
+	if litLen >= 15 {
+		token = 0xF0
+	} else {
+		token = byte(litLen) << 4
+	}
+	if mlCode >= 15 {
+		token |= 0x0F
+	} else {
+		token |= byte(mlCode)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if mlCode >= 15 {
+		dst = appendLenExt(dst, mlCode-15)
+	}
+	return dst
+}
+
+// appendLiterals writes a literals-only final sequence.
+func appendLiterals(dst, literals []byte, _ bool) []byte {
+	litLen := len(literals)
+	if litLen >= 15 {
+		dst = append(dst, 0xF0)
+		dst = appendLenExt(dst, litLen-15)
+	} else {
+		dst = append(dst, byte(litLen)<<4)
+	}
+	return append(dst, literals...)
+}
+
+func appendLenExt(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> hashShift
+}
+
+// Decompress appends the decoded bytes of an LZ4 block to dst and
+// returns the extended slice. maxSize caps the output (pass
+// MaxBlockSize when unknown); exceeding it returns ErrTooLarge.
+func Decompress(dst, src []byte, maxSize int) ([]byte, error) {
+	base := len(dst)
+	pos := 0
+	for pos < len(src) {
+		token := src[pos]
+		pos++
+		// Literals.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			n, used, err := readLenExt(src[pos:])
+			if err != nil {
+				return dst, err
+			}
+			litLen += n
+			pos += used
+		}
+		if pos+litLen > len(src) {
+			return dst, fmt.Errorf("%w: literal run overflows input", ErrCorrupt)
+		}
+		if len(dst)-base+litLen > maxSize {
+			return dst, ErrTooLarge
+		}
+		dst = append(dst, src[pos:pos+litLen]...)
+		pos += litLen
+		if pos == len(src) {
+			return dst, nil // final literals-only sequence
+		}
+		// Match.
+		if pos+2 > len(src) {
+			return dst, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+		}
+		offset := int(binary.LittleEndian.Uint16(src[pos:]))
+		pos += 2
+		if offset == 0 {
+			return dst, fmt.Errorf("%w: zero offset", ErrCorrupt)
+		}
+		matchLen := int(token&0x0F) + minMatch
+		if token&0x0F == 15 {
+			n, used, err := readLenExt(src[pos:])
+			if err != nil {
+				return dst, err
+			}
+			matchLen += n
+			pos += used
+		}
+		if offset > len(dst)-base {
+			return dst, fmt.Errorf("%w: offset %d beyond output %d", ErrCorrupt, offset, len(dst)-base)
+		}
+		if len(dst)-base+matchLen > maxSize {
+			return dst, ErrTooLarge
+		}
+		// Overlapping copy byte-by-byte: the match may read bytes the
+		// same loop just produced (run-length style references).
+		start := len(dst) - offset
+		for i := 0; i < matchLen; i++ {
+			dst = append(dst, dst[start+i])
+		}
+	}
+	return dst, nil
+}
+
+func readLenExt(src []byte) (total, used int, err error) {
+	for {
+		if used >= len(src) {
+			return 0, 0, fmt.Errorf("%w: truncated length extension", ErrCorrupt)
+		}
+		b := src[used]
+		used++
+		total += int(b)
+		if b != 255 {
+			return total, used, nil
+		}
+	}
+}
+
+// Ratio returns compressedLen/originalLen as a float (lower is
+// better); 1.0 means no compression. It reports 1 for empty input.
+func Ratio(originalLen, compressedLen int) float64 {
+	if originalLen == 0 {
+		return 1
+	}
+	return float64(compressedLen) / float64(originalLen)
+}

@@ -1,0 +1,131 @@
+// Package metrics implements the user-experience metrics of the
+// paper's evaluation (§VII-B):
+//
+//   - median FPS over per-second samples, which "naturally omits fringe
+//     results" like loading screens;
+//   - FPS stability: the fraction of the session played within ±20% of
+//     the median FPS (low stability indicates jitter);
+//   - average response time (Eq. 5).
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// FPSCollector accumulates per-second frame-rate samples.
+type FPSCollector struct {
+	samples []float64
+}
+
+// Add records one per-second FPS sample.
+func (c *FPSCollector) Add(fps float64) {
+	if fps < 0 || math.IsNaN(fps) || math.IsInf(fps, 0) {
+		return
+	}
+	c.samples = append(c.samples, fps)
+}
+
+// Count returns the number of samples.
+func (c *FPSCollector) Count() int { return len(c.samples) }
+
+// Median returns the median FPS, or 0 with no samples.
+func (c *FPSCollector) Median() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), c.samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Stability returns the fraction of samples within ±20% of the median
+// (the paper's FPS-stability definition).
+func (c *FPSCollector) Stability() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	med := c.Median()
+	if med == 0 {
+		return 0
+	}
+	lo, hi := med*0.8, med*1.2
+	in := 0
+	for _, v := range c.samples {
+		if v >= lo && v <= hi {
+			in++
+		}
+	}
+	return float64(in) / float64(len(c.samples))
+}
+
+// Mean returns the arithmetic mean FPS.
+func (c *FPSCollector) Mean() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func (c *FPSCollector) Percentile(p float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), c.samples...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// ResponseCollector accumulates per-frame response times (Eq. 5: the
+// span from rendering-request issue to on-screen display).
+type ResponseCollector struct {
+	total time.Duration
+	count int
+	max   time.Duration
+}
+
+// Add records one response time.
+func (c *ResponseCollector) Add(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.total += d
+	c.count++
+	if d > c.max {
+		c.max = d
+	}
+}
+
+// Average returns the mean response time, or 0 with no samples.
+func (c *ResponseCollector) Average() time.Duration {
+	if c.count == 0 {
+		return 0
+	}
+	return c.total / time.Duration(c.count)
+}
+
+// Max returns the worst response time observed.
+func (c *ResponseCollector) Max() time.Duration { return c.max }
+
+// Count returns the number of samples.
+func (c *ResponseCollector) Count() int { return c.count }

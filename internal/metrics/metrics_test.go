@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMedianOddEven(t *testing.T) {
+	var c FPSCollector
+	for _, v := range []float64{10, 30, 20} {
+		c.Add(v)
+	}
+	if c.Median() != 20 {
+		t.Fatalf("odd median = %v", c.Median())
+	}
+	c.Add(40)
+	if c.Median() != 25 {
+		t.Fatalf("even median = %v", c.Median())
+	}
+	if c.Count() != 4 {
+		t.Fatalf("count = %d", c.Count())
+	}
+}
+
+func TestMedianIgnoresFringeExtremes(t *testing.T) {
+	// The paper's rationale for the median: loading screens at 0 FPS
+	// and menus at 60 FPS must not move the reported rate.
+	var c FPSCollector
+	for i := 0; i < 100; i++ {
+		c.Add(30)
+	}
+	for i := 0; i < 10; i++ {
+		c.Add(0)
+		c.Add(60)
+	}
+	if c.Median() != 30 {
+		t.Fatalf("median with fringe samples = %v, want 30", c.Median())
+	}
+}
+
+func TestStability(t *testing.T) {
+	var c FPSCollector
+	// 8 samples at 30 (within band), 2 far outside.
+	for i := 0; i < 8; i++ {
+		c.Add(30)
+	}
+	c.Add(10)
+	c.Add(60)
+	if got := c.Stability(); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("stability = %v, want 0.8", got)
+	}
+	var empty FPSCollector
+	if empty.Stability() != 0 || empty.Median() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty collector should report zeros")
+	}
+}
+
+func TestStabilityBandIsTwentyPercent(t *testing.T) {
+	var c FPSCollector
+	for i := 0; i < 10; i++ {
+		c.Add(50)
+	}
+	c.Add(40) // exactly -20%: inside
+	c.Add(60) // exactly +20%: inside
+	c.Add(39) // outside
+	if got := c.Stability(); math.Abs(got-12.0/13.0) > 1e-9 {
+		t.Fatalf("stability = %v", got)
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	var c FPSCollector
+	c.Add(-1)
+	c.Add(math.NaN())
+	c.Add(math.Inf(1))
+	if c.Count() != 0 {
+		t.Fatalf("invalid samples accepted: %d", c.Count())
+	}
+}
+
+func TestMeanAndPercentile(t *testing.T) {
+	var c FPSCollector
+	for _, v := range []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		c.Add(v)
+	}
+	if c.Mean() != 55 {
+		t.Fatalf("mean = %v", c.Mean())
+	}
+	if got := c.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := c.Percentile(0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := c.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := c.Percentile(90); got != 90 {
+		t.Fatalf("p90 = %v", got)
+	}
+	var empty FPSCollector
+	if empty.Percentile(50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestResponseCollector(t *testing.T) {
+	var c ResponseCollector
+	c.Add(10 * time.Millisecond)
+	c.Add(30 * time.Millisecond)
+	c.Add(-time.Millisecond) // ignored
+	if got := c.Average(); got != 20*time.Millisecond {
+		t.Fatalf("average = %v", got)
+	}
+	if got := c.Max(); got != 30*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if c.Count() != 2 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	var empty ResponseCollector
+	if empty.Average() != 0 {
+		t.Fatal("empty average should be 0")
+	}
+}

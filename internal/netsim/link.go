@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"time"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// Link models the path from the user device to one service device over
+// a given radio: propagation RTT, random loss (recovered by the
+// reliable-UDP layer at the cost of one extra RTT per lost datagram),
+// and jitter.
+type Link struct {
+	Radio *Radio
+	// RTT is the round-trip propagation+processing delay, excluding
+	// serialization time.
+	RTT time.Duration
+	// Loss is the independent datagram loss probability the app-layer
+	// reliability must recover from.
+	Loss float64
+	// JitterStd is the standard deviation of one-way delay noise.
+	JitterStd time.Duration
+
+	rng *sim.RNG
+
+	// Stats accumulate delivery behaviour.
+	Stats LinkStats
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	Transfers    int
+	Bytes        int64
+	Retransmits  int
+	TotalLatency time.Duration
+}
+
+// NewLink builds a link over radio with the given path RTT and loss.
+func NewLink(radio *Radio, rtt time.Duration, loss float64, rng *sim.RNG) *Link {
+	if rng == nil {
+		rng = sim.NewRNG(0)
+	}
+	return &Link{Radio: radio, RTT: rtt, Loss: loss, rng: rng}
+}
+
+// OneWay returns the expected one-way latency for n bytes with the
+// radio's current rate (no loss, no jitter): serialization + half RTT.
+func (l *Link) OneWay(n int) time.Duration {
+	return l.Radio.TxTime(n) + l.RTT/2
+}
+
+// Deliver accounts for reliably delivering n bytes across the link and
+// returns the simulated one-way latency including retransmissions and
+// jitter. The radio must be ready.
+func (l *Link) Deliver(n int) (time.Duration, error) {
+	txTime, err := l.Radio.Transmit(n)
+	if err != nil {
+		return 0, err
+	}
+	lat := txTime + l.RTT/2
+	// Each loss costs a retransmission round trip plus resending.
+	for l.Loss > 0 && l.rng.Bool(l.Loss) {
+		l.Stats.Retransmits++
+		re, err := l.Radio.Transmit(n)
+		if err != nil {
+			return lat, err
+		}
+		lat += l.RTT + re
+	}
+	if l.JitterStd > 0 {
+		j := time.Duration(l.rng.Norm(0, float64(l.JitterStd)))
+		if lat+j > 0 {
+			lat += j
+		}
+	}
+	l.Stats.Transfers++
+	l.Stats.Bytes += int64(n)
+	l.Stats.TotalLatency += lat
+	return lat, nil
+}
+
+// Meter accumulates traffic volume into fixed windows, producing the
+// demand series the §V-B forecaster consumes (bytes per window,
+// reported in Mbps).
+type Meter struct {
+	clock  *sim.Clock
+	window time.Duration
+
+	currentStart time.Duration
+	currentBytes int64
+	series       []float64
+}
+
+// NewMeter returns a meter with the given sampling window.
+func NewMeter(clock *sim.Clock, window time.Duration) *Meter {
+	if window <= 0 {
+		window = 100 * time.Millisecond
+	}
+	return &Meter{clock: clock, window: window, currentStart: clock.Now()}
+}
+
+// Add records n bytes of traffic at the current virtual time, closing
+// any windows that have elapsed.
+func (m *Meter) Add(n int) {
+	m.roll()
+	m.currentBytes += int64(n)
+}
+
+// roll closes every window older than the current time.
+func (m *Meter) roll() {
+	now := m.clock.Now()
+	for now-m.currentStart >= m.window {
+		m.series = append(m.series, m.toMbps(m.currentBytes))
+		m.currentBytes = 0
+		m.currentStart += m.window
+	}
+}
+
+func (m *Meter) toMbps(bytes int64) float64 {
+	return float64(bytes) * 8 / m.window.Seconds() / 1e6
+}
+
+// Series returns the closed windows so far as Mbps samples.
+func (m *Meter) Series() []float64 {
+	m.roll()
+	return append([]float64(nil), m.series...)
+}
+
+// Window returns the sampling window.
+func (m *Meter) Window() time.Duration { return m.window }
+
+// CurrentMbps reports the (incomplete) current window's rate so far,
+// useful for instantaneous decisions.
+func (m *Meter) CurrentMbps() float64 {
+	m.roll()
+	elapsed := m.clock.Now() - m.currentStart
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.currentBytes) * 8 / elapsed.Seconds() / 1e6
+}

@@ -1,0 +1,228 @@
+// Package netsim models the wireless interfaces and links GBooster's
+// transport runs over (paper §V). The real system drives a phone's WiFi
+// and Bluetooth hardware; this substituted model carries the properties
+// the paper's mechanisms depend on:
+//
+//   - bandwidth and power per interface (WiFi ≈ 2 W at full rate and an
+//     order of magnitude more throughput; Bluetooth < 0.1 W and an
+//     order of magnitude less, per the paper's §V-B numbers),
+//   - wake-up latency: ≥100 ms to enable a disabled WiFi interface and
+//     ≥500 ms when it must re-associate after sleeping a while — the
+//     delays the ARMAX forecaster exists to hide,
+//   - per-transfer latency and loss for links to service devices,
+//   - energy integration over the virtual clock.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// Radio errors.
+var (
+	ErrRadioNotReady = errors.New("netsim: radio not ready")
+	ErrBadTransfer   = errors.New("netsim: invalid transfer size")
+)
+
+// RadioState enumerates the interface power states.
+type RadioState int
+
+// States. A waking radio becomes ready only after its wake deadline.
+const (
+	StateOff RadioState = iota + 1
+	StateWaking
+	StateOn
+)
+
+// String names the state.
+func (s RadioState) String() string {
+	switch s {
+	case StateOff:
+		return "off"
+	case StateWaking:
+		return "waking"
+	case StateOn:
+		return "on"
+	default:
+		return fmt.Sprintf("RadioState(%d)", int(s))
+	}
+}
+
+// RadioSpec is the static description of a wireless interface.
+type RadioSpec struct {
+	Name string
+	// BitsPerSecond is the effective application-layer throughput.
+	BitsPerSecond float64
+	// PowerTx is drawn while transmitting; PowerIdle while on but not
+	// transmitting; PowerOff while disabled (usually ~0).
+	PowerTx, PowerIdle, PowerOff float64 // watts
+	// WakeLatency is the time from Wake() to ready when the interface
+	// was disabled briefly; ReassocLatency applies when it has been off
+	// longer than ReassocAfter and must re-associate with its AP.
+	WakeLatency    time.Duration
+	ReassocLatency time.Duration
+	ReassocAfter   time.Duration
+}
+
+// WiFi80211n matches the paper's testbed: a 150 Mbps 802.11n network
+// (≈75 Mbps effective application throughput), ~2 W transmit power, and
+// the measured 100 ms / >500 ms wake and re-associate latencies.
+func WiFi80211n() RadioSpec {
+	return RadioSpec{
+		Name:           "wifi",
+		BitsPerSecond:  75e6,
+		PowerTx:        2.0,
+		PowerIdle:      0.5,
+		PowerOff:       0.01,
+		WakeLatency:    100 * time.Millisecond,
+		ReassocLatency: 500 * time.Millisecond,
+		ReassocAfter:   3 * time.Second,
+	}
+}
+
+// BluetoothHS matches the paper's Bluetooth numbers: ≈21 Mbps peak
+// (≈18 Mbps effective) at under 0.1 W. It is always on (its idle power
+// is negligible), so it has no wake machinery.
+func BluetoothHS() RadioSpec {
+	return RadioSpec{
+		Name:          "bluetooth",
+		BitsPerSecond: 18e6,
+		PowerTx:       0.09,
+		PowerIdle:     0.01,
+		PowerOff:      0.001,
+		WakeLatency:   10 * time.Millisecond,
+	}
+}
+
+// Radio is a live interface instance bound to a virtual clock.
+type Radio struct {
+	Spec RadioSpec
+
+	clock       *sim.Clock
+	state       RadioState
+	readyAt     time.Duration // when a waking radio becomes usable
+	lastChange  time.Duration // for energy integration
+	lastOffTime time.Duration // when the radio was last turned off
+
+	energyJ   float64
+	bytesSent int64
+	txTime    time.Duration
+}
+
+// NewRadio returns a radio in the given initial state.
+func NewRadio(clock *sim.Clock, spec RadioSpec, initial RadioState) *Radio {
+	if initial != StateOff && initial != StateOn {
+		initial = StateOff
+	}
+	return &Radio{
+		Spec:       spec,
+		clock:      clock,
+		state:      initial,
+		lastChange: clock.Now(),
+	}
+}
+
+// State returns the radio's state, resolving a completed wake.
+func (r *Radio) State() RadioState {
+	if r.state == StateWaking && r.clock.Now() >= r.readyAt {
+		r.accrue()
+		r.state = StateOn
+	}
+	return r.state
+}
+
+// Ready reports whether the radio can transmit right now.
+func (r *Radio) Ready() bool { return r.State() == StateOn }
+
+// accrue integrates power over the time spent in the current state.
+func (r *Radio) accrue() {
+	now := r.clock.Now()
+	dt := (now - r.lastChange).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	var p float64
+	switch r.state {
+	case StateOff:
+		p = r.Spec.PowerOff
+	case StateWaking, StateOn:
+		p = r.Spec.PowerIdle
+	}
+	r.energyJ += p * dt
+	r.lastChange = now
+}
+
+// Wake begins enabling the radio and returns when it will be ready. If
+// it is already on (or waking), the existing deadline is returned. A
+// radio off longer than ReassocAfter pays the re-association latency.
+func (r *Radio) Wake() time.Duration {
+	switch r.State() {
+	case StateOn:
+		return r.clock.Now()
+	case StateWaking:
+		return r.readyAt
+	}
+	r.accrue()
+	lat := r.Spec.WakeLatency
+	if r.Spec.ReassocLatency > 0 && r.clock.Now()-r.lastOffTime > r.Spec.ReassocAfter {
+		lat = r.Spec.ReassocLatency
+	}
+	r.state = StateWaking
+	r.readyAt = r.clock.Now() + lat
+	return r.readyAt
+}
+
+// Sleep disables the radio immediately.
+func (r *Radio) Sleep() {
+	if r.State() == StateOff {
+		return
+	}
+	r.accrue()
+	r.state = StateOff
+	r.lastOffTime = r.clock.Now()
+}
+
+// TxTime returns the serialization time for n bytes at the radio's
+// effective rate.
+func (r *Radio) TxTime(n int) time.Duration {
+	if n <= 0 || r.Spec.BitsPerSecond <= 0 {
+		return 0
+	}
+	sec := float64(n) * 8 / r.Spec.BitsPerSecond
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Transmit accounts for sending n bytes: it charges transmit energy and
+// returns the serialization time. The radio must be ready; callers
+// advance the clock themselves (transfers from multiple components can
+// overlap in the pipeline model).
+func (r *Radio) Transmit(n int) (time.Duration, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: %d bytes", ErrBadTransfer, n)
+	}
+	if !r.Ready() {
+		return 0, fmt.Errorf("%w: %s is %v", ErrRadioNotReady, r.Spec.Name, r.state)
+	}
+	r.accrue()
+	d := r.TxTime(n)
+	r.energyJ += (r.Spec.PowerTx - r.Spec.PowerIdle) * d.Seconds()
+	r.bytesSent += int64(n)
+	r.txTime += d
+	return d, nil
+}
+
+// EnergyJoules returns total energy consumed through the current
+// virtual time.
+func (r *Radio) EnergyJoules() float64 {
+	r.accrue()
+	return r.energyJ
+}
+
+// BytesSent returns the cumulative payload volume.
+func (r *Radio) BytesSent() int64 { return r.bytesSent }
+
+// BusyTime returns cumulative transmit (serialization) time.
+func (r *Radio) BusyTime() time.Duration { return r.txTime }

@@ -1,0 +1,300 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+func TestRadioStateMachine(t *testing.T) {
+	var clock sim.Clock
+	r := NewRadio(&clock, WiFi80211n(), StateOff)
+	if r.Ready() {
+		t.Fatal("off radio reported ready")
+	}
+	readyAt := r.Wake()
+	if want := 100 * time.Millisecond; readyAt != want {
+		t.Fatalf("wake deadline = %v, want %v", readyAt, want)
+	}
+	if r.Ready() {
+		t.Fatal("radio ready before wake latency elapsed")
+	}
+	if r.State() != StateWaking {
+		t.Fatalf("state = %v, want waking", r.State())
+	}
+	clock.Advance(100 * time.Millisecond)
+	if !r.Ready() {
+		t.Fatal("radio not ready after wake latency")
+	}
+	r.Sleep()
+	if r.State() != StateOff {
+		t.Fatalf("state after sleep = %v", r.State())
+	}
+	r.Sleep() // idempotent
+	if r.State() != StateOff {
+		t.Fatal("double sleep changed state")
+	}
+}
+
+func TestRadioReassociationLatency(t *testing.T) {
+	var clock sim.Clock
+	r := NewRadio(&clock, WiFi80211n(), StateOn)
+	r.Sleep()
+	// Short nap: plain wake latency.
+	clock.Advance(time.Second)
+	ready := r.Wake()
+	if got := ready - clock.Now(); got != 100*time.Millisecond {
+		t.Fatalf("short-nap wake latency = %v, want 100ms", got)
+	}
+	clock.Advance(100 * time.Millisecond)
+	r.Sleep()
+	// Long sleep: must re-associate.
+	clock.Advance(10 * time.Second)
+	ready = r.Wake()
+	if got := ready - clock.Now(); got != 500*time.Millisecond {
+		t.Fatalf("long-sleep wake latency = %v, want 500ms", got)
+	}
+}
+
+func TestRadioWakeWhileWakingKeepsDeadline(t *testing.T) {
+	var clock sim.Clock
+	r := NewRadio(&clock, WiFi80211n(), StateOff)
+	first := r.Wake()
+	clock.Advance(30 * time.Millisecond)
+	second := r.Wake()
+	if first != second {
+		t.Fatalf("second Wake moved deadline %v -> %v", first, second)
+	}
+	clock.Advance(100 * time.Millisecond)
+	if got := r.Wake(); got != clock.Now() {
+		t.Fatalf("Wake on ready radio = %v, want now %v", got, clock.Now())
+	}
+}
+
+func TestRadioTransmitTimeAndAccounting(t *testing.T) {
+	var clock sim.Clock
+	r := NewRadio(&clock, WiFi80211n(), StateOn)
+	// 75 Mbps -> 9.375 MB/s; 937500 bytes should take 100 ms.
+	d, err := r.Transmit(937500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Round(time.Millisecond); got != 100*time.Millisecond {
+		t.Fatalf("tx time = %v, want 100ms", got)
+	}
+	if r.BytesSent() != 937500 || r.BusyTime() != d {
+		t.Fatalf("accounting: %d bytes, %v busy", r.BytesSent(), r.BusyTime())
+	}
+}
+
+func TestRadioTransmitNotReady(t *testing.T) {
+	var clock sim.Clock
+	r := NewRadio(&clock, WiFi80211n(), StateOff)
+	if _, err := r.Transmit(100); !errors.Is(err, ErrRadioNotReady) {
+		t.Fatalf("transmit off error = %v", err)
+	}
+	r.Wake()
+	if _, err := r.Transmit(100); !errors.Is(err, ErrRadioNotReady) {
+		t.Fatalf("transmit waking error = %v", err)
+	}
+	if _, err := r.Transmit(-1); !errors.Is(err, ErrBadTransfer) {
+		t.Fatalf("negative size error = %v", err)
+	}
+}
+
+func TestRadioEnergyIntegration(t *testing.T) {
+	var clock sim.Clock
+	spec := WiFi80211n()
+	r := NewRadio(&clock, spec, StateOn)
+	// 10 s idle.
+	clock.Advance(10 * time.Second)
+	idle := r.EnergyJoules()
+	if want := spec.PowerIdle * 10; math.Abs(idle-want) > 1e-9 {
+		t.Fatalf("idle energy = %v J, want %v", idle, want)
+	}
+	// Transmit 1 second's worth of bytes: adds (PowerTx-PowerIdle)*1s,
+	// plus idle power continues over that second once we advance.
+	oneSec := int(spec.BitsPerSecond / 8)
+	d, err := r.Transmit(oneSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(d)
+	total := r.EnergyJoules()
+	want := spec.PowerIdle*11 + (spec.PowerTx-spec.PowerIdle)*1
+	if math.Abs(total-want) > 0.01 {
+		t.Fatalf("energy after tx = %v J, want %v", total, want)
+	}
+}
+
+func TestRadioOffEnergyNearZero(t *testing.T) {
+	var clock sim.Clock
+	r := NewRadio(&clock, WiFi80211n(), StateOff)
+	clock.Advance(100 * time.Second)
+	if e := r.EnergyJoules(); e > 2 {
+		t.Fatalf("off energy over 100s = %v J, want ~1", e)
+	}
+}
+
+func TestBluetoothOrderOfMagnitude(t *testing.T) {
+	// The §V-B premise: BT is ~10x less power and ~10x less throughput.
+	wifi, bt := WiFi80211n(), BluetoothHS()
+	if ratio := wifi.PowerTx / bt.PowerTx; ratio < 10 {
+		t.Fatalf("power ratio = %.1f, want >= 10", ratio)
+	}
+	if ratio := wifi.BitsPerSecond / bt.BitsPerSecond; ratio < 3 || ratio > 30 {
+		t.Fatalf("throughput ratio = %.1f, want order of magnitude", ratio)
+	}
+}
+
+func TestRadioStateString(t *testing.T) {
+	for s, want := range map[RadioState]string{
+		StateOff: "off", StateWaking: "waking", StateOn: "on", RadioState(9): "RadioState(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("state %d = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestLinkDeliverLossless(t *testing.T) {
+	var clock sim.Clock
+	r := NewRadio(&clock, WiFi80211n(), StateOn)
+	l := NewLink(r, 2*time.Millisecond, 0, sim.NewRNG(1))
+	lat, err := l.Deliver(9375) // 1 ms serialization at 75 Mbps
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * time.Millisecond // 1ms tx + 1ms half-RTT
+	if d := lat - want; d < -time.Microsecond*100 || d > time.Microsecond*100 {
+		t.Fatalf("latency = %v, want ~%v", lat, want)
+	}
+	if l.Stats.Transfers != 1 || l.Stats.Bytes != 9375 {
+		t.Fatalf("stats %+v", l.Stats)
+	}
+	if got := l.OneWay(9375); got != want {
+		t.Fatalf("OneWay = %v, want %v", got, want)
+	}
+}
+
+func TestLinkLossCostsRetransmits(t *testing.T) {
+	var clock sim.Clock
+	mk := func(loss float64) (time.Duration, int) {
+		r := NewRadio(&clock, WiFi80211n(), StateOn)
+		l := NewLink(r, 4*time.Millisecond, loss, sim.NewRNG(42))
+		var total time.Duration
+		for i := 0; i < 500; i++ {
+			lat, err := l.Deliver(10000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += lat
+		}
+		return total, l.Stats.Retransmits
+	}
+	clean, cleanRetx := mk(0)
+	lossy, lossyRetx := mk(0.2)
+	if cleanRetx != 0 {
+		t.Fatalf("lossless link retransmitted %d times", cleanRetx)
+	}
+	if lossyRetx == 0 {
+		t.Fatal("lossy link never retransmitted")
+	}
+	if lossy <= clean {
+		t.Fatalf("lossy total latency %v <= clean %v", lossy, clean)
+	}
+}
+
+func TestLinkDeliverRequiresReadyRadio(t *testing.T) {
+	var clock sim.Clock
+	r := NewRadio(&clock, WiFi80211n(), StateOff)
+	l := NewLink(r, time.Millisecond, 0, sim.NewRNG(1))
+	if _, err := l.Deliver(100); !errors.Is(err, ErrRadioNotReady) {
+		t.Fatalf("deliver on off radio error = %v", err)
+	}
+}
+
+func TestMeterWindows(t *testing.T) {
+	var clock sim.Clock
+	m := NewMeter(&clock, 100*time.Millisecond)
+	m.Add(125000) // 125 kB in window 0 -> 10 Mbps
+	clock.Advance(100 * time.Millisecond)
+	m.Add(250000) // window 1 -> 20 Mbps
+	clock.Advance(250 * time.Millisecond)
+	s := m.Series()
+	if len(s) != 3 {
+		t.Fatalf("series length = %d, want 3 closed windows", len(s))
+	}
+	if math.Abs(s[0]-10) > 0.01 || math.Abs(s[1]-20) > 0.01 || s[2] != 0 {
+		t.Fatalf("series = %v, want [10 20 0]", s)
+	}
+}
+
+func TestMeterCurrentRate(t *testing.T) {
+	var clock sim.Clock
+	m := NewMeter(&clock, time.Second)
+	clock.Advance(500 * time.Millisecond)
+	m.Add(625000) // 5 Mb in 0.5 s -> 10 Mbps so far
+	if got := m.CurrentMbps(); math.Abs(got-10) > 0.01 {
+		t.Fatalf("CurrentMbps = %v, want 10", got)
+	}
+	if m.Window() != time.Second {
+		t.Fatal("Window() wrong")
+	}
+}
+
+func TestMeterDefaultWindow(t *testing.T) {
+	var clock sim.Clock
+	m := NewMeter(&clock, 0)
+	if m.Window() != 100*time.Millisecond {
+		t.Fatalf("default window = %v", m.Window())
+	}
+}
+
+func TestLinkJitterVariesLatency(t *testing.T) {
+	var clock sim.Clock
+	r := NewRadio(&clock, WiFi80211n(), StateOn)
+	l := NewLink(r, 4*time.Millisecond, 0, sim.NewRNG(8))
+	l.JitterStd = time.Millisecond
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 50; i++ {
+		lat, err := l.Deliver(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat <= 0 {
+			t.Fatalf("non-positive latency %v", lat)
+		}
+		seen[lat] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jittered latencies collapsed to %d distinct values", len(seen))
+	}
+}
+
+func TestMeterConservationProperty(t *testing.T) {
+	// Total bytes added equals the integral of the reported series plus
+	// the open window.
+	var clock sim.Clock
+	m := NewMeter(&clock, 100*time.Millisecond)
+	rng := sim.NewRNG(12)
+	var total int64
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(5000)
+		m.Add(n)
+		total += int64(n)
+		clock.Advance(time.Duration(rng.Intn(50)) * time.Millisecond)
+	}
+	var fromSeries float64
+	for _, mbps := range m.Series() {
+		fromSeries += mbps * 1e6 / 8 * 0.1 // bytes per closed window
+	}
+	openBytes := m.CurrentMbps() * 1e6 / 8 * (float64(clock.Now()-time.Duration(len(m.Series()))*100*time.Millisecond) / float64(time.Second))
+	got := fromSeries + openBytes
+	if got < float64(total)*0.99 || got > float64(total)*1.01 {
+		t.Fatalf("meter accounted %.0f bytes of %d", got, total)
+	}
+}

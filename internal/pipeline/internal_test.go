@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/sim"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+func TestAR1NoiseMomentsAndCorrelation(t *testing.T) {
+	n := newAR1(sim.NewRNG(5), 0.8, 0.2)
+	const samples = 200000
+	var sum, sumSq, lagSum float64
+	prev := 0.0
+	vals := make([]float64, samples)
+	for i := 0; i < samples; i++ {
+		v := n.next()
+		vals[i] = v
+		sum += v
+		sumSq += v * v
+		if i > 0 {
+			lagSum += v * prev
+		}
+		prev = v
+	}
+	mean := sum / samples
+	variance := sumSq/samples - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("AR1 mean = %v, want ~0", mean)
+	}
+	// Lag-1 autocorrelation should be near phi.
+	autocorr := (lagSum/samples - mean*mean) / variance
+	if math.Abs(autocorr-0.8) > 0.05 {
+		t.Fatalf("AR1 lag-1 autocorrelation = %v, want ~0.8", autocorr)
+	}
+	// Stationary sd should track the configured CV scale.
+	sd := math.Sqrt(variance)
+	if sd < 0.1 || sd > 0.35 {
+		t.Fatalf("AR1 sd = %v for cv 0.2", sd)
+	}
+}
+
+func TestBurstProcessRatesAndDurations(t *testing.T) {
+	prof, err := workload.ByID("G1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBurstProcess(sim.NewRNG(9), prof)
+	const seconds = 20000
+	burstSeconds, touches := 0, 0
+	for s := 0; s < seconds; s++ {
+		in, tc := b.second()
+		if in {
+			burstSeconds++
+		}
+		touches += tc
+	}
+	// Burst rate 0.06/s with 2-4 s duration -> ~15-20% of seconds.
+	frac := float64(burstSeconds) / seconds
+	if frac < 0.08 || frac > 0.35 {
+		t.Fatalf("burst fraction = %.2f", frac)
+	}
+	// Touch rate ~4/s baseline, 12/s in bursts.
+	perSec := float64(touches) / seconds
+	if perSec < 3 || perSec > 8 {
+		t.Fatalf("touch rate = %.1f/s", perSec)
+	}
+}
+
+func TestStageTimesAccounting(t *testing.T) {
+	st := stageTimes{
+		serializeMs: 1, uplinkMs: 2, remoteMs: 20,
+		downlinkMs: 4, decodeMs: 5, logicMs: 10,
+	}
+	if got := st.latencyMs(); got != 32 {
+		t.Fatalf("latency = %v, want 32 (logic excluded)", got)
+	}
+	if got := st.clientMs(); got != 16 {
+		t.Fatalf("client = %v, want 16 (logic+serialize+decode)", got)
+	}
+}
+
+func TestRemoteStageRateRespectsInFlight(t *testing.T) {
+	times := map[string]float64{"a": 10, "b": 20, "c": 40}
+	// B=1: only the fastest device serves.
+	if got := remoteStageRate(times, 1, 1); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("B=1 rate = %v", got)
+	}
+	// B=2: two fastest.
+	if got := remoteStageRate(times, 1, 2); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("B=2 rate = %v", got)
+	}
+	// B beyond device count: everything serves.
+	if got := remoteStageRate(times, 1, 5); math.Abs(got-175) > 1e-9 {
+		t.Fatalf("B=5 rate = %v", got)
+	}
+	// Workload multiplier slows every device.
+	if got := remoteStageRate(times, 2, 5); math.Abs(got-87.5) > 1e-9 {
+		t.Fatalf("mult=2 rate = %v", got)
+	}
+}
+
+func TestReportedCPUUtil(t *testing.T) {
+	if got := reportedCPUUtil(0); got != BaselineCPUUtil {
+		t.Fatalf("zero loop util = %v", got)
+	}
+	if got := reportedCPUUtil(1); math.Abs(got-(BaselineCPUUtil+RenderLoopCPUShare)) > 1e-9 {
+		t.Fatalf("full loop util = %v", got)
+	}
+	if got := reportedCPUUtil(10); got > 1 {
+		t.Fatalf("reported util %v exceeds 1", got)
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if maxf(1, 5, 3) != 5 || minf(4, 2, 9) != 2 {
+		t.Fatal("minf/maxf wrong")
+	}
+	v := []float64{3, 1, 2}
+	sortFloats(v)
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("sortFloats = %v", v)
+	}
+}

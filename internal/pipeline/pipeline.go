@@ -1,0 +1,530 @@
+// Package pipeline is GBooster's session simulator: it runs a workload
+// on a user device for a simulated gameplay session (the paper uses 15
+// minutes) either locally or offloaded, and produces the §VII metrics —
+// median FPS, FPS stability, average response time (Eq. 5), and the
+// component energy account.
+//
+// The offloaded frame path is modeled as the stage pipeline the paper
+// builds (§IV): intercept → serialize+cache+LZ4 → uplink radio → remote
+// render → turbo encode → downlink radio → decode → display, with the
+// §VI extensions (non-blocking SwapBuffer buffering up to B requests,
+// Eq. 4 dispatch over multiple service devices, reorder by sequence
+// number). Steady-state FPS is the reciprocal of the slowest pipeline
+// stage; response time is the end-to-end latency through all stages
+// plus any queueing the interface switch could not hide.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/device"
+	"github.com/gbooster/gbooster/internal/dispatch"
+	"github.com/gbooster/gbooster/internal/energy"
+	"github.com/gbooster/gbooster/internal/ifswitch"
+	"github.com/gbooster/gbooster/internal/metrics"
+	"github.com/gbooster/gbooster/internal/netsim"
+	"github.com/gbooster/gbooster/internal/sim"
+	"github.com/gbooster/gbooster/internal/thermal"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// Errors.
+var ErrBadConfig = errors.New("pipeline: invalid config")
+
+// Cost-model constants, calibrated against the paper's anchors. Each
+// constant notes what pins it.
+const (
+	// GPUResidualPowerW is the user GPU's draw while offloading (it
+	// still composites the decoded frames).
+	GPUResidualPowerW = 0.08
+	// SerializeMsPerKB is the CPU cost of serializing + cache-filtering
+	// + LZ4-compressing one KB of command stream on the Nexus 5
+	// (~40 MB/s, matching the §V-A "barely incurs extra CPU" claim).
+	SerializeMsPerKB = 0.025
+	// ClientDecodeMPps is the turbo decode rate on the phone CPU
+	// (decode is far cheaper than encode; §VII-G's modest CPU overhead
+	// pins it).
+	ClientDecodeMPps = 30.0
+	// TurboCompressedBytesPerPixel is the downlink volume per changed
+	// pixel (the paper's ~25:1 on 4-byte RGBA gives 0.16 B/px).
+	TurboCompressedBytesPerPixel = 0.16
+	// InFlightRequests is B, the §VI-A internal buffer depth observed
+	// by the paper ("the internal buffer possesses at most 3 requests").
+	InFlightRequests = 3
+	// WrapperMemoryMB is the measured §VII-G footprint of the wrapper
+	// layer (caches + codec state).
+	WrapperMemoryMB = 47.8
+	// BaselineCPUUtil is the CPU share of the application's non-render
+	// threads (physics, audio, engine bookkeeping) — the floor under
+	// the §VII-G CPU-usage numbers (local 68%, offloaded 79%).
+	BaselineCPUUtil = 0.5
+	// RenderLoopCPUShare scales the render-loop's single-threaded work
+	// into whole-device utilization.
+	RenderLoopCPUShare = 0.45
+)
+
+// reportedCPUUtil converts render-loop utilization into the whole-app
+// CPU usage a profiler would report (§VII-G).
+func reportedCPUUtil(loopUtil float64) float64 {
+	return clamp01(BaselineCPUUtil + RenderLoopCPUShare*loopUtil)
+}
+
+// referenceCPUGHz is the Nexus 5 effective capability all per-frame CPU
+// costs are expressed against.
+var _referenceCPU = device.Nexus5().CPU
+
+// Mode selects local or offloaded execution.
+type Mode int
+
+// Modes.
+const (
+	ModeLocal Mode = iota + 1
+	ModeOffload
+)
+
+// Config parameterizes one session run.
+type Config struct {
+	Profile workload.Profile
+	User    device.UserDevice
+	// Services are the offload destinations (ignored for local runs).
+	Services []device.ServiceDevice
+	// Duration is the session length (default 15 minutes, the paper's
+	// protocol).
+	Duration time.Duration
+	// Seed drives all randomness.
+	Seed uint64
+	// Switching selects the radio policy (default predictive).
+	Switching ifswitch.Policy
+	// InFlight overrides the request buffer depth B (default 3); 1
+	// models the unmodified blocking SwapBuffer (§VI-A ablation).
+	InFlight int
+	// Debug prints per-second stage breakdowns (development aid).
+	Debug bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 15 * time.Minute
+	}
+	if c.Switching == 0 {
+		c.Switching = ifswitch.PolicyPredictive
+	}
+	if c.InFlight <= 0 {
+		c.InFlight = InFlightRequests
+	}
+	return c
+}
+
+// Result is one session's outcome.
+type Result struct {
+	Mode        Mode
+	MedianFPS   float64
+	Stability   float64
+	AvgResponse time.Duration
+	Energy      *energy.Account
+	// AvgCPUUtil is mean CPU utilization (for the §VII-G overhead
+	// comparison); Overloads counts windows where demand outran the
+	// usable radio.
+	AvgCPUUtil float64
+	Overloads  int
+	// WiFiOnFraction is the share of the session with WiFi powered.
+	WiFiOnFraction float64
+}
+
+// RunLocal simulates the session executing entirely on the phone.
+func RunLocal(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Profile.FrameWorkloadGP <= 0 {
+		return Result{}, fmt.Errorf("%w: zero workload", ErrBadConfig)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	gov, err := thermal.NewGovernor(cfg.User.GPU.Thermal)
+	if err != nil {
+		return Result{}, fmt.Errorf("governor: %w", err)
+	}
+	acct := energy.NewAccount()
+	var fpsCol metrics.FPSCollector
+	var respCol metrics.FPSCollector // per-second response samples (ms); median reported
+
+	cpuScale := cfg.User.CPU.EffectiveGHz() / _referenceCPU.EffectiveGHz()
+	effFill := cfg.User.GPU.FillrateGPps * workload.GPUEfficiency
+	noise := newAR1(rng.Fork(), 0.8, cfg.Profile.WorkloadCV)
+
+	seconds := int(cfg.Duration.Seconds())
+	var cpuUtilSum float64
+	for s := 0; s < seconds; s++ {
+		mult := 1 + noise.next()
+		if mult < 0.5 {
+			mult = 0.5
+		}
+		gpuMsPerFrame := cfg.Profile.FrameWorkloadGP * mult / (effFill * gov.Scale()) * 1000
+		cpuMsPerFrame := (cfg.Profile.LogicCPUMs + cfg.Profile.DriverCPUMs) / cpuScale
+		period := maxf(gpuMsPerFrame, cpuMsPerFrame, 1000/cfg.Profile.FPSCap)
+		fps := 1000 / period
+		fpsCol.Add(fps)
+		respCol.Add(period) // Eq. 5 locally: t_r = 1000/FPS
+
+		gpuUtil := clamp01(gpuMsPerFrame / period)
+		cpuUtil := clamp01(cpuMsPerFrame / period)
+		cpuUtilSum += cpuUtil
+		gov.Step(time.Second, gpuUtil)
+		acct.AddPower(energy.ComponentGPU, gov.PowerW(gpuUtil), time.Second)
+		acct.AddPower(energy.ComponentCPU,
+			energy.CPUPower(cfg.User.CPUIdlePowerW, cfg.User.CPUActivePowerW, cpuUtil), time.Second)
+		acct.AddPower(energy.ComponentDisplay, cfg.User.DisplayPowerW, time.Second)
+	}
+	return Result{
+		Mode:        ModeLocal,
+		MedianFPS:   fpsCol.Median(),
+		Stability:   fpsCol.Stability(),
+		AvgResponse: time.Duration(respCol.Median() * float64(time.Millisecond)),
+		Energy:      acct,
+		AvgCPUUtil:  reportedCPUUtil(cpuUtilSum / float64(seconds)),
+	}, nil
+}
+
+// stageTimes holds the per-frame stage latencies (milliseconds) for one
+// second of the offloaded pipeline.
+type stageTimes struct {
+	serializeMs float64 // client CPU: intercept+cache+LZ4
+	uplinkMs    float64 // radio serialization + half RTT
+	remoteMs    float64 // render + encode on the assigned device
+	downlinkMs  float64 // radio serialization + half RTT
+	decodeMs    float64 // client CPU: turbo decode + display hand-off
+	logicMs     float64 // client CPU: game logic (pipelined with the rest)
+}
+
+// latencyMs is the end-to-end response latency (Eq. 5's 1000/FPS + t_p
+// decomposition resolves to the full path latency here).
+func (st stageTimes) latencyMs() float64 {
+	return st.serializeMs + st.uplinkMs + st.remoteMs + st.downlinkMs + st.decodeMs
+}
+
+// clientMs is the client CPU stage (all client work shares the phone
+// CPU, so the pieces serialize with each other).
+func (st stageTimes) clientMs() float64 {
+	return st.logicMs + st.serializeMs + st.decodeMs
+}
+
+// RunOffload simulates the session with GPU tasks offloaded to the
+// configured service devices.
+func RunOffload(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Services) == 0 {
+		return Result{}, fmt.Errorf("%w: no service devices", ErrBadConfig)
+	}
+	if cfg.Profile.FrameWorkloadGP <= 0 {
+		return Result{}, fmt.Errorf("%w: zero workload", ErrBadConfig)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	clock := &sim.Clock{}
+
+	// Radios + switching controller. With switching enabled the WiFi
+	// interface runs 802.11 power-save mode and dozes between
+	// transfers; without the optimization it sits in constantly-awake
+	// mode — the §V-B energy gap of Fig. 6(b) comes largely from this
+	// idle-power difference plus the sleep periods.
+	wifiSpec := cfg.User.WiFi
+	if cfg.Switching == ifswitch.PolicyAlwaysWiFi {
+		wifiSpec.PowerIdle = 0.8 // CAM
+	} else {
+		wifiSpec.PowerIdle = 0.15 // PSM dozing between frames
+	}
+	wifi := netsim.NewRadio(clock, wifiSpec, netsim.StateOff)
+	bt := netsim.NewRadio(clock, cfg.User.Bluetooth, netsim.StateOn)
+	meter := netsim.NewMeter(clock, 100*time.Millisecond)
+	swCfg := ifswitch.DefaultConfig()
+	swCfg.Policy = cfg.Switching
+	ctl, err := ifswitch.New(clock, swCfg, wifi, bt, meter)
+	if err != nil {
+		return Result{}, fmt.Errorf("ifswitch: %w", err)
+	}
+
+	// Dispatch scheduler with Eq. 4 parameters. Workload unit:
+	// gigapixel-fragments.
+	pixels := float64(workload.StreamW * workload.StreamH)
+	changedMP := cfg.Profile.ChangedTileFraction * pixels / 1e6
+	devices := make([]*dispatch.Device, 0, len(cfg.Services))
+	remoteMsOf := make(map[string]float64, len(cfg.Services))
+	for i, s := range cfg.Services {
+		renderMs := cfg.Profile.FrameWorkloadGP / (s.GPU.FillrateGPps * workload.GPUEfficiency) * 1000
+		encodeMs := changedMP / s.EncoderMPps * 1000
+		svcMs := renderMs + encodeMs
+		id := fmt.Sprintf("%s#%d", s.Name, i)
+		remoteMsOf[id] = svcMs
+		d, err := dispatch.NewDevice(id, cfg.Profile.FrameWorkloadGP/(svcMs/1000), s.RTT)
+		if err != nil {
+			return Result{}, fmt.Errorf("device %s: %w", id, err)
+		}
+		devices = append(devices, d)
+	}
+	sched, err := dispatch.NewScheduler(devices...)
+	if err != nil {
+		return Result{}, fmt.Errorf("scheduler: %w", err)
+	}
+
+	acct := energy.NewAccount()
+	var fpsCol metrics.FPSCollector
+	var respCol metrics.FPSCollector // per-second response samples (ms)
+
+	cpuScale := cfg.User.CPU.EffectiveGHz() / _referenceCPU.EffectiveGHz()
+	noise := newAR1(rng.Fork(), 0.8, cfg.Profile.WorkloadCV)
+	burst := newBurstProcess(rng.Fork(), cfg.Profile)
+
+	// Compressed downlink volume: changed pixels × bytes-per-pixel
+	// after turbo compression (0.16 B/px = the paper's ~25:1 on RGBA).
+	downBytesPerFrame := changedMP * 1e6 * TurboCompressedBytesPerPixel
+	upBytesPerFrame := cfg.Profile.UplinkKBPerFrame * 1024
+
+	seconds := int(cfg.Duration.Seconds())
+	var cpuUtilSum, wifiOnSum float64
+	overloads := 0
+	reorder := dispatch.NewReorder[uint64](0, 64)
+	var seq uint64
+
+	for s := 0; s < seconds; s++ {
+		mult := 1 + noise.next()
+		if mult < 0.5 {
+			mult = 0.5
+		}
+		// The B-deep request buffer absorbs per-frame service-time
+		// transients, so the offloaded pipeline sees damped workload
+		// noise — the mechanism behind the paper's higher FPS
+		// stability under offloading (§VII-B).
+		mult = 1 + 0.7*(mult-1)
+		inBurst, touches := burst.second()
+		trafficMult := 1.0
+		if inBurst {
+			trafficMult = cfg.Profile.BurstSceneFactor
+		}
+
+		var st stageTimes
+		st.logicMs = cfg.Profile.LogicCPUMs / cpuScale
+		upBytes := upBytesPerFrame * trafficMult * mult
+		downBytes := downBytesPerFrame * trafficMult * mult
+		st.serializeMs = upBytes / 1024 * SerializeMsPerKB / cpuScale
+		st.decodeMs = changedMP * trafficMult / ClientDecodeMPps * 1000 / cpuScale
+
+		// Assign this second's representative request via Eq. 4 and use
+		// the chosen device pool: with B in flight, up to B distinct
+		// devices serve concurrently, so the remote stage rate is the
+		// sum over the B best devices.
+		dev, _, err := sched.Assign(cfg.Profile.FrameWorkloadGP * mult)
+		if err != nil {
+			return Result{}, fmt.Errorf("assign: %w", err)
+		}
+		sched.Complete(dev, cfg.Profile.FrameWorkloadGP*mult)
+		st.remoteMs = remoteMsOf[dev.ID] * mult
+
+		remoteRate := remoteStageRate(remoteMsOf, mult, cfg.InFlight)
+
+		// Pre-compute a provisional FPS to size this second's traffic.
+		provFPS := minf(cfg.Profile.FPSCap, 1000/st.clientMs(), remoteRate)
+
+		// Drive the interface switch at its native 100 ms window.
+		var overloadDelayMs float64
+		demandMbps := provFPS * (upBytes + downBytes) * 8 / 1e6
+		for w := 0; w < 10; w++ {
+			exo := []float64{float64(touches), float64(cfg.Profile.TexturesPerFrame) * trafficMult}
+			if err := ctl.Tick(demandMbps, exo); err != nil {
+				return Result{}, fmt.Errorf("tick: %w", err)
+			}
+			out := ctl.Route(demandMbps)
+			if out.Overloaded {
+				overloads++
+				overloadDelayMs += float64(out.QueueDelay.Milliseconds()) / 10
+			}
+			// Radio transfer accounting for this window's share.
+			bytesThisWindow := int(demandMbps * 1e6 / 8 / 10)
+			if out.Radio.Ready() {
+				if _, err := out.Radio.Transmit(bytesThisWindow); err != nil {
+					return Result{}, fmt.Errorf("transmit: %w", err)
+				}
+			}
+			meter.Add(bytesThisWindow)
+			clock.Advance(100 * time.Millisecond)
+		}
+
+		// Radio stage: the WiFi medium is half duplex — uplink and
+		// downlink share airtime.
+		radio := activeRadioRate(ctl, wifi, bt)
+		rtt := cfg.Services[0].RTT
+		radioMsPerFrame := (upBytes + downBytes) * 8 / radio * 1000
+		st.uplinkMs = upBytes*8/radio*1000 + float64(rtt.Milliseconds())/2
+		st.downlinkMs = downBytes*8/radio*1000 + float64(rtt.Milliseconds())/2
+
+		fps := minf(
+			cfg.Profile.FPSCap,
+			1000/st.clientMs(),
+			remoteRate,
+			1000/radioMsPerFrame,
+			float64(cfg.InFlight)*1000/st.latencyMs(),
+		)
+		// Overload queueing (a realized forecast miss) stalls frames.
+		if overloadDelayMs > 0 {
+			fps = minf(fps, 1000/(1000/fps+overloadDelayMs))
+		}
+		if cfg.Debug {
+			fmt.Printf("s=%d fps=%.1f client=%.1f remoteRate=%.1f radioMs=%.1f lat=%.1f ovl=%.1f mult=%.2f burst=%v\n",
+				s, fps, st.clientMs(), remoteRate, radioMsPerFrame, st.latencyMs(), overloadDelayMs, mult, inBurst)
+		}
+		fpsCol.Add(fps)
+
+		// Eq. 5: t_r = 1000/FPS + t_p, where t_p covers the offloading
+		// intermediate steps outside the rendering pipeline's own period
+		// (serialization, both radio legs, decode, queueing).
+		tp := st.serializeMs + st.uplinkMs + st.downlinkMs + st.decodeMs + overloadDelayMs
+		respCol.Add(1000/fps + tp)
+
+		// Reorder-buffer sanity: results arrive possibly out of order
+		// across devices but are displayed in sequence.
+		released, err := reorder.Push(seq, seq)
+		if err != nil || len(released) == 0 {
+			return Result{}, fmt.Errorf("reorder: %v released, err=%v", len(released), err)
+		}
+		seq++
+
+		// Energy.
+		cpuUtil := clamp01(st.clientMs() * fps / 1000)
+		cpuUtilSum += cpuUtil
+		acct.AddPower(energy.ComponentGPU, GPUResidualPowerW, time.Second)
+		acct.AddPower(energy.ComponentCPU,
+			energy.CPUPower(cfg.User.CPUIdlePowerW, cfg.User.CPUActivePowerW, cpuUtil), time.Second)
+		acct.AddPower(energy.ComponentDisplay, cfg.User.DisplayPowerW, time.Second)
+		if wifiOn, _ := ctl.ActiveRadios(); wifiOn {
+			wifiOnSum++
+		}
+	}
+	acct.AddEnergy(energy.ComponentWiFi, wifi.EnergyJoules())
+	acct.AddEnergy(energy.ComponentBluetooth, bt.EnergyJoules())
+
+	return Result{
+		Mode:           ModeOffload,
+		MedianFPS:      fpsCol.Median(),
+		Stability:      fpsCol.Stability(),
+		AvgResponse:    time.Duration(respCol.Median() * float64(time.Millisecond)),
+		Energy:         acct,
+		AvgCPUUtil:     reportedCPUUtil(cpuUtilSum / float64(seconds)),
+		Overloads:      overloads,
+		WiFiOnFraction: wifiOnSum / float64(seconds),
+	}, nil
+}
+
+// remoteStageRate computes the aggregate remote service rate in frames
+// per second: the B fastest devices serve in parallel (only B requests
+// are ever in flight).
+func remoteStageRate(remoteMsOf map[string]float64, mult float64, inFlight int) float64 {
+	times := make([]float64, 0, len(remoteMsOf))
+	for _, ms := range remoteMsOf {
+		times = append(times, ms*mult)
+	}
+	sortFloats(times)
+	var rate float64
+	for i := 0; i < len(times) && i < inFlight; i++ {
+		rate += 1000 / times[i]
+	}
+	return rate
+}
+
+// activeRadioRate returns the effective bits/second of the radio that
+// carries traffic right now.
+func activeRadioRate(ctl *ifswitch.Controller, wifi, bt *netsim.Radio) float64 {
+	if wifiOn, _ := ctl.ActiveRadios(); wifiOn && wifi.Ready() {
+		return wifi.Spec.BitsPerSecond
+	}
+	return bt.Spec.BitsPerSecond
+}
+
+// ar1 is a mean-zero AR(1) noise process for temporally correlated
+// workload variation.
+type ar1 struct {
+	rng   *sim.RNG
+	phi   float64
+	sigma float64
+	state float64
+}
+
+func newAR1(rng *sim.RNG, phi, cv float64) *ar1 {
+	return &ar1{rng: rng, phi: phi, sigma: cv}
+}
+
+func (a *ar1) next() float64 {
+	innov := a.rng.Norm(0, a.sigma*0.6)
+	a.state = a.phi*a.state + innov
+	return a.state
+}
+
+// burstProcess generates per-second touch counts and burst flags from a
+// profile's input dynamics.
+type burstProcess struct {
+	rng     *sim.RNG
+	profile workload.Profile
+	left    int
+}
+
+func newBurstProcess(rng *sim.RNG, p workload.Profile) *burstProcess {
+	return &burstProcess{rng: rng, profile: p}
+}
+
+// second advances one second and reports whether a burst is active and
+// how many touch events occurred.
+func (b *burstProcess) second() (inBurst bool, touches int) {
+	if b.left == 0 && b.rng.Bool(clamp01(b.profile.BurstRatePerSec)) {
+		b.left = 2 + b.rng.Intn(3) // bursts last a few seconds
+	}
+	inBurst = b.left > 0
+	if inBurst {
+		b.left--
+	}
+	rate := b.profile.TouchRatePerSec
+	if inBurst {
+		rate *= 3
+	}
+	// Poisson-ish count.
+	touches = int(rate)
+	if b.rng.Bool(rate - float64(int(rate))) {
+		touches++
+	}
+	return inBurst, touches
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+func maxf(vals ...float64) float64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minf(vals ...float64) float64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

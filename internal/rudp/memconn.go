@@ -1,0 +1,213 @@
+package rudp
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// memAddr is the address type of the in-memory network.
+type memAddr string
+
+// Network names the fake network.
+func (a memAddr) Network() string { return "mem" }
+
+// String renders the address.
+func (a memAddr) String() string { return string(a) }
+
+// errMemClosed reports use after close.
+var errMemClosed = errors.New("rudp: mem conn closed")
+
+type memPacket struct {
+	data []byte
+	from net.Addr
+}
+
+// MemConn is an in-memory net.PacketConn with optional datagram loss,
+// used to test the reliability layer deterministically and to run
+// whole GBooster sessions without sockets.
+type MemConn struct {
+	addr memAddr
+
+	mu       sync.Mutex
+	peers    map[string]*MemConn
+	queue    chan memPacket
+	closed   bool
+	deadline time.Time
+
+	loss float64
+	rng  *sim.RNG
+
+	// reorderP is the probability a datagram is held back and delivered
+	// after the next one (out-of-order injection); held is the datagram
+	// currently delayed.
+	reorderP float64
+	held     *memPacket
+
+	// DropCount counts datagrams the loss model discarded.
+	DropCount int64
+}
+
+// SetReorder makes the conn hold back outgoing datagrams with
+// probability p, delivering each held datagram after the next send —
+// out-of-order injection for torture-testing the reliability layer.
+func (m *MemConn) SetReorder(p float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reorderP = p
+}
+
+// NewMemPair returns two connected in-memory packet conns with the
+// given independent loss probability in each direction.
+func NewMemPair(loss float64, seed uint64) (*MemConn, *MemConn) {
+	rng := sim.NewRNG(seed)
+	a := &MemConn{addr: "mem-a", queue: make(chan memPacket, 4096), loss: loss, rng: rng.Fork()}
+	b := &MemConn{addr: "mem-b", queue: make(chan memPacket, 4096), loss: loss, rng: rng.Fork()}
+	a.peers = map[string]*MemConn{string(b.addr): b}
+	b.peers = map[string]*MemConn{string(a.addr): a}
+	return a, b
+}
+
+// LocalAddr implements net.PacketConn.
+func (m *MemConn) LocalAddr() net.Addr { return m.addr }
+
+// Addr returns the conn's address for use as a peer.
+func (m *MemConn) Addr() net.Addr { return m.addr }
+
+// WriteTo implements net.PacketConn with loss injection.
+func (m *MemConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0, errMemClosed
+	}
+	peer := m.peers[addr.String()]
+	drop := m.loss > 0 && m.rng.Bool(m.loss)
+	if drop {
+		m.DropCount++
+	}
+	m.mu.Unlock()
+	if peer == nil {
+		return 0, errors.New("rudp: unknown mem peer")
+	}
+	if drop {
+		return len(p), nil // lost in flight
+	}
+	pkt := memPacket{data: append([]byte(nil), p...), from: m.addr}
+	// Out-of-order injection: hold this datagram and release it after
+	// the next send, swapping their arrival order.
+	m.mu.Lock()
+	switch {
+	case m.held != nil:
+		heldPkt := *m.held
+		m.held = nil
+		m.mu.Unlock()
+		if !peer.deliver(pkt) || !peer.deliver(heldPkt) {
+			m.mu.Lock()
+			m.DropCount++
+			m.mu.Unlock()
+		}
+		return len(p), nil
+	case m.reorderP > 0 && m.rng.Bool(m.reorderP):
+		m.held = &pkt
+		m.mu.Unlock()
+		return len(p), nil
+	default:
+		m.mu.Unlock()
+	}
+	if !peer.deliver(pkt) {
+		// Peer closed or queue overflow: behaves like router drop.
+		m.mu.Lock()
+		m.DropCount++
+		m.mu.Unlock()
+	}
+	return len(p), nil
+}
+
+// deliver enqueues a packet under the receiver's lock so a concurrent
+// Close cannot race the channel send.
+func (m *MemConn) deliver(pkt memPacket) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	select {
+	case m.queue <- pkt:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReadFrom implements net.PacketConn honoring the read deadline.
+func (m *MemConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0, nil, errMemClosed
+	}
+	deadline := m.deadline
+	m.mu.Unlock()
+
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return 0, nil, &timeoutError{}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case pkt, ok := <-m.queue:
+		if !ok {
+			return 0, nil, errMemClosed
+		}
+		n := copy(p, pkt.data)
+		return n, pkt.from, nil
+	case <-timer:
+		return 0, nil, &timeoutError{}
+	}
+}
+
+// Close implements net.PacketConn.
+func (m *MemConn) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	return nil
+}
+
+// SetDeadline implements net.PacketConn (read side only; writes never
+// block).
+func (m *MemConn) SetDeadline(t time.Time) error { return m.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (m *MemConn) SetReadDeadline(t time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deadline = t
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn (no-op: writes are
+// buffered).
+func (m *MemConn) SetWriteDeadline(time.Time) error { return nil }
+
+// timeoutError satisfies net.Error for deadline expiry.
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "rudp: i/o timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+var _ net.PacketConn = (*MemConn)(nil)
+var _ net.Error = (*timeoutError)(nil)

@@ -1,0 +1,433 @@
+// Package rudp implements the lightweight reliable transport GBooster
+// layers over UDP (paper §IV-B). TCP's retransmission machinery adds
+// tens of milliseconds of inherent delay, so the paper ships graphics
+// commands over UDP with application-layer reliability in the spirit of
+// UDT: sequence numbers, cumulative acknowledgements, timeout
+// retransmission, and in-order delivery. On top of the ordered byte
+// flow, Conn frames length-prefixed messages, so arbitrarily large
+// command batches and encoded frames fragment transparently across
+// datagrams.
+//
+// Conn runs over any net.PacketConn: real UDP sockets in the demo
+// binaries, or the in-memory lossy pair from this package in tests and
+// simulations.
+package rudp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Protocol constants.
+const (
+	magicByte  = 0xB7
+	typeData   = 1
+	typeAck    = 2
+	headerSize = 6 // magic, type, seq uint32
+)
+
+// Errors.
+var (
+	ErrClosed      = errors.New("rudp: connection closed")
+	ErrMsgTooLarge = errors.New("rudp: message exceeds limit")
+	ErrTimeout     = errors.New("rudp: receive timeout")
+)
+
+// Options tunes a Conn.
+type Options struct {
+	// RTO is the retransmission timeout.
+	RTO time.Duration
+	// MaxPayload bounds one datagram's payload.
+	MaxPayload int
+	// Window bounds unacknowledged datagrams in flight.
+	Window int
+	// MaxMessage bounds one framed message.
+	MaxMessage int
+}
+
+// DefaultOptions returns production defaults: a 20 ms RTO (LAN-scale,
+// far below TCP's delayed-ACK floor the paper complains about), 1200-
+// byte payloads (under typical WiFi MTU), and a 256-datagram window.
+func DefaultOptions() Options {
+	return Options{
+		RTO:        20 * time.Millisecond,
+		MaxPayload: 1200,
+		Window:     256,
+		MaxMessage: 64 << 20,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.RTO <= 0 {
+		o.RTO = d.RTO
+	}
+	if o.MaxPayload <= 0 || o.MaxPayload > 60000 {
+		o.MaxPayload = d.MaxPayload
+	}
+	if o.Window <= 0 {
+		o.Window = d.Window
+	}
+	if o.MaxMessage <= 0 {
+		o.MaxMessage = d.MaxMessage
+	}
+	return o
+}
+
+// Stats counts transport activity.
+type Stats struct {
+	DataSent   int64
+	DataResent int64
+	AcksSent   int64
+	BytesSent  int64
+	MsgsSent   int64
+	MsgsRecv   int64
+	Duplicates int64
+	OutOfOrder int64
+}
+
+type pending struct {
+	payload  []byte
+	lastSent time.Time
+}
+
+// Conn is one reliable, ordered message channel to a single peer.
+type Conn struct {
+	pc   net.PacketConn
+	peer net.Addr
+	opts Options
+
+	mu       sync.Mutex
+	sendSeq  uint32
+	unacked  map[uint32]*pending
+	sendSlot *sync.Cond // signalled when window space frees
+
+	recvNext uint32
+	recvBuf  map[uint32][]byte
+	stream   []byte
+
+	stats Stats
+
+	msgs      chan []byte
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	closeErr  error
+}
+
+// New wraps pc into a reliable message channel to peer and starts the
+// receive and retransmit loops. Close must be called to release them.
+func New(pc net.PacketConn, peer net.Addr, opts Options) *Conn {
+	c := &Conn{
+		pc:      pc,
+		peer:    peer,
+		opts:    opts.withDefaults(),
+		unacked: make(map[uint32]*pending),
+		recvBuf: make(map[uint32][]byte),
+		msgs:    make(chan []byte, 256),
+		done:    make(chan struct{}),
+	}
+	c.sendSlot = sync.NewCond(&c.mu)
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.retransmitLoop()
+	return c
+}
+
+// Close shuts the connection down and waits for its goroutines. The
+// underlying PacketConn is closed too.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.closeErr = c.pc.Close()
+		c.mu.Lock()
+		c.sendSlot.Broadcast()
+		c.mu.Unlock()
+		c.wg.Wait()
+	})
+	return c.closeErr
+}
+
+// Stats returns a snapshot of transport counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Send frames msg (uvarint length prefix) and ships it reliably. It
+// blocks while the send window is full.
+func (c *Conn) Send(msg []byte) error {
+	if len(msg) > c.opts.MaxMessage {
+		return fmt.Errorf("%w: %d bytes", ErrMsgTooLarge, len(msg))
+	}
+	framed := binary.AppendUvarint(nil, uint64(len(msg)))
+	framed = append(framed, msg...)
+	for off := 0; off < len(framed); off += c.opts.MaxPayload {
+		end := off + c.opts.MaxPayload
+		if end > len(framed) {
+			end = len(framed)
+		}
+		if err := c.sendDatagram(framed[off:end]); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	c.stats.MsgsSent++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Conn) sendDatagram(payload []byte) error {
+	c.mu.Lock()
+	for len(c.unacked) >= c.opts.Window {
+		if c.isClosed() {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		c.sendSlot.Wait()
+	}
+	if c.isClosed() {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	seq := c.sendSeq
+	c.sendSeq++
+	p := &pending{payload: append([]byte(nil), payload...), lastSent: time.Now()}
+	c.unacked[seq] = p
+	c.stats.DataSent++
+	c.stats.BytesSent += int64(headerSize + len(payload))
+	c.mu.Unlock()
+
+	return c.writePacket(typeData, seq, payload)
+}
+
+func (c *Conn) writePacket(ptype byte, seq uint32, payload []byte) error {
+	buf := make([]byte, headerSize+len(payload))
+	buf[0] = magicByte
+	buf[1] = ptype
+	binary.BigEndian.PutUint32(buf[2:6], seq)
+	copy(buf[headerSize:], payload)
+	_, err := c.pc.WriteTo(buf, c.peer)
+	if err != nil && !c.isClosed() {
+		return fmt.Errorf("rudp: write: %w", err)
+	}
+	return nil
+}
+
+func (c *Conn) isClosed() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Recv returns the next complete message, blocking up to timeout
+// (zero means block until close).
+func (c *Conn) Recv(timeout time.Duration) ([]byte, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case msg, ok := <-c.msgs:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return msg, nil
+	case <-timer:
+		return nil, ErrTimeout
+	case <-c.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg, ok := <-c.msgs:
+			if ok {
+				return msg, nil
+			}
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (c *Conn) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 65536)
+	for !c.isClosed() {
+		_ = c.pc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, _, err := c.pc.ReadFrom(buf)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			return // closed or fatal
+		}
+		if n < headerSize || buf[0] != magicByte {
+			continue
+		}
+		ptype := buf[1]
+		seq := binary.BigEndian.Uint32(buf[2:6])
+		payload := buf[headerSize:n]
+		switch ptype {
+		case typeData:
+			c.handleData(seq, payload)
+		case typeAck:
+			c.handleAck(seq)
+		}
+	}
+}
+
+func (c *Conn) handleData(seq uint32, payload []byte) {
+	c.mu.Lock()
+	switch {
+	case seq < c.recvNext:
+		c.stats.Duplicates++
+	case seq == c.recvNext:
+		c.stream = append(c.stream, payload...)
+		c.recvNext++
+		for {
+			next, ok := c.recvBuf[c.recvNext]
+			if !ok {
+				break
+			}
+			delete(c.recvBuf, c.recvNext)
+			c.stream = append(c.stream, next...)
+			c.recvNext++
+		}
+	default:
+		if _, dup := c.recvBuf[seq]; dup {
+			c.stats.Duplicates++
+		} else {
+			c.recvBuf[seq] = append([]byte(nil), payload...)
+			c.stats.OutOfOrder++
+		}
+	}
+	ackSeq := c.recvNext // cumulative: everything below is delivered
+	c.stats.AcksSent++
+	msgs := c.extractMessagesLocked()
+	c.mu.Unlock()
+
+	_ = c.writePacket(typeAck, ackSeq, nil)
+	for _, m := range msgs {
+		select {
+		case c.msgs <- m:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// extractMessagesLocked parses complete length-prefixed messages from
+// the assembled stream. Caller holds mu.
+func (c *Conn) extractMessagesLocked() [][]byte {
+	var out [][]byte
+	for {
+		msgLen, n := binary.Uvarint(c.stream)
+		if n <= 0 || uint64(len(c.stream)-n) < msgLen {
+			break
+		}
+		if msgLen > uint64(c.opts.MaxMessage) {
+			// Corrupt framing: drop the stream to resync rather than
+			// allocate unboundedly.
+			c.stream = nil
+			break
+		}
+		msg := append([]byte(nil), c.stream[n:n+int(msgLen)]...)
+		c.stream = c.stream[n+int(msgLen):]
+		out = append(out, msg)
+		c.stats.MsgsRecv++
+	}
+	return out
+}
+
+func (c *Conn) handleAck(ackSeq uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	freed := false
+	for seq := range c.unacked {
+		if seq < ackSeq {
+			delete(c.unacked, seq)
+			freed = true
+		}
+	}
+	if freed {
+		c.sendSlot.Broadcast()
+	}
+}
+
+func (c *Conn) retransmitLoop() {
+	defer c.wg.Done()
+	interval := c.opts.RTO / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		type resend struct {
+			seq     uint32
+			payload []byte
+		}
+		var due []resend
+		c.mu.Lock()
+		for seq, p := range c.unacked {
+			if now.Sub(p.lastSent) >= c.opts.RTO {
+				p.lastSent = now
+				c.stats.DataResent++
+				c.stats.BytesSent += int64(headerSize + len(p.payload))
+				due = append(due, resend{seq: seq, payload: p.payload})
+			}
+		}
+		c.mu.Unlock()
+		for _, r := range due {
+			_ = c.writePacket(typeData, r.seq, r.payload)
+		}
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Group fans one message out to several connections — the stand-in for
+// the UDP multicast the paper uses to replicate state-mutating
+// commands to every service device with one logical transmission
+// (§VI-B). SendAll returns the first error encountered but attempts
+// every member.
+type Group struct {
+	conns []*Conn
+}
+
+// NewGroup builds a multicast group over the given connections.
+func NewGroup(conns ...*Conn) *Group {
+	return &Group{conns: append([]*Conn(nil), conns...)}
+}
+
+// Len returns group size.
+func (g *Group) Len() int { return len(g.conns) }
+
+// SendAll delivers msg to every member.
+func (g *Group) SendAll(msg []byte) error {
+	var firstErr error
+	for _, c := range g.conns {
+		if err := c.Send(msg); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,153 @@
+// Package sim provides a discrete virtual clock and event queue used to
+// run GBooster sessions in virtual time. All timing-sensitive components
+// (radios, thermal governor, pipeline stages) take a *Clock rather than
+// reading the wall clock, which makes every experiment deterministic and
+// allows a 15-minute gameplay session to run in milliseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value is ready to use and starts at
+// time zero. Clock is not safe for concurrent use; simulations are
+// single-goroutine by design.
+type Clock struct {
+	now    time.Duration
+	events eventQueue
+	nextID uint64
+}
+
+// Now returns the current virtual time as an offset from the start of
+// the simulation.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d without running events. It
+// panics if d is negative, because a simulation can never move
+// backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// Event is a scheduled callback. The callback receives the clock whose
+// virtual time has been advanced to the event's deadline.
+type Event struct {
+	At time.Duration
+	Fn func(now time.Duration)
+
+	id    uint64
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Schedule registers fn to run when virtual time reaches at. Events
+// scheduled for the past run immediately on the next Run/Step call.
+// The returned *Event may be passed to Cancel.
+func (c *Clock) Schedule(at time.Duration, fn func(now time.Duration)) *Event {
+	c.nextID++
+	ev := &Event{At: at, Fn: fn, id: c.nextID}
+	heap.Push(&c.events, ev)
+	return ev
+}
+
+// ScheduleAfter registers fn to run d after the current virtual time.
+func (c *Clock) ScheduleAfter(d time.Duration, fn func(now time.Duration)) *Event {
+	return c.Schedule(c.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already ran
+// or was already cancelled is a no-op.
+func (c *Clock) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(c.events) || c.events[ev.index] != ev {
+		return
+	}
+	heap.Remove(&c.events, ev.index)
+	ev.index = -1
+}
+
+// Pending reports the number of events waiting to run.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// Step runs the earliest pending event, advancing the clock to its
+// deadline. It reports whether an event ran.
+func (c *Clock) Step() bool {
+	if len(c.events) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&c.events).(*Event)
+	if !ok {
+		return false
+	}
+	ev.index = -1
+	if ev.At > c.now {
+		c.now = ev.At
+	}
+	ev.Fn(c.now)
+	return true
+}
+
+// RunUntil executes events in deadline order until the queue is empty
+// or the next event is later than deadline. The clock finishes at
+// min(deadline, last event time) and is then advanced to deadline.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for len(c.events) > 0 && c.events[0].At <= deadline {
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Run executes all pending events, including ones scheduled by other
+// events, until the queue drains. It panics if more than maxEvents
+// events run, which guards against accidental self-perpetuating event
+// loops in tests.
+func (c *Clock) Run(maxEvents int) {
+	for i := 0; len(c.events) > 0; i++ {
+		if i >= maxEvents {
+			panic(fmt.Sprintf("sim: Run exceeded %d events", maxEvents))
+		}
+		c.Step()
+	}
+}
+
+// eventQueue is a min-heap of events ordered by deadline, with the
+// insertion id as a tie-breaker so equal-deadline events run FIFO.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].id < q[j].id
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		panic("sim: eventQueue.Push given non-*Event")
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

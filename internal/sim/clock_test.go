@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", c.Pending())
+	}
+	if c.Step() {
+		t.Fatal("Step() on empty clock reported an event ran")
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(3 * time.Second)
+	c.Advance(2 * time.Second)
+	if got, want := c.Now(), 5*time.Second; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-time.Second)
+}
+
+func TestClockEventOrder(t *testing.T) {
+	var c Clock
+	var order []int
+	c.Schedule(30*time.Millisecond, func(time.Duration) { order = append(order, 3) })
+	c.Schedule(10*time.Millisecond, func(time.Duration) { order = append(order, 1) })
+	c.Schedule(20*time.Millisecond, func(time.Duration) { order = append(order, 2) })
+	c.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran in order %v, want [1 2 3]", order)
+	}
+	if got, want := c.Now(), 30*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockEqualDeadlineFIFO(t *testing.T) {
+	var c Clock
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(time.Millisecond, func(time.Duration) { order = append(order, i) })
+	}
+	c.Run(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-deadline events ran in order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestClockScheduleAfter(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	var at time.Duration
+	c.ScheduleAfter(500*time.Millisecond, func(now time.Duration) { at = now })
+	c.Run(10)
+	if want := 1500 * time.Millisecond; at != want {
+		t.Fatalf("event ran at %v, want %v", at, want)
+	}
+}
+
+func TestClockCancel(t *testing.T) {
+	var c Clock
+	ran := false
+	ev := c.Schedule(time.Millisecond, func(time.Duration) { ran = true })
+	c.Cancel(ev)
+	c.Cancel(ev) // double-cancel is a no-op
+	c.Cancel(nil)
+	c.Run(10)
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+}
+
+func TestClockCancelMiddleOfHeap(t *testing.T) {
+	var c Clock
+	var order []int
+	evs := make([]*Event, 0, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, c.Schedule(time.Duration(i)*time.Millisecond, func(time.Duration) {
+			order = append(order, i)
+		}))
+	}
+	c.Cancel(evs[2])
+	c.Run(100)
+	want := []int{0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+func TestClockRunUntil(t *testing.T) {
+	var c Clock
+	var ran []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		c.Schedule(d*time.Millisecond, func(now time.Duration) { ran = append(ran, now) })
+	}
+	c.RunUntil(25 * time.Millisecond)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil ran %d events, want 2", len(ran))
+	}
+	if got, want := c.Now(), 25*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", c.Pending())
+	}
+}
+
+func TestClockEventSchedulesEvent(t *testing.T) {
+	var c Clock
+	var times []time.Duration
+	c.Schedule(time.Millisecond, func(now time.Duration) {
+		times = append(times, now)
+		c.ScheduleAfter(time.Millisecond, func(now time.Duration) {
+			times = append(times, now)
+		})
+	})
+	c.Run(10)
+	if len(times) != 2 || times[1] != 2*time.Millisecond {
+		t.Fatalf("chained events ran at %v, want [1ms 2ms]", times)
+	}
+}
+
+func TestClockRunGuardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway event loop did not trip the Run guard")
+		}
+	}()
+	var c Clock
+	var loop func(time.Duration)
+	loop = func(time.Duration) { c.ScheduleAfter(time.Millisecond, loop) }
+	c.Schedule(0, loop)
+	c.Run(50)
+}
+
+func TestClockPastEventRunsAtCurrentTime(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	var at time.Duration
+	c.Schedule(time.Millisecond, func(now time.Duration) { at = now })
+	c.Run(10)
+	if at != time.Second {
+		t.Fatalf("past-deadline event ran at %v, want clock's current time 1s", at)
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("clock moved backwards to %v", c.Now())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v, want [0,1)", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for v, n := range counts {
+		if n == 0 {
+			t.Fatalf("Intn(7) never produced %d in 7000 draws", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(7)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < 9.9 || mean > 10.1 {
+		t.Fatalf("Norm mean = %v, want ~10", mean)
+	}
+	if variance < 3.6 || variance > 4.4 {
+		t.Fatalf("Norm variance = %v, want ~4", variance)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(9)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(5)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 4.8 || mean > 5.2 {
+		t.Fatalf("Exp mean = %v, want ~5", mean)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(11)
+	f := r.Fork()
+	if r.Uint64() == f.Uint64() {
+		t.Fatal("fork produced the same first value as parent")
+	}
+}
+
+func TestRNGBoolProbabilityProperty(t *testing.T) {
+	// Property: over many draws, Bool(p) frequency tracks p within 3 sigma.
+	check := func(seed uint64, pRaw float64) bool {
+		p := math.Abs(math.Mod(pRaw, 1))
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			p = 0.5
+		}
+		r := NewRNG(seed)
+		const n = 20000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		freq := float64(hits) / n
+		sigma := 3 * 0.5 / 141.4 // 3*sqrt(p(1-p)/n) upper bound at p=0.5
+		return freq >= p-sigma-0.001 && freq <= p+sigma+0.001
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockEventsNeverRunEarlyProperty(t *testing.T) {
+	// Property: for any set of scheduled deadlines, every event runs at
+	// exactly max(deadline, schedule-time clock) and the clock is
+	// monotone throughout.
+	check := func(seed uint64, nRaw uint8) bool {
+		rng := NewRNG(seed)
+		var c Clock
+		n := int(nRaw%40) + 1
+		type obs struct {
+			deadline time.Duration
+			ranAt    time.Duration
+		}
+		results := make([]*obs, 0, n)
+		for i := 0; i < n; i++ {
+			d := time.Duration(rng.Intn(1000)) * time.Millisecond
+			o := &obs{deadline: d, ranAt: -1}
+			c.Schedule(d, func(now time.Duration) { o.ranAt = now })
+			results = append(results, o)
+		}
+		prev := time.Duration(-1)
+		for c.Pending() > 0 {
+			if !c.Step() {
+				return false
+			}
+			if c.Now() < prev {
+				return false // clock moved backwards
+			}
+			prev = c.Now()
+		}
+		for _, o := range results {
+			if o.ranAt < o.deadline {
+				return false // ran early
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

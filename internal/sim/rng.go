@@ -1,0 +1,67 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, seedable pseudo-random generator
+// (SplitMix64-based) used by workload generators and network jitter
+// models. Experiments seed it explicitly so every run is reproducible.
+// The zero value is valid and equivalent to NewRNG(0).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork returns a new generator whose stream is independent of, but
+// deterministically derived from, the receiver. Use it to give each
+// subsystem its own stream without coupling their consumption order.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}

@@ -1,0 +1,191 @@
+// Package thermal models mobile GPU thermal throttling (paper §II,
+// Fig. 1): a lumped-heat model drives a DVFS governor that steps the
+// GPU frequency down when the die crosses a throttle temperature and
+// back up when it cools. On a passively cooled phone running a heavy
+// game this reproduces the paper's trace — roughly ten minutes at the
+// top frequency, then a drastic drop — and it is the mechanism behind
+// the FPS-stability gap between local execution and offloading
+// (service devices have fans and never throttle).
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors.
+var ErrBadConfig = errors.New("thermal: invalid config")
+
+// FreqLevel is one DVFS operating point.
+type FreqLevel struct {
+	MHz float64
+	// PowerW is the dissipation at full utilization on this level.
+	PowerW float64
+}
+
+// Config parameterizes the model.
+type Config struct {
+	// Levels must be ordered fastest first.
+	Levels []FreqLevel
+	// AmbientC is the environment temperature.
+	AmbientC float64
+	// ThrottleC steps the governor down when exceeded; RecoverC steps
+	// it back up when the die cools below it.
+	ThrottleC, RecoverC float64
+	// HeatPerJoule converts dissipated power to heating rate (K/s per
+	// W) and CoolPerSec is the Newton cooling coefficient (1/s).
+	HeatPerJoule, CoolPerSec float64
+	// MinResidency is the minimum time between governor level changes.
+	MinResidency time.Duration
+}
+
+// PhoneGPU returns a configuration calibrated to the paper's Fig. 1
+// trace: ~600 MHz sustained for about ten minutes under a heavy game,
+// then throttling toward 100 MHz.
+func PhoneGPU() Config {
+	return Config{
+		Levels: []FreqLevel{
+			{MHz: 600, PowerW: 3.0},
+			{MHz: 490, PowerW: 2.2},
+			{MHz: 390, PowerW: 1.6},
+			{MHz: 305, PowerW: 1.1},
+			{MHz: 100, PowerW: 0.4},
+		},
+		AmbientC:     25,
+		ThrottleC:    85,
+		RecoverC:     70,
+		HeatPerJoule: 0.036,
+		CoolPerSec:   0.0010,
+		MinResidency: 2 * time.Second,
+	}
+}
+
+// CooledGPU returns a configuration for an actively cooled service
+// device (console/PC): the fan multiplies the cooling coefficient so
+// the die never reaches the throttle threshold.
+func CooledGPU() Config {
+	cfg := PhoneGPU()
+	cfg.CoolPerSec *= 20
+	return cfg
+}
+
+// Governor is a live thermal model + DVFS governor instance.
+type Governor struct {
+	cfg       Config
+	tempC     float64
+	level     int
+	sinceSwap time.Duration
+	elapsed   time.Duration
+	throttled bool
+	swapsDown int
+	swapsUp   int
+}
+
+// NewGovernor validates cfg and returns a governor at ambient
+// temperature on the fastest level.
+func NewGovernor(cfg Config) (*Governor, error) {
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("%w: no levels", ErrBadConfig)
+	}
+	for i := 1; i < len(cfg.Levels); i++ {
+		if cfg.Levels[i].MHz >= cfg.Levels[i-1].MHz {
+			return nil, fmt.Errorf("%w: levels must be fastest-first", ErrBadConfig)
+		}
+	}
+	if cfg.ThrottleC <= cfg.RecoverC {
+		return nil, fmt.Errorf("%w: throttle %v <= recover %v", ErrBadConfig, cfg.ThrottleC, cfg.RecoverC)
+	}
+	if cfg.HeatPerJoule <= 0 || cfg.CoolPerSec <= 0 {
+		return nil, fmt.Errorf("%w: non-positive coefficients", ErrBadConfig)
+	}
+	return &Governor{cfg: cfg, tempC: cfg.AmbientC}, nil
+}
+
+// Step advances the model by dt with the GPU at the given utilization
+// (0..1): the die integrates heat, and the governor may change level.
+func (g *Governor) Step(dt time.Duration, utilization float64) {
+	if dt <= 0 {
+		return
+	}
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	sec := dt.Seconds()
+	p := g.cfg.Levels[g.level].PowerW * utilization
+	g.tempC += (g.cfg.HeatPerJoule*p - g.cfg.CoolPerSec*(g.tempC-g.cfg.AmbientC)) * sec
+	g.elapsed += dt
+	g.sinceSwap += dt
+	if g.sinceSwap < g.cfg.MinResidency {
+		return
+	}
+	switch {
+	case g.tempC >= g.cfg.ThrottleC && g.level < len(g.cfg.Levels)-1:
+		g.level++
+		g.sinceSwap = 0
+		g.throttled = true
+		g.swapsDown++
+	case g.tempC <= g.cfg.RecoverC && g.level > 0:
+		g.level--
+		g.sinceSwap = 0
+		g.swapsUp++
+	}
+}
+
+// FrequencyMHz returns the current operating frequency.
+func (g *Governor) FrequencyMHz() float64 { return g.cfg.Levels[g.level].MHz }
+
+// Scale returns current frequency relative to the fastest level; GPU
+// throughput (fillrate) scales with it.
+func (g *Governor) Scale() float64 {
+	return g.cfg.Levels[g.level].MHz / g.cfg.Levels[0].MHz
+}
+
+// TemperatureC returns the current die temperature.
+func (g *Governor) TemperatureC() float64 { return g.tempC }
+
+// EverThrottled reports whether the governor ever stepped down.
+func (g *Governor) EverThrottled() bool { return g.throttled }
+
+// Swaps reports level changes (down, up) for diagnostics.
+func (g *Governor) Swaps() (down, up int) { return g.swapsDown, g.swapsUp }
+
+// PowerW returns the dissipation at the current level for a given
+// utilization — the GPU component of the energy model.
+func (g *Governor) PowerW(utilization float64) float64 {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	return g.cfg.Levels[g.level].PowerW * utilization
+}
+
+// TracePoint is one sample of a thermal trace.
+type TracePoint struct {
+	At    time.Duration
+	MHz   float64
+	TempC float64
+}
+
+// Trace runs the governor at constant utilization for total time,
+// sampling every interval — the generator for the Fig. 1 reproduction.
+func Trace(cfg Config, utilization float64, total, interval time.Duration) ([]TracePoint, error) {
+	g, err := NewGovernor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	var out []TracePoint
+	for at := time.Duration(0); at <= total; at += interval {
+		out = append(out, TracePoint{At: at, MHz: g.FrequencyMHz(), TempC: g.TemperatureC()})
+		g.Step(interval, utilization)
+	}
+	return out, nil
+}

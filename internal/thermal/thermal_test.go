@@ -1,0 +1,205 @@
+package thermal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNewGovernorValidation(t *testing.T) {
+	if _, err := NewGovernor(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty config error = %v", err)
+	}
+	bad := PhoneGPU()
+	bad.Levels[0], bad.Levels[1] = bad.Levels[1], bad.Levels[0]
+	if _, err := NewGovernor(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unsorted levels error = %v", err)
+	}
+	bad = PhoneGPU()
+	bad.ThrottleC, bad.RecoverC = 70, 85
+	if _, err := NewGovernor(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("inverted thresholds error = %v", err)
+	}
+	bad = PhoneGPU()
+	bad.HeatPerJoule = 0
+	if _, err := NewGovernor(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero coefficient error = %v", err)
+	}
+}
+
+func TestIdleGPUStaysCoolAndFast(t *testing.T) {
+	g, err := NewGovernor(PhoneGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3600; i++ {
+		g.Step(time.Second, 0.05)
+	}
+	if g.EverThrottled() {
+		t.Fatalf("idle GPU throttled at %.1f C", g.TemperatureC())
+	}
+	if g.FrequencyMHz() != 600 {
+		t.Fatalf("idle frequency = %v", g.FrequencyMHz())
+	}
+}
+
+func TestHeavyLoadThrottlesAfterMinutes(t *testing.T) {
+	// The Fig. 1 shape: full frequency holds for several minutes, then
+	// the governor steps down substantially.
+	g, err := NewGovernor(PhoneGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var throttleAt time.Duration
+	for at := time.Duration(0); at < 25*time.Minute; at += time.Second {
+		g.Step(time.Second, 1)
+		if throttleAt == 0 && g.EverThrottled() {
+			throttleAt = at
+		}
+	}
+	if throttleAt == 0 {
+		t.Fatalf("heavy load never throttled; temp = %.1f C", g.TemperatureC())
+	}
+	if throttleAt < 4*time.Minute || throttleAt > 16*time.Minute {
+		t.Fatalf("first throttle at %v, want minutes-scale onset (paper: ~10 min)", throttleAt)
+	}
+	if g.FrequencyMHz() >= 600 {
+		t.Fatal("frequency did not drop under sustained load")
+	}
+}
+
+func TestCooledDeviceNeverThrottles(t *testing.T) {
+	g, err := NewGovernor(CooledGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3600; i++ {
+		g.Step(time.Second, 1)
+	}
+	if g.EverThrottled() {
+		t.Fatalf("cooled device throttled at %.1f C", g.TemperatureC())
+	}
+	if g.Scale() != 1 {
+		t.Fatalf("cooled device scale = %v", g.Scale())
+	}
+}
+
+func TestRecoveryAfterLoadRemoved(t *testing.T) {
+	g, err := NewGovernor(PhoneGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heat until throttled.
+	for i := 0; i < 1800 && !g.EverThrottled(); i++ {
+		g.Step(time.Second, 1)
+	}
+	if !g.EverThrottled() {
+		t.Fatal("did not throttle")
+	}
+	// Cool down idle; governor must climb back to the top level.
+	for i := 0; i < 3600; i++ {
+		g.Step(time.Second, 0)
+	}
+	if g.FrequencyMHz() != 600 {
+		t.Fatalf("did not recover: %v MHz at %.1f C", g.FrequencyMHz(), g.TemperatureC())
+	}
+	down, up := g.Swaps()
+	if down == 0 || up == 0 {
+		t.Fatalf("swaps = %d down, %d up", down, up)
+	}
+}
+
+func TestMinResidencyPreventsThrash(t *testing.T) {
+	cfg := PhoneGPU()
+	cfg.MinResidency = 10 * time.Second
+	g, err := NewGovernor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force temperature to the threshold region and step rapidly.
+	for i := 0; i < 100000; i++ {
+		g.Step(100*time.Millisecond, 1)
+	}
+	down, up := g.Swaps()
+	total := down + up
+	// With 10 s residency over ~2.8 h, level changes are bounded.
+	if total > 1100 {
+		t.Fatalf("governor thrashing: %d level changes", total)
+	}
+}
+
+func TestStepEdgeCases(t *testing.T) {
+	g, err := NewGovernor(PhoneGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.TemperatureC()
+	g.Step(0, 1)
+	g.Step(-time.Second, 1)
+	if g.TemperatureC() != before {
+		t.Fatal("non-positive dt changed state")
+	}
+	g.Step(time.Second, 5) // clamped to 1
+	g.Step(time.Second, -3)
+	if g.TemperatureC() < before {
+		t.Fatal("clamped utilization behaved oddly")
+	}
+}
+
+func TestPowerWScalesWithUtilizationAndLevel(t *testing.T) {
+	g, err := NewGovernor(PhoneGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.PowerW(1); got != 3.0 {
+		t.Fatalf("full power = %v", got)
+	}
+	if got := g.PowerW(0.5); got != 1.5 {
+		t.Fatalf("half power = %v", got)
+	}
+	if got := g.PowerW(7); got != 3.0 {
+		t.Fatalf("clamped power = %v", got)
+	}
+}
+
+func TestTraceShapeMatchesFig1(t *testing.T) {
+	trace, err := Trace(PhoneGPU(), 1, 25*time.Minute, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 1000 {
+		t.Fatalf("trace has %d points", len(trace))
+	}
+	// Early plateau at 600 MHz.
+	for _, p := range trace[:240] {
+		if p.MHz != 600 {
+			t.Fatalf("throttled too early at %v", p.At)
+		}
+	}
+	// Late samples oscillate below the top frequency, and the governor
+	// visits a deeply throttled level at some point.
+	var lateSum float64
+	late := trace[len(trace)-120:]
+	for _, p := range late {
+		lateSum += p.MHz
+	}
+	if avg := lateSum / float64(len(late)); avg > 580 {
+		t.Fatalf("late average frequency %.0f MHz, want clear throttling", avg)
+	}
+	minF := trace[0].MHz
+	for _, p := range trace {
+		if p.MHz < minF {
+			minF = p.MHz
+		}
+	}
+	if minF > 305 {
+		t.Fatalf("min frequency %.0f MHz; no drastic drop", minF)
+	}
+	// Temperature is monotone-ish up to the first throttle.
+	if trace[60].TempC <= trace[0].TempC {
+		t.Fatal("temperature not rising under load")
+	}
+	if _, err := Trace(Config{}, 1, time.Minute, time.Second); err == nil {
+		t.Fatal("Trace accepted invalid config")
+	}
+}

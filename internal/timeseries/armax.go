@@ -1,0 +1,258 @@
+// Package timeseries implements the traffic forecasting layer of
+// GBooster's interface-switching mechanism (paper §V-B): ARMA(p,q) and
+// ARMAX(p,q,b) models estimated online with recursive extended least
+// squares (a sliding-window adaptive scheme in the spirit of the
+// paper's reference [30]), h-step-ahead forecasting, Akaike Information
+// Criterion model comparison, and the FP/FN threshold-exceedance
+// evaluation the paper uses to compare ARMA against ARMAX.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model errors.
+var (
+	ErrBadOrder = errors.New("timeseries: invalid model order")
+	ErrExoDim   = errors.New("timeseries: exogenous vector dimension mismatch")
+)
+
+// Model is an ARMAX(p,q,b) model over a scalar series y_t with an
+// optional k-dimensional exogenous input d_t:
+//
+//	y_t = ε_t + Σφ_i·y_{t−i} + Σθ_i·ε_{t−i} + Σ_{i=1..b} η_i·d_{t−i}
+//
+// Parameters are estimated online by recursive extended least squares
+// with exponential forgetting, so the model tracks non-stationary
+// gameplay traffic. The zero value is unusable; construct with NewARMA
+// or NewARMAX.
+type Model struct {
+	p, q, b, k int // orders and exogenous dimension
+
+	// theta stacks the parameters: intercept | phi | theta | eta (b*k).
+	// The intercept is not in the paper's Eq. 2/3 but is required for
+	// traffic with a nonzero mean; it does not change model structure.
+	theta []float64
+	cov   [][]float64 // RLS covariance
+	gain  []float64   // scratch
+
+	lambda   float64 // forgetting factor
+	maxTrace float64 // covariance windup guard (constant-trace method)
+
+	yHist []float64   // y_{t-1} ... most recent first
+	eHist []float64   // residuals, most recent first
+	xHist [][]float64 // exogenous vectors, most recent first
+
+	n   int     // observations consumed
+	rss float64 // forgetting-weighted residual sum of squares
+}
+
+// NewARMA constructs an ARMA(p,q) model.
+func NewARMA(p, q int) (*Model, error) { return NewARMAX(p, q, 0, 0) }
+
+// NewARMAX constructs an ARMAX(p,q,b) model whose exogenous input has
+// dimension k per time step (b lags of it enter the regression).
+func NewARMAX(p, q, b, k int) (*Model, error) {
+	if p < 0 || q < 0 || b < 0 || k < 0 || (b > 0 && k == 0) || (b == 0 && k > 0) {
+		return nil, fmt.Errorf("%w: p=%d q=%d b=%d k=%d", ErrBadOrder, p, q, b, k)
+	}
+	if p+q+b*k == 0 {
+		return nil, fmt.Errorf("%w: model has no parameters", ErrBadOrder)
+	}
+	dim := 1 + p + q + b*k // +1 intercept
+	m := &Model{
+		p: p, q: q, b: b, k: k,
+		theta:    make([]float64, dim),
+		gain:     make([]float64, dim),
+		lambda:   0.995,
+		maxTrace: float64(dim) * 1e4,
+		yHist:    make([]float64, p),
+		eHist:    make([]float64, q),
+		xHist:    make([][]float64, b),
+	}
+	for i := range m.xHist {
+		m.xHist[i] = make([]float64, k)
+	}
+	m.cov = make([][]float64, dim)
+	for i := range m.cov {
+		m.cov[i] = make([]float64, dim)
+		m.cov[i][i] = 1000 // diffuse prior
+	}
+	return m, nil
+}
+
+// SetForgetting overrides the exponential forgetting factor
+// (0 < λ ≤ 1; smaller adapts faster, 1 never forgets).
+func (m *Model) SetForgetting(lambda float64) error {
+	if lambda <= 0 || lambda > 1 {
+		return fmt.Errorf("%w: lambda %v", ErrBadOrder, lambda)
+	}
+	m.lambda = lambda
+	return nil
+}
+
+// Params returns copies of the current parameter estimates (the
+// intercept is excluded; see Intercept).
+func (m *Model) Params() (phi, theta []float64, eta []float64) {
+	phi = append([]float64(nil), m.theta[1:1+m.p]...)
+	theta = append([]float64(nil), m.theta[1+m.p:1+m.p+m.q]...)
+	eta = append([]float64(nil), m.theta[1+m.p+m.q:]...)
+	return phi, theta, eta
+}
+
+// Intercept returns the estimated constant term.
+func (m *Model) Intercept() float64 { return m.theta[0] }
+
+// NumParams reports the parameter count (for AIC).
+func (m *Model) NumParams() int { return len(m.theta) }
+
+// Observations reports how many samples the model has consumed.
+func (m *Model) Observations() int { return m.n }
+
+// regressor builds the current regression vector from history.
+func (m *Model) regressor() []float64 {
+	x := make([]float64, 0, len(m.theta))
+	x = append(x, 1) // intercept
+	x = append(x, m.yHist...)
+	x = append(x, m.eHist...)
+	for _, d := range m.xHist {
+		x = append(x, d...)
+	}
+	return x
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Observe consumes one sample: the realized value y at time t and the
+// exogenous vector d_t observed alongside it (nil for pure ARMA). The
+// model first scores its one-step prediction, then updates parameters
+// and history.
+func (m *Model) Observe(y float64, exo []float64) error {
+	if m.b > 0 && len(exo) != m.k {
+		return fmt.Errorf("%w: got %d, want %d", ErrExoDim, len(exo), m.k)
+	}
+	x := m.regressor()
+	pred := dot(x, m.theta)
+	resid := y - pred
+
+	// RLS update: K = P·x / (λ + xᵀP·x); θ += K·resid; P = (P−K·xᵀP)/λ.
+	dim := len(m.theta)
+	px := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		px[i] = dot(m.cov[i], x)
+	}
+	den := m.lambda + dot(x, px)
+	for i := 0; i < dim; i++ {
+		m.gain[i] = px[i] / den
+	}
+	for i := 0; i < dim; i++ {
+		m.theta[i] += m.gain[i] * resid
+	}
+	// xP row vector equals px (covariance symmetric).
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			m.cov[i][j] = (m.cov[i][j] - m.gain[i]*px[j]) / m.lambda
+		}
+	}
+	// Constant-trace windup guard: during stretches with little
+	// excitation (e.g. zero touch input), 1/λ inflates P without bound;
+	// the next burst would then cause a destabilizing parameter jump.
+	// Rescaling preserves positive-definiteness while bounding gain.
+	var trace float64
+	for i := 0; i < dim; i++ {
+		trace += m.cov[i][i]
+	}
+	if trace > m.maxTrace {
+		scale := m.maxTrace / trace
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				m.cov[i][j] *= scale
+			}
+		}
+	}
+
+	m.rss = m.lambda*m.rss + resid*resid
+	m.n++
+	shiftIn(m.yHist, y)
+	shiftIn(m.eHist, resid)
+	if m.b > 0 {
+		d := append([]float64(nil), exo...)
+		copy(m.xHist[1:], m.xHist[:len(m.xHist)-1])
+		if len(m.xHist) > 0 {
+			m.xHist[0] = d
+		}
+	}
+	return nil
+}
+
+func shiftIn(hist []float64, v float64) {
+	if len(hist) == 0 {
+		return
+	}
+	copy(hist[1:], hist[:len(hist)-1])
+	hist[0] = v
+}
+
+// Forecast returns the h-step-ahead prediction E[y_{t+h} | info at t]
+// (Eq. 1 of the paper). Future shocks are zero in expectation; future
+// exogenous inputs are held at their latest observed value
+// (persistence), which matches how GBooster runs: it cannot see future
+// touch events, only the current rate.
+func (m *Model) Forecast(h int) float64 {
+	if h < 1 {
+		h = 1
+	}
+	y := append([]float64(nil), m.yHist...)
+	e := append([]float64(nil), m.eHist...)
+	x := make([][]float64, len(m.xHist))
+	for i := range m.xHist {
+		x[i] = append([]float64(nil), m.xHist[i]...)
+	}
+	var latest []float64
+	if m.b > 0 {
+		latest = append([]float64(nil), m.xHist[0]...)
+	}
+	var pred float64
+	for step := 0; step < h; step++ {
+		reg := make([]float64, 0, len(m.theta))
+		reg = append(reg, 1) // intercept
+		reg = append(reg, y...)
+		reg = append(reg, e...)
+		for _, d := range x {
+			reg = append(reg, d...)
+		}
+		pred = dot(reg, m.theta)
+		shiftIn(y, pred)
+		shiftIn(e, 0)
+		if m.b > 0 {
+			copy(x[1:], x[:len(x)-1])
+			x[0] = latest
+		}
+	}
+	return pred
+}
+
+// AIC returns the Akaike Information Criterion for the model's one-
+// step-ahead performance so far: n·ln(RSS/n) + 2·params. Lower is
+// better. It returns +Inf until the model has seen enough samples to
+// be scored.
+func (m *Model) AIC() float64 {
+	burn := 2 * m.NumParams()
+	if m.n <= burn {
+		return math.Inf(1)
+	}
+	n := float64(m.n)
+	rss := m.rss
+	if rss <= 0 {
+		rss = 1e-12
+	}
+	return n*math.Log(rss/n) + 2*float64(m.NumParams())
+}

@@ -1,0 +1,236 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ExceedanceStats scores threshold-exceedance forecasting, the metric
+// the paper uses for the Bluetooth-capacity decision: a False Negative
+// is a realized demand spike above the threshold the model failed to
+// predict (costly: packets queue behind a sleeping WiFi interface); a
+// False Positive is a predicted spike that did not happen (cheap: WiFi
+// woke for nothing).
+type ExceedanceStats struct {
+	TruePositives  int
+	TrueNegatives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// FNRate returns FN/(FN+TP): the fraction of real spikes missed.
+func (s ExceedanceStats) FNRate() float64 {
+	total := s.FalseNegatives + s.TruePositives
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FalseNegatives) / float64(total)
+}
+
+// FPRate returns FP/(FP+TN): the fraction of calm periods wrongly
+// predicted to spike.
+func (s ExceedanceStats) FPRate() float64 {
+	total := s.FalsePositives + s.TrueNegatives
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FalsePositives) / float64(total)
+}
+
+func (s ExceedanceStats) String() string {
+	return fmt.Sprintf("FP=%.1f%% FN=%.1f%% (tp=%d tn=%d fp=%d fn=%d)",
+		s.FPRate()*100, s.FNRate()*100,
+		s.TruePositives, s.TrueNegatives, s.FalsePositives, s.FalseNegatives)
+}
+
+// EvaluateExceedance replays a series through the model: at each step
+// it forecasts h steps ahead, compares the predicted and realized
+// exceedance of threshold, then feeds the realized sample. exo may be
+// nil for ARMA; otherwise exo[t] is the input vector observed at t.
+// burnIn steps are consumed without scoring so the RLS estimate
+// stabilizes first.
+func EvaluateExceedance(m *Model, series []float64, exo [][]float64, threshold float64, h, burnIn int) (ExceedanceStats, error) {
+	var stats ExceedanceStats
+	if h < 1 {
+		h = 1
+	}
+	for t := 0; t < len(series); t++ {
+		var x []float64
+		if exo != nil {
+			x = exo[t]
+		}
+		if err := m.Observe(series[t], x); err != nil {
+			return stats, fmt.Errorf("t=%d: %w", t, err)
+		}
+		// Having observed up to index t, Forecast(h) predicts index t+h.
+		if t >= burnIn && t+h < len(series) {
+			predicted := m.Forecast(h) > threshold
+			actual := series[t+h] > threshold
+			switch {
+			case predicted && actual:
+				stats.TruePositives++
+			case predicted && !actual:
+				stats.FalsePositives++
+			case !predicted && actual:
+				stats.FalseNegatives++
+			default:
+				stats.TrueNegatives++
+			}
+		}
+	}
+	return stats, nil
+}
+
+// EvaluateExceedanceWindow scores the operational §V-B decision: after
+// each observation, "will demand exceed the threshold at any point in
+// the next h steps?" — predicted via max over the 1..h-step forecasts,
+// realized via max over the next h samples. This matches how the
+// interface switch consumes the forecast (wake WiFi if the coming
+// 500 ms needs it).
+func EvaluateExceedanceWindow(m *Model, series []float64, exo [][]float64, threshold float64, h, burnIn int) (ExceedanceStats, error) {
+	var stats ExceedanceStats
+	if h < 1 {
+		h = 1
+	}
+	for t := 0; t < len(series); t++ {
+		var x []float64
+		if exo != nil {
+			x = exo[t]
+		}
+		if err := m.Observe(series[t], x); err != nil {
+			return stats, fmt.Errorf("t=%d: %w", t, err)
+		}
+		if t < burnIn || t+h >= len(series) {
+			continue
+		}
+		predicted := false
+		for k := 1; k <= h; k++ {
+			if m.Forecast(k) > threshold {
+				predicted = true
+				break
+			}
+		}
+		actual := false
+		for k := 1; k <= h; k++ {
+			if series[t+k] > threshold {
+				actual = true
+				break
+			}
+		}
+		switch {
+		case predicted && actual:
+			stats.TruePositives++
+		case predicted && !actual:
+			stats.FalsePositives++
+		case !predicted && actual:
+			stats.FalseNegatives++
+		default:
+			stats.TrueNegatives++
+		}
+	}
+	return stats, nil
+}
+
+// MSFE replays the series and returns the mean square h-step forecast
+// error after burnIn — the quantity Eq. 1 of the paper minimizes.
+func MSFE(m *Model, series []float64, exo [][]float64, h, burnIn int) (float64, error) {
+	if h < 1 {
+		h = 1
+	}
+	var sum float64
+	var count int
+	for t := 0; t < len(series); t++ {
+		var x []float64
+		if exo != nil {
+			x = exo[t]
+		}
+		if err := m.Observe(series[t], x); err != nil {
+			return 0, fmt.Errorf("t=%d: %w", t, err)
+		}
+		if t >= burnIn && t+h < len(series) {
+			err := m.Forecast(h) - series[t+h]
+			sum += err * err
+			count++
+		}
+	}
+	if count == 0 {
+		return math.Inf(1), nil
+	}
+	return sum / float64(count), nil
+}
+
+// CandidateResult scores one model structure in a selection sweep.
+type CandidateResult struct {
+	Name string
+	P, Q int
+	// ExoAttrs are the indices of the exogenous attributes included.
+	ExoAttrs []int
+	AIC      float64
+}
+
+// SelectExogenous fits an ARMAX for every subset of the candidate
+// exogenous attributes (including the empty set, i.e. plain ARMA) and
+// ranks them by AIC — the paper's attribute-selection experiment, which
+// found {touchstroke frequency, texture count} to approximate the
+// traffic best. attrs[t] is the full attribute vector at time t; names
+// label the attributes in the result.
+func SelectExogenous(series []float64, attrs [][]float64, names []string, p, q, b int) ([]CandidateResult, error) {
+	if len(attrs) != len(series) {
+		return nil, fmt.Errorf("%w: %d attr rows for %d samples", ErrExoDim, len(attrs), len(series))
+	}
+	k := len(names)
+	subsets := 1 << k
+	results := make([]CandidateResult, 0, subsets)
+	for mask := 0; mask < subsets; mask++ {
+		var idxs []int
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		var m *Model
+		var err error
+		var exo [][]float64
+		if len(idxs) == 0 {
+			m, err = NewARMA(p, q)
+		} else {
+			m, err = NewARMAX(p, q, b, len(idxs))
+			exo = make([][]float64, len(series))
+			for t := range series {
+				row := make([]float64, len(idxs))
+				for j, a := range idxs {
+					row[j] = attrs[t][a]
+				}
+				exo[t] = row
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		// The sweep scores candidate structures over a fixed trace;
+		// slow forgetting keeps the comparison about structure, not
+		// adaptation noise.
+		if err := m.SetForgetting(0.999); err != nil {
+			return nil, err
+		}
+		for t := range series {
+			var x []float64
+			if exo != nil {
+				x = exo[t]
+			}
+			if err := m.Observe(series[t], x); err != nil {
+				return nil, err
+			}
+		}
+		name := "ARMA"
+		for _, a := range idxs {
+			name += "+" + names[a]
+		}
+		results = append(results, CandidateResult{
+			Name: name, P: p, Q: q, ExoAttrs: idxs, AIC: m.AIC(),
+		})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].AIC < results[j].AIC })
+	return results, nil
+}

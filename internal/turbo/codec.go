@@ -1,0 +1,416 @@
+package turbo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec errors.
+var (
+	ErrBadPacket = errors.New("turbo: malformed packet")
+	ErrBadSize   = errors.New("turbo: frame size mismatch")
+)
+
+// Packet kinds.
+const (
+	packetKey   = 1 // every tile encoded
+	packetDelta = 2 // only changed tiles encoded
+)
+
+// DefaultQuality balances the paper's reported ~25:1 compression
+// against visible artifacts.
+const DefaultQuality = 60
+
+// DefaultDiffThreshold is the per-tile mean absolute difference (in
+// 8-bit code values) below which a tile is considered unchanged.
+const DefaultDiffThreshold = 2.0
+
+// Encoder compresses a stream of RGBA frames into keyframe/delta
+// packets. It is closed-loop: prev holds the decoder's reconstruction,
+// not the original pixels, so quantization error never accumulates
+// into drift between the phone and the service device.
+type Encoder struct {
+	w, h    int
+	quality int
+	quant   [blockSize * blockSize]int
+	thresh  float64
+	prev    []byte // decoder-visible reconstruction, RGBA
+	started bool
+
+	// Stats accumulate for the traffic experiments.
+	Stats EncoderStats
+}
+
+// EncoderStats counts encoder work.
+type EncoderStats struct {
+	Frames     int
+	KeyFrames  int
+	TilesSent  int
+	TilesTotal int
+	BytesOut   int64
+	PixelsIn   int64
+}
+
+// NewEncoder returns an encoder for w×h RGBA frames at the given JPEG-
+// style quality (1..100).
+func NewEncoder(w, h, quality int) *Encoder {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("turbo: encoder size %dx%d", w, h))
+	}
+	return &Encoder{
+		w: w, h: h,
+		quality: quality,
+		quant:   quantTable(quality),
+		thresh:  DefaultDiffThreshold,
+		prev:    make([]byte, w*h*4),
+	}
+}
+
+// SetDiffThreshold overrides the changed-tile sensitivity. Zero makes
+// every nonidentical tile ship.
+func (e *Encoder) SetDiffThreshold(t float64) { e.thresh = t }
+
+// tilesAcross returns tile grid dimensions (ceil division).
+func tilesDim(px int) int { return (px + blockSize - 1) / blockSize }
+
+// Encode compresses one frame (len must be w*h*4) and returns the
+// packet. The first frame is a keyframe; later frames are deltas unless
+// forceKey is set.
+func (e *Encoder) Encode(frame []byte, forceKey bool) ([]byte, error) {
+	if len(frame) != e.w*e.h*4 {
+		return nil, fmt.Errorf("%w: got %d bytes, want %d", ErrBadSize, len(frame), e.w*e.h*4)
+	}
+	key := forceKey || !e.started
+	e.started = true
+
+	tw, th := tilesDim(e.w), tilesDim(e.h)
+	kind := byte(packetDelta)
+	if key {
+		kind = packetKey
+	}
+	out := []byte{kind}
+	out = binary.AppendUvarint(out, uint64(e.w))
+	out = binary.AppendUvarint(out, uint64(e.h))
+	countAt := len(out)
+	out = append(out, 0, 0, 0, 0) // fixed 32-bit tile count, patched below
+
+	var sent uint32
+	var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+	for ty := 0; ty < th; ty++ {
+		for tx := 0; tx < tw; tx++ {
+			e.Stats.TilesTotal++
+			if !key && !e.tileChanged(frame, tx, ty) {
+				continue
+			}
+			e.loadTile(frame, tx, ty, &yBlk, &cbBlk, &crBlk)
+			out = binary.AppendUvarint(out, uint64(ty*tw+tx))
+			for _, blk := range [...]*[blockSize * blockSize]float64{&yBlk, &cbBlk, &crBlk} {
+				out = e.encodeBlock(out, blk)
+			}
+			// Reconstruct into prev exactly as the decoder will.
+			e.storeTile(e.prev, tx, ty, &yBlk, &cbBlk, &crBlk)
+			sent++
+		}
+	}
+	binary.LittleEndian.PutUint32(out[countAt:], sent)
+
+	e.Stats.Frames++
+	if key {
+		e.Stats.KeyFrames++
+	}
+	e.Stats.TilesSent += int(sent)
+	e.Stats.BytesOut += int64(len(out))
+	e.Stats.PixelsIn += int64(e.w * e.h)
+	return out, nil
+}
+
+// tileChanged compares the frame tile against the reconstruction using
+// mean absolute difference over RGB.
+func (e *Encoder) tileChanged(frame []byte, tx, ty int) bool {
+	x0, y0 := tx*blockSize, ty*blockSize
+	var sad, n float64
+	for dy := 0; dy < blockSize; dy++ {
+		y := y0 + dy
+		if y >= e.h {
+			break
+		}
+		row := (y*e.w + x0) * 4
+		for dx := 0; dx < blockSize; dx++ {
+			if x0+dx >= e.w {
+				break
+			}
+			i := row + dx*4
+			sad += absDiff(frame[i], e.prev[i]) + absDiff(frame[i+1], e.prev[i+1]) + absDiff(frame[i+2], e.prev[i+2])
+			n += 3
+		}
+	}
+	return n > 0 && sad/n > e.thresh
+}
+
+func absDiff(a, b byte) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+// loadTile converts a tile to YCbCr blocks (edge tiles replicate the
+// last row/column) and DCT-quantizes them in place: after the call the
+// blocks hold the *reconstructed* (dequantized, inverse-transformed)
+// samples, ready for storeTile.
+func (e *Encoder) loadTile(frame []byte, tx, ty int, yBlk, cbBlk, crBlk *[blockSize * blockSize]float64) {
+	x0, y0 := tx*blockSize, ty*blockSize
+	for dy := 0; dy < blockSize; dy++ {
+		sy := y0 + dy
+		if sy >= e.h {
+			sy = e.h - 1
+		}
+		for dx := 0; dx < blockSize; dx++ {
+			sx := x0 + dx
+			if sx >= e.w {
+				sx = e.w - 1
+			}
+			i := (sy*e.w + sx) * 4
+			y, cb, cr := rgbToYCbCr(float64(frame[i]), float64(frame[i+1]), float64(frame[i+2]))
+			k := dy*blockSize + dx
+			yBlk[k] = y - 128
+			cbBlk[k] = cb - 128
+			crBlk[k] = cr - 128
+		}
+	}
+}
+
+// encodeBlock forward-transforms, quantizes, entropy-codes the block
+// into out, then reconstructs the block in place (dequantize + IDCT) so
+// the caller can mirror the decoder's state.
+func (e *Encoder) encodeBlock(out []byte, blk *[blockSize * blockSize]float64) []byte {
+	var freq [blockSize * blockSize]float64
+	fdct8(&freq, blk)
+	var q [blockSize * blockSize]int32
+	for i := 0; i < blockSize*blockSize; i++ {
+		q[i] = int32(roundHalfAway(freq[i] / float64(e.quant[i])))
+	}
+	out = appendCoeffs(out, &q)
+	// Reconstruct.
+	for i := 0; i < blockSize*blockSize; i++ {
+		freq[i] = float64(q[i]) * float64(e.quant[i])
+	}
+	idct8(blk, &freq)
+	return out
+}
+
+func roundHalfAway(v float64) float64 {
+	if v >= 0 {
+		return float64(int64(v + 0.5))
+	}
+	return float64(int64(v - 0.5))
+}
+
+// appendCoeffs zig-zag-orders the quantized coefficients and encodes
+// them as (zeroRun uvarint, value varint) pairs, with a 0-run sentinel
+// terminating at end-of-block once the tail is all zero.
+func appendCoeffs(out []byte, q *[blockSize * blockSize]int32) []byte {
+	last := -1
+	for i := blockSize*blockSize - 1; i >= 0; i-- {
+		if q[_zigzag[i]] != 0 {
+			last = i
+			break
+		}
+	}
+	out = binary.AppendUvarint(out, uint64(last+1))
+	run := 0
+	for i := 0; i <= last; i++ {
+		v := q[_zigzag[i]]
+		if v == 0 {
+			run++
+			continue
+		}
+		out = binary.AppendUvarint(out, uint64(run))
+		out = binary.AppendVarint(out, int64(v))
+		run = 0
+	}
+	return out
+}
+
+// storeTile writes reconstructed YCbCr blocks back into an RGBA buffer.
+func (e *Encoder) storeTile(dst []byte, tx, ty int, yBlk, cbBlk, crBlk *[blockSize * blockSize]float64) {
+	storeTileInto(dst, e.w, e.h, tx, ty, yBlk, cbBlk, crBlk)
+}
+
+func storeTileInto(dst []byte, w, h, tx, ty int, yBlk, cbBlk, crBlk *[blockSize * blockSize]float64) {
+	x0, y0 := tx*blockSize, ty*blockSize
+	for dy := 0; dy < blockSize; dy++ {
+		py := y0 + dy
+		if py >= h {
+			break
+		}
+		for dx := 0; dx < blockSize; dx++ {
+			px := x0 + dx
+			if px >= w {
+				break
+			}
+			k := dy*blockSize + dx
+			r, g, b := yCbCrToRGB(yBlk[k]+128, cbBlk[k]+128, crBlk[k]+128)
+			i := (py*w + px) * 4
+			dst[i] = byte(r + 0.5)
+			dst[i+1] = byte(g + 0.5)
+			dst[i+2] = byte(b + 0.5)
+			dst[i+3] = 255
+		}
+	}
+}
+
+// Decoder reconstructs the frame stream from packets.
+type Decoder struct {
+	w, h    int
+	quality int
+	quant   [blockSize * blockSize]int
+	frame   []byte
+	started bool
+
+	// Stats accumulate decoded volume.
+	Stats DecoderStats
+}
+
+// DecoderStats counts decoder work.
+type DecoderStats struct {
+	Frames  int
+	Tiles   int
+	BytesIn int64
+}
+
+// NewDecoder returns a decoder matching NewEncoder(w, h, quality).
+func NewDecoder(w, h, quality int) *Decoder {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("turbo: decoder size %dx%d", w, h))
+	}
+	return &Decoder{
+		w: w, h: h,
+		quality: quality,
+		quant:   quantTable(quality),
+		frame:   make([]byte, w*h*4),
+	}
+}
+
+// Decode applies one packet and returns the current full frame. The
+// returned slice aliases the decoder's internal buffer; callers that
+// retain it across Decode calls must copy.
+func (d *Decoder) Decode(packet []byte) ([]byte, error) {
+	if len(packet) < 1 {
+		return nil, fmt.Errorf("%w: empty", ErrBadPacket)
+	}
+	kind := packet[0]
+	if kind != packetKey && kind != packetDelta {
+		return nil, fmt.Errorf("%w: kind %d", ErrBadPacket, kind)
+	}
+	p := packet[1:]
+	w, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: width", ErrBadPacket)
+	}
+	p = p[n:]
+	h, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: height", ErrBadPacket)
+	}
+	p = p[n:]
+	if int(w) != d.w || int(h) != d.h {
+		return nil, fmt.Errorf("%w: packet %dx%d, decoder %dx%d", ErrBadSize, w, h, d.w, d.h)
+	}
+	if kind == packetDelta && !d.started {
+		return nil, fmt.Errorf("%w: delta before keyframe", ErrBadPacket)
+	}
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: tile count", ErrBadPacket)
+	}
+	count := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+
+	tw, th := tilesDim(d.w), tilesDim(d.h)
+	maxTiles := tw * th
+	if int(count) > maxTiles {
+		return nil, fmt.Errorf("%w: %d tiles, grid has %d", ErrBadPacket, count, maxTiles)
+	}
+	var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+	for t := uint32(0); t < count; t++ {
+		idx, n := binary.Uvarint(p)
+		if n <= 0 || int(idx) >= maxTiles {
+			return nil, fmt.Errorf("%w: tile index", ErrBadPacket)
+		}
+		p = p[n:]
+		for _, blk := range [...]*[blockSize * blockSize]float64{&yBlk, &cbBlk, &crBlk} {
+			rest, err := d.decodeBlock(p, blk)
+			if err != nil {
+				return nil, err
+			}
+			p = rest
+		}
+		storeTileInto(d.frame, d.w, d.h, int(idx)%tw, int(idx)/tw, &yBlk, &cbBlk, &crBlk)
+		d.Stats.Tiles++
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(p))
+	}
+	d.started = true
+	d.Stats.Frames++
+	d.Stats.BytesIn += int64(len(packet))
+	return d.frame, nil
+}
+
+// decodeBlock parses one entropy-coded block and inverse-transforms it.
+func (d *Decoder) decodeBlock(p []byte, blk *[blockSize * blockSize]float64) ([]byte, error) {
+	total, n := binary.Uvarint(p)
+	if n <= 0 || total > blockSize*blockSize {
+		return nil, fmt.Errorf("%w: coeff count", ErrBadPacket)
+	}
+	p = p[n:]
+	var q [blockSize * blockSize]int32
+	for i := 0; i < int(total); {
+		run, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: zero run", ErrBadPacket)
+		}
+		p = p[n:]
+		i += int(run)
+		if i >= int(total) {
+			return nil, fmt.Errorf("%w: run past block", ErrBadPacket)
+		}
+		v, n := binary.Varint(p)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: coeff value", ErrBadPacket)
+		}
+		p = p[n:]
+		q[_zigzag[i]] = int32(v)
+		i++
+	}
+	var freq [blockSize * blockSize]float64
+	for i := 0; i < blockSize*blockSize; i++ {
+		freq[i] = float64(q[i]) * float64(d.quant[i])
+	}
+	idct8(blk, &freq)
+	return p, nil
+}
+
+// PSNR computes peak signal-to-noise ratio between two same-length RGBA
+// buffers, ignoring alpha. Identical inputs return +Inf.
+func PSNR(a, b []byte) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var mse float64
+	n := 0
+	for i := 0; i+3 < len(a); i += 4 {
+		for k := 0; k < 3; k++ {
+			d := float64(a[i+k]) - float64(b[i+k])
+			mse += d * d
+			n++
+		}
+	}
+	mse /= float64(n)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}

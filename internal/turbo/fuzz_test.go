@@ -1,0 +1,50 @@
+package turbo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+func TestDecodeNeverPanicsOnArbitraryBytes(t *testing.T) {
+	check := func(data []byte) bool {
+		dec := NewDecoder(32, 32, 60)
+		_, _ = dec.Decode(data)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnCorruptedPackets(t *testing.T) {
+	rng := sim.NewRNG(17)
+	enc := NewEncoder(32, 32, 60)
+	f := testFrame(32, 32, 5, 5)
+	pkt, err := enc.Encode(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3000; trial++ {
+		buf := append([]byte(nil), pkt...)
+		for flips := 0; flips < 1+rng.Intn(5); flips++ {
+			buf[rng.Intn(len(buf))] ^= byte(1 << rng.Intn(8))
+		}
+		dec := NewDecoder(32, 32, 60)
+		_, _ = dec.Decode(buf)
+	}
+}
+
+func TestDecodeNeverPanicsOnTruncations(t *testing.T) {
+	enc := NewEncoder(24, 24, 60)
+	f := testFrame(24, 24, 3, 3)
+	pkt, err := enc.Encode(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(pkt); cut++ {
+		dec := NewDecoder(24, 24, 60)
+		_, _ = dec.Decode(pkt[:cut])
+	}
+}

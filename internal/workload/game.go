@@ -1,0 +1,385 @@
+package workload
+
+import (
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/glwire"
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// Features summarizes one generated frame — the §V-B exogenous
+// attribute candidates come straight from here (touchstroke frequency,
+// command-sequence length, texture count, inter-frame command diff).
+type Features struct {
+	Commands    int
+	Draws       int
+	Textures    int
+	TouchEvents int
+	Burst       bool
+	// UploadBytes is texel/vertex data volume carried this frame.
+	UploadBytes int
+	// CmdDiff is the paper's attribute 4: the number of commands that
+	// differ between this frame and the previous one (symmetric
+	// difference of command fingerprints).
+	CmdDiff int
+}
+
+// Frame is one generated rendering request.
+type Frame struct {
+	Commands []gles.Command
+	Features Features
+}
+
+// Game generates the real GLES command stream for a workload profile:
+// a scene of textured sprites moving under player input, with the
+// texture-upload and scene-change dynamics of its genre. Streams are
+// deterministic per seed.
+type Game struct {
+	profile Profile
+	rng     *sim.RNG
+	arrays  *glwire.ClientArrayTable
+
+	frame     int
+	sprites   []sprite
+	spriteIDs []uint64 // client-array ids for dynamic sprite geometry
+	textures  []int32
+	burstLeft int
+	prevFP    map[uint64]int // previous frame's command fingerprints
+}
+
+type sprite struct {
+	x, y   float32
+	vx, vy float32
+	size   float32
+	tex    int
+}
+
+// Object id bases keep generated GL object ids disjoint.
+const (
+	texIDBase    = 100
+	vboQuad      = 1
+	shaderVertex = 1
+	shaderFrag   = 2
+	programMain  = 1
+)
+
+// NewGame builds a generator for the profile, seeded deterministically.
+func NewGame(profile Profile, seed uint64) *Game {
+	g := &Game{
+		profile: profile,
+		rng:     sim.NewRNG(seed),
+		arrays:  glwire.NewClientArrayTable(),
+	}
+	n := profile.DrawsPerFrame
+	if n < 1 {
+		n = 1
+	}
+	g.sprites = make([]sprite, n)
+	for i := range g.sprites {
+		g.sprites[i] = sprite{
+			x:    float32(g.rng.Float64()*2 - 1),
+			y:    float32(g.rng.Float64()*2 - 1),
+			vx:   float32(g.rng.Norm(0, 0.02)),
+			vy:   float32(g.rng.Norm(0, 0.02)),
+			size: float32(0.05 + g.rng.Float64()*0.15),
+			tex:  i % maxInt(profile.TexturesPerFrame, 1),
+		}
+	}
+	return g
+}
+
+// Arrays exposes the client-array registry the generator registers
+// dynamic vertex data in; the interception layer resolves deferred
+// glVertexAttribPointer commands against it.
+func (g *Game) Arrays() *glwire.ClientArrayTable { return g.arrays }
+
+// Profile returns the generator's profile.
+func (g *Game) Profile() Profile { return g.profile }
+
+// texturePixels draws a deterministic pattern for texture id so frames
+// carry real, distinct texel data.
+func texturePixels(id int, variant int, size int) []byte {
+	pix := make([]byte, size*size*4)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			i := (y*size + x) * 4
+			pix[i] = byte((x*8 + id*37 + variant*11) & 0xFF)
+			pix[i+1] = byte((y*8 + id*73) & 0xFF)
+			pix[i+2] = byte(((x ^ y) * 16) & 0xFF)
+			pix[i+3] = 255
+		}
+	}
+	return pix
+}
+
+// setupCommands emits the one-time context setup: shaders, program,
+// quad VBO, and texture uploads.
+func (g *Game) setupCommands() []gles.Command {
+	cmds := []gles.Command{
+		gles.CmdViewport(0, 0, StreamW, StreamH),
+		gles.CmdClearColor(0.1, 0.15, 0.2, 1),
+		gles.CmdCreateShader(gles.ShaderTypeVertex, shaderVertex),
+		gles.CmdShaderSource(shaderVertex,
+			"attribute vec2 aPosition; attribute vec2 aTexCoord; uniform mat4 uMVP;"),
+		gles.CmdCompileShader(shaderVertex),
+		gles.CmdCreateShader(gles.ShaderTypeFragment, shaderFrag),
+		gles.CmdShaderSource(shaderFrag,
+			"uniform vec4 uTint; uniform sampler2D uTexture; varying vec2 vUV;"),
+		gles.CmdCompileShader(shaderFrag),
+		gles.CmdCreateProgram(programMain),
+		gles.CmdAttachShader(programMain, shaderVertex),
+		gles.CmdAttachShader(programMain, shaderFrag),
+		gles.CmdLinkProgram(programMain),
+		gles.CmdUseProgram(programMain),
+		gles.CmdEnable(gles.CapBlend),
+		gles.CmdBlendFunc(gles.BlendSrcAlpha, gles.BlendOneMinusSrcA),
+	}
+	// Unit quad VBO: two triangles of (pos, uv) interleaved.
+	quad := gles.FloatsToBytes([]float32{
+		// x, y, u, v
+		-0.5, -0.5, 0, 0,
+		0.5, -0.5, 1, 0,
+		-0.5, 0.5, 0, 1,
+		0.5, -0.5, 1, 0,
+		0.5, 0.5, 1, 1,
+		-0.5, 0.5, 0, 1,
+	})
+	cmds = append(cmds,
+		gles.CmdGenBuffer(vboQuad),
+		gles.CmdBindBuffer(gles.BufTargetArray, vboQuad),
+		gles.CmdBufferData(gles.BufTargetArray, quad, gles.UsageStaticDraw),
+	)
+	nTex := maxInt(g.profile.TexturesPerFrame, 1)
+	g.textures = make([]int32, nTex)
+	for i := 0; i < nTex; i++ {
+		id := int32(texIDBase + i)
+		g.textures[i] = id
+		cmds = append(cmds,
+			gles.CmdGenTexture(id),
+			gles.CmdBindTexture(gles.TexTarget2D, id),
+			gles.CmdTexImage2D(gles.TexTarget2D, 0, 32, 32, texturePixels(i, 0, 32)),
+			gles.CmdTexParameteri(gles.TexTarget2D, gles.TexMinFilter, gles.FilterNearest),
+		)
+	}
+	return cmds
+}
+
+// NextFrame generates the next rendering request. The first call emits
+// scene setup followed by the first frame.
+func (g *Game) NextFrame() Frame {
+	var cmds []gles.Command
+	var feats Features
+	if g.frame == 0 {
+		cmds = g.setupCommands()
+		for _, c := range cmds {
+			feats.UploadBytes += len(c.Data)
+		}
+	}
+
+	// Player input: Poisson touches per frame at the profile cap rate.
+	perFrame := g.profile.TouchRatePerSec / g.profile.FPSCap
+	touches := 0
+	for g.rng.Bool(clamp01(perFrame)) {
+		touches++
+		perFrame -= 1 // at most a few per frame
+	}
+	// Input bursts (camera jumps) persist a handful of frames.
+	if g.burstLeft == 0 && g.rng.Bool(clamp01(g.profile.BurstRatePerSec/g.profile.FPSCap)) {
+		g.burstLeft = 6 + g.rng.Intn(8)
+		touches += 2 + g.rng.Intn(4)
+	}
+	burst := g.burstLeft > 0
+	if burst {
+		g.burstLeft--
+	}
+	feats.TouchEvents = touches
+	feats.Burst = burst
+
+	// Move sprites; bursts fling everything (scene change).
+	speed := float32(1)
+	if burst {
+		speed = float32(g.profile.BurstSceneFactor)
+	}
+	for i := range g.sprites {
+		s := &g.sprites[i]
+		s.x += s.vx * speed
+		s.y += s.vy * speed
+		if s.x > 1.2 || s.x < -1.2 {
+			s.vx = -s.vx
+		}
+		if s.y > 1.2 || s.y < -1.2 {
+			s.vy = -s.vy
+		}
+	}
+
+	// Non-gaming UIs redraw only a dirty region: they scissor to the
+	// changed strip (list rows, status text) instead of repainting the
+	// whole screen — part of why their GPU load and downlink deltas are
+	// tiny (Table III).
+	if g.profile.Genre == GenreApp {
+		stripH := int32(StreamH / 6)
+		y := int32(g.rng.Intn(StreamH - int(stripH)))
+		cmds = append(cmds,
+			gles.CmdEnable(gles.CapScissorTest),
+			gles.CmdScissor(0, y, StreamW, stripH),
+		)
+	}
+
+	cmds = append(cmds, gles.CmdClear(gles.ClearColorBit))
+	feats.Draws++ // clear rasterizes
+
+	// Occasional texture animation: re-upload one texture's pixels;
+	// bursts upload more (new scene content streaming in).
+	uploads := 0
+	if g.frame%30 == 15 {
+		uploads = 1
+	}
+	if burst && g.frame%3 == 0 {
+		uploads += int(g.profile.BurstSceneFactor)
+	}
+	for u := 0; u < uploads && len(g.textures) > 0; u++ {
+		slot := g.rng.Intn(len(g.textures))
+		pix := texturePixels(slot, g.frame+u, 32)
+		cmds = append(cmds,
+			gles.CmdBindTexture(gles.TexTarget2D, g.textures[slot]),
+			gles.CmdTexImage2D(gles.TexTarget2D, 0, 32, 32, pix),
+		)
+		feats.UploadBytes += len(pix)
+	}
+
+	// Draw sprites. Most use the static quad VBO; a fraction use
+	// client-side arrays to exercise the §IV-B deferred path.
+	texBound := make(map[int32]bool)
+	for i := range g.sprites {
+		s := &g.sprites[i]
+		tex := g.textures[s.tex%len(g.textures)]
+		if !texBound[tex] {
+			cmds = append(cmds, gles.CmdBindTexture(gles.TexTarget2D, tex))
+			texBound[tex] = true
+			feats.Textures++
+		}
+		mvp := spriteMVP(s)
+		cmds = append(cmds, gles.CmdUniformMatrix4fv(gles.LocMVP, mvp))
+		if i%8 == 7 {
+			// Client-array path: dynamic geometry registered with the
+			// array table; extent resolved at draw time.
+			verts := gles.FloatsToBytes(spriteTriangles(s))
+			var id uint64
+			if i/8 < len(g.spriteIDs) {
+				id = g.spriteIDs[i/8]
+				g.arrays.Update(id, verts)
+			} else {
+				id = g.arrays.Register(verts)
+				g.spriteIDs = append(g.spriteIDs, id)
+			}
+			cmds = append(cmds,
+				gles.CmdVertexAttribPointerClient(gles.LocPosition, 2, 0, id),
+				gles.CmdEnableVertexAttribArray(gles.LocPosition),
+				gles.CmdDisableVertexAttribArray(gles.LocTexCoord),
+				gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 6),
+			)
+			feats.UploadBytes += len(verts)
+		} else {
+			cmds = append(cmds,
+				gles.CmdBindBuffer(gles.BufTargetArray, vboQuad),
+				gles.CmdVertexAttribPointerVBO(gles.LocPosition, 2, 16, 0, vboQuad),
+				gles.CmdEnableVertexAttribArray(gles.LocPosition),
+				gles.CmdVertexAttribPointerVBO(gles.LocTexCoord, 2, 16, 8, vboQuad),
+				gles.CmdEnableVertexAttribArray(gles.LocTexCoord),
+				gles.CmdDrawArrays(gles.DrawModeTriangles, 0, 6),
+			)
+		}
+		feats.Draws++
+	}
+	cmds = append(cmds, gles.CmdSwapBuffers())
+	feats.Commands = len(cmds)
+	feats.CmdDiff = g.commandDiff(cmds)
+	g.frame++
+	return Frame{Commands: cmds, Features: feats}
+}
+
+// commandDiff computes the §V-B attribute 4 on the real stream: the
+// symmetric-difference size between this frame's and the previous
+// frame's command multisets, by cheap fingerprinting.
+func (g *Game) commandDiff(cmds []gles.Command) int {
+	cur := make(map[uint64]int, len(cmds))
+	for i := range cmds {
+		cur[fingerprint(&cmds[i])]++
+	}
+	diff := 0
+	for fp, n := range cur {
+		if p := g.prevFP[fp]; n > p {
+			diff += n - p
+		}
+	}
+	for fp, p := range g.prevFP {
+		if n := cur[fp]; p > n {
+			diff += p - n
+		}
+	}
+	g.prevFP = cur
+	return diff
+}
+
+// fingerprint hashes a command's op and arguments (FNV-1a over the
+// argument words and a data prefix).
+func fingerprint(c *gles.Command) uint64 {
+	const (
+		offset = 1469598103934665603
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(c.Op))
+	for _, v := range c.Ints {
+		mix(uint64(uint32(v)))
+	}
+	for _, v := range c.Floats {
+		mix(uint64(uint32(v * 4096)))
+	}
+	for i := 0; i < len(c.Data) && i < 32; i++ {
+		mix(uint64(c.Data[i]))
+	}
+	mix(uint64(len(c.Data)))
+	return h
+}
+
+// spriteMVP builds a column-major translation+scale matrix.
+func spriteMVP(s *sprite) [16]float32 {
+	return [16]float32{
+		s.size, 0, 0, 0,
+		0, s.size, 0, 0,
+		0, 0, 1, 0,
+		s.x, s.y, 0, 1,
+	}
+}
+
+// spriteTriangles emits two triangles for a sprite in model space
+// already positioned (client-array sprites skip the MVP).
+func spriteTriangles(s *sprite) []float32 {
+	h := s.size / 2
+	return []float32{
+		s.x - h, s.y - h, s.x + h, s.y - h, s.x - h, s.y + h,
+		s.x + h, s.y - h, s.x + h, s.y + h, s.x - h, s.y + h,
+	}
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

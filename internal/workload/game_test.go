@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/glwire"
+)
+
+func TestProfilesCalibrationAnchors(t *testing.T) {
+	// Nexus 5 local FPS = 3.6 GP/s · η / workload. These anchors pin
+	// the Fig. 5 reproduction.
+	effFill := 3.6 * GPUEfficiency
+	tests := []struct {
+		id      string
+		wantFPS float64
+		tol     float64
+	}{
+		{"G1", 23, 1}, // paper: 23
+		{"G2", 22, 1}, // paper: 22
+	}
+	for _, tt := range tests {
+		p, err := ByID(tt.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps := effFill / p.FrameWorkloadGP
+		if math.Abs(fps-tt.wantFPS) > tt.tol {
+			t.Errorf("%s GPU-bound local FPS = %.1f, want ~%.0f", tt.id, fps, tt.wantFPS)
+		}
+	}
+	// Puzzle games are CPU-bound at ~50 FPS locally.
+	g5, err := ByID("G5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuFPS := 1000 / (g5.LogicCPUMs + g5.DriverCPUMs)
+	if math.Abs(cpuFPS-50) > 1 {
+		t.Errorf("G5 CPU-bound local FPS = %.1f, want ~50", cpuFPS)
+	}
+	gpuFPS := effFill / g5.FrameWorkloadGP
+	if gpuFPS < cpuFPS*1.3 {
+		t.Errorf("G5 should be CPU-bound: gpu %.0f vs cpu %.0f", gpuFPS, cpuFPS)
+	}
+}
+
+func TestGamesMatchTableII(t *testing.T) {
+	games := Games()
+	if len(games) != 6 {
+		t.Fatalf("Games() = %d entries, want 6", len(games))
+	}
+	wantGenre := map[string]Genre{
+		"G1": GenreAction, "G2": GenreAction,
+		"G3": GenreRolePlaying, "G4": GenreRolePlaying,
+		"G5": GenrePuzzle, "G6": GenrePuzzle,
+	}
+	for _, g := range games {
+		if g.Genre != wantGenre[g.ID] {
+			t.Errorf("%s genre = %v", g.ID, g.Genre)
+		}
+		if g.FrameWorkloadGP <= 0 || g.LogicCPUMs <= 0 || g.FPSCap != 60 {
+			t.Errorf("%s has degenerate parameters: %+v", g.ID, g)
+		}
+	}
+	// Action games are the most GPU-intensive; puzzle the least.
+	g1, _ := ByID("G1")
+	g5, _ := ByID("G5")
+	if g1.FrameWorkloadGP <= g5.FrameWorkloadGP*2 {
+		t.Error("action workload should dwarf puzzle workload")
+	}
+	// Package sizes from Table II.
+	if g1.PackageSizeGB != 2.41 || g5.PackageSizeGB != 0.17 {
+		t.Error("package sizes do not match Table II")
+	}
+}
+
+func TestAppsPresent(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 3 {
+		t.Fatalf("Apps() = %d entries, want 3", len(apps))
+	}
+	for _, a := range apps {
+		if a.Genre != GenreApp {
+			t.Errorf("%s genre = %v", a.ID, a.Genre)
+		}
+		if a.FrameWorkloadGP > 0.002 {
+			t.Errorf("%s too GPU-heavy for a UI app", a.ID)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("G9"); err == nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestGenreString(t *testing.T) {
+	for g, want := range map[Genre]string{
+		GenreAction: "Action", GenreRolePlaying: "Role playing",
+		GenrePuzzle: "Puzzle", GenreApp: "Non-gaming", Genre(9): "Genre(9)",
+	} {
+		if got := g.String(); got != want {
+			t.Errorf("genre %d = %q want %q", int(g), got, want)
+		}
+	}
+}
+
+func TestGameStreamDeterministic(t *testing.T) {
+	p, err := ByID("G1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewGame(p, 42), NewGame(p, 42)
+	for i := 0; i < 5; i++ {
+		fa, fb := a.NextFrame(), b.NextFrame()
+		if len(fa.Commands) != len(fb.Commands) {
+			t.Fatalf("frame %d lengths differ: %d vs %d", i, len(fa.Commands), len(fb.Commands))
+		}
+		if fa.Features != fb.Features {
+			t.Fatalf("frame %d features differ: %+v vs %+v", i, fa.Features, fb.Features)
+		}
+	}
+	c := NewGame(p, 43)
+	diff := false
+	for i := 0; i < 10 && !diff; i++ {
+		fa, fc := a.NextFrame(), c.NextFrame()
+		if len(fa.Commands) != len(fc.Commands) || fa.Features != fc.Features {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGameStreamExecutesOnGPU(t *testing.T) {
+	// End-to-end data plane: generate → serialize (resolving deferred
+	// pointers) → decode → execute on the software GPU without errors.
+	for _, id := range []string{"G1", "G5", "A1"} {
+		t.Run(id, func(t *testing.T) {
+			p, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			game := NewGame(p, 7)
+			enc := glwire.NewEncoder(game.Arrays())
+			gpu := gles.NewGPU(StreamW, StreamH)
+			var dec glwire.Decoder
+			for f := 0; f < 8; f++ {
+				frame := game.NextFrame()
+				buf, err := enc.EncodeAll(nil, frame.Commands)
+				if err != nil {
+					t.Fatalf("frame %d encode: %v", f, err)
+				}
+				cmds, err := dec.DecodeAll(buf)
+				if err != nil {
+					t.Fatalf("frame %d decode: %v", f, err)
+				}
+				res, err := gpu.ExecuteAll(cmds)
+				if err != nil {
+					t.Fatalf("frame %d execute: %v", f, err)
+				}
+				if !res.FrameDone {
+					t.Fatalf("frame %d did not end with SwapBuffers", f)
+				}
+				if res.Fragments == 0 {
+					t.Fatalf("frame %d rasterized nothing", f)
+				}
+			}
+			if gpu.FramesCompleted != 8 {
+				t.Fatalf("frames completed = %d", gpu.FramesCompleted)
+			}
+		})
+	}
+}
+
+func TestGameFramesProduceChangingPixels(t *testing.T) {
+	// The turbo codec's benefit rests on frame coherence: consecutive
+	// frames must differ somewhat but not completely.
+	p, err := ByID("G1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	game := NewGame(p, 11)
+	enc := glwire.NewEncoder(game.Arrays())
+	gpu := gles.NewGPU(StreamW, StreamH)
+	var dec glwire.Decoder
+	render := func() []byte {
+		frame := game.NextFrame()
+		buf, err := enc.EncodeAll(nil, frame.Commands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmds, err := dec.DecodeAll(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gpu.ExecuteAll(cmds); err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), gpu.FB.Pix...)
+	}
+	f0 := render()
+	f1 := render()
+	changed := 0
+	for i := range f0 {
+		if f0[i] != f1[i] {
+			changed++
+		}
+	}
+	frac := float64(changed) / float64(len(f0))
+	if frac == 0 {
+		t.Fatal("consecutive frames identical; scene is static")
+	}
+	if frac > 0.9 {
+		t.Fatalf("consecutive frames %.0f%% different; no coherence", frac*100)
+	}
+}
+
+func TestGameFeaturesSane(t *testing.T) {
+	p, err := ByID("G2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	game := NewGame(p, 3)
+	var touches, bursts int
+	for f := 0; f < 3600; f++ { // 60 seconds at 60 FPS
+		fr := game.NextFrame()
+		if fr.Features.Commands != len(fr.Commands) {
+			t.Fatal("feature command count wrong")
+		}
+		if fr.Features.Draws < p.DrawsPerFrame {
+			t.Fatalf("frame draws %d < sprites %d", fr.Features.Draws, p.DrawsPerFrame)
+		}
+		if fr.Features.Textures > p.TexturesPerFrame {
+			t.Fatalf("textures %d > profile %d", fr.Features.Textures, p.TexturesPerFrame)
+		}
+		touches += fr.Features.TouchEvents
+		if fr.Features.Burst {
+			bursts++
+		}
+	}
+	// ~5 touches/sec -> ~300 over 60 s (bursts add more).
+	if touches < 120 || touches > 1200 {
+		t.Fatalf("touches over 60s = %d, want near 300", touches)
+	}
+	if bursts == 0 {
+		t.Fatal("no input bursts in 60 s of an action game")
+	}
+}
+
+func TestGameUplinkRedundancyIsReal(t *testing.T) {
+	// The premise of §V-A: consecutive frames' command streams are
+	// mostly redundant. Measured on real serialized records, the LRU
+	// cache should absorb well over half the bytes after warm-up.
+	p, err := ByID("G1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	game := NewGame(p, 5)
+	enc := glwire.NewEncoder(game.Arrays())
+	// Warm up with 3 frames.
+	var warm []byte
+	for f := 0; f < 3; f++ {
+		warm, err = enc.EncodeAll(warm[:0], game.NextFrame().Commands)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Measure per-record repetition across the next frames.
+	seen := make(map[string]bool)
+	recs, err := glwire.SplitRecords(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		seen[string(r)] = true
+	}
+	var repeated, total int64
+	for f := 0; f < 5; f++ {
+		buf, err := enc.EncodeAll(nil, game.NextFrame().Commands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := glwire.SplitRecords(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			total += int64(len(r))
+			if seen[string(r)] {
+				repeated += int64(len(r))
+			}
+			seen[string(r)] = true
+		}
+	}
+	if frac := float64(repeated) / float64(total); frac < 0.3 {
+		t.Fatalf("repeated-record byte fraction = %.2f, want redundancy-dominated stream", frac)
+	}
+}
+
+func TestCommandDiffTracksSceneDynamics(t *testing.T) {
+	// Attribute 4 of §V-B: inter-frame command difference. Consecutive
+	// frames of a coherent scene differ partially — never 0 (sprites
+	// move), never everything (setup state repeats).
+	p, err := ByID("G1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	game := NewGame(p, 21)
+	first := game.NextFrame()
+	if first.Features.CmdDiff != first.Features.Commands {
+		t.Fatalf("first frame diff %d != all %d commands", first.Features.CmdDiff, first.Features.Commands)
+	}
+	for f := 0; f < 10; f++ {
+		fr := game.NextFrame()
+		if fr.Features.CmdDiff == 0 {
+			t.Fatalf("frame %d identical to previous; sprites should move", f)
+		}
+		if fr.Features.CmdDiff >= 2*fr.Features.Commands {
+			t.Fatalf("frame %d diff %d out of range for %d commands", f, fr.Features.CmdDiff, fr.Features.Commands)
+		}
+	}
+}
+
+func TestCommandDiffStaticAppIsSmall(t *testing.T) {
+	// A near-static UI changes far fewer commands per frame than an
+	// action game, relative to stream size.
+	action, err := ByID("G1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := ByID("A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(p Profile) float64 {
+		g := NewGame(p, 5)
+		g.NextFrame() // setup frame
+		var diff, total int
+		for f := 0; f < 10; f++ {
+			fr := g.NextFrame()
+			diff += fr.Features.CmdDiff
+			total += fr.Features.Commands
+		}
+		return float64(diff) / float64(total)
+	}
+	// Both scenes animate every sprite, so diffs are substantial; the
+	// action game must be at least as dynamic as the UI app.
+	if rel(action) < rel(app)*0.8 {
+		t.Fatalf("action rel diff %.2f < app %.2f", rel(action), rel(app))
+	}
+}

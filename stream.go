@@ -1,0 +1,178 @@
+package gbooster
+
+import (
+	"fmt"
+	"image"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/core"
+	"github.com/gbooster/gbooster/internal/hook"
+	"github.com/gbooster/gbooster/internal/rudp"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// StreamServer is a service-device daemon: it accepts one GBooster
+// client over (reliable) UDP, replays the intercepted command stream on
+// a software GPU, and streams turbo-encoded frames back.
+type StreamServer struct {
+	srv  *core.Server
+	conn *rudp.Conn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewStreamServer builds a server rendering at w×h.
+func NewStreamServer(w, h int) (*StreamServer, error) {
+	srv, err := core.NewServer(core.ServerConfig{Width: w, Height: h})
+	if err != nil {
+		return nil, fmt.Errorf("gbooster: %w", err)
+	}
+	return &StreamServer{srv: srv}, nil
+}
+
+// ServeConn serves one client over pc, treating peer as the client's
+// address. It blocks until the connection closes.
+func (s *StreamServer) ServeConn(pc net.PacketConn, peer net.Addr) error {
+	conn := rudp.New(pc, peer, rudp.DefaultOptions())
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+	err := s.srv.Serve(conn)
+	_ = conn.Close()
+	return err
+}
+
+// ServeUDP listens on addr ("host:port"), waits for the first client
+// datagram to learn the peer, then serves it. It blocks for the life of
+// the session.
+func (s *StreamServer) ServeUDP(addr string) error {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return fmt.Errorf("gbooster: listen: %w", err)
+	}
+	// Peek the first datagram to learn the client address, then hand
+	// the socket to the reliable layer. The datagram itself is consumed
+	// by the rudp layer's retransmission.
+	buf := make([]byte, 2048)
+	if err := pc.SetReadDeadline(time.Now().Add(5 * time.Minute)); err != nil {
+		return fmt.Errorf("gbooster: deadline: %w", err)
+	}
+	_, peer, err := pc.ReadFrom(buf)
+	if err != nil {
+		_ = pc.Close()
+		return fmt.Errorf("gbooster: first packet: %w", err)
+	}
+	_ = pc.SetReadDeadline(time.Time{})
+	return s.ServeConn(pc, peer)
+}
+
+// Close tears the server's connection down.
+func (s *StreamServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.conn != nil {
+		return s.conn.Close()
+	}
+	return nil
+}
+
+// Player drives a catalog workload through the full GBooster client
+// path — linker hooks, wrapper library, wire serialization, caching,
+// compression, reliable UDP — against one or more StreamServers, and
+// hands back the displayed frames.
+type Player struct {
+	w, h   int
+	game   *workload.Game
+	client *core.Client
+	linker *hook.Linker
+	calls  map[string]hook.GLFunc
+}
+
+// NewPlayer builds a player for a catalog workload at w×h. The GL call
+// path is resolved through a simulated dynamic linker with the GBooster
+// wrapper preloaded, exactly as §IV-A installs it on Android.
+func NewPlayer(workloadID string, w, h int, seed uint64) (*Player, error) {
+	prof, err := workload.ByID(workloadID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, workloadID)
+	}
+	game := workload.NewGame(prof, seed)
+	client, err := core.NewClient(core.ClientConfig{Width: w, Height: h, Arrays: game.Arrays()})
+	if err != nil {
+		return nil, fmt.Errorf("gbooster: %w", err)
+	}
+	ln := hook.NewLinker()
+	if err := client.Install(ln, "libgbooster.so"); err != nil {
+		return nil, fmt.Errorf("gbooster: install hooks: %w", err)
+	}
+	return &Player{
+		w: w, h: h,
+		game:   game,
+		client: client,
+		linker: ln,
+		calls:  make(map[string]hook.GLFunc),
+	}, nil
+}
+
+// Connect attaches a service device at a UDP address.
+func (p *Player) Connect(addr string) error {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("gbooster: resolve %q: %w", addr, err)
+	}
+	pc, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		return fmt.Errorf("gbooster: local socket: %w", err)
+	}
+	conn := rudp.New(pc, raddr, rudp.DefaultOptions())
+	return p.client.AddService(addr, conn, 1000, 2*time.Millisecond)
+}
+
+// ConnectConn attaches a service device over an existing packet conn
+// (for in-memory links in tests and examples).
+func (p *Player) ConnectConn(name string, pc net.PacketConn, peer net.Addr, capability float64) error {
+	conn := rudp.New(pc, peer, rudp.DefaultOptions())
+	return p.client.AddService(name, conn, capability, 2*time.Millisecond)
+}
+
+// StepFrame generates the next game frame, pushes it through the hooked
+// GL path, and returns the next displayed frame as an image.
+func (p *Player) StepFrame(timeout time.Duration) (*image.RGBA, error) {
+	frame := p.game.NextFrame()
+	for _, cmd := range frame.Commands {
+		name := cmd.Op.String()
+		fn, ok := p.calls[name]
+		if !ok {
+			resolved, err := hook.ResolveGL(p.linker, hook.LinkDirect, name)
+			if err != nil {
+				return nil, fmt.Errorf("gbooster: resolve %s: %w", name, err)
+			}
+			fn = resolved
+			p.calls[name] = fn
+		}
+		fn(cmd)
+	}
+	if err := p.client.Err(); err != nil {
+		return nil, err
+	}
+	displayed, err := p.client.NextFrame(timeout)
+	if err != nil {
+		return nil, fmt.Errorf("gbooster: next frame: %w", err)
+	}
+	img := image.NewRGBA(image.Rect(0, 0, p.w, p.h))
+	copy(img.Pix, displayed.Pixels)
+	return img, nil
+}
+
+// Stats returns transport-level counters for the session.
+func (p *Player) Stats() (framesSent, framesShown, rawBytes, wireBytes int64) {
+	st := p.client.Stats()
+	return st.FramesSent, st.FramesDisplayed, st.RawBytes, st.WireBytes
+}
+
+// Close shuts the player down.
+func (p *Player) Close() error { return p.client.Close() }

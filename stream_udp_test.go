@@ -1,0 +1,54 @@
+package gbooster
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPlayerOverRealUDPLoopback(t *testing.T) {
+	// Probe loopback UDP availability first (sandboxes may deny it).
+	probe, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	addr := probe.LocalAddr().String()
+	_ = probe.Close()
+
+	const w, h = 96, 64
+	srv, err := NewStreamServer(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.ServeUDP(addr) }()
+	defer func() { _ = srv.Close() }()
+	time.Sleep(100 * time.Millisecond)
+
+	player, err := NewPlayer("G5", w, h, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = player.Close() }()
+	if err := player.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 8; f++ {
+		img, err := player.StepFrame(10 * time.Second)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if img.Bounds().Dx() != w || img.Bounds().Dy() != h {
+			t.Fatalf("bounds %v", img.Bounds())
+		}
+	}
+	sent, shown, _, wire := player.Stats()
+	if sent != 8 || shown != 8 || wire == 0 {
+		t.Fatalf("stats sent=%d shown=%d wire=%d", sent, shown, wire)
+	}
+	select {
+	case err := <-serverErr:
+		t.Fatalf("server exited early: %v", err)
+	default:
+	}
+}
