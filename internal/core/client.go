@@ -49,6 +49,17 @@ type ClientStats struct {
 	WireBytes       int64 // bytes actually sent
 	StateBytes      int64 // replication traffic to non-assigned servers
 	CacheHits       int64
+	// Transport holds one health snapshot per attached service
+	// connection, in attach order.
+	Transport []TransportHealth
+}
+
+// TransportHealth is one service connection's reliable-UDP snapshot:
+// the adaptive-RTO estimator state (SRTT/RTTVAR/RTO), resend counters,
+// and window occupancy, tagged with the service name.
+type TransportHealth struct {
+	Service string
+	rudp.Stats
 }
 
 // inflightReq tracks an outstanding rendering request for Eq. 4 queue
@@ -158,11 +169,24 @@ func (c *Client) Err() error {
 	return c.sinkErr
 }
 
-// Stats snapshots client counters.
+// Stats snapshots client counters, including per-service transport
+// health.
 func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	svcs := append([]*service(nil), c.services...)
+	c.mu.Unlock()
+	st.Transport = make([]TransportHealth, 0, len(svcs))
+	for _, s := range svcs {
+		st.Transport = append(st.Transport, TransportHealth{Service: s.name, Stats: s.conn.Stats()})
+	}
+	return st
+}
+
+// TransportStats returns the per-service transport health snapshots
+// alone, for callers polling link quality without the full counter set.
+func (c *Client) TransportStats() []TransportHealth {
+	return c.Stats().Transport
 }
 
 // consume intercepts one GL command.

@@ -129,3 +129,92 @@ func (c *ResponseCollector) Max() time.Duration { return c.max }
 
 // Count returns the number of samples.
 func (c *ResponseCollector) Count() int { return c.count }
+
+// TransportSample is one periodic snapshot of a reliable-UDP
+// connection's health: the smoothed RTT and current retransmission
+// timeout of its adaptive loss-recovery state machine, the fraction of
+// data transmissions that were retransmissions, and how full the send
+// window is (occupancy / limit, in [0,1]).
+type TransportSample struct {
+	SRTT       time.Duration
+	RTO        time.Duration
+	ResendRate float64
+	WindowUse  float64
+}
+
+// TransportCollector accumulates transport-health samples over a
+// session so FPS/latency regressions can be attributed to the network
+// (high RTO, resend storms, window saturation) rather than the render
+// path.
+type TransportCollector struct {
+	count        int
+	srttTotal    time.Duration
+	rtoTotal     time.Duration
+	maxRTO       time.Duration
+	maxResend    float64
+	resendLast   float64
+	windowTotal  float64
+	maxWindowUse float64
+}
+
+// Add records one health snapshot.
+func (c *TransportCollector) Add(s TransportSample) {
+	if s.SRTT < 0 || s.RTO < 0 || s.ResendRate < 0 || s.WindowUse < 0 {
+		return
+	}
+	c.count++
+	c.srttTotal += s.SRTT
+	c.rtoTotal += s.RTO
+	if s.RTO > c.maxRTO {
+		c.maxRTO = s.RTO
+	}
+	if s.ResendRate > c.maxResend {
+		c.maxResend = s.ResendRate
+	}
+	c.resendLast = s.ResendRate
+	c.windowTotal += s.WindowUse
+	if s.WindowUse > c.maxWindowUse {
+		c.maxWindowUse = s.WindowUse
+	}
+}
+
+// Count returns the number of samples.
+func (c *TransportCollector) Count() int { return c.count }
+
+// MeanSRTT returns the mean smoothed RTT across samples.
+func (c *TransportCollector) MeanSRTT() time.Duration {
+	if c.count == 0 {
+		return 0
+	}
+	return c.srttTotal / time.Duration(c.count)
+}
+
+// MeanRTO returns the mean retransmission timeout across samples.
+func (c *TransportCollector) MeanRTO() time.Duration {
+	if c.count == 0 {
+		return 0
+	}
+	return c.rtoTotal / time.Duration(c.count)
+}
+
+// MaxRTO returns the worst retransmission timeout observed — the
+// transport's deepest backoff during the session.
+func (c *TransportCollector) MaxRTO() time.Duration { return c.maxRTO }
+
+// MaxResendRate returns the worst cumulative resend rate observed.
+func (c *TransportCollector) MaxResendRate() float64 { return c.maxResend }
+
+// FinalResendRate returns the last sample's resend rate — since the
+// rate is cumulative, this is the whole session's overhead.
+func (c *TransportCollector) FinalResendRate() float64 { return c.resendLast }
+
+// MeanWindowUse returns the mean send-window occupancy fraction.
+func (c *TransportCollector) MeanWindowUse() float64 {
+	if c.count == 0 {
+		return 0
+	}
+	return c.windowTotal / float64(c.count)
+}
+
+// MaxWindowUse returns the peak send-window occupancy fraction.
+func (c *TransportCollector) MaxWindowUse() float64 { return c.maxWindowUse }

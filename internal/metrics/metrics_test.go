@@ -124,3 +124,38 @@ func TestResponseCollector(t *testing.T) {
 		t.Fatal("empty average should be 0")
 	}
 }
+
+func TestTransportCollector(t *testing.T) {
+	var c TransportCollector
+	c.Add(TransportSample{SRTT: 20 * time.Millisecond, RTO: 60 * time.Millisecond, ResendRate: 0.1, WindowUse: 0.5})
+	c.Add(TransportSample{SRTT: 40 * time.Millisecond, RTO: 120 * time.Millisecond, ResendRate: 0.05, WindowUse: 1.0})
+	c.Add(TransportSample{SRTT: -time.Millisecond}) // ignored
+	if c.Count() != 2 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	if got := c.MeanSRTT(); got != 30*time.Millisecond {
+		t.Fatalf("mean SRTT = %v", got)
+	}
+	if got := c.MeanRTO(); got != 90*time.Millisecond {
+		t.Fatalf("mean RTO = %v", got)
+	}
+	if got := c.MaxRTO(); got != 120*time.Millisecond {
+		t.Fatalf("max RTO = %v", got)
+	}
+	if got := c.MaxResendRate(); got != 0.1 {
+		t.Fatalf("max resend = %v", got)
+	}
+	if got := c.FinalResendRate(); got != 0.05 {
+		t.Fatalf("final resend = %v", got)
+	}
+	if got := c.MeanWindowUse(); got != 0.75 {
+		t.Fatalf("mean window use = %v", got)
+	}
+	if got := c.MaxWindowUse(); got != 1.0 {
+		t.Fatalf("max window use = %v", got)
+	}
+	var empty TransportCollector
+	if empty.MeanSRTT() != 0 || empty.MeanRTO() != 0 || empty.MeanWindowUse() != 0 {
+		t.Fatal("empty collector means should be 0")
+	}
+}

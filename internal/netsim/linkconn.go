@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// LinkConfig parameterizes a packet-level emulated path. Unlike Link
+// (an analytic latency model for the virtual-time experiments),
+// LinkConn really carries datagrams between two net.PacketConn
+// endpoints in wall-clock time, so the reliable-UDP transport can be
+// soak-tested against loss, delay, jitter, and queueing exactly as it
+// would run over a radio.
+type LinkConfig struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// JitterStd is the standard deviation of per-datagram delay noise
+	// (truncated so delivery never precedes the propagation delay).
+	JitterStd time.Duration
+	// Loss is the independent datagram loss probability per direction.
+	Loss float64
+	// Bandwidth caps each direction in bytes/second; zero means
+	// unlimited. Serialization time queues behind earlier datagrams.
+	Bandwidth float64
+	// MaxQueue bounds the serialization backlog: a datagram whose
+	// queueing delay would exceed it is tail-dropped, the way a router
+	// sheds an overflowing buffer. Zero defaults to 100 ms.
+	MaxQueue time.Duration
+}
+
+func (cfg LinkConfig) withDefaults() LinkConfig {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 100 * time.Millisecond
+	}
+	return cfg
+}
+
+// linkAddr names a LinkConn endpoint.
+type linkAddr string
+
+// Network names the emulated network.
+func (a linkAddr) Network() string { return "linksim" }
+
+// String renders the address.
+func (a linkAddr) String() string { return string(a) }
+
+var errLinkClosed = errors.New("netsim: link conn closed")
+
+type linkPacket struct {
+	data []byte
+	from net.Addr
+}
+
+// LinkConn is one endpoint of an emulated lossy/jittery/bandwidth-
+// limited path. It implements net.PacketConn with real elapsed time:
+// datagrams written here surface at the peer's ReadFrom after the
+// configured serialization + propagation + jitter delay, or never, if
+// the loss model or queue limit drops them.
+type LinkConn struct {
+	addr linkAddr
+	cfg  LinkConfig
+
+	mu        sync.Mutex
+	peer      *LinkConn
+	queue     chan linkPacket
+	closed    bool
+	deadline  time.Time
+	busyUntil time.Time // serialization backlog of the outgoing direction
+	rng       *sim.RNG
+
+	// Drops counts datagrams lost to the loss model; QueueDrops those
+	// tail-dropped by the bandwidth queue.
+	Drops      int64
+	QueueDrops int64
+}
+
+// NewLinkPair returns two connected emulated endpoints sharing cfg,
+// with independent loss/jitter randomness per direction derived from
+// seed.
+func NewLinkPair(cfg LinkConfig, seed uint64) (*LinkConn, *LinkConn) {
+	cfg = cfg.withDefaults()
+	rng := sim.NewRNG(seed)
+	a := &LinkConn{addr: "link-a", cfg: cfg, queue: make(chan linkPacket, 4096), rng: rng.Fork()}
+	b := &LinkConn{addr: "link-b", cfg: cfg, queue: make(chan linkPacket, 4096), rng: rng.Fork()}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// LocalAddr implements net.PacketConn.
+func (l *LinkConn) LocalAddr() net.Addr { return l.addr }
+
+// Addr returns the endpoint's address for use as a peer address.
+func (l *LinkConn) Addr() net.Addr { return l.addr }
+
+// WriteTo implements net.PacketConn, scheduling delayed delivery at the
+// peer. The write itself never blocks: the emulated queue absorbs (or
+// drops) the datagram immediately.
+func (l *LinkConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, errLinkClosed
+	}
+	peer := l.peer
+	if addr.String() != string(peer.addr) {
+		l.mu.Unlock()
+		return 0, errors.New("netsim: unknown link peer")
+	}
+	if l.cfg.Loss > 0 && l.rng.Bool(l.cfg.Loss) {
+		l.Drops++
+		l.mu.Unlock()
+		return len(p), nil // lost in flight
+	}
+	now := time.Now()
+	var txDelay time.Duration
+	if l.cfg.Bandwidth > 0 {
+		if l.busyUntil.Before(now) {
+			l.busyUntil = now
+		}
+		if l.busyUntil.Sub(now) > l.cfg.MaxQueue {
+			l.QueueDrops++
+			l.mu.Unlock()
+			return len(p), nil // queue overflow: tail drop
+		}
+		tx := time.Duration(float64(len(p)) / l.cfg.Bandwidth * float64(time.Second))
+		l.busyUntil = l.busyUntil.Add(tx)
+		txDelay = l.busyUntil.Sub(now)
+	}
+	delay := txDelay + l.cfg.Delay
+	if l.cfg.JitterStd > 0 {
+		j := time.Duration(l.rng.Norm(0, float64(l.cfg.JitterStd)))
+		if j > 0 {
+			delay += j
+		}
+	}
+	l.mu.Unlock()
+
+	pkt := linkPacket{data: append([]byte(nil), p...), from: l.addr}
+	if delay <= 0 {
+		peer.deliver(pkt)
+	} else {
+		time.AfterFunc(delay, func() { peer.deliver(pkt) })
+	}
+	return len(p), nil
+}
+
+// deliver enqueues a packet under the receiver's lock so a concurrent
+// Close cannot race the channel send. A full queue behaves like a
+// receive-buffer drop.
+func (l *LinkConn) deliver(pkt linkPacket) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	select {
+	case l.queue <- pkt:
+	default:
+		l.QueueDrops++
+	}
+}
+
+// ReadFrom implements net.PacketConn honoring the read deadline.
+func (l *LinkConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, nil, errLinkClosed
+	}
+	deadline := l.deadline
+	l.mu.Unlock()
+
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return 0, nil, &linkTimeoutError{}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case pkt, ok := <-l.queue:
+		if !ok {
+			return 0, nil, errLinkClosed
+		}
+		n := copy(p, pkt.data)
+		return n, pkt.from, nil
+	case <-timer:
+		return 0, nil, &linkTimeoutError{}
+	}
+}
+
+// Close implements net.PacketConn.
+func (l *LinkConn) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.queue)
+	}
+	return nil
+}
+
+// SetDeadline implements net.PacketConn (read side only; writes never
+// block).
+func (l *LinkConn) SetDeadline(t time.Time) error { return l.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (l *LinkConn) SetReadDeadline(t time.Time) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.deadline = t
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn (no-op: writes never
+// block).
+func (l *LinkConn) SetWriteDeadline(time.Time) error { return nil }
+
+// linkTimeoutError satisfies net.Error for deadline expiry.
+type linkTimeoutError struct{}
+
+func (*linkTimeoutError) Error() string   { return "netsim: i/o timeout" }
+func (*linkTimeoutError) Timeout() bool   { return true }
+func (*linkTimeoutError) Temporary() bool { return true }
+
+var _ net.PacketConn = (*LinkConn)(nil)
+var _ net.Error = (*linkTimeoutError)(nil)

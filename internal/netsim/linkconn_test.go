@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestLinkConnDeliversWithDelay(t *testing.T) {
+	a, b := NewLinkPair(LinkConfig{Delay: 20 * time.Millisecond}, 1)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if _, err := a.WriteTo([]byte("ping"), b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 16)
+	n, from, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "ping" || from.String() != a.Addr().String() {
+		t.Fatalf("got %q from %v", buf[:n], from)
+	}
+	if lat := time.Since(start); lat < 20*time.Millisecond {
+		t.Fatalf("delivered after %v, before the 20ms propagation delay", lat)
+	}
+}
+
+func TestLinkConnLoss(t *testing.T) {
+	a, b := NewLinkPair(LinkConfig{Loss: 1.0}, 2)
+	defer a.Close()
+	defer b.Close()
+	if _, err := a.WriteTo([]byte("x"), b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Drops != 1 {
+		t.Fatalf("Drops = %d", a.Drops)
+	}
+	_ = b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, _, err := b.ReadFrom(make([]byte, 4)); err == nil {
+		t.Fatal("dropped datagram was delivered")
+	}
+}
+
+func TestLinkConnBandwidthSerialization(t *testing.T) {
+	// 5 KB at 100 KB/s must take ≥50 ms to fully arrive.
+	a, b := NewLinkPair(LinkConfig{Bandwidth: 100 * 1024, MaxQueue: time.Second}, 3)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := a.WriteTo(make([]byte, 1024), b.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 2048)
+	for i := 0; i < 5; i++ {
+		if _, _, err := b.ReadFrom(buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if lat := time.Since(start); lat < 45*time.Millisecond {
+		t.Fatalf("5KB at 100KB/s arrived in %v; serialization not modeled", lat)
+	}
+}
+
+func TestLinkConnQueueTailDrop(t *testing.T) {
+	// A queue capped at 5 ms of 10 KB/s capacity holds ~50 bytes; a
+	// burst far beyond that must tail-drop.
+	a, b := NewLinkPair(LinkConfig{Bandwidth: 10 * 1024, MaxQueue: 5 * time.Millisecond}, 4)
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := a.WriteTo(make([]byte, 512), b.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.QueueDrops == 0 {
+		t.Fatal("burst past the queue bound produced no tail drops")
+	}
+}
+
+func TestLinkConnDeadlineAndClose(t *testing.T) {
+	a, b := NewLinkPair(LinkConfig{}, 5)
+	defer b.Close()
+	if err := a.SetReadDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := a.ReadFrom(make([]byte, 4))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("deadline error = %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteTo([]byte("x"), b.Addr()); !errors.Is(err, errLinkClosed) {
+		t.Fatalf("write after close = %v", err)
+	}
+	if _, _, err := a.ReadFrom(make([]byte, 4)); !errors.Is(err, errLinkClosed) {
+		t.Fatalf("read after close = %v", err)
+	}
+	// Close is idempotent, and a late scheduled delivery must not panic.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo([]byte("late"), a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+}

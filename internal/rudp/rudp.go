@@ -8,9 +8,47 @@
 // command batches and encoded frames fragment transparently across
 // datagrams.
 //
+// # Loss recovery
+//
+// Conn adapts its retransmission timeout to the path instead of firing
+// on a fixed timer. The machinery borrows the proven TCP mechanisms:
+//
+//   - RTT sampling (RFC 7323 flavor): every data datagram carries a
+//     microsecond send timestamp, and each ACK echoes the timestamp of
+//     the datagram that triggered it. A sample is therefore pinned to
+//     one specific transmission, stays unambiguous across
+//     retransmissions (subsuming Karn's rule), and excludes
+//     head-of-line blocking behind a loss. A Karn-filtered send-time
+//     fallback covers ACKs without an echo.
+//   - Estimator (RFC 6298): SRTT and RTTVAR follow the standard EWMA
+//     update (gains 1/8 and 1/4); RTO = SRTT + 4·RTTVAR, clamped to
+//     [MinRTO, MaxRTO].
+//   - A single retransmission timer (RFC 6298 §5) covers only the
+//     oldest outstanding datagram and restarts whenever an ACK
+//     acknowledges new data. On expiry just that datagram is resent
+//     and the timer backs off exponentially (capped at MaxRTO), so a
+//     dead path quiesces instead of storming and one lost datagram
+//     never triggers a whole-window resend.
+//   - Three duplicate cumulative ACKs trigger a fast retransmit of the
+//     datagram the receiver is stalled on (once per hole), recovering
+//     a single loss in roughly one RTT instead of a full RTO.
+//   - ACKs carry a 64-bit selective-acknowledgment bitmap of the
+//     out-of-order datagrams buffered beyond the cumulative ACK.
+//     SACKed data is never retransmitted, and any datagram passed by a
+//     SACKed later one for more than a smoothed RTT (a RACK-style
+//     reordering guard) is repaired immediately — every hole in the
+//     window recovers in one round trip rather than one hole per RTT.
+//   - During a recovery episode, partial cumulative ACKs (RFC 6582,
+//     NewReno) pinpoint the next hole, which is resent without waiting
+//     for another dup-ACK burst or timeout.
+//
+// Setting Options.FixedRTO reverts to the pre-adaptive transport — a
+// fixed per-datagram timer, no backoff, no fast retransmit, no SACK
+// processing — as the A/B baseline for the loss soak benchmarks.
+//
 // Conn runs over any net.PacketConn: real UDP sockets in the demo
-// binaries, or the in-memory lossy pair from this package in tests and
-// simulations.
+// binaries, the in-memory lossy pair from this package, or netsim's
+// delay/jitter/bandwidth link emulator in soak tests.
 package rudp
 
 import (
@@ -27,7 +65,11 @@ const (
 	magicByte  = 0xB7
 	typeData   = 1
 	typeAck    = 2
-	headerSize = 6 // magic, type, seq uint32
+	headerSize = 10 // magic, type, seq uint32, timestamp uint32
+
+	// dupAckThreshold is the number of duplicate cumulative ACKs that
+	// triggers a fast retransmit (TCP's classic threshold).
+	dupAckThreshold = 3
 )
 
 // Errors.
@@ -39,8 +81,17 @@ var (
 
 // Options tunes a Conn.
 type Options struct {
-	// RTO is the retransmission timeout.
+	// RTO is the initial retransmission timeout, used until the first
+	// RTT sample arrives (and permanently when FixedRTO is set).
 	RTO time.Duration
+	// MinRTO / MaxRTO clamp the adaptive timeout. MaxRTO also caps the
+	// exponential backoff.
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// FixedRTO disables RTT estimation, exponential backoff, and fast
+	// retransmit, retransmitting purely on the fixed RTO timer. It
+	// exists as the baseline for transport A/B tests.
+	FixedRTO bool
 	// MaxPayload bounds one datagram's payload.
 	MaxPayload int
 	// Window bounds unacknowledged datagrams in flight.
@@ -49,12 +100,15 @@ type Options struct {
 	MaxMessage int
 }
 
-// DefaultOptions returns production defaults: a 20 ms RTO (LAN-scale,
-// far below TCP's delayed-ACK floor the paper complains about), 1200-
-// byte payloads (under typical WiFi MTU), and a 256-datagram window.
+// DefaultOptions returns production defaults: a 20 ms initial RTO
+// (LAN-scale, far below TCP's delayed-ACK floor the paper complains
+// about) that adapts to the measured path, 1200-byte payloads (under
+// typical WiFi MTU), and a 256-datagram window.
 func DefaultOptions() Options {
 	return Options{
 		RTO:        20 * time.Millisecond,
+		MinRTO:     5 * time.Millisecond,
+		MaxRTO:     2 * time.Second,
 		MaxPayload: 1200,
 		Window:     256,
 		MaxMessage: 64 << 20,
@@ -65,6 +119,15 @@ func (o Options) withDefaults() Options {
 	d := DefaultOptions()
 	if o.RTO <= 0 {
 		o.RTO = d.RTO
+	}
+	if o.MinRTO <= 0 {
+		o.MinRTO = d.MinRTO
+	}
+	if o.MaxRTO <= 0 {
+		o.MaxRTO = d.MaxRTO
+	}
+	if o.MaxRTO < o.MinRTO {
+		o.MaxRTO = o.MinRTO
 	}
 	if o.MaxPayload <= 0 || o.MaxPayload > 60000 {
 		o.MaxPayload = d.MaxPayload
@@ -78,7 +141,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats counts transport activity.
+// Stats counts transport activity and snapshots loss-recovery health.
 type Stats struct {
 	DataSent   int64
 	DataResent int64
@@ -88,11 +151,45 @@ type Stats struct {
 	MsgsRecv   int64
 	Duplicates int64
 	OutOfOrder int64
+	// FastResent / TimeoutResent split DataResent by trigger.
+	FastResent    int64
+	TimeoutResent int64
+	// FramingErrors counts corrupt length prefixes that forced a stream
+	// resync on the receive side.
+	FramingErrors int64
+
+	// Gauges sampled at Stats() time.
+
+	// SRTT / RTTVar / RTO are the estimator's current state. SRTT is
+	// zero until the first RTT sample.
+	SRTT   time.Duration
+	RTTVar time.Duration
+	RTO    time.Duration
+	// WindowOccupancy is the number of datagrams currently in flight;
+	// WindowLimit the configured cap.
+	WindowOccupancy int
+	WindowLimit     int
 }
+
+// ResendRate is the fraction of data transmissions that were
+// retransmissions — the transport's loss-recovery overhead.
+func (s Stats) ResendRate() float64 {
+	total := s.DataSent + s.DataResent
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DataResent) / float64(total)
+}
+
+// seqBefore reports whether a precedes b in uint32 serial-number
+// arithmetic (RFC 1982), so comparisons survive sequence wraparound
+// after 2^32 datagrams.
+func seqBefore(a, b uint32) bool { return int32(a-b) < 0 }
 
 type pending struct {
 	payload  []byte
 	lastSent time.Time
+	rtx      int // retransmission count (Karn's rule + backoff exponent)
 }
 
 // Conn is one reliable, ordered message channel to a single peer.
@@ -101,14 +198,61 @@ type Conn struct {
 	peer net.Addr
 	opts Options
 
+	// sendMu serializes whole-message framing: fragments of one Send
+	// must occupy a contiguous run of the sequence space or the
+	// receiver's length-prefixed stream is corrupted.
+	sendMu sync.Mutex
+
 	mu       sync.Mutex
 	sendSeq  uint32
 	unacked  map[uint32]*pending
 	sendSlot *sync.Cond // signalled when window space frees
 
+	// RFC 6298 estimator state.
+	srtt    time.Duration
+	rttvar  time.Duration
+	rto     time.Duration
+	rttInit bool
+
+	// Fast-retransmit state: the last cumulative ACK seen, how many
+	// exact duplicates of it arrived while data was outstanding, and
+	// which hole was already fast-retransmitted (each hole is fast-
+	// retransmitted at most once; a re-loss falls back to the RTO).
+	lastAck      uint32
+	dupAcks      int
+	fastRtxSeq   uint32
+	fastRtxValid bool
+
+	// Single retransmission timer (RFC 6298 §5): it covers only the
+	// oldest outstanding datagram and restarts whenever an ACK
+	// acknowledges new data. Trailing in-flight datagrams — usually
+	// already buffered at the receiver — are never individually timed
+	// out, so one lost datagram can't trigger a whole-window resend.
+	// Zero means unarmed. rtxBackoff is the live backoff exponent,
+	// reset on ACK progress. (The FixedRTO baseline instead keeps the
+	// legacy per-datagram timers.)
+	timerDeadline time.Time
+	rtxBackoff    int
+
+	// NewReno-style recovery episode (RFC 6582): after any
+	// retransmission, recoverSeq remembers the highest sequence
+	// outstanding at that moment. Until the cumulative ACK passes it,
+	// each "partial ACK" — one that advances but leaves older data
+	// unacked — pinpoints the next hole, which is retransmitted
+	// immediately rather than after another RTO. Multiple losses in
+	// one window then repair at one hole per RTT.
+	recoverSeq   uint32
+	recoverValid bool
+
 	recvNext uint32
 	recvBuf  map[uint32][]byte
 	stream   []byte
+
+	// epoch anchors the 32-bit microsecond timestamps data packets
+	// carry; ACKs echo the timestamp of the datagram that triggered
+	// them, so RTT samples stay clean even when a cumulative ACK also
+	// covers datagrams that sat blocked behind a loss.
+	epoch time.Time
 
 	stats Stats
 
@@ -128,9 +272,11 @@ func New(pc net.PacketConn, peer net.Addr, opts Options) *Conn {
 		opts:    opts.withDefaults(),
 		unacked: make(map[uint32]*pending),
 		recvBuf: make(map[uint32][]byte),
+		epoch:   time.Now(),
 		msgs:    make(chan []byte, 256),
 		done:    make(chan struct{}),
 	}
+	c.rto = c.opts.RTO
 	c.sendSlot = sync.NewCond(&c.mu)
 	c.wg.Add(2)
 	go c.readLoop()
@@ -152,21 +298,38 @@ func (c *Conn) Close() error {
 	return c.closeErr
 }
 
-// Stats returns a snapshot of transport counters.
+// Stats returns a snapshot of transport counters and health gauges.
 func (c *Conn) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	st.SRTT = c.srtt
+	st.RTTVar = c.rttvar
+	st.RTO = c.currentRTOLocked()
+	st.WindowOccupancy = len(c.unacked)
+	st.WindowLimit = c.opts.Window
+	return st
+}
+
+// currentRTOLocked returns the effective base RTO. Caller holds mu.
+func (c *Conn) currentRTOLocked() time.Duration {
+	if c.opts.FixedRTO || !c.rttInit {
+		return c.opts.RTO
+	}
+	return c.rto
 }
 
 // Send frames msg (uvarint length prefix) and ships it reliably. It
-// blocks while the send window is full.
+// blocks while the send window is full. Concurrent Sends are safe: each
+// message's fragments occupy a contiguous sequence range.
 func (c *Conn) Send(msg []byte) error {
 	if len(msg) > c.opts.MaxMessage {
 		return fmt.Errorf("%w: %d bytes", ErrMsgTooLarge, len(msg))
 	}
 	framed := binary.AppendUvarint(nil, uint64(len(msg)))
 	framed = append(framed, msg...)
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
 	for off := 0; off < len(framed); off += c.opts.MaxPayload {
 		end := off + c.opts.MaxPayload
 		if end > len(framed) {
@@ -197,20 +360,36 @@ func (c *Conn) sendDatagram(payload []byte) error {
 	}
 	seq := c.sendSeq
 	c.sendSeq++
-	p := &pending{payload: append([]byte(nil), payload...), lastSent: time.Now()}
+	now := time.Now()
+	p := &pending{payload: append([]byte(nil), payload...), lastSent: now}
 	c.unacked[seq] = p
+	if c.timerDeadline.IsZero() {
+		c.timerDeadline = now.Add(c.backoffRTOLocked(c.rtxBackoff))
+	}
+	c.mu.Unlock()
+
+	if err := c.writePacket(typeData, seq, c.nowTS(), payload); err != nil {
+		return err
+	}
+	c.mu.Lock()
 	c.stats.DataSent++
 	c.stats.BytesSent += int64(headerSize + len(payload))
 	c.mu.Unlock()
-
-	return c.writePacket(typeData, seq, payload)
+	return nil
 }
 
-func (c *Conn) writePacket(ptype byte, seq uint32, payload []byte) error {
+// nowTS returns the connection's 32-bit microsecond clock. Wraparound
+// (~71 min) is harmless: samples are uint32 differences.
+func (c *Conn) nowTS() uint32 {
+	return uint32(time.Since(c.epoch) / time.Microsecond)
+}
+
+func (c *Conn) writePacket(ptype byte, seq, ts uint32, payload []byte) error {
 	buf := make([]byte, headerSize+len(payload))
 	buf[0] = magicByte
 	buf[1] = ptype
 	binary.BigEndian.PutUint32(buf[2:6], seq)
+	binary.BigEndian.PutUint32(buf[6:10], ts)
 	copy(buf[headerSize:], payload)
 	_, err := c.pc.WriteTo(buf, c.peer)
 	if err != nil && !c.isClosed() {
@@ -229,7 +408,8 @@ func (c *Conn) isClosed() bool {
 }
 
 // Recv returns the next complete message, blocking up to timeout
-// (zero means block until close).
+// (zero means block until close). After Close, queued messages drain
+// before ErrClosed is reported.
 func (c *Conn) Recv(timeout time.Duration) ([]byte, error) {
 	var timer <-chan time.Time
 	if timeout > 0 {
@@ -237,21 +417,18 @@ func (c *Conn) Recv(timeout time.Duration) ([]byte, error) {
 		defer t.Stop()
 		timer = t.C
 	}
+	// c.msgs is never closed: delivery goroutines park on c.done
+	// instead, so a buffered message is always a valid message.
 	select {
-	case msg, ok := <-c.msgs:
-		if !ok {
-			return nil, ErrClosed
-		}
+	case msg := <-c.msgs:
 		return msg, nil
 	case <-timer:
 		return nil, ErrTimeout
 	case <-c.done:
 		// Drain anything already queued before reporting closure.
 		select {
-		case msg, ok := <-c.msgs:
-			if ok {
-				return msg, nil
-			}
+		case msg := <-c.msgs:
+			return msg, nil
 		default:
 		}
 		return nil, ErrClosed
@@ -270,25 +447,36 @@ func (c *Conn) readLoop() {
 			}
 			return // closed or fatal
 		}
-		if n < headerSize || buf[0] != magicByte {
-			continue
-		}
-		ptype := buf[1]
-		seq := binary.BigEndian.Uint32(buf[2:6])
-		payload := buf[headerSize:n]
-		switch ptype {
-		case typeData:
-			c.handleData(seq, payload)
-		case typeAck:
-			c.handleAck(seq)
-		}
+		c.Inject(buf[:n])
 	}
 }
 
-func (c *Conn) handleData(seq uint32, payload []byte) {
+// Inject processes one raw datagram as if it had arrived on the socket.
+// It lets an accept path that had to peek the first datagram (to learn
+// the peer address) hand that datagram to the connection instead of
+// dropping it and forcing the peer into an immediate retransmit.
+func (c *Conn) Inject(pkt []byte) {
+	if len(pkt) < headerSize || pkt[0] != magicByte {
+		return
+	}
+	seq := binary.BigEndian.Uint32(pkt[2:6])
+	ts := binary.BigEndian.Uint32(pkt[6:10])
+	switch pkt[1] {
+	case typeData:
+		c.handleData(seq, ts, pkt[headerSize:])
+	case typeAck:
+		var sack uint64
+		if len(pkt) >= headerSize+8 {
+			sack = binary.BigEndian.Uint64(pkt[headerSize:])
+		}
+		c.handleAck(seq, ts, sack)
+	}
+}
+
+func (c *Conn) handleData(seq, ts uint32, payload []byte) {
 	c.mu.Lock()
 	switch {
-	case seq < c.recvNext:
+	case seqBefore(seq, c.recvNext):
 		c.stats.Duplicates++
 	case seq == c.recvNext:
 		c.stream = append(c.stream, payload...)
@@ -311,11 +499,31 @@ func (c *Conn) handleData(seq uint32, payload []byte) {
 		}
 	}
 	ackSeq := c.recvNext // cumulative: everything below is delivered
-	c.stats.AcksSent++
+	// SACK bitmap: bit i set means datagram ackSeq+1+i is held in the
+	// out-of-order buffer. The sender uses it to skip retransmitting
+	// data the receiver already has and to repair every hole in the
+	// window at once instead of one per round trip.
+	var sack uint64
+	for i := uint32(0); i < 64; i++ {
+		if _, ok := c.recvBuf[ackSeq+1+i]; ok {
+			sack |= 1 << i
+		}
+	}
 	msgs := c.extractMessagesLocked()
 	c.mu.Unlock()
 
-	_ = c.writePacket(typeAck, ackSeq, nil)
+	var sackPayload []byte
+	if sack != 0 {
+		sackPayload = make([]byte, 8)
+		binary.BigEndian.PutUint64(sackPayload, sack)
+	}
+	// The ACK echoes the triggering datagram's timestamp so the sender
+	// can take an unambiguous RTT sample (retransmitted or not).
+	if c.writePacket(typeAck, ackSeq, ts, sackPayload) == nil {
+		c.mu.Lock()
+		c.stats.AcksSent++
+		c.mu.Unlock()
+	}
 	for _, m := range msgs {
 		select {
 		case c.msgs <- m:
@@ -326,19 +534,26 @@ func (c *Conn) handleData(seq uint32, payload []byte) {
 }
 
 // extractMessagesLocked parses complete length-prefixed messages from
-// the assembled stream. Caller holds mu.
+// the assembled stream. On a corrupt prefix (overlong varint or a
+// length beyond MaxMessage) it drops the buffered stream to resync
+// rather than allocate unboundedly. Caller holds mu.
 func (c *Conn) extractMessagesLocked() [][]byte {
 	var out [][]byte
 	for {
 		msgLen, n := binary.Uvarint(c.stream)
-		if n <= 0 || uint64(len(c.stream)-n) < msgLen {
+		if n == 0 {
+			break // need more bytes for the prefix itself
+		}
+		if n < 0 || msgLen > uint64(c.opts.MaxMessage) {
+			// Corrupt framing. Checked before the completeness test so a
+			// poisoned prefix can't make the stream grow toward a bogus
+			// multi-gigabyte length.
+			c.stream = nil
+			c.stats.FramingErrors++
 			break
 		}
-		if msgLen > uint64(c.opts.MaxMessage) {
-			// Corrupt framing: drop the stream to resync rather than
-			// allocate unboundedly.
-			c.stream = nil
-			break
+		if uint64(len(c.stream)-n) < msgLen {
+			break // message body still in flight
 		}
 		msg := append([]byte(nil), c.stream[n:n+int(msgLen)]...)
 		c.stream = c.stream[n+int(msgLen):]
@@ -348,24 +563,220 @@ func (c *Conn) extractMessagesLocked() [][]byte {
 	return out
 }
 
-func (c *Conn) handleAck(ackSeq uint32) {
+func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
+	now := time.Now()
+	type resend struct {
+		seq     uint32
+		payload []byte
+	}
+	var resends []resend
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	freed := false
-	for seq := range c.unacked {
-		if seq < ackSeq {
-			delete(c.unacked, seq)
-			freed = true
+	advanced := false
+	var sample time.Duration
+	var sampleSeq uint32
+	haveSample := false
+	for seq, p := range c.unacked {
+		if !seqBefore(seq, ackSeq) {
+			continue
+		}
+		// Karn-filtered fallback sample: only never-retransmitted
+		// datagrams are unambiguous; take the newest one covered.
+		if p.rtx == 0 && (!haveSample || seqBefore(sampleSeq, seq)) {
+			sample = now.Sub(p.lastSent)
+			sampleSeq = seq
+			haveSample = true
+		}
+		delete(c.unacked, seq)
+		advanced = true
+	}
+	// Selective acknowledgments: drop SACKed datagrams from the
+	// retransmission scoreboard — the receiver holds them buffered, so
+	// resending is pure waste — and remember the highest one, which
+	// bounds the region where holes can be declared lost.
+	var sackTop uint32
+	haveSack := false
+	freedBySack := false
+	for i := uint32(0); i < 64; i++ {
+		if sack&(1<<i) == 0 {
+			continue
+		}
+		s := ackSeq + 1 + i
+		if _, ok := c.unacked[s]; ok {
+			delete(c.unacked, s)
+			freedBySack = true
+		}
+		sackTop = s
+		haveSack = true
+	}
+	if haveSack && !c.opts.FixedRTO {
+		// RACK-style repair: anything still unacked below the highest
+		// SACKed datagram was passed by later data. If it has also been
+		// outstanding for about an RTT (guarding against plain
+		// reordering), declare it lost and resend every such hole now —
+		// the whole window repairs in one round trip instead of one
+		// hole per RTT.
+		guard := c.lossGuardLocked()
+		for seq, p := range c.unacked {
+			if seqBefore(seq, sackTop) && now.Sub(p.lastSent) >= guard {
+				p.lastSent = now
+				p.rtx++
+				resends = append(resends, resend{seq: seq, payload: p.payload})
+			}
+		}
+		if len(resends) > 0 {
+			c.timerDeadline = now.Add(c.backoffRTOLocked(c.rtxBackoff))
+			c.recoverSeq = c.sendSeq
+			c.recoverValid = true
 		}
 	}
-	if freed {
+	if freedBySack {
 		c.sendSlot.Broadcast()
 	}
+	switch {
+	case advanced:
+		if !c.opts.FixedRTO {
+			// Prefer the echoed timestamp: it names the exact datagram
+			// copy that triggered this ACK, so the sample excludes
+			// head-of-line blocking behind a loss and stays valid even
+			// for retransmissions (subsuming Karn's rule). The raw
+			// send-time fallback covers a zero echo.
+			if us := c.nowTS() - echo; echo != 0 && us < 1<<31 {
+				c.updateRTTLocked(time.Duration(us) * time.Microsecond)
+			} else if haveSample {
+				c.updateRTTLocked(sample)
+			}
+		}
+		c.lastAck = ackSeq
+		c.dupAcks = 0
+		c.rtxBackoff = 0
+		if len(c.unacked) == 0 {
+			c.timerDeadline = time.Time{}
+			c.recoverValid = false
+		} else {
+			c.timerDeadline = now.Add(c.backoffRTOLocked(0))
+			if c.recoverValid && !c.opts.FixedRTO {
+				if !seqBefore(ackSeq, c.recoverSeq) {
+					// The episode's last outstanding datagram is acked;
+					// recovery is over.
+					c.recoverValid = false
+				} else if p, ok := c.unacked[ackSeq]; ok && now.Sub(p.lastSent) >= c.lossGuardLocked()/2 {
+					// Partial ACK: the receiver is now stalled on the
+					// next hole, and that datagram predates the episode
+					// — over an RTT old and almost certainly lost. (The
+					// time guard avoids double-sending a hole the SACK
+					// repair above just covered.)
+					p.lastSent = now
+					p.rtx++
+					resends = append(resends, resend{seq: ackSeq, payload: p.payload})
+					c.timerDeadline = now.Add(c.backoffRTOLocked(0))
+				}
+			}
+		}
+		c.sendSlot.Broadcast()
+	case ackSeq == c.lastAck && len(c.unacked) > 0 && !c.opts.FixedRTO:
+		c.dupAcks++
+		if c.dupAcks >= dupAckThreshold && (!c.fastRtxValid || c.fastRtxSeq != ackSeq) {
+			c.dupAcks = 0
+			c.fastRtxSeq = ackSeq
+			c.fastRtxValid = true
+			// The receiver is stalled on exactly ackSeq; resend it now
+			// instead of waiting out the RTO.
+			if p, ok := c.unacked[ackSeq]; ok && now.Sub(p.lastSent) >= c.lossGuardLocked()/2 {
+				p.lastSent = now
+				p.rtx++
+				resends = append(resends, resend{seq: ackSeq, payload: p.payload})
+				// Push the RTO timer out so it doesn't immediately
+				// re-retransmit the datagram we just resent, and open
+				// a recovery episode covering everything in flight.
+				c.timerDeadline = now.Add(c.backoffRTOLocked(c.rtxBackoff))
+				c.recoverSeq = c.sendSeq
+				c.recoverValid = true
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	var okCount, okBytes int64
+	for _, r := range resends {
+		if c.writePacket(typeData, r.seq, c.nowTS(), r.payload) == nil {
+			okCount++
+			okBytes += int64(headerSize + len(r.payload))
+		}
+	}
+	if okCount > 0 {
+		c.mu.Lock()
+		c.stats.DataResent += okCount
+		c.stats.FastResent += okCount
+		c.stats.BytesSent += okBytes
+		c.mu.Unlock()
+	}
+}
+
+// lossGuardLocked is the RACK-style reordering guard: a datagram
+// passed by a SACKed later datagram is declared lost only once it has
+// been outstanding for roughly a smoothed RTT plus jitter headroom,
+// so plain reordering doesn't trigger spurious repair. Caller holds mu.
+func (c *Conn) lossGuardLocked() time.Duration {
+	g := c.srtt + 2*c.rttvar
+	if g <= 0 {
+		g = c.currentRTOLocked() / 2
+	}
+	return g
+}
+
+// updateRTTLocked feeds one RTT sample into the RFC 6298 estimator.
+// Caller holds mu.
+func (c *Conn) updateRTTLocked(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if !c.rttInit {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		c.rttInit = true
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.opts.MinRTO {
+		rto = c.opts.MinRTO
+	}
+	if rto > c.opts.MaxRTO {
+		rto = c.opts.MaxRTO
+	}
+	c.rto = rto
+}
+
+// backoffRTOLocked returns the retransmission deadline interval for a
+// datagram already retransmitted rtx times. Caller holds mu.
+func (c *Conn) backoffRTOLocked(rtx int) time.Duration {
+	rto := c.currentRTOLocked()
+	if c.opts.FixedRTO {
+		return rto // the legacy baseline never backs off
+	}
+	for i := 0; i < rtx && rto < c.opts.MaxRTO; i++ {
+		rto *= 2
+	}
+	if rto > c.opts.MaxRTO {
+		rto = c.opts.MaxRTO
+	}
+	return rto
 }
 
 func (c *Conn) retransmitLoop() {
 	defer c.wg.Done()
-	interval := c.opts.RTO / 4
+	// The tick only bounds how promptly an expiry is noticed; each
+	// datagram's own deadline decides whether it is resent.
+	interval := c.opts.MinRTO / 4
+	if c.opts.FixedRTO {
+		interval = c.opts.RTO / 4
+	}
 	if interval < time.Millisecond {
 		interval = time.Millisecond
 	}
@@ -377,25 +788,87 @@ func (c *Conn) retransmitLoop() {
 			return
 		case <-ticker.C:
 		}
-		now := time.Now()
-		type resend struct {
-			seq     uint32
-			payload []byte
+		if c.opts.FixedRTO {
+			c.retransmitDueFixed()
+			continue
 		}
-		var due []resend
+		c.retransmitOldestExpired()
+	}
+}
+
+// retransmitDueFixed is the legacy per-datagram timer: every unacked
+// datagram whose fixed RTO has elapsed is resent. Kept as the
+// FixedRTO baseline the adaptive transport is measured against.
+func (c *Conn) retransmitDueFixed() {
+	now := time.Now()
+	type resend struct {
+		seq     uint32
+		payload []byte
+	}
+	var due []resend
+	c.mu.Lock()
+	for seq, p := range c.unacked {
+		if now.Sub(p.lastSent) >= c.backoffRTOLocked(p.rtx) {
+			p.lastSent = now
+			p.rtx++
+			due = append(due, resend{seq: seq, payload: p.payload})
+		}
+	}
+	c.mu.Unlock()
+	var okCount, okBytes int64
+	for _, r := range due {
+		if c.writePacket(typeData, r.seq, c.nowTS(), r.payload) == nil {
+			okCount++
+			okBytes += int64(headerSize + len(r.payload))
+		}
+	}
+	if okCount > 0 {
 		c.mu.Lock()
-		for seq, p := range c.unacked {
-			if now.Sub(p.lastSent) >= c.opts.RTO {
-				p.lastSent = now
-				c.stats.DataResent++
-				c.stats.BytesSent += int64(headerSize + len(p.payload))
-				due = append(due, resend{seq: seq, payload: p.payload})
-			}
-		}
+		c.stats.DataResent += okCount
+		c.stats.TimeoutResent += okCount
+		c.stats.BytesSent += okBytes
 		c.mu.Unlock()
-		for _, r := range due {
-			_ = c.writePacket(typeData, r.seq, r.payload)
+	}
+}
+
+// retransmitOldestExpired implements the RFC 6298 §5 single-timer
+// discipline: on expiry, resend only the oldest outstanding datagram,
+// back the timer off exponentially, and rearm. Trailing in-flight
+// datagrams are left alone — with cumulative ACKs they are almost
+// always already buffered at the receiver, and resending them is what
+// made per-datagram timers collapse into whole-window resend storms.
+func (c *Conn) retransmitOldestExpired() {
+	now := time.Now()
+	c.mu.Lock()
+	if c.timerDeadline.IsZero() || now.Before(c.timerDeadline) || len(c.unacked) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	var oldest uint32
+	first := true
+	for seq := range c.unacked {
+		if first || seqBefore(seq, oldest) {
+			oldest = seq
+			first = false
 		}
+	}
+	p := c.unacked[oldest]
+	p.lastSent = now
+	p.rtx++
+	if c.rtxBackoff < 16 {
+		c.rtxBackoff++
+	}
+	c.timerDeadline = now.Add(c.backoffRTOLocked(c.rtxBackoff))
+	c.recoverSeq = c.sendSeq
+	c.recoverValid = true
+	payload := p.payload
+	c.mu.Unlock()
+	if c.writePacket(typeData, oldest, c.nowTS(), payload) == nil {
+		c.mu.Lock()
+		c.stats.DataResent++
+		c.stats.TimeoutResent++
+		c.stats.BytesSent += int64(headerSize + len(payload))
+		c.mu.Unlock()
 	}
 }
 

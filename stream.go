@@ -36,10 +36,20 @@ func NewStreamServer(w, h int) (*StreamServer, error) {
 // ServeConn serves one client over pc, treating peer as the client's
 // address. It blocks until the connection closes.
 func (s *StreamServer) ServeConn(pc net.PacketConn, peer net.Addr) error {
+	return s.serveConn(pc, peer, nil)
+}
+
+// serveConn runs the session; firstDatagram, if non-nil, is a datagram
+// the accept path already read off the socket and is injected into the
+// reliable layer so it isn't lost.
+func (s *StreamServer) serveConn(pc net.PacketConn, peer net.Addr, firstDatagram []byte) error {
 	conn := rudp.New(pc, peer, rudp.DefaultOptions())
 	s.mu.Lock()
 	s.conn = conn
 	s.mu.Unlock()
+	if firstDatagram != nil {
+		conn.Inject(firstDatagram)
+	}
 	err := s.srv.Serve(conn)
 	_ = conn.Close()
 	return err
@@ -54,19 +64,32 @@ func (s *StreamServer) ServeUDP(addr string) error {
 		return fmt.Errorf("gbooster: listen: %w", err)
 	}
 	// Peek the first datagram to learn the client address, then hand
-	// the socket to the reliable layer. The datagram itself is consumed
-	// by the rudp layer's retransmission.
-	buf := make([]byte, 2048)
+	// both the socket and the datagram to the reliable layer — dropping
+	// it would open every session with a guaranteed retransmit and a
+	// duplicate delivery.
+	buf := make([]byte, 65536)
 	if err := pc.SetReadDeadline(time.Now().Add(5 * time.Minute)); err != nil {
 		return fmt.Errorf("gbooster: deadline: %w", err)
 	}
-	_, peer, err := pc.ReadFrom(buf)
+	n, peer, err := pc.ReadFrom(buf)
 	if err != nil {
 		_ = pc.Close()
 		return fmt.Errorf("gbooster: first packet: %w", err)
 	}
 	_ = pc.SetReadDeadline(time.Time{})
-	return s.ServeConn(pc, peer)
+	return s.serveConn(pc, peer, buf[:n])
+}
+
+// TransportStats returns the server-side transport health snapshot of
+// the current session. ok is false before a client has connected.
+func (s *StreamServer) TransportStats() (stats rudp.Stats, ok bool) {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
+		return rudp.Stats{}, false
+	}
+	return conn.Stats(), true
 }
 
 // Close tears the server's connection down.
@@ -172,6 +195,45 @@ func (p *Player) StepFrame(timeout time.Duration) (*image.RGBA, error) {
 func (p *Player) Stats() (framesSent, framesShown, rawBytes, wireBytes int64) {
 	st := p.client.Stats()
 	return st.FramesSent, st.FramesDisplayed, st.RawBytes, st.WireBytes
+}
+
+// TransportHealth is one service connection's loss-recovery snapshot:
+// the adaptive estimator's SRTT and current RTO, the fraction of data
+// transmissions that were retransmissions, and send-window occupancy.
+type TransportHealth struct {
+	Service         string
+	SRTT            time.Duration
+	RTTVar          time.Duration
+	RTO             time.Duration
+	ResendRate      float64
+	WindowOccupancy int
+	WindowLimit     int
+	DataSent        int64
+	DataResent      int64
+	FastResent      int64
+	TimeoutResent   int64
+}
+
+// TransportStats returns per-service transport health, in the order
+// services were attached.
+func (p *Player) TransportStats() []TransportHealth {
+	var out []TransportHealth
+	for _, th := range p.client.TransportStats() {
+		out = append(out, TransportHealth{
+			Service:         th.Service,
+			SRTT:            th.SRTT,
+			RTTVar:          th.RTTVar,
+			RTO:             th.RTO,
+			ResendRate:      th.ResendRate(),
+			WindowOccupancy: th.WindowOccupancy,
+			WindowLimit:     th.WindowLimit,
+			DataSent:        th.DataSent,
+			DataResent:      th.DataResent,
+			FastResent:      th.FastResent,
+			TimeoutResent:   th.TimeoutResent,
+		})
+	}
+	return out
 }
 
 // Close shuts the player down.

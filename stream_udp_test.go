@@ -46,6 +46,24 @@ func TestPlayerOverRealUDPLoopback(t *testing.T) {
 	if sent != 8 || shown != 8 || wire == 0 {
 		t.Fatalf("stats sent=%d shown=%d wire=%d", sent, shown, wire)
 	}
+	th := player.TransportStats()
+	if len(th) != 1 {
+		t.Fatalf("transport health entries = %d, want 1", len(th))
+	}
+	if th[0].DataSent == 0 || th[0].WindowLimit == 0 {
+		t.Fatalf("transport health not populated: %+v", th[0])
+	}
+	// Loopback is lossless: the adaptive estimator must have locked on
+	// and nothing should have needed a retransmission.
+	if th[0].SRTT <= 0 || th[0].RTO <= 0 {
+		t.Fatalf("estimator produced no sample: %+v", th[0])
+	}
+	if th[0].ResendRate != 0 {
+		t.Fatalf("lossless loopback resent data: %+v", th[0])
+	}
+	if st, ok := srv.TransportStats(); !ok || st.DataSent == 0 {
+		t.Fatalf("server transport stats = %+v ok=%v", st, ok)
+	}
 	select {
 	case err := <-serverErr:
 		t.Fatalf("server exited early: %v", err)
