@@ -68,6 +68,15 @@ func run(servers, workloadID string, frames, width, height int, seed uint64, png
 	fmt.Printf("uplink raw %0.1f KB/frame -> wire %0.1f KB/frame (%.0f%% reduction)\n",
 		float64(raw)/float64(frames)/1024, float64(wire)/float64(frames)/1024,
 		(1-float64(wire)/float64(raw))*100)
+	if fs := player.FailoverStats(); fs.ReDispatched+fs.Evictions+fs.Readmissions+fs.FramesSkipped+fs.LateFrames > 0 {
+		fmt.Printf("failover: re-dispatched=%d evicted=%d readmitted=%d skipped=%d late=%d\n",
+			fs.ReDispatched, fs.Evictions, fs.Readmissions, fs.FramesSkipped, fs.LateFrames)
+	}
+	for _, ds := range player.DeviceStates() {
+		if ds.Health != "healthy" {
+			fmt.Printf("device %s: %s\n", ds.Service, ds.Health)
+		}
+	}
 
 	if pngPath != "" && last != nil {
 		f, err := os.Create(pngPath)

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,11 +28,48 @@ type ClientConfig struct {
 	Arrays glwire.ClientArrays
 	// CacheBytes bounds each per-server command cache.
 	CacheBytes int
+
+	// Failover tuning (zero values take the defaults below). A device
+	// whose head-of-line request stops making progress — no result
+	// within a deadline derived from its transport SRTT/RTO and its
+	// observed per-frame service time — is struck, its orphaned frames
+	// re-dispatched to a healthy replica; a frame lost on every device
+	// is gap-skipped so the display never wedges on a dead device.
+
+	// FailoverInterval is the overdue-scan period (default 25ms).
+	FailoverInterval time.Duration
+	// FailoverMinWait floors the progress deadline (default 200ms) so
+	// a cold transport estimator cannot trigger spurious failovers.
+	FailoverMinWait time.Duration
+	// FailoverMaxWait caps the client's patience per head-of-line
+	// result (default 3s). It is also the full deadline for a device
+	// that has never produced a result — there is no service-time
+	// observation to scale from. Devices legitimately slower than this
+	// per frame need a larger value.
+	FailoverMaxWait time.Duration
+	// FailoverAttempts bounds total dispatch attempts per frame,
+	// including the first (default 3).
+	FailoverAttempts int
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
 	if c.Quality <= 0 {
 		c.Quality = turbo.DefaultQuality
+	}
+	if c.FailoverInterval <= 0 {
+		c.FailoverInterval = 25 * time.Millisecond
+	}
+	if c.FailoverMinWait <= 0 {
+		c.FailoverMinWait = 200 * time.Millisecond
+	}
+	if c.FailoverMaxWait <= 0 {
+		c.FailoverMaxWait = 3 * time.Second
+	}
+	if c.FailoverMaxWait < c.FailoverMinWait {
+		c.FailoverMaxWait = c.FailoverMinWait
+	}
+	if c.FailoverAttempts <= 0 {
+		c.FailoverAttempts = 3
 	}
 	return c
 }
@@ -49,6 +88,29 @@ type ClientStats struct {
 	WireBytes       int64 // bytes actually sent
 	StateBytes      int64 // replication traffic to non-assigned servers
 	CacheHits       int64
+
+	// Failover counters (§VI-C fault tolerance).
+
+	// ReDispatched counts frame batches re-sent to a replacement
+	// device after the assigned one missed its deadline.
+	ReDispatched int64
+	// FramesSkipped counts frames abandoned on every device and
+	// gap-skipped so the display could advance.
+	FramesSkipped int64
+	// LateFrames counts results that arrived after their seq was
+	// released or already buffered (duplicates from re-dispatch or a
+	// slow-but-alive device).
+	LateFrames int64
+	// Evictions / Readmissions mirror the dispatch health state
+	// machine's transitions.
+	Evictions    int64
+	Readmissions int64
+	// RecvBadMsgs counts undecodable messages dropped by the receive
+	// loop; RecvUnexpected counts well-formed messages of a type the
+	// client does not handle.
+	RecvBadMsgs    int64
+	RecvUnexpected int64
+
 	// Transport holds one health snapshot per attached service
 	// connection, in attach order.
 	Transport []TransportHealth
@@ -62,11 +124,18 @@ type TransportHealth struct {
 	rudp.Stats
 }
 
-// inflightReq tracks an outstanding rendering request for Eq. 4 queue
-// accounting.
+// inflightReq tracks an outstanding rendering request: Eq. 4 queue
+// accounting plus everything the failover path needs to re-dispatch it
+// — the raw records (re-encoded through the replacement device's
+// mirrored cache), the send time its deadline is measured from, and
+// the devices that already failed it.
 type inflightReq struct {
 	svc      *service
 	workload float64
+	recs     [][]byte
+	sentAt   time.Time
+	attempts int
+	tried    map[string]bool // device IDs that already failed this frame
 }
 
 // service is one connected service device.
@@ -76,6 +145,13 @@ type service struct {
 	cache *cmdcache.Cache
 	dec   *turbo.Decoder
 	dev   *dispatch.Device
+
+	// Failure-detector state (guarded by Client.mu). A server works
+	// its queue serially, so the client watches per-device progress,
+	// not per-request wall time: lastReply marks the most recent
+	// result, svcEWMA smooths the observed head-of-line service time.
+	lastReply time.Time
+	svcEWMA   time.Duration
 }
 
 // Client is the wrapper-side runtime installed behind the hooked GL
@@ -91,7 +167,7 @@ type Client struct {
 	sched     *dispatch.Scheduler
 	seq       uint64
 	frameRecs [][]byte
-	inflight  map[uint64]inflightReq
+	inflight  map[uint64]*inflightReq
 	reorder   *dispatch.Reorder[Frame]
 	stats     ClientStats
 	sinkErr   error
@@ -109,14 +185,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		return nil, fmt.Errorf("%w: resolution %dx%d", ErrBadMessage, cfg.Width, cfg.Height)
 	}
-	return &Client{
+	c := &Client{
 		cfg:      cfg,
 		enc:      glwire.NewEncoder(cfg.Arrays),
-		inflight: make(map[uint64]inflightReq),
+		inflight: make(map[uint64]*inflightReq),
 		reorder:  dispatch.NewReorder[Frame](0, 256),
 		frames:   make(chan Frame, 64),
 		done:     make(chan struct{}),
-	}, nil
+	}
+	c.wg.Add(1)
+	go c.failoverLoop()
+	return c, nil
 }
 
 // AddService attaches a connected service device. capability is Eq. 4's
@@ -135,18 +214,40 @@ func (c *Client) AddService(name string, conn *rudp.Conn, capability float64, rt
 		dec:   turbo.NewDecoder(c.cfg.Width, c.cfg.Height, c.cfg.Quality),
 		dev:   dev,
 	}
-	c.services = append(c.services, svc)
-	devs := make([]*dispatch.Device, 0, len(c.services))
-	for _, s := range c.services {
-		devs = append(devs, s.dev)
-	}
-	c.sched, err = dispatch.NewScheduler(devs...)
-	if err != nil {
+	// Grow the live scheduler rather than rebuilding it: a rebuild
+	// would silently zero the accumulated Assigned/PerDevice/TotalWork
+	// stats (and the health state) of the existing devices.
+	if c.sched == nil {
+		c.sched, err = dispatch.NewScheduler(dev)
+		if err != nil {
+			return fmt.Errorf("core: scheduler: %w", err)
+		}
+	} else if err := c.sched.AddDevice(dev); err != nil {
 		return fmt.Errorf("core: scheduler: %w", err)
 	}
+	c.services = append(c.services, svc)
 	c.wg.Add(1)
 	go c.recvLoop(svc)
 	return nil
+}
+
+// DeviceState is one attached device's dispatch view: its health in
+// the failure state machine and its outstanding Eq. 4 workload.
+type DeviceState struct {
+	Service string
+	Health  dispatch.Health
+	Queued  float64
+}
+
+// DeviceStates snapshots every attached device's health and queue.
+func (c *Client) DeviceStates() []DeviceState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DeviceState, 0, len(c.services))
+	for _, s := range c.services {
+		out = append(out, DeviceState{Service: s.name, Health: s.dev.Health(), Queued: s.dev.Queued()})
+	}
+	return out
 }
 
 // Sink returns the CommandSink to install behind the hooked GL symbols.
@@ -174,6 +275,10 @@ func (c *Client) Err() error {
 func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	st := c.stats
+	if c.sched != nil {
+		st.Evictions = int64(c.sched.Stats.Evictions)
+		st.Readmissions = int64(c.sched.Stats.Readmissions)
+	}
 	svcs := append([]*service(nil), c.services...)
 	c.mu.Unlock()
 	st.Transport = make([]TransportHealth, 0, len(svcs))
@@ -220,47 +325,39 @@ func (c *Client) consume(cmd gles.Command) {
 }
 
 // flushFrameLocked ships the accumulated frame: the full batch to the
-// Eq. 4-chosen server, state-mutating records to every other server.
+// Eq. 4-chosen server, state-mutating records to every other live
+// server. A frame no device will accept is gap-skipped — only that
+// frame fails, never the whole client.
 func (c *Client) flushFrameLocked() error {
 	recs := c.frameRecs
 	c.frameRecs = nil
 	if len(c.services) == 0 {
 		return fmt.Errorf("%w: no service devices attached", ErrClosed)
 	}
-	assigned, _, err := c.sched.Assign(float64(len(recs)))
-	if err != nil {
-		return fmt.Errorf("core: assign: %w", err)
-	}
-	var target *service
-	for _, s := range c.services {
-		if s.dev == assigned {
-			target = s
-			break
-		}
-	}
-	if target == nil {
-		return fmt.Errorf("core: assigned device %q has no service", assigned.ID)
-	}
-
 	seq := c.seq
 	c.seq++
-	c.inflight[seq] = inflightReq{svc: target, workload: float64(len(recs))}
-
-	// Full batch to the assigned server, through its mirrored cache.
-	wire, hits, err := target.cache.EncodeAll(nil, recs)
-	if err != nil {
-		return fmt.Errorf("core: cache encode: %w", err)
+	req := &inflightReq{
+		workload: float64(len(recs)),
+		recs:     recs,
+		tried:    make(map[string]bool),
 	}
-	c.stats.CacheHits += int64(hits)
-	batch := encodeMsg(MsgFrameBatch, seq, lz4.Compress(nil, wire))
-	if err := target.conn.Send(batch); err != nil {
-		return fmt.Errorf("core: send batch: %w", err)
+	if err := c.sendBatchLocked(seq, req); err != nil {
+		if !errors.Is(err, dispatch.ErrNoHealthyDevices) {
+			return err
+		}
+		// Every device is dead or quarantined: degrade to dropping this
+		// frame instead of poisoning the sink.
+		c.stats.FramesSkipped++
+		c.deliverLocked(c.reorder.Skip(seq))
+		return nil
 	}
-	c.stats.WireBytes += int64(len(batch))
+	c.inflight[seq] = req
 	c.stats.FramesSent++
 
 	// State replication to the others (the real system multicasts; one
-	// logical transmission per non-assigned server here).
+	// logical transmission per non-assigned server here). Evicted
+	// devices are excluded: their reliable channel would queue the
+	// update unacknowledged until the send window wedged the client.
 	var stateRecs [][]byte
 	for _, rec := range recs {
 		op, err := glwire.PeekOp(rec)
@@ -272,7 +369,19 @@ func (c *Client) flushFrameLocked() error {
 		}
 	}
 	for _, s := range c.services {
-		if s == target || len(stateRecs) == 0 {
+		if s == req.svc || len(stateRecs) == 0 {
+			continue
+		}
+		if s.dev.Health() == dispatch.Evicted {
+			continue
+		}
+		if !c.windowFitsLocked(s, stateRecs) {
+			// The channel is saturated with unacked data — a strong
+			// dead-device signal. Dropping the update here keeps the
+			// command caches coherent (neither side encodes it); only
+			// the replica's GL state goes stale, which readmission
+			// tolerates (see DESIGN.md, failure semantics).
+			c.sched.ReportFailure(s.dev)
 			continue
 		}
 		wire, _, err := s.cache.EncodeAll(nil, stateRecs)
@@ -281,12 +390,231 @@ func (c *Client) flushFrameLocked() error {
 		}
 		msg := encodeMsg(MsgStateUpdate, 0, lz4.Compress(nil, wire))
 		if err := s.conn.Send(msg); err != nil {
-			return fmt.Errorf("core: send state: %w", err)
+			// The conn is dead for good; its cache just diverged from
+			// the server's, so the device must never come back.
+			c.sched.Quarantine(s.dev)
+			continue
 		}
 		c.stats.WireBytes += int64(len(msg))
 		c.stats.StateBytes += int64(len(msg))
 	}
 	return nil
+}
+
+// windowGuardSlack keeps a few datagrams of headroom so a send can
+// never block on a saturated reliable channel while holding c.mu.
+const windowGuardSlack = 4
+
+// windowFitsLocked estimates whether sending recs to s could block on
+// its transport window. The estimate uses raw record bytes (an upper
+// bound on the encoded size) against the default datagram payload.
+func (c *Client) windowFitsLocked(s *service, recs [][]byte) bool {
+	st := s.conn.Stats()
+	if st.WindowLimit <= 0 {
+		return true
+	}
+	total := 0
+	for _, r := range recs {
+		total += len(r)
+	}
+	need := total/1200 + 1 + windowGuardSlack
+	return st.WindowOccupancy+need <= st.WindowLimit
+}
+
+// serviceFor maps a dispatch device back to its service.
+func (c *Client) serviceFor(dev *dispatch.Device) *service {
+	for _, s := range c.services {
+		if s.dev == dev {
+			return s
+		}
+	}
+	return nil
+}
+
+// sendBatchLocked places req's frame on an assignable device and ships
+// it, trying further devices if a chosen one cannot accept the send.
+// On success req.svc/sentAt/attempts reflect the dispatch. On failure
+// every touched device's queue accounting has been rolled back and the
+// request is on no device.
+func (c *Client) sendBatchLocked(seq uint64, req *inflightReq) error {
+	for {
+		var dev *dispatch.Device
+		var err error
+		if len(req.tried) == 0 {
+			dev, _, err = c.sched.Assign(req.workload)
+		} else {
+			var exclude []*dispatch.Device
+			for _, s := range c.services {
+				if req.tried[s.dev.ID] {
+					exclude = append(exclude, s.dev)
+				}
+			}
+			dev, _, err = c.sched.Reassign(req.workload, exclude...)
+		}
+		if err != nil {
+			return err
+		}
+		svc := c.serviceFor(dev)
+		if svc == nil {
+			c.sched.Complete(dev, req.workload)
+			return fmt.Errorf("core: assigned device %q has no service", dev.ID)
+		}
+		req.tried[dev.ID] = true
+		// Never let Send block on a saturated window while holding mu:
+		// guard before encoding so a rejected device's mirrored cache
+		// stays untouched.
+		if !c.windowFitsLocked(svc, req.recs) {
+			c.sched.Complete(dev, req.workload)
+			c.sched.ReportFailure(dev)
+			continue
+		}
+		wire, hits, err := svc.cache.EncodeAll(nil, req.recs)
+		if err != nil {
+			c.sched.Complete(dev, req.workload)
+			return fmt.Errorf("core: cache encode: %w", err)
+		}
+		c.stats.CacheHits += int64(hits)
+		batch := encodeMsg(MsgFrameBatch, seq, lz4.Compress(nil, wire))
+		if err := svc.conn.Send(batch); err != nil {
+			// Roll the workload back off the device and drop the seq
+			// from its books — leaving either in place leaks the slot
+			// forever. The cache already advanced past a batch the
+			// server will never see, so the device is done for good.
+			c.sched.Complete(dev, req.workload)
+			c.sched.Quarantine(dev)
+			continue
+		}
+		c.stats.WireBytes += int64(len(batch))
+		req.svc = svc
+		req.sentAt = time.Now()
+		req.attempts++
+		return nil
+	}
+}
+
+// deliverLocked forwards released frames to the display channel while
+// holding mu (see recvLoop for why ordering requires that). It reports
+// false if the client shut down mid-delivery.
+func (c *Client) deliverLocked(released []Frame) bool {
+	for _, f := range released {
+		select {
+		case c.frames <- f:
+		case <-c.done:
+			return false
+		}
+	}
+	c.stats.FramesDisplayed += int64(len(released))
+	return true
+}
+
+// failoverLoop periodically sweeps inflight requests for overdue
+// results — the §VI-C data plane's liveness guarantee: a device that
+// accepts a request and never answers cannot stall the display.
+func (c *Client) failoverLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.FailoverInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+			if !c.sweepOverdue(time.Now()) {
+				return
+			}
+		}
+	}
+}
+
+// progressWait is how long a device may go without answering its
+// head-of-line request before it is declared failed. A device that is
+// merely slow keeps producing results, which keeps pushing the
+// reference point forward; only a device making no progress at all can
+// exceed this wait. Derived from the transport estimator (absorbing a
+// few retransmissions) and the observed per-frame service time; a
+// device that has never answered gets the full FailoverMaxWait.
+func (c *Client) progressWait(svc *service) time.Duration {
+	if svc.svcEWMA <= 0 {
+		return c.cfg.FailoverMaxWait
+	}
+	st := svc.conn.Stats()
+	wait := 2*st.SRTT + 3*st.RTO
+	if wait < c.cfg.FailoverMinWait {
+		wait = c.cfg.FailoverMinWait
+	}
+	if g := 4 * svc.svcEWMA; g > wait {
+		wait = g
+	}
+	if wait > c.cfg.FailoverMaxWait {
+		wait = c.cfg.FailoverMaxWait
+	}
+	return wait
+}
+
+// sweepOverdue finds devices whose head-of-line request has made no
+// progress past their deadline, strikes them, and re-dispatches every
+// request orphaned on them to a healthy replica (whose mirrored cache
+// already carries the replicated state stream). When no device remains
+// or a frame's attempts are spent, only that frame is abandoned, via
+// the reorder buffer's gap-skip. Returns false if the client shut down
+// during frame delivery.
+func (c *Client) sweepOverdue(now time.Time) bool {
+	c.mu.Lock()
+	if c.sinkErr != nil || c.sched == nil {
+		c.mu.Unlock()
+		return true
+	}
+	// Oldest outstanding dispatch per device: replies come back in
+	// dispatch order on each connection, so this is the request the
+	// device owes next.
+	head := make(map[*service]time.Time)
+	for _, req := range c.inflight {
+		if t, ok := head[req.svc]; !ok || req.sentAt.Before(t) {
+			head[req.svc] = req.sentAt
+		}
+	}
+	var failed []*service
+	for svc, h := range head {
+		ref := h
+		if svc.lastReply.After(ref) {
+			ref = svc.lastReply
+		}
+		if now.After(ref.Add(c.progressWait(svc))) {
+			failed = append(failed, svc)
+		}
+	}
+	for _, svc := range failed {
+		// One strike per failure event, not per orphaned frame.
+		c.sched.ReportFailure(svc.dev)
+		var orphans []uint64
+		for seq, req := range c.inflight {
+			if req.svc == svc {
+				orphans = append(orphans, seq)
+			}
+		}
+		// Ascending order so consecutive skips release frames
+		// deterministically.
+		sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+		for _, seq := range orphans {
+			req := c.inflight[seq]
+			c.sched.Complete(svc.dev, req.workload)
+			if req.attempts < c.cfg.FailoverAttempts {
+				if err := c.sendBatchLocked(seq, req); err == nil {
+					c.stats.ReDispatched++
+					continue
+				}
+			}
+			// Lost on every device: fail only this frame.
+			delete(c.inflight, seq)
+			c.stats.FramesSkipped++
+			if !c.deliverLocked(c.reorder.Skip(seq)) {
+				c.mu.Unlock()
+				return false
+			}
+		}
+	}
+	c.mu.Unlock()
+	return true
 }
 
 // recvLoop decodes encoded frames from one server and feeds the reorder
@@ -299,7 +627,16 @@ func (c *Client) recvLoop(svc *service) {
 			return // closed
 		}
 		msgType, seq, payload, err := decodeMsg(msg)
-		if err != nil || msgType != MsgEncodedFrame {
+		if err != nil {
+			c.mu.Lock()
+			c.stats.RecvBadMsgs++
+			c.mu.Unlock()
+			continue
+		}
+		if msgType != MsgEncodedFrame {
+			c.mu.Lock()
+			c.stats.RecvUnexpected++
+			c.mu.Unlock()
 			continue
 		}
 		pixels, err := svc.dec.Decode(payload)
@@ -312,28 +649,49 @@ func (c *Client) recvLoop(svc *service) {
 			continue
 		}
 		frame := Frame{Seq: seq, Pixels: append([]byte(nil), pixels...)}
+		now := time.Now()
 		c.mu.Lock()
+		// A result is proof of life for the device that produced it.
+		c.sched.ReportSuccess(svc.dev)
 		if req, ok := c.inflight[seq]; ok {
+			if req.svc == svc {
+				// Head-of-line service time: how long this request took
+				// once it reached the front of the device's queue.
+				start := req.sentAt
+				if svc.lastReply.After(start) {
+					start = svc.lastReply
+				}
+				if sample := now.Sub(start); svc.svcEWMA <= 0 {
+					svc.svcEWMA = sample
+				} else {
+					svc.svcEWMA += (sample - svc.svcEWMA) / 4
+				}
+			}
+			// Credit whichever device currently carries the request —
+			// after a re-dispatch a slow original may answer first.
 			c.sched.Complete(req.svc.dev, req.workload)
 			delete(c.inflight, seq)
 		}
+		svc.lastReply = now
 		released, err := c.reorder.Push(seq, frame)
-		if err != nil && c.sinkErr == nil {
-			c.sinkErr = fmt.Errorf("core: reorder: %w", err)
+		if err != nil {
+			if errors.Is(err, dispatch.ErrDuplicate) {
+				// Expected under failover: both the original and the
+				// replacement device may answer, and a gap-skipped
+				// frame may still trickle in.
+				c.stats.LateFrames++
+			} else if c.sinkErr == nil {
+				c.sinkErr = fmt.Errorf("core: reorder: %w", err)
+			}
 		}
-		c.stats.FramesDisplayed += int64(len(released))
 		// Deliver while still holding the lock: two receive loops that
 		// release consecutive batches must not interleave their channel
 		// sends, or frames display out of order. The frames channel is
 		// only ever read (never locked) by consumers, so holding mu
 		// across the send cannot deadlock.
-		for _, f := range released {
-			select {
-			case c.frames <- f:
-			case <-c.done:
-				c.mu.Unlock()
-				return
-			}
+		if !c.deliverLocked(released) {
+			c.mu.Unlock()
+			return
 		}
 		c.mu.Unlock()
 	}

@@ -21,7 +21,40 @@ var (
 	ErrNoDevices  = errors.New("dispatch: no service devices")
 	ErrBadRequest = errors.New("dispatch: invalid request")
 	ErrDuplicate  = errors.New("dispatch: duplicate sequence number")
+	// ErrNoHealthyDevices means every device is evicted (and none is
+	// due for a readmission probe): the request cannot be placed.
+	ErrNoHealthyDevices = errors.New("dispatch: no healthy service devices")
 )
+
+// Health is a device's position in the failure state machine:
+//
+//	Healthy --failure--> Suspect --failure--> Evicted
+//	Suspect --success--> Healthy
+//	Evicted --probe due, assigned--> Suspect (probation)
+//
+// Evicted devices receive no traffic until their readmission probe
+// timer expires; a quarantined device (transport dead) never returns.
+type Health int
+
+const (
+	Healthy Health = iota
+	Suspect
+	Evicted
+)
+
+// String renders the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Evicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
 
 // Device is one dispatch target with Eq. 4's parameters.
 type Device struct {
@@ -32,7 +65,19 @@ type Device struct {
 	RTT time.Duration
 
 	queued float64 // w^j: outstanding workload
+
+	health      Health
+	failures    int           // consecutive failures since last success
+	probeAt     time.Time     // when an evicted device may be probed
+	cooldown    time.Duration // current eviction cool-down (doubles per re-eviction)
+	quarantined bool          // transport is dead: never readmit
 }
+
+// Health returns the device's current failure state.
+func (d *Device) Health() Health { return d.health }
+
+// Quarantined reports whether the device is permanently out of service.
+func (d *Device) Quarantined() bool { return d.quarantined }
 
 // NewDevice validates and builds a device.
 func NewDevice(id string, capability float64, rtt time.Duration) (*Device, error) {
@@ -59,6 +104,16 @@ func (d *Device) cost(r float64) time.Duration {
 type Scheduler struct {
 	devices []*Device
 
+	// EvictAfter is the consecutive-failure count that evicts a device
+	// (default 2: one strike suspends, the second evicts).
+	EvictAfter int
+	// ProbeAfter is the cool-down before an evicted device becomes a
+	// readmission candidate (default 1s, doubling per re-eviction up to
+	// 16x).
+	ProbeAfter time.Duration
+	// Now is the scheduler's clock (default time.Now), a test hook.
+	Now func() time.Time
+
 	// Stats accumulate assignment behaviour.
 	Stats Stats
 }
@@ -68,6 +123,11 @@ type Stats struct {
 	Assigned  int
 	PerDevice map[string]int
 	TotalWork float64
+	// Reassigned counts orphaned requests moved to a replacement
+	// device; Evictions and Readmissions count health transitions.
+	Reassigned   int
+	Evictions    int
+	Readmissions int
 }
 
 // NewScheduler builds a scheduler over the devices.
@@ -76,35 +136,160 @@ func NewScheduler(devices ...*Device) (*Scheduler, error) {
 		return nil, ErrNoDevices
 	}
 	return &Scheduler{
-		devices: append([]*Device(nil), devices...),
-		Stats:   Stats{PerDevice: make(map[string]int)},
+		devices:    append([]*Device(nil), devices...),
+		EvictAfter: 2,
+		ProbeAfter: time.Second,
+		Now:        time.Now,
+		Stats:      Stats{PerDevice: make(map[string]int)},
 	}, nil
+}
+
+// AddDevice attaches another device to a live scheduler, preserving
+// accumulated statistics and existing queue state.
+func (s *Scheduler) AddDevice(d *Device) error {
+	if d == nil {
+		return fmt.Errorf("%w: nil device", ErrBadRequest)
+	}
+	for _, have := range s.devices {
+		if have == d {
+			return fmt.Errorf("%w: device %q already attached", ErrBadRequest, d.ID)
+		}
+	}
+	s.devices = append(s.devices, d)
+	return nil
 }
 
 // Devices returns the scheduler's devices (shared, not copied — the
 // scheduler owns their queue state).
 func (s *Scheduler) Devices() []*Device { return s.devices }
 
-// Assign picks the Eq. 4-minimal device for a request of workload r,
-// enqueues the work on it, and returns the device along with the
-// estimated completion latency.
-func (s *Scheduler) Assign(r float64) (*Device, time.Duration, error) {
+// assignable reports whether d may receive traffic at time now. An
+// evicted device becomes a candidate again once its probe timer
+// expires, unless quarantined.
+func (s *Scheduler) assignable(d *Device, now time.Time) bool {
+	if d.health != Evicted {
+		return true
+	}
+	return !d.quarantined && !now.Before(d.probeAt)
+}
+
+// pick runs Eq. 4 over the assignable devices not rejected by skip.
+func (s *Scheduler) pick(r float64, skip func(*Device) bool) (*Device, time.Duration, error) {
 	if r < 0 {
 		return nil, 0, fmt.Errorf("%w: workload %v", ErrBadRequest, r)
 	}
+	now := s.Now()
 	var best *Device
 	var bestCost time.Duration
 	for _, d := range s.devices {
+		if !s.assignable(d, now) || (skip != nil && skip(d)) {
+			continue
+		}
 		c := d.cost(r)
 		if best == nil || c < bestCost {
 			best, bestCost = d, c
 		}
+	}
+	if best == nil {
+		return nil, 0, ErrNoHealthyDevices
+	}
+	if best.health == Evicted {
+		// Readmission probe: the device re-enters on probation — a
+		// single further failure re-evicts it, one success heals it.
+		best.health = Suspect
+		best.failures = s.EvictAfter - 1
+		s.Stats.Readmissions++
 	}
 	best.queued += r
 	s.Stats.Assigned++
 	s.Stats.PerDevice[best.ID]++
 	s.Stats.TotalWork += r
 	return best, bestCost, nil
+}
+
+// Assign picks the Eq. 4-minimal device for a request of workload r,
+// enqueues the work on it, and returns the device along with the
+// estimated completion latency. Evicted devices are skipped unless
+// their readmission probe is due.
+func (s *Scheduler) Assign(r float64) (*Device, time.Duration, error) {
+	return s.pick(r, nil)
+}
+
+// Reassign places an orphaned request of workload r on a device other
+// than the excluded ones (those that already failed it). The caller is
+// responsible for releasing the request's workload from its previous
+// device via Complete.
+func (s *Scheduler) Reassign(r float64, exclude ...*Device) (*Device, time.Duration, error) {
+	d, cost, err := s.pick(r, func(d *Device) bool {
+		for _, x := range exclude {
+			if d == x {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	s.Stats.Reassigned++
+	return d, cost, nil
+}
+
+// ReportFailure records that d failed to answer a request in time:
+// one strike suspends a healthy device, EvictAfter strikes evict it
+// until its readmission probe. Returns the resulting health.
+func (s *Scheduler) ReportFailure(d *Device) Health {
+	if d == nil {
+		return Healthy
+	}
+	d.failures++
+	switch {
+	case d.health == Evicted:
+		// Already out; extend nothing (probe timer governs return).
+	case d.failures >= s.EvictAfter:
+		s.evict(d)
+	default:
+		d.health = Suspect
+	}
+	return d.health
+}
+
+// ReportSuccess records that d produced a result: strikes clear and the
+// device returns to full health, whatever its prior state — a result is
+// proof of life.
+func (s *Scheduler) ReportSuccess(d *Device) {
+	if d == nil || d.quarantined {
+		return
+	}
+	d.health = Healthy
+	d.failures = 0
+	d.cooldown = 0
+}
+
+// Quarantine permanently evicts d: its transport is dead (e.g. the
+// connection closed), so it must never be readmitted — a revived
+// server needs a fresh attach.
+func (s *Scheduler) Quarantine(d *Device) {
+	if d == nil || d.quarantined {
+		return
+	}
+	if d.health != Evicted {
+		s.evict(d)
+	}
+	d.quarantined = true
+}
+
+// evict transitions d to Evicted and arms its readmission probe with an
+// exponentially growing cool-down.
+func (s *Scheduler) evict(d *Device) {
+	d.health = Evicted
+	if d.cooldown <= 0 {
+		d.cooldown = s.ProbeAfter
+	} else if d.cooldown < 16*s.ProbeAfter {
+		d.cooldown *= 2
+	}
+	d.probeAt = s.Now().Add(d.cooldown)
+	s.Stats.Evictions++
 }
 
 // Complete releases workload r from device d's queue when its result
@@ -126,8 +311,16 @@ func (s *Scheduler) Complete(d *Device, r float64) {
 type Reorder[T any] struct {
 	next    uint64
 	pending map[uint64]T
+	// skipped holds abandoned sequence numbers (lost on every device):
+	// when next reaches one, the buffer advances past it instead of
+	// wedging the display. A late result for a still-unreached skipped
+	// seq cancels the tombstone and is delivered normally.
+	skipped map[uint64]struct{}
 	// MaxPending bounds buffered out-of-order results.
 	maxPending int
+	// skippedTotal counts sequence numbers the buffer advanced past
+	// without a result.
+	skippedTotal int
 }
 
 // NewReorder returns a buffer expecting sequence numbers from first,
@@ -136,7 +329,12 @@ func NewReorder[T any](first uint64, maxPending int) *Reorder[T] {
 	if maxPending <= 0 {
 		maxPending = 1024
 	}
-	return &Reorder[T]{next: first, pending: make(map[uint64]T), maxPending: maxPending}
+	return &Reorder[T]{
+		next:       first,
+		pending:    make(map[uint64]T),
+		skipped:    make(map[uint64]struct{}),
+		maxPending: maxPending,
+	}
 }
 
 // Next returns the sequence number the buffer is waiting for.
@@ -144,6 +342,10 @@ func (r *Reorder[T]) Next() uint64 { return r.next }
 
 // Pending returns the number of buffered out-of-order results.
 func (r *Reorder[T]) Pending() int { return len(r.pending) }
+
+// Skipped returns how many sequence numbers were released without a
+// result (gap-skips that actually took effect).
+func (r *Reorder[T]) Skipped() int { return r.skippedTotal }
 
 // Push inserts a result and returns every result now releasable in
 // order (possibly none).
@@ -157,16 +359,44 @@ func (r *Reorder[T]) Push(seq uint64, v T) ([]T, error) {
 	if len(r.pending) >= r.maxPending {
 		return nil, fmt.Errorf("dispatch: reorder buffer full (%d pending, next=%d)", len(r.pending), r.next)
 	}
+	// A late result for an abandoned seq un-abandons it: the display
+	// recovers the frame instead of showing a gap.
+	delete(r.skipped, seq)
 	r.pending[seq] = v
+	return r.drain(), nil
+}
+
+// Skip abandons seq — its result was lost on every device — so the
+// display can advance past it. Results releasable as a consequence are
+// returned. Skipping an already-released or buffered seq is a no-op
+// (beyond draining).
+func (r *Reorder[T]) Skip(seq uint64) []T {
+	if seq < r.next {
+		return nil
+	}
+	if _, ok := r.pending[seq]; !ok {
+		r.skipped[seq] = struct{}{}
+	}
+	return r.drain()
+}
+
+// drain releases the in-order run at the head of the buffer, advancing
+// past abandoned sequence numbers.
+func (r *Reorder[T]) drain() []T {
 	var out []T
 	for {
-		v, ok := r.pending[r.next]
-		if !ok {
-			break
+		if v, ok := r.pending[r.next]; ok {
+			delete(r.pending, r.next)
+			out = append(out, v)
+			r.next++
+			continue
 		}
-		delete(r.pending, r.next)
-		out = append(out, v)
-		r.next++
+		if _, ok := r.skipped[r.next]; ok {
+			delete(r.skipped, r.next)
+			r.skippedTotal++
+			r.next++
+			continue
+		}
+		return out
 	}
-	return out, nil
 }

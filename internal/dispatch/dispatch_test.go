@@ -284,3 +284,287 @@ func TestReorderPropertyAnyPermutationReleasesInOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Failure-aware dispatch: health state machine -------------------
+
+// fakeClock drives the scheduler's readmission timers deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newHealthRig(t *testing.T) (*Scheduler, *Device, *Device, *fakeClock) {
+	t.Helper()
+	a := mustDevice(t, "a", 100, 0)
+	b := mustDevice(t, "b", 100, 0)
+	s, err := NewScheduler(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	s.Now = clk.now
+	return s, a, b, clk
+}
+
+func TestHealthTransitions(t *testing.T) {
+	s, a, _, clk := newHealthRig(t)
+	if a.Health() != Healthy {
+		t.Fatalf("initial health = %v", a.Health())
+	}
+	if h := s.ReportFailure(a); h != Suspect {
+		t.Fatalf("after 1 failure health = %v, want suspect", h)
+	}
+	if h := s.ReportFailure(a); h != Evicted {
+		t.Fatalf("after 2 failures health = %v, want evicted", h)
+	}
+	if s.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", s.Stats.Evictions)
+	}
+	// Further failures while evicted do not double-count.
+	s.ReportFailure(a)
+	if s.Stats.Evictions != 1 {
+		t.Fatalf("evictions after redundant failure = %d", s.Stats.Evictions)
+	}
+	// A success heals completely.
+	s.ReportSuccess(a)
+	if a.Health() != Healthy {
+		t.Fatalf("health after success = %v", a.Health())
+	}
+	// Suspect devices heal too.
+	s.ReportFailure(a)
+	s.ReportSuccess(a)
+	if a.Health() != Healthy {
+		t.Fatalf("suspect not healed: %v", a.Health())
+	}
+	_ = clk
+}
+
+func TestAssignSkipsEvictedDevice(t *testing.T) {
+	s, a, b, _ := newHealthRig(t)
+	s.ReportFailure(a)
+	s.ReportFailure(a) // evicted
+	for i := 0; i < 5; i++ {
+		d, _, err := s.Assign(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != b {
+			t.Fatalf("assignment %d landed on evicted device", i)
+		}
+	}
+}
+
+func TestAssignNoHealthyDevices(t *testing.T) {
+	s, a, b, _ := newHealthRig(t)
+	for _, d := range []*Device{a, b} {
+		s.ReportFailure(d)
+		s.ReportFailure(d)
+	}
+	if _, _, err := s.Assign(1); !errors.Is(err, ErrNoHealthyDevices) {
+		t.Fatalf("all-evicted assign error = %v", err)
+	}
+}
+
+func TestReadmissionProbeAfterCooldown(t *testing.T) {
+	s, a, b, clk := newHealthRig(t)
+	s.ReportFailure(a)
+	s.ReportFailure(a) // evicted, probe at +1s
+	// Keep b busy so a would win on cost if it were assignable.
+	b.queued = 1e6
+	if d, _, _ := s.Assign(1); d != b {
+		t.Fatal("evicted device assigned before its probe timer")
+	}
+	clk.advance(2 * time.Second)
+	d, _, err := s.Assign(1)
+	if err != nil || d != a {
+		t.Fatalf("probe-due device not readmitted: %v %v", d, err)
+	}
+	if a.Health() != Suspect {
+		t.Fatalf("readmitted health = %v, want suspect (probation)", a.Health())
+	}
+	if s.Stats.Readmissions != 1 {
+		t.Fatalf("readmissions = %d", s.Stats.Readmissions)
+	}
+	// Probation: a single failure re-evicts, with a doubled cool-down.
+	if h := s.ReportFailure(a); h != Evicted {
+		t.Fatalf("probation failure health = %v", h)
+	}
+	clk.advance(1500 * time.Millisecond) // less than the doubled 2s
+	if d, _, _ := s.Assign(1); d != b {
+		t.Fatal("re-evicted device readmitted before doubled cool-down")
+	}
+}
+
+func TestQuarantineNeverReadmits(t *testing.T) {
+	s, a, b, clk := newHealthRig(t)
+	s.Quarantine(a)
+	if a.Health() != Evicted || !a.Quarantined() {
+		t.Fatalf("quarantine state: %v %v", a.Health(), a.Quarantined())
+	}
+	if s.Stats.Evictions != 1 {
+		t.Fatalf("quarantine evictions = %d", s.Stats.Evictions)
+	}
+	clk.advance(time.Hour)
+	b.queued = 1e6
+	if d, _, _ := s.Assign(1); d != b {
+		t.Fatal("quarantined device readmitted")
+	}
+	// Even a (stale) success cannot revive it.
+	s.ReportSuccess(a)
+	if a.Health() != Evicted {
+		t.Fatalf("quarantined device healed: %v", a.Health())
+	}
+}
+
+func TestReassignExcludesFailedDevices(t *testing.T) {
+	s, a, b, _ := newHealthRig(t)
+	d, _, err := s.Reassign(1, a)
+	if err != nil || d != b {
+		t.Fatalf("reassign = %v, %v; want b", d, err)
+	}
+	if s.Stats.Reassigned != 1 {
+		t.Fatalf("reassigned = %d", s.Stats.Reassigned)
+	}
+	if _, _, err := s.Reassign(1, a, b); !errors.Is(err, ErrNoHealthyDevices) {
+		t.Fatalf("all-excluded reassign error = %v", err)
+	}
+}
+
+func TestAddDevicePreservesStats(t *testing.T) {
+	a := mustDevice(t, "a", 100, 0)
+	s, err := NewScheduler(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, _, err := s.Assign(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := mustDevice(t, "b", 100, 0)
+	if err := s.AddDevice(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDevice(b); err == nil {
+		t.Fatal("duplicate device accepted")
+	}
+	if err := s.AddDevice(nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if s.Stats.Assigned != 7 || s.Stats.TotalWork != 14 || s.Stats.PerDevice["a"] != 7 {
+		t.Fatalf("stats zeroed by AddDevice: %+v", s.Stats)
+	}
+	if len(s.Devices()) != 2 {
+		t.Fatalf("devices = %d", len(s.Devices()))
+	}
+	// The new device is immediately assignable (idle, so it wins).
+	if d, _, _ := s.Assign(1); d != b {
+		t.Fatalf("fresh idle device not chosen")
+	}
+}
+
+// --- Reorder edge paths: gap-skip, late recovery, duplicates --------
+
+func TestReorderSkipAdvancesPastLostSeq(t *testing.T) {
+	r := NewReorder[int](0, 0)
+	if _, err := r.Push(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Push(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := r.Skip(0)
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("skip released %v, want [1 2]", out)
+	}
+	if r.Next() != 3 || r.Skipped() != 1 {
+		t.Fatalf("next=%d skipped=%d", r.Next(), r.Skipped())
+	}
+}
+
+func TestReorderSkipFutureThenLateRecovery(t *testing.T) {
+	r := NewReorder[int](0, 0)
+	// Abandon seq 1 before the display reaches it...
+	if out := r.Skip(1); len(out) != 0 {
+		t.Fatalf("premature release %v", out)
+	}
+	// ...then its result shows up after all: the tombstone cancels and
+	// the frame is recovered, not dropped.
+	if _, err := r.Push(1, 11); err != nil {
+		t.Fatalf("late push after skip: %v", err)
+	}
+	out, err := r.Push(0, 10)
+	if err != nil || len(out) != 2 || out[0] != 10 || out[1] != 11 {
+		t.Fatalf("recovered release = %v, %v", out, err)
+	}
+	if r.Skipped() != 0 {
+		t.Fatalf("skipped = %d after recovery", r.Skipped())
+	}
+}
+
+func TestReorderDuplicateAfterSkipRelease(t *testing.T) {
+	r := NewReorder[int](0, 0)
+	r.Skip(0)
+	if r.Next() != 1 {
+		t.Fatalf("next = %d after head skip", r.Next())
+	}
+	// The abandoned frame's result arrives after release: duplicate.
+	if _, err := r.Push(0, 0); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("late push error = %v, want duplicate", err)
+	}
+}
+
+func TestReorderSkipChainsThroughTombstones(t *testing.T) {
+	r := NewReorder[int](0, 0)
+	if _, err := r.Push(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	r.Skip(1)
+	r.Skip(2)
+	out := r.Skip(0)
+	if len(out) != 1 || out[0] != 3 {
+		t.Fatalf("chained skip released %v", out)
+	}
+	if r.Next() != 4 || r.Skipped() != 3 {
+		t.Fatalf("next=%d skipped=%d", r.Next(), r.Skipped())
+	}
+}
+
+func TestReorderSkipIdempotent(t *testing.T) {
+	r := NewReorder[int](0, 0)
+	r.Skip(2)
+	r.Skip(2) // double-skip of the same seq must not double-advance
+	r.Skip(0)
+	r.Skip(1)
+	if r.Next() != 3 || r.Skipped() != 3 {
+		t.Fatalf("next=%d skipped=%d", r.Next(), r.Skipped())
+	}
+	// Skipping an already-released seq is a no-op.
+	if out := r.Skip(1); out != nil {
+		t.Fatalf("released-skip output %v", out)
+	}
+	if r.Next() != 3 {
+		t.Fatalf("next moved: %d", r.Next())
+	}
+}
+
+func TestReorderBufferFullThenSkipDrains(t *testing.T) {
+	r := NewReorder[int](0, 3)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := r.Push(seq, int(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Buffer full: the next out-of-order result is rejected...
+	if _, err := r.Push(4, 4); err == nil {
+		t.Fatal("over-capacity push accepted")
+	}
+	// ...but a gap-skip of the lost head drains it and frees space.
+	out := r.Skip(0)
+	if len(out) != 3 {
+		t.Fatalf("drain released %d results", len(out))
+	}
+	if _, err := r.Push(4, 4); err != nil {
+		t.Fatalf("post-drain push: %v", err)
+	}
+}

@@ -218,3 +218,64 @@ func (c *TransportCollector) MeanWindowUse() float64 {
 
 // MaxWindowUse returns the peak send-window occupancy fraction.
 func (c *TransportCollector) MaxWindowUse() float64 { return c.maxWindowUse }
+
+// FailoverSample is one cumulative snapshot of the client's §VI-C
+// fault-tolerance counters: re-dispatches of orphaned frames,
+// device evictions/readmissions, and frames abandoned on every device.
+type FailoverSample struct {
+	ReDispatched  int64
+	Evictions     int64
+	Readmissions  int64
+	FramesSkipped int64
+}
+
+// events sums the failure-driven activity in a sample.
+func (s FailoverSample) events() int64 {
+	return s.ReDispatched + s.Evictions + s.FramesSkipped
+}
+
+// FailoverCollector accumulates periodic failover snapshots over a
+// session so FPS dips can be attributed to device failures (an
+// eviction/re-dispatch burst) rather than the network or render path.
+// Samples are cumulative; the collector differences them.
+type FailoverCollector struct {
+	count       int
+	first, last FailoverSample
+	maxBurst    int64
+}
+
+// Add records one cumulative snapshot.
+func (c *FailoverCollector) Add(s FailoverSample) {
+	if c.count == 0 {
+		c.first = s
+	} else if burst := s.events() - c.last.events(); burst > c.maxBurst {
+		c.maxBurst = burst
+	}
+	c.last = s
+	c.count++
+}
+
+// Count returns the number of samples.
+func (c *FailoverCollector) Count() int { return c.count }
+
+// Totals returns the failover activity across the sampled span (last
+// minus first snapshot).
+func (c *FailoverCollector) Totals() FailoverSample {
+	if c.count == 0 {
+		return FailoverSample{}
+	}
+	return FailoverSample{
+		ReDispatched:  c.last.ReDispatched - c.first.ReDispatched,
+		Evictions:     c.last.Evictions - c.first.Evictions,
+		Readmissions:  c.last.Readmissions - c.first.Readmissions,
+		FramesSkipped: c.last.FramesSkipped - c.first.FramesSkipped,
+	}
+}
+
+// MaxBurst returns the largest per-interval jump in failure events —
+// the sharpest failover episode of the session.
+func (c *FailoverCollector) MaxBurst() int64 { return c.maxBurst }
+
+// Clean reports whether the sampled span saw no failover activity at
+// all.
+func (c *FailoverCollector) Clean() bool { return c.Totals().events() == 0 }

@@ -159,3 +159,57 @@ func TestTransportCollector(t *testing.T) {
 		t.Fatal("empty collector means should be 0")
 	}
 }
+
+func TestFailoverCollectorTotalsAndBurst(t *testing.T) {
+	var c FailoverCollector
+	if !c.Clean() || c.Count() != 0 || c.MaxBurst() != 0 {
+		t.Fatal("zero collector must be clean and empty")
+	}
+	// Cumulative snapshots: a quiet interval, then an eviction burst,
+	// then quiet again.
+	c.Add(FailoverSample{ReDispatched: 2, Evictions: 1})
+	c.Add(FailoverSample{ReDispatched: 2, Evictions: 1})
+	c.Add(FailoverSample{ReDispatched: 7, Evictions: 2, Readmissions: 1, FramesSkipped: 1})
+	c.Add(FailoverSample{ReDispatched: 7, Evictions: 2, Readmissions: 1, FramesSkipped: 1})
+	if c.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", c.Count())
+	}
+	tot := c.Totals()
+	want := FailoverSample{ReDispatched: 5, Evictions: 1, Readmissions: 1, FramesSkipped: 1}
+	if tot != want {
+		t.Fatalf("Totals = %+v, want %+v", tot, want)
+	}
+	// The burst interval contributed (7-2)+(2-1)+(1-0) = 7 events.
+	if c.MaxBurst() != 7 {
+		t.Fatalf("MaxBurst = %d, want 7", c.MaxBurst())
+	}
+	if c.Clean() {
+		t.Fatal("collector with failover activity must not be clean")
+	}
+}
+
+func TestFailoverCollectorClean(t *testing.T) {
+	var c FailoverCollector
+	// A session that starts with pre-existing counters but sees no new
+	// activity across the sampled span is clean.
+	s := FailoverSample{ReDispatched: 3, Evictions: 2, Readmissions: 1, FramesSkipped: 4}
+	c.Add(s)
+	c.Add(s)
+	c.Add(s)
+	if !c.Clean() {
+		t.Fatalf("no-activity span reported dirty: %+v", c.Totals())
+	}
+	if c.MaxBurst() != 0 {
+		t.Fatalf("MaxBurst = %d, want 0", c.MaxBurst())
+	}
+	// Readmissions alone do not count as failure events...
+	c.Add(FailoverSample{ReDispatched: 3, Evictions: 2, Readmissions: 2, FramesSkipped: 4})
+	if !c.Clean() {
+		t.Fatal("readmission-only span must stay clean")
+	}
+	// ...but a skipped frame does.
+	c.Add(FailoverSample{ReDispatched: 3, Evictions: 2, Readmissions: 2, FramesSkipped: 5})
+	if c.Clean() {
+		t.Fatal("skipped frame must dirty the span")
+	}
+}

@@ -72,10 +72,45 @@ type LinkConn struct {
 	busyUntil time.Time // serialization backlog of the outgoing direction
 	rng       *sim.RNG
 
+	// Device-crash fault injector state: once blackholed, every
+	// datagram written at this endpoint silently vanishes, emulating a
+	// crashed or unreachable device (the socket stays "open" — nothing
+	// errors, nothing arrives).
+	blackholed     bool
+	blackholeArmed bool
+	blackholeLeft  int
+
 	// Drops counts datagrams lost to the loss model; QueueDrops those
-	// tail-dropped by the bandwidth queue.
-	Drops      int64
-	QueueDrops int64
+	// tail-dropped by the bandwidth queue; BlackholeDrops those eaten
+	// by the crash fault injector.
+	Drops          int64
+	QueueDrops     int64
+	BlackholeDrops int64
+}
+
+// Blackhole makes the endpoint drop every subsequent outgoing datagram
+// — the drop-all crash fault injector. To emulate a full device crash,
+// blackhole both endpoints of its pair: nothing the device sends gets
+// out, and nothing sent to it arrives.
+func (l *LinkConn) Blackhole() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.blackholed = true
+	l.blackholeArmed = false
+}
+
+// BlackholeAfter arms the fault injector: the next n datagrams written
+// here still pass, every later one vanishes.
+func (l *LinkConn) BlackholeAfter(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 {
+		l.blackholed = true
+		l.blackholeArmed = false
+		return
+	}
+	l.blackholeArmed = true
+	l.blackholeLeft = n
 }
 
 // NewLinkPair returns two connected emulated endpoints sharing cfg,
@@ -109,6 +144,19 @@ func (l *LinkConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	if addr.String() != string(peer.addr) {
 		l.mu.Unlock()
 		return 0, errors.New("netsim: unknown link peer")
+	}
+	if l.blackholeArmed {
+		if l.blackholeLeft > 0 {
+			l.blackholeLeft--
+		}
+		if l.blackholeLeft == 0 {
+			l.blackholed = true
+			l.blackholeArmed = false
+		}
+	} else if l.blackholed {
+		l.BlackholeDrops++
+		l.mu.Unlock()
+		return len(p), nil // crashed device: lost without a trace
 	}
 	if l.cfg.Loss > 0 && l.rng.Bool(l.cfg.Loss) {
 		l.Drops++

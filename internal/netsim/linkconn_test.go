@@ -113,3 +113,66 @@ func TestLinkConnDeadlineAndClose(t *testing.T) {
 	}
 	time.Sleep(5 * time.Millisecond)
 }
+
+func TestLinkConnBlackholeDropsEverything(t *testing.T) {
+	a, b := NewLinkPair(LinkConfig{}, 10)
+	defer a.Close()
+	defer b.Close()
+	a.Blackhole()
+	for i := 0; i < 3; i++ {
+		if _, err := a.WriteTo([]byte("x"), b.Addr()); err != nil {
+			t.Fatalf("blackholed write must not error (crash is silent): %v", err)
+		}
+	}
+	if a.BlackholeDrops != 3 {
+		t.Fatalf("BlackholeDrops = %d, want 3", a.BlackholeDrops)
+	}
+	_ = b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, _, err := b.ReadFrom(make([]byte, 4)); err == nil {
+		t.Fatal("blackholed datagram was delivered")
+	}
+}
+
+func TestLinkConnBlackholeAfterN(t *testing.T) {
+	a, b := NewLinkPair(LinkConfig{}, 11)
+	defer a.Close()
+	defer b.Close()
+	a.BlackholeAfter(2)
+	for i := 0; i < 5; i++ {
+		if _, err := a.WriteTo([]byte{byte(i)}, b.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exactly the first two datagrams survive the armed fault.
+	for i := 0; i < 2; i++ {
+		_ = b.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 4)
+		n, _, err := b.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("pre-crash datagram %d lost: %v", i, err)
+		}
+		if n != 1 || buf[0] != byte(i) {
+			t.Fatalf("datagram %d corrupted: % x", i, buf[:n])
+		}
+	}
+	_ = b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, _, err := b.ReadFrom(make([]byte, 4)); err == nil {
+		t.Fatal("post-crash datagram was delivered")
+	}
+	if a.BlackholeDrops != 3 {
+		t.Fatalf("BlackholeDrops = %d, want 3", a.BlackholeDrops)
+	}
+}
+
+func TestLinkConnBlackholeAfterZeroIsImmediate(t *testing.T) {
+	a, b := NewLinkPair(LinkConfig{}, 12)
+	defer a.Close()
+	defer b.Close()
+	a.BlackholeAfter(0)
+	if _, err := a.WriteTo([]byte("x"), b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if a.BlackholeDrops != 1 {
+		t.Fatalf("BlackholeDrops = %d, want 1", a.BlackholeDrops)
+	}
+}

@@ -11,3 +11,7 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -short ./internal/rudp/... ./internal/core/...
+# Device-crash failover soaks under the race detector: the blackhole
+# fault injector plus the client's failover loop are the most
+# contended paths in the tree.
+go test -race -short -run 'Failover|Crash|Blackhole' ./internal/netsim/... .

@@ -1,6 +1,7 @@
 package gbooster
 
 import (
+	"errors"
 	"fmt"
 	"image"
 	"net"
@@ -39,12 +40,22 @@ func (s *StreamServer) ServeConn(pc net.PacketConn, peer net.Addr) error {
 	return s.serveConn(pc, peer, nil)
 }
 
+// ErrServerClosed is returned when a session is offered to a
+// StreamServer that has already been shut down.
+var ErrServerClosed = errors.New("gbooster: stream server closed")
+
 // serveConn runs the session; firstDatagram, if non-nil, is a datagram
 // the accept path already read off the socket and is injected into the
 // reliable layer so it isn't lost.
 func (s *StreamServer) serveConn(pc net.PacketConn, peer net.Addr, firstDatagram []byte) error {
-	conn := rudp.New(pc, peer, rudp.DefaultOptions())
 	s.mu.Lock()
+	if s.closed {
+		// A session racing Close must not start and overwrite s.conn —
+		// it would resurrect a server the owner already tore down.
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	conn := rudp.New(pc, peer, rudp.DefaultOptions())
 	s.conn = conn
 	s.mu.Unlock()
 	if firstDatagram != nil {
@@ -186,9 +197,26 @@ func (p *Player) StepFrame(timeout time.Duration) (*image.RGBA, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gbooster: next frame: %w", err)
 	}
+	if err := validateFrameSize(len(displayed.Pixels), p.w, p.h); err != nil {
+		return nil, fmt.Errorf("gbooster: frame %d: %w", displayed.Seq, err)
+	}
 	img := image.NewRGBA(image.Rect(0, 0, p.w, p.h))
 	copy(img.Pix, displayed.Pixels)
 	return img, nil
+}
+
+// ErrBadFrame is returned when a displayed frame's pixel buffer does
+// not match the player's resolution.
+var ErrBadFrame = errors.New("gbooster: malformed frame")
+
+// validateFrameSize checks a pixel buffer against the w*h*4 RGBA size
+// the display expects: a short or oversized frame would otherwise
+// silently render garbage.
+func validateFrameSize(n, w, h int) error {
+	if want := w * h * 4; n != want {
+		return fmt.Errorf("%w: %d pixel bytes, want %d (%dx%d RGBA)", ErrBadFrame, n, want, w, h)
+	}
+	return nil
 }
 
 // Stats returns transport-level counters for the session.
@@ -212,6 +240,54 @@ type TransportHealth struct {
 	DataResent      int64
 	FastResent      int64
 	TimeoutResent   int64
+}
+
+// FailoverStats summarizes the client's §VI-C fault tolerance over the
+// session: orphaned frames re-dispatched to replicas, devices evicted
+// and readmitted by the health state machine, frames abandoned on
+// every device, duplicate results from slow devices, and messages the
+// receive path dropped.
+type FailoverStats struct {
+	ReDispatched   int64
+	FramesSkipped  int64
+	LateFrames     int64
+	Evictions      int64
+	Readmissions   int64
+	RecvBadMsgs    int64
+	RecvUnexpected int64
+}
+
+// FailoverStats returns the session's failover counters.
+func (p *Player) FailoverStats() FailoverStats {
+	st := p.client.Stats()
+	return FailoverStats{
+		ReDispatched:   st.ReDispatched,
+		FramesSkipped:  st.FramesSkipped,
+		LateFrames:     st.LateFrames,
+		Evictions:      st.Evictions,
+		Readmissions:   st.Readmissions,
+		RecvBadMsgs:    st.RecvBadMsgs,
+		RecvUnexpected: st.RecvUnexpected,
+	}
+}
+
+// DeviceState is one attached service device's dispatch view.
+type DeviceState struct {
+	Service string
+	// Health is "healthy", "suspect", or "evicted".
+	Health string
+	// Queued is the device's outstanding Eq. 4 workload.
+	Queued float64
+}
+
+// DeviceStates reports each attached device's failover health, in
+// attach order.
+func (p *Player) DeviceStates() []DeviceState {
+	var out []DeviceState
+	for _, ds := range p.client.DeviceStates() {
+		out = append(out, DeviceState{Service: ds.Service, Health: ds.Health.String(), Queued: ds.Queued})
+	}
+	return out
 }
 
 // TransportStats returns per-service transport health, in the order
