@@ -39,7 +39,12 @@ func main() {
 }
 
 func run(servers, workloadID string, frames, width, height int, seed uint64, pngPath string) error {
-	player, err := gbooster.NewPlayer(workloadID, width, height, seed)
+	player, err := gbooster.NewPlayer(gbooster.PlayerConfig{
+		Workload: workloadID,
+		Width:    width,
+		Height:   height,
+		Seed:     seed,
+	})
 	if err != nil {
 		return err
 	}
@@ -61,13 +66,13 @@ func run(servers, workloadID string, frames, width, height int, seed uint64, png
 		last = img
 	}
 	elapsed := time.Since(start)
-	sent, shown, raw, wire := player.Stats()
+	st := player.Stats()
 	fmt.Printf("played %d frames of %s in %v (%.1f FPS end-to-end)\n",
 		frames, workloadID, elapsed.Round(time.Millisecond), float64(frames)/elapsed.Seconds())
-	fmt.Printf("frames sent=%d displayed=%d\n", sent, shown)
+	fmt.Printf("frames sent=%d displayed=%d\n", st.FramesSent, st.FramesShown)
 	fmt.Printf("uplink raw %0.1f KB/frame -> wire %0.1f KB/frame (%.0f%% reduction)\n",
-		float64(raw)/float64(frames)/1024, float64(wire)/float64(frames)/1024,
-		(1-float64(wire)/float64(raw))*100)
+		float64(st.RawBytes)/float64(frames)/1024, float64(st.WireBytes)/float64(frames)/1024,
+		(1-float64(st.WireBytes)/float64(st.RawBytes))*100)
 	if fs := player.FailoverStats(); fs.ReDispatched+fs.Evictions+fs.Readmissions+fs.FramesSkipped+fs.LateFrames > 0 {
 		fmt.Printf("failover: re-dispatched=%d evicted=%d readmitted=%d skipped=%d late=%d\n",
 			fs.ReDispatched, fs.Evictions, fs.Readmissions, fs.FramesSkipped, fs.LateFrames)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	gbooster-server [-addr :4870] [-width 600] [-height 480]
+//	                [-quality 60] [-parallelism 0]
 package main
 
 import (
@@ -20,9 +21,15 @@ func main() {
 	addr := flag.String("addr", ":4870", "UDP address to listen on")
 	width := flag.Int("width", 600, "stream width")
 	height := flag.Int("height", 480, "stream height")
+	quality := flag.Int("quality", 0, "turbo codec quality (0 = default)")
+	parallelism := flag.Int("parallelism", 0, "data-plane workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
-	srv, err := gbooster.NewStreamServer(*width, *height)
+	srv, err := gbooster.NewStreamServer(
+		gbooster.StreamServerConfig{Width: *width, Height: *height},
+		gbooster.WithQuality(*quality),
+		gbooster.WithParallelism(*parallelism),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gbooster-server:", err)
 		os.Exit(1)

@@ -34,7 +34,7 @@ func main() {
 }
 
 func run() error {
-	srv, err := gbooster.NewStreamServer(width, height)
+	srv, err := gbooster.NewStreamServer(gbooster.StreamServerConfig{Width: width, Height: height})
 	if err != nil {
 		return err
 	}
@@ -43,7 +43,7 @@ func run() error {
 	defer func() { _ = srv.Close() }()
 	time.Sleep(200 * time.Millisecond) // let the listener come up
 
-	player, err := gbooster.NewPlayer("G6", width, height, 42)
+	player, err := gbooster.NewPlayer(gbooster.PlayerConfig{Workload: "G6", Width: width, Height: height, Seed: 42})
 	if err != nil {
 		return err
 	}
@@ -65,11 +65,11 @@ func run() error {
 	}
 	elapsed := time.Since(start)
 
-	sent, shown, raw, wire := player.Stats()
+	st := player.Stats()
 	fmt.Printf("streamed %d frames of Cut the Rope over loopback UDP in %v (%.1f FPS)\n",
 		frames, elapsed.Round(time.Millisecond), float64(frames)/elapsed.Seconds())
 	fmt.Printf("frames sent=%d displayed=%d; uplink %0.1f KB/frame raw -> %0.1f KB/frame on the wire\n",
-		sent, shown, float64(raw)/float64(frames)/1024, float64(wire)/float64(frames)/1024)
+		st.FramesSent, st.FramesShown, float64(st.RawBytes)/float64(frames)/1024, float64(st.WireBytes)/float64(frames)/1024)
 
 	out, err := os.Create("frame.png")
 	if err != nil {

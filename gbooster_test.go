@@ -108,13 +108,13 @@ func TestSimulateAblations(t *testing.T) {
 
 func TestPlayerOverInMemoryLink(t *testing.T) {
 	const w, h = 64, 48
-	player, err := NewPlayer("G6", w, h, 3)
+	player, err := NewPlayer(PlayerConfig{Workload: "G6", Width: w, Height: h, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer player.Close()
 
-	srv, err := NewStreamServer(w, h)
+	srv, err := NewStreamServer(StreamServerConfig{Width: w, Height: h})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,12 +134,12 @@ func TestPlayerOverInMemoryLink(t *testing.T) {
 			t.Fatalf("frame bounds %v", img.Bounds())
 		}
 	}
-	sent, shown, raw, wire := player.Stats()
-	if sent != 5 || shown != 5 {
-		t.Fatalf("frames sent=%d shown=%d", sent, shown)
+	st := player.Stats()
+	if st.FramesSent != 5 || st.FramesShown != 5 {
+		t.Fatalf("frames sent=%d shown=%d", st.FramesSent, st.FramesShown)
 	}
-	if wire >= raw {
-		t.Fatalf("no traffic reduction: raw=%d wire=%d", raw, wire)
+	if st.WireBytes >= st.RawBytes {
+		t.Fatalf("no traffic reduction: raw=%d wire=%d", st.RawBytes, st.WireBytes)
 	}
 	_ = player.Close()
 	_ = srv.Close()
@@ -151,10 +151,10 @@ func TestPlayerOverInMemoryLink(t *testing.T) {
 }
 
 func TestPlayerValidation(t *testing.T) {
-	if _, err := NewPlayer("nope", 32, 32, 1); !errors.Is(err, ErrUnknownWorkload) {
+	if _, err := NewPlayer(PlayerConfig{Workload: "nope", Width: 32, Height: 32, Seed: 1}); !errors.Is(err, ErrUnknownWorkload) {
 		t.Fatalf("bad workload error = %v", err)
 	}
-	if _, err := NewStreamServer(0, 0); err == nil {
+	if _, err := NewStreamServer(StreamServerConfig{}); err == nil {
 		t.Fatal("zero-size server accepted")
 	}
 }

@@ -28,6 +28,14 @@ type ClientConfig struct {
 	Arrays glwire.ClientArrays
 	// CacheBytes bounds each per-server command cache.
 	CacheBytes int
+	// Parallelism is the tile-parallel turbo decode degree: 0 selects
+	// one worker per CPU, 1 the serial reference path. Output is
+	// byte-identical at every degree.
+	Parallelism int
+	// PipelineDepth bounds frames in flight between each service's
+	// receive and decode stages: 0 selects DefaultPipelineDepth,
+	// negative decodes inline on the receive goroutine.
+	PipelineDepth int
 
 	// Failover tuning (zero values take the defaults below). A device
 	// whose head-of-line request stops making progress — no result
@@ -72,6 +80,18 @@ func (c ClientConfig) withDefaults() ClientConfig {
 		c.FailoverAttempts = 3
 	}
 	return c
+}
+
+// pipelineDepth resolves the receive/decode overlap bound.
+func (c ClientConfig) pipelineDepth() int {
+	switch {
+	case c.PipelineDepth < 0:
+		return 0
+	case c.PipelineDepth == 0:
+		return DefaultPipelineDepth
+	default:
+		return c.PipelineDepth
+	}
 }
 
 // Frame is one displayed frame.
@@ -214,6 +234,7 @@ func (c *Client) AddService(name string, conn *rudp.Conn, capability float64, rt
 		dec:   turbo.NewDecoder(c.cfg.Width, c.cfg.Height, c.cfg.Quality),
 		dev:   dev,
 	}
+	svc.dec.SetParallelism(c.cfg.Parallelism)
 	// Grow the live scheduler rather than rebuilding it: a rebuild
 	// would silently zero the accumulated Assigned/PerDevice/TotalWork
 	// stats (and the health state) of the existing devices.
@@ -226,8 +247,19 @@ func (c *Client) AddService(name string, conn *rudp.Conn, capability float64, rt
 		return fmt.Errorf("core: scheduler: %w", err)
 	}
 	c.services = append(c.services, svc)
-	c.wg.Add(1)
-	go c.recvLoop(svc)
+	if depth := c.cfg.pipelineDepth(); depth > 0 {
+		// Receive/decode overlap: the recv goroutine validates and
+		// hands off, the decode goroutine runs the turbo decoder. The
+		// bounded channel keeps a slow decoder from buffering the
+		// world.
+		jobs := make(chan decodeJob, depth)
+		c.wg.Add(2)
+		go c.recvLoop(svc, jobs)
+		go c.decodeLoop(svc, jobs)
+	} else {
+		c.wg.Add(1)
+		go c.recvLoop(svc, nil)
+	}
 	return nil
 }
 
@@ -375,12 +407,13 @@ func (c *Client) flushFrameLocked() error {
 		if s.dev.Health() == dispatch.Evicted {
 			continue
 		}
-		if !c.windowFitsLocked(s, stateRecs) {
-			// The channel is saturated with unacked data — a strong
-			// dead-device signal. Dropping the update here keeps the
-			// command caches coherent (neither side encodes it); only
-			// the replica's GL state goes stale, which readmission
-			// tolerates (see DESIGN.md, failure semantics).
+		if !c.windowFitsLocked(s, stateRecs) && !c.waitWindowLocked(s, stateRecs) {
+			// The channel stayed saturated with unacked data through
+			// the drain wait — a strong dead-device signal. Dropping
+			// the update here keeps the command caches coherent
+			// (neither side encodes it); only the replica's GL state
+			// goes stale, which readmission tolerates (see DESIGN.md,
+			// failure semantics).
 			c.sched.ReportFailure(s.dev)
 			continue
 		}
@@ -404,6 +437,42 @@ func (c *Client) flushFrameLocked() error {
 // windowGuardSlack keeps a few datagrams of headroom so a send can
 // never block on a saturated reliable channel while holding c.mu.
 const windowGuardSlack = 4
+
+// waitWindowLocked gives s's transport a bounded chance to drain a
+// saturated send window before the caller may treat the saturation as
+// a dead-device signal. A burst of frame flushes can legitimately fill
+// the window faster than acks return — the guard exists so a dead
+// peer can't wedge the pipeline forever, not to fail devices that are
+// merely backlogged — so back off for a few RTOs and recheck. Returns
+// true once the send fits. c.mu stays held across the sleeps: ack
+// processing is rudp-internal and needs no client state, and the wait
+// is bounded, so decode/failover work is delayed, never deadlocked.
+func (c *Client) waitWindowLocked(s *service, recs [][]byte) bool {
+	// Progress-based, like the failover detector: any ack progress
+	// (occupancy dropping) resets the clock, so a slowly-draining
+	// window is waited out however long it takes, while a window that
+	// stops moving for a few RTOs is declared stuck.
+	quiet := 4 * s.conn.Stats().RTO
+	if quiet < 50*time.Millisecond {
+		quiet = 50 * time.Millisecond
+	}
+	if quiet > 500*time.Millisecond {
+		quiet = 500 * time.Millisecond
+	}
+	last := s.conn.Stats().WindowOccupancy
+	deadline := time.Now().Add(quiet)
+	for time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		if c.windowFitsLocked(s, recs) {
+			return true
+		}
+		if occ := s.conn.Stats().WindowOccupancy; occ < last {
+			last = occ
+			deadline = time.Now().Add(quiet)
+		}
+	}
+	return false
+}
 
 // windowFitsLocked estimates whether sending recs to s could block on
 // its transport window. The estimate uses raw record bytes (an upper
@@ -462,8 +531,10 @@ func (c *Client) sendBatchLocked(seq uint64, req *inflightReq) error {
 		req.tried[dev.ID] = true
 		// Never let Send block on a saturated window while holding mu:
 		// guard before encoding so a rejected device's mirrored cache
-		// stays untouched.
-		if !c.windowFitsLocked(svc, req.recs) {
+		// stays untouched. A window that stays full through the drain
+		// wait counts as a failure; one that is merely absorbing a
+		// burst does not.
+		if !c.windowFitsLocked(svc, req.recs) && !c.waitWindowLocked(svc, req.recs) {
 			c.sched.Complete(dev, req.workload)
 			c.sched.ReportFailure(dev)
 			continue
@@ -617,10 +688,21 @@ func (c *Client) sweepOverdue(now time.Time) bool {
 	return true
 }
 
-// recvLoop decodes encoded frames from one server and feeds the reorder
-// buffer.
-func (c *Client) recvLoop(svc *service) {
+// decodeJob carries one validated encoded-frame payload from a
+// service's receive goroutine to its decode goroutine.
+type decodeJob struct {
+	seq     uint64
+	payload []byte
+}
+
+// recvLoop reads messages from one server, validates them, and either
+// hands encoded frames to the service's decode goroutine (jobs != nil)
+// or decodes them inline (jobs == nil, PipelineDepth < 0).
+func (c *Client) recvLoop(svc *service, jobs chan<- decodeJob) {
 	defer c.wg.Done()
+	if jobs != nil {
+		defer close(jobs)
+	}
 	for {
 		msg, err := svc.conn.Recv(0)
 		if err != nil {
@@ -639,62 +721,93 @@ func (c *Client) recvLoop(svc *service) {
 			c.mu.Unlock()
 			continue
 		}
-		pixels, err := svc.dec.Decode(payload)
-		if err != nil {
-			c.mu.Lock()
-			if c.sinkErr == nil {
-				c.sinkErr = fmt.Errorf("core: frame decode: %w", err)
+		if jobs == nil {
+			if !c.decodeOne(svc, seq, payload) {
+				return
 			}
-			c.mu.Unlock()
 			continue
 		}
-		frame := Frame{Seq: seq, Pixels: append([]byte(nil), pixels...)}
-		now := time.Now()
-		c.mu.Lock()
-		// A result is proof of life for the device that produced it.
-		c.sched.ReportSuccess(svc.dev)
-		if req, ok := c.inflight[seq]; ok {
-			if req.svc == svc {
-				// Head-of-line service time: how long this request took
-				// once it reached the front of the device's queue.
-				start := req.sentAt
-				if svc.lastReply.After(start) {
-					start = svc.lastReply
-				}
-				if sample := now.Sub(start); svc.svcEWMA <= 0 {
-					svc.svcEWMA = sample
-				} else {
-					svc.svcEWMA += (sample - svc.svcEWMA) / 4
-				}
-			}
-			// Credit whichever device currently carries the request —
-			// after a re-dispatch a slow original may answer first.
-			c.sched.Complete(req.svc.dev, req.workload)
-			delete(c.inflight, seq)
-		}
-		svc.lastReply = now
-		released, err := c.reorder.Push(seq, frame)
-		if err != nil {
-			if errors.Is(err, dispatch.ErrDuplicate) {
-				// Expected under failover: both the original and the
-				// replacement device may answer, and a gap-skipped
-				// frame may still trickle in.
-				c.stats.LateFrames++
-			} else if c.sinkErr == nil {
-				c.sinkErr = fmt.Errorf("core: reorder: %w", err)
-			}
-		}
-		// Deliver while still holding the lock: two receive loops that
-		// release consecutive batches must not interleave their channel
-		// sends, or frames display out of order. The frames channel is
-		// only ever read (never locked) by consumers, so holding mu
-		// across the send cannot deadlock.
-		if !c.deliverLocked(released) {
-			c.mu.Unlock()
+		select {
+		case jobs <- decodeJob{seq: seq, payload: payload}:
+		case <-c.done:
 			return
 		}
-		c.mu.Unlock()
 	}
+}
+
+// decodeLoop drains one service's decode jobs. Per-connection replies
+// arrive in dispatch order; a single decode goroutine per service
+// preserves that order into the reorder buffer.
+func (c *Client) decodeLoop(svc *service, jobs <-chan decodeJob) {
+	defer c.wg.Done()
+	for job := range jobs {
+		if !c.decodeOne(svc, job.seq, job.payload) {
+			return
+		}
+	}
+}
+
+// decodeOne turbo-decodes one encoded frame and runs the bookkeeping:
+// liveness credit, inflight completion, service-time EWMA, reorder
+// push, and delivery. It reports false when the client shut down
+// mid-delivery.
+func (c *Client) decodeOne(svc *service, seq uint64, payload []byte) bool {
+	pixels, err := svc.dec.Decode(payload)
+	if err != nil {
+		c.mu.Lock()
+		if c.sinkErr == nil {
+			c.sinkErr = fmt.Errorf("core: frame decode: %w", err)
+		}
+		c.mu.Unlock()
+		return true
+	}
+	frame := Frame{Seq: seq, Pixels: append([]byte(nil), pixels...)}
+	now := time.Now()
+	c.mu.Lock()
+	// A result is proof of life for the device that produced it.
+	c.sched.ReportSuccess(svc.dev)
+	if req, ok := c.inflight[seq]; ok {
+		if req.svc == svc {
+			// Head-of-line service time: how long this request took
+			// once it reached the front of the device's queue.
+			start := req.sentAt
+			if svc.lastReply.After(start) {
+				start = svc.lastReply
+			}
+			if sample := now.Sub(start); svc.svcEWMA <= 0 {
+				svc.svcEWMA = sample
+			} else {
+				svc.svcEWMA += (sample - svc.svcEWMA) / 4
+			}
+		}
+		// Credit whichever device currently carries the request —
+		// after a re-dispatch a slow original may answer first.
+		c.sched.Complete(req.svc.dev, req.workload)
+		delete(c.inflight, seq)
+	}
+	svc.lastReply = now
+	released, err := c.reorder.Push(seq, frame)
+	if err != nil {
+		if errors.Is(err, dispatch.ErrDuplicate) {
+			// Expected under failover: both the original and the
+			// replacement device may answer, and a gap-skipped
+			// frame may still trickle in.
+			c.stats.LateFrames++
+		} else if c.sinkErr == nil {
+			c.sinkErr = fmt.Errorf("core: reorder: %w", err)
+		}
+	}
+	// Deliver while still holding the lock: two decode paths that
+	// release consecutive batches must not interleave their channel
+	// sends, or frames display out of order. The frames channel is
+	// only ever read (never locked) by consumers, so holding mu
+	// across the send cannot deadlock.
+	if !c.deliverLocked(released) {
+		c.mu.Unlock()
+		return false
+	}
+	c.mu.Unlock()
+	return true
 }
 
 // NextFrame returns the next in-order displayed frame, waiting up to

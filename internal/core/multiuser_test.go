@@ -28,7 +28,7 @@ type clientCache struct {
 
 func newMirrorCache() *cmdcache.Cache { return cmdcache.New(0) }
 
-func newBatchBuilder(t *testing.T, id string, seed uint64) *batchBuilder {
+func newBatchBuilder(t testing.TB, id string, seed uint64) *batchBuilder {
 	t.Helper()
 	prof, err := workload.ByID(id)
 	if err != nil {
@@ -42,7 +42,7 @@ func newBatchBuilder(t *testing.T, id string, seed uint64) *batchBuilder {
 	}
 }
 
-func (b *batchBuilder) next(t *testing.T) []byte {
+func (b *batchBuilder) next(t testing.TB) []byte {
 	t.Helper()
 	buf, err := b.enc.EncodeAll(nil, b.game.NextFrame().Commands)
 	if err != nil {

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/rudp"
+)
+
+// servePipe starts srv on an in-memory connection pair and returns the
+// client end plus a join function.
+func servePipe(tb testing.TB, srv *Server) (*rudp.Conn, func()) {
+	tb.Helper()
+	pcC, pcS := rudp.NewMemPair(0, 42)
+	opts := rudp.DefaultOptions()
+	connC := rudp.New(pcC, pcS.Addr(), opts)
+	connS := rudp.New(pcS, pcC.Addr(), opts)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.ServeWithTimeout(connS, 2*time.Second)
+		_ = connS.Close()
+	}()
+	return connC, func() {
+		_ = connC.Close()
+		wg.Wait()
+	}
+}
+
+// TestServePipelinedMatchesSync: the overlapped serve loop must produce
+// byte-identical replies, in the same order, as the synchronous one —
+// the stage-overlap analogue of the codec determinism property.
+func TestServePipelinedMatchesSync(t *testing.T) {
+	const frames = 8
+	collect := func(depth int) [][]byte {
+		srv, err := NewServer(ServerConfig{Width: testW, Height: testH, PipelineDepth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, join := servePipe(t, srv)
+		defer join()
+		builder := newBatchBuilder(t, "G5", 3)
+		var replies [][]byte
+		for i := 0; i < frames; i++ {
+			if err := conn.Send(builder.next(t)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < frames; i++ {
+			msg, err := conn.Recv(5 * time.Second)
+			if err != nil {
+				t.Fatalf("reply %d: %v", i, err)
+			}
+			replies = append(replies, msg)
+		}
+		return replies
+	}
+	want := collect(-1) // synchronous reference
+	got := collect(2)   // overlapped
+	for i := range want {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Fatalf("reply %d: pipelined serve diverged from sync (%dB vs %dB)",
+				i, len(got[i]), len(want[i]))
+		}
+	}
+}
+
+// TestServePipelineConfigDepth checks the depth resolution rules.
+func TestServePipelineConfigDepth(t *testing.T) {
+	cases := []struct{ in, want int }{{-1, 0}, {0, DefaultPipelineDepth}, {3, 3}}
+	for _, tc := range cases {
+		if got := (ServerConfig{PipelineDepth: tc.in}).pipelineDepth(); got != tc.want {
+			t.Errorf("server pipelineDepth(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+		if got := (ClientConfig{PipelineDepth: tc.in}).pipelineDepth(); got != tc.want {
+			t.Errorf("client pipelineDepth(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// BenchmarkFramePipeline measures end-to-end frame round trips with the
+// render/encode stages serialized vs overlapped, keeping two requests
+// in flight so the server-side pipeline can actually fill.
+func BenchmarkFramePipeline(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		depth int
+	}{{"sync", -1}, {"overlap", 0}} {
+		b.Run(fmt.Sprintf("640x360/%s", mode.name), func(b *testing.B) {
+			srv, err := NewServer(ServerConfig{Width: 640, Height: 360, PipelineDepth: mode.depth})
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn, join := servePipe(b, srv)
+			defer join()
+			builder := newBatchBuilder(b, "G5", 1)
+			const ahead = 2
+			b.SetBytes(640 * 360 * 4)
+			b.ResetTimer()
+			sent := 0
+			for i := 0; i < b.N; i++ {
+				for sent < b.N && sent-i < ahead {
+					if err := conn.Send(builder.next(b)); err != nil {
+						b.Fatal(err)
+					}
+					sent++
+				}
+				if _, err := conn.Recv(10 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gbooster/gbooster/internal/cmdcache"
@@ -12,6 +13,10 @@ import (
 	"github.com/gbooster/gbooster/internal/rudp"
 	"github.com/gbooster/gbooster/internal/turbo"
 )
+
+// DefaultPipelineDepth bounds frames in flight between Serve's render
+// and encode stages when ServerConfig.PipelineDepth is zero.
+const DefaultPipelineDepth = 2
 
 // ServerConfig parameterizes a service-device endpoint.
 type ServerConfig struct {
@@ -23,6 +28,18 @@ type ServerConfig struct {
 	// CacheBytes bounds the mirrored command cache (default
 	// cmdcache.DefaultCapacity).
 	CacheBytes int
+	// Parallelism is the data-plane worker degree for rasterization
+	// bands and codec tiles: 0 selects one worker per CPU, 1 the serial
+	// reference path. Output is byte-identical at every degree.
+	Parallelism int
+	// DiffThreshold overrides the turbo changed-tile sensitivity: 0
+	// keeps turbo.DefaultDiffThreshold, negative ships every
+	// nonidentical tile (exact mode).
+	DiffThreshold float64
+	// PipelineDepth bounds frames in flight between Serve's render and
+	// encode stages: 0 selects DefaultPipelineDepth, negative disables
+	// the overlap (render and encode run strictly in sequence).
+	PipelineDepth int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -30,6 +47,18 @@ func (c ServerConfig) withDefaults() ServerConfig {
 		c.Quality = turbo.DefaultQuality
 	}
 	return c
+}
+
+// pipelineDepth resolves the render/encode overlap bound.
+func (c ServerConfig) pipelineDepth() int {
+	switch {
+	case c.PipelineDepth < 0:
+		return 0
+	case c.PipelineDepth == 0:
+		return DefaultPipelineDepth
+	default:
+		return c.PipelineDepth
+	}
 }
 
 // ServerStats counts server work.
@@ -48,13 +77,19 @@ type ServerStats struct {
 // FCFS order.
 type Server struct {
 	cfg   ServerConfig
-	gpu   *gles.GPU
-	enc   *turbo.Encoder
 	cache *cmdcache.Cache
 	dec   glwire.Decoder
 
+	// mu guards the render stage (GPU, cache, decoder, stats); encMu
+	// guards the encode stage (the turbo encoder). Separate locks are
+	// what let the pipelined serve path render frame N while frame N−1
+	// is still being encoded.
 	mu    sync.Mutex
+	gpu   *gles.GPU
 	stats ServerStats
+
+	encMu sync.Mutex
+	enc   *turbo.Encoder
 }
 
 // NewServer builds a server with a fresh GPU context.
@@ -63,12 +98,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		return nil, fmt.Errorf("%w: resolution %dx%d", ErrBadMessage, cfg.Width, cfg.Height)
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		gpu:   gles.NewGPU(cfg.Width, cfg.Height),
 		enc:   turbo.NewEncoder(cfg.Width, cfg.Height, cfg.Quality),
 		cache: cmdcache.New(cfg.CacheBytes),
-	}, nil
+	}
+	s.gpu.SetParallelism(cfg.Parallelism)
+	s.enc.SetParallelism(cfg.Parallelism)
+	if cfg.DiffThreshold > 0 {
+		s.enc.SetDiffThreshold(cfg.DiffThreshold)
+	} else if cfg.DiffThreshold < 0 {
+		s.enc.SetDiffThreshold(0)
+	}
+	return s, nil
 }
 
 // Stats returns a snapshot of the server counters.
@@ -80,12 +123,113 @@ func (s *Server) Stats() ServerStats {
 }
 
 // Serve processes messages from conn until it closes. It replies to
-// frame batches with encoded frames on the same connection.
+// frame batches with encoded frames on the same connection. With a
+// positive pipeline depth the render and encode stages overlap: the
+// main loop renders frame N while a companion goroutine turbo-encodes
+// and sends frame N−1.
 func (s *Server) Serve(conn *rudp.Conn) error {
+	return s.serve(conn, 0)
+}
+
+// ServeWithTimeout is Serve with an idle timeout, for tests that must
+// terminate even if the peer forgets to close.
+func (s *Server) ServeWithTimeout(conn *rudp.Conn, idle time.Duration) error {
+	return s.serve(conn, idle)
+}
+
+// encodeJob carries one rendered frame from the render stage to the
+// encode stage.
+type encodeJob struct {
+	frame []byte
+	seq   uint64
+}
+
+func (s *Server) serve(conn *rudp.Conn, idle time.Duration) error {
+	depth := s.cfg.pipelineDepth()
+	if depth <= 0 {
+		return s.serveSync(conn, idle)
+	}
+
+	// Frame copies handed to the encoder stage; pooled so steady-state
+	// streaming allocates no new framebuffers.
+	framePool := sync.Pool{New: func() any {
+		buf := make([]byte, s.cfg.Width*s.cfg.Height*4)
+		return &buf
+	}}
+	jobs := make(chan encodeJob, depth)
+	errc := make(chan error, 1)
+	var outstanding atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for job := range jobs {
+			reply, err := s.encodeReply(job.frame, job.seq)
+			framePool.Put(&job.frame)
+			if err == nil {
+				if serr := conn.Send(reply); serr != nil {
+					err = fmt.Errorf("core: server send: %w", serr)
+				}
+			}
+			outstanding.Add(-1)
+			if err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				// Keep draining so the render stage never blocks on a
+				// full jobs channel while shutting down.
+			}
+		}
+	}()
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
 	for {
-		msg, err := conn.Recv(0)
+		select {
+		case err := <-errc:
+			return err
+		default:
+		}
+		msg, err := conn.Recv(idle)
 		if err != nil {
-			if err == rudp.ErrClosed {
+			if err == rudp.ErrTimeout && outstanding.Load() > 0 {
+				// Not idle: the encoder is still working the backlog.
+				// Declaring idle here would flush-and-return the moment
+				// the last reply hit the wire, with no quiet period for
+				// the transport to finish delivering it — the serial
+				// loop's idle timeout only ever fired after a full idle
+				// window with nothing in flight anywhere.
+				continue
+			}
+			if err == rudp.ErrClosed || err == rudp.ErrTimeout {
+				return nil
+			}
+			return fmt.Errorf("core: server recv: %w", err)
+		}
+		frame, seq, err := s.renderMsg(msg)
+		if err != nil {
+			return err
+		}
+		if frame == nil {
+			continue
+		}
+		buf := *framePool.Get().(*[]byte)
+		copy(buf, frame)
+		outstanding.Add(1)
+		jobs <- encodeJob{frame: buf, seq: seq}
+	}
+}
+
+// serveSync is the non-overlapped serve loop (PipelineDepth < 0): each
+// frame is rendered, encoded, and sent before the next recv.
+func (s *Server) serveSync(conn *rudp.Conn, idle time.Duration) error {
+	for {
+		msg, err := conn.Recv(idle)
+		if err != nil {
+			if err == rudp.ErrClosed || err == rudp.ErrTimeout {
 				return nil
 			}
 			return fmt.Errorf("core: server recv: %w", err)
@@ -104,41 +248,66 @@ func (s *Server) Serve(conn *rudp.Conn) error {
 
 // Handle processes one message and returns the reply to send (nil for
 // state updates). Exposed so simulations can drive a server without a
-// transport.
+// transport. Handle is the synchronous composition of the two pipeline
+// stages; the rendered frame is encoded before Handle returns, so no
+// copy is needed.
 func (s *Server) Handle(msg []byte) ([]byte, error) {
+	frame, seq, err := s.renderMsg(msg)
+	if err != nil || frame == nil {
+		return nil, err
+	}
+	return s.encodeReply(frame, seq)
+}
+
+// renderMsg runs the render stage under s.mu: decode, cache-resolve,
+// and execute one message. It returns the live framebuffer (valid only
+// until the next render) when the batch completed a frame needing
+// encode, nil otherwise.
+func (s *Server) renderMsg(msg []byte) ([]byte, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.BytesIn += int64(len(msg))
 	msgType, seq, payload, err := decodeMsg(msg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	switch msgType {
 	case MsgFrameBatch:
 		frame, err := s.executeBatch(payload)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		if frame == nil {
-			return nil, nil // batch without a SwapBuffers boundary
-		}
-		pkt, err := s.enc.Encode(frame, false)
-		if err != nil {
-			return nil, fmt.Errorf("core: encode frame: %w", err)
-		}
-		s.stats.FramesRendered++
-		reply := encodeMsg(MsgEncodedFrame, seq, pkt)
-		s.stats.BytesOut += int64(len(reply))
-		return reply, nil
+		return frame, seq, nil // frame == nil: no SwapBuffers boundary
 	case MsgStateUpdate:
 		if _, err := s.executeBatch(payload); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		s.stats.StateUpdates++
-		return nil, nil
+		return nil, 0, nil
 	default:
-		return nil, fmt.Errorf("%w: type %d", ErrBadMessage, msgType)
+		return nil, 0, fmt.Errorf("%w: type %d", ErrBadMessage, msgType)
 	}
+}
+
+// encodeReply runs the encode stage: turbo-encode one finished frame
+// under s.encMu and wrap it in a reply message. Frames must reach the
+// encoder in render order — the closed-loop delta codec's prev state is
+// order-sensitive — which both callers guarantee (Handle by being
+// synchronous, serve by using a single encoder goroutine fed from an
+// ordered channel).
+func (s *Server) encodeReply(frame []byte, seq uint64) ([]byte, error) {
+	s.encMu.Lock()
+	pkt, err := s.enc.Encode(frame, false)
+	s.encMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("core: encode frame: %w", err)
+	}
+	reply := encodeMsg(MsgEncodedFrame, seq, pkt)
+	s.mu.Lock()
+	s.stats.FramesRendered++
+	s.stats.BytesOut += int64(len(reply))
+	s.mu.Unlock()
+	return reply, nil
 }
 
 // executeBatch decompresses, cache-decodes, deserializes, and executes
@@ -182,25 +351,3 @@ func (s *Server) Snapshot() gles.StateSnapshot {
 	return s.gpu.Ctx.Snapshot()
 }
 
-// ServeWithTimeout is Serve with an idle timeout, for tests that must
-// terminate even if the peer forgets to close.
-func (s *Server) ServeWithTimeout(conn *rudp.Conn, idle time.Duration) error {
-	for {
-		msg, err := conn.Recv(idle)
-		if err != nil {
-			if err == rudp.ErrClosed || err == rudp.ErrTimeout {
-				return nil
-			}
-			return fmt.Errorf("core: server recv: %w", err)
-		}
-		reply, err := s.Handle(msg)
-		if err != nil {
-			return err
-		}
-		if reply != nil {
-			if err := conn.Send(reply); err != nil {
-				return fmt.Errorf("core: server send: %w", err)
-			}
-		}
-	}
-}

@@ -2,6 +2,8 @@ package gles
 
 import (
 	"fmt"
+
+	"github.com/gbooster/gbooster/internal/parallel"
 )
 
 // GPU couples a Context with a Framebuffer and executes command
@@ -17,12 +19,24 @@ type GPU struct {
 	FragmentsShaded int64
 	// FramesCompleted counts SwapBuffers boundaries executed.
 	FramesCompleted int64
+
+	// par is the scanline-band rasterization degree; <= 1 keeps the
+	// serial path. Output is byte-identical at every degree.
+	par int
 }
 
 // NewGPU returns a GPU rendering into a w×h framebuffer with a fresh
-// context.
+// context. Rasterization is serial by default; opt in to band
+// parallelism with SetParallelism.
 func NewGPU(w, h int) *GPU {
 	return &GPU{Ctx: NewContext(), FB: NewFramebuffer(w, h)}
+}
+
+// SetParallelism sets the scanline-band worker degree for draw calls:
+// n <= 0 selects one band per CPU, 1 restores the serial path. Safe to
+// call between Execute calls, not concurrently with them.
+func (g *GPU) SetParallelism(n int) {
+	g.par = parallel.Degree(n)
 }
 
 // ExecResult describes what one command did.
@@ -57,7 +71,7 @@ func (g *GPU) Execute(cmd Command) (ExecResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("drawArrays: %w", err)
 		}
-		res.Fragments = g.Ctx.drawTriangles(g.FB, verts, cmd.Int(0))
+		res.Fragments = g.Ctx.drawTriangles(g.FB, verts, cmd.Int(0), g.par)
 	case OpDrawElements:
 		indices, err := g.drawIndices(cmd)
 		if err != nil {
@@ -67,7 +81,7 @@ func (g *GPU) Execute(cmd Command) (ExecResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("drawElements: %w", err)
 		}
-		res.Fragments = g.Ctx.drawTriangles(g.FB, verts, cmd.Int(0))
+		res.Fragments = g.Ctx.drawTriangles(g.FB, verts, cmd.Int(0), g.par)
 	case OpSwapBuffers:
 		g.FramesCompleted++
 		res.FrameDone = true

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"image"
 	"image/color"
+	"sync/atomic"
+
+	"github.com/gbooster/gbooster/internal/parallel"
 )
 
 // Framebuffer is an RGBA8 render target with an optional depth buffer.
@@ -225,36 +228,75 @@ func (c *Context) gatherVertices(first, count int, indices []uint16) ([]vertex, 
 	return verts, nil
 }
 
-// drawTriangles rasterizes the vertex list as triangles (or a strip)
-// into fb and returns the number of fragments shaded — the quantity the
-// fillrate-based GPU-time model consumes.
-func (c *Context) drawTriangles(fb *Framebuffer, verts []vertex, mode int32) int64 {
-	st := c.rasterState()
-	var shaded int64
-	emit := func(v0, v1, v2 vertex) {
-		shaded += rasterizeTriangle(fb, &st, v0, v1, v2)
-	}
+// tri is one assembled triangle, in submission order.
+type tri struct{ v0, v1, v2 vertex }
+
+// assembleTriangles expands the vertex list into triangles, honoring
+// strip winding (odd strip triangles swap the leading pair so both
+// orders rasterize consistently).
+func assembleTriangles(dst []tri, verts []vertex, mode int32) []tri {
 	switch mode {
 	case DrawModeTriStrip:
 		for i := 0; i+2 < len(verts); i++ {
 			if i%2 == 0 {
-				emit(verts[i], verts[i+1], verts[i+2])
+				dst = append(dst, tri{verts[i], verts[i+1], verts[i+2]})
 			} else {
-				emit(verts[i+1], verts[i], verts[i+2])
+				dst = append(dst, tri{verts[i+1], verts[i], verts[i+2]})
 			}
 		}
 	default: // DrawModeTriangles
 		for i := 0; i+2 < len(verts); i += 3 {
-			emit(verts[i], verts[i+1], verts[i+2])
+			dst = append(dst, tri{verts[i], verts[i+1], verts[i+2]})
 		}
 	}
-	return shaded
+	return dst
 }
 
-// rasterizeTriangle fills one screen-space triangle with interpolated
-// color, optional texturing, optional depth test, and optional alpha
-// blending. It returns the number of fragments shaded.
-func rasterizeTriangle(fb *Framebuffer, st *rasterState, v0, v1, v2 vertex) int64 {
+// minParallelRows is the framebuffer height below which band decomposition
+// is not worth the fan-out overhead.
+const minParallelRows = 64
+
+// drawTriangles rasterizes the vertex list as triangles (or a strip)
+// into fb and returns the number of fragments shaded — the quantity the
+// fillrate-based GPU-time model consumes.
+//
+// par is the scanline-band worker degree. For par > 1 the framebuffer
+// rows are split into contiguous bands and every band rasterizes the
+// full triangle list, in submission order, clipped to its own rows
+// (sort-middle style). Each pixel is owned by exactly one band, so the
+// per-pixel sequence of depth tests and blends is exactly the serial
+// one and the output is byte-identical at every degree — the
+// determinism tests assert this on Pix and Depth both.
+func (c *Context) drawTriangles(fb *Framebuffer, verts []vertex, mode int32, par int) int64 {
+	st := c.rasterState()
+	tris := assembleTriangles(nil, verts, mode)
+	if par <= 1 || len(tris) == 0 || fb.H < minParallelRows {
+		var shaded int64
+		for _, t := range tris {
+			shaded += rasterizeTriangleBand(fb, &st, t.v0, t.v1, t.v2, 0, fb.H)
+		}
+		return shaded
+	}
+	var total int64
+	parallel.Do(par, fb.H, func(lo, hi int) {
+		var shaded int64
+		for _, t := range tris {
+			shaded += rasterizeTriangleBand(fb, &st, t.v0, t.v1, t.v2, lo, hi)
+		}
+		// Per-pixel work is disjoint across bands; only the fragment
+		// counter is shared. Integer addition commutes, so the total
+		// matches the serial count exactly.
+		atomic.AddInt64(&total, shaded)
+	})
+	return total
+}
+
+// rasterizeTriangleBand fills one screen-space triangle with
+// interpolated color, optional texturing, optional depth test, and
+// optional alpha blending, restricted to rows [yLo, yHi). It returns
+// the number of fragments shaded. The serial path passes [0, fb.H);
+// the parallel path gives each worker a disjoint row band.
+func rasterizeTriangleBand(fb *Framebuffer, st *rasterState, v0, v1, v2 vertex, yLo, yHi int) int64 {
 	minX := int(min3(v0.x, v1.x, v2.x))
 	maxX := int(max3(v0.x, v1.x, v2.x)) + 1
 	minY := int(min3(v0.y, v1.y, v2.y))
@@ -262,14 +304,14 @@ func rasterizeTriangle(fb *Framebuffer, st *rasterState, v0, v1, v2 vertex) int6
 	if minX < 0 {
 		minX = 0
 	}
-	if minY < 0 {
-		minY = 0
+	if minY < yLo {
+		minY = yLo
 	}
 	if maxX > fb.W {
 		maxX = fb.W
 	}
-	if maxY > fb.H {
-		maxY = fb.H
+	if maxY > yHi {
+		maxY = yHi
 	}
 	if st.scissor {
 		// GL scissor origin is bottom-left; framebuffer rows run

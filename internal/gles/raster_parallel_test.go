@@ -1,0 +1,196 @@
+package gles
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// uniqueDegrees dedupes a degree list (NumCPU may collide with the
+// fixed entries).
+func uniqueDegrees(ds []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range ds {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func parDegrees() []int {
+	return uniqueDegrees([]int{1, 2, 3, runtime.NumCPU()})
+}
+
+func benchDegrees() []int {
+	return uniqueDegrees([]int{1, 2, 4, runtime.NumCPU()})
+}
+
+// triangleSoup emits count random triangles as a flat xyz vertex slice,
+// spanning the NDC cube with some spill past the edges so clipping is
+// exercised too.
+func triangleSoup(rng *sim.RNG, count int) []float32 {
+	verts := make([]float32, 0, count*9)
+	coord := func() float32 { return float32(rng.Intn(3000))/1000 - 1.5 }
+	depth := func() float32 { return float32(rng.Intn(2000))/1000 - 1 }
+	for i := 0; i < count; i++ {
+		for v := 0; v < 3; v++ {
+			verts = append(verts, coord(), coord(), depth())
+		}
+	}
+	return verts
+}
+
+// renderScene draws a randomized stream — clears, soups, a strip, a
+// textured blended quad, a scissored pass — at the given band degree
+// and returns the final framebuffer.
+func renderScene(t *testing.T, w, h, par int, seed uint64) *GPU {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	gpu := setupDrawCtx(t, w, h)
+	gpu.SetParallelism(par)
+	mustExec(t, gpu, CmdClearColor(0.1, 0.2, 0.3, 1))
+	mustExec(t, gpu, CmdClear(ClearColorBit|ClearDepthBit))
+	mustExec(t, gpu, CmdEnable(CapDepthTest))
+
+	// Opaque depth-tested soup.
+	mustExec(t, gpu, CmdUniform4f(LocTint, 0.9, 0.4, 0.2, 1))
+	soup := triangleSoup(rng, 40)
+	mustExec(t, gpu, CmdVertexAttribPointerResolved(LocPosition, 3, 0, FloatsToBytes(soup)))
+	mustExec(t, gpu, CmdEnableVertexAttribArray(LocPosition))
+	mustExec(t, gpu, CmdDrawArrays(DrawModeTriangles, 0, int32(len(soup)/3)))
+
+	// Blended translucent soup on top: blend order is visible in the
+	// output, so this catches any reordering across bands.
+	mustExec(t, gpu, CmdEnable(CapBlend))
+	mustExec(t, gpu, CmdBlendFunc(BlendSrcAlpha, BlendOneMinusSrcA))
+	mustExec(t, gpu, CmdUniform4f(LocTint, 0.2, 0.8, 0.6, 0.5))
+	soup2 := triangleSoup(rng, 30)
+	mustExec(t, gpu, CmdVertexAttribPointerResolved(LocPosition, 3, 0, FloatsToBytes(soup2)))
+	mustExec(t, gpu, CmdDrawArrays(DrawModeTriangles, 0, int32(len(soup2)/3)))
+
+	// Triangle strip (odd-index winding swap must survive assembly).
+	mustExec(t, gpu, CmdUniform4f(LocTint, 0.5, 0.5, 1, 0.7))
+	strip := FloatsToBytes([]float32{-0.9, -0.9, 0, 0.9, -0.7, 0.2, -0.8, 0.6, -0.1, 0.7, 0.9, 0.4})
+	mustExec(t, gpu, CmdVertexAttribPointerResolved(LocPosition, 3, 0, strip))
+	mustExec(t, gpu, CmdDrawArrays(DrawModeTriStrip, 0, 4))
+
+	// Textured blended quad.
+	mustExec(t, gpu, CmdGenTexture(1))
+	mustExec(t, gpu, CmdBindTexture(TexTarget2D, 1))
+	tex := make([]byte, 8*8*4)
+	for i := range tex {
+		tex[i] = byte(rng.Intn(256))
+	}
+	mustExec(t, gpu, CmdTexImage2D(TexTarget2D, 0, 8, 8, tex))
+	mustExec(t, gpu, CmdUniform1i(LocSampler, 0))
+	mustExec(t, gpu, CmdUniform4f(LocTint, 1, 1, 1, 0.8))
+	quad := FloatsToBytes([]float32{-0.6, -0.6, 0.6, -0.6, -0.6, 0.6, 0.6, -0.6, 0.6, 0.6, -0.6, 0.6})
+	uvs := FloatsToBytes([]float32{0, 0, 1, 0, 0, 1, 1, 0, 1, 1, 0, 1})
+	mustExec(t, gpu, CmdVertexAttribPointerResolved(LocPosition, 2, 0, quad))
+	mustExec(t, gpu, CmdVertexAttribPointerResolved(LocTexCoord, 2, 0, uvs))
+	mustExec(t, gpu, CmdEnableVertexAttribArray(LocTexCoord))
+	mustExec(t, gpu, CmdDrawArrays(DrawModeTriangles, 0, 6))
+
+	// Scissored final pass: the scissor box cuts across band
+	// boundaries.
+	mustExec(t, gpu, CmdEnable(CapScissorTest))
+	mustExec(t, gpu, CmdScissor(int32(w/4), int32(h/4), int32(w/2), int32(h/2)))
+	mustExec(t, gpu, CmdUniform4f(LocTint, 1, 0.3, 0.3, 0.4))
+	soup3 := triangleSoup(rng, 10)
+	mustExec(t, gpu, CmdVertexAttribPointerResolved(LocPosition, 3, 0, FloatsToBytes(soup3)))
+	mustExec(t, gpu, CmdDisableVertexAttribArray(LocTexCoord))
+	mustExec(t, gpu, CmdDrawArrays(DrawModeTriangles, 0, int32(len(soup3)/3)))
+	return gpu
+}
+
+// TestParallelRasterByteIdentical is the raster half of the tentpole
+// determinism property: every band degree must reproduce the serial
+// framebuffer (color and depth) and fragment count exactly.
+func TestParallelRasterByteIdentical(t *testing.T) {
+	const w, h = 160, 120
+	for seed := uint64(1); seed <= 4; seed++ {
+		ref := renderScene(t, w, h, 1, seed)
+		for _, par := range parDegrees()[1:] {
+			t.Run(fmt.Sprintf("seed=%d/par=%d", seed, par), func(t *testing.T) {
+				gpu := renderScene(t, w, h, par, seed)
+				if !bytes.Equal(ref.FB.Pix, gpu.FB.Pix) {
+					t.Fatal("color buffer diverged from serial render")
+				}
+				for i := range ref.FB.Depth {
+					if ref.FB.Depth[i] != gpu.FB.Depth[i] {
+						t.Fatalf("depth buffer diverged at %d", i)
+					}
+				}
+				if ref.FragmentsShaded != gpu.FragmentsShaded {
+					t.Fatalf("fragments shaded: serial %d, par=%d %d",
+						ref.FragmentsShaded, par, gpu.FragmentsShaded)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRasterSmallFramebufferStaysSerial: below minParallelRows
+// the band fan-out is skipped but output must of course still match.
+func TestParallelRasterSmallFramebufferStaysSerial(t *testing.T) {
+	const w, h = 32, 32
+	ref := renderScene(t, w, h, 1, 7)
+	gpu := renderScene(t, w, h, 8, 7)
+	if !bytes.Equal(ref.FB.Pix, gpu.FB.Pix) {
+		t.Fatal("small-framebuffer render diverged")
+	}
+}
+
+// TestGPUSetParallelismDegree: n <= 0 resolves to the machine width.
+func TestGPUSetParallelismDegree(t *testing.T) {
+	gpu := NewGPU(4, 4)
+	if gpu.par != 0 {
+		t.Fatalf("new GPU par = %d, want serial default", gpu.par)
+	}
+	gpu.SetParallelism(0)
+	if gpu.par != runtime.NumCPU() {
+		t.Fatalf("SetParallelism(0) -> %d, want NumCPU", gpu.par)
+	}
+	gpu.SetParallelism(1)
+	if gpu.par != 1 {
+		t.Fatalf("SetParallelism(1) -> %d", gpu.par)
+	}
+}
+
+// BenchmarkRaster measures band-parallel fill throughput across worker
+// degrees at the paper's streaming resolution. The par=1 series is the
+// serial reference for BENCH_dataplane.json speedups.
+func BenchmarkRaster(b *testing.B) {
+	const w, h = 1280, 720
+	rng := sim.NewRNG(11)
+	soup := triangleSoup(rng, 120)
+	for _, par := range benchDegrees() {
+		b.Run(fmt.Sprintf("%dx%d/par=%d", w, h, par), func(b *testing.B) {
+			gpu := setupDrawCtx(b, w, h)
+			gpu.SetParallelism(par)
+			if _, err := gpu.Execute(CmdUniform4f(LocTint, 0.9, 0.5, 0.3, 1)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := gpu.Execute(CmdVertexAttribPointerResolved(LocPosition, 3, 0, FloatsToBytes(soup))); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := gpu.Execute(CmdEnableVertexAttribArray(LocPosition)); err != nil {
+				b.Fatal(err)
+			}
+			draw := CmdDrawArrays(DrawModeTriangles, 0, int32(len(soup)/3))
+			b.SetBytes(int64(w * h * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gpu.Execute(draw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -7,7 +7,7 @@ import (
 
 // setupDrawCtx builds a GPU with a linked program and viewport covering
 // the whole framebuffer.
-func setupDrawCtx(t *testing.T, w, h int) *GPU {
+func setupDrawCtx(t testing.TB, w, h int) *GPU {
 	t.Helper()
 	gpu := NewGPU(w, h)
 	for _, cmd := range []Command{
@@ -39,7 +39,7 @@ func drawFullScreenQuad(t *testing.T, gpu *GPU) {
 	mustExec(t, gpu, CmdDrawArrays(DrawModeTriangles, 0, 6))
 }
 
-func mustExec(t *testing.T, gpu *GPU, cmd Command) ExecResult {
+func mustExec(t testing.TB, gpu *GPU, cmd Command) ExecResult {
 	t.Helper()
 	res, err := gpu.Execute(cmd)
 	if err != nil {

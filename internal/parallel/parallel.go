@@ -1,0 +1,131 @@
+// Package parallel provides the data plane's shared worker pool: a
+// persistent set of goroutines, sized by runtime.NumCPU at first use,
+// that fan contiguous index spans out across cores. The turbo codec
+// parallelizes over tiles, the rasterizer over scanline bands, and the
+// core pipeline stages submit from their own goroutines — all against
+// this one pool, so total data-plane concurrency stays bounded by the
+// machine rather than by the number of live codecs.
+//
+// Determinism contract: Do only decides WHERE a span executes, never
+// what it computes. Callers keep output deterministic by writing each
+// span's results into disjoint, index-addressed storage and joining in
+// index order; every user in this repo follows that discipline and
+// asserts byte-identical output against the serial path in its tests.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	startOnce sync.Once
+	poolSize  int
+	tasks     chan func()
+)
+
+// start spins the persistent workers up. They park on the task channel
+// for the life of the process; the pool is never torn down, exactly
+// like the runtime's own background workers.
+func start() {
+	poolSize = runtime.NumCPU()
+	tasks = make(chan func(), 4*poolSize)
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for fn := range tasks {
+				fn()
+			}
+		}()
+	}
+}
+
+// Workers returns the size of the shared pool (runtime.NumCPU at the
+// time the pool first started).
+func Workers() int {
+	startOnce.Do(start)
+	return poolSize
+}
+
+// Degree resolves a caller-facing parallelism knob: values <= 0 mean
+// "use every core" (the pool size); anything else passes through.
+func Degree(n int) int {
+	if n <= 0 {
+		return Workers()
+	}
+	return n
+}
+
+// Do partitions [0, n) into contiguous spans and runs fn over all of
+// them, using up to roughly `degree` additional workers from the shared
+// pool. degree <= 0 means the full pool; degree == 1 runs fn(0, n)
+// inline with no goroutines at all (the serial reference path). The
+// submitting goroutine always executes spans itself, so Do makes
+// progress even when the pool is saturated by other submitters and can
+// never deadlock on pool capacity. Do returns when every span has
+// completed; a panic in any span is re-raised on the caller.
+func Do(degree, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	degree = Degree(degree)
+	if degree == 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	startOnce.Do(start)
+
+	// Oversubscribe spans 2x the degree: spans are statically sized, so
+	// extra spans let fast workers absorb imbalance (e.g. rasterizer
+	// bands where all triangles landed in one region).
+	spans := 2 * degree
+	if spans > n {
+		spans = n
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked bool
+		panicVal any
+	)
+	run := func(lo, hi int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if !panicked {
+					panicked, panicVal = true, r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		fn(lo, hi)
+	}
+
+	wg.Add(spans)
+	q, r := n/spans, n%spans
+	lo := 0
+	for i := 0; i < spans; i++ {
+		hi := lo + q
+		if i < r {
+			hi++
+		}
+		l, h := lo, hi
+		if i == spans-1 {
+			// The submitter always works the last span itself.
+			run(l, h)
+		} else {
+			select {
+			case tasks <- func() { run(l, h) }:
+			default:
+				// Pool backlogged: run inline rather than block.
+				run(l, h)
+			}
+		}
+		lo = hi
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+}

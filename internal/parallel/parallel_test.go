@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, degree := range []int{0, 1, 2, 3, runtime.NumCPU(), 64} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+			hits := make([]int32, n)
+			Do(degree, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("degree %d n %d: bad span [%d,%d)", degree, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("degree %d n %d: index %d hit %d times", degree, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestDoSerialDegreeRunsInline(t *testing.T) {
+	calls := 0
+	Do(1, 50, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 50 {
+			t.Fatalf("serial span [%d,%d), want [0,50)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial degree made %d calls", calls)
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Do(4, 100, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+func TestDoNestedSubmittersMakeProgress(t *testing.T) {
+	// Saturate the pool with concurrent submitters; every Do must still
+	// complete because submitters execute spans themselves.
+	done := make(chan struct{})
+	for g := 0; g < 4*runtime.NumCPU(); g++ {
+		go func() {
+			var sum int64
+			Do(0, 1000, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt64(&sum, int64(i))
+				}
+			})
+			if sum != 1000*999/2 {
+				t.Errorf("sum = %d", sum)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4*runtime.NumCPU(); g++ {
+		<-done
+	}
+}
+
+func TestDegree(t *testing.T) {
+	if Degree(0) != Workers() || Degree(-3) != Workers() {
+		t.Fatal("non-positive degree should resolve to the pool size")
+	}
+	if Degree(3) != 3 {
+		t.Fatal("positive degree should pass through")
+	}
+	if Workers() != runtime.NumCPU() {
+		t.Fatalf("pool size %d, NumCPU %d", Workers(), runtime.NumCPU())
+	}
+}

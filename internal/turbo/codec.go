@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+
+	"github.com/gbooster/gbooster/internal/parallel"
 )
 
 // Codec errors.
@@ -39,6 +42,15 @@ type Encoder struct {
 	prev    []byte // decoder-visible reconstruction, RGBA
 	started bool
 
+	// par is the tile-parallel worker degree; <= 1 keeps the serial
+	// reference path. Tiles are independent — each reads only its own
+	// region of frame/prev and writes only its own region of prev — so
+	// the parallel path produces byte-identical packets (see
+	// encodeTilesParallel and the determinism tests).
+	par     int
+	tileBuf [][]byte // per-tile encoded output, reused across frames
+	tileOn  []bool   // per-tile "shipped" flags, reused across frames
+
 	// Stats accumulate for the traffic experiments.
 	Stats EncoderStats
 }
@@ -72,6 +84,11 @@ func NewEncoder(w, h, quality int) *Encoder {
 // every nonidentical tile ship.
 func (e *Encoder) SetDiffThreshold(t float64) { e.thresh = t }
 
+// SetParallelism sets the tile-parallel worker degree: n <= 0 means one
+// worker per CPU, n == 1 the serial reference path. Output is
+// byte-identical at every degree.
+func (e *Encoder) SetParallelism(n int) { e.par = parallel.Degree(n) }
+
 // tilesAcross returns tile grid dimensions (ceil division).
 func tilesDim(px int) int { return (px + blockSize - 1) / blockSize }
 
@@ -97,23 +114,21 @@ func (e *Encoder) Encode(frame []byte, forceKey bool) ([]byte, error) {
 	out = append(out, 0, 0, 0, 0) // fixed 32-bit tile count, patched below
 
 	var sent uint32
-	var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
-	for ty := 0; ty < th; ty++ {
-		for tx := 0; tx < tw; tx++ {
-			e.Stats.TilesTotal++
-			if !key && !e.tileChanged(frame, tx, ty) {
-				continue
+	if e.par > 1 && tw*th > 1 {
+		out, sent = e.encodeTilesParallel(out, frame, key, tw, th)
+	} else {
+		var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+		for ty := 0; ty < th; ty++ {
+			for tx := 0; tx < tw; tx++ {
+				if !key && !e.tileChanged(frame, tx, ty) {
+					continue
+				}
+				out = e.encodeTileInto(out, frame, tx, ty, tw, &yBlk, &cbBlk, &crBlk)
+				sent++
 			}
-			e.loadTile(frame, tx, ty, &yBlk, &cbBlk, &crBlk)
-			out = binary.AppendUvarint(out, uint64(ty*tw+tx))
-			for _, blk := range [...]*[blockSize * blockSize]float64{&yBlk, &cbBlk, &crBlk} {
-				out = e.encodeBlock(out, blk)
-			}
-			// Reconstruct into prev exactly as the decoder will.
-			e.storeTile(e.prev, tx, ty, &yBlk, &cbBlk, &crBlk)
-			sent++
 		}
 	}
+	e.Stats.TilesTotal += tw * th
 	binary.LittleEndian.PutUint32(out[countAt:], sent)
 
 	e.Stats.Frames++
@@ -124,6 +139,57 @@ func (e *Encoder) Encode(frame []byte, forceKey bool) ([]byte, error) {
 	e.Stats.BytesOut += int64(len(out))
 	e.Stats.PixelsIn += int64(e.w * e.h)
 	return out, nil
+}
+
+// encodeTileInto appends one tile's entry — index uvarint plus the
+// three entropy-coded YCbCr blocks — to out, and mirrors the decoder's
+// reconstruction into prev. Both the serial loop and the parallel path
+// funnel through here, which is what makes their output byte-identical
+// by construction.
+func (e *Encoder) encodeTileInto(out []byte, frame []byte, tx, ty, tw int, yBlk, cbBlk, crBlk *[blockSize * blockSize]float64) []byte {
+	e.loadTile(frame, tx, ty, yBlk, cbBlk, crBlk)
+	out = binary.AppendUvarint(out, uint64(ty*tw+tx))
+	for _, blk := range [...]*[blockSize * blockSize]float64{yBlk, cbBlk, crBlk} {
+		out = e.encodeBlock(out, blk)
+	}
+	// Reconstruct into prev exactly as the decoder will.
+	e.storeTile(e.prev, tx, ty, yBlk, cbBlk, crBlk)
+	return out
+}
+
+// encodeTilesParallel fans the tile grid out across the shared worker
+// pool. Safety and determinism: tile t reads frame (never written) and
+// its own tile region of prev (for the change check), writes its own
+// tile region of prev (reconstruction) and its own tileBuf[t]/tileOn[t]
+// slots — all disjoint across tiles. The per-tile buffers are then
+// joined in grid order, reproducing the serial packet byte for byte.
+func (e *Encoder) encodeTilesParallel(out []byte, frame []byte, key bool, tw, th int) ([]byte, uint32) {
+	n := tw * th
+	if cap(e.tileBuf) < n {
+		e.tileBuf = make([][]byte, n)
+		e.tileOn = make([]bool, n)
+	}
+	tileBuf, tileOn := e.tileBuf[:n], e.tileOn[:n]
+	parallel.Do(e.par, n, func(lo, hi int) {
+		var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+		for t := lo; t < hi; t++ {
+			tx, ty := t%tw, t/tw
+			if !key && !e.tileChanged(frame, tx, ty) {
+				tileOn[t] = false
+				continue
+			}
+			tileOn[t] = true
+			tileBuf[t] = e.encodeTileInto(tileBuf[t][:0], frame, tx, ty, tw, &yBlk, &cbBlk, &crBlk)
+		}
+	})
+	var sent uint32
+	for t := 0; t < n; t++ {
+		if tileOn[t] {
+			out = append(out, tileBuf[t]...)
+			sent++
+		}
+	}
+	return out, sent
 }
 
 // tileChanged compares the frame tile against the reconstruction using
@@ -270,8 +336,23 @@ type Decoder struct {
 	frame   []byte
 	started bool
 
+	// par is the tile-parallel worker degree; <= 1 keeps the serial
+	// reference path. See decodeTilesParallel for the determinism
+	// argument.
+	par    int
+	spans  []tileSpan // scratch: scanned tile entries, reused
+	work   []int      // scratch: deduped span positions, reused
+	winner []int32    // scratch: tile index -> last span position
+
 	// Stats accumulate decoded volume.
 	Stats DecoderStats
+}
+
+// tileSpan is one scanned tile entry: its grid index and the byte range
+// holding its three entropy-coded blocks.
+type tileSpan struct {
+	idx  int
+	data []byte
 }
 
 // DecoderStats counts decoder work.
@@ -293,6 +374,11 @@ func NewDecoder(w, h, quality int) *Decoder {
 		frame:   make([]byte, w*h*4),
 	}
 }
+
+// SetParallelism sets the tile-parallel worker degree: n <= 0 means one
+// worker per CPU, n == 1 the serial reference path. Successful decodes
+// produce byte-identical frames at every degree.
+func (d *Decoder) SetParallelism(n int) { d.par = parallel.Degree(n) }
 
 // Decode applies one packet and returns the current full frame. The
 // returned slice aliases the decoder's internal buffer; callers that
@@ -333,6 +419,9 @@ func (d *Decoder) Decode(packet []byte) ([]byte, error) {
 	if int(count) > maxTiles {
 		return nil, fmt.Errorf("%w: %d tiles, grid has %d", ErrBadPacket, count, maxTiles)
 	}
+	if d.par > 1 && count > 1 {
+		return d.decodeTilesParallel(packet, p, int(count), tw, maxTiles)
+	}
 	var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
 	for t := uint32(0); t < count; t++ {
 		idx, n := binary.Uvarint(p)
@@ -359,7 +448,94 @@ func (d *Decoder) Decode(packet []byte) ([]byte, error) {
 	return d.frame, nil
 }
 
-// decodeBlock parses one entropy-coded block and inverse-transforms it.
+// decodeTilesParallel splits the packet in two passes: a serial
+// structural scan that locates and validates every tile entry (running
+// the exact validation of the serial path, via decodeBlock in scan-only
+// mode), then a parallel pass doing the expensive work — dequantize,
+// IDCT, color conversion, store — across the worker pool. Tiles write
+// disjoint frame regions, so after de-duplicating repeated tile indices
+// (last entry wins, matching serial overwrite order) the result is
+// byte-identical to the serial path. On a malformed packet the scan
+// rejects it before any pixel is touched.
+func (d *Decoder) decodeTilesParallel(packet, p []byte, count, tw, maxTiles int) ([]byte, error) {
+	spans := d.spans[:0]
+	for t := 0; t < count; t++ {
+		idx, n := binary.Uvarint(p)
+		if n <= 0 || int(idx) >= maxTiles {
+			return nil, fmt.Errorf("%w: tile index", ErrBadPacket)
+		}
+		p = p[n:]
+		start := p
+		for b := 0; b < 3; b++ {
+			rest, err := d.decodeBlock(p, nil)
+			if err != nil {
+				return nil, err
+			}
+			p = rest
+		}
+		spans = append(spans, tileSpan{idx: int(idx), data: start[:len(start)-len(p)]})
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(p))
+	}
+	d.spans = spans
+
+	// Last-wins de-duplication: a (malformed but decodable) packet may
+	// list a tile twice; the serial path overwrites in entry order, so
+	// only the final entry per tile index may execute in parallel.
+	if len(d.winner) < maxTiles {
+		d.winner = make([]int32, maxTiles)
+	}
+	for t, s := range spans {
+		d.winner[s.idx] = int32(t)
+	}
+	work := d.work[:0]
+	for t, s := range spans {
+		if d.winner[s.idx] == int32(t) {
+			work = append(work, t)
+		}
+	}
+	d.work = work
+
+	var (
+		errMu  sync.Mutex
+		anyErr error
+	)
+	parallel.Do(d.par, len(work), func(lo, hi int) {
+		var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+		for k := lo; k < hi; k++ {
+			s := spans[work[k]]
+			q := s.data
+			for _, blk := range [...]*[blockSize * blockSize]float64{&yBlk, &cbBlk, &crBlk} {
+				rest, err := d.decodeBlock(q, blk)
+				if err != nil {
+					// Unreachable: the scan already validated this span.
+					errMu.Lock()
+					if anyErr == nil {
+						anyErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				q = rest
+			}
+			storeTileInto(d.frame, d.w, d.h, s.idx%tw, s.idx/tw, &yBlk, &cbBlk, &crBlk)
+		}
+	})
+	if anyErr != nil {
+		return nil, anyErr
+	}
+	d.Stats.Tiles += len(spans)
+	d.started = true
+	d.Stats.Frames++
+	d.Stats.BytesIn += int64(len(packet))
+	return d.frame, nil
+}
+
+// decodeBlock parses one entropy-coded block and inverse-transforms it
+// into blk. A nil blk runs in scan-only mode: full parse and validation
+// with the transform skipped — the parallel path uses it so structural
+// errors surface exactly as the serial path reports them.
 func (d *Decoder) decodeBlock(p []byte, blk *[blockSize * blockSize]float64) ([]byte, error) {
 	total, n := binary.Uvarint(p)
 	if n <= 0 || total > blockSize*blockSize {
@@ -384,6 +560,9 @@ func (d *Decoder) decodeBlock(p []byte, blk *[blockSize * blockSize]float64) ([]
 		p = p[n:]
 		q[_zigzag[i]] = int32(v)
 		i++
+	}
+	if blk == nil {
+		return p, nil
 	}
 	var freq [blockSize * blockSize]float64
 	for i := 0; i < blockSize*blockSize; i++ {

@@ -386,22 +386,6 @@ func TestVideoEncoderMuchSlowerThanTurbo(t *testing.T) {
 	}
 }
 
-func BenchmarkTurboEncode(b *testing.B) {
-	const w, h = 320, 240
-	enc := NewEncoder(w, h, DefaultQuality)
-	frames := [][]byte{testFrame(w, h, 10, 10), testFrame(w, h, 14, 12)}
-	if _, err := enc.Encode(frames[0], false); err != nil {
-		b.Fatal(err)
-	}
-	b.SetBytes(int64(w * h * 4))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := enc.Encode(frames[i%2], false); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func BenchmarkVideoEncode(b *testing.B) {
 	const w, h = 320, 240
 	enc := NewVideoEncoder(w, h, DefaultQuality, 8)

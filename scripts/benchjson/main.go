@@ -1,0 +1,150 @@
+// Command benchjson converts `go test -bench` text output (on stdin)
+// into the BENCH_dataplane.json schema: the raw benchmark series plus,
+// for every `<name>/par=N` family, the speedup of each degree relative
+// to the par=1 serial reference. The host's CPU count is recorded
+// because the ratios are only meaningful when ncpu > 1 — parallel
+// degrees cannot beat serial on a single-core machine.
+//
+// Usage:
+//
+//	go test -bench ... | go run ./scripts/benchjson -o BENCH_dataplane.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s,omitempty"`
+}
+
+type speedup struct {
+	Benchmark     string             `json:"benchmark"`
+	Par1NsPerOp   float64            `json:"par1_ns_per_op"`
+	SpeedupVsPar1 map[string]float64 `json:"speedup_vs_par1"`
+}
+
+type report struct {
+	Date       string        `json:"date"`
+	NCPU       int           `json:"ncpu"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	CPU        string        `json:"cpu,omitempty"`
+	Note       string        `json:"note"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Speedups   []speedup     `json:"speedups"`
+}
+
+// benchLine matches one `go test -bench` result row; the trailing
+// -GOMAXPROCS suffix is stripped from the name.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) MB/s)?`)
+
+// parFamily splits `<prefix>/par=<N>` benchmark names.
+var parFamily = regexp.MustCompile(`^(.+)/par=(\d+)$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []benchResult
+	seen := map[string]int{} // name -> index, last run wins
+	cpu := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := benchResult{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.MBPerS, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if i, ok := seen[r.Name]; ok {
+			results[i] = r
+		} else {
+			seen[r.Name] = len(results)
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	// Group `<prefix>/par=N` families and compute ns(par=1)/ns(par=N).
+	families := map[string]map[string]float64{}
+	for _, r := range results {
+		if m := parFamily.FindStringSubmatch(r.Name); m != nil {
+			if families[m[1]] == nil {
+				families[m[1]] = map[string]float64{}
+			}
+			families[m[1]]["par="+m[2]] = r.NsPerOp
+		}
+	}
+	var speedups []speedup
+	for prefix, series := range families {
+		base, ok := series["par=1"]
+		if !ok || base <= 0 {
+			continue
+		}
+		s := speedup{Benchmark: prefix, Par1NsPerOp: base, SpeedupVsPar1: map[string]float64{}}
+		for deg, ns := range series {
+			if deg == "par=1" || ns <= 0 {
+				continue
+			}
+			s.SpeedupVsPar1[deg] = base / ns
+		}
+		speedups = append(speedups, s)
+	}
+	sort.Slice(speedups, func(i, j int) bool { return speedups[i].Benchmark < speedups[j].Benchmark })
+
+	rep := report{
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		NCPU:   runtime.NumCPU(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPU:    cpu,
+		Note: "speedup_vs_par1 = ns(par=1)/ns(par=N); parallel output is " +
+			"byte-identical to serial at every degree, so these ratios are pure " +
+			"latency wins. With ncpu=1 every ratio is ~1 by construction — " +
+			"evaluate the >=2x par>=4 acceptance target on a multicore host.",
+		Benchmarks: results,
+		Speedups:   speedups,
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}

@@ -15,3 +15,8 @@ go test -race -short ./internal/rudp/... ./internal/core/...
 # fault injector plus the client's failover loop are the most
 # contended paths in the tree.
 go test -race -short -run 'Failover|Crash|Blackhole' ./internal/netsim/... .
+# Data-plane benchmark smoke: one iteration per series is enough to
+# prove the parallel encode/raster/pipeline paths still run and to
+# refresh BENCH_dataplane.json's schema. Full numbers come from
+# running scripts/bench_dataplane.sh without BENCHTIME.
+BENCHTIME=1x OUT=/tmp/BENCH_dataplane.smoke.json sh scripts/bench_dataplane.sh

@@ -14,20 +14,97 @@ import (
 	"github.com/gbooster/gbooster/internal/workload"
 )
 
+// options collects the data-plane tunables shared by StreamServer and
+// Player. Zero values mean "library default" throughout.
+type options struct {
+	quality       int
+	parallelism   int
+	diffThreshold float64
+	pipelineDepth int
+}
+
+// Option tunes a StreamServer or Player beyond its config struct.
+type Option func(*options)
+
+// WithQuality sets the turbo codec quality (1..100). Server and player
+// of one session must agree on it.
+func WithQuality(q int) Option {
+	return func(o *options) { o.quality = q }
+}
+
+// WithParallelism sets the data-plane worker degree — rasterization
+// bands and codec tiles on the server, codec tiles on the player.
+// n <= 0 selects one worker per CPU, 1 forces the serial reference
+// path. Output is byte-identical at every degree; only latency changes.
+func WithParallelism(n int) Option {
+	return func(o *options) {
+		if n <= 0 {
+			n = 0 // one worker per CPU
+		}
+		o.parallelism = n
+	}
+}
+
+// WithDiffThreshold overrides the encoder's changed-tile sensitivity
+// (mean absolute difference in 8-bit code values below which a tile is
+// skipped in delta frames). t <= 0 ships every nonidentical tile.
+// Server-side only; players ignore it.
+func WithDiffThreshold(t float64) Option {
+	return func(o *options) {
+		if t <= 0 {
+			t = -1 // exact mode
+		}
+		o.diffThreshold = t
+	}
+}
+
+// WithPipelineDepth bounds the stage-overlap queues (render/encode on
+// the server, receive/decode on the player): 0 keeps the default,
+// negative disables overlap entirely.
+func WithPipelineDepth(d int) Option {
+	return func(o *options) { o.pipelineDepth = d }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// StreamServerConfig identifies what a StreamServer renders.
+type StreamServerConfig struct {
+	// Width, Height is the streaming resolution (must match the
+	// player's).
+	Width, Height int
+}
+
 // StreamServer is a service-device daemon: it accepts one GBooster
 // client over (reliable) UDP, replays the intercepted command stream on
 // a software GPU, and streams turbo-encoded frames back.
 type StreamServer struct {
-	srv  *core.Server
-	conn *rudp.Conn
+	srv *core.Server
 
 	mu     sync.Mutex
+	pc     net.PacketConn // ServeUDP's listener while awaiting a client
+	conn   *rudp.Conn
 	closed bool
 }
 
-// NewStreamServer builds a server rendering at w×h.
-func NewStreamServer(w, h int) (*StreamServer, error) {
-	srv, err := core.NewServer(core.ServerConfig{Width: w, Height: h})
+// NewStreamServer builds a server rendering at cfg's resolution,
+// tuned by opts (quality, parallelism, diff threshold, pipeline
+// depth).
+func NewStreamServer(cfg StreamServerConfig, opts ...Option) (*StreamServer, error) {
+	o := buildOptions(opts)
+	srv, err := core.NewServer(core.ServerConfig{
+		Width:         cfg.Width,
+		Height:        cfg.Height,
+		Quality:       o.quality,
+		Parallelism:   o.parallelism,
+		DiffThreshold: o.diffThreshold,
+		PipelineDepth: o.pipelineDepth,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("gbooster: %w", err)
 	}
@@ -68,12 +145,23 @@ func (s *StreamServer) serveConn(pc net.PacketConn, peer net.Addr, firstDatagram
 
 // ServeUDP listens on addr ("host:port"), waits for the first client
 // datagram to learn the peer, then serves it. It blocks for the life of
-// the session.
+// the session. Close unblocks it even if no client ever connects.
 func (s *StreamServer) ServeUDP(addr string) error {
 	pc, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return fmt.Errorf("gbooster: listen: %w", err)
 	}
+	// Register the listener before blocking on it so Close can reach
+	// it: a server shut down while still waiting for its first client
+	// must release the socket, not leak it until the deadline.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = pc.Close()
+		return ErrServerClosed
+	}
+	s.pc = pc
+	s.mu.Unlock()
 	// Peek the first datagram to learn the client address, then hand
 	// both the socket and the datagram to the reliable layer — dropping
 	// it would open every session with a guaranteed retransmit and a
@@ -83,8 +171,15 @@ func (s *StreamServer) ServeUDP(addr string) error {
 		return fmt.Errorf("gbooster: deadline: %w", err)
 	}
 	n, peer, err := pc.ReadFrom(buf)
+	s.mu.Lock()
+	s.pc = nil // serveConn's reliable layer owns the socket from here
+	closed := s.closed
+	s.mu.Unlock()
 	if err != nil {
 		_ = pc.Close()
+		if closed {
+			return ErrServerClosed
+		}
 		return fmt.Errorf("gbooster: first packet: %w", err)
 	}
 	_ = pc.SetReadDeadline(time.Time{})
@@ -103,15 +198,24 @@ func (s *StreamServer) TransportStats() (stats rudp.Stats, ok bool) {
 	return conn.Stats(), true
 }
 
-// Close tears the server's connection down.
+// Close tears the server down: the active session's connection if one
+// exists, and any ServeUDP listener still waiting for its first client
+// (which would otherwise stay open until its accept deadline).
 func (s *StreamServer) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
-	if s.conn != nil {
-		return s.conn.Close()
+	var err error
+	if s.pc != nil {
+		err = s.pc.Close()
+		s.pc = nil
 	}
-	return nil
+	if s.conn != nil {
+		if cerr := s.conn.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Player drives a catalog workload through the full GBooster client
@@ -126,16 +230,36 @@ type Player struct {
 	calls  map[string]hook.GLFunc
 }
 
-// NewPlayer builds a player for a catalog workload at w×h. The GL call
-// path is resolved through a simulated dynamic linker with the GBooster
-// wrapper preloaded, exactly as §IV-A installs it on Android.
-func NewPlayer(workloadID string, w, h int, seed uint64) (*Player, error) {
-	prof, err := workload.ByID(workloadID)
+// PlayerConfig identifies what a Player runs and displays.
+type PlayerConfig struct {
+	// Workload is the catalog workload ID (e.g. "G5").
+	Workload string
+	// Width, Height is the streaming resolution (must match the
+	// servers').
+	Width, Height int
+	// Seed parameterizes the workload's deterministic frame stream.
+	Seed uint64
+}
+
+// NewPlayer builds a player for a catalog workload, tuned by opts
+// (quality, parallelism, pipeline depth). The GL call path is resolved
+// through a simulated dynamic linker with the GBooster wrapper
+// preloaded, exactly as §IV-A installs it on Android.
+func NewPlayer(cfg PlayerConfig, opts ...Option) (*Player, error) {
+	prof, err := workload.ByID(cfg.Workload)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, workloadID)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, cfg.Workload)
 	}
-	game := workload.NewGame(prof, seed)
-	client, err := core.NewClient(core.ClientConfig{Width: w, Height: h, Arrays: game.Arrays()})
+	o := buildOptions(opts)
+	game := workload.NewGame(prof, cfg.Seed)
+	client, err := core.NewClient(core.ClientConfig{
+		Width:         cfg.Width,
+		Height:        cfg.Height,
+		Quality:       o.quality,
+		Arrays:        game.Arrays(),
+		Parallelism:   o.parallelism,
+		PipelineDepth: o.pipelineDepth,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("gbooster: %w", err)
 	}
@@ -144,7 +268,7 @@ func NewPlayer(workloadID string, w, h int, seed uint64) (*Player, error) {
 		return nil, fmt.Errorf("gbooster: install hooks: %w", err)
 	}
 	return &Player{
-		w: w, h: h,
+		w: cfg.Width, h: cfg.Height,
 		game:   game,
 		client: client,
 		linker: ln,
@@ -219,10 +343,26 @@ func validateFrameSize(n, w, h int) error {
 	return nil
 }
 
+// PlayerStats summarizes a session's streaming counters.
+type PlayerStats struct {
+	// FramesSent counts frame batches dispatched to service devices;
+	// FramesShown counts frames delivered to the display in order.
+	FramesSent, FramesShown int64
+	// RawBytes is the serialized command volume before caching and
+	// compression; WireBytes what actually crossed the network. Their
+	// ratio is the paper's traffic-reduction metric.
+	RawBytes, WireBytes int64
+}
+
 // Stats returns transport-level counters for the session.
-func (p *Player) Stats() (framesSent, framesShown, rawBytes, wireBytes int64) {
+func (p *Player) Stats() PlayerStats {
 	st := p.client.Stats()
-	return st.FramesSent, st.FramesDisplayed, st.RawBytes, st.WireBytes
+	return PlayerStats{
+		FramesSent:  st.FramesSent,
+		FramesShown: st.FramesDisplayed,
+		RawBytes:    st.RawBytes,
+		WireBytes:   st.WireBytes,
+	}
 }
 
 // TransportHealth is one service connection's loss-recovery snapshot:

@@ -16,7 +16,7 @@ import (
 // counters recording the recovery.
 func TestPlayerSurvivesDeviceCrash(t *testing.T) {
 	const w, h = 96, 64
-	player, err := NewPlayer("G5", w, h, 21)
+	player, err := NewPlayer(PlayerConfig{Workload: "G5", Width: w, Height: h, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestPlayerSurvivesDeviceCrash(t *testing.T) {
 		wg.Wait()
 	})
 	for i := 0; i < 3; i++ {
-		srv, err := NewStreamServer(w, h)
+		srv, err := NewStreamServer(StreamServerConfig{Width: w, Height: h})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,9 +64,9 @@ func TestPlayerSurvivesDeviceCrash(t *testing.T) {
 			t.Fatalf("frame %d bounds %v", f, img.Bounds())
 		}
 	}
-	sent, shown, _, _ := player.Stats()
-	if sent != frames || shown != frames {
-		t.Fatalf("stats sent=%d shown=%d, want %d", sent, shown, frames)
+	st := player.Stats()
+	if st.FramesSent != frames || st.FramesShown != frames {
+		t.Fatalf("stats sent=%d shown=%d, want %d", st.FramesSent, st.FramesShown, frames)
 	}
 	fs := player.FailoverStats()
 	if fs.ReDispatched == 0 {
@@ -94,7 +94,7 @@ func TestPlayerSurvivesDeviceCrash(t *testing.T) {
 // shutdown race: a session offered to an already-closed StreamServer
 // must be refused instead of silently resurrecting the server.
 func TestServeConnAfterCloseRefused(t *testing.T) {
-	srv, err := NewStreamServer(32, 32)
+	srv, err := NewStreamServer(StreamServerConfig{Width: 32, Height: 32})
 	if err != nil {
 		t.Fatal(err)
 	}

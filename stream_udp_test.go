@@ -1,6 +1,7 @@
 package gbooster
 
 import (
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ func TestPlayerOverRealUDPLoopback(t *testing.T) {
 	_ = probe.Close()
 
 	const w, h = 96, 64
-	srv, err := NewStreamServer(w, h)
+	srv, err := NewStreamServer(StreamServerConfig{Width: w, Height: h})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestPlayerOverRealUDPLoopback(t *testing.T) {
 	defer func() { _ = srv.Close() }()
 	time.Sleep(100 * time.Millisecond)
 
-	player, err := NewPlayer("G5", w, h, 11)
+	player, err := NewPlayer(PlayerConfig{Workload: "G5", Width: w, Height: h, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,9 +43,9 @@ func TestPlayerOverRealUDPLoopback(t *testing.T) {
 			t.Fatalf("bounds %v", img.Bounds())
 		}
 	}
-	sent, shown, _, wire := player.Stats()
-	if sent != 8 || shown != 8 || wire == 0 {
-		t.Fatalf("stats sent=%d shown=%d wire=%d", sent, shown, wire)
+	st := player.Stats()
+	if st.FramesSent != 8 || st.FramesShown != 8 || st.WireBytes == 0 {
+		t.Fatalf("stats sent=%d shown=%d wire=%d", st.FramesSent, st.FramesShown, st.WireBytes)
 	}
 	th := player.TransportStats()
 	if len(th) != 1 {
@@ -69,4 +70,42 @@ func TestPlayerOverRealUDPLoopback(t *testing.T) {
 		t.Fatalf("server exited early: %v", err)
 	default:
 	}
+}
+
+// TestServeUDPCloseBeforeClient is the regression test for the
+// listening-socket leak: Close on a server still waiting for its first
+// client must close the listener and unblock ServeUDP promptly, not
+// leave the socket open until the accept deadline.
+func TestServeUDPCloseBeforeClient(t *testing.T) {
+	probe, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	addr := probe.LocalAddr().String()
+	_ = probe.Close()
+
+	srv, err := NewStreamServer(StreamServerConfig{Width: 32, Height: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.ServeUDP(addr) }()
+	time.Sleep(100 * time.Millisecond) // let ServeUDP bind and block
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-serverErr:
+		if !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("ServeUDP after Close = %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeUDP still blocked after Close")
+	}
+	// The port is actually released.
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		t.Fatalf("rebind after Close: %v", err)
+	}
+	_ = pc.Close()
 }
