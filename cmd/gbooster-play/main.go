@@ -73,6 +73,9 @@ func run(servers, workloadID string, frames, width, height int, seed uint64, png
 	fmt.Printf("uplink raw %0.1f KB/frame -> wire %0.1f KB/frame (%.0f%% reduction)\n",
 		float64(st.RawBytes)/float64(frames)/1024, float64(st.WireBytes)/float64(frames)/1024,
 		(1-float64(st.WireBytes)/float64(st.RawBytes))*100)
+	fmt.Printf("uplink stages: cache hit rate %.0f%% -> %0.1f KB/frame cached, LZ4 dictionary %.2fx\n",
+		st.CacheHitRate()*100, float64(st.PreCompressBytes)/float64(frames)/1024,
+		st.CompressionRatio())
 	if fs := player.FailoverStats(); fs.ReDispatched+fs.Evictions+fs.Readmissions+fs.FramesSkipped+fs.LateFrames > 0 {
 		fmt.Printf("failover: re-dispatched=%d evicted=%d readmitted=%d skipped=%d late=%d\n",
 			fs.ReDispatched, fs.Evictions, fs.Readmissions, fs.FramesSkipped, fs.LateFrames)

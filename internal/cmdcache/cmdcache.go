@@ -11,14 +11,20 @@
 // reference always resolves. Hash collisions are handled on the sender:
 // a colliding record is sent in full, replacing the cache entry on both
 // sides.
+//
+// The cache sits on the per-frame send path, so its internals are built
+// to stay off the garbage collector's books: entries live in a slab
+// indexed by int32, the LRU is an intrusive doubly-linked list of slab
+// indices (no container/list element allocations), removed entries park
+// on a free list keeping their byte buffers for reuse, and record
+// hashing is an inline FNV-1a loop instead of a hash.Hash64 allocation
+// per record.
 package cmdcache
 
 import (
-	"container/list"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 )
 
 // Wire flags.
@@ -42,10 +48,16 @@ const MaxRecordBytes = 64 << 20
 // cache is the dominant share of it.
 const DefaultCapacity = 32 << 20
 
-// entry is one cached record.
+// noIndex terminates the intrusive list and free list.
+const noIndex = -1
+
+// entry is one slab slot: a cached record plus its intrusive LRU
+// links. Freed slots chain through next and keep their byte buffer so
+// a later insert of similar size allocates nothing.
 type entry struct {
-	key   uint64
-	bytes []byte
+	key        uint64
+	bytes      []byte
+	prev, next int32
 }
 
 // Cache is one side's LRU of serialized command records, bounded by
@@ -53,8 +65,12 @@ type entry struct {
 type Cache struct {
 	capacity int
 	size     int
-	order    *list.List // front = most recently used
-	byKey    map[uint64]*list.Element
+	entries  []entry          // slab; indices are stable handles
+	head     int32            // most recently used, noIndex when empty
+	tail     int32            // least recently used, noIndex when empty
+	free     int32            // free-list head (chained via next), noIndex when exhausted
+	count    int              // live entries
+	byKey    map[uint64]int32 // key -> slab index
 
 	// Stats accumulate cache effectiveness for the traffic experiments.
 	Stats Stats
@@ -81,8 +97,10 @@ func New(capacity int) *Cache {
 	}
 	return &Cache{
 		capacity: capacity,
-		order:    list.New(),
-		byKey:    make(map[uint64]*list.Element),
+		head:     noIndex,
+		tail:     noIndex,
+		free:     noIndex,
+		byKey:    make(map[uint64]int32),
 	}
 }
 
@@ -91,13 +109,111 @@ func New(capacity int) *Cache {
 func (c *Cache) MemoryBytes() int { return c.size }
 
 // Len reports the number of cached records.
-func (c *Cache) Len() int { return c.order.Len() }
+func (c *Cache) Len() int { return c.count }
 
-// hashRecord fingerprints a record.
+// FNV-1a constants (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashRecord fingerprints a record: inline FNV-1a, byte-identical to
+// hash/fnv.New64a over the same bytes but with no hasher allocation.
 func hashRecord(rec []byte) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write(rec)
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for _, b := range rec {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// unlink removes slot i from the LRU list (it stays in the slab).
+func (c *Cache) unlink(i int32) {
+	e := &c.entries[i]
+	if e.prev != noIndex {
+		c.entries[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != noIndex {
+		c.entries[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = noIndex, noIndex
+}
+
+// pushFront links slot i at the MRU end.
+func (c *Cache) pushFront(i int32) {
+	e := &c.entries[i]
+	e.prev = noIndex
+	e.next = c.head
+	if c.head != noIndex {
+		c.entries[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == noIndex {
+		c.tail = i
+	}
+}
+
+// moveToFront is the LRU touch.
+func (c *Cache) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}
+
+// alloc returns a slab slot for a new entry, reusing a freed slot (and
+// its buffer) when one exists.
+func (c *Cache) alloc() int32 {
+	if c.free != noIndex {
+		i := c.free
+		c.free = c.entries[i].next
+		c.entries[i].next = noIndex
+		return i
+	}
+	c.entries = append(c.entries, entry{prev: noIndex, next: noIndex})
+	return int32(len(c.entries) - 1)
+}
+
+// removeIndex evicts slot i: off the LRU list, out of the key map,
+// onto the free list. The byte buffer stays with the slot for reuse.
+func (c *Cache) removeIndex(i int32) {
+	c.unlink(i)
+	e := &c.entries[i]
+	delete(c.byKey, e.key)
+	c.size -= len(e.bytes)
+	c.count--
+	e.next = c.free
+	c.free = i
+}
+
+// insert adds a copied record at the front, evicting from the back
+// until within capacity. Records larger than the whole capacity are
+// intentionally still inserted then immediately evicted down to one
+// entry, keeping sender/receiver behaviour identical without a special
+// case on the wire.
+func (c *Cache) insert(key uint64, rec []byte) {
+	i := c.alloc()
+	e := &c.entries[i]
+	e.key = key
+	e.bytes = append(e.bytes[:0], rec...)
+	c.pushFront(i)
+	c.byKey[key] = i
+	c.size += len(e.bytes)
+	c.count++
+	for c.size > c.capacity && c.count > 1 {
+		back := c.tail
+		if back == noIndex || back == i {
+			break
+		}
+		c.removeIndex(back)
+		c.Stats.Evictions++
+	}
 }
 
 // EncodeRecord appends the wire form of rec to dst: a reference when
@@ -109,13 +225,9 @@ func (c *Cache) EncodeRecord(dst, rec []byte) ([]byte, bool, error) {
 	}
 	c.Stats.RawBytes += int64(len(rec))
 	key := hashRecord(rec)
-	if el, ok := c.byKey[key]; ok {
-		ent, valid := el.Value.(*entry)
-		if !valid {
-			return dst, false, fmt.Errorf("cmdcache: corrupt LRU element %T", el.Value)
-		}
-		if bytesEqual(ent.bytes, rec) {
-			c.order.MoveToFront(el)
+	if i, ok := c.byKey[key]; ok {
+		if bytesEqual(c.entries[i].bytes, rec) {
+			c.moveToFront(i)
 			dst = append(dst, flagRef)
 			dst = binary.LittleEndian.AppendUint64(dst, key)
 			c.Stats.Hits++
@@ -125,7 +237,7 @@ func (c *Cache) EncodeRecord(dst, rec []byte) ([]byte, bool, error) {
 		// Hash collision: replace the entry on both sides by sending
 		// the record in full.
 		c.Stats.Collisions++
-		c.removeElement(el)
+		c.removeIndex(i)
 	}
 	c.insert(key, rec)
 	dst = append(dst, flagFull)
@@ -138,7 +250,9 @@ func (c *Cache) EncodeRecord(dst, rec []byte) ([]byte, bool, error) {
 
 // DecodeRecord parses one wire item from src, returning the record and
 // the number of bytes consumed. The receiver cache mutates exactly as
-// the sender's did, preserving the mirror invariant.
+// the sender's did, preserving the mirror invariant. For references
+// the returned slice aliases cache storage that a later insert may
+// evict and reuse; copy it if it must outlive subsequent cache calls.
 func (c *Cache) DecodeRecord(src []byte) ([]byte, int, error) {
 	if len(src) == 0 {
 		return nil, 0, fmt.Errorf("%w: empty", ErrBadWire)
@@ -149,17 +263,13 @@ func (c *Cache) DecodeRecord(src []byte) ([]byte, int, error) {
 			return nil, 0, fmt.Errorf("%w: short reference", ErrBadWire)
 		}
 		key := binary.LittleEndian.Uint64(src[1:9])
-		el, ok := c.byKey[key]
+		i, ok := c.byKey[key]
 		if !ok {
 			return nil, 0, fmt.Errorf("%w: key %x", ErrUnknownRef, key)
 		}
-		ent, valid := el.Value.(*entry)
-		if !valid {
-			return nil, 0, fmt.Errorf("cmdcache: corrupt LRU element %T", el.Value)
-		}
-		c.order.MoveToFront(el)
+		c.moveToFront(i)
 		c.Stats.Hits++
-		return ent.bytes, 9, nil
+		return c.entries[i].bytes, 9, nil
 	case flagFull:
 		n, used := binary.Uvarint(src[1:])
 		if used <= 0 {
@@ -174,9 +284,9 @@ func (c *Cache) DecodeRecord(src []byte) ([]byte, int, error) {
 		}
 		rec := src[start : start+int(n)]
 		key := hashRecord(rec)
-		if el, ok := c.byKey[key]; ok {
+		if i, ok := c.byKey[key]; ok {
 			// Mirror the sender's collision replacement.
-			c.removeElement(el)
+			c.removeIndex(i)
 		}
 		c.insert(key, rec)
 		c.Stats.Misses++
@@ -184,36 +294,6 @@ func (c *Cache) DecodeRecord(src []byte) ([]byte, int, error) {
 	default:
 		return nil, 0, fmt.Errorf("%w: flag %#x", ErrBadWire, src[0])
 	}
-}
-
-// insert adds a copied record at the front, evicting from the back
-// until within capacity. Records larger than the whole capacity are
-// intentionally still inserted then immediately evicted down to one
-// entry, keeping sender/receiver behaviour identical without a special
-// case on the wire.
-func (c *Cache) insert(key uint64, rec []byte) {
-	ent := &entry{key: key, bytes: append([]byte(nil), rec...)}
-	el := c.order.PushFront(ent)
-	c.byKey[key] = el
-	c.size += len(ent.bytes)
-	for c.size > c.capacity && c.order.Len() > 1 {
-		back := c.order.Back()
-		if back == nil || back == el {
-			break
-		}
-		c.removeElement(back)
-		c.Stats.Evictions++
-	}
-}
-
-func (c *Cache) removeElement(el *list.Element) {
-	ent, ok := el.Value.(*entry)
-	if !ok {
-		return
-	}
-	c.order.Remove(el)
-	delete(c.byKey, ent.key)
-	c.size -= len(ent.bytes)
 }
 
 // EncodeAll encodes a batch of records.

@@ -1,0 +1,253 @@
+package cmdcache
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// refCache is the original container/list + hash/fnv implementation,
+// kept verbatim as the behavioural reference: the slab LRU must match
+// it decision-for-decision (hits, misses, collisions, evictions) and
+// byte-for-byte on the wire, or deployed mixed old/new fleets would
+// desync their mirrored caches.
+type refCache struct {
+	capacity int
+	size     int
+	order    *list.List
+	byKey    map[uint64]*list.Element
+	stats    Stats
+}
+
+type refEntry struct {
+	key   uint64
+	bytes []byte
+}
+
+func newRefCache(capacity int) *refCache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &refCache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[uint64]*list.Element),
+	}
+}
+
+func refHash(rec []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(rec)
+	return h.Sum64()
+}
+
+func (c *refCache) encodeRecord(dst, rec []byte) ([]byte, bool, error) {
+	if len(rec) > MaxRecordBytes {
+		return dst, false, ErrRecordLimit
+	}
+	c.stats.RawBytes += int64(len(rec))
+	key := refHash(rec)
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*refEntry)
+		if bytes.Equal(ent.bytes, rec) {
+			c.order.MoveToFront(el)
+			dst = append(dst, flagRef)
+			dst = binary.LittleEndian.AppendUint64(dst, key)
+			c.stats.Hits++
+			c.stats.WireBytes += 9
+			return dst, true, nil
+		}
+		c.stats.Collisions++
+		c.removeElement(el)
+	}
+	c.insert(key, rec)
+	dst = append(dst, flagFull)
+	dst = binary.AppendUvarint(dst, uint64(len(rec)))
+	dst = append(dst, rec...)
+	c.stats.Misses++
+	c.stats.WireBytes += int64(1 + uvarintLen(uint64(len(rec))) + len(rec))
+	return dst, false, nil
+}
+
+func (c *refCache) insert(key uint64, rec []byte) {
+	ent := &refEntry{key: key, bytes: append([]byte(nil), rec...)}
+	el := c.order.PushFront(ent)
+	c.byKey[key] = el
+	c.size += len(ent.bytes)
+	for c.size > c.capacity && c.order.Len() > 1 {
+		back := c.order.Back()
+		if back == nil || back == el {
+			break
+		}
+		c.removeElement(back)
+		c.stats.Evictions++
+	}
+}
+
+func (c *refCache) removeElement(el *list.Element) {
+	ent := el.Value.(*refEntry)
+	c.order.Remove(el)
+	delete(c.byKey, ent.key)
+	c.size -= len(ent.bytes)
+}
+
+// lruKeys walks a cache's recency order front (MRU) to back (LRU).
+func (c *Cache) lruKeys() []uint64 {
+	var keys []uint64
+	for i := c.head; i != noIndex; i = c.entries[i].next {
+		keys = append(keys, c.entries[i].key)
+	}
+	return keys
+}
+
+func (c *refCache) lruKeys() []uint64 {
+	var keys []uint64
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*refEntry).key)
+	}
+	return keys
+}
+
+// recordStream generates a workload-shaped random record stream: a
+// small working set of hot records (cache hits), a long tail of cold
+// ones (misses + evictions), and occasional giant records that blow
+// most of the cache out (eviction storms).
+func recordStream(seed uint64, n int) [][]byte {
+	r := sim.NewRNG(seed)
+	hot := make([][]byte, 32)
+	for i := range hot {
+		rec := make([]byte, int(r.Uint64()%60)+4)
+		for j := range rec {
+			rec[j] = byte(r.Uint64())
+		}
+		hot[i] = rec
+	}
+	recs := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Uint64() % 10 {
+		case 0, 1, 2: // cold record
+			rec := make([]byte, int(r.Uint64()%120)+1)
+			for j := range rec {
+				rec[j] = byte(r.Uint64())
+			}
+			recs = append(recs, rec)
+		case 3: // oversized record: eviction pressure
+			rec := make([]byte, int(r.Uint64()%800)+200)
+			for j := range rec {
+				rec[j] = byte(r.Uint64())
+			}
+			recs = append(recs, rec)
+		default: // hot record
+			recs = append(recs, hot[r.Uint64()%uint64(len(hot))])
+		}
+	}
+	return recs
+}
+
+// TestDifferentialOldVsNew drives the slab LRU and the original
+// list-based implementation through the same 10k-record streams and
+// demands identical wire bytes, identical hit decisions, and identical
+// final cache states — the determinism invariant the receiver's mirror
+// depends on.
+func TestDifferentialOldVsNew(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		seed     uint64
+		capacity int
+	}{
+		{"tight-cache", 1, 2 << 10},
+		{"roomy-cache", 2, 64 << 10},
+		{"tiny-cache", 3, 64},
+		{"default-ish", 4, 16 << 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			recs := recordStream(tc.seed, 10000)
+			oldC := newRefCache(tc.capacity)
+			newC := New(tc.capacity)
+			mirror := New(tc.capacity) // receiver fed the new sender's wire
+			for i, rec := range recs {
+				oldWire, oldHit, oldErr := oldC.encodeRecord(nil, rec)
+				newWire, newHit, newErr := newC.EncodeRecord(nil, rec)
+				if (oldErr == nil) != (newErr == nil) {
+					t.Fatalf("rec %d: error divergence old=%v new=%v", i, oldErr, newErr)
+				}
+				if oldHit != newHit {
+					t.Fatalf("rec %d: hit divergence old=%v new=%v", i, oldHit, newHit)
+				}
+				if !bytes.Equal(oldWire, newWire) {
+					t.Fatalf("rec %d: wire divergence (%d vs %d bytes)", i, len(oldWire), len(newWire))
+				}
+				got, n, err := mirror.DecodeRecord(newWire)
+				if err != nil {
+					t.Fatalf("rec %d: mirror decode: %v", i, err)
+				}
+				if n != len(newWire) || !bytes.Equal(got, rec) {
+					t.Fatalf("rec %d: mirror returned wrong record", i)
+				}
+			}
+			oldSt, newSt := oldC.stats, newC.Stats
+			if oldSt != newSt {
+				t.Fatalf("stats divergence:\nold %+v\nnew %+v", oldSt, newSt)
+			}
+			if oldC.size != newC.MemoryBytes() || oldC.order.Len() != newC.Len() {
+				t.Fatalf("state divergence: old %d bytes/%d recs, new %d bytes/%d recs",
+					oldC.size, oldC.order.Len(), newC.MemoryBytes(), newC.Len())
+			}
+			oldKeys, newKeys := oldC.lruKeys(), newC.lruKeys()
+			if len(oldKeys) != len(newKeys) {
+				t.Fatalf("LRU length divergence: %d vs %d", len(oldKeys), len(newKeys))
+			}
+			for i := range oldKeys {
+				if oldKeys[i] != newKeys[i] {
+					t.Fatalf("LRU order divergence at %d: %x vs %x", i, oldKeys[i], newKeys[i])
+				}
+			}
+			// The receiver mirror must agree with the sender too.
+			if mirrorKeys := mirror.lruKeys(); len(mirrorKeys) != len(newKeys) {
+				t.Fatalf("mirror length divergence: %d vs %d", len(mirrorKeys), len(newKeys))
+			} else {
+				for i := range mirrorKeys {
+					if mirrorKeys[i] != newKeys[i] {
+						t.Fatalf("mirror order divergence at %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInlineFNVMatchesStdlib pins the inline hash to hash/fnv: a
+// mismatch would make every deployed cache key change under us.
+func TestInlineFNVMatchesStdlib(t *testing.T) {
+	r := sim.NewRNG(99)
+	for i := 0; i < 2000; i++ {
+		rec := make([]byte, int(r.Uint64()%200))
+		for j := range rec {
+			rec[j] = byte(r.Uint64())
+		}
+		if hashRecord(rec) != refHash(rec) {
+			t.Fatalf("FNV divergence on %d-byte record", len(rec))
+		}
+	}
+}
+
+// TestEncodeSteadyStateZeroAlloc pins the fast path: once the working
+// set is cached, encoding a hit must not allocate.
+func TestEncodeSteadyStateZeroAlloc(t *testing.T) {
+	c := New(1 << 20)
+	rec := bytes.Repeat([]byte{0xAB}, 64)
+	dst := make([]byte, 0, 64)
+	var err error
+	if dst, _, err = c.EncodeRecord(dst[:0], rec); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		dst, _, _ = c.EncodeRecord(dst[:0], rec)
+	}); n != 0 {
+		t.Fatalf("steady-state EncodeRecord allocates %v times per record", n)
+	}
+}

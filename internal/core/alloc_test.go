@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/glwire"
+	"github.com/gbooster/gbooster/internal/rudp"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// discardConn is a PacketConn that swallows writes and blocks reads
+// until closed, so a client's transport can run with no peer and no
+// background packet traffic polluting allocation measurements.
+type discardConn struct {
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newDiscardConn() *discardConn { return &discardConn{closed: make(chan struct{})} }
+
+func (d *discardConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	<-d.closed
+	return 0, nil, net.ErrClosed
+}
+func (d *discardConn) WriteTo(p []byte, _ net.Addr) (int, error) { return len(p), nil }
+func (d *discardConn) Close() error {
+	d.once.Do(func() { close(d.closed) })
+	return nil
+}
+func (d *discardConn) LocalAddr() net.Addr              { return discardAddr{} }
+func (d *discardConn) SetDeadline(time.Time) error      { return nil }
+func (d *discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (d *discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+type discardAddr struct{}
+
+func (discardAddr) Network() string { return "discard" }
+func (discardAddr) String() string  { return "discard" }
+
+// buildTraceFrames pre-serializes n frames of a workload game into
+// split record sets, the form consume() accumulates them in.
+func buildTraceFrames(t testing.TB, id string, seed uint64, n int) [][][]byte {
+	t.Helper()
+	prof, err := workload.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	game := workload.NewGame(prof, seed)
+	enc := glwire.NewEncoder(game.Arrays())
+	frames := make([][][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		buf, err := enc.EncodeAll(nil, game.NextFrame().Commands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := glwire.SplitRecords(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, recs)
+	}
+	return frames
+}
+
+// ackAllSent synthesizes a cumulative ACK covering everything conn has
+// sent and feeds it through Inject, draining the retransmit window the
+// way a live peer would. The 10-byte layout mirrors the rudp header:
+// magic, type, big-endian seq, big-endian timestamp echo (zero selects
+// the sender-side RTT fallback).
+func ackAllSent(conn *rudp.Conn, pkt []byte) {
+	pkt[0] = 0xB7 // rudp magic byte
+	pkt[1] = 2    // ACK packet type
+	binary.BigEndian.PutUint32(pkt[2:6], uint32(conn.Stats().DataSent))
+	binary.BigEndian.PutUint32(pkt[6:10], 0)
+	conn.Inject(pkt)
+}
+
+// TestUplinkFlushZeroAllocSteadyState is the PR's allocation gate: once
+// caches, compressors, and scratch pools are warm, shipping a frame —
+// record staging, cache encode, dictionary compression, message
+// framing, datagram send, ACK processing, and request completion —
+// must not allocate at all.
+func TestUplinkFlushZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts the race runtime's shadow allocations; the gate runs in the non-race pass")
+	}
+	c, err := NewClient(ClientConfig{
+		Width:  64,
+		Height: 48,
+		// Keep the failover sweep out of the measurement window.
+		FailoverInterval: time.Hour,
+		FailoverMaxWait:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	conns := make([]*rudp.Conn, 2)
+	for i := range conns {
+		conns[i] = rudp.New(newDiscardConn(), discardAddr{}, rudp.Options{})
+		if err := c.AddService(fmt.Sprintf("dev%d", i), conns[i], 1000, 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	frames := buildTraceFrames(t, "G1", 7, 4)
+	ackPkt := make([]byte, 10)
+	iter := 0
+	step := func() {
+		recs := frames[iter%len(frames)]
+		iter++
+		c.mu.Lock()
+		for _, rec := range recs {
+			c.frameRecs = append(c.frameRecs, c.copyRecLocked(rec))
+		}
+		err := c.flushFrameLocked()
+		c.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drain both transports' retransmit windows so pending slots
+		// recycle instead of accumulating.
+		for _, conn := range conns {
+			ackAllSent(conn, ackPkt)
+		}
+		// Retire the request the way a server reply would, minus the
+		// frame decode (downlink is out of scope for the uplink gate).
+		c.mu.Lock()
+		for seq, req := range c.inflight {
+			c.sched.Complete(req.svc.dev, req.workload)
+			delete(c.inflight, seq)
+			c.releaseReqLocked(req)
+		}
+		c.mu.Unlock()
+	}
+
+	// Warm every layer to steady state: the command caches need one
+	// cycle through the frame set, the scratch buffers a few more, and
+	// the LZ4 history windows keep amortized-growing until cumulative
+	// wire traffic passes histMax (256 KiB) on both the batch and the
+	// state-replication compressor — the state stream carries only a
+	// fraction of each frame, so it saturates last.
+	for i := 0; i < 3000; i++ {
+		step()
+	}
+
+	// A GC in the measurement window may empty the sync.Pool-backed
+	// scratch, which would charge a spurious refill to the loop.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if n := testing.AllocsPerRun(100, step); n != 0 {
+		t.Fatalf("steady-state uplink flush allocates %v times per frame", n)
+	}
+}

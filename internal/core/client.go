@@ -107,7 +107,15 @@ type ClientStats struct {
 	RawBytes        int64 // serialized records before cache+LZ4
 	WireBytes       int64 // bytes actually sent
 	StateBytes      int64 // replication traffic to non-assigned servers
-	CacheHits       int64
+	// PreCompressBytes counts cache-encoded uplink bytes before stream
+	// compression (frame batches and state updates). The uplink LZ4
+	// ratio is WireBytes relative to it.
+	PreCompressBytes int64
+	// CacheHits / CacheMisses count records the mirrored command caches
+	// replaced with a reference vs. shipped in full, across batch and
+	// state-replication encodes.
+	CacheHits   int64
+	CacheMisses int64
 
 	// Failover counters (§VI-C fault tolerance).
 
@@ -163,6 +171,7 @@ type service struct {
 	name  string
 	conn  *rudp.Conn
 	cache *cmdcache.Cache
+	comp  *lz4.Compressor // inter-frame uplink stream state (guarded by Client.mu)
 	dec   *turbo.Decoder
 	dev   *dispatch.Device
 
@@ -192,10 +201,100 @@ type Client struct {
 	stats     ClientStats
 	sinkErr   error
 
+	// Pooled uplink scratch. The steady-state flush path reuses all of
+	// these across frames so shipping a frame allocates nothing (see
+	// DESIGN.md §11 for the ownership rules). scratch is a sync.Pool so
+	// concurrent users (flush under mu, failover redispatch) never
+	// contend; the free lists below are mu-guarded like the data they
+	// recycle.
+	scratch  sync.Pool      // of *uplinkScratch
+	encBuf   []byte         // glwire encode scratch (guarded by mu)
+	splitBuf [][]byte       // record-split scratch (guarded by mu)
+	recFree  [][]byte       // record-copy buffers awaiting reuse (guarded by mu)
+	recsFree [][][]byte     // frame record-slice headers (guarded by mu)
+	reqFree  []*inflightReq // completed request structs (guarded by mu)
+	stateBuf [][]byte       // state-replication filter scratch (guarded by mu)
+
 	frames chan Frame
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed sync.Once
+}
+
+// uplinkScratch is one send's reusable buffer set: the cache-encoded
+// wire bytes and the framed, compressed message built from them. Both
+// are fully consumed before the scratch is returned (the compressor
+// copies wire into its history window; rudp copies msg into its
+// retransmit window), so ownership never escapes the pool.
+type uplinkScratch struct {
+	wire []byte
+	msg  []byte
+}
+
+func (c *Client) getScratch() *uplinkScratch {
+	return c.scratch.Get().(*uplinkScratch)
+}
+
+func (c *Client) putScratch(sc *uplinkScratch) {
+	c.scratch.Put(sc)
+}
+
+// getRecsLocked returns an empty record-slice header for the next
+// frame's accumulation, reusing a released frame's header when one is
+// available.
+func (c *Client) getRecsLocked() [][]byte {
+	if n := len(c.recsFree); n > 0 {
+		recs := c.recsFree[n-1]
+		c.recsFree[n-1] = nil
+		c.recsFree = c.recsFree[:n-1]
+		return recs
+	}
+	return nil
+}
+
+// copyRecLocked copies one encoded record into a client-owned buffer,
+// reusing a released record's buffer when one is available. frameRecs
+// must own its bytes — the encoder scratch it is sliced from is
+// overwritten by the next command.
+func (c *Client) copyRecLocked(rec []byte) []byte {
+	var buf []byte
+	if n := len(c.recFree); n > 0 {
+		buf = c.recFree[n-1]
+		c.recFree[n-1] = nil
+		c.recFree = c.recFree[:n-1]
+	}
+	return append(buf[:0], rec...)
+}
+
+// getReqLocked returns a request struct ready to fill, reusing a
+// completed one when available.
+func (c *Client) getReqLocked() *inflightReq {
+	if n := len(c.reqFree); n > 0 {
+		req := c.reqFree[n-1]
+		c.reqFree[n-1] = nil
+		c.reqFree = c.reqFree[:n-1]
+		return req
+	}
+	return &inflightReq{tried: make(map[string]bool)}
+}
+
+// releaseReqLocked recycles a finished request: its record buffers and
+// slice header go back on the free lists and the struct is reset for
+// reuse. The caller must be done with req.recs — future frames
+// overwrite the buffers.
+func (c *Client) releaseReqLocked(req *inflightReq) {
+	for i, rec := range req.recs {
+		c.recFree = append(c.recFree, rec)
+		req.recs[i] = nil
+	}
+	c.recsFree = append(c.recsFree, req.recs[:0])
+	req.recs = nil
+	req.svc = nil
+	req.workload = 0
+	req.sentAt = time.Time{}
+	req.attempts = 0
+	clear(req.tried)
+	c.reqFree = append(c.reqFree, req)
 }
 
 // NewClient builds a client runtime; attach servers with AddService
@@ -213,6 +312,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		frames:   make(chan Frame, 64),
 		done:     make(chan struct{}),
 	}
+	c.scratch.New = func() any { return new(uplinkScratch) }
 	c.wg.Add(1)
 	go c.failoverLoop()
 	return c, nil
@@ -231,6 +331,7 @@ func (c *Client) AddService(name string, conn *rudp.Conn, capability float64, rt
 		name:  name,
 		conn:  conn,
 		cache: cmdcache.New(c.cfg.CacheBytes),
+		comp:  lz4.NewCompressor(),
 		dec:   turbo.NewDecoder(c.cfg.Width, c.cfg.Height, c.cfg.Quality),
 		dev:   dev,
 	}
@@ -333,19 +434,21 @@ func (c *Client) consume(cmd gles.Command) {
 	if c.sinkErr != nil {
 		return
 	}
-	buf, err := c.enc.Encode(nil, cmd)
+	buf, err := c.enc.Encode(c.encBuf[:0], cmd)
+	c.encBuf = buf
 	if err != nil {
 		c.sinkErr = fmt.Errorf("core: serialize %v: %w", cmd.Op, err)
 		return
 	}
 	if len(buf) > 0 {
-		recs, err := glwire.SplitRecords(buf)
+		recs, err := glwire.AppendSplitRecords(c.splitBuf[:0], buf)
+		c.splitBuf = recs
 		if err != nil {
 			c.sinkErr = fmt.Errorf("core: split: %w", err)
 			return
 		}
 		for _, rec := range recs {
-			c.frameRecs = append(c.frameRecs, append([]byte(nil), rec...))
+			c.frameRecs = append(c.frameRecs, c.copyRecLocked(rec))
 			c.stats.RawBytes += int64(len(rec))
 		}
 	}
@@ -362,17 +465,15 @@ func (c *Client) consume(cmd gles.Command) {
 // frame fails, never the whole client.
 func (c *Client) flushFrameLocked() error {
 	recs := c.frameRecs
-	c.frameRecs = nil
+	c.frameRecs = c.getRecsLocked()
 	if len(c.services) == 0 {
 		return fmt.Errorf("%w: no service devices attached", ErrClosed)
 	}
 	seq := c.seq
 	c.seq++
-	req := &inflightReq{
-		workload: float64(len(recs)),
-		recs:     recs,
-		tried:    make(map[string]bool),
-	}
+	req := c.getReqLocked()
+	req.workload = float64(len(recs))
+	req.recs = recs
 	if err := c.sendBatchLocked(seq, req); err != nil {
 		if !errors.Is(err, dispatch.ErrNoHealthyDevices) {
 			return err
@@ -380,7 +481,9 @@ func (c *Client) flushFrameLocked() error {
 		// Every device is dead or quarantined: degrade to dropping this
 		// frame instead of poisoning the sink.
 		c.stats.FramesSkipped++
-		c.deliverLocked(c.reorder.Skip(seq))
+		skipped := c.reorder.Skip(seq)
+		c.releaseReqLocked(req)
+		c.deliverLocked(skipped)
 		return nil
 	}
 	c.inflight[seq] = req
@@ -390,18 +493,25 @@ func (c *Client) flushFrameLocked() error {
 	// logical transmission per non-assigned server here). Evicted
 	// devices are excluded: their reliable channel would queue the
 	// update unacknowledged until the send window wedged the client.
-	var stateRecs [][]byte
+	stateRecs := c.stateBuf[:0]
 	for _, rec := range recs {
 		op, err := glwire.PeekOp(rec)
 		if err != nil {
+			c.stateBuf = stateRecs
 			return fmt.Errorf("core: peek: %w", err)
 		}
 		if (gles.Command{Op: op}).MutatesState() {
 			stateRecs = append(stateRecs, rec)
 		}
 	}
+	c.stateBuf = stateRecs
+	if len(stateRecs) == 0 {
+		return nil
+	}
+	sc := c.getScratch()
+	defer c.putScratch(sc)
 	for _, s := range c.services {
-		if s == req.svc || len(stateRecs) == 0 {
+		if s == req.svc {
 			continue
 		}
 		if s.dev.Health() == dispatch.Evicted {
@@ -417,19 +527,25 @@ func (c *Client) flushFrameLocked() error {
 			c.sched.ReportFailure(s.dev)
 			continue
 		}
-		wire, _, err := s.cache.EncodeAll(nil, stateRecs)
+		wire, hits, err := s.cache.EncodeAll(sc.wire[:0], stateRecs)
+		sc.wire = wire
 		if err != nil {
 			return fmt.Errorf("core: state encode: %w", err)
 		}
-		msg := encodeMsg(MsgStateUpdate, 0, lz4.Compress(nil, wire))
+		c.stats.CacheHits += int64(hits)
+		c.stats.CacheMisses += int64(len(stateRecs) - hits)
+		msg := s.comp.Compress(appendMsgHeader(sc.msg[:0], MsgStateUpdate, 0), wire)
+		sc.msg = msg
 		if err := s.conn.Send(msg); err != nil {
-			// The conn is dead for good; its cache just diverged from
-			// the server's, so the device must never come back.
+			// The conn is dead for good; its cache and compressor just
+			// diverged from the server's, so the device must never come
+			// back.
 			c.sched.Quarantine(s.dev)
 			continue
 		}
 		c.stats.WireBytes += int64(len(msg))
 		c.stats.StateBytes += int64(len(msg))
+		c.stats.PreCompressBytes += int64(len(wire))
 	}
 	return nil
 }
@@ -506,6 +622,8 @@ func (c *Client) serviceFor(dev *dispatch.Device) *service {
 // every touched device's queue accounting has been rolled back and the
 // request is on no device.
 func (c *Client) sendBatchLocked(seq uint64, req *inflightReq) error {
+	sc := c.getScratch()
+	defer c.putScratch(sc)
 	for {
 		var dev *dispatch.Device
 		var err error
@@ -539,23 +657,28 @@ func (c *Client) sendBatchLocked(seq uint64, req *inflightReq) error {
 			c.sched.ReportFailure(dev)
 			continue
 		}
-		wire, hits, err := svc.cache.EncodeAll(nil, req.recs)
+		wire, hits, err := svc.cache.EncodeAll(sc.wire[:0], req.recs)
+		sc.wire = wire
 		if err != nil {
 			c.sched.Complete(dev, req.workload)
 			return fmt.Errorf("core: cache encode: %w", err)
 		}
 		c.stats.CacheHits += int64(hits)
-		batch := encodeMsg(MsgFrameBatch, seq, lz4.Compress(nil, wire))
+		c.stats.CacheMisses += int64(len(req.recs) - hits)
+		batch := svc.comp.Compress(appendMsgHeader(sc.msg[:0], MsgFrameBatch, seq), wire)
+		sc.msg = batch
 		if err := svc.conn.Send(batch); err != nil {
 			// Roll the workload back off the device and drop the seq
 			// from its books — leaving either in place leaks the slot
-			// forever. The cache already advanced past a batch the
-			// server will never see, so the device is done for good.
+			// forever. The cache and compressor already advanced past a
+			// batch the server will never see, so the device is done
+			// for good.
 			c.sched.Complete(dev, req.workload)
 			c.sched.Quarantine(dev)
 			continue
 		}
 		c.stats.WireBytes += int64(len(batch))
+		c.stats.PreCompressBytes += int64(len(wire))
 		req.svc = svc
 		req.sentAt = time.Now()
 		req.attempts++
@@ -677,6 +800,7 @@ func (c *Client) sweepOverdue(now time.Time) bool {
 			}
 			// Lost on every device: fail only this frame.
 			delete(c.inflight, seq)
+			c.releaseReqLocked(req)
 			c.stats.FramesSkipped++
 			if !c.deliverLocked(c.reorder.Skip(seq)) {
 				c.mu.Unlock()
@@ -784,6 +908,7 @@ func (c *Client) decodeOne(svc *service, seq uint64, payload []byte) bool {
 		// after a re-dispatch a slow original may answer first.
 		c.sched.Complete(req.svc.dev, req.workload)
 		delete(c.inflight, seq)
+		c.releaseReqLocked(req)
 	}
 	svc.lastReply = now
 	released, err := c.reorder.Push(seq, frame)

@@ -18,7 +18,15 @@ type batchBuilder struct {
 	game  *workload.Game
 	enc   *glwire.Encoder
 	cache *clientCache
+	comp  *lz4.Compressor
 	seq   uint64
+
+	// Pooled scratch, exercising the same zero-allocation encode path
+	// the real client uses.
+	encBuf   []byte
+	splitBuf [][]byte
+	wireBuf  []byte
+	msgBuf   []byte
 }
 
 // clientCache mirrors the server-side cache for one session.
@@ -39,26 +47,34 @@ func newBatchBuilder(t testing.TB, id string, seed uint64) *batchBuilder {
 		game:  game,
 		enc:   glwire.NewEncoder(game.Arrays()),
 		cache: &clientCache{c: newMirrorCache()},
+		comp:  lz4.NewCompressor(),
 	}
 }
 
 func (b *batchBuilder) next(t testing.TB) []byte {
 	t.Helper()
-	buf, err := b.enc.EncodeAll(nil, b.game.NextFrame().Commands)
+	buf, err := b.enc.EncodeAll(b.encBuf[:0], b.game.NextFrame().Commands)
+	b.encBuf = buf
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, err := glwire.SplitRecords(buf)
+	recs, err := glwire.AppendSplitRecords(b.splitBuf[:0], buf)
+	b.splitBuf = recs
 	if err != nil {
 		t.Fatal(err)
 	}
-	wire, _, err := b.cache.c.EncodeAll(nil, recs)
+	wire, _, err := b.cache.c.EncodeAll(b.wireBuf[:0], recs)
+	b.wireBuf = wire
 	if err != nil {
 		t.Fatal(err)
 	}
-	msg := encodeMsg(MsgFrameBatch, b.seq, lz4.Compress(nil, wire))
+	msg := b.comp.Compress(appendMsgHeader(b.msgBuf[:0], MsgFrameBatch, b.seq), wire)
+	b.msgBuf = msg
 	b.seq++
-	return msg
+	// Callers retain messages (the backlog test pre-builds 150), so hand
+	// out an owned copy — the scratch is overwritten by the next frame,
+	// exactly like rudp copying a send into its retransmit window.
+	return append([]byte(nil), msg...)
 }
 
 func TestSchedPolicyString(t *testing.T) {

@@ -41,11 +41,18 @@ func FrameBatchMsg(seq uint64, payload []byte) []byte {
 	return encodeMsg(MsgFrameBatch, seq, payload)
 }
 
+// appendMsgHeader appends a message's framing (type byte + uvarint
+// seq) to dst. The pooled uplink path builds header and payload into
+// one reused buffer instead of allocating per message via encodeMsg.
+func appendMsgHeader(dst []byte, msgType byte, seq uint64) []byte {
+	dst = append(dst, msgType)
+	return binary.AppendUvarint(dst, seq)
+}
+
 // encodeMsg frames a message: type byte, uvarint seq, payload.
 func encodeMsg(msgType byte, seq uint64, payload []byte) []byte {
 	out := make([]byte, 0, len(payload)+10)
-	out = append(out, msgType)
-	out = binary.AppendUvarint(out, seq)
+	out = appendMsgHeader(out, msgType, seq)
 	return append(out, payload...)
 }
 

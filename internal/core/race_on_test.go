@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation gate skips its exact-zero assertion under race: the race
+// runtime allocates shadow state on sync operations, which
+// testing.AllocsPerRun cannot tell apart from real allocations.
+const raceEnabled = true

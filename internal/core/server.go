@@ -84,9 +84,11 @@ type Server struct {
 	// guards the encode stage (the turbo encoder). Separate locks are
 	// what let the pipelined serve path render frame N while frame N−1
 	// is still being encoded.
-	mu    sync.Mutex
-	gpu   *gles.GPU
-	stats ServerStats
+	mu     sync.Mutex
+	gpu    *gles.GPU
+	stats  ServerStats
+	decomp *lz4.Decompressor // mirrors the client compressors' dictionary window
+	rawBuf []byte            // decompression scratch, reused across batches
 
 	encMu sync.Mutex
 	enc   *turbo.Encoder
@@ -99,10 +101,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("%w: resolution %dx%d", ErrBadMessage, cfg.Width, cfg.Height)
 	}
 	s := &Server{
-		cfg:   cfg,
-		gpu:   gles.NewGPU(cfg.Width, cfg.Height),
-		enc:   turbo.NewEncoder(cfg.Width, cfg.Height, cfg.Quality),
-		cache: cmdcache.New(cfg.CacheBytes),
+		cfg:    cfg,
+		gpu:    gles.NewGPU(cfg.Width, cfg.Height),
+		enc:    turbo.NewEncoder(cfg.Width, cfg.Height, cfg.Quality),
+		cache:  cmdcache.New(cfg.CacheBytes),
+		decomp: lz4.NewDecompressor(),
 	}
 	s.gpu.SetParallelism(cfg.Parallelism)
 	s.enc.SetParallelism(cfg.Parallelism)
@@ -313,7 +316,8 @@ func (s *Server) encodeReply(frame []byte, seq uint64) ([]byte, error) {
 // executeBatch decompresses, cache-decodes, deserializes, and executes
 // one batch. It returns the framebuffer when the batch ended a frame.
 func (s *Server) executeBatch(payload []byte) ([]byte, error) {
-	raw, err := lz4.Decompress(nil, payload, lz4.MaxBlockSize)
+	raw, err := s.decomp.Decompress(s.rawBuf[:0], payload, lz4.MaxBlockSize)
+	s.rawBuf = raw
 	if err != nil {
 		return nil, fmt.Errorf("core: lz4: %w", err)
 	}
@@ -350,4 +354,3 @@ func (s *Server) Snapshot() gles.StateSnapshot {
 	defer s.mu.Unlock()
 	return s.gpu.Ctx.Snapshot()
 }
-

@@ -136,18 +136,28 @@ func PeekOp(record []byte) (gles.Op, error) {
 // parsing their bodies. The redundancy-elimination layer (cmdcache)
 // operates on these raw records.
 func SplitRecords(buf []byte) ([][]byte, error) {
-	var recs [][]byte
+	recs, err := AppendSplitRecords(nil, buf)
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// AppendSplitRecords is SplitRecords appending into a caller-owned
+// slice, so per-command hot paths can reuse the slice header across
+// calls. On error the records split so far are returned with it.
+func AppendSplitRecords(recs [][]byte, buf []byte) ([][]byte, error) {
 	for off := 0; off < len(buf); {
 		bodyLen, n := binary.Uvarint(buf[off:])
 		if n <= 0 {
-			return nil, ErrShortRecord
+			return recs, ErrShortRecord
 		}
 		if bodyLen > MaxRecordSize {
-			return nil, fmt.Errorf("%w: body %d", ErrRecordTooBig, bodyLen)
+			return recs, fmt.Errorf("%w: body %d", ErrRecordTooBig, bodyLen)
 		}
 		end := off + n + int(bodyLen)
 		if end > len(buf) {
-			return nil, fmt.Errorf("%w: record at %d overruns buffer", ErrShortRecord, off)
+			return recs, fmt.Errorf("%w: record at %d overruns buffer", ErrShortRecord, off)
 		}
 		recs = append(recs, buf[off:end])
 		off = end

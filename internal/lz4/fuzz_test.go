@@ -1,6 +1,8 @@
 package lz4
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -13,6 +15,48 @@ func TestDecompressNeverPanicsOnArbitraryBytes(t *testing.T) {
 	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// lenExtBomb builds a block whose literal-length extension declares a
+// length far beyond any output cap: a token with the 15-literal nibble
+// followed by a long run of 0xFF continuation bytes. Before readLenExt
+// learned a limit, the declared total could walk past the top of a
+// 32-bit int and wrap negative before the output-size checks ran.
+func lenExtBomb() []byte {
+	bomb := append([]byte{0xF0}, bytes.Repeat([]byte{0xFF}, 8192)...)
+	return append(bomb, 0x00)
+}
+
+func TestDecompressRejectsLengthExtensionOverflow(t *testing.T) {
+	// ~2 MB declared against a 1 MB cap: rejected inside the length
+	// parse, before any literal-run allocation or arithmetic on the
+	// bogus total.
+	if _, err := Decompress(nil, lenExtBomb(), 1<<20); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("length-extension bomb error = %v, want ErrTooLarge", err)
+	}
+	var d Decompressor
+	dict := append([]byte{DictBlockFlag}, lenExtBomb()...)
+	if _, err := d.Decompress(nil, dict, 1<<20); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("dict length-extension bomb error = %v, want ErrTooLarge", err)
+	}
+}
+
+func FuzzDecompress(f *testing.F) {
+	f.Add(Compress(nil, []byte("the quick brown fox the quick brown fox")))
+	f.Add([]byte{0xF0, 255})             // truncated length extension
+	f.Add([]byte{0x10, 'a', 0x05, 0x00}) // offset beyond output
+	f.Add(lenExtBomb())                  // declared length overflows the cap
+	f.Add([]byte{DictBlockFlag, 0x50})   // dict block, truncated literals
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const limit = 1 << 20
+		if out, err := Decompress(nil, data, limit); err == nil && len(out) > limit {
+			t.Fatalf("one-shot output %d exceeds cap", len(out))
+		}
+		var d Decompressor
+		if out, err := d.Decompress(nil, data, limit); err == nil && len(out) > limit {
+			t.Fatalf("stream output %d exceeds cap", len(out))
+		}
+	})
 }
 
 func TestDecompressBoundedByMaxSize(t *testing.T) {

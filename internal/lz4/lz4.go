@@ -152,7 +152,7 @@ func Decompress(dst, src []byte, maxSize int) ([]byte, error) {
 		// Literals.
 		litLen := int(token >> 4)
 		if litLen == 15 {
-			n, used, err := readLenExt(src[pos:])
+			n, used, err := readLenExt(src[pos:], maxSize)
 			if err != nil {
 				return dst, err
 			}
@@ -181,7 +181,7 @@ func Decompress(dst, src []byte, maxSize int) ([]byte, error) {
 		}
 		matchLen := int(token&0x0F) + minMatch
 		if token&0x0F == 15 {
-			n, used, err := readLenExt(src[pos:])
+			n, used, err := readLenExt(src[pos:], maxSize)
 			if err != nil {
 				return dst, err
 			}
@@ -204,7 +204,13 @@ func Decompress(dst, src []byte, maxSize int) ([]byte, error) {
 	return dst, nil
 }
 
-func readLenExt(src []byte) (total, used int, err error) {
+// readLenExt parses a 255-run length extension. limit bounds the
+// declared length: any length a valid block can use is bounded by the
+// caller's output cap, and rejecting early keeps a hostile run of 0xFF
+// bytes from walking total past the top of int (a 32-bit int wraps
+// negative, turning the later slice bounds arithmetic into a panic)
+// before the precise output-size checks ever run.
+func readLenExt(src []byte, limit int) (total, used int, err error) {
 	for {
 		if used >= len(src) {
 			return 0, 0, fmt.Errorf("%w: truncated length extension", ErrCorrupt)
@@ -212,6 +218,9 @@ func readLenExt(src []byte) (total, used int, err error) {
 		b := src[used]
 		used++
 		total += int(b)
+		if total > limit || total < 0 {
+			return 0, 0, fmt.Errorf("%w: declared length exceeds %d", ErrTooLarge, limit)
+		}
 		if b != 255 {
 			return total, used, nil
 		}

@@ -1,0 +1,228 @@
+package lz4
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inter-frame dictionary compression (paper §V-A "LZ4 stream
+// compression"). Consecutive frames repeat most of their bytes even
+// after the command cache has replaced repeated records with 8-byte
+// references — the *sequence* of references recurs frame after frame.
+// A one-shot Compress cannot see that redundancy: its match window dies
+// with each block. Compressor and Decompressor instead keep a shared
+// history window of previous frames' bytes, so matches reach back up to
+// maxOffset into earlier frames.
+//
+// Wire format: dictionary-compressed blocks are self-describing — they
+// carry DictBlockFlag as their first byte, followed by ordinary LZ4
+// sequences whose offsets may point into the history window. The
+// stateless Compress never emits that leading byte (a non-empty block
+// always starts with a token whose literal nibble is ≥ 1, i.e. ≥ 0x10,
+// and an empty input encodes to an empty block), so the flag is
+// unambiguous: a legacy decoder handed a dictionary block fails with
+// ErrCorrupt instead of mis-decoding it, and Decompressor accepts
+// legacy flagless blocks unchanged (decoded statelessly — they do not
+// touch the window, mirroring the sender, whose Compressor never saw
+// them).
+//
+// Because a dictionary block is already non-interoperable with a spec
+// LZ4 decoder, the end-of-block constraints (5 trailing literals, no
+// match within 12 bytes of the end) are relaxed: a block may end on a
+// match, which matters for the small per-frame blocks this stream
+// carries.
+
+// DictBlockFlag marks a dictionary-compressed block. See the package
+// comment above for why it cannot collide with a stateless block.
+const DictBlockFlag = 0x01
+
+const (
+	// windowKeep is how much trailing history both sides retain when
+	// the window slides. It must be > maxOffset so any offset a
+	// compressor can emit stays resolvable at the decompressor no
+	// matter how the two sides' slide points interleave.
+	windowKeep = 1 << 16
+	// histMax bounds the history buffer between slides.
+	histMax = 1 << 18
+)
+
+// Compressor is the stateful sender side of the inter-frame stream.
+// Each Compress call appends its source to a persistent history window
+// and may emit matches against any of the last ~64 KiB of previously
+// compressed bytes. The zero value is ready to use. Not safe for
+// concurrent use.
+type Compressor struct {
+	table [1 << hashLog]int32 // position+1 in hist of each hash's last occurrence
+	hist  []byte
+}
+
+// NewCompressor returns a fresh stream compressor.
+func NewCompressor() *Compressor { return &Compressor{} }
+
+// Reset drops all history, as if freshly constructed.
+func (c *Compressor) Reset() {
+	c.table = [1 << hashLog]int32{}
+	c.hist = c.hist[:0]
+}
+
+// Compress appends the dictionary-compressed encoding of src to dst
+// and returns the extended slice. src is copied into the history
+// window before Compress returns, so the caller may reuse it
+// immediately. Blocks must be decompressed by a Decompressor fed the
+// same block sequence in the same order.
+func (c *Compressor) Compress(dst, src []byte) []byte {
+	dst = append(dst, DictBlockFlag)
+	if len(src) == 0 {
+		return dst
+	}
+	c.slide(len(src))
+	base := len(c.hist)
+	c.hist = append(c.hist, src...)
+	s := c.hist
+	anchor, pos := base, base
+	last := len(s) - minMatch
+	for pos <= last {
+		h := hash4(binary.LittleEndian.Uint32(s[pos:]))
+		cand := int(c.table[h]) - 1
+		c.table[h] = int32(pos + 1)
+		if cand < 0 || pos-cand > maxOffset ||
+			binary.LittleEndian.Uint32(s[cand:]) != binary.LittleEndian.Uint32(s[pos:]) {
+			pos++
+			continue
+		}
+		matchLen := minMatch
+		maxLen := len(s) - pos
+		for matchLen < maxLen && s[cand+matchLen] == s[pos+matchLen] {
+			matchLen++
+		}
+		dst = appendSequence(dst, s[anchor:pos], pos-cand, matchLen)
+		pos += matchLen
+		anchor = pos
+	}
+	if anchor < len(s) {
+		dst = appendLiterals(dst, s[anchor:], true)
+	}
+	return dst
+}
+
+// slide trims the history window before appending srcLen more bytes,
+// keeping the trailing windowKeep bytes and remapping the hash table
+// into the new coordinates.
+func (c *Compressor) slide(srcLen int) {
+	if len(c.hist)+srcLen <= histMax || len(c.hist) < windowKeep {
+		return
+	}
+	shift := len(c.hist) - windowKeep
+	copy(c.hist, c.hist[shift:])
+	c.hist = c.hist[:windowKeep]
+	for i, v := range c.table {
+		if p := int(v) - 1; p >= shift {
+			c.table[i] = int32(p - shift + 1)
+		} else if v != 0 {
+			c.table[i] = 0
+		}
+	}
+}
+
+// Decompressor is the stateful receiver side of the inter-frame
+// stream. It reconstructs the sender's history window from the decoded
+// output itself, so the two sides stay mirror-consistent with no
+// side-channel: feed it every block of the stream in order. The zero
+// value is ready to use. Not safe for concurrent use.
+type Decompressor struct {
+	hist []byte
+}
+
+// NewDecompressor returns a fresh stream decompressor.
+func NewDecompressor() *Decompressor { return &Decompressor{} }
+
+// Reset drops all history, as if freshly constructed.
+func (d *Decompressor) Reset() { d.hist = d.hist[:0] }
+
+// Decompress appends the decoded bytes of one block to dst and returns
+// the extended slice. Dictionary blocks (leading DictBlockFlag) decode
+// against — and extend — the history window; legacy flagless blocks
+// decode statelessly and leave the window untouched. maxSize caps the
+// output as in the package-level Decompress. On error the window is
+// unchanged, so a corrupt block can be dropped without desyncing the
+// stream (though the sender's window has still advanced — the stream
+// is only consistent if every sent block is eventually decoded).
+func (d *Decompressor) Decompress(dst, src []byte, maxSize int) ([]byte, error) {
+	if len(src) == 0 {
+		return dst, nil
+	}
+	if src[0] != DictBlockFlag {
+		return Decompress(dst, src, maxSize)
+	}
+	src = src[1:]
+	base := len(d.hist)
+	hist := d.hist
+	pos := 0
+	for pos < len(src) {
+		token := src[pos]
+		pos++
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			n, used, err := readLenExt(src[pos:], maxSize)
+			if err != nil {
+				return dst, err
+			}
+			litLen += n
+			pos += used
+		}
+		if pos+litLen > len(src) {
+			return dst, fmt.Errorf("%w: literal run overflows input", ErrCorrupt)
+		}
+		if len(hist)-base+litLen > maxSize {
+			return dst, ErrTooLarge
+		}
+		hist = append(hist, src[pos:pos+litLen]...)
+		pos += litLen
+		if pos == len(src) {
+			break // block may end on a literals-only sequence
+		}
+		if pos+2 > len(src) {
+			return dst, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+		}
+		offset := int(binary.LittleEndian.Uint16(src[pos:]))
+		pos += 2
+		if offset == 0 {
+			return dst, fmt.Errorf("%w: zero offset", ErrCorrupt)
+		}
+		matchLen := int(token&0x0F) + minMatch
+		if token&0x0F == 15 {
+			n, used, err := readLenExt(src[pos:], maxSize)
+			if err != nil {
+				return dst, err
+			}
+			matchLen += n
+			pos += used
+		}
+		if offset > len(hist) {
+			return dst, fmt.Errorf("%w: offset %d beyond window %d", ErrCorrupt, offset, len(hist))
+		}
+		if len(hist)-base+matchLen > maxSize {
+			return dst, ErrTooLarge
+		}
+		// Byte-by-byte: the match may overlap the bytes it produces.
+		start := len(hist) - offset
+		for i := 0; i < matchLen; i++ {
+			hist = append(hist, hist[start+i])
+		}
+	}
+	dst = append(dst, hist[base:]...)
+	d.hist = hist
+	d.slideHist()
+	return dst, nil
+}
+
+// slideHist trims the history window after a block, keeping the
+// trailing windowKeep bytes.
+func (d *Decompressor) slideHist() {
+	if len(d.hist) <= histMax {
+		return
+	}
+	shift := len(d.hist) - windowKeep
+	copy(d.hist, d.hist[shift:])
+	d.hist = d.hist[:windowKeep]
+}

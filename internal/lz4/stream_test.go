@@ -1,0 +1,274 @@
+package lz4
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// streamPair round-trips a sequence of blocks through a fresh
+// Compressor/Decompressor pair, failing on any mismatch.
+func streamPair(t *testing.T, frames [][]byte) (compressed int) {
+	t.Helper()
+	c := NewCompressor()
+	d := NewDecompressor()
+	for i, f := range frames {
+		blk := c.Compress(nil, f)
+		compressed += len(blk)
+		out, err := d.Decompress(nil, blk, MaxBlockSize)
+		if err != nil {
+			t.Fatalf("frame %d: decompress: %v", i, err)
+		}
+		if !bytes.Equal(out, f) {
+			t.Fatalf("frame %d: round trip mismatch (%d vs %d bytes)", i, len(out), len(f))
+		}
+	}
+	return compressed
+}
+
+func TestStreamRoundTripBasic(t *testing.T) {
+	frames := [][]byte{
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		[]byte("the quick brown fox jumps over the lazy cat"),
+		nil,
+		[]byte("x"),
+		[]byte("the quick brown fox jumps over the lazy dog"),
+	}
+	streamPair(t, frames)
+}
+
+func TestStreamEmptyBlock(t *testing.T) {
+	c := NewCompressor()
+	blk := c.Compress(nil, nil)
+	if len(blk) != 1 || blk[0] != DictBlockFlag {
+		t.Fatalf("empty dict block = %v, want just the flag byte", blk)
+	}
+	d := NewDecompressor()
+	out, err := d.Decompress(nil, blk, MaxBlockSize)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty dict decompress = %v, %v", out, err)
+	}
+	if out, err = d.Decompress(nil, nil, MaxBlockSize); err != nil || len(out) != 0 {
+		t.Fatalf("empty input decompress = %v, %v", out, err)
+	}
+}
+
+func TestStreamCrossFrameRedundancy(t *testing.T) {
+	// The same frame sent twice: the one-shot codec pays full price both
+	// times, the stream codec's second block should collapse to almost
+	// nothing via dictionary matches.
+	frame := []byte(bytes.Repeat([]byte("glDrawElements(GL_TRIANGLES, 42) "), 20))
+	oneShot := len(Compress(nil, frame))
+
+	c := NewCompressor()
+	d := NewDecompressor()
+	first := c.Compress(nil, frame)
+	second := c.Compress(nil, frame)
+	if len(second) >= oneShot/4 {
+		t.Fatalf("second identical frame compressed to %d bytes, one-shot %d; want large cross-frame win", len(second), oneShot)
+	}
+	for i, blk := range [][]byte{first, second} {
+		out, err := d.Decompress(nil, blk, MaxBlockSize)
+		if err != nil || !bytes.Equal(out, frame) {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+}
+
+func TestStreamAppendsToDst(t *testing.T) {
+	c := NewCompressor()
+	d := NewDecompressor()
+	blk := c.Compress([]byte("HDR"), []byte("aaaaaaaaaaaaaaaaaaaaaaaa"))
+	if !bytes.HasPrefix(blk, []byte("HDR")) {
+		t.Fatal("Compressor.Compress did not append to dst")
+	}
+	out, err := d.Decompress([]byte("OUT"), blk[3:], MaxBlockSize)
+	if err != nil || !bytes.HasPrefix(out, []byte("OUT")) {
+		t.Fatalf("Decompressor.Decompress did not append to dst: %v", err)
+	}
+	if !bytes.Equal(out[3:], []byte("aaaaaaaaaaaaaaaaaaaaaaaa")) {
+		t.Fatal("payload mismatch after dst prefix")
+	}
+}
+
+func TestStreamLegacyBlocksInterleave(t *testing.T) {
+	// A Decompressor must accept flagless one-shot blocks (the
+	// experiments drive the server protocol with them) without touching
+	// the dictionary window on either side.
+	d := NewDecompressor()
+	legacy := []byte(bytes.Repeat([]byte("stateless block payload "), 10))
+	out, err := d.Decompress(nil, Compress(nil, legacy), MaxBlockSize)
+	if err != nil || !bytes.Equal(out, legacy) {
+		t.Fatalf("legacy block via Decompressor: %v", err)
+	}
+	if len(d.hist) != 0 {
+		t.Fatalf("legacy block grew the window to %d bytes", len(d.hist))
+	}
+	// Dict traffic still works after the stateless interlude.
+	c := NewCompressor()
+	frames := [][]byte{[]byte("dict frame one one one"), []byte("dict frame two two two")}
+	for _, f := range frames {
+		out, err := d.Decompress(nil, c.Compress(nil, f), MaxBlockSize)
+		if err != nil || !bytes.Equal(out, f) {
+			t.Fatalf("dict block after legacy: %v", err)
+		}
+	}
+}
+
+func TestLegacyDecoderRejectsDictBlocks(t *testing.T) {
+	// Old decoders must fail loudly on the new format, never
+	// mis-decode: the flag byte is not a valid legacy block start.
+	c := NewCompressor()
+	for _, frame := range [][]byte{
+		[]byte("hello hello hello hello hello"),
+		bytes.Repeat([]byte("abc"), 100),
+	} {
+		blk := c.Compress(nil, frame)
+		if blk[0] != DictBlockFlag {
+			t.Fatalf("dict block missing flag byte: %#x", blk[0])
+		}
+		if out, err := Decompress(nil, blk, MaxBlockSize); err == nil && bytes.Equal(out, frame) {
+			t.Fatal("legacy decoder silently decoded a dictionary block")
+		}
+	}
+}
+
+func TestStreamWindowSlide(t *testing.T) {
+	// Push well past histMax so both sides slide, with a recurring motif
+	// so matches keep reaching into the retained window across slides.
+	r := sim.NewRNG(7)
+	motif := make([]byte, 300)
+	for i := range motif {
+		motif[i] = byte(r.Uint64() % 16)
+	}
+	c := NewCompressor()
+	d := NewDecompressor()
+	total := 0
+	for i := 0; total < 3*histMax; i++ {
+		frame := append([]byte(nil), motif...)
+		// Vary the tail so frames aren't byte-identical.
+		frame = append(frame, byte(i), byte(i>>8), byte(r.Uint64()))
+		if i%5 == 0 {
+			extra := make([]byte, 2000)
+			for j := range extra {
+				extra[j] = byte(r.Uint64())
+			}
+			frame = append(frame, extra...)
+		}
+		total += len(frame)
+		blk := c.Compress(nil, frame)
+		out, err := d.Decompress(nil, blk, MaxBlockSize)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(out, frame) {
+			t.Fatalf("frame %d: mismatch after slide", i)
+		}
+	}
+	if len(c.hist) > histMax+4096 || len(d.hist) > histMax+4096 {
+		t.Fatalf("windows failed to slide: comp %d, decomp %d", len(c.hist), len(d.hist))
+	}
+}
+
+func TestStreamLargeIncompressibleFrame(t *testing.T) {
+	// A single frame bigger than histMax-windowKeep exercises the
+	// "cannot slide enough" path and the worst-case expansion bound.
+	r := sim.NewRNG(3)
+	frame := make([]byte, histMax)
+	for i := range frame {
+		frame[i] = byte(r.Uint64())
+	}
+	c := NewCompressor()
+	d := NewDecompressor()
+	for i := 0; i < 3; i++ {
+		blk := c.Compress(nil, frame)
+		if len(blk) > CompressBound(len(frame))+1 {
+			t.Fatalf("block %d exceeds bound: %d > %d", i, len(blk), CompressBound(len(frame))+1)
+		}
+		out, err := d.Decompress(nil, blk, MaxBlockSize)
+		if err != nil || !bytes.Equal(out, frame) {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+}
+
+func TestStreamDecompressorErrorLeavesWindowIntact(t *testing.T) {
+	c := NewCompressor()
+	d := NewDecompressor()
+	good := []byte("a good frame a good frame a good frame")
+	if _, err := d.Decompress(nil, c.Compress(nil, good), MaxBlockSize); err != nil {
+		t.Fatal(err)
+	}
+	before := len(d.hist)
+	// Corrupt dict block: flag + token demanding literals that aren't there.
+	if _, err := d.Decompress(nil, []byte{DictBlockFlag, 0x50, 'a'}, MaxBlockSize); err == nil {
+		t.Fatal("corrupt dict block decoded without error")
+	}
+	if len(d.hist) != before {
+		t.Fatalf("window changed on error: %d -> %d", before, len(d.hist))
+	}
+	// The stream continues undamaged.
+	next := []byte("a good frame a good frame again")
+	out, err := d.Decompress(nil, c.Compress(nil, next), MaxBlockSize)
+	if err != nil || !bytes.Equal(out, next) {
+		t.Fatalf("stream desynced after rejected block: %v", err)
+	}
+}
+
+func TestStreamDecompressorSizeLimit(t *testing.T) {
+	c := NewCompressor()
+	blk := c.Compress(nil, make([]byte, 100000))
+	d := NewDecompressor()
+	if _, err := d.Decompress(nil, blk, 1000); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("limit error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestStreamRoundTripProperty(t *testing.T) {
+	check := func(seed uint64, nFrames uint8) bool {
+		r := sim.NewRNG(seed)
+		c := NewCompressor()
+		d := NewDecompressor()
+		motif := make([]byte, int(r.Uint64()%200)+1)
+		for i := range motif {
+			motif[i] = byte(r.Uint64() % 8)
+		}
+		for i := 0; i < int(nFrames%40)+1; i++ {
+			var frame []byte
+			for len(frame) < int(r.Uint64()%1000) {
+				if r.Uint64()%2 == 0 {
+					frame = append(frame, motif...)
+				} else {
+					frame = append(frame, byte(r.Uint64()))
+				}
+			}
+			blk := c.Compress(nil, frame)
+			out, err := d.Decompress(nil, blk, MaxBlockSize)
+			if err != nil || !bytes.Equal(out, frame) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamCompressIsZeroAllocSteadyState(t *testing.T) {
+	frame := bytes.Repeat([]byte("glBindTexture glDrawArrays "), 30)
+	c := NewCompressor()
+	dst := make([]byte, 0, CompressBound(len(frame))+1)
+	// Warm the history window and table to steady state.
+	for i := 0; i < 8; i++ {
+		dst = c.Compress(dst[:0], frame)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		dst = c.Compress(dst[:0], frame)
+	}); n != 0 {
+		t.Fatalf("steady-state Compress allocates %v times per frame", n)
+	}
+}

@@ -279,3 +279,73 @@ func (c *FailoverCollector) MaxBurst() int64 { return c.maxBurst }
 // Clean reports whether the sampled span saw no failover activity at
 // all.
 func (c *FailoverCollector) Clean() bool { return c.Totals().events() == 0 }
+
+// UplinkSample is one cumulative snapshot of the client's uplink
+// traffic-reduction counters: raw serialized record bytes, bytes after
+// the mirrored command cache (pre-compression), bytes on the wire after
+// stream compression, and the cache's record-level hit/miss decisions.
+type UplinkSample struct {
+	RawBytes         int64
+	PreCompressBytes int64
+	WireBytes        int64
+	CacheHits        int64
+	CacheMisses      int64
+}
+
+// UplinkCollector accumulates periodic uplink snapshots so a session
+// report can quantify the two §IV-B traffic-reduction stages
+// separately: how much the mirrored command cache removed, and how much
+// the inter-frame LZ4 dictionary removed on top. Samples are
+// cumulative; the collector differences first from last.
+type UplinkCollector struct {
+	count       int
+	first, last UplinkSample
+}
+
+// Add records one cumulative snapshot.
+func (c *UplinkCollector) Add(s UplinkSample) {
+	if c.count == 0 {
+		c.first = s
+	}
+	c.last = s
+	c.count++
+}
+
+// Count returns the number of samples.
+func (c *UplinkCollector) Count() int { return c.count }
+
+// Totals returns the uplink counters across the sampled span (last
+// minus first snapshot).
+func (c *UplinkCollector) Totals() UplinkSample {
+	if c.count == 0 {
+		return UplinkSample{}
+	}
+	return UplinkSample{
+		RawBytes:         c.last.RawBytes - c.first.RawBytes,
+		PreCompressBytes: c.last.PreCompressBytes - c.first.PreCompressBytes,
+		WireBytes:        c.last.WireBytes - c.first.WireBytes,
+		CacheHits:        c.last.CacheHits - c.first.CacheHits,
+		CacheMisses:      c.last.CacheMisses - c.first.CacheMisses,
+	}
+}
+
+// CompressionRatio returns pre-compression bytes over wire bytes — the
+// stream compressor's multiplicative reduction (1 means it removed
+// nothing; higher is better). Zero with no wire traffic.
+func (c *UplinkCollector) CompressionRatio() float64 {
+	t := c.Totals()
+	if t.WireBytes <= 0 {
+		return 0
+	}
+	return float64(t.PreCompressBytes) / float64(t.WireBytes)
+}
+
+// CacheHitRate returns the fraction of encoded records the mirrored
+// cache replaced with a 9-byte reference, in [0,1].
+func (c *UplinkCollector) CacheHitRate() float64 {
+	t := c.Totals()
+	if total := t.CacheHits + t.CacheMisses; total > 0 {
+		return float64(t.CacheHits) / float64(total)
+	}
+	return 0
+}

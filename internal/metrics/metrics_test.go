@@ -213,3 +213,44 @@ func TestFailoverCollectorClean(t *testing.T) {
 		t.Fatal("skipped frame must dirty the span")
 	}
 }
+
+func TestUplinkCollector(t *testing.T) {
+	var c UplinkCollector
+	if c.CompressionRatio() != 0 || c.CacheHitRate() != 0 || c.Count() != 0 {
+		t.Fatal("empty collector must report zeros")
+	}
+	// Session starts with pre-existing cumulative counters; the span is
+	// the difference between first and last snapshot.
+	c.Add(UplinkSample{RawBytes: 1000, PreCompressBytes: 500, WireBytes: 250, CacheHits: 10, CacheMisses: 10})
+	c.Add(UplinkSample{RawBytes: 5000, PreCompressBytes: 2500, WireBytes: 750, CacheHits: 80, CacheMisses: 20})
+	c.Add(UplinkSample{RawBytes: 9000, PreCompressBytes: 4500, WireBytes: 1250, CacheHits: 160, CacheMisses: 30})
+	tot := c.Totals()
+	want := UplinkSample{RawBytes: 8000, PreCompressBytes: 4000, WireBytes: 1000, CacheHits: 150, CacheMisses: 20}
+	if tot != want {
+		t.Fatalf("Totals = %+v, want %+v", tot, want)
+	}
+	// 4000 cache-encoded bytes became 1000 on the wire: 4x.
+	if r := c.CompressionRatio(); r != 4 {
+		t.Fatalf("CompressionRatio = %v, want 4", r)
+	}
+	// 150 of 170 records were cache references.
+	if hr := c.CacheHitRate(); hr < 0.88 || hr > 0.883 {
+		t.Fatalf("CacheHitRate = %v, want ~150/170", hr)
+	}
+	if c.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", c.Count())
+	}
+}
+
+func TestUplinkCollectorNoTraffic(t *testing.T) {
+	var c UplinkCollector
+	s := UplinkSample{RawBytes: 100, PreCompressBytes: 60, WireBytes: 30, CacheHits: 5, CacheMisses: 5}
+	c.Add(s)
+	c.Add(s)
+	if c.CompressionRatio() != 0 {
+		t.Fatal("no new wire traffic must report ratio 0, not a division artifact")
+	}
+	if c.CacheHitRate() != 0 {
+		t.Fatal("no new records must report hit rate 0")
+	}
+}

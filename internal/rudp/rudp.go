@@ -192,6 +192,29 @@ type pending struct {
 	rtx      int // retransmission count (Karn's rule + backoff exponent)
 }
 
+// pktBufPool recycles full-datagram scratch buffers (header + payload)
+// across connections. Resend and ACK paths build their packets here so
+// no buffer built under c.mu is ever written to the socket while
+// aliasing a pending whose storage a concurrent ACK may recycle.
+var pktBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, headerSize+2048)
+	return &b
+}}
+
+// appendPacket appends one wire datagram to dst.
+func appendPacket(dst []byte, ptype byte, seq, ts uint32, payload []byte) []byte {
+	dst = append(dst, magicByte, ptype)
+	dst = binary.BigEndian.AppendUint32(dst, seq)
+	dst = binary.BigEndian.AppendUint32(dst, ts)
+	return append(dst, payload...)
+}
+
+// rsPkt is one retransmission staged under mu: the complete datagram
+// bytes (pooled) plus the stats accounting to apply if the write lands.
+type rsPkt struct {
+	buf *[]byte
+}
+
 // Conn is one reliable, ordered message channel to a single peer.
 type Conn struct {
 	pc   net.PacketConn
@@ -200,12 +223,17 @@ type Conn struct {
 
 	// sendMu serializes whole-message framing: fragments of one Send
 	// must occupy a contiguous run of the sequence space or the
-	// receiver's length-prefixed stream is corrupted.
-	sendMu sync.Mutex
+	// receiver's length-prefixed stream is corrupted. frameBuf and
+	// sendPkt are the send path's reusable scratch (guarded by sendMu),
+	// so a steady stream of Sends allocates nothing.
+	sendMu   sync.Mutex
+	frameBuf []byte
+	sendPkt  []byte
 
 	mu       sync.Mutex
 	sendSeq  uint32
 	unacked  map[uint32]*pending
+	pendFree []*pending // recycled pendings, buffers kept (guarded by mu)
 	sendSlot *sync.Cond // signalled when window space frees
 
 	// RFC 6298 estimator state.
@@ -321,15 +349,18 @@ func (c *Conn) currentRTOLocked() time.Duration {
 
 // Send frames msg (uvarint length prefix) and ships it reliably. It
 // blocks while the send window is full. Concurrent Sends are safe: each
-// message's fragments occupy a contiguous sequence range.
+// message's fragments occupy a contiguous sequence range. msg is fully
+// copied (into the framing scratch and the per-datagram retransmit
+// buffers) before Send returns, so the caller may reuse it immediately.
 func (c *Conn) Send(msg []byte) error {
 	if len(msg) > c.opts.MaxMessage {
 		return fmt.Errorf("%w: %d bytes", ErrMsgTooLarge, len(msg))
 	}
-	framed := binary.AppendUvarint(nil, uint64(len(msg)))
-	framed = append(framed, msg...)
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	framed := binary.AppendUvarint(c.frameBuf[:0], uint64(len(msg)))
+	framed = append(framed, msg...)
+	c.frameBuf = framed
 	for off := 0; off < len(framed); off += c.opts.MaxPayload {
 		end := off + c.opts.MaxPayload
 		if end > len(framed) {
@@ -343,6 +374,23 @@ func (c *Conn) Send(msg []byte) error {
 	c.stats.MsgsSent++
 	c.mu.Unlock()
 	return nil
+}
+
+// getPendingLocked / putPendingLocked recycle retransmit-window slots
+// and their payload buffers. Caller holds mu.
+func (c *Conn) getPendingLocked() *pending {
+	if n := len(c.pendFree); n > 0 {
+		p := c.pendFree[n-1]
+		c.pendFree = c.pendFree[:n-1]
+		return p
+	}
+	return &pending{}
+}
+
+func (c *Conn) putPendingLocked(p *pending) {
+	p.payload = p.payload[:0]
+	p.rtx = 0
+	c.pendFree = append(c.pendFree, p)
 }
 
 func (c *Conn) sendDatagram(payload []byte) error {
@@ -361,15 +409,23 @@ func (c *Conn) sendDatagram(payload []byte) error {
 	seq := c.sendSeq
 	c.sendSeq++
 	now := time.Now()
-	p := &pending{payload: append([]byte(nil), payload...), lastSent: now}
+	// The transport's own copy of the payload: rudp retains it only
+	// while the datagram sits in the retransmit window, and the buffer
+	// is recycled once the ACK covers it.
+	p := c.getPendingLocked()
+	p.payload = append(p.payload[:0], payload...)
+	p.lastSent = now
 	c.unacked[seq] = p
 	if c.timerDeadline.IsZero() {
 		c.timerDeadline = now.Add(c.backoffRTOLocked(c.rtxBackoff))
 	}
 	c.mu.Unlock()
 
-	if err := c.writePacket(typeData, seq, c.nowTS(), payload); err != nil {
-		return err
+	// sendDatagram runs only under sendMu (from Send), so the packet
+	// scratch is race-free without holding mu across the socket write.
+	c.sendPkt = appendPacket(c.sendPkt[:0], typeData, seq, c.nowTS(), payload)
+	if _, err := c.pc.WriteTo(c.sendPkt, c.peer); err != nil && !c.isClosed() {
+		return fmt.Errorf("rudp: write: %w", err)
 	}
 	c.mu.Lock()
 	c.stats.DataSent++
@@ -384,14 +440,17 @@ func (c *Conn) nowTS() uint32 {
 	return uint32(time.Since(c.epoch) / time.Microsecond)
 }
 
+// writePacket builds and writes one datagram through the shared buffer
+// pool. Callers on the data hot path (sendDatagram) use their own
+// scratch instead; this covers the ACK and accept paths. Every in-tree
+// PacketConn copies the buffer before WriteTo returns, which is what
+// makes recycling it immediately safe.
 func (c *Conn) writePacket(ptype byte, seq, ts uint32, payload []byte) error {
-	buf := make([]byte, headerSize+len(payload))
-	buf[0] = magicByte
-	buf[1] = ptype
-	binary.BigEndian.PutUint32(buf[2:6], seq)
-	binary.BigEndian.PutUint32(buf[6:10], ts)
-	copy(buf[headerSize:], payload)
+	bp := pktBufPool.Get().(*[]byte)
+	buf := appendPacket((*bp)[:0], ptype, seq, ts, payload)
 	_, err := c.pc.WriteTo(buf, c.peer)
+	*bp = buf[:0]
+	pktBufPool.Put(bp)
 	if err != nil && !c.isClosed() {
 		return fmt.Errorf("rudp: write: %w", err)
 	}
@@ -565,11 +624,11 @@ func (c *Conn) extractMessagesLocked() [][]byte {
 
 func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
 	now := time.Now()
-	type resend struct {
-		seq     uint32
-		payload []byte
-	}
-	var resends []resend
+	// Retransmissions are staged as complete pooled datagrams while mu
+	// is held, then written after it is released: a packet built under
+	// the lock can never alias a pending whose payload buffer another
+	// ACK recycles mid-write.
+	var resends []rsPkt
 
 	c.mu.Lock()
 	advanced := false
@@ -588,6 +647,7 @@ func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
 			haveSample = true
 		}
 		delete(c.unacked, seq)
+		c.putPendingLocked(p)
 		advanced = true
 	}
 	// Selective acknowledgments: drop SACKed datagrams from the
@@ -602,8 +662,9 @@ func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
 			continue
 		}
 		s := ackSeq + 1 + i
-		if _, ok := c.unacked[s]; ok {
+		if p, ok := c.unacked[s]; ok {
 			delete(c.unacked, s)
+			c.putPendingLocked(p)
 			freedBySack = true
 		}
 		sackTop = s
@@ -621,7 +682,7 @@ func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
 			if seqBefore(seq, sackTop) && now.Sub(p.lastSent) >= guard {
 				p.lastSent = now
 				p.rtx++
-				resends = append(resends, resend{seq: seq, payload: p.payload})
+				resends = append(resends, c.stagePacketLocked(seq, p.payload))
 			}
 		}
 		if len(resends) > 0 {
@@ -668,7 +729,7 @@ func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
 					// repair above just covered.)
 					p.lastSent = now
 					p.rtx++
-					resends = append(resends, resend{seq: ackSeq, payload: p.payload})
+					resends = append(resends, c.stagePacketLocked(ackSeq, p.payload))
 					c.timerDeadline = now.Add(c.backoffRTOLocked(0))
 				}
 			}
@@ -685,7 +746,7 @@ func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
 			if p, ok := c.unacked[ackSeq]; ok && now.Sub(p.lastSent) >= c.lossGuardLocked()/2 {
 				p.lastSent = now
 				p.rtx++
-				resends = append(resends, resend{seq: ackSeq, payload: p.payload})
+				resends = append(resends, c.stagePacketLocked(ackSeq, p.payload))
 				// Push the RTO timer out so it doesn't immediately
 				// re-retransmit the datagram we just resent, and open
 				// a recovery episode covering everything in flight.
@@ -697,13 +758,7 @@ func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
 	}
 	c.mu.Unlock()
 
-	var okCount, okBytes int64
-	for _, r := range resends {
-		if c.writePacket(typeData, r.seq, c.nowTS(), r.payload) == nil {
-			okCount++
-			okBytes += int64(headerSize + len(r.payload))
-		}
-	}
+	okCount, okBytes := c.writeStaged(resends)
 	if okCount > 0 {
 		c.mu.Lock()
 		c.stats.DataResent += okCount
@@ -711,6 +766,29 @@ func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
 		c.stats.BytesSent += okBytes
 		c.mu.Unlock()
 	}
+}
+
+// stagePacketLocked copies one retransmission into a pooled datagram
+// buffer. Caller holds mu.
+func (c *Conn) stagePacketLocked(seq uint32, payload []byte) rsPkt {
+	bp := pktBufPool.Get().(*[]byte)
+	*bp = appendPacket((*bp)[:0], typeData, seq, c.nowTS(), payload)
+	return rsPkt{buf: bp}
+}
+
+// writeStaged writes staged retransmissions to the socket (outside any
+// lock) and recycles their buffers, returning the datagrams and bytes
+// that landed.
+func (c *Conn) writeStaged(pkts []rsPkt) (okCount, okBytes int64) {
+	for _, r := range pkts {
+		if _, err := c.pc.WriteTo(*r.buf, c.peer); err == nil || c.isClosed() {
+			okCount++
+			okBytes += int64(len(*r.buf))
+		}
+		*r.buf = (*r.buf)[:0]
+		pktBufPool.Put(r.buf)
+	}
+	return okCount, okBytes
 }
 
 // lossGuardLocked is the RACK-style reordering guard: a datagram
@@ -801,27 +879,17 @@ func (c *Conn) retransmitLoop() {
 // FixedRTO baseline the adaptive transport is measured against.
 func (c *Conn) retransmitDueFixed() {
 	now := time.Now()
-	type resend struct {
-		seq     uint32
-		payload []byte
-	}
-	var due []resend
+	var due []rsPkt
 	c.mu.Lock()
 	for seq, p := range c.unacked {
 		if now.Sub(p.lastSent) >= c.backoffRTOLocked(p.rtx) {
 			p.lastSent = now
 			p.rtx++
-			due = append(due, resend{seq: seq, payload: p.payload})
+			due = append(due, c.stagePacketLocked(seq, p.payload))
 		}
 	}
 	c.mu.Unlock()
-	var okCount, okBytes int64
-	for _, r := range due {
-		if c.writePacket(typeData, r.seq, c.nowTS(), r.payload) == nil {
-			okCount++
-			okBytes += int64(headerSize + len(r.payload))
-		}
-	}
+	okCount, okBytes := c.writeStaged(due)
 	if okCount > 0 {
 		c.mu.Lock()
 		c.stats.DataResent += okCount
@@ -861,13 +929,13 @@ func (c *Conn) retransmitOldestExpired() {
 	c.timerDeadline = now.Add(c.backoffRTOLocked(c.rtxBackoff))
 	c.recoverSeq = c.sendSeq
 	c.recoverValid = true
-	payload := p.payload
+	staged := c.stagePacketLocked(oldest, p.payload)
 	c.mu.Unlock()
-	if c.writePacket(typeData, oldest, c.nowTS(), payload) == nil {
+	if okCount, okBytes := c.writeStaged([]rsPkt{staged}); okCount > 0 {
 		c.mu.Lock()
-		c.stats.DataResent++
-		c.stats.TimeoutResent++
-		c.stats.BytesSent += int64(headerSize + len(payload))
+		c.stats.DataResent += okCount
+		c.stats.TimeoutResent += okCount
+		c.stats.BytesSent += okBytes
 		c.mu.Unlock()
 	}
 }

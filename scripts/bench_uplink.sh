@@ -1,0 +1,24 @@
+#!/bin/sh
+# Uplink encode benchmark: per-frame cost and bytes on the wire of the
+# client send path (mirrored-cache encode + LZ4 + framing) over the
+# workload game trace, with the inter-frame dictionary compressor
+# (dict=on) against the stateless per-frame baseline (dict=off).
+# Results land in BENCH_uplink.json with the dictionary's wire-size
+# reduction computed from the wirebytes/frame metric.
+#
+#   BENCHTIME=1x sh scripts/bench_uplink.sh   # smoke run (check.sh)
+#   sh scripts/bench_uplink.sh                # full 2s-per-series run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_uplink.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkUplinkFrame' -benchmem \
+	-benchtime "$BENCHTIME" ./internal/core/ | tee "$tmp"
+
+go run ./scripts/benchjson -o "$OUT" <"$tmp"
+echo "wrote $OUT"

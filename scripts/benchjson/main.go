@@ -29,6 +29,10 @@ type benchResult struct {
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	MBPerS     float64 `json:"mb_per_s,omitempty"`
+	// Metrics carries every further `<value> <unit>` pair on the result
+	// row: -benchmem's B/op and allocs/op, plus b.ReportMetric custom
+	// units like wirebytes/frame.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type speedup struct {
@@ -37,24 +41,38 @@ type speedup struct {
 	SpeedupVsPar1 map[string]float64 `json:"speedup_vs_par1"`
 }
 
+// uplinkSummary compares a `<name>/dict=on` benchmark's bytes on the
+// wire against its `/dict=off` stateless-compression baseline.
+type uplinkSummary struct {
+	Benchmark       string  `json:"benchmark"`
+	DictWirePerOp   float64 `json:"dict_wirebytes_per_frame"`
+	NoDictWirePerOp float64 `json:"nodict_wirebytes_per_frame"`
+	ReductionPct    float64 `json:"reduction_pct"`
+}
+
 type report struct {
-	Date       string        `json:"date"`
-	NCPU       int           `json:"ncpu"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	CPU        string        `json:"cpu,omitempty"`
-	Note       string        `json:"note"`
-	Benchmarks []benchResult `json:"benchmarks"`
-	Speedups   []speedup     `json:"speedups"`
+	Date       string          `json:"date"`
+	NCPU       int             `json:"ncpu"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	CPU        string          `json:"cpu,omitempty"`
+	Note       string          `json:"note"`
+	Benchmarks []benchResult   `json:"benchmarks"`
+	Speedups   []speedup       `json:"speedups,omitempty"`
+	Uplink     []uplinkSummary `json:"uplink,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result row; the trailing
-// -GOMAXPROCS suffix is stripped from the name.
+// -GOMAXPROCS suffix is stripped from the name. Everything after the
+// iteration count is parsed as `<value> <unit>` pairs.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) MB/s)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
 
 // parFamily splits `<prefix>/par=<N>` benchmark names.
 var parFamily = regexp.MustCompile(`^(.+)/par=(\d+)$`)
+
+// dictFamily splits `<prefix>/dict=on|off` benchmark names.
+var dictFamily = regexp.MustCompile(`^(.+)/dict=(on|off)$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
@@ -78,8 +96,26 @@ func main() {
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
 		r := benchResult{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			r.MBPerS, _ = strconv.ParseFloat(m[4], 64)
+		// Remaining `<value> <unit>` pairs: MB/s keeps its legacy field,
+		// everything else (B/op, allocs/op, custom ReportMetric units)
+		// lands in Metrics.
+		f := strings.Fields(line)
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				// already captured
+			case "MB/s":
+				r.MBPerS = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
 		}
 		if i, ok := seen[r.Name]; ok {
 			results[i] = r
@@ -120,6 +156,38 @@ func main() {
 	}
 	sort.Slice(speedups, func(i, j int) bool { return speedups[i].Benchmark < speedups[j].Benchmark })
 
+	// Pair `<prefix>/dict=on` with `/dict=off` on wirebytes/frame and
+	// report the dictionary's wire-size reduction.
+	dictWire := map[string]map[string]float64{}
+	for _, r := range results {
+		m := dictFamily.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		w, ok := r.Metrics["wirebytes/frame"]
+		if !ok {
+			continue
+		}
+		if dictWire[m[1]] == nil {
+			dictWire[m[1]] = map[string]float64{}
+		}
+		dictWire[m[1]][m[2]] = w
+	}
+	var uplinks []uplinkSummary
+	for prefix, series := range dictWire {
+		on, off := series["on"], series["off"]
+		if on <= 0 || off <= 0 {
+			continue
+		}
+		uplinks = append(uplinks, uplinkSummary{
+			Benchmark:       prefix,
+			DictWirePerOp:   on,
+			NoDictWirePerOp: off,
+			ReductionPct:    100 * (1 - on/off),
+		})
+	}
+	sort.Slice(uplinks, func(i, j int) bool { return uplinks[i].Benchmark < uplinks[j].Benchmark })
+
 	rep := report{
 		Date:   time.Now().UTC().Format(time.RFC3339),
 		NCPU:   runtime.NumCPU(),
@@ -132,6 +200,7 @@ func main() {
 			"evaluate the >=2x par>=4 acceptance target on a multicore host.",
 		Benchmarks: results,
 		Speedups:   speedups,
+		Uplink:     uplinks,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -15,8 +15,17 @@ go test -race -short ./internal/rudp/... ./internal/core/...
 # fault injector plus the client's failover loop are the most
 # contended paths in the tree.
 go test -race -short -run 'Failover|Crash|Blackhole' ./internal/netsim/... .
+# Uplink allocation gate: the steady-state flush path must stay at
+# exactly zero allocations per frame. Runs without -race on purpose —
+# the race runtime's shadow allocations make an exact-zero assertion
+# impossible, so the race pass above skips this test by design.
+go test -run 'TestUplinkFlushZeroAllocSteadyState' -count=1 ./internal/core/
 # Data-plane benchmark smoke: one iteration per series is enough to
 # prove the parallel encode/raster/pipeline paths still run and to
 # refresh BENCH_dataplane.json's schema. Full numbers come from
 # running scripts/bench_dataplane.sh without BENCHTIME.
 BENCHTIME=1x OUT=/tmp/BENCH_dataplane.smoke.json sh scripts/bench_dataplane.sh
+# Uplink benchmark smoke: proves the dict=on/dict=off encode series and
+# the BENCH_uplink.json summary still build. Full numbers come from
+# running scripts/bench_uplink.sh without BENCHTIME.
+BENCHTIME=1x OUT=/tmp/BENCH_uplink.smoke.json sh scripts/bench_uplink.sh

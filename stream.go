@@ -352,16 +352,46 @@ type PlayerStats struct {
 	// compression; WireBytes what actually crossed the network. Their
 	// ratio is the paper's traffic-reduction metric.
 	RawBytes, WireBytes int64
+	// PreCompressBytes is the uplink volume after the mirrored command
+	// cache but before stream compression: the compression ratio is
+	// PreCompressBytes/WireBytes, and the cache's own reduction
+	// RawBytes/PreCompressBytes.
+	PreCompressBytes int64
+	// CacheHits / CacheMisses count records the mirrored caches replaced
+	// with a 9-byte reference vs. shipped in full.
+	CacheHits, CacheMisses int64
+}
+
+// CompressionRatio returns cache-encoded bytes over wire bytes — the
+// inter-frame LZ4 dictionary's multiplicative reduction (1 means the
+// compressor removed nothing). Zero with no traffic.
+func (s PlayerStats) CompressionRatio() float64 {
+	if s.WireBytes <= 0 {
+		return 0
+	}
+	return float64(s.PreCompressBytes) / float64(s.WireBytes)
+}
+
+// CacheHitRate returns the fraction of encoded records the mirrored
+// command caches deduplicated, in [0,1].
+func (s PlayerStats) CacheHitRate() float64 {
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		return float64(s.CacheHits) / float64(total)
+	}
+	return 0
 }
 
 // Stats returns transport-level counters for the session.
 func (p *Player) Stats() PlayerStats {
 	st := p.client.Stats()
 	return PlayerStats{
-		FramesSent:  st.FramesSent,
-		FramesShown: st.FramesDisplayed,
-		RawBytes:    st.RawBytes,
-		WireBytes:   st.WireBytes,
+		FramesSent:       st.FramesSent,
+		FramesShown:      st.FramesDisplayed,
+		RawBytes:         st.RawBytes,
+		WireBytes:        st.WireBytes,
+		PreCompressBytes: st.PreCompressBytes,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
 	}
 }
 
