@@ -80,6 +80,11 @@ func run(servers, workloadID string, frames, width, height int, seed uint64, png
 		fmt.Printf("failover: re-dispatched=%d evicted=%d readmitted=%d skipped=%d late=%d\n",
 			fs.ReDispatched, fs.Evictions, fs.Readmissions, fs.FramesSkipped, fs.LateFrames)
 	}
+	if hs := player.HandoffStats(); hs.BootstrapsSent+hs.Completed+hs.Failed > 0 {
+		fmt.Printf("handoff: bootstraps=%d (%0.1f KB total) completed=%d failed=%d mean-latency=%v\n",
+			hs.BootstrapsSent, float64(hs.BootstrapBytes)/1024, hs.Completed, hs.Failed,
+			hs.MeanLatency.Round(time.Microsecond))
+	}
 	for _, ds := range player.DeviceStates() {
 		if ds.Health != "healthy" {
 			fmt.Printf("device %s: %s\n", ds.Service, ds.Health)

@@ -108,6 +108,40 @@ func New(capacity int) *Cache {
 // quantity behind the paper's §VII-G memory-overhead measurement).
 func (c *Cache) MemoryBytes() int { return c.size }
 
+// Capacity reports the cache's byte budget. A checkpoint records it so
+// the restored mirror evicts at the same boundary as the original.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Export visits every cached record in eviction order (LRU first, MRU
+// last). Seeding a fresh cache of the same capacity with the visited
+// records in that order reproduces this cache exactly: content, recency
+// order, and therefore all future eviction decisions. The visited slice
+// aliases cache storage; copy it if it must outlive the visit.
+func (c *Cache) Export(visit func(rec []byte) error) error {
+	for i := c.tail; i != noIndex; i = c.entries[i].prev {
+		if err := visit(c.entries[i].bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seed inserts one record at the MRU position without touching the
+// wire statistics — it reconstructs a mirror from a checkpoint rather
+// than encoding traffic. Feeding Export's output to Seed in order
+// yields a cache byte-equivalent to the exported one.
+func (c *Cache) Seed(rec []byte) error {
+	if len(rec) > MaxRecordBytes {
+		return fmt.Errorf("%w: %d bytes", ErrRecordLimit, len(rec))
+	}
+	key := hashRecord(rec)
+	if i, ok := c.byKey[key]; ok {
+		c.removeIndex(i)
+	}
+	c.insert(key, rec)
+	return nil
+}
+
 // Len reports the number of cached records.
 func (c *Cache) Len() int { return c.count }
 

@@ -316,3 +316,91 @@ func BenchmarkDecodeRecordRef(b *testing.B) {
 		}
 	}
 }
+
+// TestExportSeedReproducesCache proves a checkpointed cache mirror is
+// behaviourally identical to the original: same records in the same
+// recency order, and — because eviction order follows from that order —
+// identical wire encodings for any future record stream.
+func TestExportSeedReproducesCache(t *testing.T) {
+	const cap = 1 << 10
+	src := New(cap)
+	rng := sim.NewRNG(77)
+	var history [][]byte
+	for i := 0; i < 200; i++ {
+		var rec []byte
+		if len(history) > 0 && rng.Intn(3) == 0 {
+			rec = history[rng.Intn(len(history))] // revisit: exercises moveToFront
+		} else {
+			rec = make([]byte, 16+rng.Intn(96))
+			for j := range rec {
+				rec[j] = byte(rng.Intn(256))
+			}
+			history = append(history, rec)
+		}
+		if _, _, err := src.EncodeRecord(nil, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	clone := New(src.Capacity())
+	if err := src.Export(func(rec []byte) error { return clone.Seed(rec) }); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Len() != src.Len() || clone.MemoryBytes() != src.MemoryBytes() {
+		t.Fatalf("clone len=%d bytes=%d, want len=%d bytes=%d",
+			clone.Len(), clone.MemoryBytes(), src.Len(), src.MemoryBytes())
+	}
+	var order, cloneOrder [][]byte
+	collect := func(dst *[][]byte) func([]byte) error {
+		return func(rec []byte) error {
+			*dst = append(*dst, append([]byte(nil), rec...))
+			return nil
+		}
+	}
+	if err := src.Export(collect(&order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.Export(collect(&cloneOrder)); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(cloneOrder) {
+		t.Fatalf("order length %d != %d", len(cloneOrder), len(order))
+	}
+	for i := range order {
+		if !bytes.Equal(order[i], cloneOrder[i]) {
+			t.Fatalf("eviction-order position %d differs", i)
+		}
+	}
+
+	// Future behaviour: both caches must encode an arbitrary follow-up
+	// stream (hits, misses, evictions) to identical wire bytes.
+	for i := 0; i < 100; i++ {
+		var rec []byte
+		if len(history) > 0 && rng.Intn(2) == 0 {
+			rec = history[rng.Intn(len(history))]
+		} else {
+			rec = make([]byte, 16+rng.Intn(200))
+			for j := range rec {
+				rec[j] = byte(rng.Intn(256))
+			}
+		}
+		a, _, err := src.EncodeRecord(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := clone.EncodeRecord(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("follow-up record %d: wire bytes diverge", i)
+		}
+	}
+}
+
+func TestSeedRejectsOversizedRecord(t *testing.T) {
+	c := New(0)
+	if err := c.Seed(make([]byte, MaxRecordBytes+1)); !errors.Is(err, ErrRecordLimit) {
+		t.Fatalf("err = %v, want ErrRecordLimit", err)
+	}
+}

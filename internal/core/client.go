@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"github.com/gbooster/gbooster/internal/hook"
 	"github.com/gbooster/gbooster/internal/lz4"
 	"github.com/gbooster/gbooster/internal/rudp"
+	"github.com/gbooster/gbooster/internal/session"
 	"github.com/gbooster/gbooster/internal/turbo"
 )
 
@@ -58,6 +60,11 @@ type ClientConfig struct {
 	// FailoverAttempts bounds total dispatch attempts per frame,
 	// including the first (default 3).
 	FailoverAttempts int
+
+	// HandoffTimeout caps a bootstrap handoff: a joining device that has
+	// not acked the checkpoint fingerprint within this window is
+	// re-evicted (default 2×FailoverMaxWait).
+	HandoffTimeout time.Duration
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -78,6 +85,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.FailoverAttempts <= 0 {
 		c.FailoverAttempts = 3
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 2 * c.FailoverMaxWait
 	}
 	return c
 }
@@ -139,6 +149,21 @@ type ClientStats struct {
 	RecvBadMsgs    int64
 	RecvUnexpected int64
 
+	// Handoff counters (session checkpoint & live device handoff).
+
+	// BootstrapsSent counts session bootstrap streams shipped to
+	// joining or readmitting devices; BootstrapBytes their total size.
+	BootstrapsSent int64
+	BootstrapBytes int64
+	// HandoffsCompleted counts handoffs admitted on a matching
+	// fingerprint ack; HandoffsFailed counts handoffs aborted on a
+	// mismatched ack, a send failure, or the handoff deadline.
+	HandoffsCompleted int64
+	HandoffsFailed    int64
+	// HandoffLatencyTotal accumulates checkpoint-to-admission time over
+	// completed handoffs (mean = total / HandoffsCompleted).
+	HandoffLatencyTotal time.Duration
+
 	// Transport holds one health snapshot per attached service
 	// connection, in attach order.
 	Transport []TransportHealth
@@ -181,6 +206,23 @@ type service struct {
 	// result, svcEWMA smooths the observed head-of-line service time.
 	lastReply time.Time
 	svcEWMA   time.Duration
+
+	// Handoff state (guarded by Client.mu). While a bootstrap handoff
+	// is live the device is Joining: it gets state updates but no frame
+	// batches. handoffSending marks the window where the handoff
+	// goroutine still owns the send path — state updates encoded during
+	// it are appended to joinQueue so the goroutine can ship them after
+	// the bootstrap, preserving the cache/compressor stream order. The
+	// epoch invalidates a superseded goroutine or late ack.
+	handoffLive     bool
+	handoffSending  bool
+	handoffAcked    bool
+	handoffAckFP    uint64
+	handoffFP       uint64
+	handoffSentAt   time.Time
+	handoffDeadline time.Time
+	handoffEpoch    uint64
+	joinQueue       [][]byte
 }
 
 // Client is the wrapper-side runtime installed behind the hooked GL
@@ -200,6 +242,16 @@ type Client struct {
 	reorder   *dispatch.Reorder[Frame]
 	stats     ClientStats
 	sinkErr   error
+
+	// shadow mirrors the servers' GL context byte-for-byte: every
+	// encoded state-mutating record is decoded and applied to it, so a
+	// session checkpoint captured from it restores a cold server to
+	// exactly the state its peers hold. It must track the *encoded*
+	// records, not the raw commands — the encoder resolves deferred
+	// client-array attribs at draw time, so the wire stream is the only
+	// faithful source (guarded by mu).
+	shadow    *gles.Context
+	shadowDec glwire.Decoder
 
 	// Pooled uplink scratch. The steady-state flush path reuses all of
 	// these across frames so shipping a frame allocates nothing (see
@@ -309,6 +361,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		enc:      glwire.NewEncoder(cfg.Arrays),
 		inflight: make(map[uint64]*inflightReq),
 		reorder:  dispatch.NewReorder[Frame](0, 256),
+		shadow:   gles.NewContext(),
 		frames:   make(chan Frame, 64),
 		done:     make(chan struct{}),
 	}
@@ -360,6 +413,17 @@ func (c *Client) AddService(name string, conn *rudp.Conn, capability float64, rt
 	} else {
 		c.wg.Add(1)
 		go c.recvLoop(svc, nil)
+	}
+	if c.seq > 0 {
+		// Mid-session hot-join: the new server is cold while its peers
+		// carry the full session state, so it must not enter the
+		// rotation until a bootstrap handoff has replayed the shadow
+		// checkpoint into it and it has acked the state fingerprint.
+		// MarkJoining happens inside beginHandoffLocked, before mu is
+		// released, so no frame can be assigned to the cold device.
+		if err := c.beginHandoffLocked(svc); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -450,6 +514,7 @@ func (c *Client) consume(cmd gles.Command) {
 		for _, rec := range recs {
 			c.frameRecs = append(c.frameRecs, c.copyRecLocked(rec))
 			c.stats.RawBytes += int64(len(rec))
+			c.applyShadowLocked(rec)
 		}
 	}
 	if cmd.IsFrameBoundary() {
@@ -514,7 +579,34 @@ func (c *Client) flushFrameLocked() error {
 		if s == req.svc {
 			continue
 		}
-		if s.dev.Health() == dispatch.Evicted {
+		switch s.dev.Health() {
+		case dispatch.Evicted:
+			continue
+		case dispatch.Joining:
+			if !s.handoffLive {
+				// Joining with no live handoff: an abort is in flight
+				// (the sweeper will resolve the state); don't desync
+				// the mirrored cache by encoding into it.
+				continue
+			}
+		}
+		if s.handoffLive && s.handoffSending {
+			// The handoff goroutine still owns this device's send path
+			// (bootstrap or earlier queued updates not yet on the
+			// wire). Encode NOW — the mirrored cache and compressor
+			// must advance in flush order — but queue the finished
+			// message for the goroutine to ship after its backlog.
+			wire, hits, err := s.cache.EncodeAll(sc.wire[:0], stateRecs)
+			sc.wire = wire
+			if err != nil {
+				return fmt.Errorf("core: state encode: %w", err)
+			}
+			c.stats.CacheHits += int64(hits)
+			c.stats.CacheMisses += int64(len(stateRecs) - hits)
+			msg := s.comp.Compress(appendMsgHeader(sc.msg[:0], MsgStateUpdate, 0), wire)
+			sc.msg = msg
+			s.joinQueue = append(s.joinQueue, append([]byte(nil), msg...))
+			c.stats.PreCompressBytes += int64(len(wire))
 			continue
 		}
 		if !c.windowFitsLocked(s, stateRecs) && !c.waitWindowLocked(s, stateRecs) {
@@ -780,36 +872,232 @@ func (c *Client) sweepOverdue(now time.Time) bool {
 	for _, svc := range failed {
 		// One strike per failure event, not per orphaned frame.
 		c.sched.ReportFailure(svc.dev)
-		var orphans []uint64
-		for seq, req := range c.inflight {
-			if req.svc == svc {
-				orphans = append(orphans, seq)
+		if !c.migrateOrphansLocked(svc) {
+			c.mu.Unlock()
+			return false
+		}
+	}
+	c.sweepHandoffsLocked(now)
+	c.mu.Unlock()
+	return true
+}
+
+// migrateOrphansLocked re-dispatches every inflight request currently
+// owned by svc to a healthy replica (whose mirrored cache already
+// carries the replicated state stream), gap-skipping any frame whose
+// attempts are spent or that no device will accept. Shared by the
+// failure sweep and administrative draining. Returns false if the
+// client shut down mid-delivery.
+func (c *Client) migrateOrphansLocked(svc *service) bool {
+	var orphans []uint64
+	for seq, req := range c.inflight {
+		if req.svc == svc {
+			orphans = append(orphans, seq)
+		}
+	}
+	// Ascending order so consecutive skips release frames
+	// deterministically.
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, seq := range orphans {
+		req := c.inflight[seq]
+		c.sched.Complete(svc.dev, req.workload)
+		if req.attempts < c.cfg.FailoverAttempts {
+			if err := c.sendBatchLocked(seq, req); err == nil {
+				c.stats.ReDispatched++
+				continue
 			}
 		}
-		// Ascending order so consecutive skips release frames
-		// deterministically.
-		sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
-		for _, seq := range orphans {
-			req := c.inflight[seq]
-			c.sched.Complete(svc.dev, req.workload)
-			if req.attempts < c.cfg.FailoverAttempts {
-				if err := c.sendBatchLocked(seq, req); err == nil {
-					c.stats.ReDispatched++
-					continue
-				}
-			}
-			// Lost on every device: fail only this frame.
-			delete(c.inflight, seq)
-			c.releaseReqLocked(req)
-			c.stats.FramesSkipped++
-			if !c.deliverLocked(c.reorder.Skip(seq)) {
-				c.mu.Unlock()
-				return false
-			}
+		// Lost on every device: fail only this frame.
+		delete(c.inflight, seq)
+		c.releaseReqLocked(req)
+		c.stats.FramesSkipped++
+		if !c.deliverLocked(c.reorder.Skip(seq)) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyShadowLocked applies one just-encoded state-mutating record to
+// the shadow context, keeping it byte-faithful to the wire stream the
+// servers replay. Decode/apply errors are deliberately not surfaced:
+// the servers run the identical deterministic code on the identical
+// bytes, so both sides reject the same records and stay in lockstep.
+func (c *Client) applyShadowLocked(rec []byte) {
+	op, err := glwire.PeekOp(rec)
+	if err != nil || !(gles.Command{Op: op}).MutatesState() {
+		return
+	}
+	if cmd, _, err := c.shadowDec.Decode(rec); err == nil {
+		_ = c.shadow.Apply(cmd)
+	}
+}
+
+// beginHandoffLocked starts a bootstrap handoff to svc: it captures a
+// session checkpoint (shadow GL state, svc's mirrored command cache in
+// eviction order, svc's compression dictionary window), moves the
+// device to Joining, and hands the bootstrap to a goroutine — rudp
+// sends block on a full window and must never run under c.mu.
+func (c *Client) beginHandoffLocked(svc *service) error {
+	if svc.handoffLive {
+		return nil
+	}
+	cp, err := session.Capture(c.shadow, svc.cache, svc.comp)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	boot := session.Append(appendMsgHeader(make([]byte, 0, cp.Size()+16), MsgBootstrap, 0), cp)
+	c.sched.MarkJoining(svc.dev)
+	if svc.dev.Health() != dispatch.Joining {
+		return fmt.Errorf("core: handoff: device %q cannot join", svc.name)
+	}
+	svc.handoffLive = true
+	svc.handoffSending = true
+	svc.handoffAcked = false
+	svc.handoffFP = cp.Fingerprint()
+	svc.handoffSentAt = time.Now()
+	svc.handoffDeadline = svc.handoffSentAt.Add(c.cfg.HandoffTimeout)
+	svc.handoffEpoch++
+	svc.joinQueue = svc.joinQueue[:0]
+	c.stats.BootstrapsSent++
+	c.stats.BootstrapBytes += int64(len(boot))
+	c.stats.WireBytes += int64(len(boot))
+	c.wg.Add(1)
+	go c.runHandoff(svc, svc.handoffEpoch, boot)
+	return nil
+}
+
+// runHandoff ships one handoff's bootstrap stream and then drains the
+// join queue — state updates that were encoded (in flush order, under
+// mu) while the bootstrap was still in flight. Only after the queue is
+// empty does it release the send path back to flushFrameLocked; the
+// handoffSending flag flips under the same mu hold that observes the
+// empty queue, so the server sees bootstrap, queued updates, and live
+// updates in exactly the order the mirrored cache and compressor
+// produced them.
+func (c *Client) runHandoff(svc *service, epoch uint64, boot []byte) {
+	defer c.wg.Done()
+	if err := svc.conn.Send(boot); err != nil {
+		c.mu.Lock()
+		c.abortHandoffLocked(svc, epoch)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	for svc.handoffLive && svc.handoffEpoch == epoch && len(svc.joinQueue) > 0 {
+		msg := svc.joinQueue[0]
+		svc.joinQueue = svc.joinQueue[1:]
+		c.mu.Unlock()
+		err := svc.conn.Send(msg)
+		c.mu.Lock()
+		if err != nil {
+			// The cache and compressor advanced past a message the
+			// server will never see; the device must never come back.
+			c.sched.Quarantine(svc.dev)
+			c.abortHandoffLocked(svc, epoch)
+			c.mu.Unlock()
+			return
+		}
+		c.stats.WireBytes += int64(len(msg))
+		c.stats.StateBytes += int64(len(msg))
+	}
+	if svc.handoffLive && svc.handoffEpoch == epoch {
+		svc.handoffSending = false
+		if svc.handoffAcked {
+			// The ack raced ahead of the queue drain; admission was
+			// deferred to here so no frame batch could jump the queued
+			// state updates on the wire.
+			c.finishHandoffLocked(svc, epoch, svc.handoffAckFP)
 		}
 	}
 	c.mu.Unlock()
-	return true
+}
+
+// finishHandoffLocked resolves a live handoff against the server's ack:
+// the device is admitted to the rotation only when the server's
+// fingerprint — re-computed from its restored context — exactly matches
+// the checkpoint's, proving byte-identical state. Anything else (a zero
+// fingerprint marks a failed restore) re-evicts the device.
+func (c *Client) finishHandoffLocked(svc *service, epoch uint64, fp uint64) {
+	if !svc.handoffLive || svc.handoffEpoch != epoch {
+		return
+	}
+	ok := fp != 0 && fp == svc.handoffFP
+	c.clearHandoffLocked(svc)
+	c.sched.FinishJoin(svc.dev, ok)
+	if ok {
+		c.stats.HandoffsCompleted++
+		c.stats.HandoffLatencyTotal += time.Since(svc.handoffSentAt)
+	} else {
+		c.stats.HandoffsFailed++
+	}
+}
+
+// abortHandoffLocked fails a live handoff (deadline, send error, or a
+// mid-join eviction) and re-evicts the device. Stale epochs — a
+// superseded goroutine waking up after its handoff was already resolved
+// — are ignored.
+func (c *Client) abortHandoffLocked(svc *service, epoch uint64) {
+	if !svc.handoffLive || svc.handoffEpoch != epoch {
+		return
+	}
+	c.clearHandoffLocked(svc)
+	c.sched.FinishJoin(svc.dev, false)
+	c.stats.HandoffsFailed++
+}
+
+func (c *Client) clearHandoffLocked(svc *service) {
+	svc.handoffLive = false
+	svc.handoffSending = false
+	svc.handoffAcked = false
+	svc.joinQueue = nil
+}
+
+// sweepHandoffsLocked advances the handoff lifecycle on the failover
+// tick: live handoffs past their deadline (or whose device fell out of
+// Joining, e.g. a mid-join failure report) are aborted, and evicted
+// devices whose probe cool-down has passed get a fresh bootstrap — but
+// only once their send window has fully drained. A blackholed device
+// never drains its unacked window, so the liveness precheck keeps dead
+// devices from wedging handoff goroutines on blocked sends.
+func (c *Client) sweepHandoffsLocked(now time.Time) {
+	for _, svc := range c.services {
+		if svc.handoffLive {
+			if svc.dev.Health() != dispatch.Joining || now.After(svc.handoffDeadline) {
+				c.abortHandoffLocked(svc, svc.handoffEpoch)
+			}
+			continue
+		}
+		if c.sched.NeedsBootstrap(svc.dev) && svc.conn.Stats().WindowOccupancy == 0 {
+			_ = c.beginHandoffLocked(svc)
+		}
+	}
+}
+
+// DrainService administratively removes a device from the rotation: no
+// further frames or state updates are dispatched to it, and its
+// in-flight frames migrate to the remaining replicas through the same
+// re-dispatch path a failed device's orphans take. The device stays
+// attached and may later be readmitted via a bootstrap handoff.
+func (c *Client) DrainService(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var svc *service
+	for _, s := range c.services {
+		if s.name == name {
+			svc = s
+			break
+		}
+	}
+	if svc == nil {
+		return fmt.Errorf("core: drain: unknown service %q", name)
+	}
+	if svc.handoffLive {
+		c.abortHandoffLocked(svc, svc.handoffEpoch)
+	}
+	c.sched.Drain(svc.dev)
+	c.migrateOrphansLocked(svc)
+	return nil
 }
 
 // decodeJob carries one validated encoded-frame payload from a
@@ -839,6 +1127,10 @@ func (c *Client) recvLoop(svc *service, jobs chan<- decodeJob) {
 			c.mu.Unlock()
 			continue
 		}
+		if msgType == MsgBootstrapAck {
+			c.handleBootstrapAck(svc, payload)
+			continue
+		}
 		if msgType != MsgEncodedFrame {
 			c.mu.Lock()
 			c.stats.RecvUnexpected++
@@ -857,6 +1149,28 @@ func (c *Client) recvLoop(svc *service, jobs chan<- decodeJob) {
 			return
 		}
 	}
+}
+
+// handleBootstrapAck resolves (or defers) a handoff on the server's
+// fingerprint ack. If the handoff goroutine still owns the send path,
+// admission is deferred until its queue drains — admitting earlier
+// would let a frame batch overtake the queued state updates.
+func (c *Client) handleBootstrapAck(svc *service, payload []byte) {
+	var fp uint64
+	if len(payload) == 8 {
+		fp = binary.LittleEndian.Uint64(payload)
+	}
+	c.mu.Lock()
+	switch {
+	case !svc.handoffLive:
+		c.stats.RecvUnexpected++
+	case svc.handoffSending:
+		svc.handoffAcked = true
+		svc.handoffAckFP = fp
+	default:
+		c.finishHandoffLocked(svc, svc.handoffEpoch, fp)
+	}
+	c.mu.Unlock()
 }
 
 // decodeLoop drains one service's decode jobs. Per-connection replies

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/cmdcache"
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/glwire"
+	"github.com/gbooster/gbooster/internal/lz4"
+	"github.com/gbooster/gbooster/internal/session"
+)
+
+// liveHandoffState replays a workload trace through the client-side
+// session state — shadow GL context, mirrored command cache, and the
+// inter-frame compressor — to the point a handoff would checkpoint it.
+func liveHandoffState(b *testing.B) (*gles.Context, *cmdcache.Cache, *lz4.Compressor) {
+	b.Helper()
+	frames := buildTraceFrames(b, "G1", 7, 64)
+	ctx := gles.NewContext()
+	cache := cmdcache.New(0)
+	comp := lz4.NewCompressor()
+	var dec glwire.Decoder
+	var wireBuf, msgBuf []byte
+	for i, recs := range frames {
+		for _, rec := range recs {
+			op, err := glwire.PeekOp(rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !(gles.Command{Op: op}).MutatesState() {
+				continue
+			}
+			cmd, _, err := dec.Decode(rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = ctx.Apply(cmd)
+		}
+		wire, _, err := cache.EncodeAll(wireBuf[:0], recs)
+		wireBuf = wire
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgBuf = comp.Compress(appendMsgHeader(msgBuf[:0], MsgFrameBatch, uint64(i)), wire)
+	}
+	_ = msgBuf
+	return ctx, cache, comp
+}
+
+// BenchmarkHandoff measures the session checkpoint path on a live
+// mid-session state: capture (checkpoint + bootstrap-stream encode, the
+// work done under the client's lock when a device joins) and restore
+// (decode + rebuild of context, cache, and dictionary, the cold
+// server's admission cost). bootbytes is the bootstrap stream size — a
+// handoff ships this once, versus replaying the session's full history.
+func BenchmarkHandoff(b *testing.B) {
+	ctx, cache, comp := liveHandoffState(b)
+
+	b.Run("capture", func(b *testing.B) {
+		var boot []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp, err := session.Capture(ctx, cache, comp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			boot = session.Append(boot[:0], cp)
+		}
+		b.ReportMetric(float64(len(boot)), "bootbytes")
+	})
+
+	b.Run("restore", func(b *testing.B) {
+		cp, err := session.Capture(ctx, cache, comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		boot := session.Append(nil, cp)
+		wantFP := cp.Fingerprint()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rcp, err := session.Decode(boot)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rctx, _, _, err := session.Restore(rcp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if gles.StateFingerprint(rctx) != wantFP {
+				b.Fatal("restored fingerprint mismatch")
+			}
+		}
+		b.ReportMetric(float64(len(boot)), "bootbytes")
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/gbooster/gbooster/internal/gles"
 )
 
 // This file implements the paper's §VIII "Towards Multiple Users"
@@ -253,13 +255,15 @@ func (m *MultiServer) Stats() MultiStats {
 	return out
 }
 
-// SessionSnapshot exposes one client's GL-state fingerprint.
-func (m *MultiServer) SessionSnapshot(clientID string) (any, error) {
+// SessionSnapshot exposes one client's GL-state fingerprint. The
+// concrete snapshot type lets callers compare sessions directly
+// (StateSnapshot is comparable) instead of type-asserting an any.
+func (m *MultiServer) SessionSnapshot(clientID string) (gles.StateSnapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sess, ok := m.sessions[clientID]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+		return gles.StateSnapshot{}, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
 	return sess.server.Snapshot(), nil
 }

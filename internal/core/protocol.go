@@ -27,6 +27,16 @@ const (
 	// MsgStateUpdate replicates state-mutating commands to servers that
 	// were NOT assigned the frame (§VI-B consistency). No reply.
 	MsgStateUpdate = 3
+	// MsgBootstrap carries a session bootstrap stream (internal/session)
+	// to a cold or readmitting server: the canonical GL state, the
+	// command-cache mirror in eviction order, and the LZ4 dictionary
+	// window. The server restores and replies with MsgBootstrapAck.
+	MsgBootstrap = 4
+	// MsgBootstrapAck is the server's reply to MsgBootstrap: 8 bytes,
+	// little-endian, the state fingerprint re-computed from the restored
+	// context (0 when the restore failed). The client admits the device
+	// to the rotation only on an exact fingerprint match.
+	MsgBootstrapAck = 5
 )
 
 // Protocol errors.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"github.com/gbooster/gbooster/internal/glwire"
 	"github.com/gbooster/gbooster/internal/lz4"
 	"github.com/gbooster/gbooster/internal/rudp"
+	"github.com/gbooster/gbooster/internal/session"
 	"github.com/gbooster/gbooster/internal/turbo"
 )
 
@@ -69,6 +71,9 @@ type ServerStats struct {
 	BytesOut        int64
 	FragmentsShaded int64
 	ExecErrors      int64
+	// Bootstraps counts session checkpoints successfully restored
+	// (MsgBootstrap messages that replaced this server's state).
+	Bootstraps int64
 }
 
 // Server is one service device: it replays command streams on its GPU
@@ -84,14 +89,16 @@ type Server struct {
 	// guards the encode stage (the turbo encoder). Separate locks are
 	// what let the pipelined serve path render frame N while frame N−1
 	// is still being encoded.
-	mu     sync.Mutex
-	gpu    *gles.GPU
-	stats  ServerStats
-	decomp *lz4.Decompressor // mirrors the client compressors' dictionary window
-	rawBuf []byte            // decompression scratch, reused across batches
+	mu       sync.Mutex
+	gpu      *gles.GPU
+	stats    ServerStats
+	decomp   *lz4.Decompressor // mirrors the client compressors' dictionary window
+	rawBuf   []byte            // decompression scratch, reused across batches
+	fragBase int64             // FragmentsShaded carried over from pre-bootstrap GPUs
 
-	encMu sync.Mutex
-	enc   *turbo.Encoder
+	encMu    sync.Mutex
+	enc      *turbo.Encoder
+	forceKey bool // next encoded frame must be a keyframe (post-bootstrap resync)
 }
 
 // NewServer builds a server with a fresh GPU context.
@@ -121,7 +128,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stats.FragmentsShaded = s.gpu.FragmentsShaded
+	s.stats.FragmentsShaded = s.fragBase + s.gpu.FragmentsShaded
 	return s.stats
 }
 
@@ -212,9 +219,19 @@ func (s *Server) serve(conn *rudp.Conn, idle time.Duration) error {
 			}
 			return fmt.Errorf("core: server recv: %w", err)
 		}
-		frame, seq, err := s.renderMsg(msg)
+		frame, seq, direct, err := s.renderMsg(msg)
 		if err != nil {
 			return err
+		}
+		if direct != nil {
+			// Direct replies (bootstrap acks) bypass the encode stage.
+			// Sending here, possibly ahead of queued encode jobs, is
+			// safe: renderMsg already restored state serially in recv
+			// order, and the ack carries no frame ordering.
+			if err := conn.Send(direct); err != nil {
+				return fmt.Errorf("core: server send: %w", err)
+			}
+			continue
 		}
 		if frame == nil {
 			continue
@@ -255,9 +272,15 @@ func (s *Server) serveSync(conn *rudp.Conn, idle time.Duration) error {
 // stages; the rendered frame is encoded before Handle returns, so no
 // copy is needed.
 func (s *Server) Handle(msg []byte) ([]byte, error) {
-	frame, seq, err := s.renderMsg(msg)
-	if err != nil || frame == nil {
+	frame, seq, direct, err := s.renderMsg(msg)
+	if err != nil {
 		return nil, err
+	}
+	if direct != nil {
+		return direct, nil
+	}
+	if frame == nil {
+		return nil, nil
 	}
 	return s.encodeReply(frame, seq)
 }
@@ -265,31 +288,72 @@ func (s *Server) Handle(msg []byte) ([]byte, error) {
 // renderMsg runs the render stage under s.mu: decode, cache-resolve,
 // and execute one message. It returns the live framebuffer (valid only
 // until the next render) when the batch completed a frame needing
-// encode, nil otherwise.
-func (s *Server) renderMsg(msg []byte) ([]byte, uint64, error) {
+// encode, nil otherwise. direct is a reply to send as-is, bypassing the
+// encode stage (bootstrap acks).
+func (s *Server) renderMsg(msg []byte) (frame []byte, seq uint64, direct []byte, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.BytesIn += int64(len(msg))
 	msgType, seq, payload, err := decodeMsg(msg)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	switch msgType {
 	case MsgFrameBatch:
 		frame, err := s.executeBatch(payload)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
-		return frame, seq, nil // frame == nil: no SwapBuffers boundary
+		return frame, seq, nil, nil // frame == nil: no SwapBuffers boundary
 	case MsgStateUpdate:
 		if _, err := s.executeBatch(payload); err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		s.stats.StateUpdates++
-		return nil, 0, nil
+		return nil, 0, nil, nil
+	case MsgBootstrap:
+		return nil, 0, encodeMsg(MsgBootstrapAck, seq, s.applyBootstrapLocked(payload)), nil
 	default:
-		return nil, 0, fmt.Errorf("%w: type %d", ErrBadMessage, msgType)
+		return nil, 0, nil, fmt.Errorf("%w: type %d", ErrBadMessage, msgType)
 	}
+}
+
+// applyBootstrapLocked restores a session checkpoint under s.mu and
+// returns the 8-byte ack payload: the state fingerprint re-computed
+// from the restored context, or zero when the stream was rejected (the
+// server keeps its previous state untouched — Restore is atomic).
+// After a successful restore the next encoded frame is forced to a
+// keyframe: frames this server rendered before eviction may never have
+// reached the client's decoder, so the delta codec's two ends could
+// disagree; a keyframe resynchronizes them unconditionally.
+func (s *Server) applyBootstrapLocked(payload []byte) []byte {
+	var ack [8]byte
+	cp, err := session.Decode(payload)
+	if err == nil {
+		var ctx *gles.Context
+		var cache *cmdcache.Cache
+		var decomp *lz4.Decompressor
+		if ctx, cache, decomp, err = session.Restore(cp); err == nil {
+			gpu := gles.NewGPU(s.cfg.Width, s.cfg.Height)
+			gpu.SetParallelism(s.cfg.Parallelism)
+			gpu.Ctx = ctx
+			s.fragBase += s.gpu.FragmentsShaded
+			s.gpu = gpu
+			s.cache = cache
+			s.decomp = decomp
+			s.stats.Bootstraps++
+			// encMu nests inside s.mu only here; encodeReply takes the
+			// two locks sequentially, never nested, so order is safe.
+			s.encMu.Lock()
+			s.forceKey = true
+			s.encMu.Unlock()
+			binary.LittleEndian.PutUint64(ack[:], gles.StateFingerprint(ctx))
+		}
+	}
+	if err != nil {
+		s.stats.ExecErrors++
+	}
+	return ack[:]
 }
 
 // encodeReply runs the encode stage: turbo-encode one finished frame
@@ -300,7 +364,9 @@ func (s *Server) renderMsg(msg []byte) ([]byte, uint64, error) {
 // ordered channel).
 func (s *Server) encodeReply(frame []byte, seq uint64) ([]byte, error) {
 	s.encMu.Lock()
-	pkt, err := s.enc.Encode(frame, false)
+	key := s.forceKey
+	s.forceKey = false
+	pkt, err := s.enc.Encode(frame, key)
 	s.encMu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("core: encode frame: %w", err)

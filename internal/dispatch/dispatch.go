@@ -21,8 +21,8 @@ var (
 	ErrNoDevices  = errors.New("dispatch: no service devices")
 	ErrBadRequest = errors.New("dispatch: invalid request")
 	ErrDuplicate  = errors.New("dispatch: duplicate sequence number")
-	// ErrNoHealthyDevices means every device is evicted (and none is
-	// due for a readmission probe): the request cannot be placed.
+	// ErrNoHealthyDevices means every device is evicted, joining, or
+	// quarantined: the request cannot be placed.
 	ErrNoHealthyDevices = errors.New("dispatch: no healthy service devices")
 )
 
@@ -30,16 +30,26 @@ var (
 //
 //	Healthy --failure--> Suspect --failure--> Evicted
 //	Suspect --success--> Healthy
-//	Evicted --probe due, assigned--> Suspect (probation)
+//	Evicted --probe due, bootstrap begun--> Joining
+//	Joining --fingerprint ack matched--> Suspect (probation)
+//	Joining --failure or mismatch--> Evicted
 //
-// Evicted devices receive no traffic until their readmission probe
-// timer expires; a quarantined device (transport dead) never returns.
+// Evicted devices receive no traffic; once their probe timer expires
+// they become bootstrap candidates (NeedsBootstrap), not assignment
+// candidates — an evicted device's mirrored caches and GL state are
+// stale (state updates skip it), so it only re-enters the rotation
+// after a bootstrap restore whose state fingerprint it has acked
+// (FinishJoin). A quarantined device (transport dead) never returns.
 type Health int
 
 const (
 	Healthy Health = iota
 	Suspect
 	Evicted
+	// Joining marks a device mid-handoff: a bootstrap stream is in
+	// flight and the device receives state updates (to stay current) but
+	// no frame batches until its fingerprint ack admits it.
+	Joining
 )
 
 // String renders the health state.
@@ -51,6 +61,8 @@ func (h Health) String() string {
 		return "suspect"
 	case Evicted:
 		return "evicted"
+	case Joining:
+		return "joining"
 	default:
 		return fmt.Sprintf("health(%d)", int(h))
 	}
@@ -163,14 +175,11 @@ func (s *Scheduler) AddDevice(d *Device) error {
 // scheduler owns their queue state).
 func (s *Scheduler) Devices() []*Device { return s.devices }
 
-// assignable reports whether d may receive traffic at time now. An
-// evicted device becomes a candidate again once its probe timer
-// expires, unless quarantined.
-func (s *Scheduler) assignable(d *Device, now time.Time) bool {
-	if d.health != Evicted {
-		return true
-	}
-	return !d.quarantined && !now.Before(d.probeAt)
+// assignable reports whether d may receive frame traffic. Only Healthy
+// and Suspect devices qualify: Evicted devices hold stale mirrors and
+// Joining devices are still proving their bootstrap restore.
+func (s *Scheduler) assignable(d *Device) bool {
+	return d.health == Healthy || d.health == Suspect
 }
 
 // pick runs Eq. 4 over the assignable devices not rejected by skip.
@@ -178,11 +187,10 @@ func (s *Scheduler) pick(r float64, skip func(*Device) bool) (*Device, time.Dura
 	if r < 0 {
 		return nil, 0, fmt.Errorf("%w: workload %v", ErrBadRequest, r)
 	}
-	now := s.Now()
 	var best *Device
 	var bestCost time.Duration
 	for _, d := range s.devices {
-		if !s.assignable(d, now) || (skip != nil && skip(d)) {
+		if !s.assignable(d) || (skip != nil && skip(d)) {
 			continue
 		}
 		c := d.cost(r)
@@ -193,13 +201,6 @@ func (s *Scheduler) pick(r float64, skip func(*Device) bool) (*Device, time.Dura
 	if best == nil {
 		return nil, 0, ErrNoHealthyDevices
 	}
-	if best.health == Evicted {
-		// Readmission probe: the device re-enters on probation — a
-		// single further failure re-evicts it, one success heals it.
-		best.health = Suspect
-		best.failures = s.EvictAfter - 1
-		s.Stats.Readmissions++
-	}
 	best.queued += r
 	s.Stats.Assigned++
 	s.Stats.PerDevice[best.ID]++
@@ -207,10 +208,59 @@ func (s *Scheduler) pick(r float64, skip func(*Device) bool) (*Device, time.Dura
 	return best, bestCost, nil
 }
 
+// NeedsBootstrap reports whether d is an eligible bootstrap candidate:
+// evicted, not quarantined, and past its probe cool-down. The caller
+// starts a handoff with MarkJoining and resolves it with FinishJoin.
+func (s *Scheduler) NeedsBootstrap(d *Device) bool {
+	return d != nil && d.health == Evicted && !d.quarantined && !s.Now().Before(d.probeAt)
+}
+
+// MarkJoining moves d into the Joining state for the duration of a
+// bootstrap handoff: it receives state updates but no frame batches.
+// Quarantined devices cannot join.
+func (s *Scheduler) MarkJoining(d *Device) {
+	if d == nil || d.quarantined || d.health == Joining {
+		return
+	}
+	d.health = Joining
+}
+
+// FinishJoin resolves a handoff. On success (the device acked the
+// bootstrap's state fingerprint) it enters the rotation on probation —
+// a single further failure re-evicts it, one success heals it — and
+// counts as a readmission. On failure it is re-evicted with a doubled
+// cool-down. A no-op unless d is Joining.
+func (s *Scheduler) FinishJoin(d *Device, ok bool) {
+	if d == nil || d.health != Joining {
+		return
+	}
+	if !ok {
+		s.evict(d)
+		return
+	}
+	d.health = Suspect
+	d.failures = s.EvictAfter - 1
+	s.Stats.Readmissions++
+}
+
+// Drain administratively evicts d: it stops receiving frames and state
+// updates so its owner can migrate in-flight work and detach (or later
+// readmit it via bootstrap). Unlike a failure eviction, draining does
+// not grow the cool-down.
+func (s *Scheduler) Drain(d *Device) {
+	if d == nil || d.health == Evicted {
+		return
+	}
+	d.health = Evicted
+	d.probeAt = s.Now().Add(s.ProbeAfter)
+	s.Stats.Evictions++
+}
+
 // Assign picks the Eq. 4-minimal device for a request of workload r,
 // enqueues the work on it, and returns the device along with the
-// estimated completion latency. Evicted devices are skipped unless
-// their readmission probe is due.
+// estimated completion latency. Evicted and Joining devices are never
+// assigned; an evicted device returns via the bootstrap handoff
+// (NeedsBootstrap / MarkJoining / FinishJoin).
 func (s *Scheduler) Assign(r float64) (*Device, time.Duration, error) {
 	return s.pick(r, nil)
 }
@@ -246,6 +296,9 @@ func (s *Scheduler) ReportFailure(d *Device) Health {
 	switch {
 	case d.health == Evicted:
 		// Already out; extend nothing (probe timer governs return).
+	case d.health == Joining:
+		// The handoff's transport failed mid-bootstrap: back out.
+		s.evict(d)
 	case d.failures >= s.EvictAfter:
 		s.evict(d)
 	default:
@@ -255,10 +308,13 @@ func (s *Scheduler) ReportFailure(d *Device) Health {
 }
 
 // ReportSuccess records that d produced a result: strikes clear and the
-// device returns to full health, whatever its prior state — a result is
-// proof of life.
+// device returns to full health. Evicted and Joining devices are NOT
+// healed — a late result from a pre-eviction dispatch proves the device
+// is alive, but its mirrored caches and GL state have diverged (state
+// updates skip evicted devices), so only a fingerprint-acked bootstrap
+// (FinishJoin) may return it to the rotation.
 func (s *Scheduler) ReportSuccess(d *Device) {
-	if d == nil || d.quarantined {
+	if d == nil || d.quarantined || d.health == Evicted || d.health == Joining {
 		return
 	}
 	d.health = Healthy

@@ -325,7 +325,19 @@ func TestHealthTransitions(t *testing.T) {
 	if s.Stats.Evictions != 1 {
 		t.Fatalf("evictions after redundant failure = %d", s.Stats.Evictions)
 	}
-	// A success heals completely.
+	// A late success does NOT heal an evicted device: its mirrors are
+	// stale, so only a fingerprint-acked bootstrap readmits it.
+	s.ReportSuccess(a)
+	if a.Health() != Evicted {
+		t.Fatalf("evicted device healed by late result: %v", a.Health())
+	}
+	// The bootstrap path readmits it on probation; a success then heals.
+	clk.advance(2 * time.Second)
+	s.MarkJoining(a)
+	s.FinishJoin(a, true)
+	if a.Health() != Suspect {
+		t.Fatalf("health after join = %v, want suspect", a.Health())
+	}
 	s.ReportSuccess(a)
 	if a.Health() != Healthy {
 		t.Fatalf("health after success = %v", a.Health())
@@ -336,7 +348,6 @@ func TestHealthTransitions(t *testing.T) {
 	if a.Health() != Healthy {
 		t.Fatalf("suspect not healed: %v", a.Health())
 	}
-	_ = clk
 }
 
 func TestAssignSkipsEvictedDevice(t *testing.T) {
@@ -365,7 +376,11 @@ func TestAssignNoHealthyDevices(t *testing.T) {
 	}
 }
 
-func TestReadmissionProbeAfterCooldown(t *testing.T) {
+// TestReadmissionRequiresBootstrap is the stale-mirror regression: an
+// evicted device's caches have missed every state update since
+// eviction, so a cooled-down probe must never return it to rotation
+// directly — only a fingerprint-acked bootstrap handoff may.
+func TestReadmissionRequiresBootstrap(t *testing.T) {
 	s, a, b, clk := newHealthRig(t)
 	s.ReportFailure(a)
 	s.ReportFailure(a) // evicted, probe at +1s
@@ -374,24 +389,112 @@ func TestReadmissionProbeAfterCooldown(t *testing.T) {
 	if d, _, _ := s.Assign(1); d != b {
 		t.Fatal("evicted device assigned before its probe timer")
 	}
-	clk.advance(2 * time.Second)
-	d, _, err := s.Assign(1)
-	if err != nil || d != a {
-		t.Fatalf("probe-due device not readmitted: %v %v", d, err)
+	if s.NeedsBootstrap(a) {
+		t.Fatal("bootstrap candidate before cool-down")
 	}
+	clk.advance(2 * time.Second)
+	// Cool-down expiry makes it a bootstrap candidate, NOT assignable:
+	// the pre-handoff code readmitted here with an unverified mirror.
+	if d, _, _ := s.Assign(1); d != b {
+		t.Fatal("evicted device assigned without a bootstrap handoff")
+	}
+	if !s.NeedsBootstrap(a) {
+		t.Fatal("cooled-down evicted device should need a bootstrap")
+	}
+	s.MarkJoining(a)
+	if a.Health() != Joining {
+		t.Fatalf("health after MarkJoining = %v", a.Health())
+	}
+	if s.NeedsBootstrap(a) {
+		t.Fatal("joining device reported as needing another bootstrap")
+	}
+	// While joining: still no frames, and a late result does not admit.
+	if d, _, _ := s.Assign(1); d != b {
+		t.Fatal("joining device assigned before its fingerprint ack")
+	}
+	s.ReportSuccess(a)
+	if a.Health() != Joining {
+		t.Fatalf("late result changed joining state: %v", a.Health())
+	}
+	// The matching fingerprint ack admits it on probation.
+	s.FinishJoin(a, true)
 	if a.Health() != Suspect {
-		t.Fatalf("readmitted health = %v, want suspect (probation)", a.Health())
+		t.Fatalf("post-join health = %v, want suspect (probation)", a.Health())
 	}
 	if s.Stats.Readmissions != 1 {
 		t.Fatalf("readmissions = %d", s.Stats.Readmissions)
+	}
+	if d, _, err := s.Assign(1); err != nil || d != a {
+		t.Fatalf("admitted device not assignable: %v %v", d, err)
 	}
 	// Probation: a single failure re-evicts, with a doubled cool-down.
 	if h := s.ReportFailure(a); h != Evicted {
 		t.Fatalf("probation failure health = %v", h)
 	}
 	clk.advance(1500 * time.Millisecond) // less than the doubled 2s
+	if s.NeedsBootstrap(a) {
+		t.Fatal("bootstrap candidate again before doubled cool-down")
+	}
+}
+
+// TestFinishJoinFailureReEvicts: a mismatched fingerprint (or an
+// aborted handoff) re-evicts with a grown cool-down instead of
+// admitting a diverged device.
+func TestFinishJoinFailureReEvicts(t *testing.T) {
+	s, a, _, clk := newHealthRig(t)
+	s.ReportFailure(a)
+	s.ReportFailure(a)
+	clk.advance(2 * time.Second)
+	s.MarkJoining(a)
+	s.FinishJoin(a, false)
+	if a.Health() != Evicted {
+		t.Fatalf("failed join health = %v, want evicted", a.Health())
+	}
+	if s.Stats.Readmissions != 0 {
+		t.Fatalf("failed join counted as readmission: %d", s.Stats.Readmissions)
+	}
+	if s.NeedsBootstrap(a) {
+		t.Fatal("bootstrap candidate immediately after failed join")
+	}
+	clk.advance(2500 * time.Millisecond) // past the doubled 2s cool-down
+	if !s.NeedsBootstrap(a) {
+		t.Fatal("device never became a bootstrap candidate again")
+	}
+}
+
+// TestDrainStopsTrafficWithoutGrowingCooldown: an administrative drain
+// evicts immediately but leaves the failure cool-down alone, so a
+// drained device can hot-rejoin promptly via bootstrap.
+func TestDrainStopsTrafficWithoutGrowingCooldown(t *testing.T) {
+	s, a, b, clk := newHealthRig(t)
+	s.Drain(a)
+	if a.Health() != Evicted {
+		t.Fatalf("drained health = %v", a.Health())
+	}
+	if s.Stats.Evictions != 1 {
+		t.Fatalf("drain evictions = %d", s.Stats.Evictions)
+	}
+	b.queued = 1e6
 	if d, _, _ := s.Assign(1); d != b {
-		t.Fatal("re-evicted device readmitted before doubled cool-down")
+		t.Fatal("drained device still receives frames")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !s.NeedsBootstrap(a) {
+		t.Fatal("drained device not a bootstrap candidate after ProbeAfter")
+	}
+}
+
+// TestMarkJoiningRejectsQuarantined: a dead transport can never join.
+func TestMarkJoiningRejectsQuarantined(t *testing.T) {
+	s, a, _, clk := newHealthRig(t)
+	s.Quarantine(a)
+	clk.advance(time.Hour)
+	if s.NeedsBootstrap(a) {
+		t.Fatal("quarantined device offered a bootstrap")
+	}
+	s.MarkJoining(a)
+	if a.Health() != Evicted {
+		t.Fatalf("quarantined device joined: %v", a.Health())
 	}
 }
 

@@ -1,0 +1,431 @@
+package gles
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Canonical context-state serialization for the session bootstrap
+// stream (§VI-B state replication, extended to cold joins). The
+// encoding is deterministic — map sections are emitted in ascending key
+// order — so two contexts holding identical state always serialize to
+// identical bytes, and StateFingerprint over those bytes is a usable
+// admission check: a restored device re-encodes its context and the
+// fingerprints either match exactly or the restore diverged.
+//
+// The encoding covers durable state only. ContextStats is excluded (it
+// is observational, not replicated), as is the framebuffer (it is
+// device-side output, reconstructed by the next frame's clear+draws).
+
+// ErrBadState reports a malformed context-state encoding.
+var ErrBadState = errors.New("gles: malformed context state")
+
+// stateVersion guards the canonical layout; bump on any change.
+const stateVersion = 1
+
+// AppendContextState appends the canonical encoding of c's durable
+// state to dst and returns the extended slice.
+func AppendContextState(dst []byte, c *Context) []byte {
+	dst = append(dst, stateVersion)
+
+	// Fixed scalar block.
+	for _, f := range [...]float32{c.ClearR, c.ClearG, c.ClearB, c.ClearA} {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
+	}
+	for _, v := range [...]int32{
+		c.ViewportX, c.ViewportY, c.ViewportW, c.ViewportH,
+		c.ScissorX, c.ScissorY, c.ScissorW, c.ScissorH,
+		c.BlendSrc, c.BlendDst, c.DepthFn,
+		c.ActiveTexUnit, c.BoundArrayBuf, c.BoundElemBuf, c.CurrentProgram,
+	} {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	for _, v := range c.BoundTexture {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+
+	// Map sections, each length-prefixed and key-sorted.
+	dst = binary.AppendUvarint(dst, uint64(len(c.Caps)))
+	for _, k := range sortedKeys(c.Caps) {
+		dst = binary.AppendVarint(dst, int64(k))
+		dst = appendBool(dst, c.Caps[k])
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(c.Textures)))
+	for _, id := range sortedKeys(c.Textures) {
+		t := c.Textures[id]
+		dst = binary.AppendVarint(dst, int64(id))
+		dst = binary.AppendVarint(dst, int64(t.Width))
+		dst = binary.AppendVarint(dst, int64(t.Height))
+		dst = appendBytes(dst, t.Pixels)
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(c.Buffers)))
+	for _, id := range sortedKeys(c.Buffers) {
+		b := c.Buffers[id]
+		dst = binary.AppendVarint(dst, int64(id))
+		dst = binary.AppendVarint(dst, int64(b.Usage))
+		dst = appendBytes(dst, b.Data)
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(c.Shaders)))
+	for _, id := range sortedKeys(c.Shaders) {
+		sh := c.Shaders[id]
+		dst = binary.AppendVarint(dst, int64(id))
+		dst = binary.AppendVarint(dst, int64(sh.Type))
+		dst = appendBool(dst, sh.Compiled)
+		dst = appendBytes(dst, []byte(sh.Source))
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(c.Programs)))
+	for _, id := range sortedKeys(c.Programs) {
+		p := c.Programs[id]
+		dst = binary.AppendVarint(dst, int64(id))
+		dst = appendBool(dst, p.Linked)
+		dst = binary.AppendUvarint(dst, uint64(len(p.Shaders)))
+		for _, sid := range p.Shaders {
+			dst = binary.AppendVarint(dst, int64(sid))
+		}
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(c.Uniforms)))
+	for _, loc := range sortedKeys(c.Uniforms) {
+		vals := c.Uniforms[loc]
+		dst = binary.AppendVarint(dst, int64(loc))
+		dst = binary.AppendUvarint(dst, uint64(len(vals)))
+		for _, f := range vals {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
+		}
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(c.UniformInts)))
+	for _, loc := range sortedKeys(c.UniformInts) {
+		dst = binary.AppendVarint(dst, int64(loc))
+		dst = binary.AppendVarint(dst, int64(c.UniformInts[loc]))
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(c.Attribs)))
+	for _, idx := range sortedKeys(c.Attribs) {
+		b := c.Attribs[idx]
+		dst = binary.AppendVarint(dst, int64(idx))
+		dst = appendBool(dst, b.Enabled)
+		for _, v := range [...]int32{b.Size, b.Type, b.Stride, b.Offset, b.Buffer} {
+			dst = binary.AppendVarint(dst, int64(v))
+		}
+		dst = appendBytes(dst, b.ClientData)
+	}
+	return dst
+}
+
+// DecodeContextState rebuilds a context from its canonical encoding.
+// Truncated or corrupt input returns ErrBadState; it never panics.
+// Re-encoding the returned context reproduces data byte-for-byte.
+func DecodeContextState(data []byte) (*Context, error) {
+	r := stateReader{buf: data}
+	if v, err := r.byte(); err != nil {
+		return nil, err
+	} else if v != stateVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadState, v)
+	}
+	c := NewContext()
+
+	if err := r.floats(&c.ClearR, &c.ClearG, &c.ClearB, &c.ClearA); err != nil {
+		return nil, err
+	}
+	if err := r.ints(
+		&c.ViewportX, &c.ViewportY, &c.ViewportW, &c.ViewportH,
+		&c.ScissorX, &c.ScissorY, &c.ScissorW, &c.ScissorH,
+		&c.BlendSrc, &c.BlendDst, &c.DepthFn,
+		&c.ActiveTexUnit, &c.BoundArrayBuf, &c.BoundElemBuf, &c.CurrentProgram,
+	); err != nil {
+		return nil, err
+	}
+	for i := range c.BoundTexture {
+		if err := r.ints(&c.BoundTexture[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var k int32
+		if err := r.ints(&k); err != nil {
+			return nil, err
+		}
+		v, err := r.bool()
+		if err != nil {
+			return nil, err
+		}
+		c.Caps[k] = v
+	}
+
+	if n, err = r.count(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		t := &Texture{}
+		var w, h int32
+		if err := r.ints(&t.ID, &w, &h); err != nil {
+			return nil, err
+		}
+		t.Width, t.Height = int(w), int(h)
+		if t.Pixels, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		c.Textures[t.ID] = t
+	}
+
+	if n, err = r.count(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		b := &Buffer{}
+		if err := r.ints(&b.ID, &b.Usage); err != nil {
+			return nil, err
+		}
+		if b.Data, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		c.Buffers[b.ID] = b
+	}
+
+	if n, err = r.count(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		sh := &Shader{}
+		if err := r.ints(&sh.ID, &sh.Type); err != nil {
+			return nil, err
+		}
+		if sh.Compiled, err = r.bool(); err != nil {
+			return nil, err
+		}
+		src, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		sh.Source = string(src)
+		c.Shaders[sh.ID] = sh
+	}
+
+	if n, err = r.count(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		p := &Program{}
+		if err := r.ints(&p.ID); err != nil {
+			return nil, err
+		}
+		if p.Linked, err = r.bool(); err != nil {
+			return nil, err
+		}
+		m, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < m; j++ {
+			var sid int32
+			if err := r.ints(&sid); err != nil {
+				return nil, err
+			}
+			p.Shaders = append(p.Shaders, sid)
+		}
+		c.Programs[p.ID] = p
+	}
+
+	if n, err = r.count(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var loc int32
+		if err := r.ints(&loc); err != nil {
+			return nil, err
+		}
+		m, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float32, m)
+		for j := range vals {
+			if err := r.floats(&vals[j]); err != nil {
+				return nil, err
+			}
+		}
+		c.Uniforms[loc] = vals
+	}
+
+	if n, err = r.count(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var loc, v int32
+		if err := r.ints(&loc, &v); err != nil {
+			return nil, err
+		}
+		c.UniformInts[loc] = v
+	}
+
+	if n, err = r.count(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var idx int32
+		if err := r.ints(&idx); err != nil {
+			return nil, err
+		}
+		b := &AttribBinding{}
+		if b.Enabled, err = r.bool(); err != nil {
+			return nil, err
+		}
+		if err := r.ints(&b.Size, &b.Type, &b.Stride, &b.Offset, &b.Buffer); err != nil {
+			return nil, err
+		}
+		if b.ClientData, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		c.Attribs[idx] = b
+	}
+
+	if len(r.buf) != r.pos {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadState, len(r.buf)-r.pos)
+	}
+	return c, nil
+}
+
+// StateFingerprint hashes c's canonical encoding (FNV-1a, 64-bit). Two
+// contexts fingerprint equal exactly when their durable state is
+// byte-identical under the canonical encoding.
+func StateFingerprint(c *Context) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range AppendContextState(nil, c) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+func sortedKeys[V any](m map[int32]V) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// appendBytes writes a uvarint length prefix then the bytes. nil and
+// empty encode identically; decode returns nil for both, so the
+// canonical re-encode is stable.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// stateReader walks an encoded state buffer with strict bounds checks.
+type stateReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *stateReader) byte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated", ErrBadState)
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *stateReader) bool() (bool, error) {
+	b, err := r.byte()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: bool %#x", ErrBadState, b)
+	}
+}
+
+// ints decodes signed varints into each target, rejecting values
+// outside int32 range.
+func (r *stateReader) ints(out ...*int32) error {
+	for _, p := range out {
+		v, n := binary.Varint(r.buf[r.pos:])
+		if n <= 0 {
+			return fmt.Errorf("%w: varint", ErrBadState)
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return fmt.Errorf("%w: int32 overflow %d", ErrBadState, v)
+		}
+		r.pos += n
+		*p = int32(v)
+	}
+	return nil
+}
+
+func (r *stateReader) floats(out ...*float32) error {
+	for _, p := range out {
+		if r.pos+4 > len(r.buf) {
+			return fmt.Errorf("%w: truncated float", ErrBadState)
+		}
+		*p = math.Float32frombits(binary.LittleEndian.Uint32(r.buf[r.pos:]))
+		r.pos += 4
+	}
+	return nil
+}
+
+// count decodes an element count, bounded by the remaining input (each
+// element costs at least one byte) so corrupt input cannot force a
+// giant allocation.
+func (r *stateReader) count() (int, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: count", ErrBadState)
+	}
+	r.pos += n
+	if v > uint64(len(r.buf)-r.pos) {
+		return 0, fmt.Errorf("%w: count %d exceeds input", ErrBadState, v)
+	}
+	return int(v), nil
+}
+
+// bytes decodes a length-prefixed byte string, returning nil for an
+// empty one. The returned slice is a copy.
+func (r *stateReader) bytes() ([]byte, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: length", ErrBadState)
+	}
+	r.pos += n
+	if v > uint64(len(r.buf)-r.pos) {
+		return nil, fmt.Errorf("%w: %d bytes exceed input", ErrBadState, v)
+	}
+	if v == 0 {
+		return nil, nil
+	}
+	out := append([]byte(nil), r.buf[r.pos:r.pos+int(v)]...)
+	r.pos += int(v)
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package gles
+
+import (
+	"bytes"
+	"testing"
+)
+
+// populatedContext builds a context exercising every durable-state
+// section: textures, buffers, shaders, programs, uniforms, attribs
+// (both VBO-backed and client-array), caps, and the scalar block.
+func populatedContext(t *testing.T) *Context {
+	t.Helper()
+	c := NewContext()
+	apply := func(cmd Command) {
+		t.Helper()
+		if err := c.Apply(cmd); err != nil {
+			t.Fatalf("apply %v: %v", cmd, err)
+		}
+	}
+	apply(Command{Op: OpClearColor, Floats: []float32{0.25, 0.5, 0.75, 1}})
+	apply(Command{Op: OpViewport, Ints: []int32{0, 0, 320, 240}})
+	apply(Command{Op: OpScissor, Ints: []int32{8, 8, 100, 90}})
+	apply(Command{Op: OpEnable, Ints: []int32{CapDepthTest}})
+	apply(Command{Op: OpEnable, Ints: []int32{CapBlend}})
+	apply(Command{Op: OpDisable, Ints: []int32{CapBlend}})
+	apply(Command{Op: OpBlendFunc, Ints: []int32{BlendSrcAlpha, BlendOneMinusSrcA}})
+	apply(Command{Op: OpDepthFunc, Ints: []int32{DepthFuncLessEqual}})
+
+	apply(Command{Op: OpGenTexture, Ints: []int32{7}})
+	apply(Command{Op: OpBindTexture, Ints: []int32{TexTarget2D, 7}})
+	texels := make([]byte, 4*4*4)
+	for i := range texels {
+		texels[i] = byte(i * 3)
+	}
+	apply(Command{Op: OpTexImage2D, Ints: []int32{TexTarget2D, 0, 4, 4, TexFormatRGBA},
+		Data: texels, DataLen: int32(len(texels))})
+	apply(Command{Op: OpGenTexture, Ints: []int32{9}}) // no pixels uploaded
+
+	apply(Command{Op: OpGenBuffer, Ints: []int32{3}})
+	apply(Command{Op: OpBindBuffer, Ints: []int32{BufTargetArray, 3}})
+	apply(Command{Op: OpBufferData, Ints: []int32{BufTargetArray, UsageStaticDraw},
+		Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}, DataLen: 8})
+
+	apply(Command{Op: OpCreateShader, Ints: []int32{ShaderTypeVertex, 11}})
+	apply(Command{Op: OpShaderSource, Ints: []int32{11}, Data: []byte("attribute vec4 aPosition;")})
+	apply(Command{Op: OpCompileShader, Ints: []int32{11}})
+	apply(Command{Op: OpCreateShader, Ints: []int32{ShaderTypeFragment, 12}})
+	apply(Command{Op: OpShaderSource, Ints: []int32{12}, Data: []byte("uniform vec4 uTint;")})
+	apply(Command{Op: OpCompileShader, Ints: []int32{12}})
+	apply(Command{Op: OpCreateProgram, Ints: []int32{20}})
+	apply(Command{Op: OpAttachShader, Ints: []int32{20, 11}})
+	apply(Command{Op: OpAttachShader, Ints: []int32{20, 12}})
+	apply(Command{Op: OpLinkProgram, Ints: []int32{20}})
+	apply(Command{Op: OpUseProgram, Ints: []int32{20}})
+
+	apply(Command{Op: OpUniform1i, Ints: []int32{LocSampler, 0}})
+	apply(Command{Op: OpUniform4f, Ints: []int32{LocTint}, Floats: []float32{1, 0.5, 0.25, 1}})
+	apply(Command{Op: OpUniformMatrix4fv, Ints: []int32{LocMVP}, Floats: make([]float32, 16)})
+
+	apply(Command{Op: OpVertexAttribPointer,
+		Ints: []int32{LocPosition, 3, AttribTypeFloat, 0, 0, 0, 3}})
+	apply(Command{Op: OpEnableVertexAttribArray, Ints: []int32{LocPosition}})
+	apply(Command{Op: OpVertexAttribPointer,
+		Ints: []int32{LocColor, 4, AttribTypeFloat, 0, 16, 0, 0},
+		Data: make([]byte, 64), DataLen: 64})
+	return c
+}
+
+func TestContextStateRoundTrip(t *testing.T) {
+	c := populatedContext(t)
+	enc := AppendContextState(nil, c)
+	got, err := DecodeContextState(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Snapshot() != c.Snapshot() {
+		t.Fatalf("snapshot mismatch:\n got %+v\nwant %+v", got.Snapshot(), c.Snapshot())
+	}
+	// Canonical identity: the decoded context re-encodes to the same
+	// bytes, so fingerprints agree across a restore.
+	re := AppendContextState(nil, got)
+	if !bytes.Equal(enc, re) {
+		t.Fatal("re-encoded state differs from original encoding")
+	}
+	if StateFingerprint(c) != StateFingerprint(got) {
+		t.Fatal("fingerprint mismatch after round trip")
+	}
+}
+
+func TestContextStateFingerprintSeesMutation(t *testing.T) {
+	a := populatedContext(t)
+	b := populatedContext(t)
+	if StateFingerprint(a) != StateFingerprint(b) {
+		t.Fatal("identical histories should fingerprint equal")
+	}
+	if err := b.Apply(Command{Op: OpUniform1f, Ints: []int32{5}, Floats: []float32{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if StateFingerprint(a) == StateFingerprint(b) {
+		t.Fatal("mutated context should change the fingerprint")
+	}
+}
+
+func TestDecodeContextStateRejectsCorrupt(t *testing.T) {
+	enc := AppendContextState(nil, populatedContext(t))
+	if _, err := DecodeContextState(nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, err := DecodeContextState(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d should error", cut)
+		}
+	}
+	if _, err := DecodeContextState(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing bytes should error")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99
+	if _, err := DecodeContextState(bad); err == nil {
+		t.Fatal("unknown version should error")
+	}
+}

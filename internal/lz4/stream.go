@@ -105,6 +105,28 @@ func (c *Compressor) Compress(dst, src []byte) []byte {
 	return dst
 }
 
+// DictWindow returns the compressor's live dictionary: the trailing
+// windowKeep bytes of history (all of it when shorter). Every offset a
+// future Compress can emit resolves inside this window, so seeding a
+// fresh Decompressor with it (SeedDict) is sufficient for that
+// decompressor to decode all subsequent blocks of the stream. The
+// returned slice aliases internal state; copy it if it must survive
+// another Compress.
+func (c *Compressor) DictWindow() []byte {
+	if len(c.hist) <= windowKeep {
+		return c.hist
+	}
+	return c.hist[len(c.hist)-windowKeep:]
+}
+
+// SeedDict primes a decompressor's history window with a dictionary
+// exported by Compressor.DictWindow, aligning it with a compressor
+// mid-stream so the next compressed block decodes correctly. Any
+// existing history is replaced.
+func (d *Decompressor) SeedDict(dict []byte) {
+	d.hist = append(d.hist[:0], dict...)
+}
+
 // slide trims the history window before appending srcLen more bytes,
 // keeping the trailing windowKeep bytes and remapping the hash table
 // into the new coordinates.

@@ -272,3 +272,64 @@ func TestStreamCompressIsZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("steady-state Compress allocates %v times per frame", n)
 	}
 }
+
+// TestSeedDictResumesStream proves a decompressor seeded from a live
+// compressor's DictWindow decodes all subsequent blocks of the stream,
+// even though it never saw the earlier blocks — the checkpoint/restore
+// contract of the session bootstrap.
+func TestSeedDictResumesStream(t *testing.T) {
+	rng := sim.NewRNG(41)
+	comp := NewCompressor()
+	full := NewDecompressor() // reference: decoded everything from block 0
+
+	// Frames repeat heavily so late blocks hold dictionary matches into
+	// earlier frames — the case a mis-seeded window would corrupt.
+	base := make([]byte, 4096)
+	for i := range base {
+		base[i] = byte(rng.Intn(8))
+	}
+	frame := func() []byte {
+		f := append([]byte(nil), base...)
+		for i := 0; i < 32; i++ {
+			f[rng.Intn(len(f))] = byte(rng.Intn(256))
+		}
+		return f
+	}
+
+	const preSeed, postSeed = 24, 24
+	for i := 0; i < preSeed; i++ {
+		blk := comp.Compress(nil, frame())
+		if _, err := full.Decompress(nil, blk, MaxBlockSize); err != nil {
+			t.Fatalf("pre-seed block %d: %v", i, err)
+		}
+	}
+
+	joined := NewDecompressor()
+	joined.SeedDict(append([]byte(nil), comp.DictWindow()...))
+
+	for i := 0; i < postSeed; i++ {
+		src := frame()
+		blk := comp.Compress(nil, src)
+		want, err := full.Decompress(nil, blk, MaxBlockSize)
+		if err != nil {
+			t.Fatalf("post-seed block %d (full): %v", i, err)
+		}
+		got, err := joined.Decompress(nil, blk, MaxBlockSize)
+		if err != nil {
+			t.Fatalf("post-seed block %d (seeded): %v", i, err)
+		}
+		if !bytes.Equal(want, src) || !bytes.Equal(got, src) {
+			t.Fatalf("post-seed block %d: decoded bytes diverge from source", i)
+		}
+	}
+}
+
+// TestSeedDictReplacesHistory: re-seeding discards any previous window.
+func TestSeedDictReplacesHistory(t *testing.T) {
+	d := NewDecompressor()
+	d.SeedDict([]byte("old window"))
+	d.SeedDict(nil)
+	if len(d.hist) != 0 {
+		t.Fatalf("re-seed left %d bytes of history", len(d.hist))
+	}
+}

@@ -349,3 +349,85 @@ func (c *UplinkCollector) CacheHitRate() float64 {
 	}
 	return 0
 }
+
+// HandoffSample is one cumulative snapshot of the client's session
+// checkpoint & live handoff counters: bootstrap streams shipped (and
+// their bytes), handoffs admitted on a matching fingerprint ack,
+// handoffs aborted, and the total checkpoint-to-admission latency over
+// the completed ones.
+type HandoffSample struct {
+	BootstrapsSent int64
+	BootstrapBytes int64
+	Completed      int64
+	Failed         int64
+	LatencyTotal   time.Duration
+}
+
+// HandoffCollector accumulates periodic handoff snapshots over a
+// session so elastic-device churn (hot-joins, drains, readmissions) can
+// be separated from steady-state streaming in a report. Samples are
+// cumulative; the collector differences them.
+type HandoffCollector struct {
+	count       int
+	first, last HandoffSample
+	maxBoot     int64
+}
+
+// Add records one cumulative snapshot.
+func (c *HandoffCollector) Add(s HandoffSample) {
+	if c.count == 0 {
+		c.first = s
+	} else if boot := s.BootstrapBytes - c.last.BootstrapBytes; boot > c.maxBoot {
+		c.maxBoot = boot
+	}
+	c.last = s
+	c.count++
+}
+
+// Count returns the number of samples.
+func (c *HandoffCollector) Count() int { return c.count }
+
+// Totals returns the handoff activity across the sampled span (last
+// minus first snapshot).
+func (c *HandoffCollector) Totals() HandoffSample {
+	if c.count == 0 {
+		return HandoffSample{}
+	}
+	return HandoffSample{
+		BootstrapsSent: c.last.BootstrapsSent - c.first.BootstrapsSent,
+		BootstrapBytes: c.last.BootstrapBytes - c.first.BootstrapBytes,
+		Completed:      c.last.Completed - c.first.Completed,
+		Failed:         c.last.Failed - c.first.Failed,
+		LatencyTotal:   c.last.LatencyTotal - c.first.LatencyTotal,
+	}
+}
+
+// MeanLatency returns the average checkpoint-to-admission time of the
+// completed handoffs in the sampled span (zero with none).
+func (c *HandoffCollector) MeanLatency() time.Duration {
+	t := c.Totals()
+	if t.Completed <= 0 {
+		return 0
+	}
+	return t.LatencyTotal / time.Duration(t.Completed)
+}
+
+// MeanBootstrapBytes returns the average bootstrap stream size of the
+// sampled span (zero with none sent).
+func (c *HandoffCollector) MeanBootstrapBytes() int64 {
+	t := c.Totals()
+	if t.BootstrapsSent <= 0 {
+		return 0
+	}
+	return t.BootstrapBytes / t.BootstrapsSent
+}
+
+// MaxBootstrapBurst returns the largest per-interval jump in bootstrap
+// bytes — the sharpest handoff episode of the session.
+func (c *HandoffCollector) MaxBootstrapBurst() int64 { return c.maxBoot }
+
+// Clean reports whether the sampled span saw no handoff activity.
+func (c *HandoffCollector) Clean() bool {
+	t := c.Totals()
+	return t.BootstrapsSent == 0 && t.Completed == 0 && t.Failed == 0
+}

@@ -254,3 +254,29 @@ func TestUplinkCollectorNoTraffic(t *testing.T) {
 		t.Fatal("no new records must report hit rate 0")
 	}
 }
+
+func TestHandoffCollectorTotalsAndMeans(t *testing.T) {
+	var c HandoffCollector
+	if !c.Clean() || c.MeanLatency() != 0 || c.MeanBootstrapBytes() != 0 {
+		t.Fatal("empty collector should be clean with zero means")
+	}
+	c.Add(HandoffSample{BootstrapsSent: 1, BootstrapBytes: 1000, Completed: 1, LatencyTotal: 10 * time.Millisecond})
+	c.Add(HandoffSample{BootstrapsSent: 3, BootstrapBytes: 5000, Completed: 2, Failed: 1, LatencyTotal: 40 * time.Millisecond})
+	c.Add(HandoffSample{BootstrapsSent: 4, BootstrapBytes: 6000, Completed: 3, Failed: 1, LatencyTotal: 70 * time.Millisecond})
+	tot := c.Totals()
+	if tot.BootstrapsSent != 3 || tot.BootstrapBytes != 5000 || tot.Completed != 2 || tot.Failed != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if got := c.MeanLatency(); got != 30*time.Millisecond {
+		t.Fatalf("MeanLatency = %v, want 30ms", got)
+	}
+	if got := c.MeanBootstrapBytes(); got != 5000/3 {
+		t.Fatalf("MeanBootstrapBytes = %d, want %d", got, 5000/3)
+	}
+	if got := c.MaxBootstrapBurst(); got != 4000 {
+		t.Fatalf("MaxBootstrapBurst = %d, want 4000", got)
+	}
+	if c.Clean() {
+		t.Fatal("collector with handoff activity should not be clean")
+	}
+}

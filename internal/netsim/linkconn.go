@@ -99,6 +99,19 @@ func (l *LinkConn) Blackhole() {
 	l.blackholeArmed = false
 }
 
+// Restore lifts a blackhole (and disarms a pending one): subsequent
+// datagrams flow again, emulating a crashed or partitioned device
+// coming back. Datagrams eaten while dark stay lost — recovering the
+// session state is the transport's and the session-bootstrap layer's
+// job, not the network's.
+func (l *LinkConn) Restore() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.blackholed = false
+	l.blackholeArmed = false
+	l.blackholeLeft = 0
+}
+
 // BlackholeAfter arms the fault injector: the next n datagrams written
 // here still pass, every later one vanishes.
 func (l *LinkConn) BlackholeAfter(n int) {

@@ -1,0 +1,44 @@
+package session
+
+import (
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/cmdcache"
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/lz4"
+)
+
+// FuzzDecode hardens the bootstrap-stream decoder: arbitrary input may
+// be rejected but must never panic, and any input that decodes must
+// also survive Restore (error or success, no crash) and re-encode to a
+// stream that decodes again.
+func FuzzDecode(f *testing.F) {
+	ctx := gles.NewContext()
+	cache := cmdcache.New(1 << 10)
+	comp := lz4.NewCompressor()
+	_, _, _ = cache.EncodeRecord(nil, []byte("seed record"))
+	_ = comp.Compress(nil, []byte("seed block seed block"))
+	if cp, err := Capture(ctx, cache, comp); err == nil {
+		f.Add(Append(nil, cp))
+	}
+	f.Add([]byte("GBCK\x01"))
+	f.Add([]byte{})
+	f.Add([]byte("GBCK\x01\x01\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := Decode(data)
+		if err != nil {
+			return
+		}
+		rctx, rcache, rdecomp, err := Restore(cp)
+		if err != nil {
+			return
+		}
+		if rctx == nil || rcache == nil || rdecomp == nil {
+			t.Fatal("successful restore returned nil component")
+		}
+		if _, err := Decode(Append(nil, cp)); err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,265 @@
+// Package session implements GBooster's checkpoint codec and bootstrap
+// stream: the serialized durable state of a live streaming session —
+// the GL context, the mirrored command cache in eviction order, and the
+// LZ4 inter-frame dictionary window — packaged so a cold service device
+// can replay it and join mid-stream in the exact state a full-history
+// device would hold.
+//
+// The wire format is versioned and length-delimited:
+//
+//	"GBCK" | version(1) | section*
+//	section = tag(1) | uvarint(len) | payload
+//
+// Sections appear in strictly ascending tag order. tagState (the
+// canonical gles context encoding) is mandatory; tagCache and tagDict
+// are omitted when empty. Unknown tags, out-of-order sections, length
+// overruns, and trailing bytes are all decode errors — a corrupt
+// bootstrap must fail loudly, never panic, and never half-restore.
+//
+// Admission rule: the checkpoint's Fingerprint is the FNV-1a hash of
+// the canonical state section. A restored device re-encodes its rebuilt
+// context and acks the resulting fingerprint; the dispatcher admits it
+// to the rotation only on an exact match (see DESIGN.md §12).
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/gbooster/gbooster/internal/cmdcache"
+	"github.com/gbooster/gbooster/internal/gles"
+	"github.com/gbooster/gbooster/internal/lz4"
+)
+
+// Errors.
+var (
+	// ErrBadStream reports a malformed bootstrap stream.
+	ErrBadStream = errors.New("session: malformed bootstrap stream")
+)
+
+// Wire constants.
+const (
+	version = 1
+
+	tagState = 1 // canonical gles context state (mandatory)
+	tagCache = 2 // cmdcache capacity + records in eviction order
+	tagDict  = 3 // lz4 dictionary window
+)
+
+// magic marks a bootstrap stream.
+var magic = [4]byte{'G', 'B', 'C', 'K'}
+
+// Checkpoint is a session's durable state, captured atomically with
+// respect to the frame stream: everything a cold device needs to serve
+// the next frame exactly as a full-history device would.
+type Checkpoint struct {
+	// State is the canonical gles context encoding
+	// (gles.AppendContextState output).
+	State []byte
+	// CacheCap is the command cache's byte budget; Records holds its
+	// records in eviction order (LRU first, MRU last).
+	CacheCap int
+	Records  [][]byte
+	// Dict is the LZ4 compressor's dictionary window at the checkpoint.
+	Dict []byte
+}
+
+// Capture snapshots a session's durable state. The returned checkpoint
+// owns its bytes — the inputs may keep mutating after Capture returns.
+func Capture(ctx *gles.Context, cache *cmdcache.Cache, comp *lz4.Compressor) (*Checkpoint, error) {
+	if ctx == nil || cache == nil || comp == nil {
+		return nil, fmt.Errorf("%w: nil input", ErrBadStream)
+	}
+	cp := &Checkpoint{
+		State:    gles.AppendContextState(nil, ctx),
+		CacheCap: cache.Capacity(),
+		Dict:     append([]byte(nil), comp.DictWindow()...),
+	}
+	err := cache.Export(func(rec []byte) error {
+		cp.Records = append(cp.Records, append([]byte(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// Fingerprint hashes the checkpoint's canonical state section with
+// FNV-1a. It equals gles.StateFingerprint of the captured context, so
+// a restored device recomputing the fingerprint from its rebuilt
+// context proves byte-identical state.
+func (cp *Checkpoint) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range cp.State {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// Size returns the encoded bootstrap-stream length in bytes.
+func (cp *Checkpoint) Size() int {
+	n := len(magic) + 1
+	n += sectionLen(len(cp.State))
+	if cacheLen := cp.cachePayloadLen(); cacheLen > 0 {
+		n += sectionLen(cacheLen)
+	}
+	if len(cp.Dict) > 0 {
+		n += sectionLen(len(cp.Dict))
+	}
+	return n
+}
+
+func (cp *Checkpoint) cachePayloadLen() int {
+	if len(cp.Records) == 0 {
+		return 0
+	}
+	n := uvarintLen(uint64(cp.CacheCap)) + uvarintLen(uint64(len(cp.Records)))
+	for _, rec := range cp.Records {
+		n += uvarintLen(uint64(len(rec))) + len(rec)
+	}
+	return n
+}
+
+func sectionLen(payload int) int {
+	return 1 + uvarintLen(uint64(payload)) + payload
+}
+
+// Append encodes cp as a bootstrap stream appended to dst.
+func Append(dst []byte, cp *Checkpoint) []byte {
+	dst = append(dst, magic[:]...)
+	dst = append(dst, version)
+
+	dst = append(dst, tagState)
+	dst = binary.AppendUvarint(dst, uint64(len(cp.State)))
+	dst = append(dst, cp.State...)
+
+	if cacheLen := cp.cachePayloadLen(); cacheLen > 0 {
+		dst = append(dst, tagCache)
+		dst = binary.AppendUvarint(dst, uint64(cacheLen))
+		dst = binary.AppendUvarint(dst, uint64(cp.CacheCap))
+		dst = binary.AppendUvarint(dst, uint64(len(cp.Records)))
+		for _, rec := range cp.Records {
+			dst = binary.AppendUvarint(dst, uint64(len(rec)))
+			dst = append(dst, rec...)
+		}
+	}
+
+	if len(cp.Dict) > 0 {
+		dst = append(dst, tagDict)
+		dst = binary.AppendUvarint(dst, uint64(len(cp.Dict)))
+		dst = append(dst, cp.Dict...)
+	}
+	return dst
+}
+
+// Decode parses a bootstrap stream. The returned checkpoint's byte
+// slices alias data; the caller keeps data alive while using it.
+// Truncated or corrupt input returns ErrBadStream — never a panic.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < len(magic)+1 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadStream, len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadStream)
+	}
+	if data[4] != version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadStream, data[4])
+	}
+	rest := data[5:]
+	cp := &Checkpoint{}
+	lastTag := 0
+	sawState := false
+	for len(rest) > 0 {
+		tag := int(rest[0])
+		if tag <= lastTag {
+			return nil, fmt.Errorf("%w: section %d out of order", ErrBadStream, tag)
+		}
+		lastTag = tag
+		n, used := binary.Uvarint(rest[1:])
+		if used <= 0 {
+			return nil, fmt.Errorf("%w: section %d length", ErrBadStream, tag)
+		}
+		body := rest[1+used:]
+		if n > uint64(len(body)) {
+			return nil, fmt.Errorf("%w: section %d truncated", ErrBadStream, tag)
+		}
+		payload := body[:n]
+		rest = body[n:]
+		switch tag {
+		case tagState:
+			cp.State = payload
+			sawState = true
+		case tagCache:
+			if err := cp.decodeCache(payload); err != nil {
+				return nil, err
+			}
+		case tagDict:
+			cp.Dict = payload
+		default:
+			return nil, fmt.Errorf("%w: unknown section %d", ErrBadStream, tag)
+		}
+	}
+	if !sawState {
+		return nil, fmt.Errorf("%w: missing state section", ErrBadStream)
+	}
+	return cp, nil
+}
+
+func (cp *Checkpoint) decodeCache(payload []byte) error {
+	capv, used := binary.Uvarint(payload)
+	if used <= 0 || capv > 1<<31 {
+		return fmt.Errorf("%w: cache capacity", ErrBadStream)
+	}
+	payload = payload[used:]
+	count, used := binary.Uvarint(payload)
+	if used <= 0 || count > uint64(len(payload)) {
+		return fmt.Errorf("%w: cache record count", ErrBadStream)
+	}
+	payload = payload[used:]
+	cp.CacheCap = int(capv)
+	cp.Records = make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, used := binary.Uvarint(payload)
+		if used <= 0 || n > uint64(len(payload)-used) {
+			return fmt.Errorf("%w: cache record %d", ErrBadStream, i)
+		}
+		cp.Records = append(cp.Records, payload[used:used+int(n)])
+		payload = payload[used+int(n):]
+	}
+	if len(payload) != 0 {
+		return fmt.Errorf("%w: %d trailing cache bytes", ErrBadStream, len(payload))
+	}
+	return nil
+}
+
+// Restore rebuilds the session substrate a cold server needs: the GL
+// context, a seeded command-cache mirror, and a dictionary-primed
+// decompressor. Restore is all-or-nothing — on error nothing usable is
+// returned, so a server can keep its previous state on a bad stream.
+func Restore(cp *Checkpoint) (*gles.Context, *cmdcache.Cache, *lz4.Decompressor, error) {
+	ctx, err := gles.DecodeContextState(cp.State)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("session: restore state: %w", err)
+	}
+	cache := cmdcache.New(cp.CacheCap)
+	for i, rec := range cp.Records {
+		if err := cache.Seed(rec); err != nil {
+			return nil, nil, nil, fmt.Errorf("session: seed record %d: %w", i, err)
+		}
+	}
+	decomp := lz4.NewDecompressor()
+	decomp.SeedDict(cp.Dict)
+	return ctx, cache, decomp, nil
+}
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}

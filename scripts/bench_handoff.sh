@@ -1,0 +1,25 @@
+#!/bin/sh
+# Session handoff benchmark: checkpoint capture cost (the work done
+# under the client's lock when a device hot-joins or is readmitted) and
+# cold-server restore cost (decode + rebuild of GL context, command
+# cache, and LZ4 dictionary), over a live mid-session workload state.
+# The bootbytes metric is the bootstrap stream size a handoff ships
+# instead of replaying the session's full history. Results land in
+# BENCH_handoff.json.
+#
+#   BENCHTIME=1x sh scripts/bench_handoff.sh   # smoke run (check.sh)
+#   sh scripts/bench_handoff.sh                # full 2s-per-series run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_handoff.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkHandoff' -benchmem \
+	-benchtime "$BENCHTIME" ./internal/core/ | tee "$tmp"
+
+go run ./scripts/benchjson -o "$OUT" <"$tmp"
+echo "wrote $OUT"

@@ -15,6 +15,11 @@ go test -race -short ./internal/rudp/... ./internal/core/...
 # fault injector plus the client's failover loop are the most
 # contended paths in the tree.
 go test -race -short -run 'Failover|Crash|Blackhole' ./internal/netsim/... .
+# Session handoff soaks under the race detector: the checkpoint
+# capture, the handoff goroutine's queued-send path, and the
+# crash-recover-hot-join lifecycle all interleave with the flush and
+# failover paths.
+go test -race -short -run 'Handoff|HotJoin' ./internal/core/... .
 # Uplink allocation gate: the steady-state flush path must stay at
 # exactly zero allocations per frame. Runs without -race on purpose —
 # the race runtime's shadow allocations make an exact-zero assertion
@@ -29,3 +34,7 @@ BENCHTIME=1x OUT=/tmp/BENCH_dataplane.smoke.json sh scripts/bench_dataplane.sh
 # the BENCH_uplink.json summary still build. Full numbers come from
 # running scripts/bench_uplink.sh without BENCHTIME.
 BENCHTIME=1x OUT=/tmp/BENCH_uplink.smoke.json sh scripts/bench_uplink.sh
+# Handoff benchmark smoke: proves the checkpoint capture/restore series
+# and the BENCH_handoff.json summary still build. Full numbers come
+# from running scripts/bench_handoff.sh without BENCHTIME.
+BENCHTIME=1x OUT=/tmp/BENCH_handoff.smoke.json sh scripts/bench_handoff.sh

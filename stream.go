@@ -444,7 +444,9 @@ func (p *Player) FailoverStats() FailoverStats {
 // DeviceState is one attached service device's dispatch view.
 type DeviceState struct {
 	Service string
-	// Health is "healthy", "suspect", or "evicted".
+	// Health is "healthy", "suspect", "evicted", or "joining" (a
+	// bootstrap handoff is in flight and the device is not yet in the
+	// rotation).
 	Health string
 	// Queued is the device's outstanding Eq. 4 workload.
 	Queued float64
@@ -480,6 +482,49 @@ func (p *Player) TransportStats() []TransportHealth {
 		})
 	}
 	return out
+}
+
+// Drain administratively removes a connected service device from the
+// rotation: its in-flight frames migrate to the remaining replicas and
+// it receives no further traffic. The device stays attached; if it
+// remains reachable it is later readmitted automatically via a session
+// bootstrap handoff.
+func (p *Player) Drain(service string) error {
+	return p.client.DrainService(service)
+}
+
+// HandoffStats summarizes the session's elastic-device activity:
+// checkpoint bootstrap streams shipped to joining or readmitted
+// devices, handoffs admitted on a matching state-fingerprint ack, and
+// handoffs aborted.
+type HandoffStats struct {
+	// BootstrapsSent counts session bootstrap streams shipped;
+	// BootstrapBytes their total size on the wire.
+	BootstrapsSent int64
+	BootstrapBytes int64
+	// Completed counts handoffs whose device was admitted to the
+	// rotation; Failed those aborted on a fingerprint mismatch, a send
+	// failure, or the handoff deadline.
+	Completed int64
+	Failed    int64
+	// MeanLatency is the average checkpoint-to-admission time of the
+	// completed handoffs (zero with none).
+	MeanLatency time.Duration
+}
+
+// HandoffStats returns the session's live-handoff counters.
+func (p *Player) HandoffStats() HandoffStats {
+	st := p.client.Stats()
+	hs := HandoffStats{
+		BootstrapsSent: st.BootstrapsSent,
+		BootstrapBytes: st.BootstrapBytes,
+		Completed:      st.HandoffsCompleted,
+		Failed:         st.HandoffsFailed,
+	}
+	if hs.Completed > 0 {
+		hs.MeanLatency = st.HandoffLatencyTotal / time.Duration(hs.Completed)
+	}
+	return hs
 }
 
 // Close shuts the player down.
