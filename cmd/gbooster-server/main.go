@@ -1,20 +1,26 @@
-// Command gbooster-server runs a GBooster service device over UDP: it
-// accepts one client, replays its intercepted OpenGL ES command stream
-// on the software GPU, and streams turbo-encoded frames back — the
-// §IV-C server side on a real socket.
+// Command gbooster-server runs a GBooster service device over UDP. By
+// default it accepts one client, replays its intercepted OpenGL ES
+// command stream on the software GPU, and streams turbo-encoded frames
+// back — the §IV-C server side on a real socket. With -fleet it serves
+// many clients at once on the same listener: inbound datagrams are
+// demultiplexed by source address onto per-session state, sessions past
+// -max-sessions are refused, and idle sessions are reaped after -idle.
 //
 // Usage:
 //
 //	gbooster-server [-addr :4870] [-width 600] [-height 480]
 //	                [-quality 60] [-parallelism 0]
+//	                [-fleet] [-max-sessions 1024] [-idle 2m] [-stats 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/gbooster/gbooster"
+	"github.com/gbooster/gbooster/internal/metrics"
 )
 
 func main() {
@@ -23,7 +29,19 @@ func main() {
 	height := flag.Int("height", 480, "stream height")
 	quality := flag.Int("quality", 0, "turbo codec quality (0 = default)")
 	parallelism := flag.Int("parallelism", 0, "data-plane workers (0 = one per CPU, 1 = serial)")
+	fleetMode := flag.Bool("fleet", false, "serve many clients on one listener (multi-tenant mode)")
+	maxSessions := flag.Int("max-sessions", 0, "fleet admission cap (0 = default 1024)")
+	idle := flag.Duration("idle", 0, "fleet idle-session reap timeout (0 = default 2m)")
+	statsEvery := flag.Duration("stats", 0, "fleet stats report interval (0 = off)")
 	flag.Parse()
+
+	if *fleetMode {
+		if err := runFleet(*addr, *width, *height, *quality, *parallelism, *maxSessions, *idle, *statsEvery); err != nil {
+			fmt.Fprintln(os.Stderr, "gbooster-server:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	srv, err := gbooster.NewStreamServer(
 		gbooster.StreamServerConfig{Width: *width, Height: *height},
@@ -39,4 +57,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gbooster-server:", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet serves the multi-tenant mode, optionally sampling fleet
+// counters every statsEvery and printing a running report — live
+// session count plus the capacity-pressure signals (admission
+// rejections, GPU-gate queueing).
+func runFleet(addr string, width, height, quality, parallelism, maxSessions int, idle, statsEvery time.Duration) error {
+	fl, err := gbooster.NewFleet(
+		gbooster.FleetConfig{
+			Width:       width,
+			Height:      height,
+			MaxSessions: maxSessions,
+			IdleTimeout: idle,
+		},
+		gbooster.WithQuality(quality),
+		gbooster.WithParallelism(parallelism),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gbooster-server: fleet serving %dx%d on %s\n", width, height, addr)
+
+	if statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(statsEvery)
+			defer tick.Stop()
+			var col metrics.FleetCollector
+			for range tick.C {
+				st := fl.Stats()
+				col.Add(metrics.FleetSample{
+					Sessions:    st.Sessions,
+					Admitted:    st.Admitted,
+					Rejected:    st.Rejected,
+					NonProtocol: st.NonProtocol,
+					Frames:      st.Frames,
+					GateWaits:   st.GateWaits,
+				})
+				tot := col.Totals()
+				fmt.Printf("fleet: sessions=%d peak=%d frames=%d reject_rate=%.3f gate_wait_rate=%.3f non_protocol=%d\n",
+					st.Sessions, col.PeakSessions(), tot.Frames, col.RejectRate(), col.GateWaitRate(), tot.NonProtocol)
+			}
+		}()
+	}
+	return fl.Serve(addr)
 }

@@ -1,0 +1,87 @@
+package dispatch
+
+import (
+	"sync/atomic"
+)
+
+// Gate bounds how many sessions render on the shared GPU backend at
+// once — the fleet-side complement of Eq. 4's device picking. Where
+// dispatch.Pick spreads one user's requests over many service devices,
+// Gate schedules many users' requests onto one service device's
+// rasterizer: admission beyond the configured width queues (FIFO-ish,
+// via channel semantics) instead of oversubscribing the render workers
+// and thrashing every session's latency. CrystalGPU's batching insight
+// applies: a bounded number of large, back-to-back rasterizer runs
+// beats an unbounded number of interleaved ones.
+//
+// The zero-width Gate is unlimited: Enter/Leave become counters only,
+// so a fleet can run ungated and still report occupancy.
+type Gate struct {
+	slots chan struct{}
+
+	entries atomic.Int64 // total Enter calls admitted
+	waits   atomic.Int64 // Enter calls that found the gate full
+	active  atomic.Int64 // sessions currently inside
+}
+
+// NewGate builds a gate admitting at most width concurrent renders;
+// width <= 0 means unlimited.
+func NewGate(width int) *Gate {
+	g := &Gate{}
+	if width > 0 {
+		g.slots = make(chan struct{}, width)
+	}
+	return g
+}
+
+// Enter blocks until a render slot is free (or immediately if the gate
+// is unlimited), or until cancel is closed, in which case it reports
+// false and the caller must not render. A nil cancel never aborts.
+func (g *Gate) Enter(cancel <-chan struct{}) bool {
+	if g.slots != nil {
+		select {
+		case g.slots <- struct{}{}:
+		default:
+			// Full: record the contention, then wait for a slot.
+			g.waits.Add(1)
+			select {
+			case g.slots <- struct{}{}:
+			case <-cancel:
+				return false
+			}
+		}
+	}
+	g.entries.Add(1)
+	g.active.Add(1)
+	return true
+}
+
+// Leave releases the slot taken by a successful Enter.
+func (g *Gate) Leave() {
+	g.active.Add(-1)
+	if g.slots != nil {
+		<-g.slots
+	}
+}
+
+// GateStats is a point-in-time occupancy snapshot.
+type GateStats struct {
+	// Width is the configured concurrency bound (0 = unlimited).
+	Width int
+	// Entries counts renders admitted; Waits how many of those had to
+	// queue behind a full gate first — the fleet's GPU-contention
+	// signal.
+	Entries, Waits int64
+	// Active is the number of sessions rendering right now.
+	Active int64
+}
+
+// Stats returns the gate's counters.
+func (g *Gate) Stats() GateStats {
+	return GateStats{
+		Width:   cap(g.slots),
+		Entries: g.entries.Load(),
+		Waits:   g.waits.Load(),
+		Active:  g.active.Load(),
+	}
+}

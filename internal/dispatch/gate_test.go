@@ -1,0 +1,90 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const width = 3
+	g := NewGate(width)
+	var inside, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !g.Enter(nil) {
+				t.Error("Enter with nil cancel aborted")
+				return
+			}
+			n := inside.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond) // hold the slot
+			inside.Add(-1)
+			g.Leave()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > width {
+		t.Fatalf("observed %d concurrent renders through a width-%d gate", p, width)
+	}
+	st := g.Stats()
+	if st.Entries != 24 || st.Active != 0 || st.Width != width {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Waits == 0 {
+		t.Fatal("24 renders through 3 slots recorded zero waits")
+	}
+}
+
+func TestGateUnlimited(t *testing.T) {
+	g := NewGate(0)
+	for i := 0; i < 100; i++ {
+		if !g.Enter(nil) {
+			t.Fatal("unlimited gate blocked")
+		}
+	}
+	if st := g.Stats(); st.Active != 100 || st.Width != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	for i := 0; i < 100; i++ {
+		g.Leave()
+	}
+	if st := g.Stats(); st.Active != 0 {
+		t.Fatalf("active after drain = %d", st.Active)
+	}
+}
+
+func TestGateCancelWhileQueued(t *testing.T) {
+	g := NewGate(1)
+	if !g.Enter(nil) {
+		t.Fatal("first Enter failed")
+	}
+	cancel := make(chan struct{})
+	aborted := make(chan bool, 1)
+	go func() { aborted <- g.Enter(cancel) }()
+	time.Sleep(10 * time.Millisecond) // let it queue behind the full gate
+	close(cancel)
+	select {
+	case ok := <-aborted:
+		if ok {
+			t.Fatal("cancelled Enter reported admission")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Enter never returned")
+	}
+	g.Leave()
+	// The aborted waiter must not have consumed the slot.
+	if !g.Enter(nil) {
+		t.Fatal("slot leaked to a cancelled waiter")
+	}
+	g.Leave()
+}

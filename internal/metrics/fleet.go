@@ -1,0 +1,98 @@
+package metrics
+
+// FleetSample is one periodic snapshot of a multi-tenant fleet
+// manager's counters. Sessions is instantaneous; the rest are
+// cumulative since the fleet started serving.
+type FleetSample struct {
+	Sessions    int64
+	Admitted    int64
+	Rejected    int64
+	NonProtocol int64
+	Frames      int64
+	GateWaits   int64
+}
+
+// FleetCollector accumulates periodic fleet snapshots over a serving
+// span so capacity pressure (admission rejections, GPU-gate queueing)
+// can be separated from steady-state throughput in a report. Cumulative
+// fields are differenced first-to-last; Sessions is tracked for its
+// mean and peak.
+type FleetCollector struct {
+	count        int
+	first, last  FleetSample
+	sessionTotal int64
+	peakSessions int64
+}
+
+// Add records one snapshot.
+func (c *FleetCollector) Add(s FleetSample) {
+	if c.count == 0 {
+		c.first = s
+	}
+	c.last = s
+	c.count++
+	c.sessionTotal += s.Sessions
+	if s.Sessions > c.peakSessions {
+		c.peakSessions = s.Sessions
+	}
+}
+
+// Count returns the number of samples.
+func (c *FleetCollector) Count() int { return c.count }
+
+// Totals returns the cumulative activity across the sampled span (last
+// minus first snapshot); Sessions holds the last sample's live count.
+func (c *FleetCollector) Totals() FleetSample {
+	if c.count == 0 {
+		return FleetSample{}
+	}
+	return FleetSample{
+		Sessions:    c.last.Sessions,
+		Admitted:    c.last.Admitted - c.first.Admitted,
+		Rejected:    c.last.Rejected - c.first.Rejected,
+		NonProtocol: c.last.NonProtocol - c.first.NonProtocol,
+		Frames:      c.last.Frames - c.first.Frames,
+		GateWaits:   c.last.GateWaits - c.first.GateWaits,
+	}
+}
+
+// PeakSessions returns the highest live session count sampled.
+func (c *FleetCollector) PeakSessions() int64 { return c.peakSessions }
+
+// MeanSessions returns the mean live session count across samples.
+func (c *FleetCollector) MeanSessions() float64 {
+	if c.count == 0 {
+		return 0
+	}
+	return float64(c.sessionTotal) / float64(c.count)
+}
+
+// RejectRate returns the fraction of admission decisions in the span
+// that were refusals, in [0,1] — sustained nonzero values mean the
+// fleet is turning clients away and MaxSessions (or capacity) is the
+// binding constraint.
+func (c *FleetCollector) RejectRate() float64 {
+	t := c.Totals()
+	if total := t.Admitted + t.Rejected; total > 0 {
+		return float64(t.Rejected) / float64(total)
+	}
+	return 0
+}
+
+// GateWaitRate returns the fraction of frames in the span that queued
+// for the GPU gate before rendering — the fleet's render-contention
+// signal.
+func (c *FleetCollector) GateWaitRate() float64 {
+	t := c.Totals()
+	if t.Frames > 0 {
+		return float64(t.GateWaits) / float64(t.Frames)
+	}
+	return 0
+}
+
+// Clean reports whether the sampled span saw no capacity pressure:
+// no rejections and no gate queueing.
+func (c *FleetCollector) Clean() bool {
+	t := c.Totals()
+	return t.Rejected == 0 && t.GateWaits == 0
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import "testing"
+
+func TestFleetCollectorTotalsAndRates(t *testing.T) {
+	var c FleetCollector
+	if c.Count() != 0 || c.Totals() != (FleetSample{}) || !c.Clean() {
+		t.Fatalf("zero collector not empty: %+v", c.Totals())
+	}
+	c.Add(FleetSample{Sessions: 10, Admitted: 10, Frames: 100})
+	c.Add(FleetSample{Sessions: 40, Admitted: 50, Rejected: 10, NonProtocol: 3, Frames: 500, GateWaits: 40})
+	c.Add(FleetSample{Sessions: 20, Admitted: 70, Rejected: 30, NonProtocol: 5, Frames: 900, GateWaits: 100})
+	if c.Count() != 3 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	tot := c.Totals()
+	want := FleetSample{Sessions: 20, Admitted: 60, Rejected: 30, NonProtocol: 5, Frames: 800, GateWaits: 100}
+	if tot != want {
+		t.Fatalf("totals = %+v, want %+v", tot, want)
+	}
+	if c.PeakSessions() != 40 {
+		t.Fatalf("peak = %d, want 40", c.PeakSessions())
+	}
+	if got, want := c.MeanSessions(), float64(10+40+20)/3; got != want {
+		t.Fatalf("mean sessions = %v, want %v", got, want)
+	}
+	// 30 rejections out of 90 admission decisions.
+	if got := c.RejectRate(); got < 0.333 || got > 0.334 {
+		t.Fatalf("reject rate = %v, want ~1/3", got)
+	}
+	// 100 gate waits over 800 frames.
+	if got := c.GateWaitRate(); got != 0.125 {
+		t.Fatalf("gate wait rate = %v, want 0.125", got)
+	}
+	if c.Clean() {
+		t.Fatal("span with rejections and gate waits reported clean")
+	}
+}
+
+func TestFleetCollectorClean(t *testing.T) {
+	var c FleetCollector
+	c.Add(FleetSample{Sessions: 2, Admitted: 2, Frames: 10})
+	c.Add(FleetSample{Sessions: 2, Admitted: 2, Frames: 50})
+	if !c.Clean() {
+		t.Fatalf("pressure-free span not clean: %+v", c.Totals())
+	}
+	if c.RejectRate() != 0 || c.GateWaitRate() != 0 {
+		t.Fatalf("rates nonzero on clean span")
+	}
+}

@@ -209,6 +209,15 @@ func (l *LinkConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	return len(p), nil
 }
 
+// InjectFrom surfaces data at this endpoint's ReadFrom as if it had
+// arrived from an arbitrary source address — an off-path datagram the
+// link peer never sent. It is the spoofing fault injector for testing
+// source-address validation: a transport that trusts every datagram on
+// its socket will process the forgery as peer traffic.
+func (l *LinkConn) InjectFrom(from net.Addr, data []byte) {
+	l.deliver(linkPacket{data: append([]byte(nil), data...), from: from})
+}
+
 // deliver enqueues a packet under the receiver's lock so a concurrent
 // Close cannot race the channel send. A full queue behaves like a
 // receive-buffer drop.

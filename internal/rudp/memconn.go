@@ -2,6 +2,7 @@ package rudp
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -37,6 +38,10 @@ type MemConn struct {
 	queue    chan memPacket
 	closed   bool
 	deadline time.Time
+	// rtimer is ReadFrom's reusable deadline timer, parked here stopped
+	// and drained between calls. A fleet of connections polling with
+	// short deadlines would otherwise allocate one timer per poll.
+	rtimer *time.Timer
 
 	loss float64
 	rng  *sim.RNG
@@ -69,6 +74,39 @@ func NewMemPair(loss float64, seed uint64) (*MemConn, *MemConn) {
 	a.peers = map[string]*MemConn{string(b.addr): b}
 	b.peers = map[string]*MemConn{string(a.addr): a}
 	return a, b
+}
+
+// NewMemHub returns a hub conn connected to n leaf conns — a star
+// network standing in for one UDP listener serving many remote peers.
+// Every leaf writes to the hub (and only the hub); the hub reaches any
+// leaf by address. The hub's queue is sized for the fan-in so n leaves
+// bursting at once don't overflow it into phantom drops.
+func NewMemHub(n int, loss float64, seed uint64) (*MemConn, []*MemConn) {
+	rng := sim.NewRNG(seed)
+	cap := 4096
+	if c := n * 64; c > cap {
+		cap = c
+	}
+	hub := &MemConn{
+		addr:  "mem-hub",
+		queue: make(chan memPacket, cap),
+		loss:  loss,
+		rng:   rng.Fork(),
+		peers: make(map[string]*MemConn, n),
+	}
+	leaves := make([]*MemConn, n)
+	for i := range leaves {
+		leaf := &MemConn{
+			addr:  memAddr(fmt.Sprintf("mem-leaf-%d", i)),
+			queue: make(chan memPacket, 4096),
+			loss:  loss,
+			rng:   rng.Fork(),
+			peers: map[string]*MemConn{string(hub.addr): hub},
+		}
+		hub.peers[string(leaf.addr)] = leaf
+		leaves[i] = leaf
+	}
+	return hub, leaves
 }
 
 // LocalAddr implements net.PacketConn.
@@ -143,6 +181,11 @@ func (m *MemConn) deliver(pkt memPacket) bool {
 	}
 }
 
+// errReadTimeout is the shared deadline-expiry error: returning a
+// fresh &timeoutError{} per expired poll is pure garbage at fleet
+// polling rates.
+var errReadTimeout net.Error = &timeoutError{}
+
 // ReadFrom implements net.PacketConn honoring the read deadline.
 func (m *MemConn) ReadFrom(p []byte) (int, net.Addr, error) {
 	m.mu.Lock()
@@ -153,26 +196,60 @@ func (m *MemConn) ReadFrom(p []byte) (int, net.Addr, error) {
 	deadline := m.deadline
 	m.mu.Unlock()
 
+	var t *time.Timer
 	var timer <-chan time.Time
 	if !deadline.IsZero() {
 		d := time.Until(deadline)
 		if d <= 0 {
-			return 0, nil, &timeoutError{}
+			return 0, nil, errReadTimeout
 		}
-		t := time.NewTimer(d)
-		defer t.Stop()
+		// Borrow the parked timer (stopped and drained by whoever
+		// parked it); a concurrent second reader just allocates.
+		m.mu.Lock()
+		t = m.rtimer
+		m.rtimer = nil
+		m.mu.Unlock()
+		if t == nil {
+			t = time.NewTimer(d)
+		} else {
+			t.Reset(d)
+		}
 		timer = t.C
 	}
+	var (
+		n    int
+		from net.Addr
+		err  error
+	)
+	fired := false
 	select {
 	case pkt, ok := <-m.queue:
 		if !ok {
-			return 0, nil, errMemClosed
+			err = errMemClosed
+		} else {
+			n = copy(p, pkt.data)
+			from = pkt.from
 		}
-		n := copy(p, pkt.data)
-		return n, pkt.from, nil
 	case <-timer:
-		return 0, nil, &timeoutError{}
+		fired = true
+		err = errReadTimeout
 	}
+	if t != nil {
+		// Park the timer stopped and drained so the next borrower can
+		// Reset it safely (pre-1.23 timer semantics).
+		if !t.Stop() && !fired {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		m.mu.Lock()
+		if m.rtimer == nil {
+			m.rtimer = t
+		}
+		m.mu.Unlock()
+	}
+	return n, from, err
 }
 
 // Close implements net.PacketConn.

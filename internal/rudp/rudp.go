@@ -157,6 +157,11 @@ type Stats struct {
 	// FramingErrors counts corrupt length prefixes that forced a stream
 	// resync on the receive side.
 	FramingErrors int64
+	// StrayPackets counts datagrams dropped because their source
+	// address did not match the registered peer. Without this check any
+	// off-path datagram arriving on the socket would be processed as if
+	// it came from the peer and could corrupt ACK/sequence state.
+	StrayPackets int64
 
 	// Gauges sampled at Stats() time.
 
@@ -215,11 +220,32 @@ type rsPkt struct {
 	buf *[]byte
 }
 
+// IsProtocolDatagram reports whether b looks like a rudp wire datagram:
+// a complete header carrying the protocol magic and a known packet
+// type. Accept paths use it to avoid binding a session to the sender of
+// a stray non-protocol datagram, and demultiplexers use it to gate
+// session admission.
+func IsProtocolDatagram(b []byte) bool {
+	return len(b) >= headerSize && b[0] == magicByte &&
+		(b[1] == typeData || b[1] == typeAck)
+}
+
 // Conn is one reliable, ordered message channel to a single peer.
 type Conn struct {
 	pc   net.PacketConn
 	peer net.Addr
 	opts Options
+
+	// peerStr caches peer.String() for source-address validation in
+	// readLoop, so the comparison fall-back allocates nothing per
+	// datagram on the expected side.
+	peerStr string
+	// ownsSocket: Close closes pc. False in demuxed mode, where pc is a
+	// listener shared by many connections and owned by the demultiplexer.
+	ownsSocket bool
+	// wheel, when non-nil, drives this connection's retransmission
+	// timer instead of a dedicated retransmitLoop goroutine.
+	wheel *Wheel
 
 	// sendMu serializes whole-message framing: fragments of one Send
 	// must occupy a contiguous run of the sequence space or the
@@ -294,9 +320,32 @@ type Conn struct {
 // New wraps pc into a reliable message channel to peer and starts the
 // receive and retransmit loops. Close must be called to release them.
 func New(pc net.PacketConn, peer net.Addr, opts Options) *Conn {
+	c := newConn(pc, peer, opts)
+	c.ownsSocket = true
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.retransmitLoop()
+	return c
+}
+
+// NewDemuxed builds a connection in injection-driven mode for a shared
+// listener: it runs NO goroutines of its own. Inbound datagrams arrive
+// via Inject from the demultiplexer that owns pc (which MUST validate
+// the source address before injecting — Inject trusts its caller), and
+// the retransmission timer is driven by wheel. Close releases the
+// connection's wheel slot but leaves pc open: the listener is shared
+// by every session demuxed onto it.
+func NewDemuxed(pc net.PacketConn, peer net.Addr, opts Options, wheel *Wheel) *Conn {
+	c := newConn(pc, peer, opts)
+	c.wheel = wheel
+	return c
+}
+
+func newConn(pc net.PacketConn, peer net.Addr, opts Options) *Conn {
 	c := &Conn{
 		pc:      pc,
 		peer:    peer,
+		peerStr: peer.String(),
 		opts:    opts.withDefaults(),
 		unacked: make(map[uint32]*pending),
 		recvBuf: make(map[uint32][]byte),
@@ -306,18 +355,22 @@ func New(pc net.PacketConn, peer net.Addr, opts Options) *Conn {
 	}
 	c.rto = c.opts.RTO
 	c.sendSlot = sync.NewCond(&c.mu)
-	c.wg.Add(2)
-	go c.readLoop()
-	go c.retransmitLoop()
 	return c
 }
 
-// Close shuts the connection down and waits for its goroutines. The
-// underlying PacketConn is closed too.
+// Close shuts the connection down and waits for its goroutines. A
+// connection that owns its socket (New) closes the underlying
+// PacketConn too; a demuxed connection leaves the shared listener open
+// and deregisters from its timer wheel instead.
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.done)
-		c.closeErr = c.pc.Close()
+		if c.ownsSocket {
+			c.closeErr = c.pc.Close()
+		}
+		if c.wheel != nil {
+			c.wheel.remove(c)
+		}
 		c.mu.Lock()
 		c.sendSlot.Broadcast()
 		c.mu.Unlock()
@@ -416,10 +469,15 @@ func (c *Conn) sendDatagram(payload []byte) error {
 	p.payload = append(p.payload[:0], payload...)
 	p.lastSent = now
 	c.unacked[seq] = p
+	var armed time.Time
 	if c.timerDeadline.IsZero() {
 		c.timerDeadline = now.Add(c.backoffRTOLocked(c.rtxBackoff))
+		armed = c.timerDeadline
 	}
 	c.mu.Unlock()
+	if c.wheel != nil && !armed.IsZero() {
+		c.wheel.schedule(c, armed)
+	}
 
 	// sendDatagram runs only under sendMu (from Send), so the packet
 	// scratch is race-free without holding mu across the socket write.
@@ -499,15 +557,41 @@ func (c *Conn) readLoop() {
 	buf := make([]byte, 65536)
 	for !c.isClosed() {
 		_ = c.pc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
-		n, _, err := c.pc.ReadFrom(buf)
+		n, from, err := c.pc.ReadFrom(buf)
 		if err != nil {
 			if isTimeout(err) {
 				continue
 			}
 			return // closed or fatal
 		}
+		// The socket is unconnected: any host can land a datagram on
+		// it. Processing one from the wrong source as if it came from
+		// the peer would corrupt ACK and sequence state, so validate
+		// before parsing.
+		if from != nil && !addrEqual(from, c.peer, c.peerStr) {
+			c.mu.Lock()
+			c.stats.StrayPackets++
+			c.mu.Unlock()
+			continue
+		}
 		c.Inject(buf[:n])
 	}
+}
+
+// addrEqual reports whether from is the registered peer. The typed
+// *net.UDPAddr comparison avoids the per-datagram allocation that
+// from.String() would cost on the hot read path; peerStr covers
+// mixed-type pairs (e.g. a simulator address vs. a real one).
+func addrEqual(from, peer net.Addr, peerStr string) bool {
+	if from == peer {
+		return true
+	}
+	fu, fok := from.(*net.UDPAddr)
+	pu, pok := peer.(*net.UDPAddr)
+	if fok && pok {
+		return fu.Port == pu.Port && fu.IP.Equal(pu.IP) && fu.Zone == pu.Zone
+	}
+	return from.String() == peerStr
 }
 
 // Inject processes one raw datagram as if it had arrived on the socket.
@@ -756,7 +840,14 @@ func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
 			}
 		}
 	}
+	wheelDeadline := c.timerDeadline
 	c.mu.Unlock()
+	if c.wheel != nil && !wheelDeadline.IsZero() {
+		// Earliest-wins scheduling makes a later deadline a no-op and a
+		// cleared timer need nothing: a stale wheel entry fires, sees no
+		// expired work, and drops out on its own.
+		c.wheel.schedule(c, wheelDeadline)
+	}
 
 	okCount, okBytes := c.writeStaged(resends)
 	if okCount > 0 {
@@ -845,6 +936,35 @@ func (c *Conn) backoffRTOLocked(rtx int) time.Duration {
 		rto = c.opts.MaxRTO
 	}
 	return rto
+}
+
+// timerCheck is the wheel-driven equivalent of one retransmitLoop
+// iteration: run any expired retransmission work and report when the
+// wheel should next check this connection. A zero return means no timer
+// is armed (nothing in flight, or the connection closed) and the wheel
+// forgets the connection until a send re-arms it.
+func (c *Conn) timerCheck(now time.Time) time.Time {
+	if c.isClosed() {
+		return time.Time{}
+	}
+	if c.opts.FixedRTO {
+		// Legacy baseline: per-datagram fixed timers have no single
+		// deadline to chase, so poll at RTO/4 while data is in flight,
+		// exactly like the ticker it replaces.
+		c.retransmitDueFixed()
+		c.mu.Lock()
+		inflight := len(c.unacked) > 0
+		c.mu.Unlock()
+		if !inflight {
+			return time.Time{}
+		}
+		return now.Add(c.opts.RTO / 4)
+	}
+	c.retransmitOldestExpired()
+	c.mu.Lock()
+	next := c.timerDeadline
+	c.mu.Unlock()
+	return next
 }
 
 func (c *Conn) retransmitLoop() {
@@ -941,6 +1061,12 @@ func (c *Conn) retransmitOldestExpired() {
 }
 
 func isTimeout(err error) bool {
+	// Direct assertion first: errors.As takes the target's address and
+	// costs an allocation per call, which the 20Hz-per-connection read
+	// poll turns into measurable garbage at fleet scale.
+	if ne, ok := err.(net.Error); ok {
+		return ne.Timeout()
+	}
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
 }

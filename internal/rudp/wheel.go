@@ -1,0 +1,173 @@
+package rudp
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultWheelTick is the wheel's default timer resolution. It matches
+// the promptness of the per-connection retransmit ticker it replaces
+// (which woke every MinRTO/4 ≥ 1ms): an expiry is noticed within one
+// tick of its deadline.
+const DefaultWheelTick = time.Millisecond
+
+// Wheel is a hashed timer wheel driving the retransmission timers of
+// many connections from a single goroutine. A fleet of demuxed Conns
+// (NewDemuxed) shares one Wheel instead of running one retransmitLoop
+// ticker each — with a thousand sessions that is one timer goroutine
+// waking per tick rather than a thousand waking every MinRTO/4
+// forever, whether or not any data is in flight.
+//
+// Scheduling is earliest-wins and at-or-after: a connection occupies at
+// most one slot, keyed by the absolute tick just past its deadline, and
+// re-arming with a later deadline is a no-op (the early firing simply
+// observes an unexpired timer and re-schedules itself for the real
+// deadline). Connections with no timer armed occupy no slot at all, so
+// an idle fleet costs the wheel nothing but the tick.
+type Wheel struct {
+	tick  time.Duration
+	start time.Time
+
+	mu sync.Mutex
+	// slots[i] holds the connections scheduled for any absolute tick t
+	// with t % len(slots) == i (the "hashed" part: far-future deadlines
+	// share a slot with near ones and are skipped until their tick
+	// comes around). The map value is the connection's absolute tick.
+	slots []map[*Conn]int64
+	sched map[*Conn]int64 // conn -> absolute tick it occupies
+	cur   int64           // last absolute tick already fired
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewWheel starts a timer wheel with the given resolution and slot
+// count (rounded up to a power of two). tick <= 0 selects
+// DefaultWheelTick; slots <= 0 selects 512. Close must be called to
+// stop its goroutine.
+func NewWheel(tick time.Duration, slots int) *Wheel {
+	if tick <= 0 {
+		tick = DefaultWheelTick
+	}
+	if slots <= 0 {
+		slots = 512
+	}
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	w := &Wheel{
+		tick:  tick,
+		start: time.Now(),
+		slots: make([]map[*Conn]int64, n),
+		sched: make(map[*Conn]int64),
+		done:  make(chan struct{}),
+	}
+	for i := range w.slots {
+		w.slots[i] = make(map[*Conn]int64)
+	}
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+// Close stops the wheel goroutine. Connections still registered are
+// simply no longer driven; close them first.
+func (w *Wheel) Close() {
+	w.closeOnce.Do(func() {
+		close(w.done)
+		w.wg.Wait()
+	})
+}
+
+// Len reports how many connections currently have a timer scheduled —
+// the wheel's live footprint, for tests and stats.
+func (w *Wheel) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sched)
+}
+
+// Tick returns the wheel's resolution.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// tickIndex maps an instant to an absolute tick number.
+func (w *Wheel) tickIndex(t time.Time) int64 {
+	d := t.Sub(w.start)
+	if d < 0 {
+		d = 0
+	}
+	return int64(d / w.tick)
+}
+
+// schedule arms c's next expiry check at or just after deadline.
+// Earliest wins: if c is already scheduled sooner (or at the same
+// tick), nothing changes — the earlier firing re-schedules for the
+// true deadline if the timer hasn't actually expired yet.
+func (w *Wheel) schedule(c *Conn, deadline time.Time) {
+	idx := w.tickIndex(deadline) + 1 // first tick past the deadline
+	w.mu.Lock()
+	if idx <= w.cur {
+		idx = w.cur + 1
+	}
+	if old, ok := w.sched[c]; ok {
+		if old <= idx {
+			w.mu.Unlock()
+			return
+		}
+		delete(w.slots[old&int64(len(w.slots)-1)], c)
+	}
+	w.sched[c] = idx
+	w.slots[idx&int64(len(w.slots)-1)][c] = idx
+	w.mu.Unlock()
+}
+
+// remove drops c from the wheel (connection closing).
+func (w *Wheel) remove(c *Conn) {
+	w.mu.Lock()
+	if old, ok := w.sched[c]; ok {
+		delete(w.sched, c)
+		delete(w.slots[old&int64(len(w.slots)-1)], c)
+	}
+	w.mu.Unlock()
+}
+
+func (w *Wheel) run() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.tick)
+	defer ticker.Stop()
+	var fired []*Conn
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		target := w.tickIndex(now)
+		fired = fired[:0]
+		w.mu.Lock()
+		// Catch up every tick the ticker may have coalesced; entries
+		// hashed into a slot for a later revolution stay put.
+		for w.cur < target {
+			w.cur++
+			slot := w.slots[w.cur&int64(len(w.slots)-1)]
+			for c, at := range slot {
+				if at == w.cur {
+					delete(slot, c)
+					delete(w.sched, c)
+					fired = append(fired, c)
+				}
+			}
+		}
+		w.mu.Unlock()
+		// Expiry processing runs outside the wheel lock: timerCheck
+		// takes the connection's own lock and may write to the socket.
+		for _, c := range fired {
+			if next := c.timerCheck(now); !next.IsZero() {
+				w.schedule(c, next)
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Multi-tenant fleet benchmark: steady-state per-frame service cost of
+# the shared-listener session manager at 1, 64, and 1024 concurrent
+# sessions. ns/op is ns/frame (one frame served per iteration); the
+# acceptance criteria read off the two extra series: allocs/op must stay
+# flat across session counts (no per-session-count work on the frame
+# path) and goroutines/session must stay O(1) — one serve goroutine per
+# session, with demux, retransmission timing, and GPU scheduling
+# amortized over the whole fleet. Results land in BENCH_fleet.json.
+#
+#   BENCHTIME=1x sh scripts/bench_fleet.sh   # smoke run (check.sh)
+#   sh scripts/bench_fleet.sh                # full 500-frame-per-series run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-500x}"
+OUT="${OUT:-BENCH_fleet.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFleetServe' -benchmem \
+	-benchtime "$BENCHTIME" ./internal/fleet/ | tee "$tmp"
+
+go run ./scripts/benchjson -o "$OUT" <"$tmp"
+echo "wrote $OUT"

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -50,6 +51,28 @@ type uplinkSummary struct {
 	ReductionPct    float64 `json:"reduction_pct"`
 }
 
+// fleetPoint is one `<name>/sessions=N` series entry: per-frame service
+// time, steady-state allocations, and the fleet-side goroutine cost of
+// a session.
+type fleetPoint struct {
+	NsPerFrame           float64 `json:"ns_per_frame"`
+	AllocsPerOp          float64 `json:"allocs_per_op"`
+	GoroutinesPerSession float64 `json:"goroutines_per_session"`
+}
+
+// fleetSummary aggregates a `<name>/sessions=N` family. The scaling
+// acceptance criteria read directly off it: alloc_spread_pct is the
+// max-over-min allocs/op spread across session counts (flat means the
+// per-frame path does no per-session-count work), and
+// max_goroutines_per_session proves the O(1)-goroutines-per-session
+// claim at every scale.
+type fleetSummary struct {
+	Benchmark               string                `json:"benchmark"`
+	Sessions                map[string]fleetPoint `json:"sessions"`
+	AllocSpreadPct          float64               `json:"alloc_spread_pct"`
+	MaxGoroutinesPerSession float64               `json:"max_goroutines_per_session"`
+}
+
 type report struct {
 	Date       string          `json:"date"`
 	NCPU       int             `json:"ncpu"`
@@ -60,6 +83,7 @@ type report struct {
 	Benchmarks []benchResult   `json:"benchmarks"`
 	Speedups   []speedup       `json:"speedups,omitempty"`
 	Uplink     []uplinkSummary `json:"uplink,omitempty"`
+	Fleet      []fleetSummary  `json:"fleet,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result row; the trailing
@@ -73,6 +97,9 @@ var parFamily = regexp.MustCompile(`^(.+)/par=(\d+)$`)
 
 // dictFamily splits `<prefix>/dict=on|off` benchmark names.
 var dictFamily = regexp.MustCompile(`^(.+)/dict=(on|off)$`)
+
+// sessionsFamily splits `<prefix>/sessions=<N>` benchmark names.
+var sessionsFamily = regexp.MustCompile(`^(.+)/sessions=(\d+)$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
@@ -188,6 +215,46 @@ func main() {
 	}
 	sort.Slice(uplinks, func(i, j int) bool { return uplinks[i].Benchmark < uplinks[j].Benchmark })
 
+	// Group `<prefix>/sessions=N` multi-tenant scaling families: ns/op is
+	// ns/frame (the bench loop serves one frame per iteration), allocs/op
+	// and goroutines/session come off the result row's metrics.
+	fleetFamilies := map[string]map[string]fleetPoint{}
+	for _, r := range results {
+		m := sessionsFamily.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		if fleetFamilies[m[1]] == nil {
+			fleetFamilies[m[1]] = map[string]fleetPoint{}
+		}
+		fleetFamilies[m[1]][m[2]] = fleetPoint{
+			NsPerFrame:           r.NsPerOp,
+			AllocsPerOp:          r.Metrics["allocs/op"],
+			GoroutinesPerSession: r.Metrics["goroutines/session"],
+		}
+	}
+	var fleets []fleetSummary
+	for prefix, series := range fleetFamilies {
+		s := fleetSummary{Benchmark: prefix, Sessions: series}
+		minA, maxA := math.Inf(1), math.Inf(-1)
+		for _, p := range series {
+			if p.AllocsPerOp < minA {
+				minA = p.AllocsPerOp
+			}
+			if p.AllocsPerOp > maxA {
+				maxA = p.AllocsPerOp
+			}
+			if p.GoroutinesPerSession > s.MaxGoroutinesPerSession {
+				s.MaxGoroutinesPerSession = p.GoroutinesPerSession
+			}
+		}
+		if minA > 0 {
+			s.AllocSpreadPct = 100 * (maxA - minA) / minA
+		}
+		fleets = append(fleets, s)
+	}
+	sort.Slice(fleets, func(i, j int) bool { return fleets[i].Benchmark < fleets[j].Benchmark })
+
 	rep := report{
 		Date:   time.Now().UTC().Format(time.RFC3339),
 		NCPU:   runtime.NumCPU(),
@@ -201,6 +268,7 @@ func main() {
 		Benchmarks: results,
 		Speedups:   speedups,
 		Uplink:     uplinks,
+		Fleet:      fleets,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -11,6 +11,15 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -short ./internal/rudp/... ./internal/core/...
+# Fleet soak under the race detector: 64 sessions with churn and crash
+# injection demuxed over one listener, plus the dispatch gate. The
+# demux loop, timer wheel, admission path, and idle reaper all
+# interleave here.
+go test -race -short ./internal/fleet/... ./internal/dispatch/...
+# Peer-validation regression gates: the stray-peer datagram drop in the
+# transport read loop, the garbage-first-datagram accept check, and the
+# absolute accept deadline.
+go test -race -run 'Stray|GarbageFirstDatagram|AcceptDeadline' ./internal/rudp/... .
 # Device-crash failover soaks under the race detector: the blackhole
 # fault injector plus the client's failover loop are the most
 # contended paths in the tree.
@@ -38,3 +47,7 @@ BENCHTIME=1x OUT=/tmp/BENCH_uplink.smoke.json sh scripts/bench_uplink.sh
 # and the BENCH_handoff.json summary still build. Full numbers come
 # from running scripts/bench_handoff.sh without BENCHTIME.
 BENCHTIME=1x OUT=/tmp/BENCH_handoff.smoke.json sh scripts/bench_handoff.sh
+# Fleet benchmark smoke: proves the sessions=1/64/1024 scaling series
+# and the BENCH_fleet.json summary still build. Full numbers come from
+# running scripts/bench_fleet.sh without BENCHTIME.
+BENCHTIME=1x OUT=/tmp/BENCH_fleet.smoke.json sh scripts/bench_fleet.sh

@@ -86,11 +86,20 @@ type StreamServerConfig struct {
 type StreamServer struct {
 	srv *core.Server
 
+	// acceptTimeout bounds ServeUDP's total wait for the first client
+	// datagram — total, not per-datagram: stray traffic rejected by the
+	// protocol check must not keep pushing the deadline out forever.
+	acceptTimeout time.Duration
+
 	mu     sync.Mutex
 	pc     net.PacketConn // ServeUDP's listener while awaiting a client
 	conn   *rudp.Conn
 	closed bool
 }
+
+// defaultAcceptTimeout is how long ServeUDP waits in total for the
+// first protocol datagram before giving up.
+const defaultAcceptTimeout = 5 * time.Minute
 
 // NewStreamServer builds a server rendering at cfg's resolution,
 // tuned by opts (quality, parallelism, diff threshold, pipeline
@@ -162,28 +171,44 @@ func (s *StreamServer) ServeUDP(addr string) error {
 	}
 	s.pc = pc
 	s.mu.Unlock()
-	// Peek the first datagram to learn the client address, then hand
-	// both the socket and the datagram to the reliable layer — dropping
-	// it would open every session with a guaranteed retransmit and a
-	// duplicate delivery.
+	// Peek for the first *protocol* datagram to learn the client
+	// address, then hand both the socket and the datagram to the
+	// reliable layer — dropping it would open every session with a
+	// guaranteed retransmit and a duplicate delivery. A datagram that
+	// doesn't carry the GBooster magic must NOT adopt the sender as the
+	// session peer: a UDP port scan or any stray packet arriving before
+	// the real client would otherwise bind the session to the wrong
+	// address and strand the client. Rejected datagrams are dropped and
+	// the wait continues against one absolute deadline, so junk traffic
+	// cannot extend the accept window indefinitely.
+	timeout := s.acceptTimeout
+	if timeout <= 0 {
+		timeout = defaultAcceptTimeout
+	}
+	acceptBy := time.Now().Add(timeout)
 	buf := make([]byte, 65536)
-	if err := pc.SetReadDeadline(time.Now().Add(5 * time.Minute)); err != nil {
-		return fmt.Errorf("gbooster: deadline: %w", err)
-	}
-	n, peer, err := pc.ReadFrom(buf)
-	s.mu.Lock()
-	s.pc = nil // serveConn's reliable layer owns the socket from here
-	closed := s.closed
-	s.mu.Unlock()
-	if err != nil {
-		_ = pc.Close()
-		if closed {
-			return ErrServerClosed
+	for {
+		if err := pc.SetReadDeadline(acceptBy); err != nil {
+			return fmt.Errorf("gbooster: deadline: %w", err)
 		}
-		return fmt.Errorf("gbooster: first packet: %w", err)
+		n, peer, err := pc.ReadFrom(buf)
+		if err == nil && !rudp.IsProtocolDatagram(buf[:n]) {
+			continue // not a client; keep waiting out the same deadline
+		}
+		s.mu.Lock()
+		s.pc = nil // serveConn's reliable layer owns the socket from here
+		closed := s.closed
+		s.mu.Unlock()
+		if err != nil {
+			_ = pc.Close()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("gbooster: first packet: %w", err)
+		}
+		_ = pc.SetReadDeadline(time.Time{})
+		return s.serveConn(pc, peer, buf[:n])
 	}
-	_ = pc.SetReadDeadline(time.Time{})
-	return s.serveConn(pc, peer, buf[:n])
 }
 
 // TransportStats returns the server-side transport health snapshot of
