@@ -140,11 +140,26 @@ type Stats struct {
 }
 
 // session is one admitted client: its demuxed transport state and its
-// private render/cache/codec state.
+// private render/cache/codec state. srv is nil until the peer's first
+// complete framed message (lazy allocation — see admit) and is touched
+// only by the session's own runSession goroutine.
 type session struct {
 	key  string
 	conn *rudp.Conn
 	srv  *core.Server
+}
+
+// newSessionServer builds one session's render/codec/cache state.
+func (m *Manager) newSessionServer() (*core.Server, error) {
+	return core.NewServer(core.ServerConfig{
+		Width:         m.cfg.Width,
+		Height:        m.cfg.Height,
+		Quality:       m.cfg.Quality,
+		CacheBytes:    m.cfg.CacheBytes,
+		Parallelism:   m.cfg.Parallelism,
+		DiffThreshold: m.cfg.DiffThreshold,
+		PipelineDepth: -1, // sessions are serial; overlap comes from the fleet
+	})
 }
 
 type shard struct {
@@ -275,6 +290,12 @@ func (m *Manager) lookup(key string) *session {
 // happens here structurally, because routing *is* source matching. A
 // datagram from an unknown peer is an admission request; one without
 // the protocol magic is dropped before it can allocate anything.
+//
+// This goroutine must never block on a session: Conn.Inject refuses
+// (rather than queues or waits on) data its Recv queue can't absorb,
+// so a session whose consumer is stalled — even one wedged in Send
+// waiting for window space only our ACK delivery can free — slows
+// only itself while the pump keeps serving the other sessions.
 func (m *Manager) demuxLoop() {
 	defer m.wg.Done()
 	buf := make([]byte, 65536)
@@ -312,31 +333,36 @@ func (m *Manager) demuxLoop() {
 }
 
 // admit creates and registers a session for a new peer, enforcing the
-// MaxSessions cap. The session's serve goroutine starts here.
+// MaxSessions cap. The session's serve goroutine starts here. Only
+// transport state is allocated at admission: the heavy render/codec/
+// cache server is built lazily in runSession once the peer completes a
+// full framed message, so a single spoofed-source datagram costs the
+// fleet a Conn, not a core.Server (see DESIGN.md §13 on the residual
+// capacity exposure).
 func (m *Manager) admit(peer net.Addr, key string) (*session, error) {
 	if m.count.Load() >= int64(m.cfg.MaxSessions) {
 		m.rejected.Add(1)
 		return nil, ErrOverCapacity
 	}
-	srv, err := core.NewServer(core.ServerConfig{
-		Width:         m.cfg.Width,
-		Height:        m.cfg.Height,
-		Quality:       m.cfg.Quality,
-		CacheBytes:    m.cfg.CacheBytes,
-		Parallelism:   m.cfg.Parallelism,
-		DiffThreshold: m.cfg.DiffThreshold,
-		PipelineDepth: -1, // sessions are serial; overlap comes from the fleet
-	})
-	if err != nil {
-		return nil, err
-	}
 	s := &session{
 		key:  key,
 		conn: rudp.NewDemuxed(m.pc, peer, m.cfg.Transport, m.wheel),
-		srv:  srv,
 	}
 	sh := m.shardFor(key)
 	sh.mu.Lock()
+	select {
+	case <-m.done:
+		// A concurrent Close may already have swept this shard;
+		// registering now would leave a session signalClose never
+		// closes, parking its goroutine in Recv until IdleTimeout and
+		// stalling Close/Wait that whole time. The shard lock orders
+		// this check against the sweep: either the sweep sees our entry,
+		// or we see done closed.
+		sh.mu.Unlock()
+		_ = s.conn.Close()
+		return nil, ErrClosed
+	default:
+	}
 	sh.m[key] = s
 	sh.mu.Unlock()
 	n := m.count.Add(1)
@@ -365,6 +391,18 @@ func (m *Manager) runSession(s *session) {
 		msg, err := s.conn.Recv(m.cfg.IdleTimeout)
 		if err != nil {
 			return // closed, or idle past the reap deadline
+		}
+		if s.srv == nil {
+			// First complete framed message: the peer has proven it
+			// speaks the protocol end to end, so now pay for the render/
+			// codec/cache state. Admission alone (one datagram bearing
+			// the magic, source trivially spoofable) buys only the
+			// session's transport state.
+			srv, err := m.newSessionServer()
+			if err != nil {
+				return
+			}
+			s.srv = srv
 		}
 		if !m.gate.Enter(m.done) {
 			return // manager shutting down while queued for the GPU

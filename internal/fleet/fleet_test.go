@@ -137,6 +137,44 @@ func TestFleetDropsNonProtocolDatagrams(t *testing.T) {
 	}
 }
 
+// TestFleetCloseDuringAdmission races Close against a first-datagram
+// admission. If admit registers a session after signalClose's shard
+// sweep, nothing ever closes that session's conn: its goroutine parks
+// in Recv for the full IdleTimeout (2 minutes at defaults) and
+// Close/Wait stall behind it. With the done re-check under the shard
+// lock, Close must return promptly on every phase of the race.
+func TestFleetCloseDuringAdmission(t *testing.T) {
+	iters := 50
+	if testing.Short() {
+		iters = 10
+	}
+	for i := 0; i < iters; i++ {
+		hub, leaves := rudp.NewMemHub(1, 0, uint64(900+i))
+		m, err := fleet.New(hub, newFleetConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := newTestClient(leaves[0], hub.Addr(), 1<<32, fleet.DefaultCacheBytes)
+		if _, err := c.sendFrame(0.5); err != nil {
+			t.Fatal(err)
+		}
+		// Vary the phase between the datagram hitting the demux loop and
+		// the close, so the sweep lands before, during, and after admit.
+		time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+		closed := make(chan struct{})
+		go func() {
+			_ = m.Close()
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("iter %d: Close stalled: session admitted past signalClose's sweep", i)
+		}
+		c.close()
+	}
+}
+
 // TestFleetChurnSoak is the race-detector fleet soak: 64 concurrent
 // sessions on one shared listener with churn — clients connect, stream,
 // and either drain cleanly or crash mid-session — while every reply is

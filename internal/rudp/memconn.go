@@ -237,17 +237,25 @@ func (m *MemConn) ReadFrom(p []byte) (int, net.Addr, error) {
 	if t != nil {
 		// Park the timer stopped and drained so the next borrower can
 		// Reset it safely (pre-1.23 timer semantics).
+		park := true
 		if !t.Stop() && !fired {
 			select {
 			case <-t.C:
 			default:
+				// Stop lost the race to an expiry whose send to t.C
+				// hasn't landed yet; the value will arrive after this
+				// drain and would hand the next borrower an immediate
+				// spurious timeout. Let this timer be GC'd instead.
+				park = false
 			}
 		}
-		m.mu.Lock()
-		if m.rtimer == nil {
-			m.rtimer = t
+		if park {
+			m.mu.Lock()
+			if m.rtimer == nil {
+				m.rtimer = t
+			}
+			m.mu.Unlock()
 		}
-		m.mu.Unlock()
 	}
 	return n, from, err
 }

@@ -173,8 +173,8 @@ func TestExtractCorruptFramingResync(t *testing.T) {
 	// buffer grows toward a bogus multi-gigabyte length.
 	c.stream = binary.AppendUvarint(nil, 1<<40)
 	c.stream = append(c.stream, []byte("junk that should be discarded")...)
-	if out := c.extractMessagesLocked(); out != nil {
-		t.Fatalf("corrupt stream yielded %d messages", len(out))
+	if out := c.extractMessagesLocked(); out != 0 {
+		t.Fatalf("corrupt stream yielded %d messages", out)
 	}
 	if c.stream != nil {
 		t.Fatal("stream not dropped after corrupt length prefix")
@@ -186,8 +186,8 @@ func TestExtractCorruptFramingResync(t *testing.T) {
 	// An overlong varint (uint64 overflow) is also corrupt.
 	c.stream = bytes.Repeat([]byte{0xff}, 9)
 	c.stream = append(c.stream, 0x02)
-	if out := c.extractMessagesLocked(); out != nil {
-		t.Fatalf("overflowed varint yielded %d messages", len(out))
+	if out := c.extractMessagesLocked(); out != 0 {
+		t.Fatalf("overflowed varint yielded %d messages", out)
 	}
 	if c.stream != nil || c.stats.FramingErrors != 2 {
 		t.Fatalf("stream=%v FramingErrors=%d after varint overflow", c.stream, c.stats.FramingErrors)
@@ -197,14 +197,16 @@ func TestExtractCorruptFramingResync(t *testing.T) {
 	want := []byte("recovered")
 	c.stream = binary.AppendUvarint(nil, uint64(len(want)))
 	c.stream = append(c.stream, want...)
-	out := c.extractMessagesLocked()
-	if len(out) != 1 || !bytes.Equal(out[0], want) {
-		t.Fatalf("post-resync extraction = %q", out)
+	if out := c.extractMessagesLocked(); out != 1 {
+		t.Fatalf("post-resync extraction queued %d messages, want 1", out)
+	}
+	if msg, ok := c.popRecvLocked(); !ok || !bytes.Equal(msg, want) {
+		t.Fatalf("post-resync message = %q, want %q", msg, want)
 	}
 
 	// An incomplete prefix is not corruption: wait for more bytes.
 	c.stream = []byte{0x80}
-	if out := c.extractMessagesLocked(); out != nil || len(c.stream) != 1 {
+	if out := c.extractMessagesLocked(); out != 0 || len(c.stream) != 1 {
 		t.Fatal("incomplete prefix must be preserved, not dropped")
 	}
 }

@@ -98,6 +98,13 @@ type Options struct {
 	Window int
 	// MaxMessage bounds one framed message.
 	MaxMessage int
+	// RecvQueue bounds complete messages queued for Recv. When the
+	// application stops draining, further data datagrams are refused
+	// before they mutate receive state — unACKed, so the peer's
+	// retransmission redelivers them once the queue drains and its send
+	// window throttles it meanwhile. Receive-side flow control, not
+	// loss: nothing delivered is ever dropped.
+	RecvQueue int
 }
 
 // DefaultOptions returns production defaults: a 20 ms initial RTO
@@ -112,6 +119,7 @@ func DefaultOptions() Options {
 		MaxPayload: 1200,
 		Window:     256,
 		MaxMessage: 64 << 20,
+		RecvQueue:  256,
 	}
 }
 
@@ -138,6 +146,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxMessage <= 0 {
 		o.MaxMessage = d.MaxMessage
 	}
+	if o.RecvQueue <= 0 {
+		o.RecvQueue = d.RecvQueue
+	}
 	return o
 }
 
@@ -162,6 +173,11 @@ type Stats struct {
 	// off-path datagram arriving on the socket would be processed as if
 	// it came from the peer and could corrupt ACK/sequence state.
 	StrayPackets int64
+	// RecvQueueDrops counts data datagrams refused because the Recv
+	// queue was full (Options.RecvQueue). Refused datagrams are not
+	// ACKed, so the peer retransmits them — flow control pushing back
+	// on a sender outpacing the application, not data loss.
+	RecvQueueDrops int64
 
 	// Gauges sampled at Stats() time.
 
@@ -302,6 +318,17 @@ type Conn struct {
 	recvBuf  map[uint32][]byte
 	stream   []byte
 
+	// recvQ/recvHead queue complete messages for Recv (guarded by mu).
+	// Delivery appends and never blocks — essential in demuxed mode,
+	// where Inject runs on the shared demux goroutine and blocking it
+	// would wedge every session on the listener. recvNotify (capacity 1)
+	// wakes a parked Recv; a set flag covers any number of queued
+	// messages. The queue is bounded by Options.RecvQueue via refusal in
+	// handleData, not by blocking here.
+	recvQ      [][]byte
+	recvHead   int
+	recvNotify chan struct{}
+
 	// epoch anchors the 32-bit microsecond timestamps data packets
 	// carry; ACKs echo the timestamp of the datagram that triggered
 	// them, so RTT samples stay clean even when a cumulative ACK also
@@ -310,7 +337,6 @@ type Conn struct {
 
 	stats Stats
 
-	msgs      chan []byte
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -347,11 +373,11 @@ func newConn(pc net.PacketConn, peer net.Addr, opts Options) *Conn {
 		peer:    peer,
 		peerStr: peer.String(),
 		opts:    opts.withDefaults(),
-		unacked: make(map[uint32]*pending),
-		recvBuf: make(map[uint32][]byte),
-		epoch:   time.Now(),
-		msgs:    make(chan []byte, 256),
-		done:    make(chan struct{}),
+		unacked:    make(map[uint32]*pending),
+		recvBuf:    make(map[uint32][]byte),
+		epoch:      time.Now(),
+		recvNotify: make(chan struct{}, 1),
+		done:       make(chan struct{}),
 	}
 	c.rto = c.opts.RTO
 	c.sendSlot = sync.NewCond(&c.mu)
@@ -534,22 +560,55 @@ func (c *Conn) Recv(timeout time.Duration) ([]byte, error) {
 		defer t.Stop()
 		timer = t.C
 	}
-	// c.msgs is never closed: delivery goroutines park on c.done
-	// instead, so a buffered message is always a valid message.
-	select {
-	case msg := <-c.msgs:
-		return msg, nil
-	case <-timer:
-		return nil, ErrTimeout
-	case <-c.done:
-		// Drain anything already queued before reporting closure.
-		select {
-		case msg := <-c.msgs:
+	for {
+		c.mu.Lock()
+		msg, ok := c.popRecvLocked()
+		more := c.recvHead < len(c.recvQ)
+		c.mu.Unlock()
+		if ok {
+			if more {
+				// Re-set the notify flag for any other waiter: one
+				// token covers a whole burst of queued messages.
+				select {
+				case c.recvNotify <- struct{}{}:
+				default:
+				}
+			}
 			return msg, nil
-		default:
 		}
-		return nil, ErrClosed
+		select {
+		case <-c.recvNotify:
+		case <-timer:
+			return nil, ErrTimeout
+		case <-c.done:
+			// Drain anything already queued before reporting closure.
+			c.mu.Lock()
+			msg, ok := c.popRecvLocked()
+			c.mu.Unlock()
+			if ok {
+				return msg, nil
+			}
+			return nil, ErrClosed
+		}
 	}
+}
+
+// popRecvLocked removes and returns the oldest queued message. The
+// head index walks the slice so steady-state pops allocate nothing;
+// the backing array is reclaimed each time the queue drains. Caller
+// holds mu.
+func (c *Conn) popRecvLocked() ([]byte, bool) {
+	if c.recvHead >= len(c.recvQ) {
+		return nil, false
+	}
+	msg := c.recvQ[c.recvHead]
+	c.recvQ[c.recvHead] = nil
+	c.recvHead++
+	if c.recvHead == len(c.recvQ) {
+		c.recvQ = c.recvQ[:0]
+		c.recvHead = 0
+	}
+	return msg, true
 }
 
 func (c *Conn) readLoop() {
@@ -597,7 +656,11 @@ func addrEqual(from, peer net.Addr, peerStr string) bool {
 // Inject processes one raw datagram as if it had arrived on the socket.
 // It lets an accept path that had to peek the first datagram (to learn
 // the peer address) hand that datagram to the connection instead of
-// dropping it and forcing the peer into an immediate retransmit.
+// dropping it and forcing the peer into an immediate retransmit, and is
+// how a demultiplexer drives a NewDemuxed conn. Inject never blocks on
+// the application: a data datagram the Recv queue can't absorb is
+// refused (unACKed, so the peer retransmits it), which is what lets a
+// single demux goroutine safely serve many sessions.
 func (c *Conn) Inject(pkt []byte) {
 	if len(pkt) < headerSize || pkt[0] != magicByte {
 		return
@@ -618,6 +681,20 @@ func (c *Conn) Inject(pkt []byte) {
 
 func (c *Conn) handleData(seq, ts uint32, payload []byte) {
 	c.mu.Lock()
+	// Receive-side flow control: when the application isn't draining
+	// Recv, refuse new data before it mutates receive state. The
+	// datagram is not ACKed, so the peer's retransmission redelivers it
+	// once the queue drains, and the peer's send window throttles it
+	// meanwhile — whereas queueing without bound would OOM and blocking
+	// would wedge the caller (in demuxed mode that caller is the shared
+	// demux goroutine, and one slow session would freeze the whole
+	// fleet). Datagrams below recvNext still flow: they only re-ACK
+	// delivered data.
+	if len(c.recvQ)-c.recvHead >= c.opts.RecvQueue && !seqBefore(seq, c.recvNext) {
+		c.stats.RecvQueueDrops++
+		c.mu.Unlock()
+		return
+	}
 	switch {
 	case seqBefore(seq, c.recvNext):
 		c.stats.Duplicates++
@@ -652,8 +729,16 @@ func (c *Conn) handleData(seq, ts uint32, payload []byte) {
 			sack |= 1 << i
 		}
 	}
-	msgs := c.extractMessagesLocked()
+	queued := c.extractMessagesLocked()
 	c.mu.Unlock()
+	if queued > 0 {
+		// Non-blocking wake of a parked Recv; a set flag already covers
+		// these messages.
+		select {
+		case c.recvNotify <- struct{}{}:
+		default:
+		}
+	}
 
 	var sackPayload []byte
 	if sack != 0 {
@@ -667,21 +752,15 @@ func (c *Conn) handleData(seq, ts uint32, payload []byte) {
 		c.stats.AcksSent++
 		c.mu.Unlock()
 	}
-	for _, m := range msgs {
-		select {
-		case c.msgs <- m:
-		case <-c.done:
-			return
-		}
-	}
 }
 
 // extractMessagesLocked parses complete length-prefixed messages from
-// the assembled stream. On a corrupt prefix (overlong varint or a
-// length beyond MaxMessage) it drops the buffered stream to resync
-// rather than allocate unboundedly. Caller holds mu.
-func (c *Conn) extractMessagesLocked() [][]byte {
-	var out [][]byte
+// the assembled stream onto the Recv queue, returning how many were
+// queued. On a corrupt prefix (overlong varint or a length beyond
+// MaxMessage) it drops the buffered stream to resync rather than
+// allocate unboundedly. Caller holds mu.
+func (c *Conn) extractMessagesLocked() int {
+	queued := 0
 	for {
 		msgLen, n := binary.Uvarint(c.stream)
 		if n == 0 {
@@ -700,10 +779,11 @@ func (c *Conn) extractMessagesLocked() [][]byte {
 		}
 		msg := append([]byte(nil), c.stream[n:n+int(msgLen)]...)
 		c.stream = c.stream[n+int(msgLen):]
-		out = append(out, msg)
+		c.recvQ = append(c.recvQ, msg)
+		queued++
 		c.stats.MsgsRecv++
 	}
-	return out
+	return queued
 }
 
 func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {
