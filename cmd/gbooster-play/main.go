@@ -76,6 +76,11 @@ func run(servers, workloadID string, frames, width, height int, seed uint64, png
 	fmt.Printf("uplink stages: cache hit rate %.0f%% -> %0.1f KB/frame cached, LZ4 dictionary %.2fx\n",
 		st.CacheHitRate()*100, float64(st.PreCompressBytes)/float64(frames)/1024,
 		st.CompressionRatio())
+	if st.DownlinkBytes > 0 {
+		fmt.Printf("downlink %0.1f KB/frame encoded; quality now=%d min=%d steps=%d\n",
+			float64(st.DownlinkBytes)/float64(frames)/1024,
+			st.QualityNow, st.QualityMin, st.QualityChanges)
+	}
 	if fs := player.FailoverStats(); fs.ReDispatched+fs.Evictions+fs.Readmissions+fs.FramesSkipped+fs.LateFrames > 0 {
 		fmt.Printf("failover: re-dispatched=%d evicted=%d readmitted=%d skipped=%d late=%d\n",
 			fs.ReDispatched, fs.Evictions, fs.Readmissions, fs.FramesSkipped, fs.LateFrames)

@@ -9,7 +9,8 @@
 // Usage:
 //
 //	gbooster-server [-addr :4870] [-width 600] [-height 480]
-//	                [-quality 60] [-parallelism 0]
+//	                [-quality 60] [-adaptive-quality] [-quality-floor 20]
+//	                [-parallelism 0]
 //	                [-fleet] [-max-sessions 1024] [-idle 2m] [-stats 0]
 package main
 
@@ -28,6 +29,8 @@ func main() {
 	width := flag.Int("width", 600, "stream width")
 	height := flag.Int("height", 480, "stream height")
 	quality := flag.Int("quality", 0, "turbo codec quality (0 = default)")
+	adaptive := flag.Bool("adaptive-quality", false, "step quality down under transport congestion (-quality becomes the ceiling)")
+	qualityFloor := flag.Int("quality-floor", 0, "adaptive quality lower bound (0 = default)")
 	parallelism := flag.Int("parallelism", 0, "data-plane workers (0 = one per CPU, 1 = serial)")
 	fleetMode := flag.Bool("fleet", false, "serve many clients on one listener (multi-tenant mode)")
 	maxSessions := flag.Int("max-sessions", 0, "fleet admission cap (0 = default 1024)")
@@ -35,8 +38,16 @@ func main() {
 	statsEvery := flag.Duration("stats", 0, "fleet stats report interval (0 = off)")
 	flag.Parse()
 
+	opts := []gbooster.Option{
+		gbooster.WithQuality(*quality),
+		gbooster.WithParallelism(*parallelism),
+	}
+	if *adaptive {
+		opts = append(opts, gbooster.WithAdaptiveQuality(*qualityFloor))
+	}
+
 	if *fleetMode {
-		if err := runFleet(*addr, *width, *height, *quality, *parallelism, *maxSessions, *idle, *statsEvery); err != nil {
+		if err := runFleet(*addr, *width, *height, *maxSessions, *idle, *statsEvery, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "gbooster-server:", err)
 			os.Exit(1)
 		}
@@ -45,8 +56,7 @@ func main() {
 
 	srv, err := gbooster.NewStreamServer(
 		gbooster.StreamServerConfig{Width: *width, Height: *height},
-		gbooster.WithQuality(*quality),
-		gbooster.WithParallelism(*parallelism),
+		opts...,
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gbooster-server:", err)
@@ -63,7 +73,7 @@ func main() {
 // counters every statsEvery and printing a running report — live
 // session count plus the capacity-pressure signals (admission
 // rejections, GPU-gate queueing).
-func runFleet(addr string, width, height, quality, parallelism, maxSessions int, idle, statsEvery time.Duration) error {
+func runFleet(addr string, width, height, maxSessions int, idle, statsEvery time.Duration, opts []gbooster.Option) error {
 	fl, err := gbooster.NewFleet(
 		gbooster.FleetConfig{
 			Width:       width,
@@ -71,8 +81,7 @@ func runFleet(addr string, width, height, quality, parallelism, maxSessions int,
 			MaxSessions: maxSessions,
 			IdleTimeout: idle,
 		},
-		gbooster.WithQuality(quality),
-		gbooster.WithParallelism(parallelism),
+		opts...,
 	)
 	if err != nil {
 		return err

@@ -88,15 +88,17 @@ func NewFleet(cfg FleetConfig, opts ...Option) (*Fleet, error) {
 	}
 	o := buildOptions(opts)
 	return &Fleet{cfg: fleet.Config{
-		Width:         cfg.Width,
-		Height:        cfg.Height,
-		Quality:       o.quality,
-		Parallelism:   o.parallelism,
-		DiffThreshold: o.diffThreshold,
-		CacheBytes:    cfg.CacheBytes,
-		MaxSessions:   cfg.MaxSessions,
-		GateWidth:     cfg.GateWidth,
-		IdleTimeout:   cfg.IdleTimeout,
+		Width:           cfg.Width,
+		Height:          cfg.Height,
+		Quality:         o.quality,
+		Parallelism:     o.parallelism,
+		DiffThreshold:   o.diffThreshold,
+		AdaptiveQuality: o.adaptiveQuality,
+		QualityFloor:    o.qualityFloor,
+		CacheBytes:      cfg.CacheBytes,
+		MaxSessions:     cfg.MaxSessions,
+		GateWidth:       cfg.GateWidth,
+		IdleTimeout:     cfg.IdleTimeout,
 	}}, nil
 }
 

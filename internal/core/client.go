@@ -164,6 +164,20 @@ type ClientStats struct {
 	// completed handoffs (mean = total / HandoffsCompleted).
 	HandoffLatencyTotal time.Duration
 
+	// Downlink / adaptive-quality counters.
+
+	// DownlinkBytes counts encoded frame payload bytes received and
+	// decoded across all service connections.
+	DownlinkBytes int64
+	// QualityNow is the quality of the most recently decoded frame
+	// (from the turbo packet header; zero before the first frame).
+	// QualityMin is the lowest quality seen, and QualityChanges counts
+	// mid-stream quality steps — both reveal a server-side adaptive
+	// ladder at work.
+	QualityNow     int
+	QualityMin     int
+	QualityChanges int64
+
 	// Transport holds one health snapshot per attached service
 	// connection, in attach order.
 	Transport []TransportHealth
@@ -206,6 +220,11 @@ type service struct {
 	// result, svcEWMA smooths the observed head-of-line service time.
 	lastReply time.Time
 	svcEWMA   time.Duration
+
+	// lastQuality is the turbo quality of this service's most recent
+	// decoded frame (guarded by Client.mu); changes feed
+	// ClientStats.QualityChanges.
+	lastQuality int
 
 	// Handoff state (guarded by Client.mu). While a bootstrap handoff
 	// is live the device is Joining: it gets state updates but no frame
@@ -1202,6 +1221,19 @@ func (c *Client) decodeOne(svc *service, seq uint64, payload []byte) bool {
 	frame := Frame{Seq: seq, Pixels: append([]byte(nil), pixels...)}
 	now := time.Now()
 	c.mu.Lock()
+	c.stats.DownlinkBytes += int64(len(payload))
+	// Track the quality the server encoded at (carried in the turbo
+	// packet header) so a server-side adaptive ladder is visible here.
+	if q := svc.dec.Quality(); q > 0 {
+		if c.stats.QualityMin == 0 || q < c.stats.QualityMin {
+			c.stats.QualityMin = q
+		}
+		if svc.lastQuality != 0 && q != svc.lastQuality {
+			c.stats.QualityChanges++
+		}
+		svc.lastQuality = q
+		c.stats.QualityNow = q
+	}
 	// A result is proof of life for the device that produced it.
 	c.sched.ReportSuccess(svc.dev)
 	if req, ok := c.inflight[seq]; ok {

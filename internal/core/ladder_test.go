@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/rudp"
+)
+
+func TestQualityLadderStepsDownUnderCongestion(t *testing.T) {
+	l := newQualityLadder(85, 20)
+	// First sample only primes the deltas — even one arriving with
+	// nonzero lifetime counters must not read as fresh congestion.
+	if q := l.observe(rudp.Stats{DataResent: 50}); q != 85 {
+		t.Fatalf("priming sample moved quality to %d", q)
+	}
+	// Sustained retransmit growth must walk quality to the floor.
+	resent := int64(50)
+	last := 85
+	for i := 0; i < 30; i++ {
+		resent += 3
+		q := l.observe(rudp.Stats{DataResent: resent})
+		if q > last {
+			t.Fatalf("step %d: quality rose to %d under congestion", i, q)
+		}
+		last = q
+	}
+	if last != 20 {
+		t.Fatalf("quality after sustained loss = %d, want floor 20", last)
+	}
+	if l.stepsDown == 0 {
+		t.Fatal("stepsDown not counted")
+	}
+	// At the floor, further congestion holds (never below floor).
+	resent += 3
+	if q := l.observe(rudp.Stats{DataResent: resent}); q != 20 {
+		t.Fatalf("quality fell below floor: %d", q)
+	}
+}
+
+func TestQualityLadderRecoversWhenClean(t *testing.T) {
+	l := newQualityLadder(85, 20)
+	l.observe(rudp.Stats{}) // prime
+	l.observe(rudp.Stats{RecvQueueDrops: 1})
+	low := l.current
+	if low >= 85 {
+		t.Fatalf("drop sample did not step down (quality %d)", low)
+	}
+	// One clean sample is not enough to climb (anti-bounce).
+	if q := l.observe(rudp.Stats{RecvQueueDrops: 1}); q != low {
+		t.Fatalf("recovered after a single clean sample: %d", q)
+	}
+	// Sustained clean samples climb gently back to the ceiling.
+	for i := 0; i < 60 && l.current < 85; i++ {
+		next := l.observe(rudp.Stats{RecvQueueDrops: 1})
+		if next < low {
+			t.Fatalf("quality fell while clean: %d", next)
+		}
+		if next-low > 3 {
+			t.Fatalf("recovery step too large: %d -> %d", low, next)
+		}
+		low = next
+	}
+	if l.current != 85 {
+		t.Fatalf("quality did not recover to ceiling: %d", l.current)
+	}
+	if l.stepsUp == 0 {
+		t.Fatal("stepsUp not counted")
+	}
+}
+
+func TestQualityLadderCongestionSignals(t *testing.T) {
+	base := rudp.Stats{MinSRTT: 5 * time.Millisecond, SRTT: 5 * time.Millisecond, WindowLimit: 32}
+	cases := []struct {
+		name string
+		st   rudp.Stats
+	}{
+		{"resent", func() rudp.Stats { s := base; s.DataResent = 1; return s }()},
+		{"drops", func() rudp.Stats { s := base; s.RecvQueueDrops = 1; return s }()},
+		{"window", func() rudp.Stats { s := base; s.WindowOccupancy = 16; return s }()},
+		{"rtt", func() rudp.Stats { s := base; s.SRTT = 25 * time.Millisecond; return s }()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := newQualityLadder(85, 20)
+			l.observe(base)
+			if q := l.observe(tc.st); q >= 85 {
+				t.Fatalf("signal %s did not step quality down (got %d)", tc.name, q)
+			}
+		})
+	}
+	// A fast path with SRTT jitter under the slack must stay clean.
+	l := newQualityLadder(85, 20)
+	l.observe(base)
+	jitter := base
+	jitter.SRTT = base.SRTT + 8*time.Millisecond // < 2*min+10ms
+	if q := l.observe(jitter); q != 85 {
+		t.Fatalf("sub-slack RTT jitter stepped quality to %d", q)
+	}
+}
+
+func TestQualityLadderFloorClamp(t *testing.T) {
+	if l := newQualityLadder(30, 50); l.floor != 30 {
+		t.Fatalf("floor above ceiling not clamped: %d", l.floor)
+	}
+	if l := newQualityLadder(30, -1); l.floor != 1 {
+		t.Fatalf("nonpositive floor not clamped: %d", l.floor)
+	}
+}

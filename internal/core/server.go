@@ -42,11 +42,30 @@ type ServerConfig struct {
 	// encode stages: 0 selects DefaultPipelineDepth, negative disables
 	// the overlap (render and encode run strictly in sequence).
 	PipelineDepth int
+	// AdaptiveQuality enables the congestion-aware quality ladder:
+	// Quality becomes the ceiling, and the server steps encode quality
+	// down toward QualityFloor when the connection's rudp stats show
+	// retransmits, receive-queue pushback, a half-full send window, or
+	// RTT inflation — recovering gradually once the link runs clean.
+	AdaptiveQuality bool
+	// QualityFloor is the lowest quality the ladder will select
+	// (default DefaultQualityFloor, clamped to at most Quality).
+	QualityFloor int
 }
+
+// DefaultQualityFloor is the quality ladder's lower bound when
+// ServerConfig.QualityFloor is zero.
+const DefaultQualityFloor = 20
 
 func (c ServerConfig) withDefaults() ServerConfig {
 	if c.Quality <= 0 {
 		c.Quality = turbo.DefaultQuality
+	}
+	if c.QualityFloor <= 0 {
+		c.QualityFloor = DefaultQualityFloor
+	}
+	if c.QualityFloor > c.Quality {
+		c.QualityFloor = c.Quality
 	}
 	return c
 }
@@ -74,6 +93,12 @@ type ServerStats struct {
 	// Bootstraps counts session checkpoints successfully restored
 	// (MsgBootstrap messages that replaced this server's state).
 	Bootstraps int64
+	// QualityNow is the encode quality currently in effect (the
+	// configured quality when the adaptive ladder is off);
+	// QualityStepsDown / QualityStepsUp count ladder moves.
+	QualityNow       int
+	QualityStepsDown int64
+	QualityStepsUp   int64
 }
 
 // Server is one service device: it replays command streams on its GPU
@@ -99,6 +124,10 @@ type Server struct {
 	encMu    sync.Mutex
 	enc      *turbo.Encoder
 	forceKey bool // next encoded frame must be a keyframe (post-bootstrap resync)
+	// Adaptive-quality state (guarded by encMu; nil ladder when the
+	// feature is off). lastAdapt rate-limits transport sampling.
+	ladder    *qualityLadder
+	lastAdapt time.Time
 }
 
 // NewServer builds a server with a fresh GPU context.
@@ -121,15 +150,54 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	} else if cfg.DiffThreshold < 0 {
 		s.enc.SetDiffThreshold(0)
 	}
+	if cfg.AdaptiveQuality {
+		s.ladder = newQualityLadder(cfg.Quality, cfg.QualityFloor)
+	}
 	return s, nil
 }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats.FragmentsShaded = s.fragBase + s.gpu.FragmentsShaded
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	s.encMu.Lock()
+	if s.ladder != nil {
+		st.QualityNow = s.ladder.current
+		st.QualityStepsDown = s.ladder.stepsDown
+		st.QualityStepsUp = s.ladder.stepsUp
+	} else {
+		st.QualityNow = s.cfg.Quality
+	}
+	s.encMu.Unlock()
+	return st
+}
+
+// qualityAdaptInterval rate-limits transport sampling for the adaptive
+// ladder: one observation per interval is plenty at streaming frame
+// rates, and keeps the ladder's step cadence independent of fps.
+const qualityAdaptInterval = 100 * time.Millisecond
+
+// adaptQuality samples conn's transport stats and applies the ladder's
+// quality choice to the encoder. Called from the serve loops after each
+// received message; uses TryLock so the receive path never blocks
+// behind an in-progress encode (skipping a sample is harmless — the
+// next message retries).
+func (s *Server) adaptQuality(conn *rudp.Conn) {
+	if s.ladder == nil {
+		return
+	}
+	if !s.encMu.TryLock() {
+		return
+	}
+	defer s.encMu.Unlock()
+	now := time.Now()
+	if now.Sub(s.lastAdapt) < qualityAdaptInterval {
+		return
+	}
+	s.lastAdapt = now
+	s.enc.SetQuality(s.ladder.observe(conn.Stats()))
 }
 
 // Serve processes messages from conn until it closes. It replies to
@@ -219,6 +287,7 @@ func (s *Server) serve(conn *rudp.Conn, idle time.Duration) error {
 			}
 			return fmt.Errorf("core: server recv: %w", err)
 		}
+		s.adaptQuality(conn)
 		frame, seq, direct, err := s.renderMsg(msg)
 		if err != nil {
 			return err
@@ -254,6 +323,7 @@ func (s *Server) serveSync(conn *rudp.Conn, idle time.Duration) error {
 			}
 			return fmt.Errorf("core: server recv: %w", err)
 		}
+		s.adaptQuality(conn)
 		reply, err := s.Handle(msg)
 		if err != nil {
 			return err

@@ -75,6 +75,11 @@ type Config struct {
 	// DiffThreshold is the encoder's changed-tile sensitivity
 	// (0 = library default, negative = exact).
 	DiffThreshold float64
+	// AdaptiveQuality enables each session's congestion-aware quality
+	// ladder (Quality becomes the ceiling); QualityFloor is the
+	// ladder's lower bound (0 = core.DefaultQualityFloor).
+	AdaptiveQuality bool
+	QualityFloor    int
 	// CacheBytes bounds each session's mirrored command cache
 	// (0 = DefaultCacheBytes).
 	CacheBytes int
@@ -152,13 +157,15 @@ type session struct {
 // newSessionServer builds one session's render/codec/cache state.
 func (m *Manager) newSessionServer() (*core.Server, error) {
 	return core.NewServer(core.ServerConfig{
-		Width:         m.cfg.Width,
-		Height:        m.cfg.Height,
-		Quality:       m.cfg.Quality,
-		CacheBytes:    m.cfg.CacheBytes,
-		Parallelism:   m.cfg.Parallelism,
-		DiffThreshold: m.cfg.DiffThreshold,
-		PipelineDepth: -1, // sessions are serial; overlap comes from the fleet
+		Width:           m.cfg.Width,
+		Height:          m.cfg.Height,
+		Quality:         m.cfg.Quality,
+		CacheBytes:      m.cfg.CacheBytes,
+		Parallelism:     m.cfg.Parallelism,
+		DiffThreshold:   m.cfg.DiffThreshold,
+		PipelineDepth:   -1, // sessions are serial; overlap comes from the fleet
+		AdaptiveQuality: m.cfg.AdaptiveQuality,
+		QualityFloor:    m.cfg.QualityFloor,
 	})
 }
 

@@ -1,0 +1,75 @@
+package metrics
+
+// QualitySample is one periodic snapshot of a session's adaptive-quality
+// state: the encode quality currently in effect (read from the turbo
+// packet headers on the player side, or the ladder on the server side),
+// the cumulative count of mid-stream quality steps, and the cumulative
+// encoded downlink bytes.
+type QualitySample struct {
+	Quality       int
+	Changes       int64
+	DownlinkBytes int64
+}
+
+// QualityCollector accumulates quality snapshots over a session so a
+// report can show how the congestion-aware ladder traded fidelity for
+// bytes: the quality floor it hit, its mean level, how often it moved,
+// and the downlink volume across the sampled span. Changes and
+// DownlinkBytes are cumulative; the collector differences them.
+type QualityCollector struct {
+	count       int
+	qTotal      int64
+	min         int
+	first, last QualitySample
+}
+
+// Add records one snapshot. Samples with no quality yet (zero, before
+// the first decoded frame) are ignored.
+func (c *QualityCollector) Add(s QualitySample) {
+	if s.Quality <= 0 {
+		return
+	}
+	if c.count == 0 {
+		c.first = s
+		c.min = s.Quality
+	} else if s.Quality < c.min {
+		c.min = s.Quality
+	}
+	c.last = s
+	c.qTotal += int64(s.Quality)
+	c.count++
+}
+
+// Count returns the number of samples.
+func (c *QualityCollector) Count() int { return c.count }
+
+// Mean returns the mean quality level across samples.
+func (c *QualityCollector) Mean() float64 {
+	if c.count == 0 {
+		return 0
+	}
+	return float64(c.qTotal) / float64(c.count)
+}
+
+// Min returns the lowest quality sampled — how far the ladder stepped
+// down at its worst. Zero with no samples.
+func (c *QualityCollector) Min() int { return c.min }
+
+// Final returns the last sampled quality (where the ladder settled).
+func (c *QualityCollector) Final() int { return c.last.Quality }
+
+// Changes returns the mid-stream quality steps across the sampled span
+// (last minus first snapshot).
+func (c *QualityCollector) Changes() int64 {
+	return c.last.Changes - c.first.Changes
+}
+
+// DownlinkBytes returns the encoded downlink volume across the sampled
+// span.
+func (c *QualityCollector) DownlinkBytes() int64 {
+	return c.last.DownlinkBytes - c.first.DownlinkBytes
+}
+
+// Steady reports whether quality never moved over the sampled span — an
+// uncongested session (or a fixed-quality server).
+func (c *QualityCollector) Steady() bool { return c.Changes() == 0 }

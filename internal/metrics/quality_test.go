@@ -1,0 +1,74 @@
+package metrics
+
+import "testing"
+
+func TestQualityCollectorEmpty(t *testing.T) {
+	var c QualityCollector
+	if c.Count() != 0 || c.Mean() != 0 || c.Min() != 0 || c.Final() != 0 {
+		t.Fatal("empty collector not zero-valued")
+	}
+	if !c.Steady() {
+		t.Fatal("empty collector not steady")
+	}
+}
+
+func TestQualityCollectorIgnoresUnprimedSamples(t *testing.T) {
+	var c QualityCollector
+	c.Add(QualitySample{Quality: 0, DownlinkBytes: 100})
+	if c.Count() != 0 {
+		t.Fatal("zero-quality sample counted")
+	}
+}
+
+func TestQualityCollectorLadderSession(t *testing.T) {
+	var c QualityCollector
+	// A ladder stepping 85 -> 70 -> 40 under congestion, then
+	// recovering to 55; cumulative changes and downlink bytes.
+	samples := []QualitySample{
+		{Quality: 85, Changes: 0, DownlinkBytes: 1000},
+		{Quality: 70, Changes: 1, DownlinkBytes: 1800},
+		{Quality: 40, Changes: 2, DownlinkBytes: 2300},
+		{Quality: 40, Changes: 2, DownlinkBytes: 2700},
+		{Quality: 55, Changes: 3, DownlinkBytes: 3300},
+	}
+	for _, s := range samples {
+		c.Add(s)
+	}
+	if c.Count() != 5 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	if c.Min() != 40 {
+		t.Fatalf("Min = %d, want 40", c.Min())
+	}
+	if c.Final() != 55 {
+		t.Fatalf("Final = %d, want 55", c.Final())
+	}
+	if got, want := c.Mean(), float64(85+70+40+40+55)/5; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if c.Changes() != 3 {
+		t.Fatalf("Changes = %d, want 3", c.Changes())
+	}
+	if c.DownlinkBytes() != 2300 {
+		t.Fatalf("DownlinkBytes = %d, want 2300", c.DownlinkBytes())
+	}
+	if c.Steady() {
+		t.Fatal("ladder session reported steady")
+	}
+}
+
+func TestQualityCollectorSteadySession(t *testing.T) {
+	var c QualityCollector
+	for i := 0; i < 4; i++ {
+		c.Add(QualitySample{Quality: 85, Changes: 0, DownlinkBytes: int64(i) * 500})
+	}
+	if !c.Steady() {
+		t.Fatal("fixed-quality session not steady")
+	}
+	if c.Min() != 85 || c.Final() != 85 {
+		t.Fatalf("Min/Final = %d/%d", c.Min(), c.Final())
+	}
+	if c.DownlinkBytes() != 1500 {
+		t.Fatalf("DownlinkBytes = %d", c.DownlinkBytes())
+	}
+}

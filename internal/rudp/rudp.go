@@ -186,6 +186,10 @@ type Stats struct {
 	SRTT   time.Duration
 	RTTVar time.Duration
 	RTO    time.Duration
+	// MinSRTT is the lowest smoothed RTT observed over the connection's
+	// lifetime — a baseline for congestion detection: SRTT well above
+	// MinSRTT means queueing delay, not path length.
+	MinSRTT time.Duration
 	// WindowOccupancy is the number of datagrams currently in flight;
 	// WindowLimit the configured cap.
 	WindowOccupancy int
@@ -282,6 +286,7 @@ type Conn struct {
 	srtt    time.Duration
 	rttvar  time.Duration
 	rto     time.Duration
+	minSRTT time.Duration // lowest srtt ever; congestion baseline
 	rttInit bool
 
 	// Fast-retransmit state: the last cumulative ACK seen, how many
@@ -413,6 +418,7 @@ func (c *Conn) Stats() Stats {
 	st.SRTT = c.srtt
 	st.RTTVar = c.rttvar
 	st.RTO = c.currentRTOLocked()
+	st.MinSRTT = c.minSRTT
 	st.WindowOccupancy = len(c.unacked)
 	st.WindowLimit = c.opts.Window
 	return st
@@ -991,6 +997,9 @@ func (c *Conn) updateRTTLocked(sample time.Duration) {
 		}
 		c.rttvar = (3*c.rttvar + diff) / 4
 		c.srtt = (7*c.srtt + sample) / 8
+	}
+	if c.minSRTT == 0 || c.srtt < c.minSRTT {
+		c.minSRTT = c.srtt
 	}
 	rto := c.srtt + 4*c.rttvar
 	if rto < c.opts.MinRTO {

@@ -16,10 +16,15 @@ var (
 	ErrBadSize   = errors.New("turbo: frame size mismatch")
 )
 
-// Packet kinds.
+// Packet kinds. The legacy v1 kinds carry no quality byte and decode
+// with the decoder's constructed quality; the v2 kinds (everything the
+// encoder emits today) carry the encoder's effective quality in the
+// header so the decoder always dequantizes with the right table.
 const (
-	packetKey   = 1 // every tile encoded
-	packetDelta = 2 // only changed tiles encoded
+	packetKey    = 1 // v1: every tile encoded, headerless quality
+	packetDelta  = 2 // v1: only changed tiles encoded, headerless quality
+	packetKeyQ   = 3 // v2: keyframe with quality byte
+	packetDeltaQ = 4 // v2: delta with quality byte
 )
 
 // DefaultQuality balances the paper's reported ~25:1 compression
@@ -36,11 +41,15 @@ const DefaultDiffThreshold = 2.0
 // into drift between the phone and the service device.
 type Encoder struct {
 	w, h    int
-	quality int
-	quant   [blockSize * blockSize]int
+	quality int // effective quality, always in [1,100]
+	qz      quantizers
 	thresh  float64
 	prev    []byte // decoder-visible reconstruction, RGBA
 	started bool
+
+	// outBuf is the reused packet buffer: Encode appends into it and
+	// returns a slice of it, so steady-state encoding allocates nothing.
+	outBuf []byte
 
 	// par is the tile-parallel worker degree; <= 1 keeps the serial
 	// reference path. Tiles are independent — each reads only its own
@@ -66,15 +75,17 @@ type EncoderStats struct {
 }
 
 // NewEncoder returns an encoder for w×h RGBA frames at the given JPEG-
-// style quality (1..100).
+// style quality. Out-of-range qualities are clamped to [1,100] and the
+// effective value is what SetQuality/Quality and the packet header see.
 func NewEncoder(w, h, quality int) *Encoder {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("turbo: encoder size %dx%d", w, h))
 	}
+	quality = clampQuality(quality)
 	return &Encoder{
 		w: w, h: h,
 		quality: quality,
-		quant:   quantTable(quality),
+		qz:      buildQuantizers(quality),
 		thresh:  DefaultDiffThreshold,
 		prev:    make([]byte, w*h*4),
 	}
@@ -89,12 +100,30 @@ func (e *Encoder) SetDiffThreshold(t float64) { e.thresh = t }
 // byte-identical at every degree.
 func (e *Encoder) SetParallelism(n int) { e.par = parallel.Degree(n) }
 
-// tilesAcross returns tile grid dimensions (ceil division).
+// SetQuality changes the quality for subsequent frames (clamped to
+// [1,100]). The change is safe mid-stream: each packet carries its
+// quality, and the closed loop keeps already-reconstructed tiles
+// consistent — only re-shipped tiles use the new tables.
+func (e *Encoder) SetQuality(q int) {
+	q = clampQuality(q)
+	if q == e.quality {
+		return
+	}
+	e.quality = q
+	e.qz = buildQuantizers(q)
+}
+
+// Quality reports the effective quality in use.
+func (e *Encoder) Quality() int { return e.quality }
+
+// tilesDim returns tile grid dimensions (ceil division).
 func tilesDim(px int) int { return (px + blockSize - 1) / blockSize }
 
 // Encode compresses one frame (len must be w*h*4) and returns the
 // packet. The first frame is a keyframe; later frames are deltas unless
-// forceKey is set.
+// forceKey is set. The returned slice aliases the encoder's internal
+// buffer and is valid until the next Encode call; callers that retain
+// it must copy.
 func (e *Encoder) Encode(frame []byte, forceKey bool) ([]byte, error) {
 	if len(frame) != e.w*e.h*4 {
 		return nil, fmt.Errorf("%w: got %d bytes, want %d", ErrBadSize, len(frame), e.w*e.h*4)
@@ -103,13 +132,14 @@ func (e *Encoder) Encode(frame []byte, forceKey bool) ([]byte, error) {
 	e.started = true
 
 	tw, th := tilesDim(e.w), tilesDim(e.h)
-	kind := byte(packetDelta)
+	kind := byte(packetDeltaQ)
 	if key {
-		kind = packetKey
+		kind = packetKeyQ
 	}
-	out := []byte{kind}
+	out := append(e.outBuf[:0], kind)
 	out = binary.AppendUvarint(out, uint64(e.w))
 	out = binary.AppendUvarint(out, uint64(e.h))
+	out = append(out, byte(e.quality))
 	countAt := len(out)
 	out = append(out, 0, 0, 0, 0) // fixed 32-bit tile count, patched below
 
@@ -117,7 +147,7 @@ func (e *Encoder) Encode(frame []byte, forceKey bool) ([]byte, error) {
 	if e.par > 1 && tw*th > 1 {
 		out, sent = e.encodeTilesParallel(out, frame, key, tw, th)
 	} else {
-		var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+		var yBlk, cbBlk, crBlk [blockSize * blockSize]int32
 		for ty := 0; ty < th; ty++ {
 			for tx := 0; tx < tw; tx++ {
 				if !key && !e.tileChanged(frame, tx, ty) {
@@ -130,6 +160,7 @@ func (e *Encoder) Encode(frame []byte, forceKey bool) ([]byte, error) {
 	}
 	e.Stats.TilesTotal += tw * th
 	binary.LittleEndian.PutUint32(out[countAt:], sent)
+	e.outBuf = out
 
 	e.Stats.Frames++
 	if key {
@@ -146,10 +177,10 @@ func (e *Encoder) Encode(frame []byte, forceKey bool) ([]byte, error) {
 // reconstruction into prev. Both the serial loop and the parallel path
 // funnel through here, which is what makes their output byte-identical
 // by construction.
-func (e *Encoder) encodeTileInto(out []byte, frame []byte, tx, ty, tw int, yBlk, cbBlk, crBlk *[blockSize * blockSize]float64) []byte {
+func (e *Encoder) encodeTileInto(out []byte, frame []byte, tx, ty, tw int, yBlk, cbBlk, crBlk *[blockSize * blockSize]int32) []byte {
 	e.loadTile(frame, tx, ty, yBlk, cbBlk, crBlk)
 	out = binary.AppendUvarint(out, uint64(ty*tw+tx))
-	for _, blk := range [...]*[blockSize * blockSize]float64{yBlk, cbBlk, crBlk} {
+	for _, blk := range [...]*[blockSize * blockSize]int32{yBlk, cbBlk, crBlk} {
 		out = e.encodeBlock(out, blk)
 	}
 	// Reconstruct into prev exactly as the decoder will.
@@ -171,7 +202,7 @@ func (e *Encoder) encodeTilesParallel(out []byte, frame []byte, key bool, tw, th
 	}
 	tileBuf, tileOn := e.tileBuf[:n], e.tileOn[:n]
 	parallel.Do(e.par, n, func(lo, hi int) {
-		var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+		var yBlk, cbBlk, crBlk [blockSize * blockSize]int32
 		for t := lo; t < hi; t++ {
 			tx, ty := t%tw, t/tw
 			if !key && !e.tileChanged(frame, tx, ty) {
@@ -193,10 +224,12 @@ func (e *Encoder) encodeTilesParallel(out []byte, frame []byte, key bool, tw, th
 }
 
 // tileChanged compares the frame tile against the reconstruction using
-// mean absolute difference over RGB.
+// mean absolute difference over RGB (integer SAD; the threshold
+// comparison stays in float so configured thresholds keep their exact
+// legacy semantics, including negative values forcing every tile).
 func (e *Encoder) tileChanged(frame []byte, tx, ty int) bool {
 	x0, y0 := tx*blockSize, ty*blockSize
-	var sad, n float64
+	sad, n := 0, 0
 	for dy := 0; dy < blockSize; dy++ {
 		y := y0 + dy
 		if y >= e.h {
@@ -212,21 +245,19 @@ func (e *Encoder) tileChanged(frame []byte, tx, ty int) bool {
 			n += 3
 		}
 	}
-	return n > 0 && sad/n > e.thresh
+	return n > 0 && float64(sad) > e.thresh*float64(n)
 }
 
-func absDiff(a, b byte) float64 {
+func absDiff(a, b byte) int {
 	if a > b {
-		return float64(a - b)
+		return int(a - b)
 	}
-	return float64(b - a)
+	return int(b - a)
 }
 
-// loadTile converts a tile to YCbCr blocks (edge tiles replicate the
-// last row/column) and DCT-quantizes them in place: after the call the
-// blocks hold the *reconstructed* (dequantized, inverse-transformed)
-// samples, ready for storeTile.
-func (e *Encoder) loadTile(frame []byte, tx, ty int, yBlk, cbBlk, crBlk *[blockSize * blockSize]float64) {
+// loadTile converts a tile to centred YCbCr blocks (edge tiles
+// replicate the last row/column).
+func (e *Encoder) loadTile(frame []byte, tx, ty int, yBlk, cbBlk, crBlk *[blockSize * blockSize]int32) {
 	x0, y0 := tx*blockSize, ty*blockSize
 	for dy := 0; dy < blockSize; dy++ {
 		sy := y0 + dy
@@ -239,56 +270,55 @@ func (e *Encoder) loadTile(frame []byte, tx, ty int, yBlk, cbBlk, crBlk *[blockS
 				sx = e.w - 1
 			}
 			i := (sy*e.w + sx) * 4
-			y, cb, cr := rgbToYCbCr(float64(frame[i]), float64(frame[i+1]), float64(frame[i+2]))
+			y, cb, cr := rgbToYCbCr(int(frame[i]), int(frame[i+1]), int(frame[i+2]))
 			k := dy*blockSize + dx
-			yBlk[k] = y - 128
-			cbBlk[k] = cb - 128
-			crBlk[k] = cr - 128
+			yBlk[k] = int32(y - 128)
+			cbBlk[k] = int32(cb)
+			crBlk[k] = int32(cr)
 		}
 	}
 }
 
 // encodeBlock forward-transforms, quantizes, entropy-codes the block
 // into out, then reconstructs the block in place (dequantize + IDCT) so
-// the caller can mirror the decoder's state.
-func (e *Encoder) encodeBlock(out []byte, blk *[blockSize * blockSize]float64) []byte {
-	var freq [blockSize * blockSize]float64
-	fdct8(&freq, blk)
-	var q [blockSize * blockSize]int32
+// the caller can mirror the decoder's state. Quantization is a
+// branch-free reciprocal multiply per coefficient, emitted in zig-zag
+// order.
+func (e *Encoder) encodeBlock(out []byte, blk *[blockSize * blockSize]int32) []byte {
+	fdct8(blk)
+	var zz [blockSize * blockSize]int32
+	last := -1
 	for i := 0; i < blockSize*blockSize; i++ {
-		q[i] = int32(roundHalfAway(freq[i] / float64(e.quant[i])))
+		pos := _zigzag[i]
+		c := int(blk[pos])
+		s := c >> 63 // all-ones for negative c (int is 64-bit on supported targets)
+		q := (((c^s)-s)*int(e.qz.recip[pos]) + quantHalf) >> quantShift
+		q = (q ^ s) - s
+		zz[i] = int32(q)
+		if q != 0 {
+			last = i
+		}
 	}
-	out = appendCoeffs(out, &q)
-	// Reconstruct.
+	out = appendCoeffs(out, &zz, last)
+	// Reconstruct: dequantize back into raster order and inverse-
+	// transform, exactly as the decoder will.
 	for i := 0; i < blockSize*blockSize; i++ {
-		freq[i] = float64(q[i]) * float64(e.quant[i])
+		pos := _zigzag[i]
+		blk[pos] = zz[i] * e.qz.dequant[pos]
 	}
-	idct8(blk, &freq)
+	idct8(blk)
 	return out
 }
 
-func roundHalfAway(v float64) float64 {
-	if v >= 0 {
-		return float64(int64(v + 0.5))
-	}
-	return float64(int64(v - 0.5))
-}
-
-// appendCoeffs zig-zag-orders the quantized coefficients and encodes
-// them as (zeroRun uvarint, value varint) pairs, with a 0-run sentinel
-// terminating at end-of-block once the tail is all zero.
-func appendCoeffs(out []byte, q *[blockSize * blockSize]int32) []byte {
-	last := -1
-	for i := blockSize*blockSize - 1; i >= 0; i-- {
-		if q[_zigzag[i]] != 0 {
-			last = i
-			break
-		}
-	}
+// appendCoeffs encodes zig-zag-ordered quantized coefficients as
+// (zeroRun uvarint, value varint) pairs after a coefficient-count
+// prefix; last is the index of the final nonzero coefficient (-1 for an
+// all-zero block).
+func appendCoeffs(out []byte, zz *[blockSize * blockSize]int32, last int) []byte {
 	out = binary.AppendUvarint(out, uint64(last+1))
 	run := 0
 	for i := 0; i <= last; i++ {
-		v := q[_zigzag[i]]
+		v := zz[i]
 		if v == 0 {
 			run++
 			continue
@@ -301,11 +331,11 @@ func appendCoeffs(out []byte, q *[blockSize * blockSize]int32) []byte {
 }
 
 // storeTile writes reconstructed YCbCr blocks back into an RGBA buffer.
-func (e *Encoder) storeTile(dst []byte, tx, ty int, yBlk, cbBlk, crBlk *[blockSize * blockSize]float64) {
+func (e *Encoder) storeTile(dst []byte, tx, ty int, yBlk, cbBlk, crBlk *[blockSize * blockSize]int32) {
 	storeTileInto(dst, e.w, e.h, tx, ty, yBlk, cbBlk, crBlk)
 }
 
-func storeTileInto(dst []byte, w, h, tx, ty int, yBlk, cbBlk, crBlk *[blockSize * blockSize]float64) {
+func storeTileInto(dst []byte, w, h, tx, ty int, yBlk, cbBlk, crBlk *[blockSize * blockSize]int32) {
 	x0, y0 := tx*blockSize, ty*blockSize
 	for dy := 0; dy < blockSize; dy++ {
 		py := y0 + dy
@@ -318,11 +348,11 @@ func storeTileInto(dst []byte, w, h, tx, ty int, yBlk, cbBlk, crBlk *[blockSize 
 				break
 			}
 			k := dy*blockSize + dx
-			r, g, b := yCbCrToRGB(yBlk[k]+128, cbBlk[k]+128, crBlk[k]+128)
+			r, g, b := yCbCrToRGB(int(yBlk[k])+128, int(cbBlk[k]), int(crBlk[k]))
 			i := (py*w + px) * 4
-			dst[i] = byte(r + 0.5)
-			dst[i+1] = byte(g + 0.5)
-			dst[i+2] = byte(b + 0.5)
+			dst[i] = byte(r)
+			dst[i+1] = byte(g)
+			dst[i+2] = byte(b)
 			dst[i+3] = 255
 		}
 	}
@@ -331,8 +361,8 @@ func storeTileInto(dst []byte, w, h, tx, ty int, yBlk, cbBlk, crBlk *[blockSize 
 // Decoder reconstructs the frame stream from packets.
 type Decoder struct {
 	w, h    int
-	quality int
-	quant   [blockSize * blockSize]int
+	quality int // effective quality, tracks v2 packet headers
+	dequant [blockSize * blockSize]int32
 	frame   []byte
 	started bool
 
@@ -360,17 +390,24 @@ type DecoderStats struct {
 	Frames  int
 	Tiles   int
 	BytesIn int64
+	// QualityChanges counts v2 header quality switches that forced a
+	// dequantization-table rebuild.
+	QualityChanges int
 }
 
 // NewDecoder returns a decoder matching NewEncoder(w, h, quality).
+// Out-of-range qualities are clamped to [1,100]. The constructed
+// quality only matters for legacy v1 packets — v2 packets carry the
+// encoder's quality in the header and the decoder follows it.
 func NewDecoder(w, h, quality int) *Decoder {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("turbo: decoder size %dx%d", w, h))
 	}
+	quality = clampQuality(quality)
 	return &Decoder{
 		w: w, h: h,
 		quality: quality,
-		quant:   quantTable(quality),
+		dequant: buildQuantizers(quality).dequant,
 		frame:   make([]byte, w*h*4),
 	}
 }
@@ -380,15 +417,30 @@ func NewDecoder(w, h, quality int) *Decoder {
 // produce byte-identical frames at every degree.
 func (d *Decoder) SetParallelism(n int) { d.par = parallel.Degree(n) }
 
+// Quality reports the effective quality: the constructed value until a
+// v2 packet arrives, then whatever the latest packet header carried.
+func (d *Decoder) Quality() int { return d.quality }
+
 // Decode applies one packet and returns the current full frame. The
 // returned slice aliases the decoder's internal buffer; callers that
-// retain it across Decode calls must copy.
+// retain it across Decode calls must copy. Geometry or quality the
+// decoder cannot honor is rejected with ErrBadPacket — it never decodes
+// with mismatched tables.
 func (d *Decoder) Decode(packet []byte) ([]byte, error) {
 	if len(packet) < 1 {
 		return nil, fmt.Errorf("%w: empty", ErrBadPacket)
 	}
 	kind := packet[0]
-	if kind != packetKey && kind != packetDelta {
+	var key, hasQ bool
+	switch kind {
+	case packetKey:
+		key = true
+	case packetDelta:
+	case packetKeyQ:
+		key, hasQ = true, true
+	case packetDeltaQ:
+		hasQ = true
+	default:
 		return nil, fmt.Errorf("%w: kind %d", ErrBadPacket, kind)
 	}
 	p := packet[1:]
@@ -402,10 +454,25 @@ func (d *Decoder) Decode(packet []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: height", ErrBadPacket)
 	}
 	p = p[n:]
-	if int(w) != d.w || int(h) != d.h {
-		return nil, fmt.Errorf("%w: packet %dx%d, decoder %dx%d", ErrBadSize, w, h, d.w, d.h)
+	if int64(w) != int64(d.w) || int64(h) != int64(d.h) {
+		return nil, fmt.Errorf("%w: packet %dx%d, decoder %dx%d", ErrBadPacket, w, h, d.w, d.h)
 	}
-	if kind == packetDelta && !d.started {
+	if hasQ {
+		if len(p) < 1 {
+			return nil, fmt.Errorf("%w: quality", ErrBadPacket)
+		}
+		q := int(p[0])
+		p = p[1:]
+		if q < 1 || q > 100 {
+			return nil, fmt.Errorf("%w: quality %d", ErrBadPacket, q)
+		}
+		if q != d.quality {
+			d.quality = q
+			d.dequant = buildQuantizers(q).dequant
+			d.Stats.QualityChanges++
+		}
+	}
+	if !key && !d.started {
 		return nil, fmt.Errorf("%w: delta before keyframe", ErrBadPacket)
 	}
 	if len(p) < 4 {
@@ -416,20 +483,22 @@ func (d *Decoder) Decode(packet []byte) ([]byte, error) {
 
 	tw, th := tilesDim(d.w), tilesDim(d.h)
 	maxTiles := tw * th
-	if int(count) > maxTiles {
+	if int64(count) > int64(maxTiles) {
 		return nil, fmt.Errorf("%w: %d tiles, grid has %d", ErrBadPacket, count, maxTiles)
 	}
 	if d.par > 1 && count > 1 {
 		return d.decodeTilesParallel(packet, p, int(count), tw, maxTiles)
 	}
-	var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+	var yBlk, cbBlk, crBlk [blockSize * blockSize]int32
 	for t := uint32(0); t < count; t++ {
 		idx, n := binary.Uvarint(p)
-		if n <= 0 || int(idx) >= maxTiles {
+		// The index is range-checked in uint64 before any int cast: a
+		// crafted 64-bit index must not wrap negative and slip past.
+		if n <= 0 || idx >= uint64(maxTiles) {
 			return nil, fmt.Errorf("%w: tile index", ErrBadPacket)
 		}
 		p = p[n:]
-		for _, blk := range [...]*[blockSize * blockSize]float64{&yBlk, &cbBlk, &crBlk} {
+		for _, blk := range [...]*[blockSize * blockSize]int32{&yBlk, &cbBlk, &crBlk} {
 			rest, err := d.decodeBlock(p, blk)
 			if err != nil {
 				return nil, err
@@ -461,7 +530,7 @@ func (d *Decoder) decodeTilesParallel(packet, p []byte, count, tw, maxTiles int)
 	spans := d.spans[:0]
 	for t := 0; t < count; t++ {
 		idx, n := binary.Uvarint(p)
-		if n <= 0 || int(idx) >= maxTiles {
+		if n <= 0 || idx >= uint64(maxTiles) {
 			return nil, fmt.Errorf("%w: tile index", ErrBadPacket)
 		}
 		p = p[n:]
@@ -502,11 +571,11 @@ func (d *Decoder) decodeTilesParallel(packet, p []byte, count, tw, maxTiles int)
 		anyErr error
 	)
 	parallel.Do(d.par, len(work), func(lo, hi int) {
-		var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+		var yBlk, cbBlk, crBlk [blockSize * blockSize]int32
 		for k := lo; k < hi; k++ {
 			s := spans[work[k]]
 			q := s.data
-			for _, blk := range [...]*[blockSize * blockSize]float64{&yBlk, &cbBlk, &crBlk} {
+			for _, blk := range [...]*[blockSize * blockSize]int32{&yBlk, &cbBlk, &crBlk} {
 				rest, err := d.decodeBlock(q, blk)
 				if err != nil {
 					// Unreachable: the scan already validated this span.
@@ -536,39 +605,49 @@ func (d *Decoder) decodeTilesParallel(packet, p []byte, count, tw, maxTiles int)
 // into blk. A nil blk runs in scan-only mode: full parse and validation
 // with the transform skipped — the parallel path uses it so structural
 // errors surface exactly as the serial path reports them.
-func (d *Decoder) decodeBlock(p []byte, blk *[blockSize * blockSize]float64) ([]byte, error) {
+func (d *Decoder) decodeBlock(p []byte, blk *[blockSize * blockSize]int32) ([]byte, error) {
 	total, n := binary.Uvarint(p)
 	if n <= 0 || total > blockSize*blockSize {
 		return nil, fmt.Errorf("%w: coeff count", ErrBadPacket)
 	}
 	p = p[n:]
-	var q [blockSize * blockSize]int32
-	for i := 0; i < int(total); {
+	if blk != nil {
+		*blk = [blockSize * blockSize]int32{}
+	}
+	for i := uint64(0); i < total; {
 		run, n := binary.Uvarint(p)
 		if n <= 0 {
 			return nil, fmt.Errorf("%w: zero run", ErrBadPacket)
 		}
 		p = p[n:]
-		i += int(run)
-		if i >= int(total) {
+		// Validated in uint64 before advancing: a crafted 64-bit run
+		// must not wrap the position negative and index out of bounds.
+		if run >= total-i {
 			return nil, fmt.Errorf("%w: run past block", ErrBadPacket)
 		}
+		i += run
 		v, n := binary.Varint(p)
 		if n <= 0 {
 			return nil, fmt.Errorf("%w: coeff value", ErrBadPacket)
 		}
 		p = p[n:]
-		q[_zigzag[i]] = int32(v)
+		if blk != nil {
+			// Bound hostile coefficients so the IDCT arithmetic stays in
+			// range; honest encoders never exceed this (see maxCoeff).
+			if v > maxCoeff {
+				v = maxCoeff
+			} else if v < -maxCoeff {
+				v = -maxCoeff
+			}
+			pos := _zigzag[i]
+			blk[pos] = int32(v) * d.dequant[pos]
+		}
 		i++
 	}
 	if blk == nil {
 		return p, nil
 	}
-	var freq [blockSize * blockSize]float64
-	for i := 0; i < blockSize*blockSize; i++ {
-		freq[i] = float64(q[i]) * float64(d.quant[i])
-	}
-	idct8(blk, &freq)
+	idct8(blk)
 	return p, nil
 }
 

@@ -34,32 +34,48 @@ func testFrame(w, h, ox, oy int) []byte {
 }
 
 func TestDCTRoundTrip(t *testing.T) {
+	// Fixed-point forward + inverse: fdct8 output is 8× the orthonormal
+	// coefficients and idct8 removes the scale, so a quant-free round
+	// trip (quality-100 tables are all 1) must reproduce samples within
+	// the rounding error of the two integer passes.
 	r := sim.NewRNG(3)
-	var src, freq, back [blockSize * blockSize]float64
+	var src, blk [blockSize * blockSize]int32
 	for i := range src {
-		src[i] = r.Float64()*255 - 128
+		src[i] = int32(r.Intn(256) - 128)
 	}
-	fdct8(&freq, &src)
-	idct8(&back, &freq)
+	blk = src
+	fdct8(&blk)
+	qz := buildQuantizers(100)
+	for i := range blk {
+		c := int(blk[i])
+		s := c >> 63
+		q := (((c^s)-s)*int(qz.recip[i]) + quantHalf) >> quantShift
+		q = (q ^ s) - s
+		blk[i] = int32(q) * qz.dequant[i]
+	}
+	idct8(&blk)
 	for i := range src {
-		if math.Abs(back[i]-src[i]) > 0.01 {
-			t.Fatalf("DCT round trip error at %d: %v vs %v", i, back[i], src[i])
+		if d := blk[i] - src[i]; d > 3 || d < -3 {
+			t.Fatalf("DCT round trip error at %d: %v vs %v", i, blk[i], src[i])
 		}
 	}
 }
 
 func TestDCTDCOnly(t *testing.T) {
-	var src, freq [blockSize * blockSize]float64
-	for i := range src {
-		src[i] = 100
+	// A flat block cancels every butterfly difference exactly, so the
+	// integer transform must produce exact zeros for the ACs and exactly
+	// 8×(8×mean) for the DC (the 8× block scale on the orthonormal 800).
+	var blk [blockSize * blockSize]int32
+	for i := range blk {
+		blk[i] = 100
 	}
-	fdct8(&freq, &src)
-	if math.Abs(freq[0]-800) > 0.01 { // DC = 8 * mean for orthonormal DCT
-		t.Fatalf("DC coefficient = %v, want 800", freq[0])
+	fdct8(&blk)
+	if blk[0] != 6400 {
+		t.Fatalf("DC coefficient = %v, want 6400 (8x orthonormal 800)", blk[0])
 	}
-	for i := 1; i < len(freq); i++ {
-		if math.Abs(freq[i]) > 0.01 {
-			t.Fatalf("AC coefficient %d = %v for flat block", i, freq[i])
+	for i := 1; i < len(blk); i++ {
+		if blk[i] != 0 {
+			t.Fatalf("AC coefficient %d = %v for flat block", i, blk[i])
 		}
 	}
 }
@@ -104,13 +120,39 @@ func TestQuantTableQualityMonotonic(t *testing.T) {
 }
 
 func TestColorConversionRoundTrip(t *testing.T) {
-	for _, rgb := range [][3]float64{{0, 0, 0}, {255, 255, 255}, {255, 0, 0}, {0, 255, 0}, {0, 0, 255}, {123, 45, 67}} {
-		y, cb, cr := rgbToYCbCr(rgb[0], rgb[1], rgb[2])
+	// Exhaustive-ish: every corner plus a sampled lattice. Two integer
+	// roundings (forward + inverse) bound the round-trip error at ±2.
+	check := func(r0, g0, b0 int) {
+		y, cb, cr := rgbToYCbCr(r0, g0, b0)
 		r, g, b := yCbCrToRGB(y, cb, cr)
-		if math.Abs(r-rgb[0]) > 1 || math.Abs(g-rgb[1]) > 1 || math.Abs(b-rgb[2]) > 1 {
-			t.Fatalf("color round trip %v -> %v,%v,%v", rgb, r, g, b)
+		if abs(r-r0) > 2 || abs(g-g0) > 2 || abs(b-b0) > 2 {
+			t.Fatalf("color round trip (%d,%d,%d) -> (%d,%d,%d)", r0, g0, b0, r, g, b)
 		}
 	}
+	for _, rgb := range [][3]int{{0, 0, 0}, {255, 255, 255}, {255, 0, 0}, {0, 255, 0}, {0, 0, 255}, {123, 45, 67}} {
+		check(rgb[0], rgb[1], rgb[2])
+	}
+	for r := 0; r < 256; r += 17 {
+		for g := 0; g < 256; g += 17 {
+			for b := 0; b < 256; b += 17 {
+				check(r, g, b)
+			}
+		}
+	}
+	// Gray must convert losslessly: the luma weights sum to exactly 2^16.
+	for v := 0; v < 256; v++ {
+		y, cb, cr := rgbToYCbCr(v, v, v)
+		if y != v || cb != 0 || cr != 0 {
+			t.Fatalf("gray %d -> y=%d cb=%d cr=%d", v, y, cb, cr)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 func TestEncodeDecodeKeyframe(t *testing.T) {
@@ -219,7 +261,7 @@ func TestForceKeyframe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pkt[0] != packetKey {
+	if pkt[0] != packetKeyQ {
 		t.Fatal("forceKey did not produce a keyframe")
 	}
 	if enc.Stats.KeyFrames != 2 {
@@ -255,13 +297,14 @@ func TestDecodeErrors(t *testing.T) {
 	if _, err := dec.Decode(delta); !errors.Is(err, ErrBadPacket) {
 		t.Fatalf("delta-before-key error = %v", err)
 	}
-	// Wrong geometry.
+	// Wrong geometry: rejected as a packet the decoder cannot honor,
+	// never decoded with mismatched dimensions.
 	other := NewDecoder(32, 32, 75)
 	key, err := NewEncoder(16, 16, 75).Encode(f, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := other.Decode(key); !errors.Is(err, ErrBadSize) {
+	if _, err := other.Decode(key); !errors.Is(err, ErrBadPacket) {
 		t.Fatalf("geometry mismatch error = %v", err)
 	}
 	// Truncated packet.

@@ -6,6 +6,14 @@
 // zero-run entropy coding). The encoder is closed-loop: it reconstructs
 // what the decoder will see, so lossy tiles never drift.
 //
+// The transform hot path is pure fixed-point integer arithmetic
+// (DESIGN.md §14): an LLM-style scaled-integer DCT/IDCT, integer YCbCr
+// conversion, and quantization by precomputed reciprocal multiply. The
+// float64 reference pipeline this replaced produced different wire
+// bytes; both sides of a stream always run the same integer code, so
+// only self-consistency (closed-loop, byte-identity across parallel
+// degrees) matters, not cross-version bit equality.
+//
 // The package also provides VideoEncoder, a deliberately naive
 // motion-search encoder standing in for x264. The paper's finding —
 // software video encoding is an order of magnitude too slow on weak
@@ -13,78 +21,227 @@
 // these two implementations.
 package turbo
 
-import "math"
-
 // blockSize is the DCT block and tile edge length.
 const blockSize = 8
 
-// dctCos[u][x] = cos((2x+1)uπ/16) scaled for a type-II DCT.
-var _dctCos [blockSize][blockSize]float64
+// Fixed-point DCT parameters (LLM / jfdctint lineage). constBits is the
+// precision of the trig constants; pass1Bits of extra headroom is kept
+// between the row and column passes so pass-1 rounding error stays below
+// the final descale.
+const (
+	constBits = 13
+	pass1Bits = 2
+)
 
-// _dctAlpha holds the orthonormal scale factors.
-var _dctAlpha [blockSize]float64
+// Scaled trig constants: fix_K = round(K * 2^constBits).
+const (
+	fix0_298631336 = 2446
+	fix0_390180644 = 3196
+	fix0_541196100 = 4433
+	fix0_765366865 = 6270
+	fix0_899976223 = 7373
+	fix1_175875602 = 9633
+	fix1_501321110 = 12299
+	fix1_847759065 = 15137
+	fix1_961570560 = 16069
+	fix2_053119869 = 16819
+	fix2_562915447 = 20995
+	fix3_072711026 = 25172
+)
 
-// initialized at package load; pure math, no goroutines or I/O.
-func init() {
-	for u := 0; u < blockSize; u++ {
-		for x := 0; x < blockSize; x++ {
-			_dctCos[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
-		}
+// descale rounds x to n fewer fractional bits (round half up).
+func descale(x, n int) int { return (x + (1 << (n - 1))) >> n }
+
+// fdct8 computes the forward 8×8 DCT-II of blk in place. Input samples
+// are centred on 0 (range ±255 is safe); the output coefficients are
+// scaled by 8 relative to the orthonormal DCT — the ×8 is folded into
+// the quantizer reciprocals (see buildQuantizers) instead of being
+// descaled away here, which saves one rounding per coefficient.
+func fdct8(blk *[blockSize * blockSize]int32) {
+	// Pass 1: rows. Intermediate results carry pass1Bits extra
+	// fractional bits into pass 2.
+	for i := 0; i < blockSize*blockSize; i += blockSize {
+		tmp0 := int(blk[i+0]) + int(blk[i+7])
+		tmp7 := int(blk[i+0]) - int(blk[i+7])
+		tmp1 := int(blk[i+1]) + int(blk[i+6])
+		tmp6 := int(blk[i+1]) - int(blk[i+6])
+		tmp2 := int(blk[i+2]) + int(blk[i+5])
+		tmp5 := int(blk[i+2]) - int(blk[i+5])
+		tmp3 := int(blk[i+3]) + int(blk[i+4])
+		tmp4 := int(blk[i+3]) - int(blk[i+4])
+
+		// Even part.
+		tmp10 := tmp0 + tmp3
+		tmp13 := tmp0 - tmp3
+		tmp11 := tmp1 + tmp2
+		tmp12 := tmp1 - tmp2
+		blk[i+0] = int32((tmp10 + tmp11) << pass1Bits)
+		blk[i+4] = int32((tmp10 - tmp11) << pass1Bits)
+		z1 := (tmp12 + tmp13) * fix0_541196100
+		blk[i+2] = int32(descale(z1+tmp13*fix0_765366865, constBits-pass1Bits))
+		blk[i+6] = int32(descale(z1-tmp12*fix1_847759065, constBits-pass1Bits))
+
+		// Odd part.
+		z1 = tmp4 + tmp7
+		z2 := tmp5 + tmp6
+		z3 := tmp4 + tmp6
+		z4 := tmp5 + tmp7
+		z5 := (z3 + z4) * fix1_175875602
+		tmp4 *= fix0_298631336
+		tmp5 *= fix2_053119869
+		tmp6 *= fix3_072711026
+		tmp7 *= fix1_501321110
+		z1 = -z1 * fix0_899976223
+		z2 = -z2 * fix2_562915447
+		z3 = -z3*fix1_961570560 + z5
+		z4 = -z4*fix0_390180644 + z5
+		blk[i+7] = int32(descale(tmp4+z1+z3, constBits-pass1Bits))
+		blk[i+5] = int32(descale(tmp5+z2+z4, constBits-pass1Bits))
+		blk[i+3] = int32(descale(tmp6+z2+z3, constBits-pass1Bits))
+		blk[i+1] = int32(descale(tmp7+z1+z4, constBits-pass1Bits))
 	}
-	_dctAlpha[0] = 1 / math.Sqrt2
-	for u := 1; u < blockSize; u++ {
-		_dctAlpha[u] = 1
+	// Pass 2: columns. Removes the pass1Bits headroom, leaving the ×8
+	// block scale.
+	for i := 0; i < blockSize; i++ {
+		tmp0 := int(blk[i+0*blockSize]) + int(blk[i+7*blockSize])
+		tmp7 := int(blk[i+0*blockSize]) - int(blk[i+7*blockSize])
+		tmp1 := int(blk[i+1*blockSize]) + int(blk[i+6*blockSize])
+		tmp6 := int(blk[i+1*blockSize]) - int(blk[i+6*blockSize])
+		tmp2 := int(blk[i+2*blockSize]) + int(blk[i+5*blockSize])
+		tmp5 := int(blk[i+2*blockSize]) - int(blk[i+5*blockSize])
+		tmp3 := int(blk[i+3*blockSize]) + int(blk[i+4*blockSize])
+		tmp4 := int(blk[i+3*blockSize]) - int(blk[i+4*blockSize])
+
+		tmp10 := tmp0 + tmp3
+		tmp13 := tmp0 - tmp3
+		tmp11 := tmp1 + tmp2
+		tmp12 := tmp1 - tmp2
+		blk[i+0*blockSize] = int32(descale(tmp10+tmp11, pass1Bits))
+		blk[i+4*blockSize] = int32(descale(tmp10-tmp11, pass1Bits))
+		z1 := (tmp12 + tmp13) * fix0_541196100
+		blk[i+2*blockSize] = int32(descale(z1+tmp13*fix0_765366865, constBits+pass1Bits))
+		blk[i+6*blockSize] = int32(descale(z1-tmp12*fix1_847759065, constBits+pass1Bits))
+
+		z1 = tmp4 + tmp7
+		z2 := tmp5 + tmp6
+		z3 := tmp4 + tmp6
+		z4 := tmp5 + tmp7
+		z5 := (z3 + z4) * fix1_175875602
+		tmp4 *= fix0_298631336
+		tmp5 *= fix2_053119869
+		tmp6 *= fix3_072711026
+		tmp7 *= fix1_501321110
+		z1 = -z1 * fix0_899976223
+		z2 = -z2 * fix2_562915447
+		z3 = -z3*fix1_961570560 + z5
+		z4 = -z4*fix0_390180644 + z5
+		blk[i+7*blockSize] = int32(descale(tmp4+z1+z3, constBits+pass1Bits))
+		blk[i+5*blockSize] = int32(descale(tmp5+z2+z4, constBits+pass1Bits))
+		blk[i+3*blockSize] = int32(descale(tmp6+z2+z3, constBits+pass1Bits))
+		blk[i+1*blockSize] = int32(descale(tmp7+z1+z4, constBits+pass1Bits))
 	}
 }
 
-// fdct8 computes the forward 8×8 DCT-II of src (values centred on 0)
-// into dst.
-func fdct8(dst, src *[blockSize * blockSize]float64) {
-	var tmp [blockSize * blockSize]float64
-	// Rows.
-	for y := 0; y < blockSize; y++ {
-		for u := 0; u < blockSize; u++ {
-			var s float64
-			for x := 0; x < blockSize; x++ {
-				s += src[y*blockSize+x] * _dctCos[u][x]
-			}
-			tmp[y*blockSize+u] = s * _dctAlpha[u] * 0.5
-		}
-	}
-	// Columns.
-	for u := 0; u < blockSize; u++ {
-		for v := 0; v < blockSize; v++ {
-			var s float64
-			for y := 0; y < blockSize; y++ {
-				s += tmp[y*blockSize+u] * _dctCos[v][y]
-			}
-			dst[v*blockSize+u] = s * _dctAlpha[v] * 0.5
-		}
-	}
-}
+// idct8 computes the inverse 8×8 DCT of blk in place. Input is
+// dequantized coefficients at the fdct8 output scale (8× orthonormal);
+// the final descale removes both the transform's 8× gain and the
+// constBits/pass1Bits working precision, so the output is centred
+// spatial samples. Arithmetic is done in int (64-bit on every supported
+// target), so even hostile coefficient values — bounded to ±maxCoeff by
+// the decoder — cannot overflow.
+func idct8(blk *[blockSize * blockSize]int32) {
+	// Pass 1: columns, keeping pass1Bits extra precision.
+	for i := 0; i < blockSize; i++ {
+		// Even part.
+		z2 := int(blk[i+2*blockSize])
+		z3 := int(blk[i+6*blockSize])
+		z1 := (z2 + z3) * fix0_541196100
+		tmp2 := z1 - z3*fix1_847759065
+		tmp3 := z1 + z2*fix0_765366865
+		tmp0 := (int(blk[i+0*blockSize]) + int(blk[i+4*blockSize])) << constBits
+		tmp1 := (int(blk[i+0*blockSize]) - int(blk[i+4*blockSize])) << constBits
+		tmp10 := tmp0 + tmp3
+		tmp13 := tmp0 - tmp3
+		tmp11 := tmp1 + tmp2
+		tmp12 := tmp1 - tmp2
 
-// idct8 computes the inverse 8×8 DCT into dst.
-func idct8(dst, src *[blockSize * blockSize]float64) {
-	var tmp [blockSize * blockSize]float64
-	// Columns.
-	for u := 0; u < blockSize; u++ {
-		for y := 0; y < blockSize; y++ {
-			var s float64
-			for v := 0; v < blockSize; v++ {
-				s += _dctAlpha[v] * src[v*blockSize+u] * _dctCos[v][y]
-			}
-			tmp[y*blockSize+u] = s * 0.5
-		}
+		// Odd part.
+		t0 := int(blk[i+7*blockSize])
+		t1 := int(blk[i+5*blockSize])
+		t2 := int(blk[i+3*blockSize])
+		t3 := int(blk[i+1*blockSize])
+		z1 = t0 + t3
+		z2 = t1 + t2
+		z3 = t0 + t2
+		z4 := t1 + t3
+		z5 := (z3 + z4) * fix1_175875602
+		t0 *= fix0_298631336
+		t1 *= fix2_053119869
+		t2 *= fix3_072711026
+		t3 *= fix1_501321110
+		z1 = -z1 * fix0_899976223
+		z2 = -z2 * fix2_562915447
+		z3 = -z3*fix1_961570560 + z5
+		z4 = -z4*fix0_390180644 + z5
+		t0 += z1 + z3
+		t1 += z2 + z4
+		t2 += z2 + z3
+		t3 += z1 + z4
+
+		blk[i+0*blockSize] = int32(descale(tmp10+t3, constBits-pass1Bits))
+		blk[i+7*blockSize] = int32(descale(tmp10-t3, constBits-pass1Bits))
+		blk[i+1*blockSize] = int32(descale(tmp11+t2, constBits-pass1Bits))
+		blk[i+6*blockSize] = int32(descale(tmp11-t2, constBits-pass1Bits))
+		blk[i+2*blockSize] = int32(descale(tmp12+t1, constBits-pass1Bits))
+		blk[i+5*blockSize] = int32(descale(tmp12-t1, constBits-pass1Bits))
+		blk[i+3*blockSize] = int32(descale(tmp13+t0, constBits-pass1Bits))
+		blk[i+4*blockSize] = int32(descale(tmp13-t0, constBits-pass1Bits))
 	}
-	// Rows.
-	for y := 0; y < blockSize; y++ {
-		for x := 0; x < blockSize; x++ {
-			var s float64
-			for u := 0; u < blockSize; u++ {
-				s += _dctAlpha[u] * tmp[y*blockSize+u] * _dctCos[u][x]
-			}
-			dst[y*blockSize+x] = s * 0.5
-		}
+	// Pass 2: rows. The final shift of constBits+pass1Bits+3 removes the
+	// working precision plus the transform's 8× scale.
+	for i := 0; i < blockSize*blockSize; i += blockSize {
+		z2 := int(blk[i+2])
+		z3 := int(blk[i+6])
+		z1 := (z2 + z3) * fix0_541196100
+		tmp2 := z1 - z3*fix1_847759065
+		tmp3 := z1 + z2*fix0_765366865
+		tmp0 := (int(blk[i+0]) + int(blk[i+4])) << constBits
+		tmp1 := (int(blk[i+0]) - int(blk[i+4])) << constBits
+		tmp10 := tmp0 + tmp3
+		tmp13 := tmp0 - tmp3
+		tmp11 := tmp1 + tmp2
+		tmp12 := tmp1 - tmp2
+
+		t0 := int(blk[i+7])
+		t1 := int(blk[i+5])
+		t2 := int(blk[i+3])
+		t3 := int(blk[i+1])
+		z1 = t0 + t3
+		z2 = t1 + t2
+		z3 = t0 + t2
+		z4 := t1 + t3
+		z5 := (z3 + z4) * fix1_175875602
+		t0 *= fix0_298631336
+		t1 *= fix2_053119869
+		t2 *= fix3_072711026
+		t3 *= fix1_501321110
+		z1 = -z1 * fix0_899976223
+		z2 = -z2 * fix2_562915447
+		z3 = -z3*fix1_961570560 + z5
+		z4 = -z4*fix0_390180644 + z5
+		t0 += z1 + z3
+		t1 += z2 + z4
+		t2 += z2 + z3
+		t3 += z1 + z4
+
+		blk[i+0] = int32(descale(tmp10+t3, constBits+pass1Bits+3))
+		blk[i+7] = int32(descale(tmp10-t3, constBits+pass1Bits+3))
+		blk[i+1] = int32(descale(tmp11+t2, constBits+pass1Bits+3))
+		blk[i+6] = int32(descale(tmp11-t2, constBits+pass1Bits+3))
+		blk[i+2] = int32(descale(tmp12+t1, constBits+pass1Bits+3))
+		blk[i+5] = int32(descale(tmp12-t1, constBits+pass1Bits+3))
+		blk[i+3] = int32(descale(tmp13+t0, constBits+pass1Bits+3))
+		blk[i+4] = int32(descale(tmp13-t0, constBits+pass1Bits+3))
 	}
 }
 
@@ -140,15 +297,24 @@ var _baseQuant = [blockSize * blockSize]int{
 	72, 92, 95, 98, 112, 100, 103, 99,
 }
 
+// clampQuality maps any int onto the valid quality range [1,100]. All
+// constructors and the quality byte on the wire go through it, so the
+// stored/serialized quality is always the effective one.
+func clampQuality(q int) int {
+	switch {
+	case q < 1:
+		return 1
+	case q > 100:
+		return 100
+	default:
+		return q
+	}
+}
+
 // quantTable scales the base table for a quality in [1,100], matching
 // the libjpeg convention (50 = base table, 100 = near lossless).
 func quantTable(quality int) [blockSize * blockSize]int {
-	if quality < 1 {
-		quality = 1
-	}
-	if quality > 100 {
-		quality = 100
-	}
+	quality = clampQuality(quality)
 	var scale int
 	if quality < 50 {
 		scale = 5000 / quality
@@ -169,32 +335,63 @@ func quantTable(quality int) [blockSize * blockSize]int {
 	return t
 }
 
-// rgbToYCbCr converts one pixel to the JPEG YCbCr color space
-// (full-range, centred on 0 for Y-128 handled by caller).
-func rgbToYCbCr(r, g, b float64) (y, cb, cr float64) {
-	y = 0.299*r + 0.587*g + 0.114*b
-	cb = -0.168736*r - 0.331264*g + 0.5*b + 128
-	cr = 0.5*r - 0.418688*g - 0.081312*b + 128
+// Reciprocal-quantizer precision: quantizing multiplies a coefficient
+// by round(2^quantShift / (8*quant)) and shifts right, replacing a
+// division per coefficient with a multiply.
+const (
+	quantShift = 19
+	quantHalf  = 1 << (quantShift - 1)
+)
+
+// maxCoeff bounds coefficient magnitudes accepted off the wire. The
+// encoder never produces |q| > 2048 (±255 samples through the 8×-scaled
+// DCT at quant ≥ 1), so the bound only clips hostile packets, keeping
+// the IDCT input small enough that its arithmetic stays exact.
+const maxCoeff = 1 << 15
+
+// quantizers bundles one quality level's per-coefficient dequantization
+// multipliers with the fixed-point reciprocals the encoder quantizes
+// by. The transform's 8× output scale is folded into the reciprocal
+// (divisor = 8*quant), so dequantized coefficients land at exactly the
+// scale idct8 expects with no extra descale step.
+type quantizers struct {
+	dequant [blockSize * blockSize]int32
+	recip   [blockSize * blockSize]int32
+}
+
+func buildQuantizers(quality int) quantizers {
+	qt := quantTable(quality)
+	var z quantizers
+	for i, q := range qt {
+		z.dequant[i] = int32(q)
+		div := q << 3
+		z.recip[i] = int32(((1 << quantShift) + div/2) / div)
+	}
+	return z
+}
+
+// Integer color conversion: coefficients scaled by 2^colorBits,
+// rounded. The forward luma weights sum to exactly 1<<colorBits, so a
+// gray input converts with zero error.
+const (
+	colorBits = 16
+	colorHalf = 1 << (colorBits - 1)
+)
+
+// rgbToYCbCr converts one pixel to the JPEG YCbCr color space. Inputs
+// are 0..255; y comes back in 0..255 and cb/cr centred on 0.
+func rgbToYCbCr(r, g, b int) (y, cb, cr int) {
+	y = (19595*r + 38470*g + 7471*b + colorHalf) >> colorBits
+	cb = (-11059*r - 21710*g + 32768*b + colorHalf) >> colorBits
+	cr = (32768*r - 27439*g - 5329*b + colorHalf) >> colorBits
 	return y, cb, cr
 }
 
-// yCbCrToRGB converts back, clamping to [0,255].
-func yCbCrToRGB(y, cb, cr float64) (r, g, b float64) {
-	cb -= 128
-	cr -= 128
-	r = clamp255(y + 1.402*cr)
-	g = clamp255(y - 0.344136*cb - 0.714136*cr)
-	b = clamp255(y + 1.772*cb)
+// yCbCrToRGB converts back (y 0..255, cb/cr centred on 0), clamping to
+// [0,255].
+func yCbCrToRGB(y, cb, cr int) (r, g, b int) {
+	r = clampInt(y+(91881*cr+colorHalf)>>colorBits, 0, 255)
+	g = clampInt(y-(22554*cb+46802*cr+colorHalf)>>colorBits, 0, 255)
+	b = clampInt(y+(116130*cb+colorHalf)>>colorBits, 0, 255)
 	return r, g, b
-}
-
-func clamp255(v float64) float64 {
-	switch {
-	case v < 0:
-		return 0
-	case v > 255:
-		return 255
-	default:
-		return v
-	}
 }

@@ -1,0 +1,53 @@
+package turbo
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// TestClosedLoopNoDriftLongRun is the integer codec's closed-loop
+// acceptance gate: over 500 frames of mixed content (scene cuts,
+// incremental motion, static repeats, forced keyframes) the encoder's
+// prev reconstruction must stay byte-identical to the decoder's output
+// after every frame — including across mid-stream quality steps, where
+// both sides must switch quantization tables on exactly the same frame.
+func TestClosedLoopNoDriftLongRun(t *testing.T) {
+	const w, h, frames = 64, 48, 500
+	enc := NewEncoder(w, h, 70)
+	dec := NewDecoder(w, h, 70)
+	rng := sim.NewRNG(11)
+	steps := map[int]int{100: 35, 250: 80, 400: 20}
+	var frame []byte
+	for i := 0; i < frames; i++ {
+		if q, ok := steps[i]; ok {
+			enc.SetQuality(q)
+		}
+		switch {
+		case i%7 == 0:
+			frame = randomFrame(rng, w, h, nil) // scene cut
+		case i%3 == 0:
+			// Static repeat: usually a zero-tile delta.
+		default:
+			frame = randomFrame(rng, w, h, frame) // partial motion
+		}
+		pkt, err := enc.Encode(frame, i%97 == 96)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := dec.Decode(pkt)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(enc.prev, got) {
+			t.Fatalf("frame %d: encoder reconstruction drifted from decoder", i)
+		}
+	}
+	if dec.Stats.QualityChanges != len(steps) {
+		t.Fatalf("QualityChanges = %d, want %d", dec.Stats.QualityChanges, len(steps))
+	}
+	if dec.Quality() != 20 {
+		t.Fatalf("final decoder quality = %d, want 20", dec.Quality())
+	}
+}

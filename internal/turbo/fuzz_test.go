@@ -1,11 +1,99 @@
 package turbo
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 
 	"github.com/gbooster/gbooster/internal/sim"
 )
+
+// FuzzDecode drives the decoder with arbitrary packets at serial and
+// parallel degrees. The seed corpus covers the hostile shapes that have
+// bitten the tile-apply path: out-of-range (including int-wrapping)
+// tile indices, truncated and overlong uvarints, duplicate tile
+// entries, and bad quality bytes — plus valid v1/v2 packets so the fuzz
+// explores mutations of real structure.
+func FuzzDecode(f *testing.F) {
+	const w, h = 32, 32
+	enc := NewEncoder(w, h, 60)
+	valid, err := enc.Encode(testFrame(w, h, 5, 5), false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid = append([]byte(nil), valid...)
+	f.Add(valid)
+	// Legacy v1 form of the same packet.
+	{
+		p := valid[1:]
+		_, n1 := binary.Uvarint(p)
+		_, n2 := binary.Uvarint(p[n1:])
+		qAt := 1 + n1 + n2
+		legacy := append([]byte{packetKey}, valid[1:qAt]...)
+		f.Add(append(legacy, valid[qAt+1:]...))
+	}
+	header := func(count uint32) []byte {
+		pkt := []byte{packetKeyQ}
+		pkt = binary.AppendUvarint(pkt, w)
+		pkt = binary.AppendUvarint(pkt, h)
+		pkt = append(pkt, DefaultQuality)
+		var c [4]byte
+		binary.LittleEndian.PutUint32(c[:], count)
+		return append(pkt, c[:]...)
+	}
+	// Out-of-range tile indices: just past the grid, and 64-bit values
+	// that wrap negative through int().
+	f.Add(append(binary.AppendUvarint(header(1), 16), 0))
+	f.Add(append(binary.AppendUvarint(header(2), 1<<63), 0))
+	f.Add(append(binary.AppendUvarint(header(2), ^uint64(0)>>1), 0))
+	// Truncated uvarints: continuation bits with no terminator, both as
+	// a tile index and as a coefficient run.
+	f.Add(append(header(1), 0xFF, 0xFF, 0xFF))
+	f.Add(append(binary.AppendUvarint(header(1), 0), 0xFF, 0xFF))
+	// Overlong zero run wrapping the coefficient position.
+	{
+		pkt := binary.AppendUvarint(header(2), 0)
+		pkt = binary.AppendUvarint(pkt, 64)
+		pkt = binary.AppendUvarint(pkt, 1<<63)
+		f.Add(binary.AppendVarint(pkt, 3))
+	}
+	// Duplicate tile entries (decodable; last entry must win).
+	{
+		pkt := header(2)
+		for i := 0; i < 2; i++ {
+			pkt = binary.AppendUvarint(pkt, 0)
+			pkt = append(pkt, 0, 0, 0) // three empty blocks
+		}
+		f.Add(pkt)
+	}
+	// Bad quality byte.
+	{
+		pkt := []byte{packetKeyQ}
+		pkt = binary.AppendUvarint(pkt, w)
+		pkt = binary.AppendUvarint(pkt, h)
+		pkt = append(pkt, 0, 0, 0, 0, 0)
+		f.Add(pkt)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(w, h, 60)
+		frame, err := dec.Decode(data)
+		if err == nil && len(frame) != w*h*4 {
+			t.Fatalf("accepted packet returned %d-byte frame", len(frame))
+		}
+		// The parallel path must agree with serial on accept/reject and
+		// on the decoded pixels.
+		par := NewDecoder(w, h, 60)
+		par.SetParallelism(4)
+		pframe, perr := par.Decode(data)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("serial err=%v, parallel err=%v", err, perr)
+		}
+		if err == nil && !bytes.Equal(frame, pframe) {
+			t.Fatal("parallel decode diverged from serial on fuzz input")
+		}
+	})
+}
 
 func TestDecodeNeverPanicsOnArbitraryBytes(t *testing.T) {
 	check := func(data []byte) bool {

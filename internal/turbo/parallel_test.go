@@ -128,7 +128,9 @@ func TestParallelDecodeByteIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			packets = append(packets, pkt)
+			// Encode's return aliases the encoder's reused buffer; copy
+			// to retain across calls.
+			packets = append(packets, append([]byte(nil), pkt...))
 		}
 		ref := NewDecoder(w, h, DefaultQuality)
 		var want [][]byte
@@ -176,16 +178,17 @@ func TestParallelDecodeDuplicateTileLastWins(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		header := 1 + 1 + 1 + 4 // kind, w uvarint, h uvarint, count
+		header := 1 + 1 + 1 + 1 + 4 // kind, w uvarint, h uvarint, quality, count
 		if (len(pkt)-header)%2 != 0 {
 			t.Fatalf("uniform packet body %d not even", len(pkt)-header)
 		}
 		return pkt[header : header+(len(pkt)-header)/2]
 	}
 	a, b := entry(40), entry(200)
-	pkt := []byte{packetKey}
+	pkt := []byte{packetKeyQ}
 	pkt = binary.AppendUvarint(pkt, w)
 	pkt = binary.AppendUvarint(pkt, h)
+	pkt = append(pkt, DefaultQuality)
 	pkt = append(pkt, 2, 0, 0, 0) // two entries, both for tile 0
 	pkt = append(pkt, a...)
 	pkt = append(pkt, b...)
@@ -307,7 +310,7 @@ func BenchmarkTurboDecode(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			pkts = append(pkts, pkt)
+			pkts = append(pkts, append([]byte(nil), pkt...))
 		}
 		for _, par := range benchDegrees() {
 			b.Run(fmt.Sprintf("%s/par=%d", sz.name, par), func(b *testing.B) {

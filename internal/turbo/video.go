@@ -14,7 +14,8 @@ import (
 // infeasible on service devices' CPUs" result, not to emit H.264.
 type VideoEncoder struct {
 	w, h        int
-	quant       [blockSize * blockSize]int
+	quality     int // effective quality, always in [1,100]
+	qz          quantizers
 	prev        []byte
 	started     bool
 	searchRange int
@@ -33,7 +34,8 @@ type VideoStats struct {
 
 // NewVideoEncoder returns an encoder for w×h RGBA frames. searchRange
 // is the ± motion search window in pixels (the knob that makes real
-// encoders slow; x264's default is ±16).
+// encoders slow; x264's default is ±16). Out-of-range qualities are
+// clamped to [1,100].
 func NewVideoEncoder(w, h, quality, searchRange int) *VideoEncoder {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("turbo: video encoder size %dx%d", w, h))
@@ -41,9 +43,11 @@ func NewVideoEncoder(w, h, quality, searchRange int) *VideoEncoder {
 	if searchRange < 0 {
 		searchRange = 0
 	}
+	quality = clampQuality(quality)
 	return &VideoEncoder{
 		w: w, h: h,
-		quant:       quantTable(quality),
+		quality:     quality,
+		qz:          buildQuantizers(quality),
 		prev:        make([]byte, w*h*4),
 		searchRange: searchRange,
 	}
@@ -59,7 +63,7 @@ func (v *VideoEncoder) Encode(frame []byte) ([]byte, error) {
 	out := binary.AppendUvarint(nil, uint64(v.w))
 	out = binary.AppendUvarint(out, uint64(v.h))
 
-	var yBlk, cbBlk, crBlk [blockSize * blockSize]float64
+	var yBlk, cbBlk, crBlk [blockSize * blockSize]int32
 	for ty := 0; ty < th; ty++ {
 		for tx := 0; tx < tw; tx++ {
 			mvx, mvy := 0, 0
@@ -69,7 +73,7 @@ func (v *VideoEncoder) Encode(frame []byte) ([]byte, error) {
 			out = binary.AppendVarint(out, int64(mvx))
 			out = binary.AppendVarint(out, int64(mvy))
 			v.loadResidual(frame, tx, ty, mvx, mvy, &yBlk, &cbBlk, &crBlk)
-			for _, blk := range [...]*[blockSize * blockSize]float64{&yBlk, &cbBlk, &crBlk} {
+			for _, blk := range [...]*[blockSize * blockSize]int32{&yBlk, &cbBlk, &crBlk} {
 				out = v.encodeBlock(out, blk)
 			}
 		}
@@ -134,8 +138,9 @@ func (v *VideoEncoder) tileSAD(frame []byte, x0, y0, rx, ry int, best int64) int
 }
 
 // loadResidual fills the blocks with frame − motion-compensated prev in
-// YCbCr space.
-func (v *VideoEncoder) loadResidual(frame []byte, tx, ty, mvx, mvy int, yBlk, cbBlk, crBlk *[blockSize * blockSize]float64) {
+// YCbCr space (cb/cr centred on 0, so the zero reference for the first
+// frame is simply 0).
+func (v *VideoEncoder) loadResidual(frame []byte, tx, ty, mvx, mvy int, yBlk, cbBlk, crBlk *[blockSize * blockSize]int32) {
 	x0, y0 := tx*blockSize, ty*blockSize
 	for dy := 0; dy < blockSize; dy++ {
 		fy := clampInt(y0+dy, 0, v.h-1)
@@ -145,31 +150,37 @@ func (v *VideoEncoder) loadResidual(frame []byte, tx, ty, mvx, mvy int, yBlk, cb
 			px := clampInt(x0+dx+mvx, 0, v.w-1)
 			fi := (fy*v.w + fx) * 4
 			pi := (py*v.w + px) * 4
-			fYv, fCb, fCr := rgbToYCbCr(float64(frame[fi]), float64(frame[fi+1]), float64(frame[fi+2]))
-			var pY, pCb, pCr float64
+			fYv, fCb, fCr := rgbToYCbCr(int(frame[fi]), int(frame[fi+1]), int(frame[fi+2]))
+			var pY, pCb, pCr int
 			if v.started {
-				pY, pCb, pCr = rgbToYCbCr(float64(v.prev[pi]), float64(v.prev[pi+1]), float64(v.prev[pi+2]))
-			} else {
-				pY, pCb, pCr = 0, 128, 128
+				pY, pCb, pCr = rgbToYCbCr(int(v.prev[pi]), int(v.prev[pi+1]), int(v.prev[pi+2]))
 			}
 			k := dy*blockSize + dx
-			yBlk[k] = fYv - pY
-			cbBlk[k] = fCb - pCb
-			crBlk[k] = fCr - pCr
+			yBlk[k] = int32(fYv - pY)
+			cbBlk[k] = int32(fCb - pCb)
+			crBlk[k] = int32(fCr - pCr)
 		}
 	}
 }
 
 // encodeBlock transform-codes a residual block (no reconstruction
 // needed — the speed model does not decode).
-func (v *VideoEncoder) encodeBlock(out []byte, blk *[blockSize * blockSize]float64) []byte {
-	var freq [blockSize * blockSize]float64
-	fdct8(&freq, blk)
-	var q [blockSize * blockSize]int32
+func (v *VideoEncoder) encodeBlock(out []byte, blk *[blockSize * blockSize]int32) []byte {
+	fdct8(blk)
+	var zz [blockSize * blockSize]int32
+	last := -1
 	for i := 0; i < blockSize*blockSize; i++ {
-		q[i] = int32(roundHalfAway(freq[i] / float64(v.quant[i])))
+		pos := _zigzag[i]
+		c := int(blk[pos])
+		s := c >> 63
+		q := (((c^s)-s)*int(v.qz.recip[pos]) + quantHalf) >> quantShift
+		q = (q ^ s) - s
+		zz[i] = int32(q)
+		if q != 0 {
+			last = i
+		}
 	}
-	return appendCoeffs(out, &q)
+	return appendCoeffs(out, &zz, last)
 }
 
 func clampInt(v, lo, hi int) int {

@@ -7,12 +7,17 @@
 #
 #   BENCHTIME=1x sh scripts/bench_dataplane.sh   # smoke run (check.sh)
 #   sh scripts/bench_dataplane.sh                # full 1s-per-series run
+#
+# Set MIN_MBPS='<benchmark>:<floor>' to fail the run unless the named
+# series hits the floor (check.sh gates the single-thread 720p encode
+# this way).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_dataplane.json}"
+MIN_MBPS="${MIN_MBPS:-}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -23,5 +28,9 @@ go test -run '^$' -bench 'BenchmarkRaster' \
 go test -run '^$' -bench 'BenchmarkFramePipeline' \
 	-benchtime "$BENCHTIME" ./internal/core/ | tee -a "$tmp"
 
-go run ./scripts/benchjson -o "$OUT" <"$tmp"
+if [ -n "$MIN_MBPS" ]; then
+	go run ./scripts/benchjson -o "$OUT" -min-mbps "$MIN_MBPS" <"$tmp"
+else
+	go run ./scripts/benchjson -o "$OUT" <"$tmp"
+fi
 echo "wrote $OUT"

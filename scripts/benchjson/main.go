@@ -74,16 +74,22 @@ type fleetSummary struct {
 }
 
 type report struct {
-	Date       string          `json:"date"`
-	NCPU       int             `json:"ncpu"`
-	GOOS       string          `json:"goos"`
-	GOARCH     string          `json:"goarch"`
-	CPU        string          `json:"cpu,omitempty"`
-	Note       string          `json:"note"`
-	Benchmarks []benchResult   `json:"benchmarks"`
-	Speedups   []speedup       `json:"speedups,omitempty"`
-	Uplink     []uplinkSummary `json:"uplink,omitempty"`
-	Fleet      []fleetSummary  `json:"fleet,omitempty"`
+	Date       string `json:"date"`
+	NCPU       int    `json:"ncpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"`
+	// SpeedupGate records whether the par>=4 speedup acceptance target
+	// is meaningful on this host: "evaluated" with 4+ CPUs,
+	// "skipped-ncpu<4" otherwise — so a single-core run can never be
+	// mistaken for a passing (or failing) parallel result.
+	SpeedupGate string          `json:"speedup_gate"`
+	Note        string          `json:"note"`
+	Benchmarks  []benchResult   `json:"benchmarks"`
+	Speedups    []speedup       `json:"speedups,omitempty"`
+	Uplink      []uplinkSummary `json:"uplink,omitempty"`
+	Fleet       []fleetSummary  `json:"fleet,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result row; the trailing
@@ -103,6 +109,8 @@ var sessionsFamily = regexp.MustCompile(`^(.+)/sessions=(\d+)$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	minMBPS := flag.String("min-mbps", "",
+		"regression gate '<benchmark>:<min>': exit nonzero unless the named benchmark ran and hit at least <min> MB/s")
 	flag.Parse()
 
 	var results []benchResult
@@ -255,12 +263,18 @@ func main() {
 	}
 	sort.Slice(fleets, func(i, j int) bool { return fleets[i].Benchmark < fleets[j].Benchmark })
 
+	gate := "evaluated"
+	if runtime.NumCPU() < 4 {
+		gate = "skipped-ncpu<4"
+	}
 	rep := report{
-		Date:   time.Now().UTC().Format(time.RFC3339),
-		NCPU:   runtime.NumCPU(),
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		CPU:    cpu,
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		NCPU:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPU:         cpu,
+		SpeedupGate: gate,
 		Note: "speedup_vs_par1 = ns(par=1)/ns(par=N); parallel output is " +
 			"byte-identical to serial at every degree, so these ratios are pure " +
 			"latency wins. With ncpu=1 every ratio is ~1 by construction — " +
@@ -278,10 +292,42 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
 	}
+	// The regression gate runs after the report is written so a failing
+	// run still leaves its numbers on disk for inspection.
+	if *minMBPS != "" {
+		if err := checkMinMBPS(*minMBPS, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkMinMBPS enforces a '<benchmark>:<min>' throughput floor. A
+// missing benchmark fails the gate too: a renamed or skipped series
+// must not read as a pass.
+func checkMinMBPS(spec string, results []benchResult) error {
+	i := strings.LastIndex(spec, ":")
+	if i <= 0 {
+		return fmt.Errorf("min-mbps: bad spec %q, want '<benchmark>:<min>'", spec)
+	}
+	name := spec[:i]
+	min, err := strconv.ParseFloat(spec[i+1:], 64)
+	if err != nil {
+		return fmt.Errorf("min-mbps: bad threshold in %q: %v", spec, err)
+	}
+	for _, r := range results {
+		if r.Name != name {
+			continue
+		}
+		if r.MBPerS < min {
+			return fmt.Errorf("min-mbps: %s ran at %.2f MB/s, below the %.2f MB/s floor", name, r.MBPerS, min)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: min-mbps gate: %s %.2f MB/s >= %.2f MB/s\n", name, r.MBPerS, min)
+		return nil
+	}
+	return fmt.Errorf("min-mbps: benchmark %q not found in input", name)
 }

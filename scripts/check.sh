@@ -34,11 +34,16 @@ go test -race -short -run 'Handoff|HotJoin' ./internal/core/... .
 # the race runtime's shadow allocations make an exact-zero assertion
 # impossible, so the race pass above skips this test by design.
 go test -run 'TestUplinkFlushZeroAllocSteadyState' -count=1 ./internal/core/
-# Data-plane benchmark smoke: one iteration per series is enough to
-# prove the parallel encode/raster/pipeline paths still run and to
-# refresh BENCH_dataplane.json's schema. Full numbers come from
-# running scripts/bench_dataplane.sh without BENCHTIME.
-BENCHTIME=1x OUT=/tmp/BENCH_dataplane.smoke.json sh scripts/bench_dataplane.sh
+# Data-plane benchmark smoke: a few iterations per series prove the
+# parallel encode/raster/pipeline paths still run and refresh
+# BENCH_dataplane.json's schema, while the MIN_MBPS gate catches a
+# single-thread turbo-encode throughput regression (the fixed-point
+# pipeline sustains ~110 MB/s at 720p; 60 leaves headroom for slow
+# CI hosts). Full numbers come from running scripts/bench_dataplane.sh
+# without BENCHTIME.
+BENCHTIME=5x OUT=/tmp/BENCH_dataplane.smoke.json \
+	MIN_MBPS='BenchmarkTurboEncode/1280x720/par=1:60' \
+	sh scripts/bench_dataplane.sh
 # Uplink benchmark smoke: proves the dict=on/dict=off encode series and
 # the BENCH_uplink.json summary still build. Full numbers come from
 # running scripts/bench_uplink.sh without BENCHTIME.

@@ -17,19 +17,50 @@ import (
 // options collects the data-plane tunables shared by StreamServer and
 // Player. Zero values mean "library default" throughout.
 type options struct {
-	quality       int
-	parallelism   int
-	diffThreshold float64
-	pipelineDepth int
+	quality         int
+	parallelism     int
+	diffThreshold   float64
+	pipelineDepth   int
+	adaptiveQuality bool
+	qualityFloor    int
 }
 
 // Option tunes a StreamServer or Player beyond its config struct.
 type Option func(*options)
 
-// WithQuality sets the turbo codec quality (1..100). Server and player
-// of one session must agree on it.
+// WithQuality sets the turbo codec quality: values above 100 clamp to
+// 100, and q <= 0 keeps the library default (matching the rest of the
+// options API, where zero means "default" — gbooster-server relies on
+// it). With adaptive quality enabled this is the ladder's ceiling —
+// the quality the server returns to on an uncongested link. The player
+// needs no matching setting: each turbo packet carries its encode
+// quality.
 func WithQuality(q int) Option {
-	return func(o *options) { o.quality = q }
+	return func(o *options) {
+		if q <= 0 {
+			q = 0 // library default
+		}
+		if q > 100 {
+			q = 100
+		}
+		o.quality = q
+	}
+}
+
+// WithAdaptiveQuality enables the server's congestion-aware quality
+// ladder: encode quality steps down toward floor (clamped to 1..the
+// configured quality; <= 0 selects the default floor) when the
+// session's transport shows retransmits, receive-queue pushback, a
+// half-full send window, or RTT inflation, and recovers gradually once
+// the link runs clean. Server-side only; players ignore it.
+func WithAdaptiveQuality(floor int) Option {
+	return func(o *options) {
+		o.adaptiveQuality = true
+		if floor > 100 {
+			floor = 100
+		}
+		o.qualityFloor = floor
+	}
 }
 
 // WithParallelism sets the data-plane worker degree — rasterization
@@ -107,12 +138,14 @@ const defaultAcceptTimeout = 5 * time.Minute
 func NewStreamServer(cfg StreamServerConfig, opts ...Option) (*StreamServer, error) {
 	o := buildOptions(opts)
 	srv, err := core.NewServer(core.ServerConfig{
-		Width:         cfg.Width,
-		Height:        cfg.Height,
-		Quality:       o.quality,
-		Parallelism:   o.parallelism,
-		DiffThreshold: o.diffThreshold,
-		PipelineDepth: o.pipelineDepth,
+		Width:           cfg.Width,
+		Height:          cfg.Height,
+		Quality:         o.quality,
+		Parallelism:     o.parallelism,
+		DiffThreshold:   o.diffThreshold,
+		PipelineDepth:   o.pipelineDepth,
+		AdaptiveQuality: o.adaptiveQuality,
+		QualityFloor:    o.qualityFloor,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("gbooster: %w", err)
@@ -385,6 +418,16 @@ type PlayerStats struct {
 	// CacheHits / CacheMisses count records the mirrored caches replaced
 	// with a 9-byte reference vs. shipped in full.
 	CacheHits, CacheMisses int64
+	// DownlinkBytes counts encoded frame bytes received from the
+	// servers (the downlink half of the traffic picture).
+	DownlinkBytes int64
+	// QualityNow is the encode quality of the most recently displayed
+	// frame, read from the turbo packet headers (zero before the first
+	// frame); QualityMin the lowest seen; QualityChanges the number of
+	// mid-stream steps. A QualityMin below the configured quality means
+	// a server-side adaptive ladder shed bytes under congestion.
+	QualityNow, QualityMin int
+	QualityChanges         int64
 }
 
 // CompressionRatio returns cache-encoded bytes over wire bytes — the
@@ -417,6 +460,10 @@ func (p *Player) Stats() PlayerStats {
 		PreCompressBytes: st.PreCompressBytes,
 		CacheHits:        st.CacheHits,
 		CacheMisses:      st.CacheMisses,
+		DownlinkBytes:    st.DownlinkBytes,
+		QualityNow:       st.QualityNow,
+		QualityMin:       st.QualityMin,
+		QualityChanges:   st.QualityChanges,
 	}
 }
 

@@ -1,0 +1,42 @@
+package gbooster
+
+import "testing"
+
+// TestWithQualityClamped: out-of-range qualities are normalized at the
+// option layer — nonpositive keeps the zero "library default" (the
+// CLIs pass 0 to mean exactly that), oversized clamps to 100 — so a
+// misconfigured caller gets a working codec instead of an error deep
+// in the session.
+func TestWithQualityClamped(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {-5, 0}, {1, 1}, {60, 60}, {100, 100}, {1000, 100},
+	}
+	for _, tc := range cases {
+		o := buildOptions([]Option{WithQuality(tc.in)})
+		if o.quality != tc.want {
+			t.Errorf("WithQuality(%d) = %d, want %d", tc.in, o.quality, tc.want)
+		}
+	}
+}
+
+func TestWithAdaptiveQuality(t *testing.T) {
+	o := buildOptions([]Option{WithQuality(85), WithAdaptiveQuality(30)})
+	if !o.adaptiveQuality || o.qualityFloor != 30 {
+		t.Fatalf("adaptive=%v floor=%d", o.adaptiveQuality, o.qualityFloor)
+	}
+	// A floor above 100 is clamped at the option layer; a nonpositive
+	// floor defers to the server's default.
+	if o := buildOptions([]Option{WithAdaptiveQuality(500)}); o.qualityFloor != 100 {
+		t.Fatalf("floor 500 clamped to %d", o.qualityFloor)
+	}
+	if o := buildOptions([]Option{WithAdaptiveQuality(0)}); !o.adaptiveQuality || o.qualityFloor != 0 {
+		t.Fatalf("floor 0: adaptive=%v floor=%d", o.adaptiveQuality, o.qualityFloor)
+	}
+	// Servers built with extreme settings must still construct.
+	srv, err := NewStreamServer(StreamServerConfig{Width: 64, Height: 48},
+		WithQuality(1000), WithAdaptiveQuality(-7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+}
