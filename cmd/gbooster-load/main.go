@@ -1,0 +1,154 @@
+// Command gbooster-load drives scenario-shaped fleets of simulated
+// players against a GBooster server and reports per-scenario SLOs:
+// frame-latency quantiles, delivered FPS, failover and handoff
+// activity, quality-ladder movement, and fleet capacity pressure.
+//
+// By default each scenario gets a fresh in-process fleet behind an
+// emulated network (per-session loss/jitter/bandwidth from the
+// scenario's link profiles), so a capacity study needs no running
+// server. With -addr the same scenarios aim at a real gbooster-server
+// over UDP instead; link profiles then don't apply and fleet counters
+// aren't visible.
+//
+// Usage:
+//
+//	gbooster-load [-scenario all|production-day,spike,flash-crowd,churn]
+//	              [-sessions 0] [-frames 0] [-seed 0] [-workers 0]
+//	              [-width 320] [-height 240] [-link profile]
+//	              [-max-sessions 0] [-idle 30s] [-quality 0]
+//	              [-adaptive-quality] [-quality-floor 0] [-parallelism 1]
+//	              [-addr host:port] [-bench]
+//
+// With -bench, machine-readable Go-benchmark lines go to stdout (one
+// per scenario, parsed by scripts/benchjson into BENCH_load.json) and
+// the human tables to stderr; without it, tables go to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/gbooster/gbooster"
+	"github.com/gbooster/gbooster/internal/loadgen"
+	"github.com/gbooster/gbooster/internal/netsim"
+)
+
+func main() {
+	scenarios := flag.String("scenario", "all", "comma-separated scenario presets, or \"all\" ("+strings.Join(loadgen.ScenarioNames(), ", ")+")")
+	sessions := flag.Int("sessions", 0, "override each scenario's session count (0 = preset)")
+	frames := flag.Int("frames", 0, "override each scenario's frames per session (0 = preset)")
+	seed := flag.Uint64("seed", 0, "override each scenario's seed (0 = preset)")
+	workers := flag.Int("workers", 0, "concurrent session workers (0 = one per CPU)")
+	width := flag.Int("width", 320, "stream width")
+	height := flag.Int("height", 240, "stream height")
+	link := flag.String("link", "", "force every session onto one link profile ("+strings.Join(netsim.ProfileNames(), ", ")+")")
+	maxSessions := flag.Int("max-sessions", 0, "in-process fleet admission cap (0 = default)")
+	idle := flag.Duration("idle", 30*time.Second, "in-process fleet idle-reap timeout")
+	quality := flag.Int("quality", 0, "turbo codec quality (0 = default)")
+	adaptive := flag.Bool("adaptive-quality", false, "step quality down under congestion")
+	qualityFloor := flag.Int("quality-floor", 0, "adaptive quality lower bound (0 = default)")
+	parallelism := flag.Int("parallelism", 1, "per-session data-plane workers (1 = serial; sessions already run concurrently)")
+	addr := flag.String("addr", "", "aim at a real server at this UDP address instead of an in-process fleet")
+	bench := flag.Bool("bench", false, "emit Go-benchmark lines on stdout (tables move to stderr)")
+	flag.Parse()
+
+	names := loadgen.ScenarioNames()
+	if *scenarios != "all" {
+		names = strings.Split(*scenarios, ",")
+	}
+	opts := []gbooster.Option{
+		gbooster.WithQuality(*quality),
+		gbooster.WithParallelism(*parallelism),
+	}
+	if *adaptive {
+		opts = append(opts, gbooster.WithAdaptiveQuality(*qualityFloor))
+	}
+
+	tables := os.Stdout
+	if *bench {
+		tables = os.Stderr
+	}
+	failed := false
+	for _, name := range names {
+		sc, err := loadgen.ScenarioByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		if *sessions > 0 {
+			sc.Sessions = *sessions
+		}
+		if *frames > 0 {
+			sc.FramesPerSession = *frames
+		}
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		if *link != "" {
+			p, err := netsim.ProfileByName(*link)
+			if err != nil {
+				fatal(err)
+			}
+			sc.Links = []loadgen.WeightedProfile{{Profile: p, Weight: 1}}
+		}
+
+		slo, err := runScenario(sc, *addr, *width, *height, *maxSessions, *idle, *workers, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(tables, slo.Table())
+		if *bench {
+			fmt.Println(slo.BenchLine())
+		}
+		if slo.Failed > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		fatal(fmt.Errorf("some sessions failed (see tables)"))
+	}
+}
+
+// runScenario builds a fresh target per scenario — each preset starts
+// against an empty fleet, so results don't depend on run order — and
+// executes it.
+func runScenario(sc loadgen.Scenario, addr string, width, height, maxSessions int, idle time.Duration, workers int, opts []gbooster.Option) (loadgen.SLO, error) {
+	var target loadgen.Target
+	var err error
+	if addr != "" {
+		target, err = loadgen.NewUDPTarget(addr)
+	} else {
+		target, err = loadgen.NewFleetTarget(gbooster.FleetConfig{
+			Width:       width,
+			Height:      height,
+			MaxSessions: maxSessions,
+			IdleTimeout: idle,
+		}, opts...)
+	}
+	if err != nil {
+		return loadgen.SLO{}, err
+	}
+	defer func() { _ = target.Close() }()
+
+	results, err := loadgen.Run(loadgen.RunConfig{
+		Target:  target,
+		Width:   width,
+		Height:  height,
+		Workers: workers,
+		Options: opts,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}, sc)
+	if err != nil {
+		return loadgen.SLO{}, err
+	}
+	return loadgen.Summarize(sc.Name, results), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gbooster-load:", err)
+	os.Exit(1)
+}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	gbooster-play -servers 127.0.0.1:4870[,host:port...] [-workload G1]
-//	              [-frames 300] [-png out.png]
+//	              [-frames 300] [-png out.png] [-report]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/gbooster/gbooster"
+	"github.com/gbooster/gbooster/internal/metrics"
 )
 
 func main() {
@@ -30,15 +31,16 @@ func main() {
 	height := flag.Int("height", 480, "stream height")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	pngPath := flag.String("png", "", "write the final frame to this PNG file")
+	report := flag.Bool("report", false, "print the standard collector reports after playing")
 	flag.Parse()
 
-	if err := run(*servers, *workloadID, *frames, *width, *height, *seed, *pngPath); err != nil {
+	if err := run(*servers, *workloadID, *frames, *width, *height, *seed, *pngPath, *report); err != nil {
 		fmt.Fprintln(os.Stderr, "gbooster-play:", err)
 		os.Exit(1)
 	}
 }
 
-func run(servers, workloadID string, frames, width, height int, seed uint64, pngPath string) error {
+func run(servers, workloadID string, frames, width, height int, seed uint64, pngPath string, report bool) error {
 	player, err := gbooster.NewPlayer(gbooster.PlayerConfig{
 		Workload: workloadID,
 		Width:    width,
@@ -56,6 +58,13 @@ func run(servers, workloadID string, frames, width, height int, seed uint64, png
 		fmt.Printf("connected to %s\n", addr)
 	}
 
+	// One registry on the unified snapshot path — the same aggregation
+	// gbooster-load runs per session. The first observation (right after
+	// connect) anchors the interval collectors; periodic observations
+	// give the FPS collector per-interval samples.
+	reg := metrics.NewStandardRegistry()
+	reg.Observe(player.Snapshot())
+
 	start := time.Now()
 	var last *image.RGBA
 	for f := 0; f < frames; f++ {
@@ -64,12 +73,20 @@ func run(servers, workloadID string, frames, width, height int, seed uint64, png
 			return fmt.Errorf("frame %d: %w", f, err)
 		}
 		last = img
+		if f%30 == 29 {
+			reg.Observe(player.Snapshot())
+		}
 	}
 	elapsed := time.Since(start)
-	st := player.Stats()
+	s := player.Snapshot()
+	reg.Observe(s)
+
+	st := s.PlayerStats
 	fmt.Printf("played %d frames of %s in %v (%.1f FPS end-to-end)\n",
 		frames, workloadID, elapsed.Round(time.Millisecond), float64(frames)/elapsed.Seconds())
-	fmt.Printf("frames sent=%d displayed=%d\n", st.FramesSent, st.FramesShown)
+	fmt.Printf("frames sent=%d displayed=%d; mean issue-to-display %v (max %v)\n",
+		st.FramesSent, st.FramesShown,
+		s.MeanFrameLatency().Round(time.Microsecond), s.FrameLatencyMax.Round(time.Microsecond))
 	fmt.Printf("uplink raw %0.1f KB/frame -> wire %0.1f KB/frame (%.0f%% reduction)\n",
 		float64(st.RawBytes)/float64(frames)/1024, float64(st.WireBytes)/float64(frames)/1024,
 		(1-float64(st.WireBytes)/float64(st.RawBytes))*100)
@@ -81,18 +98,28 @@ func run(servers, workloadID string, frames, width, height int, seed uint64, png
 			float64(st.DownlinkBytes)/float64(frames)/1024,
 			st.QualityNow, st.QualityMin, st.QualityChanges)
 	}
-	if fs := player.FailoverStats(); fs.ReDispatched+fs.Evictions+fs.Readmissions+fs.FramesSkipped+fs.LateFrames > 0 {
+	if fs := s.FailoverStats; fs.ReDispatched+fs.Evictions+fs.Readmissions+fs.FramesSkipped+fs.LateFrames > 0 {
 		fmt.Printf("failover: re-dispatched=%d evicted=%d readmitted=%d skipped=%d late=%d\n",
 			fs.ReDispatched, fs.Evictions, fs.Readmissions, fs.FramesSkipped, fs.LateFrames)
 	}
-	if hs := player.HandoffStats(); hs.BootstrapsSent+hs.Completed+hs.Failed > 0 {
+	if hs := s.HandoffStats; hs.BootstrapsSent+hs.Completed+hs.Failed > 0 {
 		fmt.Printf("handoff: bootstraps=%d (%0.1f KB total) completed=%d failed=%d mean-latency=%v\n",
 			hs.BootstrapsSent, float64(hs.BootstrapBytes)/1024, hs.Completed, hs.Failed,
 			hs.MeanLatency.Round(time.Microsecond))
 	}
-	for _, ds := range player.DeviceStates() {
+	for _, ds := range s.Devices {
 		if ds.Health != "healthy" {
 			fmt.Printf("device %s: %s\n", ds.Service, ds.Health)
+		}
+	}
+	if report {
+		fmt.Println("collector reports:")
+		for _, r := range reg.Reports() {
+			parts := make([]string, 0, len(r.Fields))
+			for _, f := range r.Fields {
+				parts = append(parts, fmt.Sprintf("%s=%.3g%s", f.Name, f.Value, f.Unit))
+			}
+			fmt.Printf("  %-10s %s\n", r.Collector, strings.Join(parts, " "))
 		}
 	}
 

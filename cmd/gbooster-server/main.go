@@ -94,18 +94,14 @@ func runFleet(addr string, width, height, maxSessions int, idle, statsEvery time
 			defer tick.Stop()
 			var col metrics.FleetCollector
 			for range tick.C {
-				st := fl.Stats()
-				col.Add(metrics.FleetSample{
-					Sessions:    st.Sessions,
-					Admitted:    st.Admitted,
-					Rejected:    st.Rejected,
-					NonProtocol: st.NonProtocol,
-					Frames:      st.Frames,
-					GateWaits:   st.GateWaits,
-				})
+				// The unified snapshot path: the fleet snapshot rides a
+				// PlayerSnapshot into the same collector gbooster-load's
+				// sessions feed.
+				snap := fl.Snapshot()
+				col.Observe(metrics.PlayerSnapshot{Fleet: &snap.FleetStats})
 				tot := col.Totals()
 				fmt.Printf("fleet: sessions=%d peak=%d frames=%d reject_rate=%.3f gate_wait_rate=%.3f non_protocol=%d\n",
-					st.Sessions, col.PeakSessions(), tot.Frames, col.RejectRate(), col.GateWaitRate(), tot.NonProtocol)
+					snap.Sessions, col.PeakSessions(), tot.Frames, col.RejectRate(), col.GateWaitRate(), tot.NonProtocol)
 			}
 		}()
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/gbooster/gbooster/internal/fleet"
+	"github.com/gbooster/gbooster/internal/metrics"
 )
 
 // ErrFleetOverCapacity reports an admission refused because a Fleet is
@@ -42,26 +43,9 @@ type FleetConfig struct {
 // FleetStats is a point-in-time snapshot of a Fleet.
 // Admitted/Rejected/NonProtocol/Frames and the gate counters are
 // cumulative; Sessions, TimersArmed, and GateActive are instantaneous.
-type FleetStats struct {
-	// Sessions is the live session count; PeakSessions the high-water
-	// mark since the fleet started serving.
-	Sessions, PeakSessions int64
-	// Admitted counts sessions ever admitted; Rejected datagrams
-	// dropped over capacity; NonProtocol datagrams dropped for not
-	// carrying the protocol magic.
-	Admitted, Rejected, NonProtocol int64
-	// Frames counts rendering requests served across all sessions.
-	Frames int64
-	// TimersArmed is how many sessions currently hold a slot on the
-	// shared retransmission timer wheel (in-flight data only).
-	TimersArmed int
-	// GateWidth is the render-concurrency bound (0 = unlimited);
-	// GateEntries counts renders admitted through the gate, GateWaits
-	// how many of those had to queue, and GateActive how many hold a
-	// slot right now.
-	GateWidth                          int
-	GateEntries, GateWaits, GateActive int64
-}
+// It is an alias of the internal/metrics definition so fleet snapshots
+// feed the metrics collectors directly.
+type FleetStats = metrics.FleetStats
 
 // Fleet is the multi-tenant counterpart of StreamServer: one UDP
 // listener, many concurrent clients. Inbound datagrams are demultiplexed
@@ -149,7 +133,16 @@ func (f *Fleet) ServeConn(pc net.PacketConn) error {
 	return fmt.Errorf("gbooster: fleet listener closed")
 }
 
+// Snapshot returns one consistent observation of the fleet's counters
+// (zero before Serve/ServeConn) — the fleet-side mirror of
+// Player.Snapshot.
+func (f *Fleet) Snapshot() FleetSnapshot {
+	return FleetSnapshot{FleetStats: f.Stats()}
+}
+
 // Stats returns a fleet snapshot (zero before Serve/ServeConn).
+//
+// Deprecated: read Snapshot().FleetStats. Kept as a thin accessor.
 func (f *Fleet) Stats() FleetStats {
 	f.mu.Lock()
 	mgr := f.mgr

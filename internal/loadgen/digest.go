@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// Digest is a fixed-size log-bucketed quantile sketch for frame
+// latencies: constant memory per session, a few percent relative error
+// on quantiles, and cheap merging across sessions — what a scenario
+// needs to report p50/p99 over hundreds of thousands of frames without
+// keeping them all.
+const (
+	digestBuckets = 512
+	digestGamma   = 1.05 // ≤2.5% relative quantile error
+	// digestMin is the smallest distinguishable value (in the caller's
+	// unit); everything at or below it lands in bucket 0.
+	digestMin = 1e-3
+)
+
+var digestLogGamma = math.Log(digestGamma)
+
+type Digest struct {
+	counts [digestBuckets]int64
+	n      int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{} }
+
+// Add records one value. Negative and NaN values are ignored.
+func (d *Digest) Add(v float64) {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	i := bucketOf(v)
+	d.counts[i]++
+	if d.n == 0 || v < d.min {
+		d.min = v
+	}
+	if v > d.max {
+		d.max = v
+	}
+	d.n++
+	d.sum += v
+}
+
+// AddDuration records a duration in milliseconds.
+func (d *Digest) AddDuration(v time.Duration) {
+	d.Add(float64(v) / float64(time.Millisecond))
+}
+
+// bucketOf maps a value to its log bucket.
+func bucketOf(v float64) int {
+	if v <= digestMin {
+		return 0
+	}
+	i := int(math.Log(v/digestMin)/digestLogGamma) + 1
+	if i >= digestBuckets {
+		return digestBuckets - 1
+	}
+	return i
+}
+
+// bucketValue is the geometric midpoint a bucket reports for its
+// members.
+func bucketValue(i int) float64 {
+	if i == 0 {
+		return digestMin
+	}
+	return digestMin * math.Pow(digestGamma, float64(i)-0.5)
+}
+
+// Count returns the number of recorded values.
+func (d *Digest) Count() int64 { return d.n }
+
+// Mean returns the exact arithmetic mean of recorded values.
+func (d *Digest) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Max returns the exact maximum recorded value.
+func (d *Digest) Max() float64 { return d.max }
+
+// Min returns the exact minimum recorded value.
+func (d *Digest) Min() float64 { return d.min }
+
+// Quantile returns the approximate q-quantile (q in [0,1]), clamped to
+// the exact observed min/max so tails never over-report. Zero with no
+// values.
+func (d *Digest) Quantile(q float64) float64 {
+	if d.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.min
+	}
+	if q >= 1 {
+		return d.max
+	}
+	rank := int64(math.Ceil(q * float64(d.n)))
+	var seen int64
+	for i, c := range d.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketValue(i)
+			if v < d.min {
+				v = d.min
+			}
+			if v > d.max {
+				v = d.max
+			}
+			return v
+		}
+	}
+	return d.max
+}
+
+// Merge folds other into d. Merging preserves the per-bucket error
+// bound: a merged digest answers quantiles as if it had seen both
+// streams.
+func (d *Digest) Merge(other *Digest) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		d.counts[i] += c
+	}
+	if d.n == 0 || other.min < d.min {
+		d.min = other.min
+	}
+	if other.max > d.max {
+		d.max = other.max
+	}
+	d.n += other.n
+	d.sum += other.sum
+}

@@ -1,0 +1,215 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/gbooster/gbooster"
+	"github.com/gbooster/gbooster/internal/metrics"
+	"github.com/gbooster/gbooster/internal/rudp"
+)
+
+// RunConfig configures scenario execution.
+type RunConfig struct {
+	// Target is what sessions connect to.
+	Target Target
+	// Width, Height is the streaming resolution (must match the
+	// target's).
+	Width, Height int
+	// Workers bounds concurrently running sessions (0 = one per CPU).
+	// Sessions queue behind busy workers, so a worker count below the
+	// live-session demand implicitly caps concurrency.
+	Workers int
+	// Options tune each session's player.
+	Options []gbooster.Option
+	// Logf, if set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Result is one session's outcome.
+type Result struct {
+	Plan SessionPlan
+	// Snapshot is the session's final unified snapshot (with the
+	// fleet rider when the target exposes one).
+	Snapshot gbooster.PlayerSnapshot
+	// Reports are the session's metrics.Registry reports (the eight
+	// standard collectors fed through the snapshot path).
+	Reports []metrics.Report
+	// Latency digests every successful frame's issue-to-display span,
+	// in milliseconds.
+	Latency *Digest
+	// FramesOK counts frames that displayed.
+	FramesOK int
+	// Crashed marks a scripted mid-run crash (not a failure).
+	Crashed bool
+	// Rejected marks a session that never got a frame through and
+	// timed out — an admission-capacity refusal at the fleet.
+	Rejected bool
+	// Err is the terminal error of a failed session (nil for clean,
+	// crashed, and rejected sessions).
+	Err error
+}
+
+// Run executes the scenario against the target: plans sessions, starts
+// them on the arrival schedule through a worker pool, runs each frame
+// loop with its churn script, and returns per-session results in plan
+// order. The plan is deterministic in the scenario; the measured
+// timings of course are not.
+func Run(cfg RunConfig, sc Scenario) ([]Result, error) {
+	if cfg.Target == nil {
+		return nil, errors.New("loadgen: RunConfig.Target is required")
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("loadgen: bad resolution %dx%d", cfg.Width, cfg.Height)
+	}
+	sc = sc.withDefaults()
+	plans := sc.Plan()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// Feed jobs in start order so queueing behind busy workers delays
+	// the tail of the arrival schedule, not random slices of it.
+	ordered := append([]SessionPlan(nil), plans...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+	jobs := make(chan SessionPlan)
+	results := make([]Result, len(plans))
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				if d := time.Until(begin.Add(p.Start)); d > 0 {
+					time.Sleep(d)
+				}
+				results[p.ID] = runSession(cfg, sc, p)
+			}
+		}()
+	}
+	logf("loadgen: %s: %d sessions over %v on %d workers", sc.Name, len(plans), sc.ArrivalWindow, workers)
+	for _, p := range ordered {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	logf("loadgen: %s: done in %v", sc.Name, time.Since(begin).Round(time.Millisecond))
+	return results, nil
+}
+
+// runSession plays one session's frame loop with its churn script and
+// collects its snapshots.
+func runSession(cfg RunConfig, sc Scenario, p SessionPlan) Result {
+	res := Result{Plan: p, Latency: NewDigest()}
+	player, err := gbooster.NewPlayer(gbooster.PlayerConfig{
+		Workload: p.Workload,
+		Width:    cfg.Width,
+		Height:   cfg.Height,
+		Seed:     p.Seed,
+	}, cfg.Options...)
+	if err != nil {
+		res.Err = fmt.Errorf("session %s: %w", p.Name, err)
+		return res
+	}
+	defer player.Close()
+
+	conn, err := cfg.Target.Dial(p.Name, p.Link, p.Seed)
+	if err != nil {
+		res.Err = fmt.Errorf("session %s: dial: %w", p.Name, err)
+		return res
+	}
+	if err := player.ConnectConn("dev0", conn.PC, conn.Peer, 1000); err != nil {
+		res.Err = fmt.Errorf("session %s: connect: %w", p.Name, err)
+		return res
+	}
+
+	// Per-session registry on the unified snapshot path. The first
+	// observation right after connect anchors the cumulative collectors
+	// so their first-to-last differencing spans the whole session.
+	reg := metrics.NewStandardRegistry()
+	observe := func() gbooster.PlayerSnapshot {
+		s := player.Snapshot()
+		s.Fleet = cfg.Target.FleetStats()
+		reg.Observe(s)
+		res.Snapshot = s
+		return s
+	}
+	observe()
+
+	// Drain churn waits for the hot-joined replica to be admitted
+	// (bootstrap handoff completed) before draining the original
+	// device; draining the only rotation member would stall the loop.
+	handoffsAtJoin := int64(-1)
+	drained := false
+
+frames:
+	for f := 0; f < p.Frames; f++ {
+		if p.Churn != ChurnNone && f == p.ChurnFrame {
+			switch p.Churn {
+			case ChurnCrash:
+				// Vanish without closing anything: the link goes dark
+				// and the fleet is left to idle-reap the session.
+				conn.Crash()
+				res.Crashed = true
+				break frames
+			case ChurnHotJoin, ChurnDrain:
+				second, derr := cfg.Target.Dial(p.Name+"-b", p.Link, p.Seed+1)
+				if derr != nil {
+					res.Err = fmt.Errorf("session %s: hot-join dial: %w", p.Name, derr)
+					break frames
+				}
+				if cerr := player.ConnectConn("dev1", second.PC, second.Peer, 1000); cerr != nil {
+					res.Err = fmt.Errorf("session %s: hot-join: %w", p.Name, cerr)
+					break frames
+				}
+				handoffsAtJoin = res.Snapshot.HandoffStats.Completed
+			}
+		}
+		if p.Churn == ChurnDrain && !drained && handoffsAtJoin >= 0 {
+			if s := player.Snapshot(); s.HandoffStats.Completed > handoffsAtJoin {
+				if derr := player.Drain("dev0"); derr == nil {
+					drained = true
+				}
+			}
+		}
+
+		t0 := time.Now()
+		if _, serr := player.StepFrame(sc.FrameTimeout); serr != nil {
+			if res.FramesOK == 0 && errors.Is(serr, rudp.ErrTimeout) {
+				// Nothing ever came back: the fleet never admitted us
+				// (over capacity) — a clean refusal, not a failure.
+				res.Rejected = true
+			} else {
+				res.Err = fmt.Errorf("session %s frame %d: %w", p.Name, f, serr)
+			}
+			break frames
+		}
+		res.Latency.AddDuration(time.Since(t0))
+		res.FramesOK++
+		if f%8 == 7 {
+			observe()
+		}
+		if sc.FrameInterval > 0 {
+			if d := sc.FrameInterval - time.Since(t0); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+
+	observe()
+	res.Reports = reg.Reports()
+	return res
+}

@@ -1,0 +1,147 @@
+// Package loadgen is the pattern-driven load harness: it plans and
+// executes fleets of simulated GBooster players — arrival patterns,
+// heterogeneous device classes, per-link network profiles, churn
+// scripts — and aggregates per-session snapshots into scenario SLO
+// reports. cmd/gbooster-load is its CLI; every perf PR proves itself
+// by running scenarios through this package.
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// Pattern is an arrival-rate shape: relative intensities over equal
+// slices of the arrival window. Session start times are drawn from it
+// by inverse-CDF sampling, so the same pattern scales to any session
+// count and window length.
+type Pattern struct {
+	// Name is the flag-friendly identifier ("steady", "spike", ...).
+	Name string
+	// Buckets are relative arrival intensities; bucket i covers
+	// [i/len, (i+1)/len) of the window. Non-positive weights count as
+	// zero. Empty (or all-zero) means uniform.
+	Buckets []float64
+}
+
+// Schedule draws n arrival offsets in [0, window) following the
+// pattern, sorted ascending. The i-th arrival's quantile is
+// (i + jitter)/n, so schedules are deterministic in rng yet not
+// lockstep-aligned across sessions.
+func (p Pattern) Schedule(n int, window time.Duration, rng *sim.RNG) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	weights := make([]float64, 0, len(p.Buckets))
+	var total float64
+	for _, w := range p.Buckets {
+		if w < 0 {
+			w = 0
+		}
+		weights = append(weights, w)
+		total += w
+	}
+	if total <= 0 {
+		weights, total = []float64{1}, 1
+	}
+	out := make([]time.Duration, n)
+	bucketSpan := float64(window) / float64(len(weights))
+	for i := 0; i < n; i++ {
+		u := (float64(i) + rng.Float64()) / float64(n) * total
+		// Walk the CDF to the bucket containing quantile u, then place
+		// the arrival linearly within it.
+		var cum float64
+		for j, w := range weights {
+			if u < cum+w || j == len(weights)-1 {
+				frac := 0.0
+				if w > 0 {
+					frac = (u - cum) / w
+					if frac < 0 {
+						frac = 0
+					} else if frac > 1 {
+						frac = 1
+					}
+				}
+				out[i] = time.Duration((float64(j) + frac) * bucketSpan)
+				break
+			}
+			cum += w
+		}
+	}
+	return out
+}
+
+// The pattern catalog.
+
+// Steady arrives uniformly across the window.
+func Steady() Pattern { return Pattern{Name: "steady", Buckets: []float64{1}} }
+
+// Ramp grows arrival intensity linearly across the window — a service
+// filling up.
+func Ramp() Pattern {
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	return Pattern{Name: "ramp", Buckets: b}
+}
+
+// Spike is a steady baseline with a brief mid-window surge at eight
+// times the base rate.
+func Spike() Pattern {
+	b := []float64{1, 1, 1, 1, 1, 8, 8, 1, 1, 1, 1, 1}
+	return Pattern{Name: "spike", Buckets: b}
+}
+
+// FlashCrowd compresses most arrivals into the opening slice of the
+// window — a launch-moment stampede straight into the admission path.
+func FlashCrowd() Pattern {
+	b := []float64{30, 4, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	return Pattern{Name: "flash-crowd", Buckets: b}
+}
+
+// Diurnal builds a pattern from per-hour multipliers (one bucket per
+// entry; pass 24 for a day). Use DefaultDiurnal for the canonical
+// evening-peak day.
+func Diurnal(hourly ...float64) Pattern {
+	return Pattern{Name: "diurnal", Buckets: append([]float64(nil), hourly...)}
+}
+
+// DefaultDiurnal is a compressed production day: a small overnight
+// trough, a daytime shoulder, and an evening gaming peak.
+func DefaultDiurnal() Pattern {
+	return Diurnal(
+		0.3, 0.2, 0.15, 0.1, 0.1, 0.15, // 00-05: trough
+		0.3, 0.5, 0.7, 0.8, 0.9, 1.0, // 06-11: morning climb
+		1.1, 1.0, 0.9, 1.0, 1.2, 1.5, // 12-17: afternoon
+		2.0, 2.5, 2.8, 2.4, 1.5, 0.8, // 18-23: evening peak
+	)
+}
+
+// patternCatalog indexes the named patterns.
+func patternCatalog() map[string]Pattern {
+	return map[string]Pattern{
+		"steady":      Steady(),
+		"ramp":        Ramp(),
+		"spike":       Spike(),
+		"flash-crowd": FlashCrowd(),
+		"diurnal":     DefaultDiurnal(),
+	}
+}
+
+// PatternNames returns the catalog's names for flag help.
+func PatternNames() []string {
+	return []string{"steady", "ramp", "spike", "flash-crowd", "diurnal"}
+}
+
+// PatternByName returns the named arrival pattern (case-insensitive).
+func PatternByName(name string) (Pattern, error) {
+	if p, ok := patternCatalog()[strings.ToLower(name)]; ok {
+		return p, nil
+	}
+	return Pattern{}, fmt.Errorf("loadgen: unknown arrival pattern %q (have %s)",
+		name, strings.Join(PatternNames(), ", "))
+}

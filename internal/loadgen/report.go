@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SLO is one scenario's service-level report, aggregated across every
+// session the executor ran. Latency fields are milliseconds.
+type SLO struct {
+	Scenario string
+
+	// Session accounting: OK ran their full frame budget, Crashed were
+	// scripted to vanish, Rejected were refused admission, Failed hit a
+	// terminal error.
+	Sessions, OK, Crashed, Rejected, Failed int
+
+	// Frames is the total displayed across all sessions.
+	Frames int64
+	// P50/P99/MeanLatency/MaxLatency summarize per-frame
+	// issue-to-display latency over every successful frame.
+	P50, P99, MeanLatency, MaxLatency float64
+	// FPS is the mean delivered frame rate across sessions that got at
+	// least one frame.
+	FPS float64
+
+	// Failover and lifecycle activity, summed over sessions.
+	GapSkips, ReDispatched, Evictions int64
+	HandoffsOK, HandoffsFailed        int64
+	QualitySteps                      int64
+	DownlinkBytes                     int64
+
+	// Fleet counters at scenario end (zero when the target exposes
+	// none).
+	FleetPeak, FleetRejected, FleetGateWaits int64
+
+	// PerClass counts sessions by device class, for the population
+	// breakdown line.
+	PerClass map[string]int
+}
+
+// Summarize aggregates per-session results into the scenario SLO:
+// counter totals from each session's final snapshot, quantiles from
+// the merged per-session digests.
+func Summarize(name string, results []Result) SLO {
+	slo := SLO{Scenario: name, Sessions: len(results), PerClass: map[string]int{}}
+	merged := NewDigest()
+	var fpsSum float64
+	var fpsN int
+	for _, r := range results {
+		slo.PerClass[r.Plan.Class]++
+		switch {
+		case r.Err != nil:
+			slo.Failed++
+		case r.Rejected:
+			slo.Rejected++
+		case r.Crashed:
+			slo.Crashed++
+		default:
+			slo.OK++
+		}
+		merged.Merge(r.Latency)
+		s := r.Snapshot
+		slo.Frames += int64(r.FramesOK)
+		slo.GapSkips += s.FramesSkipped
+		slo.ReDispatched += s.ReDispatched
+		slo.Evictions += s.Evictions
+		slo.HandoffsOK += s.HandoffStats.Completed
+		slo.HandoffsFailed += s.HandoffStats.Failed
+		slo.QualitySteps += s.QualityChanges
+		slo.DownlinkBytes += s.DownlinkBytes
+		if r.FramesOK > 0 {
+			fpsSum += s.DeliveredFPS()
+			fpsN++
+		}
+		if s.Fleet != nil {
+			// Fleet counters are global and monotone; the last session
+			// to finish carries the scenario-wide totals.
+			if s.Fleet.PeakSessions > slo.FleetPeak {
+				slo.FleetPeak = s.Fleet.PeakSessions
+			}
+			if s.Fleet.Rejected > slo.FleetRejected {
+				slo.FleetRejected = s.Fleet.Rejected
+			}
+			if s.Fleet.GateWaits > slo.FleetGateWaits {
+				slo.FleetGateWaits = s.Fleet.GateWaits
+			}
+		}
+	}
+	slo.P50 = merged.Quantile(0.50)
+	slo.P99 = merged.Quantile(0.99)
+	slo.MeanLatency = merged.Mean()
+	slo.MaxLatency = merged.Max()
+	if fpsN > 0 {
+		slo.FPS = fpsSum / float64(fpsN)
+	}
+	return slo
+}
+
+// BenchLine renders the SLO as one Go-benchmark-format line, which is
+// what scripts/benchjson parses into BENCH_load.json. Iterations are
+// displayed frames; ns/op the mean frame latency.
+func (s SLO) BenchLine() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BenchmarkLoad/scenario=%s \t%8d\t%12.0f ns/op", s.Scenario, s.Frames, s.MeanLatency*1e6)
+	add := func(v float64, unit string) { fmt.Fprintf(&b, "\t%12.3f %s", v, unit) }
+	add(s.P50, "p50_ms")
+	add(s.P99, "p99_ms")
+	add(s.FPS, "fps")
+	add(float64(s.OK), "sessions_ok")
+	add(float64(s.Crashed), "sessions_crashed")
+	add(float64(s.Rejected), "sessions_rejected")
+	add(float64(s.Failed), "sessions_failed")
+	add(float64(s.GapSkips), "gap_skips")
+	add(float64(s.ReDispatched), "redispatched")
+	add(float64(s.Evictions), "evictions")
+	add(float64(s.HandoffsOK), "handoffs_ok")
+	add(float64(s.HandoffsFailed), "handoffs_failed")
+	add(float64(s.QualitySteps), "quality_steps")
+	if s.Frames > 0 {
+		add(float64(s.DownlinkBytes)/float64(s.Frames)/1024, "downlink_kb/frame")
+	} else {
+		add(0, "downlink_kb/frame")
+	}
+	add(float64(s.FleetPeak), "fleet_peak")
+	add(float64(s.FleetRejected), "fleet_rejected")
+	add(float64(s.FleetGateWaits), "fleet_gate_waits")
+	return b.String()
+}
+
+// Table renders the SLO as a human-readable console block.
+func (s SLO) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %-16s sessions=%d ok=%d crashed=%d rejected=%d failed=%d\n",
+		s.Scenario, s.Sessions, s.OK, s.Crashed, s.Rejected, s.Failed)
+	fmt.Fprintf(&b, "  latency  p50=%.2fms p99=%.2fms mean=%.2fms max=%.2fms (%d frames)\n",
+		s.P50, s.P99, s.MeanLatency, s.MaxLatency, s.Frames)
+	fmt.Fprintf(&b, "  delivery fps=%.1f gap_skips=%d redispatched=%d evictions=%d\n",
+		s.FPS, s.GapSkips, s.ReDispatched, s.Evictions)
+	fmt.Fprintf(&b, "  elastic  handoffs_ok=%d handoffs_failed=%d quality_steps=%d downlink=%.1fKB\n",
+		s.HandoffsOK, s.HandoffsFailed, s.QualitySteps, float64(s.DownlinkBytes)/1024)
+	fmt.Fprintf(&b, "  fleet    peak=%d rejected=%d gate_waits=%d\n",
+		s.FleetPeak, s.FleetRejected, s.FleetGateWaits)
+	classes := make([]string, 0, len(s.PerClass))
+	for c := range s.PerClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, s.PerClass[c]))
+	}
+	fmt.Fprintf(&b, "  classes  %s\n", strings.Join(parts, " "))
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+
+	"github.com/gbooster/gbooster"
+	"github.com/gbooster/gbooster/internal/metrics"
+	"github.com/gbooster/gbooster/internal/netsim"
+)
+
+// Target is what a scenario's sessions connect to: an in-process fleet
+// behind an emulated network (FleetTarget), or a real server over UDP
+// (UDPTarget).
+type Target interface {
+	// Dial opens one named connection to the target. name must be
+	// unique among live connections (it is the client's source address
+	// in the in-process topology); link shapes the emulated path where
+	// the target has one; seed roots the path's randomness.
+	Dial(name string, link netsim.LinkConfig, seed uint64) (Conn, error)
+	// FleetStats reads the serving fleet's counters, or nil when the
+	// target has no view of them (a remote server).
+	FleetStats() *metrics.FleetStats
+	// Close tears the target down.
+	Close() error
+}
+
+// Conn is one dialed connection: the packet conn a Player connects
+// over, the peer address to aim at, and a crash injector.
+type Conn struct {
+	PC   net.PacketConn
+	Peer net.Addr
+
+	crash func()
+}
+
+// Crash severs the connection the way a dying client would — abruptly
+// and without closing anything (no-op if the target can't).
+func (c Conn) Crash() {
+	if c.crash != nil {
+		c.crash()
+	}
+}
+
+// FleetTarget serves scenarios against an in-process gbooster.Fleet
+// listening on a netsim.Hub: every session gets its own emulated link
+// (loss/jitter/bandwidth per its plan) and a unique source address for
+// the fleet to demultiplex on.
+type FleetTarget struct {
+	fl   *gbooster.Fleet
+	hub  *netsim.Hub
+	done chan error
+}
+
+// NewFleetTarget builds the fleet and starts serving the hub.
+func NewFleetTarget(cfg gbooster.FleetConfig, opts ...gbooster.Option) (*FleetTarget, error) {
+	fl, err := gbooster.NewFleet(cfg, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	t := &FleetTarget{fl: fl, hub: netsim.NewHub("fleet"), done: make(chan error, 1)}
+	go func() { t.done <- fl.ServeConn(t.hub) }()
+	return t, nil
+}
+
+// Dial attaches a new client port to the hub.
+func (t *FleetTarget) Dial(name string, link netsim.LinkConfig, seed uint64) (Conn, error) {
+	port, err := t.hub.Attach(name, link, seed)
+	if err != nil {
+		return Conn{}, err
+	}
+	return Conn{PC: port, Peer: t.hub.Addr(), crash: port.Blackhole}, nil
+}
+
+// FleetStats reads the fleet's counters through its snapshot.
+func (t *FleetTarget) FleetStats() *metrics.FleetStats {
+	s := t.fl.Snapshot().FleetStats
+	return &s
+}
+
+// Fleet exposes the underlying fleet (for tests asserting on it).
+func (t *FleetTarget) Fleet() *gbooster.Fleet { return t.fl }
+
+// Close shuts the fleet (and with it the hub and every port) down and
+// waits for the serve loop to exit.
+func (t *FleetTarget) Close() error {
+	err := t.fl.Close()
+	<-t.done
+	return err
+}
+
+// UDPTarget aims scenarios at a real server address. Link profiles
+// don't apply — the real network is whatever it is — and the fleet's
+// counters aren't visible from here.
+type UDPTarget struct {
+	addr *net.UDPAddr
+}
+
+// NewUDPTarget resolves the server address.
+func NewUDPTarget(addr string) (*UDPTarget, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: resolve %q: %w", addr, err)
+	}
+	return &UDPTarget{addr: raddr}, nil
+}
+
+// Dial opens a fresh local UDP socket toward the server.
+func (t *UDPTarget) Dial(string, netsim.LinkConfig, uint64) (Conn, error) {
+	pc, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		return Conn{}, fmt.Errorf("loadgen: local socket: %w", err)
+	}
+	return Conn{PC: pc, Peer: t.addr, crash: func() { _ = pc.Close() }}, nil
+}
+
+// FleetStats is nil for a remote server.
+func (t *UDPTarget) FleetStats() *metrics.FleetStats { return nil }
+
+// Close is a no-op: sessions own their sockets.
+func (t *UDPTarget) Close() error { return nil }

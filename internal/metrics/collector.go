@@ -1,0 +1,301 @@
+package metrics
+
+import "time"
+
+// This file is the redesigned aggregation API: instead of callers
+// hand-wiring eight collector structs and feeding each from a
+// different Player getter, every collector implements Collector —
+// Observe(PlayerSnapshot) / Report() — and a Registry fans one
+// snapshot into all of them. gbooster-play and gbooster-load drive
+// identical collector sets through this one path.
+//
+// Each collector keeps its original Add(...) entry point for callers
+// that already have feature-shaped samples; a given collector instance
+// should be driven through Add or through Observe, not both.
+
+// Field is one named scalar in a Report. Unit is a short suffix for
+// display ("ms", "fps", "ratio", "" for counts).
+type Field struct {
+	Name  string
+	Value float64
+	Unit  string
+}
+
+// Report is one collector's aggregated view of everything it observed.
+type Report struct {
+	// Collector names the producing collector ("fps", "response", ...).
+	Collector string
+	Fields    []Field
+}
+
+// Get returns the named field's value, and whether it exists.
+func (r Report) Get(name string) (float64, bool) {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Collector aggregates a stream of session snapshots into a Report.
+// All eight metrics collectors implement it.
+type Collector interface {
+	Observe(PlayerSnapshot)
+	Report() Report
+}
+
+// Registry fans each observed snapshot into a set of collectors. The
+// zero value is ready to use.
+type Registry struct {
+	collectors []Collector
+}
+
+// NewRegistry returns a registry over the given collectors.
+func NewRegistry(cs ...Collector) *Registry {
+	return &Registry{collectors: cs}
+}
+
+// Register adds a collector to the fan-out set.
+func (r *Registry) Register(c Collector) {
+	r.collectors = append(r.collectors, c)
+}
+
+// Observe feeds one snapshot to every registered collector.
+func (r *Registry) Observe(s PlayerSnapshot) {
+	for _, c := range r.collectors {
+		c.Observe(s)
+	}
+}
+
+// Reports returns every collector's report, in registration order.
+func (r *Registry) Reports() []Report {
+	out := make([]Report, 0, len(r.collectors))
+	for _, c := range r.collectors {
+		out = append(out, c.Report())
+	}
+	return out
+}
+
+// Collectors returns the registered collectors in registration order,
+// for callers that need a concrete collector back (type-assert on the
+// element).
+func (r *Registry) Collectors() []Collector { return r.collectors }
+
+// StandardCollectors returns one fresh instance of each of the eight
+// collectors, in report order: fps, response, transport, failover,
+// uplink, handoff, quality, fleet.
+func StandardCollectors() []Collector {
+	return []Collector{
+		&FPSCollector{},
+		&ResponseCollector{},
+		&TransportCollector{},
+		&FailoverCollector{},
+		&UplinkCollector{},
+		&HandoffCollector{},
+		&QualityCollector{},
+		&FleetCollector{},
+	}
+}
+
+// NewStandardRegistry returns a registry preloaded with the eight
+// standard collectors.
+func NewStandardRegistry() *Registry { return NewRegistry(StandardCollectors()...) }
+
+// ms converts a duration to float milliseconds for report fields.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Observe turns consecutive snapshots into per-interval FPS samples:
+// frames shown since the previous observation over session time
+// elapsed since it. The first observation only establishes the
+// baseline.
+func (c *FPSCollector) Observe(s PlayerSnapshot) {
+	if c.obsSeen {
+		if dt := s.Elapsed - c.obsElapsed; dt > 0 {
+			c.Add(float64(s.FramesShown-c.obsFrames) / dt.Seconds())
+		}
+	}
+	c.obsSeen = true
+	c.obsFrames = s.FramesShown
+	c.obsElapsed = s.Elapsed
+}
+
+// Report summarizes the FPS samples.
+func (c *FPSCollector) Report() Report {
+	return Report{Collector: "fps", Fields: []Field{
+		{Name: "median", Value: c.Median(), Unit: "fps"},
+		{Name: "mean", Value: c.Mean(), Unit: "fps"},
+		{Name: "p1", Value: c.Percentile(1), Unit: "fps"},
+		{Name: "stability", Value: c.Stability(), Unit: "ratio"},
+		{Name: "samples", Value: float64(c.Count())},
+	}}
+}
+
+// Observe replaces the collector's state with the snapshot's cumulative
+// frame-latency counters — the player already aggregates Eq. 5 spans,
+// so the latest snapshot is the complete picture.
+func (c *ResponseCollector) Observe(s PlayerSnapshot) {
+	c.total = s.FrameLatencyTotal
+	c.count = int(s.FrameLatencyCount)
+	if s.FrameLatencyMax > c.max {
+		c.max = s.FrameLatencyMax
+	}
+}
+
+// Report summarizes the response times.
+func (c *ResponseCollector) Report() Report {
+	return Report{Collector: "response", Fields: []Field{
+		{Name: "mean", Value: ms(c.Average()), Unit: "ms"},
+		{Name: "max", Value: ms(c.Max()), Unit: "ms"},
+		{Name: "frames", Value: float64(c.Count())},
+	}}
+}
+
+// Observe records one health sample per service connection in the
+// snapshot.
+func (c *TransportCollector) Observe(s PlayerSnapshot) {
+	for _, t := range s.Transports {
+		c.Add(TransportSample{
+			SRTT:       t.SRTT,
+			RTO:        t.RTO,
+			ResendRate: t.ResendRate,
+			WindowUse:  t.WindowUse(),
+		})
+	}
+}
+
+// Report summarizes the transport health samples.
+func (c *TransportCollector) Report() Report {
+	return Report{Collector: "transport", Fields: []Field{
+		{Name: "srtt_mean", Value: ms(c.MeanSRTT()), Unit: "ms"},
+		{Name: "rto_mean", Value: ms(c.MeanRTO()), Unit: "ms"},
+		{Name: "rto_max", Value: ms(c.MaxRTO()), Unit: "ms"},
+		{Name: "resend_rate", Value: c.FinalResendRate(), Unit: "ratio"},
+		{Name: "window_use_mean", Value: c.MeanWindowUse(), Unit: "ratio"},
+		{Name: "samples", Value: float64(c.Count())},
+	}}
+}
+
+// Observe records the snapshot's cumulative failover counters as one
+// sample (the collector differences first from last).
+func (c *FailoverCollector) Observe(s PlayerSnapshot) {
+	c.Add(FailoverSample{
+		ReDispatched:  s.ReDispatched,
+		Evictions:     s.Evictions,
+		Readmissions:  s.Readmissions,
+		FramesSkipped: s.FramesSkipped,
+	})
+}
+
+// Report summarizes the failover activity over the observed span.
+func (c *FailoverCollector) Report() Report {
+	t := c.Totals()
+	return Report{Collector: "failover", Fields: []Field{
+		{Name: "redispatched", Value: float64(t.ReDispatched)},
+		{Name: "evictions", Value: float64(t.Evictions)},
+		{Name: "readmissions", Value: float64(t.Readmissions)},
+		{Name: "gap_skips", Value: float64(t.FramesSkipped)},
+		{Name: "max_burst", Value: float64(c.MaxBurst())},
+	}}
+}
+
+// Observe records the snapshot's cumulative uplink counters as one
+// sample (the collector differences first from last).
+func (c *UplinkCollector) Observe(s PlayerSnapshot) {
+	c.Add(UplinkSample{
+		RawBytes:         s.RawBytes,
+		PreCompressBytes: s.PreCompressBytes,
+		WireBytes:        s.WireBytes,
+		CacheHits:        s.CacheHits,
+		CacheMisses:      s.CacheMisses,
+	})
+}
+
+// Report summarizes the uplink traffic reduction over the observed
+// span.
+func (c *UplinkCollector) Report() Report {
+	t := c.Totals()
+	return Report{Collector: "uplink", Fields: []Field{
+		{Name: "wire_kb", Value: float64(t.WireBytes) / 1024, Unit: "KB"},
+		{Name: "raw_kb", Value: float64(t.RawBytes) / 1024, Unit: "KB"},
+		{Name: "compression", Value: c.CompressionRatio(), Unit: "ratio"},
+		{Name: "cache_hit_rate", Value: c.CacheHitRate(), Unit: "ratio"},
+	}}
+}
+
+// Observe records the snapshot's cumulative handoff counters as one
+// sample (the collector differences first from last). The snapshot
+// carries a mean latency rather than a running total, so the total is
+// reconstructed as mean × completed.
+func (c *HandoffCollector) Observe(s PlayerSnapshot) {
+	c.Add(HandoffSample{
+		BootstrapsSent: s.BootstrapsSent,
+		BootstrapBytes: s.BootstrapBytes,
+		Completed:      s.Completed,
+		Failed:         s.Failed,
+		LatencyTotal:   s.HandoffStats.MeanLatency * time.Duration(s.Completed),
+	})
+}
+
+// Report summarizes the handoff activity over the observed span.
+func (c *HandoffCollector) Report() Report {
+	t := c.Totals()
+	return Report{Collector: "handoff", Fields: []Field{
+		{Name: "completed", Value: float64(t.Completed)},
+		{Name: "failed", Value: float64(t.Failed)},
+		{Name: "bootstraps", Value: float64(t.BootstrapsSent)},
+		{Name: "bootstrap_kb", Value: float64(t.BootstrapBytes) / 1024, Unit: "KB"},
+		{Name: "latency_mean", Value: ms(c.MeanLatency()), Unit: "ms"},
+	}}
+}
+
+// Observe records the snapshot's quality-ladder state as one sample
+// (ignored until the first decoded frame reports a quality).
+func (c *QualityCollector) Observe(s PlayerSnapshot) {
+	c.Add(QualitySample{
+		Quality:       s.QualityNow,
+		Changes:       s.QualityChanges,
+		DownlinkBytes: s.DownlinkBytes,
+	})
+}
+
+// Report summarizes the quality ladder over the observed span.
+func (c *QualityCollector) Report() Report {
+	return Report{Collector: "quality", Fields: []Field{
+		{Name: "mean", Value: c.Mean()},
+		{Name: "min", Value: float64(c.Min())},
+		{Name: "final", Value: float64(c.Final())},
+		{Name: "steps", Value: float64(c.Changes())},
+		{Name: "downlink_kb", Value: float64(c.DownlinkBytes()) / 1024, Unit: "KB"},
+	}}
+}
+
+// Observe records the snapshot's fleet rider, if present, as one
+// sample. Snapshots from standalone players (no fleet view) are
+// skipped.
+func (c *FleetCollector) Observe(s PlayerSnapshot) {
+	if s.Fleet == nil {
+		return
+	}
+	c.Add(FleetSample{
+		Sessions:    s.Fleet.Sessions,
+		Admitted:    s.Fleet.Admitted,
+		Rejected:    s.Fleet.Rejected,
+		NonProtocol: s.Fleet.NonProtocol,
+		Frames:      s.Fleet.Frames,
+		GateWaits:   s.Fleet.GateWaits,
+	})
+}
+
+// Report summarizes the fleet counters over the observed span.
+func (c *FleetCollector) Report() Report {
+	t := c.Totals()
+	return Report{Collector: "fleet", Fields: []Field{
+		{Name: "sessions", Value: float64(t.Sessions)},
+		{Name: "peak_sessions", Value: float64(c.PeakSessions())},
+		{Name: "admitted", Value: float64(t.Admitted)},
+		{Name: "rejected", Value: float64(t.Rejected)},
+		{Name: "frames", Value: float64(t.Frames)},
+		{Name: "gate_wait_rate", Value: c.GateWaitRate(), Unit: "ratio"},
+	}}
+}

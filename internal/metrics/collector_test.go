@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// snapAt fabricates a session snapshot t seconds in, with frames shown
+// at a steady 30 FPS and cumulative counters growing linearly.
+func snapAt(t int) PlayerSnapshot {
+	sec := time.Duration(t) * time.Second
+	return PlayerSnapshot{
+		Elapsed: sec,
+		PlayerStats: PlayerStats{
+			FramesSent:       int64(30 * t),
+			FramesShown:      int64(30 * t),
+			RawBytes:         int64(10000 * t),
+			PreCompressBytes: int64(4000 * t),
+			WireBytes:        int64(1000 * t),
+			CacheHits:        int64(90 * t),
+			CacheMisses:      int64(10 * t),
+			DownlinkBytes:    int64(50000 * t),
+			QualityNow:       60,
+		},
+		FailoverStats: FailoverStats{
+			ReDispatched:  int64(2 * t),
+			FramesSkipped: int64(t),
+		},
+		HandoffStats: HandoffStats{
+			BootstrapsSent: int64(t),
+			BootstrapBytes: int64(2048 * t),
+			Completed:      int64(t),
+			MeanLatency:    5 * time.Millisecond,
+		},
+		Transports: []TransportHealth{{
+			Service:         "dev0",
+			SRTT:            4 * time.Millisecond,
+			RTO:             20 * time.Millisecond,
+			ResendRate:      0.01,
+			WindowOccupancy: 8,
+			WindowLimit:     32,
+		}},
+		FrameLatencyTotal: time.Duration(30*t) * 10 * time.Millisecond,
+		FrameLatencyMax:   25 * time.Millisecond,
+		FrameLatencyCount: int64(30 * t),
+	}
+}
+
+// TestRegistryFanOut drives the eight standard collectors through a
+// Registry with synthetic snapshots and checks each one aggregated
+// what the snapshot path should have fed it.
+func TestRegistryFanOut(t *testing.T) {
+	reg := NewStandardRegistry()
+	for i := 1; i <= 10; i++ {
+		s := snapAt(i)
+		s.Fleet = &FleetStats{Sessions: 3, Admitted: int64(3 + i), Rejected: int64(i), Frames: int64(90 * i)}
+		reg.Observe(s)
+	}
+
+	reports := map[string]Report{}
+	for _, r := range reg.Reports() {
+		reports[r.Collector] = r
+	}
+	want := []string{"fps", "response", "transport", "failover", "uplink", "handoff", "quality", "fleet"}
+	for _, name := range want {
+		if _, ok := reports[name]; !ok {
+			t.Fatalf("missing report %q; got %v", name, reports)
+		}
+	}
+
+	if v, _ := reports["fps"].Get("median"); v < 29.9 || v > 30.1 {
+		t.Errorf("fps median = %v, want ~30", v)
+	}
+	// 9 intervals from 10 observations (first sets the baseline).
+	if v, _ := reports["fps"].Get("samples"); v != 9 {
+		t.Errorf("fps samples = %v, want 9", v)
+	}
+	if v, _ := reports["response"].Get("mean"); v != 10 {
+		t.Errorf("response mean = %v ms, want 10", v)
+	}
+	if v, _ := reports["response"].Get("max"); v != 25 {
+		t.Errorf("response max = %v ms, want 25", v)
+	}
+	// Cumulative collectors difference first-to-last: span is t=1..10.
+	if v, _ := reports["failover"].Get("redispatched"); v != 18 {
+		t.Errorf("failover redispatched = %v, want 18", v)
+	}
+	if v, _ := reports["failover"].Get("gap_skips"); v != 9 {
+		t.Errorf("failover gap_skips = %v, want 9", v)
+	}
+	if v, _ := reports["uplink"].Get("compression"); v != 4 {
+		t.Errorf("uplink compression = %v, want 4", v)
+	}
+	if v, _ := reports["uplink"].Get("cache_hit_rate"); v != 0.9 {
+		t.Errorf("uplink cache_hit_rate = %v, want 0.9", v)
+	}
+	if v, _ := reports["handoff"].Get("completed"); v != 9 {
+		t.Errorf("handoff completed = %v, want 9", v)
+	}
+	if v, _ := reports["handoff"].Get("latency_mean"); v != 5 {
+		t.Errorf("handoff latency_mean = %v ms, want 5", v)
+	}
+	if v, _ := reports["quality"].Get("final"); v != 60 {
+		t.Errorf("quality final = %v, want 60", v)
+	}
+	if v, _ := reports["quality"].Get("downlink_kb"); v <= 0 {
+		t.Errorf("quality downlink_kb = %v, want > 0", v)
+	}
+	if v, _ := reports["transport"].Get("srtt_mean"); v != 4 {
+		t.Errorf("transport srtt_mean = %v ms, want 4", v)
+	}
+	if v, _ := reports["transport"].Get("window_use_mean"); v != 0.25 {
+		t.Errorf("transport window_use_mean = %v, want 0.25", v)
+	}
+	if v, _ := reports["fleet"].Get("rejected"); v != 9 {
+		t.Errorf("fleet rejected = %v, want 9", v)
+	}
+	if v, _ := reports["fleet"].Get("peak_sessions"); v != 3 {
+		t.Errorf("fleet peak_sessions = %v, want 3", v)
+	}
+}
+
+// TestFleetCollectorSkipsStandalone checks that snapshots without a
+// fleet rider leave the fleet collector untouched.
+func TestFleetCollectorSkipsStandalone(t *testing.T) {
+	var c FleetCollector
+	c.Observe(snapAt(1))
+	if c.Count() != 0 {
+		t.Fatalf("fleet collector observed a standalone snapshot: count=%d", c.Count())
+	}
+}
+
+// TestSnapshotHelpers covers the PlayerSnapshot convenience methods.
+func TestSnapshotHelpers(t *testing.T) {
+	s := snapAt(10)
+	if got := s.DeliveredFPS(); got != 30 {
+		t.Errorf("DeliveredFPS = %v, want 30", got)
+	}
+	if got := s.MeanFrameLatency(); got != 10*time.Millisecond {
+		t.Errorf("MeanFrameLatency = %v, want 10ms", got)
+	}
+	var zero PlayerSnapshot
+	if zero.DeliveredFPS() != 0 || zero.MeanFrameLatency() != 0 {
+		t.Errorf("zero snapshot helpers must return 0")
+	}
+}

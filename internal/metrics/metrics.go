@@ -17,6 +17,13 @@ import (
 // FPSCollector accumulates per-second frame-rate samples.
 type FPSCollector struct {
 	samples []float64
+
+	// Observation baseline for the snapshot path: the previous
+	// snapshot's cumulative frame count and session age, differenced
+	// into a rate by Observe.
+	obsSeen    bool
+	obsFrames  int64
+	obsElapsed time.Duration
 }
 
 // Add records one per-second FPS sample.

@@ -1,0 +1,215 @@
+package metrics
+
+import "time"
+
+// This file is the unified observability surface: the per-feature stat
+// structs that accreted on gbooster.Player across PRs 1-7 (streaming
+// counters, transport health, failover, device states, handoffs) now
+// live here as one coherent set, and PlayerSnapshot / FleetSnapshot
+// bundle them into a single consistent read. The public package aliases
+// these types, so gbooster.PlayerStats and metrics.PlayerStats are the
+// same type and a gbooster.PlayerSnapshot feeds a metrics.Registry
+// directly.
+
+// PlayerStats summarizes a session's streaming counters.
+type PlayerStats struct {
+	// FramesSent counts frame batches dispatched to service devices;
+	// FramesShown counts frames delivered to the display in order.
+	FramesSent, FramesShown int64
+	// RawBytes is the serialized command volume before caching and
+	// compression; WireBytes what actually crossed the network. Their
+	// ratio is the paper's traffic-reduction metric.
+	RawBytes, WireBytes int64
+	// PreCompressBytes is the uplink volume after the mirrored command
+	// cache but before stream compression: the compression ratio is
+	// PreCompressBytes/WireBytes, and the cache's own reduction
+	// RawBytes/PreCompressBytes.
+	PreCompressBytes int64
+	// CacheHits / CacheMisses count records the mirrored caches replaced
+	// with a 9-byte reference vs. shipped in full.
+	CacheHits, CacheMisses int64
+	// DownlinkBytes counts encoded frame bytes received from the
+	// servers (the downlink half of the traffic picture).
+	DownlinkBytes int64
+	// QualityNow is the encode quality of the most recently displayed
+	// frame, read from the turbo packet headers (zero before the first
+	// frame); QualityMin the lowest seen; QualityChanges the number of
+	// mid-stream steps. A QualityMin below the configured quality means
+	// a server-side adaptive ladder shed bytes under congestion.
+	QualityNow, QualityMin int
+	QualityChanges         int64
+}
+
+// CompressionRatio returns cache-encoded bytes over wire bytes — the
+// inter-frame LZ4 dictionary's multiplicative reduction (1 means the
+// compressor removed nothing). Zero with no traffic.
+func (s PlayerStats) CompressionRatio() float64 {
+	if s.WireBytes <= 0 {
+		return 0
+	}
+	return float64(s.PreCompressBytes) / float64(s.WireBytes)
+}
+
+// CacheHitRate returns the fraction of encoded records the mirrored
+// command caches deduplicated, in [0,1].
+func (s PlayerStats) CacheHitRate() float64 {
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		return float64(s.CacheHits) / float64(total)
+	}
+	return 0
+}
+
+// TransportHealth is one service connection's loss-recovery snapshot:
+// the adaptive estimator's SRTT and current RTO, the fraction of data
+// transmissions that were retransmissions, and send-window occupancy.
+type TransportHealth struct {
+	Service         string
+	SRTT            time.Duration
+	RTTVar          time.Duration
+	RTO             time.Duration
+	ResendRate      float64
+	WindowOccupancy int
+	WindowLimit     int
+	DataSent        int64
+	DataResent      int64
+	FastResent      int64
+	TimeoutResent   int64
+}
+
+// WindowUse returns occupancy over limit, in [0,1] (zero with no
+// limit).
+func (t TransportHealth) WindowUse() float64 {
+	if t.WindowLimit <= 0 {
+		return 0
+	}
+	return float64(t.WindowOccupancy) / float64(t.WindowLimit)
+}
+
+// FailoverStats summarizes the client's §VI-C fault tolerance over the
+// session: orphaned frames re-dispatched to replicas, devices evicted
+// and readmitted by the health state machine, frames abandoned on
+// every device, duplicate results from slow devices, and messages the
+// receive path dropped.
+type FailoverStats struct {
+	ReDispatched   int64
+	FramesSkipped  int64
+	LateFrames     int64
+	Evictions      int64
+	Readmissions   int64
+	RecvBadMsgs    int64
+	RecvUnexpected int64
+}
+
+// DeviceState is one attached service device's dispatch view.
+type DeviceState struct {
+	Service string
+	// Health is "healthy", "suspect", "evicted", or "joining" (a
+	// bootstrap handoff is in flight and the device is not yet in the
+	// rotation).
+	Health string
+	// Queued is the device's outstanding Eq. 4 workload.
+	Queued float64
+}
+
+// HandoffStats summarizes the session's elastic-device activity:
+// checkpoint bootstrap streams shipped to joining or readmitted
+// devices, handoffs admitted on a matching state-fingerprint ack, and
+// handoffs aborted.
+type HandoffStats struct {
+	// BootstrapsSent counts session bootstrap streams shipped;
+	// BootstrapBytes their total size on the wire.
+	BootstrapsSent int64
+	BootstrapBytes int64
+	// Completed counts handoffs whose device was admitted to the
+	// rotation; Failed those aborted on a fingerprint mismatch, a send
+	// failure, or the handoff deadline.
+	Completed int64
+	Failed    int64
+	// MeanLatency is the average checkpoint-to-admission time of the
+	// completed handoffs (zero with none).
+	MeanLatency time.Duration
+}
+
+// FleetStats is a point-in-time snapshot of a multi-tenant fleet.
+// Admitted/Rejected/NonProtocol/Frames and the gate counters are
+// cumulative; Sessions, TimersArmed, and GateActive are instantaneous.
+type FleetStats struct {
+	// Sessions is the live session count; PeakSessions the high-water
+	// mark since the fleet started serving.
+	Sessions, PeakSessions int64
+	// Admitted counts sessions ever admitted; Rejected datagrams
+	// dropped over capacity; NonProtocol datagrams dropped for not
+	// carrying the protocol magic.
+	Admitted, Rejected, NonProtocol int64
+	// Frames counts rendering requests served across all sessions.
+	Frames int64
+	// TimersArmed is how many sessions currently hold a slot on the
+	// shared retransmission timer wheel (in-flight data only).
+	TimersArmed int
+	// GateWidth is the render-concurrency bound (0 = unlimited);
+	// GateEntries counts renders admitted through the gate, GateWaits
+	// how many of those had to queue, and GateActive how many hold a
+	// slot right now.
+	GateWidth                          int
+	GateEntries, GateWaits, GateActive int64
+}
+
+// PlayerSnapshot is one consistent observation of a whole session: the
+// streaming, failover, and handoff counter blocks from a single
+// underlying stats read, plus the per-device dispatch and transport
+// views taken back-to-back with it. It is what a Collector observes
+// and what Player.Snapshot returns — the five legacy per-feature
+// getters are thin slices of it.
+type PlayerSnapshot struct {
+	// Elapsed is the session age (time since the player was built) at
+	// the moment of the snapshot, so collectors can difference
+	// successive snapshots into rates.
+	Elapsed time.Duration
+
+	PlayerStats
+	FailoverStats
+	HandoffStats
+
+	// Devices is each attached service device's failover health, in
+	// attach order; Transports the per-service transport health in the
+	// same order.
+	Devices    []DeviceState
+	Transports []TransportHealth
+
+	// FrameLatencyTotal/Max/Count accumulate the caller-visible frame
+	// span (StepFrame issue to display — the paper's Eq. 5 response
+	// time) measured by the player itself. Zero before the first frame.
+	FrameLatencyTotal time.Duration
+	FrameLatencyMax   time.Duration
+	FrameLatencyCount int64
+
+	// Fleet carries the serving fleet's counters when the observer can
+	// see them (the load harness's in-process mode, a server-side stats
+	// loop); nil for a standalone player, which has no fleet view.
+	Fleet *FleetStats
+}
+
+// DeliveredFPS returns display throughput over the session so far
+// (frames shown per second of session age). Zero before any frame.
+func (s PlayerSnapshot) DeliveredFPS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.FramesShown) / s.Elapsed.Seconds()
+}
+
+// MeanFrameLatency returns the mean caller-visible frame span (zero
+// with no timed frames).
+func (s PlayerSnapshot) MeanFrameLatency() time.Duration {
+	if s.FrameLatencyCount <= 0 {
+		return 0
+	}
+	return s.FrameLatencyTotal / time.Duration(s.FrameLatencyCount)
+}
+
+// FleetSnapshot is the fleet-side mirror of PlayerSnapshot: one
+// consistent read of a fleet's counters. It is what Fleet.Snapshot
+// returns; the legacy Fleet.Stats getter is a slice of it.
+type FleetSnapshot struct {
+	FleetStats
+}

@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHubRoutesByPort checks the demux-critical property: uplink
+// datagrams surface at the hub carrying their port's unique source
+// address, and hub writes route to exactly the addressed port.
+func TestHubRoutesByPort(t *testing.T) {
+	hub := NewHub("")
+	defer hub.Close()
+	a, err := hub.Attach("client-a", LinkConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.Attach("client-b", LinkConfig{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := a.WriteTo([]byte("from-a"), hub.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo([]byte("from-b"), hub.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	buf := make([]byte, 64)
+	_ = hub.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < 2; i++ {
+		n, from, err := hub.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("hub read %d: %v", i, err)
+		}
+		seen[from.String()] = string(buf[:n])
+	}
+	if seen["client-a"] != "from-a" || seen["client-b"] != "from-b" {
+		t.Fatalf("hub saw %v", seen)
+	}
+
+	// Downlink: write to client-b only; client-a must stay silent.
+	if _, err := hub.WriteTo([]byte("to-b"), b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, from, err := b.ReadFrom(buf)
+	if err != nil || string(buf[:n]) != "to-b" || from.String() != "hub" {
+		t.Fatalf("b read = %q from %v err %v", buf[:n], from, err)
+	}
+	_ = a.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, from, err := a.ReadFrom(buf); err == nil {
+		t.Fatalf("a unexpectedly read %q from %v", buf[:n], from)
+	}
+}
+
+// TestHubBlackholeAndDetach checks the crash injectors: a blackholed
+// port eats traffic both ways but flows again after Restore, and
+// writes to a detached port are counted, not errored.
+func TestHubBlackholeAndDetach(t *testing.T) {
+	hub := NewHub("")
+	defer hub.Close()
+	p, err := hub.Attach("victim", LinkConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.Blackhole()
+	if _, err := p.WriteTo([]byte("up"), hub.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.WriteTo([]byte("down"), p.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if p.BlackholeDrops != 2 {
+		t.Fatalf("BlackholeDrops = %d, want 2", p.BlackholeDrops)
+	}
+	buf := make([]byte, 64)
+	_ = hub.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := hub.ReadFrom(buf); err == nil {
+		t.Fatal("blackholed uplink datagram arrived")
+	}
+
+	p.Restore()
+	if _, err := p.WriteTo([]byte("alive"), hub.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	_ = hub.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, _, err := hub.ReadFrom(buf); err != nil || string(buf[:n]) != "alive" {
+		t.Fatalf("post-restore read = %q, %v", buf[:n], err)
+	}
+
+	addr := p.Addr()
+	_ = p.Close()
+	if _, err := hub.WriteTo([]byte("ghost"), addr); err != nil {
+		t.Fatalf("write to detached port errored: %v", err)
+	}
+	hub.mu.Lock()
+	drops := hub.DetachedDrops
+	hub.mu.Unlock()
+	if drops != 1 {
+		t.Fatalf("DetachedDrops = %d, want 1", drops)
+	}
+
+	if _, err := hub.Attach("victim", LinkConfig{}, 4); err != nil {
+		t.Fatalf("reattach after close: %v", err)
+	}
+}
+
+// TestHubAttachValidation covers the attach error cases.
+func TestHubAttachValidation(t *testing.T) {
+	hub := NewHub("")
+	if _, err := hub.Attach("", LinkConfig{}, 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := hub.Attach("hub", LinkConfig{}, 1); err == nil {
+		t.Error("hub's own name accepted")
+	}
+	if _, err := hub.Attach("dup", LinkConfig{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Attach("dup", LinkConfig{}, 2); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	_ = hub.Close()
+	if _, err := hub.Attach("late", LinkConfig{}, 1); err == nil {
+		t.Error("attach after close accepted")
+	}
+}
+
+// TestHubShapesPerPort checks each port shapes independently: a lossy
+// port drops roughly its configured fraction while a clean port loses
+// nothing.
+func TestHubShapesPerPort(t *testing.T) {
+	hub := NewHub("")
+	defer hub.Close()
+	clean, err := hub.Attach("clean", LinkConfig{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := hub.Attach("lossy", LinkConfig{Loss: 0.5}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		if _, err := clean.WriteTo([]byte{1}, hub.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lossy.WriteTo([]byte{2}, hub.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]int{}
+	buf := make([]byte, 16)
+	for {
+		_ = hub.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		_, from, err := hub.ReadFrom(buf)
+		if err != nil {
+			break
+		}
+		got[from.String()]++
+	}
+	if got["clean"] != sent {
+		t.Errorf("clean port delivered %d/%d", got["clean"], sent)
+	}
+	if got["lossy"] < sent/4 || got["lossy"] > 3*sent/4 {
+		t.Errorf("lossy port delivered %d/%d, want ~%d", got["lossy"], sent, sent/2)
+	}
+	lossy.mu.Lock()
+	drops := lossy.up.Drops
+	lossy.mu.Unlock()
+	if got["lossy"]+int(drops) != sent {
+		t.Errorf("lossy delivered %d + dropped %d != sent %d", got["lossy"], drops, sent)
+	}
+}

@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProfileByName checks catalog lookup, case-insensitivity, and the
+// unknown-name error.
+func TestProfileByName(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("ProfileByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if p, err := ProfileByName("LTE"); err != nil || p.Name != "lte" {
+		t.Errorf("case-insensitive lookup: %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("dialup"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+// TestProfilePresetValues pins the two presets that replaced hand-wired
+// test tuples: changing them re-tunes the adaptive-quality and rudp
+// soak tests.
+func TestProfilePresetValues(t *testing.T) {
+	if want := (LinkConfig{Delay: time.Millisecond, Bandwidth: 150_000, MaxQueue: 25 * time.Millisecond}); WiFiCongested.Link != want {
+		t.Errorf("WiFiCongested = %+v, want %+v", WiFiCongested.Link, want)
+	}
+	want := LinkConfig{
+		Delay:     15 * time.Millisecond,
+		JitterStd: 2 * time.Millisecond,
+		Loss:      0.05,
+		Bandwidth: 1 << 20,
+		MaxQueue:  50 * time.Millisecond,
+	}
+	if Lossy5.Link != want {
+		t.Errorf("Lossy5 = %+v, want %+v", Lossy5.Link, want)
+	}
+	if Loopback.Link != (LinkConfig{}) {
+		t.Errorf("Loopback = %+v, want zero", Loopback.Link)
+	}
+}
+
+// TestProfileNewPair smoke-tests pair construction through a profile.
+func TestProfileNewPair(t *testing.T) {
+	a, b := WiFiGood.NewPair(9)
+	defer a.Close()
+	defer b.Close()
+	if _, err := a.WriteTo([]byte("ping"), b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	n, _, err := b.ReadFrom(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+}

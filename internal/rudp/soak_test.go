@@ -122,19 +122,16 @@ func runSoak(t *testing.T, opts rudp.Options, cfg netsim.LinkConfig, seed uint64
 	}
 }
 
-// soakLink is the reference radio path: 30 ms RTT, 2 ms jitter, 1 MB/s
-// each way with a 50 ms bottleneck queue. The bandwidth is chosen just
+// soakLink is the reference radio path: the Lossy5 profile — 30 ms
+// RTT, 2 ms jitter, 1 MB/s each way with a 50 ms bottleneck queue —
+// with the loss rate swapped per test. The bandwidth is chosen just
 // below the window-limited send rate, so a transport that multiplies
 // its offered load with spurious retransmissions congests its own
 // bottleneck queue instead of hiding behind link headroom.
 func soakLink(loss float64) netsim.LinkConfig {
-	return netsim.LinkConfig{
-		Delay:     15 * time.Millisecond,
-		JitterStd: 2 * time.Millisecond,
-		Loss:      loss,
-		Bandwidth: 1 << 20,
-		MaxQueue:  50 * time.Millisecond,
-	}
+	cfg := netsim.Lossy5.Link
+	cfg.Loss = loss
+	return cfg
 }
 
 // soakOptions sizes the window to the path's delay-bandwidth product

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Load-harness scenario sweep: gbooster-load drives the four preset
+# scenarios (production-day, spike, flash-crowd, churn) against a fresh
+# in-process fleet each, and the per-scenario SLOs — p50/p99 frame
+# latency, delivered FPS, gap-skips, failover/handoff activity,
+# quality-ladder movement, fleet capacity pressure — land in
+# BENCH_load.json (ncpu-annotated; absolute numbers are host-dependent,
+# the session accounting and activity counters are not).
+#
+#   SESSIONS=8 FRAMES=10 sh scripts/bench_load.sh   # smoke run (check.sh)
+#   sh scripts/bench_load.sh                        # full preset-size run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_load.json}"
+SCENARIOS="${SCENARIOS:-all}"
+SESSIONS="${SESSIONS:-0}"
+FRAMES="${FRAMES:-0}"
+WIDTH="${WIDTH:-320}"
+HEIGHT="${HEIGHT:-240}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go run ./cmd/gbooster-load -bench -scenario "$SCENARIOS" \
+	-sessions "$SESSIONS" -frames "$FRAMES" \
+	-width "$WIDTH" -height "$HEIGHT" | tee "$tmp"
+
+go run ./scripts/benchjson -o "$OUT" <"$tmp"
+echo "wrote $OUT"

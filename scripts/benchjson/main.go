@@ -73,6 +73,15 @@ type fleetSummary struct {
 	MaxGoroutinesPerSession float64               `json:"max_goroutines_per_session"`
 }
 
+// loadSummary aggregates a `<prefix>/scenario=<name>` family emitted by
+// gbooster-load -bench: per scenario, the full SLO as a unit -> value
+// map (p50_ms, p99_ms, fps, sessions_ok, gap_skips, handoffs_ok, ...)
+// plus the frame count (iterations) and mean frame latency (ns/op).
+type loadSummary struct {
+	Benchmark string                        `json:"benchmark"`
+	Scenarios map[string]map[string]float64 `json:"scenarios"`
+}
+
 type report struct {
 	Date       string `json:"date"`
 	NCPU       int    `json:"ncpu"`
@@ -90,6 +99,7 @@ type report struct {
 	Speedups    []speedup       `json:"speedups,omitempty"`
 	Uplink      []uplinkSummary `json:"uplink,omitempty"`
 	Fleet       []fleetSummary  `json:"fleet,omitempty"`
+	Load        []loadSummary   `json:"load,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result row; the trailing
@@ -106,6 +116,9 @@ var dictFamily = regexp.MustCompile(`^(.+)/dict=(on|off)$`)
 
 // sessionsFamily splits `<prefix>/sessions=<N>` benchmark names.
 var sessionsFamily = regexp.MustCompile(`^(.+)/sessions=(\d+)$`)
+
+// scenarioFamily splits `<prefix>/scenario=<name>` benchmark names.
+var scenarioFamily = regexp.MustCompile(`^(.+)/scenario=(.+)$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
@@ -263,6 +276,33 @@ func main() {
 	}
 	sort.Slice(fleets, func(i, j int) bool { return fleets[i].Benchmark < fleets[j].Benchmark })
 
+	// Group `<prefix>/scenario=<name>` load-harness families: iterations
+	// are displayed frames, ns/op the mean frame latency, and every SLO
+	// field rides the row as a `<value> <unit>` metric.
+	loadFamilies := map[string]map[string]map[string]float64{}
+	for _, r := range results {
+		m := scenarioFamily.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		if loadFamilies[m[1]] == nil {
+			loadFamilies[m[1]] = map[string]map[string]float64{}
+		}
+		slo := map[string]float64{
+			"frames":          float64(r.Iterations),
+			"mean_latency_ns": r.NsPerOp,
+		}
+		for unit, v := range r.Metrics {
+			slo[unit] = v
+		}
+		loadFamilies[m[1]][m[2]] = slo
+	}
+	var loads []loadSummary
+	for prefix, scenarios := range loadFamilies {
+		loads = append(loads, loadSummary{Benchmark: prefix, Scenarios: scenarios})
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Benchmark < loads[j].Benchmark })
+
 	gate := "evaluated"
 	if runtime.NumCPU() < 4 {
 		gate = "skipped-ncpu<4"
@@ -283,6 +323,7 @@ func main() {
 		Speedups:   speedups,
 		Uplink:     uplinks,
 		Fleet:      fleets,
+		Load:       loads,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

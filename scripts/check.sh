@@ -56,3 +56,15 @@ BENCHTIME=1x OUT=/tmp/BENCH_handoff.smoke.json sh scripts/bench_handoff.sh
 # and the BENCH_fleet.json summary still build. Full numbers come from
 # running scripts/bench_fleet.sh without BENCHTIME.
 BENCHTIME=1x OUT=/tmp/BENCH_fleet.smoke.json sh scripts/bench_fleet.sh
+# Load-harness race smokes: the worker-pool executor, the hub's
+# per-port shapers, and the fleet's demux/reap paths all interleave
+# here — first the in-process churn/hot-join executor tests, then a
+# scaled-down flash-crowd stampede through the real CLI.
+go test -race -short ./internal/loadgen/
+go run -race ./cmd/gbooster-load -scenario flash-crowd \
+	-sessions 8 -frames 8 -width 128 -height 96 >/dev/null
+# Load-harness benchmark smoke: proves all four scenario presets still
+# run end to end and the BENCH_load.json summary still builds. Full
+# numbers come from running scripts/bench_load.sh without overrides.
+SESSIONS=6 FRAMES=8 WIDTH=128 HEIGHT=96 OUT=/tmp/BENCH_load.smoke.json \
+	sh scripts/bench_load.sh >/dev/null

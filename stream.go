@@ -6,10 +6,12 @@ import (
 	"image"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gbooster/gbooster/internal/core"
 	"github.com/gbooster/gbooster/internal/hook"
+	"github.com/gbooster/gbooster/internal/metrics"
 	"github.com/gbooster/gbooster/internal/rudp"
 	"github.com/gbooster/gbooster/internal/workload"
 )
@@ -286,6 +288,17 @@ type Player struct {
 	client *core.Client
 	linker *hook.Linker
 	calls  map[string]hook.GLFunc
+
+	// start anchors Snapshot's Elapsed field.
+	start time.Time
+
+	// Caller-visible frame span (StepFrame issue to display — the
+	// paper's Eq. 5 response time), accumulated by StepFrame itself so
+	// every harness gets latency through Snapshot without timing frames
+	// by hand. Atomics: StepFrame and Snapshot may race.
+	latTotalNS int64
+	latMaxNS   int64
+	latCount   int64
 }
 
 // PlayerConfig identifies what a Player runs and displays.
@@ -331,6 +344,7 @@ func NewPlayer(cfg PlayerConfig, opts ...Option) (*Player, error) {
 		client: client,
 		linker: ln,
 		calls:  make(map[string]hook.GLFunc),
+		start:  time.Now(),
 	}, nil
 }
 
@@ -356,8 +370,11 @@ func (p *Player) ConnectConn(name string, pc net.PacketConn, peer net.Addr, capa
 }
 
 // StepFrame generates the next game frame, pushes it through the hooked
-// GL path, and returns the next displayed frame as an image.
+// GL path, and returns the next displayed frame as an image. The
+// issue-to-display span of each successful frame is accumulated into
+// the snapshot's frame-latency counters.
 func (p *Player) StepFrame(timeout time.Duration) (*image.RGBA, error) {
+	begin := time.Now()
 	frame := p.game.NextFrame()
 	for _, cmd := range frame.Commands {
 		name := cmd.Op.String()
@@ -384,7 +401,23 @@ func (p *Player) StepFrame(timeout time.Duration) (*image.RGBA, error) {
 	}
 	img := image.NewRGBA(image.Rect(0, 0, p.w, p.h))
 	copy(img.Pix, displayed.Pixels)
+	p.recordFrameLatency(time.Since(begin))
 	return img, nil
+}
+
+// recordFrameLatency folds one frame span into the Eq. 5 counters.
+func (p *Player) recordFrameLatency(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	atomic.AddInt64(&p.latTotalNS, int64(d))
+	atomic.AddInt64(&p.latCount, 1)
+	for {
+		max := atomic.LoadInt64(&p.latMaxNS)
+		if int64(d) <= max || atomic.CompareAndSwapInt64(&p.latMaxNS, max, int64(d)) {
+			return
+		}
+	}
 }
 
 // ErrBadFrame is returned when a displayed frame's pixel buffer does
@@ -401,145 +434,82 @@ func validateFrameSize(n, w, h int) error {
 	return nil
 }
 
-// PlayerStats summarizes a session's streaming counters.
-type PlayerStats struct {
-	// FramesSent counts frame batches dispatched to service devices;
-	// FramesShown counts frames delivered to the display in order.
-	FramesSent, FramesShown int64
-	// RawBytes is the serialized command volume before caching and
-	// compression; WireBytes what actually crossed the network. Their
-	// ratio is the paper's traffic-reduction metric.
-	RawBytes, WireBytes int64
-	// PreCompressBytes is the uplink volume after the mirrored command
-	// cache but before stream compression: the compression ratio is
-	// PreCompressBytes/WireBytes, and the cache's own reduction
-	// RawBytes/PreCompressBytes.
-	PreCompressBytes int64
-	// CacheHits / CacheMisses count records the mirrored caches replaced
-	// with a 9-byte reference vs. shipped in full.
-	CacheHits, CacheMisses int64
-	// DownlinkBytes counts encoded frame bytes received from the
-	// servers (the downlink half of the traffic picture).
-	DownlinkBytes int64
-	// QualityNow is the encode quality of the most recently displayed
-	// frame, read from the turbo packet headers (zero before the first
-	// frame); QualityMin the lowest seen; QualityChanges the number of
-	// mid-stream steps. A QualityMin below the configured quality means
-	// a server-side adaptive ladder shed bytes under congestion.
-	QualityNow, QualityMin int
-	QualityChanges         int64
-}
+// The session stat types live in internal/metrics — the collectors'
+// home package — and are aliased here so the public names are the same
+// types metrics.Collector consumes. Documentation is on the metrics
+// definitions.
+type (
+	// PlayerStats summarizes a session's streaming counters.
+	PlayerStats = metrics.PlayerStats
+	// TransportHealth is one service connection's loss-recovery
+	// snapshot.
+	TransportHealth = metrics.TransportHealth
+	// FailoverStats summarizes the client's §VI-C fault tolerance over
+	// the session.
+	FailoverStats = metrics.FailoverStats
+	// DeviceState is one attached service device's dispatch view.
+	DeviceState = metrics.DeviceState
+	// HandoffStats summarizes the session's elastic-device activity.
+	HandoffStats = metrics.HandoffStats
+	// PlayerSnapshot is one consistent observation of a whole session:
+	// every stat block the five per-feature getters expose, read
+	// together. Feed it to metrics collectors via a metrics.Registry.
+	PlayerSnapshot = metrics.PlayerSnapshot
+	// FleetSnapshot is one consistent observation of a Fleet.
+	FleetSnapshot = metrics.FleetSnapshot
+)
 
-// CompressionRatio returns cache-encoded bytes over wire bytes — the
-// inter-frame LZ4 dictionary's multiplicative reduction (1 means the
-// compressor removed nothing). Zero with no traffic.
-func (s PlayerStats) CompressionRatio() float64 {
-	if s.WireBytes <= 0 {
-		return 0
-	}
-	return float64(s.PreCompressBytes) / float64(s.WireBytes)
-}
-
-// CacheHitRate returns the fraction of encoded records the mirrored
-// command caches deduplicated, in [0,1].
-func (s PlayerStats) CacheHitRate() float64 {
-	if total := s.CacheHits + s.CacheMisses; total > 0 {
-		return float64(s.CacheHits) / float64(total)
-	}
-	return 0
-}
-
-// Stats returns transport-level counters for the session.
-func (p *Player) Stats() PlayerStats {
+// Snapshot returns one consistent observation of the session: the
+// streaming, failover, and handoff counter blocks from a single
+// underlying stats read, the per-device and per-transport views taken
+// back-to-back with it, the session age, and the frame-latency
+// accumulators StepFrame maintains. Prefer it over the per-feature
+// getters when reading more than one block — it is the input every
+// metrics collector consumes.
+func (p *Player) Snapshot() PlayerSnapshot {
 	st := p.client.Stats()
-	return PlayerStats{
-		FramesSent:       st.FramesSent,
-		FramesShown:      st.FramesDisplayed,
-		RawBytes:         st.RawBytes,
-		WireBytes:        st.WireBytes,
-		PreCompressBytes: st.PreCompressBytes,
-		CacheHits:        st.CacheHits,
-		CacheMisses:      st.CacheMisses,
-		DownlinkBytes:    st.DownlinkBytes,
-		QualityNow:       st.QualityNow,
-		QualityMin:       st.QualityMin,
-		QualityChanges:   st.QualityChanges,
+	s := PlayerSnapshot{
+		Elapsed: time.Since(p.start),
+		PlayerStats: PlayerStats{
+			FramesSent:       st.FramesSent,
+			FramesShown:      st.FramesDisplayed,
+			RawBytes:         st.RawBytes,
+			WireBytes:        st.WireBytes,
+			PreCompressBytes: st.PreCompressBytes,
+			CacheHits:        st.CacheHits,
+			CacheMisses:      st.CacheMisses,
+			DownlinkBytes:    st.DownlinkBytes,
+			QualityNow:       st.QualityNow,
+			QualityMin:       st.QualityMin,
+			QualityChanges:   st.QualityChanges,
+		},
+		FailoverStats: FailoverStats{
+			ReDispatched:   st.ReDispatched,
+			FramesSkipped:  st.FramesSkipped,
+			LateFrames:     st.LateFrames,
+			Evictions:      st.Evictions,
+			Readmissions:   st.Readmissions,
+			RecvBadMsgs:    st.RecvBadMsgs,
+			RecvUnexpected: st.RecvUnexpected,
+		},
+		HandoffStats: HandoffStats{
+			BootstrapsSent: st.BootstrapsSent,
+			BootstrapBytes: st.BootstrapBytes,
+			Completed:      st.HandoffsCompleted,
+			Failed:         st.HandoffsFailed,
+		},
+		FrameLatencyTotal: time.Duration(atomic.LoadInt64(&p.latTotalNS)),
+		FrameLatencyMax:   time.Duration(atomic.LoadInt64(&p.latMaxNS)),
+		FrameLatencyCount: atomic.LoadInt64(&p.latCount),
 	}
-}
-
-// TransportHealth is one service connection's loss-recovery snapshot:
-// the adaptive estimator's SRTT and current RTO, the fraction of data
-// transmissions that were retransmissions, and send-window occupancy.
-type TransportHealth struct {
-	Service         string
-	SRTT            time.Duration
-	RTTVar          time.Duration
-	RTO             time.Duration
-	ResendRate      float64
-	WindowOccupancy int
-	WindowLimit     int
-	DataSent        int64
-	DataResent      int64
-	FastResent      int64
-	TimeoutResent   int64
-}
-
-// FailoverStats summarizes the client's §VI-C fault tolerance over the
-// session: orphaned frames re-dispatched to replicas, devices evicted
-// and readmitted by the health state machine, frames abandoned on
-// every device, duplicate results from slow devices, and messages the
-// receive path dropped.
-type FailoverStats struct {
-	ReDispatched   int64
-	FramesSkipped  int64
-	LateFrames     int64
-	Evictions      int64
-	Readmissions   int64
-	RecvBadMsgs    int64
-	RecvUnexpected int64
-}
-
-// FailoverStats returns the session's failover counters.
-func (p *Player) FailoverStats() FailoverStats {
-	st := p.client.Stats()
-	return FailoverStats{
-		ReDispatched:   st.ReDispatched,
-		FramesSkipped:  st.FramesSkipped,
-		LateFrames:     st.LateFrames,
-		Evictions:      st.Evictions,
-		Readmissions:   st.Readmissions,
-		RecvBadMsgs:    st.RecvBadMsgs,
-		RecvUnexpected: st.RecvUnexpected,
+	if s.Completed > 0 {
+		s.HandoffStats.MeanLatency = st.HandoffLatencyTotal / time.Duration(s.Completed)
 	}
-}
-
-// DeviceState is one attached service device's dispatch view.
-type DeviceState struct {
-	Service string
-	// Health is "healthy", "suspect", "evicted", or "joining" (a
-	// bootstrap handoff is in flight and the device is not yet in the
-	// rotation).
-	Health string
-	// Queued is the device's outstanding Eq. 4 workload.
-	Queued float64
-}
-
-// DeviceStates reports each attached device's failover health, in
-// attach order.
-func (p *Player) DeviceStates() []DeviceState {
-	var out []DeviceState
 	for _, ds := range p.client.DeviceStates() {
-		out = append(out, DeviceState{Service: ds.Service, Health: ds.Health.String(), Queued: ds.Queued})
+		s.Devices = append(s.Devices, DeviceState{Service: ds.Service, Health: ds.Health.String(), Queued: ds.Queued})
 	}
-	return out
-}
-
-// TransportStats returns per-service transport health, in the order
-// services were attached.
-func (p *Player) TransportStats() []TransportHealth {
-	var out []TransportHealth
 	for _, th := range p.client.TransportStats() {
-		out = append(out, TransportHealth{
+		s.Transports = append(s.Transports, TransportHealth{
 			Service:         th.Service,
 			SRTT:            th.SRTT,
 			RTTVar:          th.RTTVar,
@@ -553,7 +523,38 @@ func (p *Player) TransportStats() []TransportHealth {
 			TimeoutResent:   th.TimeoutResent,
 		})
 	}
-	return out
+	return s
+}
+
+// Stats returns transport-level counters for the session.
+//
+// Deprecated: read Snapshot().PlayerStats — one Snapshot call yields
+// every stat block consistently. Kept as a thin accessor.
+func (p *Player) Stats() PlayerStats {
+	return p.Snapshot().PlayerStats
+}
+
+// FailoverStats returns the session's failover counters.
+//
+// Deprecated: read Snapshot().FailoverStats. Kept as a thin accessor.
+func (p *Player) FailoverStats() FailoverStats {
+	return p.Snapshot().FailoverStats
+}
+
+// DeviceStates reports each attached device's failover health, in
+// attach order.
+//
+// Deprecated: read Snapshot().Devices. Kept as a thin accessor.
+func (p *Player) DeviceStates() []DeviceState {
+	return p.Snapshot().Devices
+}
+
+// TransportStats returns per-service transport health, in the order
+// services were attached.
+//
+// Deprecated: read Snapshot().Transports. Kept as a thin accessor.
+func (p *Player) TransportStats() []TransportHealth {
+	return p.Snapshot().Transports
 }
 
 // Drain administratively removes a connected service device from the
@@ -565,38 +566,11 @@ func (p *Player) Drain(service string) error {
 	return p.client.DrainService(service)
 }
 
-// HandoffStats summarizes the session's elastic-device activity:
-// checkpoint bootstrap streams shipped to joining or readmitted
-// devices, handoffs admitted on a matching state-fingerprint ack, and
-// handoffs aborted.
-type HandoffStats struct {
-	// BootstrapsSent counts session bootstrap streams shipped;
-	// BootstrapBytes their total size on the wire.
-	BootstrapsSent int64
-	BootstrapBytes int64
-	// Completed counts handoffs whose device was admitted to the
-	// rotation; Failed those aborted on a fingerprint mismatch, a send
-	// failure, or the handoff deadline.
-	Completed int64
-	Failed    int64
-	// MeanLatency is the average checkpoint-to-admission time of the
-	// completed handoffs (zero with none).
-	MeanLatency time.Duration
-}
-
 // HandoffStats returns the session's live-handoff counters.
+//
+// Deprecated: read Snapshot().HandoffStats. Kept as a thin accessor.
 func (p *Player) HandoffStats() HandoffStats {
-	st := p.client.Stats()
-	hs := HandoffStats{
-		BootstrapsSent: st.BootstrapsSent,
-		BootstrapBytes: st.BootstrapBytes,
-		Completed:      st.HandoffsCompleted,
-		Failed:         st.HandoffsFailed,
-	}
-	if hs.Completed > 0 {
-		hs.MeanLatency = st.HandoffLatencyTotal / time.Duration(hs.Completed)
-	}
-	return hs
+	return p.Snapshot().HandoffStats
 }
 
 // Close shuts the player down.

@@ -25,14 +25,11 @@ func runConstrainedSession(t *testing.T, seed uint64, frames int, opts ...Option
 		t.Fatal(err)
 	}
 	// A link tight enough that multi-datagram frames queue behind each
-	// other: serialization delay inflates RTT and overflows the 25 ms
+	// other: serialization delay inflates RTT and overflows the shallow
 	// emulated router buffer, producing drops and retransmits — the
-	// congestion regime the quality ladder exists for.
-	lc, ls := netsim.NewLinkPair(netsim.LinkConfig{
-		Delay:     1 * time.Millisecond,
-		Bandwidth: 150_000,
-		MaxQueue:  25 * time.Millisecond,
-	}, seed)
+	// congestion regime the quality ladder exists for. The parameters
+	// live in the WiFiCongested profile, which pins this exact tuple.
+	lc, ls := netsim.WiFiCongested.NewPair(seed)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {

@@ -1,0 +1,110 @@
+package gbooster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/rudp"
+)
+
+// TestSnapshotEquivalence proves the unified Snapshot agrees with the
+// five legacy per-feature getters on a quiesced session: same counter
+// blocks, same device and transport views.
+func TestSnapshotEquivalence(t *testing.T) {
+	const w, h = 64, 48
+	player, err := NewPlayer(PlayerConfig{Workload: "G6", Width: w, Height: h, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	srv, err := NewStreamServer(StreamServerConfig{Width: w, Height: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pcC, pcS := rudp.NewMemPair(0, 11)
+	go func() { _ = srv.ServeConn(pcS, pcC.Addr()) }()
+	if err := player.ConnectConn("mem", pcC, pcS.Addr(), 1000); err != nil {
+		t.Fatal(err)
+	}
+
+	for f := 0; f < 8; f++ {
+		if _, err := player.StepFrame(5 * time.Second); err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+	}
+
+	// The session is quiesced (no frame in flight), so a snapshot and
+	// the legacy getters must read identical state.
+	s := player.Snapshot()
+	if got := player.Stats(); got != s.PlayerStats {
+		t.Errorf("Stats() = %+v\nSnapshot().PlayerStats = %+v", got, s.PlayerStats)
+	}
+	if got := player.FailoverStats(); got != s.FailoverStats {
+		t.Errorf("FailoverStats() = %+v\nSnapshot().FailoverStats = %+v", got, s.FailoverStats)
+	}
+	if got := player.HandoffStats(); got != s.HandoffStats {
+		t.Errorf("HandoffStats() = %+v\nSnapshot().HandoffStats = %+v", got, s.HandoffStats)
+	}
+	devs := player.DeviceStates()
+	if len(devs) != len(s.Devices) {
+		t.Fatalf("DeviceStates() len %d != Snapshot().Devices len %d", len(devs), len(s.Devices))
+	}
+	for i := range devs {
+		if devs[i] != s.Devices[i] {
+			t.Errorf("device %d: %+v != %+v", i, devs[i], s.Devices[i])
+		}
+	}
+	trs := player.TransportStats()
+	if len(trs) != len(s.Transports) {
+		t.Fatalf("TransportStats() len %d != Snapshot().Transports len %d", len(trs), len(s.Transports))
+	}
+	for i := range trs {
+		// SRTT/RTO keep moving with acks even when quiesced — compare
+		// the identity and counter fields, which are stable.
+		if trs[i].Service != s.Transports[i].Service ||
+			trs[i].WindowLimit != s.Transports[i].WindowLimit ||
+			trs[i].DataSent < s.Transports[i].DataSent {
+			t.Errorf("transport %d: %+v != %+v", i, trs[i], s.Transports[i])
+		}
+	}
+
+	// The snapshot-only extras must be live: session age, and the frame
+	// latency StepFrame accumulated.
+	if s.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", s.Elapsed)
+	}
+	if s.FrameLatencyCount != 8 {
+		t.Errorf("FrameLatencyCount = %d, want 8", s.FrameLatencyCount)
+	}
+	if s.FrameLatencyTotal <= 0 || s.FrameLatencyMax <= 0 {
+		t.Errorf("frame latency total=%v max=%v, want > 0", s.FrameLatencyTotal, s.FrameLatencyMax)
+	}
+	if s.MeanFrameLatency() > s.FrameLatencyMax {
+		t.Errorf("mean %v > max %v", s.MeanFrameLatency(), s.FrameLatencyMax)
+	}
+	if fps := s.DeliveredFPS(); fps <= 0 {
+		t.Errorf("DeliveredFPS = %v, want > 0", fps)
+	}
+	if s.Fleet != nil {
+		t.Errorf("standalone player snapshot carries a fleet rider: %+v", s.Fleet)
+	}
+}
+
+// TestFleetSnapshotEquivalence proves Fleet.Snapshot mirrors
+// Fleet.Stats.
+func TestFleetSnapshotEquivalence(t *testing.T) {
+	fl, err := NewFleet(FleetConfig{Width: 32, Height: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	// Before serving both must read zero.
+	if fl.Snapshot().FleetStats != fl.Stats() {
+		t.Fatal("Snapshot/Stats disagree before Serve")
+	}
+	if (fl.Snapshot().FleetStats != FleetStats{}) {
+		t.Fatalf("unserved fleet snapshot not zero: %+v", fl.Snapshot().FleetStats)
+	}
+}
