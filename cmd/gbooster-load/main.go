@@ -12,9 +12,10 @@
 //
 // Usage:
 //
-//	gbooster-load [-scenario all|production-day,spike,flash-crowd,churn]
+//	gbooster-load [-scenario all|production-day,spike,flash-crowd,churn,congested]
 //	              [-sessions 0] [-frames 0] [-seed 0] [-workers 0]
 //	              [-width 320] [-height 240] [-link profile]
+//	              [-arrival-window 0] [-churn-fraction -1]
 //	              [-max-sessions 0] [-idle 30s] [-quality 0]
 //	              [-adaptive-quality] [-quality-floor 0] [-parallelism 1]
 //	              [-addr host:port] [-bench]
@@ -45,6 +46,8 @@ func main() {
 	width := flag.Int("width", 320, "stream width")
 	height := flag.Int("height", 240, "stream height")
 	link := flag.String("link", "", "force every session onto one link profile ("+strings.Join(netsim.ProfileNames(), ", ")+")")
+	arrival := flag.Duration("arrival-window", 0, "override each scenario's session arrival window (0 = preset)")
+	churn := flag.Float64("churn-fraction", -1, "override each scenario's total churn share 0..1, split across crash/drain/hot-join in the preset's proportions (negative = preset)")
 	maxSessions := flag.Int("max-sessions", 0, "in-process fleet admission cap (0 = default)")
 	idle := flag.Duration("idle", 30*time.Second, "in-process fleet idle-reap timeout")
 	quality := flag.Int("quality", 0, "turbo codec quality (0 = default)")
@@ -77,21 +80,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *sessions > 0 {
-			sc.Sessions = *sessions
-		}
-		if *frames > 0 {
-			sc.FramesPerSession = *frames
-		}
-		if *seed != 0 {
-			sc.Seed = *seed
-		}
-		if *link != "" {
-			p, err := netsim.ProfileByName(*link)
-			if err != nil {
-				fatal(err)
-			}
-			sc.Links = []loadgen.WeightedProfile{{Profile: p, Weight: 1}}
+		sc, err = applyOverrides(sc, overrides{
+			Sessions:      *sessions,
+			Frames:        *frames,
+			Seed:          *seed,
+			Link:          *link,
+			ArrivalWindow: *arrival,
+			ChurnFraction: *churn,
+		})
+		if err != nil {
+			fatal(err)
 		}
 
 		slo, err := runScenario(sc, *addr, *width, *height, *maxSessions, *idle, *workers, opts)
@@ -109,6 +107,62 @@ func main() {
 	if failed {
 		fatal(fmt.Errorf("some sessions failed (see tables)"))
 	}
+}
+
+// overrides captures the per-scenario CLI knobs that rewrite a preset
+// before it runs. Zero values (and a negative ChurnFraction) mean
+// "keep the preset's setting".
+type overrides struct {
+	Sessions      int
+	Frames        int
+	Seed          uint64
+	Link          string
+	ArrivalWindow time.Duration
+	ChurnFraction float64
+}
+
+// applyOverrides rewrites sc with the set overrides. ChurnFraction
+// redistributes the total churn share across the preset's
+// crash/drain/hot-join proportions — a preset with no churn at all
+// splits the fraction evenly three ways, so -churn-fraction works on
+// every preset, not only the churn-flavored ones.
+func applyOverrides(sc loadgen.Scenario, o overrides) (loadgen.Scenario, error) {
+	if o.Sessions > 0 {
+		sc.Sessions = o.Sessions
+	}
+	if o.Frames > 0 {
+		sc.FramesPerSession = o.Frames
+	}
+	if o.Seed != 0 {
+		sc.Seed = o.Seed
+	}
+	if o.Link != "" {
+		p, err := netsim.ProfileByName(o.Link)
+		if err != nil {
+			return sc, err
+		}
+		sc.Links = []loadgen.WeightedProfile{{Profile: p, Weight: 1}}
+	}
+	if o.ArrivalWindow > 0 {
+		sc.ArrivalWindow = o.ArrivalWindow
+	}
+	if o.ChurnFraction >= 0 {
+		if o.ChurnFraction > 1 {
+			return sc, fmt.Errorf("churn-fraction %v out of range [0, 1]", o.ChurnFraction)
+		}
+		total := sc.Crash + sc.Drain + sc.HotJoin
+		if total > 0 {
+			scale := o.ChurnFraction / total
+			sc.Crash *= scale
+			sc.Drain *= scale
+			sc.HotJoin *= scale
+		} else {
+			sc.Crash = o.ChurnFraction / 3
+			sc.Drain = o.ChurnFraction / 3
+			sc.HotJoin = o.ChurnFraction / 3
+		}
+	}
+	return sc, nil
 }
 
 // runScenario builds a fresh target per scenario — each preset starts

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/loadgen"
+	"github.com/gbooster/gbooster/internal/netsim"
+)
+
+// TestApplyOverridesKeepsPreset pins the "zero means preset" contract:
+// an all-default overrides value must leave every scenario field alone,
+// including the churn shares (ChurnFraction is negative by default, not
+// zero, precisely so a zeroed churn preset survives).
+func TestApplyOverridesKeepsPreset(t *testing.T) {
+	sc, err := loadgen.ScenarioByName("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := applyOverrides(sc, overrides{ChurnFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sessions != sc.Sessions || got.FramesPerSession != sc.FramesPerSession ||
+		got.Seed != sc.Seed || got.ArrivalWindow != sc.ArrivalWindow {
+		t.Errorf("defaults rewrote the preset: %+v != %+v", got, sc)
+	}
+	if got.Crash != sc.Crash || got.Drain != sc.Drain || got.HotJoin != sc.HotJoin {
+		t.Errorf("defaults rewrote churn: crash=%v drain=%v hotjoin=%v",
+			got.Crash, got.Drain, got.HotJoin)
+	}
+}
+
+// TestApplyOverridesBasics covers the scalar overrides, including the
+// new arrival-window knob.
+func TestApplyOverridesBasics(t *testing.T) {
+	sc, err := loadgen.ScenarioByName("spike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := applyOverrides(sc, overrides{
+		Sessions:      7,
+		Frames:        11,
+		Seed:          99,
+		Link:          "wifi-good",
+		ArrivalWindow: 1500 * time.Millisecond,
+		ChurnFraction: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sessions != 7 || got.FramesPerSession != 11 || got.Seed != 99 {
+		t.Errorf("scalars not applied: %+v", got)
+	}
+	if got.ArrivalWindow != 1500*time.Millisecond {
+		t.Errorf("arrival window = %v, want 1.5s", got.ArrivalWindow)
+	}
+	if len(got.Links) != 1 || got.Links[0].Profile.Name != netsim.WiFiGood.Name {
+		t.Errorf("link not pinned: %+v", got.Links)
+	}
+}
+
+// TestApplyOverridesChurnProportional: on a preset with churn, the
+// fraction redistributes across the preset's own crash/drain/hot-join
+// proportions instead of flattening them.
+func TestApplyOverridesChurnProportional(t *testing.T) {
+	sc := loadgen.Scenario{Crash: 0.2, Drain: 0.1, HotJoin: 0.1}
+	got, err := applyOverrides(sc, overrides{ChurnFraction: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close1(got.Crash, 0.4) || !close1(got.Drain, 0.2) || !close1(got.HotJoin, 0.2) {
+		t.Errorf("proportions lost: crash=%v drain=%v hotjoin=%v",
+			got.Crash, got.Drain, got.HotJoin)
+	}
+	if sum := got.Crash + got.Drain + got.HotJoin; !close1(sum, 0.8) {
+		t.Errorf("total churn = %v, want 0.8", sum)
+	}
+}
+
+// TestApplyOverridesChurnEvenSplit: a churn-free preset splits the
+// fraction evenly so the knob works everywhere; zero explicitly
+// disables churn on a churny preset.
+func TestApplyOverridesChurnEvenSplit(t *testing.T) {
+	got, err := applyOverrides(loadgen.Scenario{}, overrides{ChurnFraction: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close1(got.Crash, 0.2) || !close1(got.Drain, 0.2) || !close1(got.HotJoin, 0.2) {
+		t.Errorf("even split lost: crash=%v drain=%v hotjoin=%v",
+			got.Crash, got.Drain, got.HotJoin)
+	}
+
+	got, err = applyOverrides(loadgen.Scenario{Crash: 0.5, HotJoin: 0.5}, overrides{ChurnFraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Crash != 0 || got.Drain != 0 || got.HotJoin != 0 {
+		t.Errorf("zero fraction left churn: crash=%v drain=%v hotjoin=%v",
+			got.Crash, got.Drain, got.HotJoin)
+	}
+}
+
+// TestApplyOverridesErrors pins the two rejection paths: an unknown
+// link profile and an out-of-range churn fraction.
+func TestApplyOverridesErrors(t *testing.T) {
+	if _, err := applyOverrides(loadgen.Scenario{}, overrides{Link: "carrier-pigeon", ChurnFraction: -1}); err == nil {
+		t.Error("unknown link accepted")
+	}
+	_, err := applyOverrides(loadgen.Scenario{}, overrides{ChurnFraction: 1.5})
+	if err == nil || !strings.Contains(err.Error(), "churn-fraction") {
+		t.Errorf("churn-fraction 1.5 accepted (err=%v)", err)
+	}
+}
+
+func close1(got, want float64) bool {
+	d := got - want
+	return d < 1e-9 && d > -1e-9
+}

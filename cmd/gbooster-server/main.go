@@ -100,8 +100,13 @@ func runFleet(addr string, width, height, maxSessions int, idle, statsEvery time
 				snap := fl.Snapshot()
 				col.Observe(metrics.PlayerSnapshot{Fleet: &snap.FleetStats})
 				tot := col.Totals()
-				fmt.Printf("fleet: sessions=%d peak=%d frames=%d reject_rate=%.3f gate_wait_rate=%.3f non_protocol=%d\n",
-					snap.Sessions, col.PeakSessions(), tot.Frames, col.RejectRate(), col.GateWaitRate(), tot.NonProtocol)
+				perSyscall := 0.0
+				if snap.EgressSyscalls > 0 {
+					perSyscall = float64(snap.EgressDatagrams) / float64(snap.EgressSyscalls)
+				}
+				fmt.Printf("fleet: sessions=%d peak=%d frames=%d reject_rate=%.3f gate_wait_rate=%.3f non_protocol=%d egress_dgrams=%d egress_per_syscall=%.1f egress_drops=%d\n",
+					snap.Sessions, col.PeakSessions(), tot.Frames, col.RejectRate(), col.GateWaitRate(), tot.NonProtocol,
+					snap.EgressDatagrams, perSyscall, snap.EgressDrops)
 			}
 		}()
 	}

@@ -38,6 +38,13 @@ type FleetConfig struct {
 	// fleet's memory ceiling is MaxSessions times this, so the default
 	// is deliberately small (1 MiB).
 	CacheBytes int
+	// EgressBatch tunes the fleet's coalescing egress writer, which
+	// funnels every session's replies, ACKs, and retransmits into
+	// batched socket writes (sendmmsg on linux): 0 enables it with the
+	// library default batch (64), a positive value sets the per-flush
+	// batch, and a negative value disables batching so every datagram
+	// is its own syscall.
+	EgressBatch int
 }
 
 // FleetStats is a point-in-time snapshot of a Fleet.
@@ -83,6 +90,7 @@ func NewFleet(cfg FleetConfig, opts ...Option) (*Fleet, error) {
 		MaxSessions:     cfg.MaxSessions,
 		GateWidth:       cfg.GateWidth,
 		IdleTimeout:     cfg.IdleTimeout,
+		EgressBatch:     cfg.EgressBatch,
 	}}, nil
 }
 
@@ -152,17 +160,21 @@ func (f *Fleet) Stats() FleetStats {
 	}
 	s := mgr.Stats()
 	return FleetStats{
-		Sessions:     s.Sessions,
-		PeakSessions: s.PeakSessions,
-		Admitted:     s.Admitted,
-		Rejected:     s.Rejected,
-		NonProtocol:  s.NonProtocol,
-		Frames:       s.Frames,
-		TimersArmed:  s.TimersArmed,
-		GateWidth:    s.Gate.Width,
-		GateEntries:  s.Gate.Entries,
-		GateWaits:    s.Gate.Waits,
-		GateActive:   s.Gate.Active,
+		Sessions:        s.Sessions,
+		PeakSessions:    s.PeakSessions,
+		Admitted:        s.Admitted,
+		Rejected:        s.Rejected,
+		NonProtocol:     s.NonProtocol,
+		Frames:          s.Frames,
+		TimersArmed:     s.TimersArmed,
+		GateWidth:       s.Gate.Width,
+		GateEntries:     s.Gate.Entries,
+		GateWaits:       s.Gate.Waits,
+		GateActive:      s.Gate.Active,
+		EgressDatagrams: s.EgressDatagrams,
+		EgressSyscalls:  s.EgressSyscalls,
+		EgressBatches:   s.EgressBatches,
+		EgressDrops:     s.EgressDrops,
 	}
 }
 

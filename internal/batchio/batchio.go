@@ -1,0 +1,156 @@
+// Package batchio amortizes the per-datagram syscall cost of UDP I/O:
+// on linux it moves whole batches of datagrams through one
+// sendmmsg/recvmmsg call (via the stdlib syscall package — no new
+// dependencies), and everywhere else it degrades to the plain
+// one-WriteTo/ReadFrom-per-datagram loop with identical delivery
+// semantics. The fleet's egress writer and demux pump are the intended
+// callers: at 1024 sessions the shared listener's syscall rate, not the
+// now-cheap encode, is the downlink's dominant fixed cost.
+//
+// Both directions report datagram and syscall counts, so callers can
+// observe the achieved coalescing (datagrams per syscall) directly.
+package batchio
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+)
+
+// errNoFastPath is the fast path's "this I can't express" signal: the
+// portable loop takes over from wherever the batch stopped.
+var errNoFastPath = errors.New("batchio: fast path unavailable")
+
+// MaxBatch is the largest number of datagrams one batched syscall
+// moves; larger Send batches are chunked transparently, and Recv never
+// fills more than MaxBatch buffers per call.
+const MaxBatch = 64
+
+// Datagram pairs one packet payload with its peer address.
+type Datagram struct {
+	Buf  []byte
+	Addr net.Addr
+}
+
+// Stats counts datagrams moved and syscalls consumed moving them. On
+// the portable fallback path the two advance in lockstep; on the linux
+// fast path Syscalls lags Datagrams by the achieved batching factor.
+type Stats struct {
+	Datagrams int64
+	Syscalls  int64
+}
+
+// Sender writes batches of datagrams to a PacketConn, coalescing each
+// batch into as few syscalls as the platform allows.
+type Sender struct {
+	pc   net.PacketConn
+	fast *mmsgIO
+
+	datagrams atomic.Int64
+	syscalls  atomic.Int64
+}
+
+// NewSender builds a sender over pc. The linux sendmmsg fast path
+// engages when pc is a real *net.UDPConn; any other conn (netsim hubs,
+// in-memory pairs) uses the portable loop.
+func NewSender(pc net.PacketConn) *Sender {
+	return &Sender{pc: pc, fast: newMmsgIO(pc)}
+}
+
+// FastPath reports whether batched syscalls are in use.
+func (s *Sender) FastPath() bool { return s.fast != nil }
+
+// Stats returns cumulative datagram/syscall counts.
+func (s *Sender) Stats() Stats {
+	return Stats{Datagrams: s.datagrams.Load(), Syscalls: s.syscalls.Load()}
+}
+
+// Send writes every datagram in batch, in order, and returns how many
+// landed. A fast-path error (unsupported address type, torn-down
+// socket) falls back to the portable loop for the remainder, so partial
+// delivery happens only when the socket itself is failing.
+func (s *Sender) Send(batch []Datagram) (int, error) {
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	sent := 0
+	if s.fast != nil {
+		n, sys, err := s.fast.send(batch)
+		s.datagrams.Add(int64(n))
+		s.syscalls.Add(int64(sys))
+		sent = n
+		if err == nil {
+			return sent, nil
+		}
+		if err == errNoFastPath {
+			// Address shapes this socket can't take the fast way;
+			// don't retry per batch.
+			s.fast = nil
+		}
+	}
+	for _, d := range batch[sent:] {
+		if _, err := s.pc.WriteTo(d.Buf, d.Addr); err != nil {
+			return sent, err
+		}
+		sent++
+		s.datagrams.Add(1)
+		s.syscalls.Add(1)
+	}
+	return sent, nil
+}
+
+// Receiver reads datagrams from a PacketConn, draining as many as the
+// platform surfaces per syscall.
+type Receiver struct {
+	pc   net.PacketConn
+	fast *mmsgIO
+
+	datagrams atomic.Int64
+	syscalls  atomic.Int64
+}
+
+// NewReceiver builds a receiver over pc; the linux recvmmsg fast path
+// engages when pc is a real *net.UDPConn.
+func NewReceiver(pc net.PacketConn) *Receiver {
+	return &Receiver{pc: pc, fast: newMmsgIO(pc)}
+}
+
+// FastPath reports whether batched syscalls are in use.
+func (r *Receiver) FastPath() bool { return r.fast != nil }
+
+// Stats returns cumulative datagram/syscall counts.
+func (r *Receiver) Stats() Stats {
+	return Stats{Datagrams: r.datagrams.Load(), Syscalls: r.syscalls.Load()}
+}
+
+// Recv fills bufs with up to len(bufs) datagrams, recording each
+// payload length in sizes and source in addrs (both must be at least
+// len(bufs) long), and returns how many arrived. It blocks until at
+// least one datagram (or the conn's read deadline) arrives; the
+// portable path delivers exactly one per call, the fast path as many
+// as one recvmmsg surfaces. Deadline expiry returns a net.Error with
+// Timeout() true, like ReadFrom.
+func (r *Receiver) Recv(bufs [][]byte, sizes []int, addrs []net.Addr) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	if r.fast != nil {
+		n, sys, err := r.fast.recv(bufs, sizes, addrs)
+		r.datagrams.Add(int64(n))
+		r.syscalls.Add(int64(sys))
+		if err == errNoFastPath {
+			r.fast = nil
+		} else {
+			return n, err
+		}
+	}
+	n, addr, err := r.pc.ReadFrom(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	addrs[0] = addr
+	r.datagrams.Add(1)
+	r.syscalls.Add(1)
+	return 1, nil
+}

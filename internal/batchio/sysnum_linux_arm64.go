@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package batchio
+
+// asm-generic syscall numbers: the stdlib syscall package's frozen
+// linux/arm64 table carries neither, so both are spelled out here.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -123,11 +123,19 @@ type Server struct {
 
 	encMu    sync.Mutex
 	enc      *turbo.Encoder
-	forceKey bool // next encoded frame must be a keyframe (post-bootstrap resync)
+	forceKey bool   // next encoded frame must be a keyframe (post-bootstrap resync)
+	replyBuf []byte // framed-reply staging, reused across encodes (guarded by encMu)
 	// Adaptive-quality state (guarded by encMu; nil ladder when the
 	// feature is off). lastAdapt rate-limits transport sampling.
 	ladder    *qualityLadder
 	lastAdapt time.Time
+
+	// frameMu guards frameFree: recycled framebuffer copies for the
+	// pipelined serve path. A persistent free list rather than a
+	// sync.Pool — the population is bounded by the pipeline depth, and
+	// survival across GC cycles (and across Serve calls) is the point.
+	frameMu   sync.Mutex
+	frameFree [][]byte
 }
 
 // NewServer builds a server with a fresh GPU context.
@@ -179,12 +187,15 @@ func (s *Server) Stats() ServerStats {
 // rates, and keeps the ladder's step cadence independent of fps.
 const qualityAdaptInterval = 100 * time.Millisecond
 
-// adaptQuality samples conn's transport stats and applies the ladder's
-// quality choice to the encoder. Called from the serve loops after each
-// received message; uses TryLock so the receive path never blocks
-// behind an in-progress encode (skipping a sample is harmless — the
-// next message retries).
-func (s *Server) adaptQuality(conn *rudp.Conn) {
+// AdaptQuality samples conn's transport stats and applies the ladder's
+// quality choice to the encoder. The serve loops call it after each
+// received message; external message pumps that drive the server
+// through Handle (the fleet's per-session loop) must call it themselves
+// or the ladder never observes the transport. Uses TryLock so the
+// receive path never blocks behind an in-progress encode (skipping a
+// sample is harmless — the next message retries). No-op when the
+// adaptive ladder is off.
+func (s *Server) AdaptQuality(conn *rudp.Conn) {
 	if s.ladder == nil {
 		return
 	}
@@ -228,12 +239,6 @@ func (s *Server) serve(conn *rudp.Conn, idle time.Duration) error {
 		return s.serveSync(conn, idle)
 	}
 
-	// Frame copies handed to the encoder stage; pooled so steady-state
-	// streaming allocates no new framebuffers.
-	framePool := sync.Pool{New: func() any {
-		buf := make([]byte, s.cfg.Width*s.cfg.Height*4)
-		return &buf
-	}}
 	jobs := make(chan encodeJob, depth)
 	errc := make(chan error, 1)
 	var outstanding atomic.Int64
@@ -243,7 +248,7 @@ func (s *Server) serve(conn *rudp.Conn, idle time.Duration) error {
 		defer wg.Done()
 		for job := range jobs {
 			reply, err := s.encodeReply(job.frame, job.seq)
-			framePool.Put(&job.frame)
+			s.putFrameBuf(job.frame)
 			if err == nil {
 				if serr := conn.Send(reply); serr != nil {
 					err = fmt.Errorf("core: server send: %w", serr)
@@ -287,7 +292,7 @@ func (s *Server) serve(conn *rudp.Conn, idle time.Duration) error {
 			}
 			return fmt.Errorf("core: server recv: %w", err)
 		}
-		s.adaptQuality(conn)
+		s.AdaptQuality(conn)
 		frame, seq, direct, err := s.renderMsg(msg)
 		if err != nil {
 			return err
@@ -303,13 +308,43 @@ func (s *Server) serve(conn *rudp.Conn, idle time.Duration) error {
 			continue
 		}
 		if frame == nil {
+			conn.Release(msg)
 			continue
 		}
-		buf := *framePool.Get().(*[]byte)
+		// The live framebuffer is only valid until the next render, so
+		// the encoder stage gets a copy from the server's free list.
+		buf := s.getFrameBuf()
 		copy(buf, frame)
+		conn.Release(msg)
 		outstanding.Add(1)
 		jobs <- encodeJob{frame: buf, seq: seq}
 	}
+}
+
+// getFrameBuf pops a recycled framebuffer copy (or allocates the first
+// few); putFrameBuf returns one after the encode stage is done with it.
+// Steady-state streaming therefore recycles the same depth+1 buffers.
+func (s *Server) getFrameBuf() []byte {
+	s.frameMu.Lock()
+	if n := len(s.frameFree); n > 0 {
+		buf := s.frameFree[n-1]
+		s.frameFree[n-1] = nil
+		s.frameFree = s.frameFree[:n-1]
+		s.frameMu.Unlock()
+		return buf
+	}
+	s.frameMu.Unlock()
+	return make([]byte, s.cfg.Width*s.cfg.Height*4)
+}
+
+func (s *Server) putFrameBuf(buf []byte) {
+	if cap(buf) < s.cfg.Width*s.cfg.Height*4 {
+		return
+	}
+	buf = buf[:s.cfg.Width*s.cfg.Height*4]
+	s.frameMu.Lock()
+	s.frameFree = append(s.frameFree, buf)
+	s.frameMu.Unlock()
 }
 
 // serveSync is the non-overlapped serve loop (PipelineDepth < 0): each
@@ -323,7 +358,7 @@ func (s *Server) serveSync(conn *rudp.Conn, idle time.Duration) error {
 			}
 			return fmt.Errorf("core: server recv: %w", err)
 		}
-		s.adaptQuality(conn)
+		s.AdaptQuality(conn)
 		reply, err := s.Handle(msg)
 		if err != nil {
 			return err
@@ -333,7 +368,19 @@ func (s *Server) serveSync(conn *rudp.Conn, idle time.Duration) error {
 				return fmt.Errorf("core: server send: %w", err)
 			}
 		}
+		releaseMsg(conn, msg)
 	}
+}
+
+// releaseMsg recycles a delivered message buffer once the serve loop is
+// done with it. Bootstrap payloads are exempt: session.Decode's
+// checkpoint aliases the message bytes, and the restored cache and
+// dictionary may keep referencing them after Handle returns.
+func releaseMsg(conn *rudp.Conn, msg []byte) {
+	if len(msg) > 0 && msg[0] == MsgBootstrap {
+		return
+	}
+	conn.Release(msg)
 }
 
 // Handle processes one message and returns the reply to send (nil for
@@ -431,17 +478,22 @@ func (s *Server) applyBootstrapLocked(payload []byte) []byte {
 // encoder in render order — the closed-loop delta codec's prev state is
 // order-sensitive — which both callers guarantee (Handle by being
 // synchronous, serve by using a single encoder goroutine fed from an
-// ordered channel).
+// ordered channel). The reply is built in the server's reusable staging
+// buffer: it stays valid only until the next encode, so callers must
+// send (rudp copies on Send) or copy it before handling another message.
 func (s *Server) encodeReply(frame []byte, seq uint64) ([]byte, error) {
 	s.encMu.Lock()
 	key := s.forceKey
 	s.forceKey = false
 	pkt, err := s.enc.Encode(frame, key)
-	s.encMu.Unlock()
 	if err != nil {
+		s.encMu.Unlock()
 		return nil, fmt.Errorf("core: encode frame: %w", err)
 	}
-	reply := encodeMsg(MsgEncodedFrame, seq, pkt)
+	reply := appendMsgHeader(s.replyBuf[:0], MsgEncodedFrame, seq)
+	reply = append(reply, pkt...)
+	s.replyBuf = reply
+	s.encMu.Unlock()
 	s.mu.Lock()
 	s.stats.FramesRendered++
 	s.stats.BytesOut += int64(len(reply))
@@ -451,19 +503,24 @@ func (s *Server) encodeReply(frame []byte, seq uint64) ([]byte, error) {
 
 // executeBatch decompresses, cache-decodes, deserializes, and executes
 // one batch. It returns the framebuffer when the batch ended a frame.
+// Records stream through decode→execute one at a time: a record aliases
+// cache storage that only the NEXT DecodeRecord's insert may evict, and
+// the GL context copies anything it retains past Execute, so no
+// per-record copy (and no record list) is ever materialized.
 func (s *Server) executeBatch(payload []byte) ([]byte, error) {
 	raw, err := s.decomp.Decompress(s.rawBuf[:0], payload, lz4.MaxBlockSize)
 	s.rawBuf = raw
 	if err != nil {
 		return nil, fmt.Errorf("core: lz4: %w", err)
 	}
-	recs, err := s.cache.DecodeAll(raw)
-	if err != nil {
-		return nil, fmt.Errorf("core: cache: %w", err)
-	}
 	frameDone := false
-	for _, rec := range recs {
-		cmd, _, err := s.dec.Decode(rec)
+	for i := 0; len(raw) > 0; i++ {
+		rec, n, err := s.cache.DecodeRecord(raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: cache: item %d: %w", i, err)
+		}
+		raw = raw[n:]
+		cmd, _, err := s.dec.DecodeNoCopy(rec)
 		if err != nil {
 			return nil, fmt.Errorf("core: wire: %w", err)
 		}

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/gbooster/gbooster/internal/batchio"
 	"github.com/gbooster/gbooster/internal/core"
 	"github.com/gbooster/gbooster/internal/dispatch"
 	"github.com/gbooster/gbooster/internal/rudp"
@@ -94,6 +95,15 @@ type Config struct {
 	// WheelTick is the shared retransmission wheel's resolution
 	// (0 = rudp.DefaultWheelTick).
 	WheelTick time.Duration
+	// EgressBatch selects the coalescing egress writer: 0 enables it
+	// with DefaultEgressBatch, a positive value sets the per-flush
+	// batch, and a negative value disables it so every send is a
+	// direct WriteTo on the listener (the pre-batching behavior).
+	EgressBatch int
+	// EgressQueue bounds the egress FIFO in datagrams
+	// (0 = DefaultEgressQueue). A full queue drops rather than blocks;
+	// rudp retransmission recovers the loss.
+	EgressQueue int
 	// Transport overrides the per-session rudp options; the zero value
 	// selects rudp.DefaultOptions.
 	Transport rudp.Options
@@ -117,6 +127,12 @@ func (c Config) withDefaults() Config {
 		c.GateWidth = runtime.GOMAXPROCS(0)
 	case c.GateWidth < 0:
 		c.GateWidth = 0 // dispatch.Gate: 0 = unlimited
+	}
+	if c.EgressBatch == 0 {
+		c.EgressBatch = DefaultEgressBatch
+	}
+	if c.EgressQueue <= 0 {
+		c.EgressQueue = DefaultEgressQueue
 	}
 	if (c.Transport == rudp.Options{}) {
 		c.Transport = rudp.DefaultOptions()
@@ -142,6 +158,12 @@ type Stats struct {
 	TimersArmed int
 	// Gate is the shared GPU gate's occupancy and contention.
 	Gate dispatch.GateStats
+	// EgressDatagrams/EgressSyscalls are the coalescing egress
+	// writer's cumulative output and the syscalls it spent producing
+	// it (their ratio is the achieved datagrams-per-syscall);
+	// EgressBatches counts drain flushes and EgressDrops datagrams
+	// shed by a full egress queue. All zero when EgressBatch < 0.
+	EgressDatagrams, EgressSyscalls, EgressBatches, EgressDrops int64
 }
 
 // session is one admitted client: its demuxed transport state and its
@@ -176,10 +198,12 @@ type shard struct {
 
 // Manager serves a fleet of sessions on one shared PacketConn.
 type Manager struct {
-	cfg   Config
-	pc    net.PacketConn
-	wheel *rudp.Wheel
-	gate  *dispatch.Gate
+	cfg    Config
+	pc     net.PacketConn
+	tx     net.PacketConn // what sessions write to: egress when enabled, else pc
+	egress *egressConn    // nil when Config.EgressBatch < 0
+	wheel  *rudp.Wheel
+	gate   *dispatch.Gate
 
 	shards [numShards]shard
 
@@ -212,6 +236,16 @@ func New(pc net.PacketConn, cfg Config) (*Manager, error) {
 	for i := range m.shards {
 		m.shards[i].m = make(map[string]*session)
 	}
+	m.tx = pc
+	if cfg.EgressBatch > 0 {
+		m.egress = newEgressConn(pc, cfg.EgressBatch, cfg.EgressQueue)
+		m.tx = m.egress
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.egress.drain()
+		}()
+	}
 	m.wg.Add(1)
 	go m.demuxLoop()
 	return m, nil
@@ -222,7 +256,7 @@ func (m *Manager) Sessions() int { return int(m.count.Load()) }
 
 // Stats returns a fleet snapshot.
 func (m *Manager) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Sessions:     m.count.Load(),
 		PeakSessions: m.peak.Load(),
 		Admitted:     m.admitted.Load(),
@@ -232,6 +266,10 @@ func (m *Manager) Stats() Stats {
 		TimersArmed:  m.wheel.Len(),
 		Gate:         m.gate.Stats(),
 	}
+	if m.egress != nil {
+		st.EgressDatagrams, st.EgressSyscalls, st.EgressBatches, st.EgressDrops = m.egress.stats()
+	}
+	return st
 }
 
 // Wait blocks until the manager shuts down (Close, or the listener
@@ -257,6 +295,9 @@ func (m *Manager) Close() error {
 func (m *Manager) signalClose() {
 	m.closeOnce.Do(func() {
 		close(m.done)
+		if m.egress != nil {
+			m.egress.close()
+		}
 		_ = m.pc.Close()
 		for i := range m.shards {
 			sh := &m.shards[i]
@@ -305,7 +346,20 @@ func (m *Manager) lookup(key string) *session {
 // only itself while the pump keeps serving the other sessions.
 func (m *Manager) demuxLoop() {
 	defer m.wg.Done()
-	buf := make([]byte, 65536)
+	// A real UDP listener drains whole bursts per recvmmsg; anything
+	// else (netsim hubs, in-memory conns) keeps the one-ReadFrom-per-
+	// datagram shape under the same loop.
+	rx := batchio.NewReceiver(m.pc)
+	nbufs := 1
+	if rx.FastPath() {
+		nbufs = demuxReadBatch
+	}
+	bufs := make([][]byte, nbufs)
+	for i := range bufs {
+		bufs[i] = make([]byte, 65536)
+	}
+	sizes := make([]int, nbufs)
+	addrs := make([]net.Addr, nbufs)
 	for {
 		select {
 		case <-m.done:
@@ -313,7 +367,7 @@ func (m *Manager) demuxLoop() {
 		default:
 		}
 		_ = m.pc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
-		n, from, err := m.pc.ReadFrom(buf)
+		k, err := rx.Recv(bufs, sizes, addrs)
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
@@ -323,20 +377,35 @@ func (m *Manager) demuxLoop() {
 			m.signalClose()
 			return
 		}
-		if from == nil || !rudp.IsProtocolDatagram(buf[:n]) {
-			m.nonProto.Add(1)
-			continue
+		for i := 0; i < k; i++ {
+			m.route(bufs[i][:sizes[i]], addrs[i])
 		}
-		key := from.String()
-		s := m.lookup(key)
-		if s == nil {
-			s, err = m.admit(from, key)
-			if err != nil {
-				continue // counted inside admit
-			}
-		}
-		s.conn.Inject(buf[:n])
 	}
+}
+
+// demuxReadBatch is how many datagrams one recvmmsg may surface; the
+// pump's buffer footprint is demuxReadBatch * 64 KiB.
+const demuxReadBatch = 32
+
+// route delivers one inbound datagram: drop non-protocol traffic,
+// admit unknown peers, inject into the session's demuxed conn. Inject
+// never blocks (it refuses what the session's Recv queue can't hold),
+// so a burst drained by one batched read can't stall the pump either.
+func (m *Manager) route(pkt []byte, from net.Addr) {
+	if from == nil || !rudp.IsProtocolDatagram(pkt) {
+		m.nonProto.Add(1)
+		return
+	}
+	key := from.String()
+	s := m.lookup(key)
+	if s == nil {
+		var err error
+		s, err = m.admit(from, key)
+		if err != nil {
+			return // counted inside admit
+		}
+	}
+	s.conn.Inject(pkt)
 }
 
 // admit creates and registers a session for a new peer, enforcing the
@@ -352,8 +421,12 @@ func (m *Manager) admit(peer net.Addr, key string) (*session, error) {
 		return nil, ErrOverCapacity
 	}
 	s := &session{
-		key:  key,
-		conn: rudp.NewDemuxed(m.pc, peer, m.cfg.Transport, m.wheel),
+		key: key,
+		// Sessions write through m.tx: with the egress writer enabled
+		// that queues every reply, ACK, and wheel retransmit for
+		// batched sends instead of hitting the socket one syscall per
+		// datagram.
+		conn: rudp.NewDemuxed(m.tx, peer, m.cfg.Transport, m.wheel),
 	}
 	sh := m.shardFor(key)
 	sh.mu.Lock()
@@ -419,11 +492,21 @@ func (m *Manager) runSession(s *session) {
 		if err != nil {
 			return // protocol violation: drop the session, not the fleet
 		}
+		// Sample the transport for the adaptive-quality ladder (no-op
+		// unless configured). The single-session serve loops do this
+		// internally; this loop drives the server through Handle, so the
+		// sampling hook is explicit here.
+		s.srv.AdaptQuality(s.conn)
 		m.frames.Add(1)
 		if reply != nil {
 			if err := s.conn.Send(reply); err != nil {
 				return
 			}
+		}
+		// Recycle the delivered message; bootstrap payloads stay out of
+		// the pool because the restored session state aliases them.
+		if len(msg) > 0 && msg[0] != core.MsgBootstrap {
+			s.conn.Release(msg)
 		}
 	}
 }

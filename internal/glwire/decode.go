@@ -13,6 +13,10 @@ import (
 type Decoder struct {
 	// Stats accumulate decoded volume.
 	Stats DecoderStats
+
+	// Argument scratch for DecodeNoCopy, reused across calls.
+	ints   []int32
+	floats []float32
 }
 
 // DecoderStats counts decoder activity.
@@ -35,7 +39,35 @@ func (d *Decoder) Decode(buf []byte) (gles.Command, int, error) {
 		return gles.Command{}, 0, fmt.Errorf("%w: need %d body bytes, have %d", ErrShortRecord, bodyLen, len(buf)-n)
 	}
 	body := buf[n : n+int(bodyLen)]
-	cmd, err := parseBody(body)
+	cmd, err := parseBody(body, nil)
+	if err != nil {
+		return gles.Command{}, 0, err
+	}
+	total := n + int(bodyLen)
+	d.Stats.Records++
+	d.Stats.Bytes += int64(total)
+	return cmd, total, nil
+}
+
+// DecodeNoCopy is Decode with decoder-owned argument storage: the
+// returned command's Ints and Floats alias scratch reused by the next
+// DecodeNoCopy call, and its Data aliases buf itself. It exists for the
+// zero-allocation serve path and is safe whenever the command is fully
+// consumed before the next call — gles.GPU.Execute copies anything the
+// GL context retains, so execute-immediately consumers qualify.
+func (d *Decoder) DecodeNoCopy(buf []byte) (gles.Command, int, error) {
+	bodyLen, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return gles.Command{}, 0, ErrShortRecord
+	}
+	if bodyLen > MaxRecordSize {
+		return gles.Command{}, 0, fmt.Errorf("%w: body %d", ErrRecordTooBig, bodyLen)
+	}
+	if uint64(len(buf)-n) < bodyLen {
+		return gles.Command{}, 0, fmt.Errorf("%w: need %d body bytes, have %d", ErrShortRecord, bodyLen, len(buf)-n)
+	}
+	body := buf[n : n+int(bodyLen)]
+	cmd, err := parseBody(body, d)
 	if err != nil {
 		return gles.Command{}, 0, err
 	}
@@ -59,7 +91,11 @@ func (d *Decoder) DecodeAll(buf []byte) ([]gles.Command, error) {
 	return cmds, nil
 }
 
-func parseBody(body []byte) (gles.Command, error) {
+// parseBody decodes one record body. With a nil decoder every argument
+// slice is freshly allocated (the caller may retain them); with a
+// decoder, Ints/Floats live in its reusable scratch and Data aliases
+// body — valid only until the next scratch-backed parse.
+func parseBody(body []byte, d *Decoder) (gles.Command, error) {
 	var cmd gles.Command
 	if len(body) < 2 {
 		return cmd, ErrShortRecord
@@ -76,7 +112,14 @@ func parseBody(body []byte) (gles.Command, error) {
 	}
 	p = p[n:]
 	if nInts > 0 {
-		cmd.Ints = make([]int32, nInts)
+		if d != nil {
+			if cap(d.ints) < int(nInts) {
+				d.ints = make([]int32, nInts)
+			}
+			cmd.Ints = d.ints[:nInts]
+		} else {
+			cmd.Ints = make([]int32, nInts)
+		}
 		for i := range cmd.Ints {
 			v, n := binary.Varint(p)
 			if n <= 0 {
@@ -96,7 +139,14 @@ func parseBody(body []byte) (gles.Command, error) {
 	}
 	p = p[n:]
 	if nFloats > 0 {
-		cmd.Floats = make([]float32, nFloats)
+		if d != nil {
+			if cap(d.floats) < int(nFloats) {
+				d.floats = make([]float32, nFloats)
+			}
+			cmd.Floats = d.floats[:nFloats]
+		} else {
+			cmd.Floats = make([]float32, nFloats)
+		}
 		for i := range cmd.Floats {
 			cmd.Floats[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*4:]))
 		}
@@ -109,7 +159,11 @@ func parseBody(body []byte) (gles.Command, error) {
 	}
 	p = p[n:]
 	if dataLen > 0 {
-		cmd.Data = append([]byte(nil), p[:dataLen]...)
+		if d != nil {
+			cmd.Data = p[:dataLen:dataLen]
+		} else {
+			cmd.Data = append([]byte(nil), p[:dataLen]...)
+		}
 	}
 	cmd.DataLen = int32(dataLen)
 	if rest := p[dataLen:]; len(rest) != 0 {

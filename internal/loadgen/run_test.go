@@ -81,6 +81,47 @@ func TestRunAgainstFleet(t *testing.T) {
 	t.Logf("\n%s", slo.Table())
 }
 
+// TestRunCongestedQualityLadder drives the canned congested preset
+// with adaptive quality on and requires the quality ladder to actually
+// step: sustained WiFiCongested loss and delay must push at least one
+// session down from the 85 ceiling toward the 25 floor, surfacing as
+// quality_steps > 0 in the aggregated SLO.
+func TestRunCongestedQualityLadder(t *testing.T) {
+	const w, h = 96, 72
+	opts := []gbooster.Option{
+		gbooster.WithQuality(85),
+		gbooster.WithAdaptiveQuality(25),
+	}
+	target, err := NewFleetTarget(gbooster.FleetConfig{
+		Width: w, Height: h,
+		IdleTimeout: 30 * time.Second,
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	sc := CongestedScenario()
+	sc.FrameTimeout = 30 * time.Second
+	results, err := Run(RunConfig{Target: target, Width: w, Height: h, Workers: 4, Options: opts, Logf: t.Logf}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("session %s: %v", r.Plan.Name, r.Err)
+		}
+	}
+	slo := Summarize(sc.Name, results)
+	if slo.Failed != 0 {
+		t.Fatalf("sessions failed on the congested link: %+v", slo)
+	}
+	if slo.QualitySteps == 0 {
+		t.Errorf("quality ladder never stepped under congestion: %+v", slo)
+	}
+	t.Logf("\n%s", slo.Table())
+}
+
 // TestRunHandoffChurn pins the lifecycle scripts against the fleet:
 // hot-join and drain sessions must complete bootstrap handoffs.
 func TestRunHandoffChurn(t *testing.T) {

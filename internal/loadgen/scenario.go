@@ -323,9 +323,35 @@ func Churn() Scenario {
 	}
 }
 
+// CongestedScenario is the bad-network preset: a handful of sessions,
+// every one on congested WiFi, running long enough for the congestion
+// feedback loop to bite. The catalog is pinned to the heaviest
+// workload (G5): the point is saturating the constrained link, and the
+// default mixed population's lighter workloads fit inside the congested
+// budget without ever tripping the feedback. With adaptive quality
+// enabled (-adaptive-quality) this is the preset that demonstrates the
+// quality ladder: the SLO's quality_steps goes positive as sessions
+// step down under sustained loss and delay.
+func CongestedScenario() Scenario {
+	return Scenario{
+		Name:             "congested",
+		Sessions:         3,
+		ArrivalWindow:    500 * time.Millisecond,
+		FramesPerSession: 80,
+		Pattern:          Steady(),
+		Links: []WeightedProfile{
+			{Profile: netsim.WiFiCongested, Weight: 1},
+		},
+		Catalog: []DeviceClass{
+			{Name: "nexus5", Phone: device.Nexus5(), Workloads: []string{"G5"}, Weight: 1},
+		},
+		Seed: 5,
+	}
+}
+
 // ScenarioNames returns the preset names for flag help.
 func ScenarioNames() []string {
-	return []string{"production-day", "spike", "flash-crowd", "churn"}
+	return []string{"production-day", "spike", "flash-crowd", "churn", "congested"}
 }
 
 // ScenarioByName returns the named preset (case-insensitive).
@@ -339,6 +365,8 @@ func ScenarioByName(name string) (Scenario, error) {
 		return FlashCrowdScenario(), nil
 	case "churn":
 		return Churn(), nil
+	case "congested":
+		return CongestedScenario(), nil
 	}
 	return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q (have %s)",
 		name, strings.Join(ScenarioNames(), ", "))

@@ -152,6 +152,13 @@ type FleetStats struct {
 	// slot right now.
 	GateWidth                          int
 	GateEntries, GateWaits, GateActive int64
+	// EgressDatagrams/EgressSyscalls are the coalescing egress writer's
+	// cumulative datagram output and the syscalls spent producing it —
+	// their ratio is the achieved datagrams-per-syscall. EgressBatches
+	// counts drain flushes, EgressDrops datagrams shed by a full egress
+	// queue (recovered by transport retransmission). All zero when the
+	// egress writer is disabled.
+	EgressDatagrams, EgressSyscalls, EgressBatches, EgressDrops int64
 }
 
 // PlayerSnapshot is one consistent observation of a whole session: the

@@ -176,7 +176,7 @@ func TestExtractCorruptFramingResync(t *testing.T) {
 	if out := c.extractMessagesLocked(); out != 0 {
 		t.Fatalf("corrupt stream yielded %d messages", out)
 	}
-	if c.stream != nil {
+	if len(c.stream)-c.streamOff != 0 {
 		t.Fatal("stream not dropped after corrupt length prefix")
 	}
 	if c.stats.FramingErrors != 1 {
@@ -189,7 +189,7 @@ func TestExtractCorruptFramingResync(t *testing.T) {
 	if out := c.extractMessagesLocked(); out != 0 {
 		t.Fatalf("overflowed varint yielded %d messages", out)
 	}
-	if c.stream != nil || c.stats.FramingErrors != 2 {
+	if len(c.stream)-c.streamOff != 0 || c.stats.FramingErrors != 2 {
 		t.Fatalf("stream=%v FramingErrors=%d after varint overflow", c.stream, c.stats.FramingErrors)
 	}
 

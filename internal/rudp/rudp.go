@@ -321,7 +321,17 @@ type Conn struct {
 
 	recvNext uint32
 	recvBuf  map[uint32][]byte
-	stream   []byte
+	// stream is the in-order reassembly buffer; streamOff is how much of
+	// it extractMessagesLocked has already consumed. Keeping consumed
+	// bytes in place (and compacting only when the dead prefix dominates)
+	// lets the buffer's capacity be reused across messages instead of
+	// re-allocated every time the slice header used to slide forward.
+	stream    []byte
+	streamOff int
+	// msgFree recycles delivered message buffers returned via Release,
+	// so a steady Recv→process→Release loop allocates nothing. Guarded
+	// by mu; bounded by Options.RecvQueue.
+	msgFree [][]byte
 
 	// recvQ/recvHead queue complete messages for Recv (guarded by mu).
 	// Delivery appends and never blocks — essential in demuxed mode,
@@ -764,11 +774,14 @@ func (c *Conn) handleData(seq, ts uint32, payload []byte) {
 // the assembled stream onto the Recv queue, returning how many were
 // queued. On a corrupt prefix (overlong varint or a length beyond
 // MaxMessage) it drops the buffered stream to resync rather than
-// allocate unboundedly. Caller holds mu.
+// allocate unboundedly. Message buffers come from the Release free
+// list when available, so a draining application makes delivery
+// allocation-free. Caller holds mu.
 func (c *Conn) extractMessagesLocked() int {
 	queued := 0
 	for {
-		msgLen, n := binary.Uvarint(c.stream)
+		tail := c.stream[c.streamOff:]
+		msgLen, n := binary.Uvarint(tail)
 		if n == 0 {
 			break // need more bytes for the prefix itself
 		}
@@ -776,20 +789,63 @@ func (c *Conn) extractMessagesLocked() int {
 			// Corrupt framing. Checked before the completeness test so a
 			// poisoned prefix can't make the stream grow toward a bogus
 			// multi-gigabyte length.
-			c.stream = nil
+			c.stream = c.stream[:0]
+			c.streamOff = 0
 			c.stats.FramingErrors++
 			break
 		}
-		if uint64(len(c.stream)-n) < msgLen {
+		if uint64(len(tail)-n) < msgLen {
 			break // message body still in flight
 		}
-		msg := append([]byte(nil), c.stream[n:n+int(msgLen)]...)
-		c.stream = c.stream[n+int(msgLen):]
+		msg := c.getMsgBufLocked()
+		msg = append(msg, tail[n:n+int(msgLen)]...)
+		c.streamOff += n + int(msgLen)
 		c.recvQ = append(c.recvQ, msg)
 		queued++
 		c.stats.MsgsRecv++
 	}
+	switch {
+	case c.streamOff == len(c.stream):
+		// Fully consumed: rewind, keeping the capacity.
+		c.stream = c.stream[:0]
+		c.streamOff = 0
+	case c.streamOff > 4096 && c.streamOff > len(c.stream)/2:
+		// A partial message tail sits behind a large dead prefix; compact
+		// so the buffer doesn't grow by the consumed bytes forever.
+		n := copy(c.stream, c.stream[c.streamOff:])
+		c.stream = c.stream[:n]
+		c.streamOff = 0
+	}
 	return queued
+}
+
+// getMsgBufLocked pops a recycled message buffer (length zero, capacity
+// warm) or returns nil, letting append allocate the first time around.
+// Caller holds mu.
+func (c *Conn) getMsgBufLocked() []byte {
+	if n := len(c.msgFree); n > 0 {
+		msg := c.msgFree[n-1]
+		c.msgFree[n-1] = nil
+		c.msgFree = c.msgFree[:n-1]
+		return msg
+	}
+	return nil
+}
+
+// Release hands a message obtained from Recv back to the connection for
+// reuse by future deliveries. Optional — unreleased messages are simply
+// garbage collected — but a Recv→process→Release loop keeps the receive
+// path allocation-free in steady state. The caller must not touch msg
+// after Release.
+func (c *Conn) Release(msg []byte) {
+	if cap(msg) == 0 {
+		return
+	}
+	c.mu.Lock()
+	if len(c.msgFree) < c.opts.RecvQueue {
+		c.msgFree = append(c.msgFree, msg[:0])
+	}
+	c.mu.Unlock()
 }
 
 func (c *Conn) handleAck(ackSeq, echo uint32, sack uint64) {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Downlink throughput benchmark: per-frame service cost and syscall
+# amortization of the fleet's serve path over a real UDP socket at 1,
+# 64, and 1024 concurrent sessions, with the coalescing egress writer
+# on (sendmmsg batching) and off (one WriteTo per datagram). ns/op is
+# ns/frame; the acceptance criteria read off the datagrams/syscall
+# series — batch=on must hit >=4x the batch=off baseline at 64+
+# sessions — and allocs/op, which must stay flat across the two modes
+# (batching moves syscalls, not garbage). The wire traffic is
+# byte-identical in both modes (internal/batchio parity tests pin
+# this). Results land in BENCH_downlink.json.
+#
+#   BENCHTIME=1x sh scripts/bench_downlink.sh   # smoke run (check.sh)
+#   sh scripts/bench_downlink.sh                # full 500-frame-per-series run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-500x}"
+OUT="${OUT:-BENCH_downlink.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkDownlinkServe' -benchmem \
+	-benchtime "$BENCHTIME" ./internal/fleet/ | tee "$tmp"
+
+go run ./scripts/benchjson -o "$OUT" <"$tmp"
+echo "wrote $OUT"

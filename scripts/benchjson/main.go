@@ -73,6 +73,27 @@ type fleetSummary struct {
 	MaxGoroutinesPerSession float64               `json:"max_goroutines_per_session"`
 }
 
+// downlinkPoint is one `<name>/sessions=N/batch=on|off` series entry:
+// per-frame downlink service time over a real UDP socket, steady-state
+// allocations, and the achieved syscall coalescing.
+type downlinkPoint struct {
+	NsPerFrame          float64 `json:"ns_per_frame"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	DatagramsPerSyscall float64 `json:"datagrams_per_syscall"`
+}
+
+// downlinkSummary aggregates a `<name>/sessions=N/batch=on|off` family.
+// syscall_reduction is, per session count, the batched path's
+// datagrams-per-syscall over the direct path's (the direct path is 1.0
+// by construction, so this is the egress writer's amortization factor);
+// the >=4x acceptance target reads off the 64- and 1024-session
+// entries.
+type downlinkSummary struct {
+	Benchmark        string                              `json:"benchmark"`
+	Sessions         map[string]map[string]downlinkPoint `json:"sessions"`
+	SyscallReduction map[string]float64                  `json:"syscall_reduction"`
+}
+
 // loadSummary aggregates a `<prefix>/scenario=<name>` family emitted by
 // gbooster-load -bench: per scenario, the full SLO as a unit -> value
 // map (p50_ms, p99_ms, fps, sessions_ok, gap_skips, handoffs_ok, ...)
@@ -95,11 +116,12 @@ type report struct {
 	// mistaken for a passing (or failing) parallel result.
 	SpeedupGate string          `json:"speedup_gate"`
 	Note        string          `json:"note"`
-	Benchmarks  []benchResult   `json:"benchmarks"`
-	Speedups    []speedup       `json:"speedups,omitempty"`
-	Uplink      []uplinkSummary `json:"uplink,omitempty"`
-	Fleet       []fleetSummary  `json:"fleet,omitempty"`
-	Load        []loadSummary   `json:"load,omitempty"`
+	Benchmarks  []benchResult     `json:"benchmarks"`
+	Speedups    []speedup         `json:"speedups,omitempty"`
+	Uplink      []uplinkSummary   `json:"uplink,omitempty"`
+	Fleet       []fleetSummary    `json:"fleet,omitempty"`
+	Downlink    []downlinkSummary `json:"downlink,omitempty"`
+	Load        []loadSummary     `json:"load,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result row; the trailing
@@ -116,6 +138,9 @@ var dictFamily = regexp.MustCompile(`^(.+)/dict=(on|off)$`)
 
 // sessionsFamily splits `<prefix>/sessions=<N>` benchmark names.
 var sessionsFamily = regexp.MustCompile(`^(.+)/sessions=(\d+)$`)
+
+// downlinkFamily splits `<prefix>/sessions=<N>/batch=on|off` names.
+var downlinkFamily = regexp.MustCompile(`^(.+)/sessions=(\d+)/batch=(on|off)$`)
 
 // scenarioFamily splits `<prefix>/scenario=<name>` benchmark names.
 var scenarioFamily = regexp.MustCompile(`^(.+)/scenario=(.+)$`)
@@ -276,6 +301,44 @@ func main() {
 	}
 	sort.Slice(fleets, func(i, j int) bool { return fleets[i].Benchmark < fleets[j].Benchmark })
 
+	// Group `<prefix>/sessions=N/batch=on|off` downlink families and
+	// compute the per-session-count syscall amortization of the batched
+	// egress path over the direct one.
+	downlinkFamilies := map[string]map[string]map[string]downlinkPoint{}
+	for _, r := range results {
+		m := downlinkFamily.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		if downlinkFamilies[m[1]] == nil {
+			downlinkFamilies[m[1]] = map[string]map[string]downlinkPoint{}
+		}
+		if downlinkFamilies[m[1]][m[2]] == nil {
+			downlinkFamilies[m[1]][m[2]] = map[string]downlinkPoint{}
+		}
+		downlinkFamilies[m[1]][m[2]][m[3]] = downlinkPoint{
+			NsPerFrame:          r.NsPerOp,
+			AllocsPerOp:         r.Metrics["allocs/op"],
+			DatagramsPerSyscall: r.Metrics["datagrams/syscall"],
+		}
+	}
+	var downlinks []downlinkSummary
+	for prefix, series := range downlinkFamilies {
+		s := downlinkSummary{
+			Benchmark:        prefix,
+			Sessions:         series,
+			SyscallReduction: map[string]float64{},
+		}
+		for n, modes := range series {
+			on, off := modes["on"], modes["off"]
+			if on.DatagramsPerSyscall > 0 && off.DatagramsPerSyscall > 0 {
+				s.SyscallReduction[n] = on.DatagramsPerSyscall / off.DatagramsPerSyscall
+			}
+		}
+		downlinks = append(downlinks, s)
+	}
+	sort.Slice(downlinks, func(i, j int) bool { return downlinks[i].Benchmark < downlinks[j].Benchmark })
+
 	// Group `<prefix>/scenario=<name>` load-harness families: iterations
 	// are displayed frames, ns/op the mean frame latency, and every SLO
 	// field rides the row as a `<value> <unit>` metric.
@@ -323,6 +386,7 @@ func main() {
 		Speedups:   speedups,
 		Uplink:     uplinks,
 		Fleet:      fleets,
+		Downlink:   downlinks,
 		Load:       loads,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -34,6 +34,16 @@ go test -race -short -run 'Handoff|HotJoin' ./internal/core/... .
 # the race runtime's shadow allocations make an exact-zero assertion
 # impossible, so the race pass above skips this test by design.
 go test -run 'TestUplinkFlushZeroAllocSteadyState' -count=1 ./internal/core/
+# Downlink allocation gate: the whole serve cycle — rudp receive,
+# reassembly, decompress, cache decode, wire decode, execute, encode,
+# reply send, ACK — must also be zero-alloc at steady state. Same
+# non-race rationale as the uplink gate.
+go test -run 'TestDownlinkServeZeroAllocSteadyState' -count=1 ./internal/core/
+# Batched-egress race gates: sendmmsg/recvmmsg parity with the portable
+# loop (byte-identical wire traffic), and the fleet egress writer's
+# ordering/overflow behavior under producer concurrency.
+go test -race -count=1 ./internal/batchio/
+go test -race -run 'TestEgress' -count=1 ./internal/fleet/
 # Data-plane benchmark smoke: a few iterations per series prove the
 # parallel encode/raster/pipeline paths still run and refresh
 # BENCH_dataplane.json's schema, while the MIN_MBPS gate catches a
@@ -56,6 +66,11 @@ BENCHTIME=1x OUT=/tmp/BENCH_handoff.smoke.json sh scripts/bench_handoff.sh
 # and the BENCH_fleet.json summary still build. Full numbers come from
 # running scripts/bench_fleet.sh without BENCHTIME.
 BENCHTIME=1x OUT=/tmp/BENCH_fleet.smoke.json sh scripts/bench_fleet.sh
+# Downlink benchmark smoke: proves the sessions x batch=on/off series
+# over a real UDP socket and the BENCH_downlink.json summary still
+# build. Full numbers come from running scripts/bench_downlink.sh
+# without BENCHTIME.
+BENCHTIME=1x OUT=/tmp/BENCH_downlink.smoke.json sh scripts/bench_downlink.sh
 # Load-harness race smokes: the worker-pool executor, the hub's
 # per-port shapers, and the fleet's demux/reap paths all interleave
 # here — first the in-process churn/hot-join executor tests, then a
