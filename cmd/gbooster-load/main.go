@@ -56,6 +56,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 1, "per-session data-plane workers (1 = serial; sessions already run concurrently)")
 	addr := flag.String("addr", "", "aim at a real server at this UDP address instead of an in-process fleet")
 	bench := flag.Bool("bench", false, "emit Go-benchmark lines on stdout (tables move to stderr)")
+	predict := flag.Bool("predict", false, "enable each session's predictive control plane (ARMAX forecast, radio pre-wake, energy accounting)")
 	flag.Parse()
 
 	names := loadgen.ScenarioNames()
@@ -68,6 +69,9 @@ func main() {
 	}
 	if *adaptive {
 		opts = append(opts, gbooster.WithAdaptiveQuality(*qualityFloor))
+	}
+	if *predict {
+		opts = append(opts, gbooster.WithPredictiveControl())
 	}
 
 	tables := os.Stdout

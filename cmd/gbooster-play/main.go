@@ -32,21 +32,26 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	pngPath := flag.String("png", "", "write the final frame to this PNG file")
 	report := flag.Bool("report", false, "print the standard collector reports after playing")
+	predict := flag.Bool("predict", false, "enable the predictive control plane (ARMAX forecast, radio pre-wake, energy/thermal accounting)")
 	flag.Parse()
 
-	if err := run(*servers, *workloadID, *frames, *width, *height, *seed, *pngPath, *report); err != nil {
+	if err := run(*servers, *workloadID, *frames, *width, *height, *seed, *pngPath, *report, *predict); err != nil {
 		fmt.Fprintln(os.Stderr, "gbooster-play:", err)
 		os.Exit(1)
 	}
 }
 
-func run(servers, workloadID string, frames, width, height int, seed uint64, pngPath string, report bool) error {
+func run(servers, workloadID string, frames, width, height int, seed uint64, pngPath string, report, predict bool) error {
+	var opts []gbooster.Option
+	if predict {
+		opts = append(opts, gbooster.WithPredictiveControl())
+	}
 	player, err := gbooster.NewPlayer(gbooster.PlayerConfig{
 		Workload: workloadID,
 		Width:    width,
 		Height:   height,
 		Seed:     seed,
-	})
+	}, opts...)
 	if err != nil {
 		return err
 	}
@@ -106,6 +111,18 @@ func run(servers, workloadID string, frames, width, height int, seed uint64, png
 		fmt.Printf("handoff: bootstraps=%d (%0.1f KB total) completed=%d failed=%d mean-latency=%v\n",
 			hs.BootstrapsSent, float64(hs.BootstrapBytes)/1024, hs.Completed, hs.Failed,
 			hs.MeanLatency.Round(time.Microsecond))
+	}
+	if ps := s.Predict; ps != nil {
+		fmt.Printf("predict: forecast err %.2f Mbps ewma; exceedance tp=%d fp=%d (%.0f%%) fn=%d (%.0f%%); load forecast %.1f rec\n",
+			ps.ForecastErrEWMA, ps.TPExceed,
+			ps.FPExceed, ps.ExceedanceFPRate()*100,
+			ps.FNExceed, ps.ExceedanceFNRate()*100, ps.LoadForecast)
+		fmt.Printf("radio: wifi windows=%d bt windows=%d wakeups=%d wake-stalls=%d\n",
+			ps.WiFiWindows, ps.BTWindows, ps.WakeUps, ps.WakeStalls)
+		fmt.Printf("energy: %.2f J total (%.2f mJ/frame) — wifi %.2f J, bt %.2f J, cpu %.2f J, display %.2f J; gpu %.1f°C scale=%.2f swaps=%d\n",
+			ps.EnergyJoules, ps.EnergyPerFrameJ()*1000,
+			ps.EnergyWiFiJ, ps.EnergyBTJ, ps.EnergyCPUJ, ps.EnergyDisplayJ,
+			ps.GPUTempC, ps.ThermalScale, ps.ThermalSwaps)
 	}
 	for _, ds := range s.Devices {
 		if ds.Health != "healthy" {

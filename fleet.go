@@ -175,6 +175,9 @@ func (f *Fleet) Stats() FleetStats {
 		EgressSyscalls:  s.EgressSyscalls,
 		EgressBatches:   s.EgressBatches,
 		EgressDrops:     s.EgressDrops,
+
+		FrameRate:         s.FrameRate,
+		ForecastFrameRate: s.ForecastFrameRate,
 	}
 }
 

@@ -262,6 +262,13 @@ type Client struct {
 	stats     ClientStats
 	sinkErr   error
 
+	// loadForecast, when set, supplies the predictive controller's
+	// expected extra workload (records) for the forecast horizon; the
+	// scheduler adds it to Eq. 4's r term so device selection anticipates
+	// the burst instead of reacting to it. Non-nil also enables the live
+	// SRTT refresh in sweepOverdue (guarded by mu).
+	loadForecast func() float64
+
 	// shadow mirrors the servers' GL context byte-for-byte: every
 	// encoded state-mutating record is decoded and applied to it, so a
 	// session checkpoint captured from it restores a cold server to
@@ -416,6 +423,9 @@ func (c *Client) AddService(name string, conn *rudp.Conn, capability float64, rt
 		if err != nil {
 			return fmt.Errorf("core: scheduler: %w", err)
 		}
+		if c.loadForecast != nil {
+			c.sched.SetForecast(c.loadForecast)
+		}
 	} else if err := c.sched.AddDevice(dev); err != nil {
 		return fmt.Errorf("core: scheduler: %w", err)
 	}
@@ -502,6 +512,31 @@ func (c *Client) Stats() ClientStats {
 		st.Transport = append(st.Transport, TransportHealth{Service: s.name, Stats: s.conn.Stats()})
 	}
 	return st
+}
+
+// SetLoadForecast installs the predictive controller's load-forecast
+// hook: f returns the expected extra workload (records) arriving
+// within the forecast horizon, and the scheduler biases Eq. 4's cost
+// with it so device selection anticipates the burst. Installing a hook
+// also enables the live SRTT refresh in the failure sweep, keeping
+// l_j current with measured transport latency. Pass nil to restore
+// purely reactive dispatch.
+func (c *Client) SetLoadForecast(f func() float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.loadForecast = f
+	if c.sched != nil {
+		c.sched.SetForecast(f)
+	}
+}
+
+// TrafficBytes returns total wire traffic (uplink + downlink) the
+// client has moved, for traffic-rate differencing by the predictive
+// controller.
+func (c *Client) TrafficBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.WireBytes + c.stats.DownlinkBytes
 }
 
 // TransportStats returns the per-service transport health snapshots
@@ -868,6 +903,17 @@ func (c *Client) sweepOverdue(now time.Time) bool {
 	if c.sinkErr != nil || c.sched == nil {
 		c.mu.Unlock()
 		return true
+	}
+	if c.loadForecast != nil {
+		// Predictive dispatch refreshes each device's l_j from the
+		// transport's measured SRTT, so Eq. 4 ranks devices on live
+		// latency rather than the admission-time estimate. Gated on the
+		// forecast hook so default (reactive) behavior is unchanged.
+		for _, svc := range c.services {
+			if srtt := svc.conn.Stats().SRTT; srtt > 0 {
+				svc.dev.SetRTT(srtt)
+			}
+		}
 	}
 	// Oldest outstanding dispatch per device: replies come back in
 	// dispatch order on each connection, so this is the request the

@@ -13,6 +13,7 @@ package dispatch
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -105,6 +106,16 @@ func NewDevice(id string, capability float64, rtt time.Duration) (*Device, error
 // Queued returns the outstanding workload w^j.
 func (d *Device) Queued() float64 { return d.queued }
 
+// SetRTT refreshes l^j from a live latency measurement (e.g. the
+// transport's smoothed RTT), so Eq. 4 ranks devices by current path
+// latency rather than the configured estimate. Non-positive samples
+// are ignored.
+func (d *Device) SetRTT(rtt time.Duration) {
+	if rtt > 0 {
+		d.RTT = rtt
+	}
+}
+
 // cost evaluates Eq. 4 for a request of workload r.
 func (d *Device) cost(r float64) time.Duration {
 	sec := (d.queued + r) / d.Capability
@@ -125,6 +136,12 @@ type Scheduler struct {
 	ProbeAfter time.Duration
 	// Now is the scheduler's clock (default time.Now), a test hook.
 	Now func() time.Time
+
+	// forecast, when set, returns the workload expected to arrive within
+	// the control horizon (same units as request workloads). Eq. 4 then
+	// evaluates each candidate against the predicted near-future load
+	// instead of only the request at hand — see SetForecast.
+	forecast func() float64
 
 	// Stats accumulate assignment behaviour.
 	Stats Stats
@@ -182,18 +199,40 @@ func (s *Scheduler) assignable(d *Device) bool {
 	return d.health == Healthy || d.health == Suspect
 }
 
+// SetForecast installs (or clears, with nil) a predicted-load hook.
+// When present, pick evaluates Eq. 4 with r inflated by the forecast —
+// `(w_j + r + r̂)/c_j + l_j` — so device selection anticipates the
+// burst the predictor sees coming: a high-capability device wins
+// *before* the burst lands, instead of after queueing has already
+// penalized the low-latency pick. Only the real request workload is
+// enqueued; the forecast only biases selection.
+func (s *Scheduler) SetForecast(f func() float64) { s.forecast = f }
+
+// forecastBias returns the current prediction, clamped to non-negative
+// and finite (NaN fails the comparison and yields zero).
+func (s *Scheduler) forecastBias() float64 {
+	if s.forecast == nil {
+		return 0
+	}
+	if f := s.forecast(); f > 0 && f < math.MaxFloat64 {
+		return f
+	}
+	return 0
+}
+
 // pick runs Eq. 4 over the assignable devices not rejected by skip.
 func (s *Scheduler) pick(r float64, skip func(*Device) bool) (*Device, time.Duration, error) {
 	if r < 0 {
 		return nil, 0, fmt.Errorf("%w: workload %v", ErrBadRequest, r)
 	}
+	bias := s.forecastBias()
 	var best *Device
 	var bestCost time.Duration
 	for _, d := range s.devices {
 		if !s.assignable(d) || (skip != nil && skip(d)) {
 			continue
 		}
-		c := d.cost(r)
+		c := d.cost(r + bias)
 		if best == nil || c < bestCost {
 			best, bestCost = d, c
 		}

@@ -1,0 +1,107 @@
+package dispatch
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestForecastAnticipatoryAssignment pins the ISSUE's acceptance
+// criterion: with a load forecast feeding Eq. 4, the scheduler moves
+// traffic to the high-capability device *before* a burst lands —
+// a reassignment that reactive (last-frame) dispatch misses.
+//
+// Setup: device A is low-latency but low-capability (the "nearby
+// phone"); device B is higher-latency but an order of magnitude more
+// capable (the "tablet"). For a single small request, A wins Eq. 4:
+//
+//	cost_A = 10/1000 s + 1 ms  = 11 ms
+//	cost_B = 10/5000 s + 15 ms = 17 ms
+//
+// When the forecaster predicts a 200-unit burst in the next horizon,
+// the biased cost flips:
+//
+//	cost_A = (10+200)/1000 s + 1 ms  = 211 ms
+//	cost_B = (10+200)/5000 s + 15 ms = 57 ms
+//
+// so B is picked while the queue is still empty — anticipation, not
+// reaction.
+func TestForecastAnticipatoryAssignment(t *testing.T) {
+	build := func() (*Scheduler, *Device, *Device) {
+		a := mustDevice(t, "near-phone", 1000, time.Millisecond)
+		b := mustDevice(t, "far-tablet", 5000, 15*time.Millisecond)
+		s, err := NewScheduler(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, a, b
+	}
+
+	// Reactive dispatch: no forecast — the small request goes to the
+	// low-latency device, which the burst then swamps.
+	reactive, a, _ := build()
+	if d, _, err := reactive.Assign(10); err != nil || d != a {
+		t.Fatalf("reactive pick = %v (err %v), want near-phone", d, err)
+	}
+
+	// Predictive dispatch: same request, same devices, but a forecast
+	// of 200 units inbound. The high-capability device is picked before
+	// the burst lands.
+	predictive, _, b := build()
+	predictive.SetForecast(func() float64 { return 200 })
+	d, _, err := predictive.Assign(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != b {
+		t.Fatalf("predictive pick = %s, want far-tablet", d.ID)
+	}
+	// Only the real workload is enqueued; the forecast never inflates
+	// the device's queue.
+	if got := b.Queued(); got != 10 {
+		t.Fatalf("queued = %v, want 10 (forecast must not be enqueued)", got)
+	}
+}
+
+// TestForecastBiasClamped: negative, NaN, and infinite forecasts are
+// ignored rather than corrupting Eq. 4.
+func TestForecastBiasClamped(t *testing.T) {
+	for _, bad := range []float64{-5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		a := mustDevice(t, "a", 1000, time.Millisecond)
+		b := mustDevice(t, "b", 5000, 15*time.Millisecond)
+		s, err := NewScheduler(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetForecast(func() float64 { return bad })
+		d, _, err := s.Assign(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != a {
+			t.Fatalf("forecast %v: pick = %s, want a (bias must clamp to 0)", bad, d.ID)
+		}
+	}
+}
+
+// TestSetRTTRefresh: a live SRTT sample replaces the configured l_j and
+// changes the Eq. 4 ranking; non-positive samples are ignored.
+func TestSetRTTRefresh(t *testing.T) {
+	a := mustDevice(t, "a", 100, time.Millisecond)
+	b := mustDevice(t, "b", 100, 2*time.Millisecond)
+	s, err := NewScheduler(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's path degrades: refreshing its RTT flips the pick to b.
+	a.SetRTT(50 * time.Millisecond)
+	if d, _, _ := s.Assign(1); d != b {
+		t.Fatalf("pick after SetRTT = %s, want b", d.ID)
+	}
+	before := a.RTT
+	a.SetRTT(0)
+	a.SetRTT(-time.Second)
+	if a.RTT != before {
+		t.Fatalf("non-positive SetRTT changed RTT to %v", a.RTT)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/gbooster/gbooster/internal/sim"
+	"github.com/gbooster/gbooster/internal/predict"
 	"github.com/gbooster/gbooster/internal/timeseries"
 )
 
@@ -18,81 +18,10 @@ type ForecastResult struct {
 	Ranking []timeseries.CandidateResult
 }
 
-// attrNames are the §V-B candidate exogenous attributes, in the paper's
-// numbering: 1 touchstroke frequency, 2 command-sequence length,
-// 3 texture count, 4 inter-frame command difference.
-var _attrNames = []string{"touch", "cmdlen", "textures", "cmddiff"}
-
-// syntheticTraffic builds a gameplay-traffic trace at the switching
-// controller's 100 ms granularity. Demand has two spike populations:
-// ramped spikes that historic traffic alone can anticipate, and abrupt
-// touch-driven spikes only the exogenous inputs reveal — the §V-B
-// structure behind ARMA's high false-negative rate.
-func syntheticTraffic(seed uint64, n int) (series []float64, attrs [][]float64) {
-	rng := sim.NewRNG(seed)
-	series = make([]float64, n)
-	attrs = make([][]float64, n)
-	y := 8.0
-	// Pending spike impulses: traffic follows a cue after ~500 ms (the
-	// game loads assets / changes scene before the stream swells), so
-	// the exogenous inputs lead demand by roughly the forecast horizon.
-	pending := make([]float64, n+16)
-	var burstLeft, texLeft, rampLeft int
-	var ramp float64
-	scheduleSpike := func(t int, height float64) {
-		lag := 4 + rng.Intn(3) // 400-600 ms
-		for k := 0; k < 4+rng.Intn(4); k++ {
-			if t+lag+k < len(pending) {
-				pending[t+lag+k] += height * (1 + rng.Norm(0, 0.1))
-			}
-		}
-	}
-	for t := 0; t < n; t++ {
-		touch := rng.Exp(0.8)
-		texSurge := 0.0
-		if burstLeft == 0 && texLeft == 0 && rampLeft == 0 {
-			switch {
-			case rng.Bool(0.010): // touch burst; traffic follows ~500 ms later
-				burstLeft = 3 + rng.Intn(4)
-				if rng.Bool(0.9) { // a few bursts are false cues
-					scheduleSpike(t, 11+rng.Float64()*4)
-				}
-			case rng.Bool(0.008): // texture surge (scene streaming)
-				texLeft = 3 + rng.Intn(4)
-				if rng.Bool(0.9) {
-					scheduleSpike(t, 9+rng.Float64()*4)
-				}
-			case rng.Bool(0.010): // ramped spike: history alone reveals it
-				rampLeft = 12
-				ramp = 0
-			}
-		}
-		if burstLeft > 0 {
-			burstLeft--
-			touch += 9 + rng.Float64()*3
-		}
-		if texLeft > 0 {
-			texLeft--
-			texSurge = 16 + rng.Float64()*6
-		}
-		if rampLeft > 0 {
-			rampLeft--
-			ramp += 1.3
-		} else {
-			ramp *= 0.6
-		}
-		textures := 20 + texSurge + rng.Norm(0, 1.5)
-		y = 0.45*y + 4 + pending[t] + ramp + rng.Norm(0, 1.2)
-		series[t] = y
-		attrs[t] = []float64{
-			touch,
-			90 + 0.8*textures + rng.Norm(0, 12), // cmdlen: loose, noisy echo of the scene
-			textures,
-			rng.Norm(12, 4), // cmddiff: mostly noise at this granularity
-		}
-	}
-	return series, attrs
-}
+// The synthetic trace and attribute naming moved to internal/predict
+// (predict.SyntheticTraffic / predict.AttrNames) so the offline study
+// and the live control plane's A/B harness score the same traffic
+// model.
 
 // Forecast runs the §V-B prediction study: exceedance FP/FN for ARMA
 // vs ARMAX (500 ms horizon = 5 windows) and the AIC ranking over
@@ -104,7 +33,7 @@ func Forecast(seed uint64) (ForecastResult, string, error) {
 		burnIn    = 600
 		threshold = 14.0 // Bluetooth capacity with margin, in Mbps
 	)
-	series, attrs := syntheticTraffic(seed, n)
+	series, attrs := predict.SyntheticTraffic(seed, n)
 
 	arma, err := timeseries.NewARMA(3, 2)
 	if err != nil {
@@ -140,8 +69,8 @@ func Forecast(seed uint64) (ForecastResult, string, error) {
 
 	// AIC selection over all 16 attribute subsets (shorter trace: the
 	// sweep fits 16 models).
-	selSeries, selAttrs := syntheticTraffic(seed+1, 4000)
-	ranking, err := timeseries.SelectExogenous(selSeries, selAttrs, _attrNames, 3, 2, 6)
+	selSeries, selAttrs := predict.SyntheticTraffic(seed+1, 4000)
+	ranking, err := timeseries.SelectExogenous(selSeries, selAttrs, predict.AttrNames, 3, 2, 6)
 	if err != nil {
 		return ForecastResult{}, "", err
 	}

@@ -29,6 +29,7 @@ import (
 	"github.com/gbooster/gbooster/internal/core"
 	"github.com/gbooster/gbooster/internal/dispatch"
 	"github.com/gbooster/gbooster/internal/rudp"
+	"github.com/gbooster/gbooster/internal/timeseries"
 )
 
 // Errors.
@@ -164,6 +165,12 @@ type Stats struct {
 	// EgressBatches counts drain flushes and EgressDrops datagrams
 	// shed by a full egress queue. All zero when EgressBatch < 0.
 	EgressDatagrams, EgressSyscalls, EgressBatches, EgressDrops int64
+	// FrameRate is the last sampled fleet-wide render rate
+	// (frames/second across all sessions); ForecastFrameRate is the
+	// online ARMA model's prediction of that rate sampleForecastHorizon
+	// samples ahead — a leading indicator for capacity decisions (gate
+	// width, admission headroom). Both zero until the first sample.
+	FrameRate, ForecastFrameRate float64
 }
 
 // session is one admitted client: its demuxed transport state and its
@@ -214,6 +221,14 @@ type Manager struct {
 	nonProto atomic.Int64
 	frames   atomic.Int64
 
+	// Frame-rate sampler: once per sampleInterval the delta of frames
+	// becomes a frames/second observation for an online ARMA model,
+	// whose forecast feeds Stats.ForecastFrameRate (guarded by rateMu).
+	rateMu       sync.Mutex
+	rateModel    *timeseries.Model
+	rate         float64
+	rateForecast float64
+
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -246,9 +261,54 @@ func New(pc net.PacketConn, cfg Config) (*Manager, error) {
 			m.egress.drain()
 		}()
 	}
+	// ARMA(2,1): enough memory to track ramp-ups without chasing noise.
+	// NewARMAX only fails on negative orders, so the error is impossible
+	// here; a nil model simply disables forecasting.
+	m.rateModel, _ = timeseries.NewARMAX(2, 1, 0, 0)
 	m.wg.Add(1)
 	go m.demuxLoop()
+	m.wg.Add(1)
+	go m.sampleLoop()
 	return m, nil
+}
+
+// sampleInterval is the frame-rate sampler's cadence;
+// sampleForecastHorizon how many samples ahead the published forecast
+// looks (5 s — the fleet-scale analog of the session controller's
+// 500 ms horizon, matched to how fast a session population shifts).
+const (
+	sampleInterval        = time.Second
+	sampleForecastHorizon = 5
+)
+
+// sampleLoop turns the cumulative frame counter into a frames/second
+// series and keeps the fleet's rate forecast current.
+func (m *Manager) sampleLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(sampleInterval)
+	defer t.Stop()
+	var last int64
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-t.C:
+			now := m.frames.Load()
+			rate := float64(now-last) / sampleInterval.Seconds()
+			last = now
+			m.rateMu.Lock()
+			m.rate = rate
+			if m.rateModel != nil {
+				_ = m.rateModel.Observe(rate, nil)
+				if f := m.rateModel.Forecast(sampleForecastHorizon); f > 0 {
+					m.rateForecast = f
+				} else {
+					m.rateForecast = 0
+				}
+			}
+			m.rateMu.Unlock()
+		}
+	}
 }
 
 // Sessions returns the live session count.
@@ -269,6 +329,9 @@ func (m *Manager) Stats() Stats {
 	if m.egress != nil {
 		st.EgressDatagrams, st.EgressSyscalls, st.EgressBatches, st.EgressDrops = m.egress.stats()
 	}
+	m.rateMu.Lock()
+	st.FrameRate, st.ForecastFrameRate = m.rate, m.rateForecast
+	m.rateMu.Unlock()
 	return st
 }
 

@@ -1,0 +1,125 @@
+package ifswitch
+
+import (
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// oscillatingDemand builds a trace hovering around the switching
+// threshold: demand crosses it every few windows with noise, which is
+// the flapping hazard the hysteresis exists to absorb. The exogenous
+// signal mirrors the oscillation so the forecast oscillates too.
+func oscillatingDemand(seed uint64, n int, threshold, swing float64, halfPeriod int) (demand []float64, exo [][]float64) {
+	rng := sim.NewRNG(seed)
+	demand = make([]float64, n)
+	exo = make([][]float64, n)
+	for i := range demand {
+		base := threshold - swing
+		if (i/halfPeriod)%2 == 1 {
+			base = threshold + swing
+		}
+		demand[i] = base + rng.Norm(0, swing/2)
+		exo[i] = []float64{0, 0}
+		if base > threshold {
+			exo[i] = []float64{8, 4}
+		}
+	}
+	return demand, exo
+}
+
+// TestHysteresisNoFlappingUnderOscillation pins the wake-hysteresis
+// behaviour the satellite demands: with a forecast oscillating around
+// the threshold, the radio must not flap — sleeps are bounded by the
+// hysteresis window, and the swap rate stays far below the demand's
+// own crossing rate.
+func TestHysteresisNoFlappingUnderOscillation(t *testing.T) {
+	cfg := DefaultConfig() // HysteresisWindows: 20
+	r := newRig(t, cfg)
+
+	const n = 4000
+	threshold := r.ctl.Threshold()
+	// Crossing every 5 windows: demand (and the trained forecast)
+	// oscillates ~400 times over the trace.
+	demand, exo := oscillatingDemand(3, n, threshold, 3.0, 5)
+	drive(t, r, demand, exo)
+
+	st := r.ctl.Stats
+	if st.Ticks != n {
+		t.Fatalf("ticks %d, want %d", st.Ticks, n)
+	}
+	// The hysteresis admits at most one sleep per HysteresisWindows
+	// consecutive below-threshold windows. With demand above threshold
+	// half the time, 20-window runs below threshold are rare — the
+	// bound is the hard ceiling, the expectation is near zero.
+	maxSleeps := n/cfg.HysteresisWindows + 1
+	if int(st.Sleeps) > maxSleeps {
+		t.Fatalf("sleeps %d exceed hysteresis bound %d", st.Sleeps, maxSleeps)
+	}
+	// WakeUps counts Off→Waking transitions only, so flapping shows up
+	// as wakeups tracking the ~400 threshold crossings. A non-flapping
+	// controller re-wakes at most once per sleep (plus the initial
+	// wake).
+	if int(st.WakeUps) > int(st.Sleeps)+1 {
+		t.Fatalf("wakeups %d > sleeps %d + 1: radio is flapping", st.WakeUps, st.Sleeps)
+	}
+	crossings := n / 5
+	if int(st.WakeUps)*10 > crossings {
+		t.Fatalf("wakeups %d within 10%% of %d demand crossings: hysteresis not damping", st.WakeUps, crossings)
+	}
+}
+
+// TestHysteresisBoundedSwapsPerWindow: over any sliding window of the
+// oscillating trace, radio state swaps (wake + sleep transitions) stay
+// bounded by the hysteresis — not by the oscillation frequency.
+func TestHysteresisBoundedSwapsPerWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg)
+
+	const n = 3000
+	threshold := r.ctl.Threshold()
+	demand, exo := oscillatingDemand(9, n, threshold, 2.5, 4)
+
+	// Drive window by window, recording cumulative swaps.
+	swapsAt := make([]int, n)
+	for i := range demand {
+		if err := r.ctl.Tick(demand[i], exo[i]); err != nil {
+			t.Fatal(err)
+		}
+		r.ctl.Route(demand[i])
+		r.clock.Advance(r.meter.Window())
+		swapsAt[i] = r.ctl.Stats.WakeUps + r.ctl.Stats.Sleeps
+	}
+
+	// In any 100-window (10 s) span, the hysteresis admits at most
+	// 100/HysteresisWindows sleep+wake pairs; allow one partial pair of
+	// slack at each edge.
+	span := 100
+	bound := 2*(span/cfg.HysteresisWindows) + 2
+	for i := span; i < n; i++ {
+		if got := swapsAt[i] - swapsAt[i-span]; got > bound {
+			t.Fatalf("windows [%d,%d): %d swaps exceed bound %d", i-span, i, got, bound)
+		}
+	}
+}
+
+// TestReactiveHysteresisAlsoBounded: the reactive policy shares the
+// same hysteresis machinery; an oscillating load must not flap it
+// either.
+func TestReactiveHysteresisAlsoBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyReactive
+	r := newRig(t, cfg)
+
+	const n = 2000
+	demand, exo := oscillatingDemand(5, n, r.ctl.Threshold(), 3.0, 6)
+	drive(t, r, demand, exo)
+
+	st := r.ctl.Stats
+	if int(st.Sleeps) > n/cfg.HysteresisWindows+1 {
+		t.Fatalf("reactive sleeps %d exceed hysteresis bound", st.Sleeps)
+	}
+	if int(st.WakeUps) > int(st.Sleeps)+1 {
+		t.Fatalf("reactive wakeups %d > sleeps %d + 1", st.WakeUps, st.Sleeps)
+	}
+}

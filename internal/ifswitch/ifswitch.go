@@ -18,7 +18,6 @@ import (
 	"time"
 
 	"github.com/gbooster/gbooster/internal/netsim"
-	"github.com/gbooster/gbooster/internal/sim"
 	"github.com/gbooster/gbooster/internal/timeseries"
 )
 
@@ -98,7 +97,7 @@ type Stats struct {
 // Controller routes traffic between a Bluetooth and a WiFi radio.
 type Controller struct {
 	cfg   Config
-	clock *sim.Clock
+	clock netsim.Clock
 	wifi  *netsim.Radio
 	bt    *netsim.Radio
 	meter *netsim.Meter
@@ -112,8 +111,10 @@ type Controller struct {
 }
 
 // New builds a controller over the two radios. meter must be the meter
-// the transport reports its traffic into.
-func New(clock *sim.Clock, cfg Config, wifi, bt *netsim.Radio, meter *netsim.Meter) (*Controller, error) {
+// the transport reports its traffic into. The clock may be any
+// netsim.Clock — the simulator's virtual clock for offline studies, or
+// a wall-clock adapter when the controller drives a live session.
+func New(clock netsim.Clock, cfg Config, wifi, bt *netsim.Radio, meter *netsim.Meter) (*Controller, error) {
 	if wifi == nil || bt == nil {
 		return nil, errNilRadio
 	}
@@ -155,6 +156,18 @@ func New(clock *sim.Clock, cfg Config, wifi, bt *netsim.Radio, meter *netsim.Met
 func (c *Controller) threshold() float64 {
 	return c.btCapacityMbps * c.cfg.ThresholdMargin
 }
+
+// Threshold exposes the switching threshold (Mbps) so observers can
+// score exceedance predictions against the same level the switch acts
+// on.
+func (c *Controller) Threshold() float64 { return c.threshold() }
+
+// Forecast exposes the controller's h-window-ahead demand forecast
+// (Mbps) from its online model.
+func (c *Controller) Forecast(h int) float64 { return c.model.Forecast(h) }
+
+// Horizon returns the configured forecast horizon in windows.
+func (c *Controller) Horizon() int { return c.cfg.HorizonWindows }
 
 // Tick advances the controller by one meter window: it feeds the just-
 // closed window's demand (in Mbps) and the exogenous features observed

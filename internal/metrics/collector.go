@@ -82,9 +82,9 @@ func (r *Registry) Reports() []Report {
 // element).
 func (r *Registry) Collectors() []Collector { return r.collectors }
 
-// StandardCollectors returns one fresh instance of each of the eight
+// StandardCollectors returns one fresh instance of each of the nine
 // collectors, in report order: fps, response, transport, failover,
-// uplink, handoff, quality, fleet.
+// uplink, handoff, quality, fleet, predict.
 func StandardCollectors() []Collector {
 	return []Collector{
 		&FPSCollector{},
@@ -95,11 +95,12 @@ func StandardCollectors() []Collector {
 		&HandoffCollector{},
 		&QualityCollector{},
 		&FleetCollector{},
+		&PredictCollector{},
 	}
 }
 
-// NewStandardRegistry returns a registry preloaded with the eight
-// standard collectors.
+// NewStandardRegistry returns a registry preloaded with the standard
+// collectors.
 func NewStandardRegistry() *Registry { return NewRegistry(StandardCollectors()...) }
 
 // ms converts a duration to float milliseconds for report fields.

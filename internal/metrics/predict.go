@@ -1,0 +1,113 @@
+package metrics
+
+// PredictCollector aggregates the predictive control plane's stats.
+// Like the fleet collector it observes a snapshot rider that may be
+// absent: snapshots from sessions without predictive control (nil
+// Predict) are skipped, so registering this collector changes nothing
+// for existing sessions.
+type PredictCollector struct {
+	last     PredictStats
+	seen     bool
+	sessions int64 // distinct cumulative streams folded in (Add calls)
+
+	// Across-session accumulation for harnesses that fan many sessions
+	// into one collector: cumulative counters sum, gauges keep the
+	// last/worst value.
+	total PredictStats
+}
+
+// Add folds one session's final (cumulative) predict stats into the
+// collector. Observe-driven use feeds successive snapshots of one
+// session instead; a given instance should use one entry point.
+func (c *PredictCollector) Add(p PredictStats) {
+	c.sessions++
+	c.total.Windows += p.Windows
+	c.total.Frames += p.Frames
+	c.total.WakeUps += p.WakeUps
+	c.total.Sleeps += p.Sleeps
+	c.total.WakeStalls += p.WakeStalls
+	c.total.WiFiWindows += p.WiFiWindows
+	c.total.BTWindows += p.BTWindows
+	c.total.TPExceed += p.TPExceed
+	c.total.FPExceed += p.FPExceed
+	c.total.FNExceed += p.FNExceed
+	c.total.TNExceed += p.TNExceed
+	c.total.EnergyJoules += p.EnergyJoules
+	c.total.EnergyWiFiJ += p.EnergyWiFiJ
+	c.total.EnergyBTJ += p.EnergyBTJ
+	c.total.EnergyCPUJ += p.EnergyCPUJ
+	c.total.EnergyDisplayJ += p.EnergyDisplayJ
+	c.total.EnergyGPUJ += p.EnergyGPUJ
+	c.total.ThermalSwaps += p.ThermalSwaps
+	c.total.ForecastErrEWMA = p.ForecastErrEWMA
+	c.total.ForecastMbps = p.ForecastMbps
+	c.total.DemandMbps = p.DemandMbps
+	c.total.LoadForecast = p.LoadForecast
+	c.total.ThermalScale = p.ThermalScale
+	if p.GPUTempC > c.total.GPUTempC {
+		c.total.GPUTempC = p.GPUTempC
+	}
+	if p.Throttled {
+		c.total.Throttled = true
+	}
+}
+
+// Observe tracks the latest snapshot's predict rider; counters are
+// cumulative within a session, so the last observation is the complete
+// picture and Report folds it in once.
+func (c *PredictCollector) Observe(s PlayerSnapshot) {
+	if s.Predict == nil {
+		return
+	}
+	c.last = *s.Predict
+	c.seen = true
+}
+
+// Totals returns the aggregated stats (the last observed snapshot
+// folded in on demand).
+func (c *PredictCollector) Totals() PredictStats {
+	if c.seen {
+		c.Add(c.last)
+		c.seen = false
+	}
+	return c.total
+}
+
+// Sessions returns how many cumulative streams were folded in.
+func (c *PredictCollector) Sessions() int64 {
+	c.Totals()
+	return c.sessions
+}
+
+// WiFiOnFraction returns WiFi-routed windows over all routed windows.
+func (c *PredictCollector) WiFiOnFraction() float64 {
+	t := c.Totals()
+	if total := t.WiFiWindows + t.BTWindows; total > 0 {
+		return float64(t.WiFiWindows) / float64(total)
+	}
+	return 0
+}
+
+// Report summarizes prediction quality and the energy/thermal loop.
+func (c *PredictCollector) Report() Report {
+	t := c.Totals()
+	throttled := 0.0
+	if t.Throttled {
+		throttled = 1
+	}
+	return Report{Collector: "predict", Fields: []Field{
+		{Name: "windows", Value: float64(t.Windows)},
+		{Name: "wakeups", Value: float64(t.WakeUps)},
+		{Name: "wake_stalls", Value: float64(t.WakeStalls)},
+		{Name: "exceed_fp_rate", Value: t.ExceedanceFPRate(), Unit: "ratio"},
+		{Name: "exceed_fn_rate", Value: t.ExceedanceFNRate(), Unit: "ratio"},
+		{Name: "forecast_err", Value: t.ForecastErrEWMA, Unit: "Mbps"},
+		{Name: "wifi_fraction", Value: c.WiFiOnFraction(), Unit: "ratio"},
+		{Name: "energy_j", Value: t.EnergyJoules, Unit: "J"},
+		{Name: "energy_per_frame", Value: t.EnergyPerFrameJ() * 1000, Unit: "mJ"},
+		{Name: "energy_radio_j", Value: t.EnergyWiFiJ + t.EnergyBTJ, Unit: "J"},
+		{Name: "gpu_temp_max", Value: t.GPUTempC, Unit: "C"},
+		{Name: "throttled", Value: throttled},
+		{Name: "thermal_swaps", Value: float64(t.ThermalSwaps)},
+	}}
+}

@@ -159,6 +159,79 @@ type FleetStats struct {
 	// queue (recovered by transport retransmission). All zero when the
 	// egress writer is disabled.
 	EgressDatagrams, EgressSyscalls, EgressBatches, EgressDrops int64
+	// FrameRate is the fleet's smoothed aggregate render throughput
+	// (frames/s, EWMA over 1 s samples); ForecastFrameRate is the ARMA
+	// forecast of that rate one horizon ahead. Both zero until the
+	// fleet's load sampler has seen its first window.
+	FrameRate, ForecastFrameRate float64
+}
+
+// PredictStats is the per-session predictive control plane's snapshot
+// (paper §V-B wired live): interface-switch activity, exceedance
+// forecast quality, and the modeled energy/thermal state driven from
+// frame/byte/radio activity. Attached to PlayerSnapshot only when
+// predictive control is enabled.
+type PredictStats struct {
+	// Windows counts closed control windows (100 ms each by default);
+	// Frames the frames observed by the controller.
+	Windows, Frames int64
+	// WakeUps/Sleeps count WiFi radio transitions commanded by the
+	// switch; WakeStalls counts windows where demand exceeded the usable
+	// path while WiFi was still waking (the realized wake-latency stall
+	// the forecaster exists to prevent).
+	WakeUps, Sleeps, WakeStalls int64
+	// WiFiWindows/BTWindows count windows routed over each interface.
+	WiFiWindows, BTWindows int64
+	// TPExceed..TNExceed score the threshold-exceedance forecasts
+	// (predicted vs. realized, horizon-aligned): a false negative is a
+	// spike the model missed, a false positive a spurious wake.
+	TPExceed, FPExceed, FNExceed, TNExceed int64
+	// ForecastErrEWMA is the smoothed |h-step forecast − realized| in
+	// Mbps; ForecastMbps and DemandMbps are the latest horizon forecast
+	// and the latest closed window's realized demand.
+	ForecastErrEWMA, ForecastMbps, DemandMbps float64
+	// LoadForecast is the predicted near-future workload (record units)
+	// currently biasing Eq. 4 dispatch.
+	LoadForecast float64
+	// EnergyJoules is the session's total modeled energy; EnergyWiFiJ,
+	// EnergyBTJ, EnergyCPUJ, EnergyDisplayJ, and EnergyGPUJ its
+	// components (radio integration + activity-driven CPU/display/GPU
+	// draw).
+	EnergyJoules                                                 float64
+	EnergyWiFiJ, EnergyBTJ, EnergyCPUJ, EnergyDisplayJ, EnergyGPUJ float64
+	// GPUTempC and ThermalScale are the thermal governor's state;
+	// Throttled reports whether it ever throttled; ThermalSwaps counts
+	// frequency swaps.
+	GPUTempC, ThermalScale float64
+	Throttled              bool
+	ThermalSwaps           int64
+}
+
+// EnergyPerFrameJ returns modeled joules per observed frame (zero
+// before the first frame).
+func (p PredictStats) EnergyPerFrameJ() float64 {
+	if p.Frames <= 0 {
+		return 0
+	}
+	return p.EnergyJoules / float64(p.Frames)
+}
+
+// ExceedanceFPRate returns FP/(FP+TN): calm periods wrongly predicted
+// to spike (cheap: WiFi woke for nothing).
+func (p PredictStats) ExceedanceFPRate() float64 {
+	if total := p.FPExceed + p.TNExceed; total > 0 {
+		return float64(p.FPExceed) / float64(total)
+	}
+	return 0
+}
+
+// ExceedanceFNRate returns FN/(FN+TP): real spikes the forecast missed
+// (costly: traffic queues behind a sleeping WiFi interface).
+func (p PredictStats) ExceedanceFNRate() float64 {
+	if total := p.FNExceed + p.TPExceed; total > 0 {
+		return float64(p.FNExceed) / float64(total)
+	}
+	return 0
 }
 
 // PlayerSnapshot is one consistent observation of a whole session: the
@@ -194,6 +267,11 @@ type PlayerSnapshot struct {
 	// see them (the load harness's in-process mode, a server-side stats
 	// loop); nil for a standalone player, which has no fleet view.
 	Fleet *FleetStats
+
+	// Predict carries the predictive control plane's stats when the
+	// session runs with WithPredictiveControl; nil otherwise, so
+	// existing collectors see no change.
+	Predict *PredictStats
 }
 
 // DeliveredFPS returns display throughput over the session so far

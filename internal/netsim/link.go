@@ -83,7 +83,7 @@ func (l *Link) Deliver(n int) (time.Duration, error) {
 // demand series the §V-B forecaster consumes (bytes per window,
 // reported in Mbps).
 type Meter struct {
-	clock  *sim.Clock
+	clock  Clock
 	window time.Duration
 
 	currentStart time.Duration
@@ -92,7 +92,7 @@ type Meter struct {
 }
 
 // NewMeter returns a meter with the given sampling window.
-func NewMeter(clock *sim.Clock, window time.Duration) *Meter {
+func NewMeter(clock Clock, window time.Duration) *Meter {
 	if window <= 0 {
 		window = 100 * time.Millisecond
 	}

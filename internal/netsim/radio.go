@@ -17,9 +17,16 @@ import (
 	"errors"
 	"fmt"
 	"time"
-
-	"github.com/gbooster/gbooster/internal/sim"
 )
+
+// Clock is the time source radios and meters integrate over. The
+// simulator's *sim.Clock satisfies it, as does any wall-clock adapter
+// that reports elapsed time as an offset from a fixed origin — which is
+// what lets the live predictive control plane reuse the same radio and
+// metering model the offline studies run.
+type Clock interface {
+	Now() time.Duration
+}
 
 // Radio errors.
 var (
@@ -101,7 +108,7 @@ func BluetoothHS() RadioSpec {
 type Radio struct {
 	Spec RadioSpec
 
-	clock       *sim.Clock
+	clock       Clock
 	state       RadioState
 	readyAt     time.Duration // when a waking radio becomes usable
 	lastChange  time.Duration // for energy integration
@@ -113,7 +120,7 @@ type Radio struct {
 }
 
 // NewRadio returns a radio in the given initial state.
-func NewRadio(clock *sim.Clock, spec RadioSpec, initial RadioState) *Radio {
+func NewRadio(clock Clock, spec RadioSpec, initial RadioState) *Radio {
 	if initial != StateOff && initial != StateOn {
 		initial = StateOff
 	}

@@ -25,6 +25,7 @@ import (
 	"github.com/gbooster/gbooster/internal/ifswitch"
 	"github.com/gbooster/gbooster/internal/metrics"
 	"github.com/gbooster/gbooster/internal/netsim"
+	"github.com/gbooster/gbooster/internal/predict"
 	"github.com/gbooster/gbooster/internal/sim"
 	"github.com/gbooster/gbooster/internal/thermal"
 	"github.com/gbooster/gbooster/internal/workload"
@@ -220,27 +221,37 @@ func RunOffload(cfg Config) (Result, error) {
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	clock := &sim.Clock{}
+	acct := energy.NewAccount()
 
-	// Radios + switching controller. With switching enabled the WiFi
-	// interface runs 802.11 power-save mode and dozes between
-	// transfers; without the optimization it sits in constantly-awake
-	// mode — the §V-B energy gap of Fig. 6(b) comes largely from this
-	// idle-power difference plus the sleep periods.
+	// Predictive control plane on the virtual clock — the same
+	// Controller the live Player runs on the wall clock. With switching
+	// enabled the WiFi interface runs 802.11 power-save mode and dozes
+	// between transfers; without the optimization it sits in
+	// constantly-awake mode — the §V-B energy gap of Fig. 6(b) comes
+	// largely from this idle-power difference plus the sleep periods.
+	// The per-window CPU/display/GPU wattages stay zero: this simulator
+	// keeps its own whole-device accounting below and shares its account
+	// so the controller adds only the radio/switch energy.
 	wifiSpec := cfg.User.WiFi
 	if cfg.Switching == ifswitch.PolicyAlwaysWiFi {
 		wifiSpec.PowerIdle = 0.8 // CAM
 	} else {
 		wifiSpec.PowerIdle = 0.15 // PSM dozing between frames
 	}
-	wifi := netsim.NewRadio(clock, wifiSpec, netsim.StateOff)
-	bt := netsim.NewRadio(clock, cfg.User.Bluetooth, netsim.StateOn)
-	meter := netsim.NewMeter(clock, 100*time.Millisecond)
 	swCfg := ifswitch.DefaultConfig()
 	swCfg.Policy = cfg.Switching
-	ctl, err := ifswitch.New(clock, swCfg, wifi, bt, meter)
+	ctl, err := predict.New(predict.Config{
+		Clock:     clock,
+		Switch:    swCfg,
+		WiFi:      wifiSpec,
+		Bluetooth: cfg.User.Bluetooth,
+		Account:   acct,
+		TargetFPS: cfg.Profile.FPSCap,
+	})
 	if err != nil {
-		return Result{}, fmt.Errorf("ifswitch: %w", err)
+		return Result{}, fmt.Errorf("predict: %w", err)
 	}
+	wifi, bt := ctl.Radios()
 
 	// Dispatch scheduler with Eq. 4 parameters. Workload unit:
 	// gigapixel-fragments.
@@ -265,7 +276,6 @@ func RunOffload(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("scheduler: %w", err)
 	}
 
-	acct := energy.NewAccount()
 	var fpsCol metrics.FPSCollector
 	var respCol metrics.FPSCollector // per-second response samples (ms)
 
@@ -323,33 +333,30 @@ func RunOffload(cfg Config) (Result, error) {
 		// Pre-compute a provisional FPS to size this second's traffic.
 		provFPS := minf(cfg.Profile.FPSCap, 1000/st.clientMs(), remoteRate)
 
-		// Drive the interface switch at its native 100 ms window.
+		// Drive the control plane at its native 100 ms window: each Step
+		// observes demand, forecasts the horizon, pre-wakes or sleeps the
+		// radio, routes and transmits the window's traffic (queueing the
+		// overflow of overloaded windows as backlog), and integrates
+		// radio energy.
 		var overloadDelayMs float64
 		demandMbps := provFPS * (upBytes + downBytes) * 8 / 1e6
 		for w := 0; w < 10; w++ {
 			exo := []float64{float64(touches), float64(cfg.Profile.TexturesPerFrame) * trafficMult}
-			if err := ctl.Tick(demandMbps, exo); err != nil {
-				return Result{}, fmt.Errorf("tick: %w", err)
-			}
-			out := ctl.Route(demandMbps)
+			out := ctl.Step(demandMbps, exo)
 			if out.Overloaded {
 				overloads++
 				overloadDelayMs += float64(out.QueueDelay.Milliseconds()) / 10
 			}
-			// Radio transfer accounting for this window's share.
-			bytesThisWindow := int(demandMbps * 1e6 / 8 / 10)
-			if out.Radio.Ready() {
-				if _, err := out.Radio.Transmit(bytesThisWindow); err != nil {
-					return Result{}, fmt.Errorf("transmit: %w", err)
-				}
-			}
-			meter.Add(bytesThisWindow)
+			// The meter sees the window's offered load (the switch's
+			// observed-traffic signal); the controller's Step already
+			// performed the radio transmit.
+			ctl.AddBytes(int(demandMbps * 1e6 / 8 / 10))
 			clock.Advance(100 * time.Millisecond)
 		}
 
 		// Radio stage: the WiFi medium is half duplex — uplink and
 		// downlink share airtime.
-		radio := activeRadioRate(ctl, wifi, bt)
+		radio := activeRadioRate(ctl.Switch(), wifi, bt)
 		rtt := cfg.Services[0].RTT
 		radioMsPerFrame := (upBytes + downBytes) * 8 / radio * 1000
 		st.uplinkMs = upBytes*8/radio*1000 + float64(rtt.Milliseconds())/2
@@ -393,12 +400,12 @@ func RunOffload(cfg Config) (Result, error) {
 		acct.AddPower(energy.ComponentCPU,
 			energy.CPUPower(cfg.User.CPUIdlePowerW, cfg.User.CPUActivePowerW, cpuUtil), time.Second)
 		acct.AddPower(energy.ComponentDisplay, cfg.User.DisplayPowerW, time.Second)
-		if wifiOn, _ := ctl.ActiveRadios(); wifiOn {
+		if wifiOn, _ := ctl.Switch().ActiveRadios(); wifiOn {
 			wifiOnSum++
 		}
 	}
-	acct.AddEnergy(energy.ComponentWiFi, wifi.EnergyJoules())
-	acct.AddEnergy(energy.ComponentBluetooth, bt.EnergyJoules())
+	// Settle the radios' integrated energy into the shared account.
+	ctl.Finish()
 
 	return Result{
 		Mode:           ModeOffload,

@@ -1,0 +1,90 @@
+package predict
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestABGate pins the PR's acceptance criterion: under the spike and
+// flash-crowd presets, same seed, the forecast-on arm has fewer
+// wake-latency stalls AND lower modeled energy per frame than the
+// forecast-off arm. BENCH_predict.json records the same comparison;
+// this test is the gate asserting it.
+func TestABGate(t *testing.T) {
+	for _, preset := range ABPresets() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			r, err := RunAB(preset, seed, 3000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(r.String())
+			if r.Off.WakeStalls == 0 {
+				t.Fatalf("%s seed %d: reactive arm saw no stalls — trace generates no bursts?", preset, seed)
+			}
+			if r.On.WakeStalls >= r.Off.WakeStalls {
+				t.Errorf("%s seed %d: stalls on=%d >= off=%d (forecast must prevent wake-latency stalls)",
+					preset, seed, r.On.WakeStalls, r.Off.WakeStalls)
+			}
+			if r.StallReduction() < 0.5 {
+				t.Errorf("%s seed %d: stall reduction %.0f%% < 50%%", preset, seed, r.StallReduction()*100)
+			}
+			if r.On.EnergyPerFrameMJ >= r.Off.EnergyPerFrameMJ {
+				t.Errorf("%s seed %d: energy/frame on=%.3f >= off=%.3f mJ",
+					preset, seed, r.On.EnergyPerFrameMJ, r.Off.EnergyPerFrameMJ)
+			}
+		}
+	}
+}
+
+// TestABDeterminism: same preset + seed gives identical results.
+func TestABDeterminism(t *testing.T) {
+	a, err := RunAB("spike", 42, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAB("spike", 42, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("A/B not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestABUnknownPreset(t *testing.T) {
+	if _, err := RunAB("nope", 1, 100); err == nil {
+		t.Fatal("unknown preset did not error")
+	}
+}
+
+// BenchmarkPredictAB emits the predict family parsed by
+// scripts/benchjson into BENCH_predict.json: one sub-benchmark per
+// preset × forecast arm, with stalls, energy per frame, and wakeups as
+// custom metrics.
+func BenchmarkPredictAB(b *testing.B) {
+	for _, preset := range ABPresets() {
+		r, err := RunAB(preset, 1, 3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arms := []struct {
+			name string
+			arm  ABArm
+		}{
+			{"on", r.On},
+			{"off", r.Off},
+		}
+		for _, a := range arms {
+			b.Run(fmt.Sprintf("preset=%s/forecast=%s", preset, a.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					// The comparison is precomputed; the loop body just
+					// satisfies the benchmark contract cheaply.
+				}
+				b.ReportMetric(float64(a.arm.WakeStalls), "stalls")
+				b.ReportMetric(a.arm.EnergyPerFrameMJ, "mJ/frame")
+				b.ReportMetric(float64(a.arm.WakeUps), "wakeups")
+				b.ReportMetric(a.arm.ExceedFNRate*100, "fn%")
+			})
+		}
+	}
+}

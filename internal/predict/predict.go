@@ -1,0 +1,498 @@
+// Package predict is GBooster's live predictive control plane: the
+// glue that takes the paper's §V-B machinery — online ARMAX traffic
+// forecasting (internal/timeseries), anticipatory interface switching
+// (internal/ifswitch), and the energy/thermal models (internal/energy,
+// internal/thermal) — out of the offline experiments and wires it into
+// a running session.
+//
+// A Controller owns one session's control loop. Every frame the player
+// reports its exogenous signals (touchstroke frequency, texture count
+// — the paper's AIC-selected attributes, already flowing through the
+// uplink); every control window (100 ms) the observed traffic closes a
+// demand sample, the ARMAX model forecasts 500 ms ahead, the interface
+// switch pre-wakes WiFi before predicted spikes, and the energy
+// account and thermal governor integrate frame/byte/radio activity. A
+// second model over per-window record counts produces the load
+// forecast that biases dispatch's Eq. 4 toward high-capability devices
+// *before* a burst lands.
+//
+// The same Controller drives three callers: the live Player (wall
+// clock, real traffic), the offline pipeline simulator (virtual clock,
+// modeled traffic), and the A/B experiment harness — one code path, as
+// the offline/online split previously duplicated in
+// internal/experiments and examples/energysaving.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/energy"
+	"github.com/gbooster/gbooster/internal/ifswitch"
+	"github.com/gbooster/gbooster/internal/metrics"
+	"github.com/gbooster/gbooster/internal/netsim"
+	"github.com/gbooster/gbooster/internal/thermal"
+	"github.com/gbooster/gbooster/internal/timeseries"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+// Errors.
+var ErrBadConfig = errors.New("predict: invalid config")
+
+// wallClock adapts the real wall clock to netsim.Clock: time as an
+// offset from the controller's construction. This is what lets the
+// live path drive the same radio/meter/switch models the simulator
+// runs under sim.Clock.
+type wallClock struct{ base time.Time }
+
+// NewWallClock returns a netsim.Clock backed by the real wall clock.
+func NewWallClock() netsim.Clock { return &wallClock{base: time.Now()} }
+
+func (w *wallClock) Now() time.Duration { return time.Since(w.base) }
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Clock is the time source (nil = real wall clock). Offline callers
+	// pass their *sim.Clock so radios and meters run in virtual time.
+	Clock netsim.Clock
+	// Window is the control window (default 100 ms; with the default
+	// 5-window horizon this gives the paper's 500 ms forecast).
+	Window time.Duration
+	// Switch configures the interface switch (zero value = the
+	// paper-faithful ifswitch.DefaultConfig with ExoDim 2).
+	Switch ifswitch.Config
+	// WiFi / Bluetooth override the radio specs (zero Name = defaults:
+	// 802.11n in power-save mode between transfers, Bluetooth HS).
+	WiFi, Bluetooth netsim.RadioSpec
+	// Account receives the energy integration (nil = a fresh account).
+	// Callers that keep their own CPU/display/GPU accounting (the
+	// pipeline simulator) share their account here and leave the power
+	// fields below zero so nothing is double-counted.
+	Account *energy.Account
+	// Thermal configures the GPU thermal governor (zero Levels =
+	// thermal.PhoneGPU()).
+	Thermal thermal.Config
+	// CPUIdleW/CPUActiveW/DisplayW/GPUResidualW drive the controller's
+	// own per-window device power accounting; each component is charged
+	// only when its wattage is set, so callers with external accounting
+	// opt out by leaving them zero.
+	CPUIdleW, CPUActiveW, DisplayW, GPUResidualW float64
+	// TargetFPS scales frame activity into CPU/GPU utilization for the
+	// power model (default 60).
+	TargetFPS float64
+	// Traffic, when set, is the cumulative session byte counter
+	// (uplink + downlink) the live Tick differences into per-window
+	// demand; callers that compute demand themselves use Step instead.
+	Traffic func() int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = NewWallClock()
+	}
+	if c.Window <= 0 {
+		c.Window = 100 * time.Millisecond
+	}
+	if c.Switch.HorizonWindows == 0 && c.Switch.ExoDim == 0 && c.Switch.Policy == 0 {
+		c.Switch = ifswitch.DefaultConfig()
+	}
+	if c.WiFi.Name == "" {
+		c.WiFi = netsim.WiFi80211n()
+		c.WiFi.PowerIdle = 0.15 // PSM: dozing between transfers
+	}
+	if c.Bluetooth.Name == "" {
+		c.Bluetooth = netsim.BluetoothHS()
+	}
+	if c.Account == nil {
+		c.Account = energy.NewAccount()
+	}
+	if len(c.Thermal.Levels) == 0 {
+		c.Thermal = thermal.PhoneGPU()
+	}
+	if c.TargetFPS <= 0 {
+		c.TargetFPS = 60
+	}
+	return c
+}
+
+// WindowOutcome reports how one control window went, for callers that
+// model the consequences (the pipeline simulator turns QueueDelay into
+// stalled frames).
+type WindowOutcome struct {
+	// Radio is the interface that carried the window's traffic.
+	Radio *netsim.Radio
+	// Overloaded reports a realized wake-latency stall: demand exceeded
+	// the usable path while WiFi was off or still waking.
+	Overloaded bool
+	// QueueDelay is the stall the overload imposes on that window's
+	// frames.
+	QueueDelay time.Duration
+	// ForecastMbps is the horizon forecast made this window.
+	ForecastMbps float64
+}
+
+// Controller is one session's predictive control loop. All methods are
+// safe for concurrent use: the live path runs ObserveFrame from the
+// frame loop, Tick from a timer goroutine, and Snapshot from stats
+// readers.
+type Controller struct {
+	mu  sync.Mutex
+	cfg Config
+
+	clock netsim.Clock
+	wifi  *netsim.Radio
+	bt    *netsim.Radio
+	meter *netsim.Meter
+	sw    *ifswitch.Controller
+
+	// loadModel forecasts per-window dispatched records (the Eq. 4
+	// workload unit), fed from frame features.
+	loadModel *timeseries.Model
+	loadEWMA  float64
+
+	gov  *thermal.Governor
+	acct *energy.Account
+
+	// Per-window frame accumulators, reset every Tick/Step.
+	frames   int64
+	touches  float64
+	textures float64
+	records  float64
+
+	lastTraffic int64
+	trafficInit bool
+
+	// backlogBytes is traffic that exceeded the usable path during an
+	// overload and queues until a radio can drain it.
+	backlogBytes float64
+
+	// Exceedance scoring: ring of horizon forecasts, compared against
+	// realized demand when their window arrives.
+	ring    []forecastAt
+	ringPos int
+
+	finished bool
+
+	stats metrics.PredictStats
+}
+
+type forecastAt struct {
+	mbps  float64
+	valid bool
+}
+
+// New builds a controller.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	clock := cfg.Clock
+	wifi := netsim.NewRadio(clock, cfg.WiFi, netsim.StateOff)
+	bt := netsim.NewRadio(clock, cfg.Bluetooth, netsim.StateOn)
+	meter := netsim.NewMeter(clock, cfg.Window)
+	sw, err := ifswitch.New(clock, cfg.Switch, wifi, bt, meter)
+	if err != nil {
+		return nil, fmt.Errorf("predict: %w", err)
+	}
+	// Per-window record counts are a short-memory series; the touch and
+	// texture signals that lead traffic also lead dispatch load, so the
+	// load model shares the exogenous structure.
+	loadModel, err := timeseries.NewARMAX(3, 2, 2, 2)
+	if err != nil {
+		return nil, fmt.Errorf("predict: load model: %w", err)
+	}
+	gov, err := thermal.NewGovernor(cfg.Thermal)
+	if err != nil {
+		return nil, fmt.Errorf("predict: governor: %w", err)
+	}
+	c := &Controller{
+		cfg:       cfg,
+		clock:     clock,
+		wifi:      wifi,
+		bt:        bt,
+		meter:     meter,
+		sw:        sw,
+		loadModel: loadModel,
+		gov:       gov,
+		acct:      cfg.Account,
+		ring:      make([]forecastAt, sw.Horizon()),
+	}
+	return c, nil
+}
+
+// Window returns the control window.
+func (c *Controller) Window() time.Duration { return c.cfg.Window }
+
+// ObserveFrame feeds one frame's exogenous signals into the current
+// control window: touch events and texture count (the paper's selected
+// attributes) plus the frame's record count for the load forecast.
+func (c *Controller) ObserveFrame(f workload.Features) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frames++
+	c.stats.Frames++
+	c.touches += float64(f.TouchEvents)
+	c.textures += float64(f.Textures)
+	c.records += float64(f.Commands)
+}
+
+// AddBytes reports n bytes of session traffic into the current window
+// (for callers without a cumulative Traffic hook).
+func (c *Controller) AddBytes(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.meter.Add(n)
+	c.mu.Unlock()
+}
+
+// Tick closes the current control window on the live path: it
+// differences the session's cumulative traffic into this window's
+// demand, drains the frame accumulators into exogenous inputs, and
+// runs one Step.
+func (c *Controller) Tick() WindowOutcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var demandMbps float64
+	if c.cfg.Traffic != nil {
+		now := c.cfg.Traffic()
+		if c.trafficInit {
+			delta := now - c.lastTraffic
+			if delta > 0 {
+				demandMbps = float64(delta) * 8 / c.cfg.Window.Seconds() / 1e6
+			}
+		}
+		c.lastTraffic = now
+		c.trafficInit = true
+	} else {
+		demandMbps = c.meter.CurrentMbps()
+	}
+	return c.step(demandMbps, c.drainExo())
+}
+
+// Step closes one control window with an externally computed demand
+// (offline simulators own their demand model). exo is the window's
+// exogenous vector; nil drains the frame accumulators instead.
+func (c *Controller) Step(demandMbps float64, exo []float64) WindowOutcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if exo == nil {
+		exo = c.drainExo()
+	}
+	return c.step(demandMbps, exo)
+}
+
+// drainExo converts and resets the frame accumulators. Caller holds mu.
+func (c *Controller) drainExo() []float64 {
+	exo := []float64{c.touches, c.textures}
+	// Feed the per-window dispatched records into the load model with
+	// the same leading signals.
+	if err := c.loadModel.Observe(c.records, exo); err == nil {
+		c.loadEWMA += (c.records - c.loadEWMA) / 8
+	}
+	c.frames, c.touches, c.textures, c.records = 0, 0, 0, 0
+	return exo
+}
+
+// step runs one control window. Caller holds mu.
+func (c *Controller) step(demandMbps float64, exo []float64) WindowOutcome {
+	c.stats.Windows++
+	c.stats.DemandMbps = demandMbps
+
+	// Score the horizon forecast whose window just arrived.
+	slot := &c.ring[c.ringPos]
+	if slot.valid {
+		threshold := c.sw.Threshold()
+		predicted := slot.mbps > threshold
+		actual := demandMbps > threshold
+		switch {
+		case predicted && actual:
+			c.stats.TPExceed++
+		case predicted && !actual:
+			c.stats.FPExceed++
+		case !predicted && actual:
+			c.stats.FNExceed++
+		default:
+			c.stats.TNExceed++
+		}
+		err := slot.mbps - demandMbps
+		if err < 0 {
+			err = -err
+		}
+		c.stats.ForecastErrEWMA += (err - c.stats.ForecastErrEWMA) / 8
+	}
+
+	// Feed the switch: observe + forecast + wake/sleep. Errors can only
+	// be exogenous-dimension mismatches; the config pins the dimension,
+	// so they are ignored after construction.
+	if len(exo) != c.cfg.Switch.ExoDim {
+		resized := make([]float64, c.cfg.Switch.ExoDim)
+		copy(resized, exo)
+		exo = resized
+	}
+	wakeUpsBefore := c.sw.Stats.WakeUps
+	sleepsBefore := c.sw.Stats.Sleeps
+	_ = c.sw.Tick(demandMbps, exo)
+	c.stats.WakeUps += int64(c.sw.Stats.WakeUps - wakeUpsBefore)
+	c.stats.Sleeps += int64(c.sw.Stats.Sleeps - sleepsBefore)
+
+	forecast := c.sw.Forecast(c.sw.Horizon())
+	c.stats.ForecastMbps = forecast
+	*slot = forecastAt{mbps: forecast, valid: true}
+	c.ringPos = (c.ringPos + 1) % len(c.ring)
+
+	// Route the window's traffic and account the radio transfer. During
+	// an overload Bluetooth physically delivers only its capacity; the
+	// excess queues as backlog and drains — typically over WiFi once it
+	// finishes waking — in later windows. This is what makes a missed
+	// forecast expensive: the stalled bytes cross the air twice as
+	// occupancy (queue, then drain) and the frames behind them wait.
+	out := c.sw.Route(demandMbps)
+	bytesThisWindow := demandMbps * 1e6 / 8 * c.cfg.Window.Seconds()
+	if out.Overloaded {
+		c.stats.WakeStalls++
+		capBytes := c.bt.Spec.BitsPerSecond / 8 * c.cfg.Window.Seconds()
+		carried := bytesThisWindow
+		if carried > capBytes {
+			carried = capBytes
+		}
+		c.backlogBytes += bytesThisWindow - carried
+		bytesThisWindow = carried
+	} else if c.backlogBytes > 0 {
+		bytesThisWindow += c.backlogBytes
+		c.backlogBytes = 0
+	}
+	if out.Radio == c.wifi {
+		c.stats.WiFiWindows++
+	} else {
+		c.stats.BTWindows++
+	}
+	if out.Radio.Ready() && bytesThisWindow > 0 {
+		_, _ = out.Radio.Transmit(int(bytesThisWindow))
+	}
+	if c.cfg.Traffic != nil {
+		// Live path: the meter is fed here (offline callers feed it via
+		// AddBytes/their own loop).
+		c.meter.Add(int(bytesThisWindow))
+	}
+
+	// Device power + thermal for this window, components gated on their
+	// configured wattage.
+	frameUtil := demandUtil(demandMbps, c.cfg.TargetFPS)
+	c.gov.Step(c.cfg.Window, frameUtil)
+	if c.cfg.GPUResidualW > 0 {
+		c.acct.AddPower(energy.ComponentGPU, c.cfg.GPUResidualW, c.cfg.Window)
+	}
+	if c.cfg.CPUActiveW > 0 {
+		c.acct.AddPower(energy.ComponentCPU,
+			energy.CPUPower(c.cfg.CPUIdleW, c.cfg.CPUActiveW, frameUtil), c.cfg.Window)
+	}
+	if c.cfg.DisplayW > 0 {
+		c.acct.AddPower(energy.ComponentDisplay, c.cfg.DisplayW, c.cfg.Window)
+	}
+
+	return WindowOutcome{
+		Radio:        out.Radio,
+		Overloaded:   out.Overloaded,
+		QueueDelay:   out.QueueDelay,
+		ForecastMbps: forecast,
+	}
+}
+
+// demandUtil maps window demand into a coarse [0,1] device utilization
+// for the power/thermal model: full utilization at the point the
+// session saturates its target frame rate's traffic.
+func demandUtil(demandMbps, targetFPS float64) float64 {
+	// ~0.25 Mbps/fps is the modeled steady per-frame traffic at the
+	// default stream size; the exact scale only shapes the modeled
+	// curve, all A/B comparisons hold it fixed.
+	full := targetFPS * 0.25
+	if full <= 0 {
+		return 0
+	}
+	u := demandMbps / full
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// LoadForecast returns the predicted *additional* dispatch workload
+// (record units) expected within the forecast horizon, for
+// dispatch.Scheduler.SetForecast. Zero while the predicted load does
+// not exceed the smoothed current load, so calm traffic leaves Eq. 4
+// untouched.
+func (c *Controller) LoadForecast() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.loadModel.Observations() < 8 {
+		return 0
+	}
+	rHat := c.loadModel.Forecast(c.sw.Horizon()) - c.loadEWMA
+	if rHat < 0 {
+		return 0
+	}
+	c.stats.LoadForecast = rHat
+	return rHat
+}
+
+// Finish folds the radios' integrated energy into the account (the
+// per-window device power is already there) and freezes the
+// controller. Idempotent.
+func (c *Controller) Finish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.acct.AddEnergy(energy.ComponentWiFi, c.wifi.EnergyJoules())
+	c.acct.AddEnergy(energy.ComponentBluetooth, c.bt.EnergyJoules())
+}
+
+// Account returns the controller's energy account.
+func (c *Controller) Account() *energy.Account { return c.acct }
+
+// Switch exposes the interface-switch controller (offline callers read
+// its stats and active-radio state).
+func (c *Controller) Switch() *ifswitch.Controller { return c.sw }
+
+// Meter exposes the traffic meter for callers that feed it directly.
+func (c *Controller) Meter() *netsim.Meter { return c.meter }
+
+// Radios returns the WiFi and Bluetooth radio instances.
+func (c *Controller) Radios() (wifi, bt *netsim.Radio) { return c.wifi, c.bt }
+
+// Snapshot returns the control plane's stats: switch activity,
+// exceedance forecast quality, and the energy/thermal state. Radio
+// energy is included live (before Finish) without mutating the shared
+// account.
+func (c *Controller) Snapshot() metrics.PredictStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.EnergyCPUJ = c.acct.Component(energy.ComponentCPU)
+	s.EnergyDisplayJ = c.acct.Component(energy.ComponentDisplay)
+	s.EnergyGPUJ = c.acct.Component(energy.ComponentGPU)
+	if c.finished {
+		s.EnergyWiFiJ = c.acct.Component(energy.ComponentWiFi)
+		s.EnergyBTJ = c.acct.Component(energy.ComponentBluetooth)
+	} else {
+		s.EnergyWiFiJ = c.wifi.EnergyJoules()
+		s.EnergyBTJ = c.bt.EnergyJoules()
+	}
+	// Fixed summation order keeps snapshots bit-identical run to run
+	// (the account's own total iterates a map).
+	s.EnergyJoules = s.EnergyCPUJ + s.EnergyDisplayJ + s.EnergyGPUJ +
+		s.EnergyWiFiJ + s.EnergyBTJ + c.acct.Component(energy.ComponentCodec)
+	s.GPUTempC = c.gov.TemperatureC()
+	s.ThermalScale = c.gov.Scale()
+	s.Throttled = c.gov.EverThrottled()
+	down, up := c.gov.Swaps()
+	s.ThermalSwaps = int64(down + up)
+	return s
+}

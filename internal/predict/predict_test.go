@@ -1,0 +1,228 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gbooster/gbooster/internal/ifswitch"
+	"github.com/gbooster/gbooster/internal/sim"
+	"github.com/gbooster/gbooster/internal/workload"
+)
+
+func newTestController(t *testing.T, clock *sim.Clock) *Controller {
+	t.Helper()
+	c, err := New(Config{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("wall clock not monotonic: %v then %v", a, b)
+	}
+}
+
+// The default config runs on the wall clock without a sim.Clock.
+func TestNewDefaultsToWallClock(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ObserveFrame(workload.Features{TouchEvents: 2, Textures: 8, Commands: 100})
+	out := c.Step(5, nil)
+	if out.Radio == nil {
+		t.Fatal("no radio routed")
+	}
+	snap := c.Snapshot()
+	if snap.Windows != 1 || snap.Frames != 1 {
+		t.Fatalf("snapshot windows=%d frames=%d, want 1/1", snap.Windows, snap.Frames)
+	}
+}
+
+// Calm demand routes over Bluetooth; a sustained spike with leading
+// exogenous cues pre-wakes WiFi and routes over it without a stall.
+func TestControllerPreWake(t *testing.T) {
+	clock := &sim.Clock{}
+	c := newTestController(t, clock)
+	window := c.Window()
+
+	step := func(demand, touch, tex float64) WindowOutcome {
+		out := c.Step(demand, []float64{touch, tex})
+		clock.Advance(window)
+		return out
+	}
+
+	// Learning phase: periodic cued spikes (cue leads by 6 windows).
+	for cycle := 0; cycle < 40; cycle++ {
+		for w := 0; w < 60; w++ {
+			demand, touch, tex := 6.0, 1.0, 20.0
+			if w >= 24 && w < 40 {
+				touch, tex = 11, 38 // cue ahead of the spike
+			}
+			if w >= 30 && w < 40 {
+				demand = 30 // spike
+			}
+			step(demand, touch, tex)
+		}
+	}
+	snap := c.Snapshot()
+	if snap.WiFiWindows == 0 || snap.BTWindows == 0 {
+		t.Fatalf("expected traffic on both radios: wifi=%d bt=%d", snap.WiFiWindows, snap.BTWindows)
+	}
+	// A trained controller must hide nearly all wake latency: far fewer
+	// stall windows than spike windows (400 spike onsets here).
+	if snap.WakeStalls > 40 {
+		t.Fatalf("wake stalls %d — forecast not hiding wake latency", snap.WakeStalls)
+	}
+	if snap.WakeUps == 0 || snap.Sleeps == 0 {
+		t.Fatalf("radio never cycled: wakeups=%d sleeps=%d", snap.WakeUps, snap.Sleeps)
+	}
+	if snap.TPExceed == 0 {
+		t.Fatal("no true-positive exceedance predictions scored")
+	}
+	if snap.EnergyJoules <= 0 {
+		t.Fatalf("energy %v, want > 0", snap.EnergyJoules)
+	}
+}
+
+// The live Tick path: traffic differencing + frame accumulators.
+func TestTickTrafficDifferencing(t *testing.T) {
+	clock := &sim.Clock{}
+	var traffic int64
+	c, err := New(Config{Clock: clock, Traffic: func() int64 { return traffic }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First tick establishes the baseline.
+	c.Tick()
+	clock.Advance(c.Window())
+	traffic += 125_000 // 1 Mb in 100 ms → 10 Mbps
+	c.ObserveFrame(workload.Features{TouchEvents: 1, Textures: 5, Commands: 40})
+	c.Tick()
+	snap := c.Snapshot()
+	if snap.DemandMbps < 9 || snap.DemandMbps > 11 {
+		t.Fatalf("demand %v Mbps, want ~10", snap.DemandMbps)
+	}
+}
+
+// LoadForecast rises when the load model sees a cued burst pattern and
+// stays zero on calm traffic.
+func TestLoadForecastAnticipation(t *testing.T) {
+	clock := &sim.Clock{}
+	c := newTestController(t, clock)
+	feed := func(commands, touch, tex int) {
+		for f := 0; f < 6; f++ {
+			c.ObserveFrame(workload.Features{Commands: commands / 6, TouchEvents: touch, Textures: tex})
+		}
+		c.Step(6, nil) // drains accumulators into the load model
+		clock.Advance(c.Window())
+	}
+	// Cycles where elevated touch/texture input leads a record burst.
+	for cycle := 0; cycle < 60; cycle++ {
+		for w := 0; w < 20; w++ {
+			switch {
+			case w >= 12 && w < 15:
+				feed(120, 12, 40) // cue
+			case w >= 15 && w < 18:
+				feed(900, 12, 40) // burst
+			default:
+				feed(120, 1, 20)
+			}
+		}
+	}
+	// Replay to the cue point and read the forecast there.
+	for w := 0; w < 14; w++ {
+		if w >= 12 {
+			feed(120, 12, 40)
+		} else {
+			feed(120, 1, 20)
+		}
+	}
+	atCue := c.LoadForecast()
+	if atCue <= 0 {
+		t.Fatalf("LoadForecast at cue = %v, want > 0 (burst predicted)", atCue)
+	}
+}
+
+// Backlog: overloaded windows defer excess bytes; they drain once a
+// radio is usable again, and delivered byte accounting stays sane.
+func TestBacklogDrains(t *testing.T) {
+	clock := &sim.Clock{}
+	swCfg := ifswitch.DefaultConfig()
+	swCfg.Policy = ifswitch.PolicyReactive
+	c, err := New(Config{Clock: clock, Switch: swCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overload from a cold start: WiFi off, demand above BT capacity.
+	out := c.Step(40, []float64{0, 0})
+	clock.Advance(c.Window())
+	if !out.Overloaded {
+		t.Fatal("expected overload on cold spike")
+	}
+	if c.backlogBytes <= 0 {
+		t.Fatal("no backlog accumulated during overload")
+	}
+	// Let WiFi wake, then a calm window drains the backlog.
+	for i := 0; i < 10; i++ {
+		c.Step(40, []float64{0, 0})
+		clock.Advance(c.Window())
+	}
+	c.Step(2, []float64{0, 0})
+	if c.backlogBytes != 0 {
+		t.Fatalf("backlog %v bytes not drained", c.backlogBytes)
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	clock := &sim.Clock{}
+	c := newTestController(t, clock)
+	c.Step(5, nil)
+	clock.Advance(c.Window())
+	c.Finish()
+	first := c.Snapshot().EnergyJoules
+	c.Finish()
+	if again := c.Snapshot().EnergyJoules; again != first {
+		t.Fatalf("second Finish changed energy %v -> %v", first, again)
+	}
+}
+
+// Concurrent ObserveFrame / Tick / Snapshot / LoadForecast must be
+// race-free (the live player drives them from three goroutines).
+func TestConcurrentAccess(t *testing.T) {
+	var traffic int64
+	c, err := New(Config{Traffic: func() int64 { return traffic }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 500; i++ {
+			c.ObserveFrame(workload.Features{Commands: 10, TouchEvents: 1, Textures: 4})
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		for i := 0; i < 200; i++ {
+			c.Tick()
+			_ = c.LoadForecast()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		for i := 0; i < 200; i++ {
+			_ = c.Snapshot()
+		}
+		done <- struct{}{}
+	}()
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	c.Finish()
+}

@@ -47,6 +47,12 @@ type Model struct {
 
 	n   int     // observations consumed
 	rss float64 // forgetting-weighted residual sum of squares
+
+	// lastY is the most recent (sanitized) observation; it backs the
+	// last-value fallback Forecast degrades to whenever the recursive
+	// estimate is unusable (short history, constant series, collinear
+	// exogenous inputs driving the update singular, non-finite inputs).
+	lastY float64
 }
 
 // NewARMA constructs an ARMA(p,q) model.
@@ -139,48 +145,82 @@ func (m *Model) Observe(y float64, exo []float64) error {
 	if m.b > 0 && len(exo) != m.k {
 		return fmt.Errorf("%w: got %d, want %d", ErrExoDim, len(exo), m.k)
 	}
+	// Sanitize inputs: a NaN/Inf sample (a meter glitch, a division by a
+	// zero window) must not poison the recursion. The sample is replaced
+	// by the last good value so the history stays usable.
+	if !isFinite(y) {
+		y = m.lastY
+	}
+	if m.b > 0 {
+		for _, v := range exo {
+			if !isFinite(v) {
+				exo = sanitize(exo)
+				break
+			}
+		}
+	}
 	x := m.regressor()
 	pred := dot(x, m.theta)
 	resid := y - pred
 
 	// RLS update: K = P·x / (λ + xᵀP·x); θ += K·resid; P = (P−K·xᵀP)/λ.
+	// The update is applied only when the innovation denominator is
+	// comfortably positive and the resulting parameters stay finite;
+	// otherwise (collinear exogenous columns breaking positive-
+	// definiteness, numerical blow-up) the parameter step is skipped and
+	// only the histories advance — the model degrades instead of
+	// diverging.
 	dim := len(m.theta)
 	px := make([]float64, dim)
 	for i := 0; i < dim; i++ {
 		px[i] = dot(m.cov[i], x)
 	}
 	den := m.lambda + dot(x, px)
-	for i := 0; i < dim; i++ {
-		m.gain[i] = px[i] / den
-	}
-	for i := 0; i < dim; i++ {
-		m.theta[i] += m.gain[i] * resid
-	}
-	// xP row vector equals px (covariance symmetric).
-	for i := 0; i < dim; i++ {
-		for j := 0; j < dim; j++ {
-			m.cov[i][j] = (m.cov[i][j] - m.gain[i]*px[j]) / m.lambda
-		}
-	}
-	// Constant-trace windup guard: during stretches with little
-	// excitation (e.g. zero touch input), 1/λ inflates P without bound;
-	// the next burst would then cause a destabilizing parameter jump.
-	// Rescaling preserves positive-definiteness while bounding gain.
-	var trace float64
-	for i := 0; i < dim; i++ {
-		trace += m.cov[i][i]
-	}
-	if trace > m.maxTrace {
-		scale := m.maxTrace / trace
+	if isFinite(den) && den > 1e-12 && isFinite(resid) {
 		for i := 0; i < dim; i++ {
-			for j := 0; j < dim; j++ {
-				m.cov[i][j] *= scale
+			m.gain[i] = px[i] / den
+		}
+		stable := true
+		for i := 0; i < dim; i++ {
+			if !isFinite(m.theta[i] + m.gain[i]*resid) {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			for i := 0; i < dim; i++ {
+				m.theta[i] += m.gain[i] * resid
+			}
+			// xP row vector equals px (covariance symmetric).
+			for i := 0; i < dim; i++ {
+				for j := 0; j < dim; j++ {
+					m.cov[i][j] = (m.cov[i][j] - m.gain[i]*px[j]) / m.lambda
+				}
+			}
+			// Constant-trace windup guard: during stretches with little
+			// excitation (e.g. zero touch input), 1/λ inflates P without bound;
+			// the next burst would then cause a destabilizing parameter jump.
+			// Rescaling preserves positive-definiteness while bounding gain.
+			var trace float64
+			for i := 0; i < dim; i++ {
+				trace += m.cov[i][i]
+			}
+			if trace > m.maxTrace {
+				scale := m.maxTrace / trace
+				for i := 0; i < dim; i++ {
+					for j := 0; j < dim; j++ {
+						m.cov[i][j] *= scale
+					}
+				}
 			}
 		}
 	}
 
-	m.rss = m.lambda*m.rss + resid*resid
+	if isFinite(resid) {
+		m.rss = m.lambda*m.rss + resid*resid
+	}
 	m.n++
+	m.lastY = y
 	shiftIn(m.yHist, y)
 	shiftIn(m.eHist, resid)
 	if m.b > 0 {
@@ -191,6 +231,19 @@ func (m *Model) Observe(y float64, exo []float64) error {
 		}
 	}
 	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// sanitize replaces non-finite entries with zero, on a copy.
+func sanitize(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	for i, x := range out {
+		if !isFinite(x) {
+			out[i] = 0
+		}
+	}
+	return out
 }
 
 func shiftIn(hist []float64, v float64) {
@@ -230,6 +283,12 @@ func (m *Model) Forecast(h int) float64 {
 			reg = append(reg, d...)
 		}
 		pred = dot(reg, m.theta)
+		if !isFinite(pred) {
+			// Degenerate estimate (short history, constant or collinear
+			// inputs): degrade to last-value persistence rather than
+			// propagate NaN into the switching controller.
+			return m.lastY
+		}
 		shiftIn(y, pred)
 		shiftIn(e, 0)
 		if m.b > 0 {

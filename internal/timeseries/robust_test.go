@@ -1,0 +1,155 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gbooster/gbooster/internal/sim"
+)
+
+// assertFinite fails if the model's forecasts or parameters went
+// non-finite at any horizon the switch controller uses.
+func assertFinite(t *testing.T, m *Model, label string) {
+	t.Helper()
+	for h := 1; h <= 8; h++ {
+		if f := m.Forecast(h); math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("%s: Forecast(%d) = %v, want finite", label, h, f)
+		}
+	}
+	phi, theta, eta := m.Params()
+	for _, set := range [][]float64{phi, theta, eta, {m.Intercept()}} {
+		for _, v := range set {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: parameter %v non-finite", label, v)
+			}
+		}
+	}
+}
+
+// Property: forecasts are finite at every point of a short history,
+// including before any observation at all.
+func TestRobustShortHistory(t *testing.T) {
+	m, err := NewARMAX(3, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFinite(t, m, "no observations")
+	for i := 0; i < 10; i++ {
+		if err := m.Observe(float64(i%3), []float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		assertFinite(t, m, "short history")
+	}
+}
+
+// Property: a constant series (zero variance, zero excitation) never
+// produces NaN, and the forecast converges to the constant.
+func TestRobustConstantSeries(t *testing.T) {
+	for _, c := range []float64{0, 5.5, -3} {
+		m, err := NewARMAX(3, 2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			if err := m.Observe(c, []float64{c, c}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertFinite(t, m, "constant series")
+		if f := m.Forecast(5); math.Abs(f-c) > 1+math.Abs(c)*0.2 {
+			t.Fatalf("constant %v: Forecast(5) = %v, want near the constant", c, f)
+		}
+	}
+}
+
+// Property: perfectly collinear exogenous columns (one column a scalar
+// multiple of the other, and of the series itself) must not destroy
+// positive-definiteness or blow up the parameters.
+func TestRobustCollinearExogenous(t *testing.T) {
+	m, err := NewARMAX(3, 2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	for i := 0; i < 5000; i++ {
+		y := 10 + 5*math.Sin(float64(i)/20) + rng.Norm(0, 0.5)
+		// exo[1] = 2*exo[0], exo[2] = y: maximal collinearity.
+		exo := []float64{y, 2 * y, y}
+		if err := m.Observe(y, exo); err != nil {
+			t.Fatal(err)
+		}
+		if i%500 == 0 {
+			assertFinite(t, m, "collinear exo")
+		}
+	}
+	assertFinite(t, m, "collinear exo (final)")
+}
+
+// Property: NaN and Inf samples — in the series or the exogenous
+// vector — are absorbed without error, and forecasting afterwards
+// degrades to a finite value (last-value persistence at worst).
+func TestRobustNonFiniteInputs(t *testing.T) {
+	m, err := NewARMAX(3, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goods := []float64{4, 5, 6, 5, 4, 5, 6}
+	for _, y := range goods {
+		if err := m.Observe(y, []float64{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bads := []struct {
+		y   float64
+		exo []float64
+	}{
+		{math.NaN(), []float64{1, 1}},
+		{math.Inf(1), []float64{1, 1}},
+		{5, []float64{math.NaN(), 1}},
+		{5, []float64{1, math.Inf(-1)}},
+		{math.Inf(-1), []float64{math.NaN(), math.Inf(1)}},
+	}
+	for _, b := range bads {
+		if err := m.Observe(b.y, b.exo); err != nil {
+			t.Fatalf("Observe(%v, %v): %v", b.y, b.exo, err)
+		}
+		assertFinite(t, m, "after non-finite input")
+	}
+	// The model keeps learning after the glitch.
+	for i := 0; i < 200; i++ {
+		if err := m.Observe(5+math.Sin(float64(i)/5), []float64{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertFinite(t, m, "recovered")
+}
+
+// Property: across random walks with occasional extreme jumps, the
+// h-step forecast is always finite and the model never errors. This is
+// the catch-all fuzz over the failure modes above.
+func TestRobustRandomWalkFuzz(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		m, err := NewARMAX(3, 2, 6, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(seed)
+		y := 10.0
+		for i := 0; i < 3000; i++ {
+			y += rng.Norm(0, 1)
+			if rng.Bool(0.01) {
+				y += rng.Norm(0, 100) // extreme jump
+			}
+			if y < 0 {
+				y = 0
+			}
+			exo := []float64{math.Abs(rng.Norm(2, 1)), float64(i % 7)}
+			if err := m.Observe(y, exo); err != nil {
+				t.Fatalf("seed %d t=%d: %v", seed, i, err)
+			}
+			if f := m.Forecast(5); math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("seed %d t=%d: Forecast(5) = %v", seed, i, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Predictive control plane A/B: the same deterministic spike and
+# flash-crowd traffic traces are played through the forecast-on arm
+# (ARMAX pre-wakes WiFi ahead of bursts) and the forecast-off reactive
+# baseline, and the wake-latency stalls, modeled energy per delivered
+# frame, radio wakeups, and exceedance miss rates land in
+# BENCH_predict.json. The acceptance gate (fewer stalls AND lower
+# energy per frame with the forecast on) is also asserted by
+# TestABGate in internal/predict.
+#
+#   BENCHTIME=1x sh scripts/bench_predict.sh   # smoke run (check.sh)
+#   sh scripts/bench_predict.sh                # full run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_predict.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkPredictAB' -benchtime "$BENCHTIME" \
+	./internal/predict/ | tee "$tmp"
+
+go run ./scripts/benchjson -o "$OUT" <"$tmp"
+echo "wrote $OUT"

@@ -103,6 +103,29 @@ type loadSummary struct {
 	Scenarios map[string]map[string]float64 `json:"scenarios"`
 }
 
+// predictPoint is one forecast arm's outcome under an A/B preset:
+// realized wake-latency stalls, modeled energy per delivered frame,
+// radio wakeups, and the exceedance false-negative rate.
+type predictPoint struct {
+	Stalls     float64 `json:"stalls"`
+	MJPerFrame float64 `json:"mj_per_frame"`
+	WakeUps    float64 `json:"wakeups"`
+	FNPct      float64 `json:"fn_pct"`
+}
+
+// predictSummary pairs a `<prefix>/preset=<p>/forecast=on` arm with its
+// `/forecast=off` reactive baseline. The PR's acceptance gate reads off
+// the reductions: forecast-on must show fewer stalls and lower energy
+// per delivered frame (both reductions positive).
+type predictSummary struct {
+	Benchmark          string       `json:"benchmark"`
+	Preset             string       `json:"preset"`
+	ForecastOn         predictPoint `json:"forecast_on"`
+	ForecastOff        predictPoint `json:"forecast_off"`
+	StallReductionPct  float64      `json:"stall_reduction_pct"`
+	EnergyReductionPct float64      `json:"energy_per_frame_reduction_pct"`
+}
+
 type report struct {
 	Date       string `json:"date"`
 	NCPU       int    `json:"ncpu"`
@@ -122,6 +145,7 @@ type report struct {
 	Fleet       []fleetSummary    `json:"fleet,omitempty"`
 	Downlink    []downlinkSummary `json:"downlink,omitempty"`
 	Load        []loadSummary     `json:"load,omitempty"`
+	Predict     []predictSummary  `json:"predict,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result row; the trailing
@@ -144,6 +168,9 @@ var downlinkFamily = regexp.MustCompile(`^(.+)/sessions=(\d+)/batch=(on|off)$`)
 
 // scenarioFamily splits `<prefix>/scenario=<name>` benchmark names.
 var scenarioFamily = regexp.MustCompile(`^(.+)/scenario=(.+)$`)
+
+// predictFamily splits `<prefix>/preset=<p>/forecast=on|off` names.
+var predictFamily = regexp.MustCompile(`^(.+)/preset=(.+)/forecast=(on|off)$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
@@ -366,6 +393,54 @@ func main() {
 	}
 	sort.Slice(loads, func(i, j int) bool { return loads[i].Benchmark < loads[j].Benchmark })
 
+	// Pair `<prefix>/preset=<p>/forecast=on|off` A/B arms and compute
+	// the forecast's stall and energy-per-frame reductions.
+	predictArms := map[string]map[string]predictPoint{}
+	for _, r := range results {
+		m := predictFamily.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		key := m[1] + "\x00" + m[2]
+		if predictArms[key] == nil {
+			predictArms[key] = map[string]predictPoint{}
+		}
+		predictArms[key][m[3]] = predictPoint{
+			Stalls:     r.Metrics["stalls"],
+			MJPerFrame: r.Metrics["mJ/frame"],
+			WakeUps:    r.Metrics["wakeups"],
+			FNPct:      r.Metrics["fn%"],
+		}
+	}
+	var predicts []predictSummary
+	for key, arms := range predictArms {
+		on, okOn := arms["on"]
+		off, okOff := arms["off"]
+		if !okOn || !okOff {
+			continue
+		}
+		parts := strings.SplitN(key, "\x00", 2)
+		s := predictSummary{
+			Benchmark:   parts[0],
+			Preset:      parts[1],
+			ForecastOn:  on,
+			ForecastOff: off,
+		}
+		if off.Stalls > 0 {
+			s.StallReductionPct = 100 * (1 - on.Stalls/off.Stalls)
+		}
+		if off.MJPerFrame > 0 {
+			s.EnergyReductionPct = 100 * (1 - on.MJPerFrame/off.MJPerFrame)
+		}
+		predicts = append(predicts, s)
+	}
+	sort.Slice(predicts, func(i, j int) bool {
+		if predicts[i].Benchmark != predicts[j].Benchmark {
+			return predicts[i].Benchmark < predicts[j].Benchmark
+		}
+		return predicts[i].Preset < predicts[j].Preset
+	})
+
 	gate := "evaluated"
 	if runtime.NumCPU() < 4 {
 		gate = "skipped-ncpu<4"
@@ -388,6 +463,7 @@ func main() {
 		Fleet:      fleets,
 		Downlink:   downlinks,
 		Load:       loads,
+		Predict:    predicts,
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

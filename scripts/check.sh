@@ -83,3 +83,16 @@ go run -race ./cmd/gbooster-load -scenario flash-crowd \
 # numbers come from running scripts/bench_load.sh without overrides.
 SESSIONS=6 FRAMES=8 WIDTH=128 HEIGHT=96 OUT=/tmp/BENCH_load.smoke.json \
 	sh scripts/bench_load.sh >/dev/null
+# Predictive control plane under the race detector: the live player
+# drives ObserveFrame / Tick / Snapshot from three goroutines, and the
+# forecast on/off A/B gate (fewer wake stalls AND lower energy per
+# delivered frame with the forecast on) runs inside the same pass.
+go test -race -short ./internal/predict/ ./internal/timeseries/ ./internal/ifswitch/
+# Forecast on/off A/B smoke through the real player path: a predictive
+# session must run end to end and carry its prediction/energy block
+# through Player.Snapshot.
+go test -race -run 'TestPredictiveControlSnapshot|TestPredictDefaultOff' -count=1 .
+# Predict benchmark smoke: proves the preset x forecast=on/off series
+# and the BENCH_predict.json summary still build. Full numbers come
+# from running scripts/bench_predict.sh without BENCHTIME.
+BENCHTIME=1x OUT=/tmp/BENCH_predict.smoke.json sh scripts/bench_predict.sh >/dev/null

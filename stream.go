@@ -12,6 +12,7 @@ import (
 	"github.com/gbooster/gbooster/internal/core"
 	"github.com/gbooster/gbooster/internal/hook"
 	"github.com/gbooster/gbooster/internal/metrics"
+	"github.com/gbooster/gbooster/internal/predict"
 	"github.com/gbooster/gbooster/internal/rudp"
 	"github.com/gbooster/gbooster/internal/workload"
 )
@@ -25,6 +26,7 @@ type options struct {
 	pipelineDepth   int
 	adaptiveQuality bool
 	qualityFloor    int
+	predictive      bool
 }
 
 // Option tunes a StreamServer or Player beyond its config struct.
@@ -96,6 +98,18 @@ func WithDiffThreshold(t float64) Option {
 // negative disables overlap entirely.
 func WithPipelineDepth(d int) Option {
 	return func(o *options) { o.pipelineDepth = d }
+}
+
+// WithPredictiveControl enables the player's predictive control plane:
+// an online ARMAX model fed each frame's exogenous signals (touch
+// events, texture count) and the session's observed traffic forecasts
+// demand 500 ms ahead, pre-wakes the modeled WiFi radio before bursts,
+// biases the dispatcher's Eq. 4 cost with predicted load so device
+// selection anticipates rather than reacts, and closes the loop with
+// per-session energy and thermal accounting surfaced through
+// Snapshot().Predict. Player-side only; servers ignore it.
+func WithPredictiveControl() Option {
+	return func(o *options) { o.predictive = true }
 }
 
 func buildOptions(opts []Option) options {
@@ -289,6 +303,15 @@ type Player struct {
 	linker *hook.Linker
 	calls  map[string]hook.GLFunc
 
+	// predict is the session's predictive controller when
+	// WithPredictiveControl is enabled (nil otherwise). predictStop ends
+	// its wall-clock tick goroutine; predictDone confirms exit so Close
+	// never races a final Tick against Finish.
+	predict     *predict.Controller
+	predictStop chan struct{}
+	predictDone chan struct{}
+	stopPredict sync.Once
+
 	// start anchors Snapshot's Elapsed field.
 	start time.Time
 
@@ -338,14 +361,42 @@ func NewPlayer(cfg PlayerConfig, opts ...Option) (*Player, error) {
 	if err := client.Install(ln, "libgbooster.so"); err != nil {
 		return nil, fmt.Errorf("gbooster: install hooks: %w", err)
 	}
-	return &Player{
+	p := &Player{
 		w: cfg.Width, h: cfg.Height,
 		game:   game,
 		client: client,
 		linker: ln,
 		calls:  make(map[string]hook.GLFunc),
 		start:  time.Now(),
-	}, nil
+	}
+	if o.predictive {
+		ctl, err := predict.New(predict.Config{Traffic: client.TrafficBytes})
+		if err != nil {
+			return nil, fmt.Errorf("gbooster: predictive control: %w", err)
+		}
+		p.predict = ctl
+		client.SetLoadForecast(ctl.LoadForecast)
+		p.predictStop = make(chan struct{})
+		p.predictDone = make(chan struct{})
+		// The controller advances on real wall-clock windows: each tick
+		// differences the client's wire traffic into a demand sample,
+		// drains the frame accumulators into the load model, and runs the
+		// radio pre-wake decision.
+		go func() {
+			defer close(p.predictDone)
+			t := time.NewTicker(ctl.Window())
+			defer t.Stop()
+			for {
+				select {
+				case <-p.predictStop:
+					return
+				case <-t.C:
+					ctl.Tick()
+				}
+			}
+		}()
+	}
+	return p, nil
 }
 
 // Connect attaches a service device at a UDP address.
@@ -376,6 +427,9 @@ func (p *Player) ConnectConn(name string, pc net.PacketConn, peer net.Addr, capa
 func (p *Player) StepFrame(timeout time.Duration) (*image.RGBA, error) {
 	begin := time.Now()
 	frame := p.game.NextFrame()
+	if p.predict != nil {
+		p.predict.ObserveFrame(frame.Features)
+	}
 	for _, cmd := range frame.Commands {
 		name := cmd.Op.String()
 		fn, ok := p.calls[name]
@@ -457,6 +511,9 @@ type (
 	PlayerSnapshot = metrics.PlayerSnapshot
 	// FleetSnapshot is one consistent observation of a Fleet.
 	FleetSnapshot = metrics.FleetSnapshot
+	// PredictStats is the predictive control plane's session block
+	// (forecast quality, radio activity, energy and thermal accounting).
+	PredictStats = metrics.PredictStats
 )
 
 // Snapshot returns one consistent observation of the session: the
@@ -523,6 +580,10 @@ func (p *Player) Snapshot() PlayerSnapshot {
 			TimeoutResent:   th.TimeoutResent,
 		})
 	}
+	if p.predict != nil {
+		snap := p.predict.Snapshot()
+		s.Predict = &snap
+	}
 	return s
 }
 
@@ -573,5 +634,16 @@ func (p *Player) HandoffStats() HandoffStats {
 	return p.Snapshot().HandoffStats
 }
 
-// Close shuts the player down.
-func (p *Player) Close() error { return p.client.Close() }
+// Close shuts the player down. With predictive control enabled it
+// stops the control tick, settles the radio energy accounts, and
+// leaves the final prediction/energy block readable via Snapshot.
+func (p *Player) Close() error {
+	if p.predict != nil {
+		p.stopPredict.Do(func() {
+			close(p.predictStop)
+			<-p.predictDone
+			p.predict.Finish()
+		})
+	}
+	return p.client.Close()
+}
